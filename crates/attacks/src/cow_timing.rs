@@ -1,0 +1,196 @@
+//! The classic copy-on-write timing side channel (§4.1, Figures 5/6).
+//!
+//! The attacker crafts guesses for a victim page's contents, waits a fusion
+//! interval, then *times a write* (or, against S⊕F systems, a read) to each
+//! guess. Under KSM a correct guess was merged, so the write takes a CoW
+//! fault — milliseconds apart from a plain store in distribution. Under
+//! VUsion every considered page takes the same copy-on-access path, merged
+//! or not, and the two distributions are statistically indistinguishable
+//! (the paper's KS test, p = 0.36).
+
+use vusion_core::EngineKind;
+use vusion_kernel::{FusionPolicy, Pid, System};
+use vusion_stats::{ks_two_sample, KsResult};
+
+use crate::common::{labeled_page, settle, time_read, time_write, AttackVerdict, TwinSetup};
+
+/// Attack parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CowTimingParams {
+    /// Number of correct guesses (pages duplicated in the victim).
+    pub dup_probes: u64,
+    /// Number of wrong guesses (pages unique to the attacker).
+    pub unique_probes: u64,
+    /// Probe with writes (the classic attack) or reads (defeats nothing on
+    /// KSM, but is the relevant probe against S⊕F systems).
+    pub probe_with_writes: bool,
+}
+
+impl Default for CowTimingParams {
+    fn default() -> Self {
+        Self {
+            dup_probes: 100,
+            unique_probes: 100,
+            probe_with_writes: true,
+        }
+    }
+}
+
+/// What the attack measured.
+#[derive(Debug, Clone)]
+pub struct CowTimingOutcome {
+    /// Probe times (ns) on pages that had a duplicate in the victim.
+    pub dup_times: Vec<f64>,
+    /// Probe times (ns) on pages unique to the attacker.
+    pub unique_times: Vec<f64>,
+    /// Two-sample KS test between the two.
+    pub ks: KsResult,
+    /// Verdict: the attacker learns which guesses were right iff the
+    /// distributions separate.
+    pub verdict: AttackVerdict,
+}
+
+/// Runs the attack against a freshly built system of the given kind.
+pub fn run(kind: EngineKind, params: CowTimingParams) -> CowTimingOutcome {
+    let mut sys = crate::common::attack_system(kind);
+    let total = params.dup_probes + params.unique_probes;
+    let setup = TwinSetup::new(&mut sys, total.max(params.dup_probes), 0, false);
+    run_on(&mut sys, &setup, params)
+}
+
+/// Runs the attack on an existing system/setup (used by the figure benches
+/// to extract the raw histograms).
+pub fn run_on(
+    sys: &mut System<Box<dyn FusionPolicy>>,
+    setup: &TwinSetup,
+    params: CowTimingParams,
+) -> CowTimingOutcome {
+    let attacker = setup.attacker;
+    let victim = setup.victim;
+    // The victim populates its secrets; the attacker writes dup_probes
+    // correct guesses and unique_probes wrong ones.
+    for i in 0..params.dup_probes {
+        sys.write_page(victim, setup.merge_page(i), &labeled_page(1000 + i));
+        sys.write_page(attacker, setup.merge_page(i), &labeled_page(1000 + i));
+    }
+    for i in 0..params.unique_probes {
+        let va = setup.merge_page(params.dup_probes + i);
+        sys.write_page(attacker, va, &labeled_page(0xdead_0000 + i));
+    }
+    // A fusion interval passes.
+    settle(sys, (params.dup_probes * 2 + params.unique_probes) * 2);
+    // Probe.
+    let probe = |sys: &mut System<Box<dyn FusionPolicy>>, pid: Pid, va| -> u64 {
+        if params.probe_with_writes {
+            time_write(sys, pid, va, 0x41)
+        } else {
+            time_read(sys, pid, va)
+        }
+    };
+    // Interleave the two probe classes so machine-state drift (cache
+    // warmth, queue depths) cannot masquerade as a signal.
+    let mut dup_times = Vec::with_capacity(params.dup_probes as usize);
+    let mut unique_times = Vec::with_capacity(params.unique_probes as usize);
+    let n = params.dup_probes.max(params.unique_probes);
+    for i in 0..n {
+        if i < params.dup_probes {
+            dup_times.push(probe(sys, attacker, setup.merge_page(i)) as f64);
+        }
+        if i < params.unique_probes {
+            unique_times.push(probe(sys, attacker, setup.merge_page(params.dup_probes + i)) as f64);
+        }
+    }
+    let ks = ks_two_sample(&dup_times, &unique_times);
+    CowTimingOutcome {
+        verdict: AttackVerdict {
+            success: !ks.same_distribution(0.05),
+        },
+        dup_times,
+        unique_times,
+        ks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_against_ksm() {
+        let o = run(EngineKind::Ksm, CowTimingParams::default());
+        assert!(
+            o.verdict.success,
+            "KSM must leak via CoW timing (p = {})",
+            o.ks.p_value
+        );
+        // And the separation is massive: the medians are far apart.
+        let med = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v[v.len() / 2]
+        };
+        let mut d = o.dup_times.clone();
+        let mut u = o.unique_times.clone();
+        assert!(
+            med(&mut d) > 3.0 * med(&mut u),
+            "CoW faults dwarf plain writes"
+        );
+    }
+
+    #[test]
+    fn succeeds_against_wpf() {
+        let o = run(EngineKind::Wpf, CowTimingParams::default());
+        assert!(
+            o.verdict.success,
+            "WPF must leak via CoW timing (p = {})",
+            o.ks.p_value
+        );
+    }
+
+    #[test]
+    fn fails_against_vusion_with_writes() {
+        let o = run(EngineKind::VUsion, CowTimingParams::default());
+        assert!(
+            !o.verdict.success,
+            "VUsion write timing must be indistinguishable (p = {}, D = {})",
+            o.ks.p_value, o.ks.statistic
+        );
+    }
+
+    #[test]
+    fn fails_against_vusion_with_reads() {
+        let o = run(
+            EngineKind::VUsion,
+            CowTimingParams {
+                probe_with_writes: false,
+                ..Default::default()
+            },
+        );
+        assert!(
+            !o.verdict.success,
+            "VUsion read timing must be indistinguishable (p = {})",
+            o.ks.p_value
+        );
+    }
+
+    #[test]
+    fn read_probe_learns_nothing_on_plain_ksm() {
+        // Sanity: on classic KSM, *reads* of merged pages are plain reads —
+        // the unmerge channel needs writes. (Merge-based read channels are
+        // the separate §5.1 attacks.)
+        let o = run(
+            EngineKind::Ksm,
+            CowTimingParams {
+                probe_with_writes: false,
+                dup_probes: 60,
+                unique_probes: 60,
+            },
+        );
+        // Reads may differ slightly through cache effects but must not show
+        // the fault-sized separation; compare medians.
+        let med = |mut v: Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v[v.len() / 2]
+        };
+        assert!(med(o.dup_times.clone()) < 3.0 * med(o.unique_times.clone()));
+    }
+}

@@ -1,0 +1,229 @@
+//! Reuse-based Flip Feng Shui against Windows Page Fusion (§5.2, new).
+//!
+//! WPF backs fused pages with *new* frames, so classic Flip Feng Shui
+//! fails — but its `MiAllocatePagesForMdl`-style allocator reserves frames
+//! from the end of physical memory every pass, and frames freed by
+//! copy-on-write unmerges are reused near-perfectly by the next pass
+//! (Figure 3). Moreover, backing frames are assigned in *sorted hash
+//! order*, so the attacker chooses the physical adjacency of fused pages
+//! through their contents (double-sided Rowhammer without huge pages).
+//!
+//! The attack follows §5.2's recipe:
+//!
+//! 1. Allocate many pages, write pair-wise duplicates, let WPF merge them
+//!    into a contiguous run of tree frames.
+//! 2. Hammer the fused run (reads only!) to template a vulnerable fused
+//!    frame; note its *rank* in the hash order.
+//! 3. Trigger CoW on everything to release the run back to the allocator.
+//! 4. Craft a new duplicate set where the page duplicating the victim's
+//!    secret sits at exactly the templated rank; after the next pass the
+//!    secret is backed by the vulnerable frame.
+//! 5. Hammer again; the victim's secret is corrupted.
+
+use vusion_core::EngineKind;
+use vusion_kernel::{FusionPolicy, Pid, System};
+use vusion_mem::{content_hash, FrameId, VirtAddr};
+
+use crate::common::{labeled_page, settle, AttackVerdict, TwinSetup};
+
+/// Outcome of the reuse-based Flip Feng Shui attack.
+#[derive(Debug, Clone)]
+pub struct ReuseFfsOutcome {
+    /// Whether pass 1 produced a contiguous descending run of tree frames.
+    pub run_contiguous: bool,
+    /// Whether templating found a vulnerable fused frame.
+    pub template_found: bool,
+    /// Whether the victim's secret landed on the templated frame in pass 2.
+    pub bait_landed: bool,
+    /// Whether the victim's secret was corrupted.
+    pub victim_corrupted: bool,
+    /// Verdict: success = corruption achieved.
+    pub verdict: AttackVerdict,
+}
+
+const GROUPS: u64 = 24;
+const HAMMER_ITERS: u64 = 2_000_000;
+/// Fused frames two apart sit in adjacent rows (single-bank 8 KiB rows).
+const AGGR_DISTANCE: usize = 2;
+
+fn fail(run_contiguous: bool, template_found: bool, bait_landed: bool) -> ReuseFfsOutcome {
+    ReuseFfsOutcome {
+        run_contiguous,
+        template_found,
+        bait_landed,
+        victim_corrupted: false,
+        verdict: AttackVerdict { success: false },
+    }
+}
+
+/// The attacker's pair-wise duplicate pages: pair `g` occupies pages
+/// `2g` and `2g + 1`.
+fn pair_vas(setup: &TwinSetup, g: u64) -> (VirtAddr, VirtAddr) {
+    (setup.merge_page(2 * g), setup.merge_page(2 * g + 1))
+}
+
+/// Resolves the current backing frame of a VA (attacker-side knowledge).
+fn frame_of(sys: &System<Box<dyn FusionPolicy>>, pid: Pid, va: VirtAddr) -> Option<FrameId> {
+    sys.machine.translate_quiet(pid, va).map(|pa| pa.frame())
+}
+
+/// Runs the attack against a fresh system of the given kind.
+pub fn run(kind: EngineKind) -> ReuseFfsOutcome {
+    let mut sys = crate::common::attack_system(kind);
+    let setup = TwinSetup::new(&mut sys, GROUPS * 2, 0, false);
+    let (attacker, victim) = (setup.attacker, setup.victim);
+    // --- Pass 1: pair-wise duplicates ----------------------------------
+    let labels: Vec<u64> = (0..GROUPS).map(|g| 0x3b0b_0000 + g).collect();
+    for (g, &label) in labels.iter().enumerate() {
+        let (va1, va2) = pair_vas(&setup, g as u64);
+        sys.write_page(attacker, va1, &labeled_page(label));
+        sys.write_page(attacker, va2, &labeled_page(label));
+    }
+    settle(&mut sys, GROUPS * 4);
+    // Sort the attacker's pairs by content hash: rank k was assigned the
+    // k-th reserved frame.
+    let mut order: Vec<u64> = (0..GROUPS).collect();
+    order.sort_by_key(|&g| content_hash(&labeled_page(labels[g as usize])));
+    let fused: Vec<Option<FrameId>> = order
+        .iter()
+        .map(|&g| frame_of(&sys, attacker, pair_vas(&setup, g).0))
+        .collect();
+    let Some(fused): Option<Vec<FrameId>> = fused.into_iter().collect() else {
+        return fail(false, false, false);
+    };
+    let run_contiguous = fused.windows(2).all(|w| w[0].0 == w[1].0 + 1);
+    // --- Phase 2: template the fused run (reads only) -------------------
+    let mut template: Option<usize> = None; // Rank of the vulnerable frame.
+    for rank in AGGR_DISTANCE..fused.len() - AGGR_DISTANCE {
+        let a1 = pair_vas(&setup, order[rank - AGGR_DISTANCE]).0;
+        let a2 = pair_vas(&setup, order[rank + AGGR_DISTANCE]).0;
+        sys.machine.hammer(attacker, a1, a2, HAMMER_ITERS);
+        let expected = labeled_page(labels[order[rank] as usize]);
+        let Some(f) = frame_of(&sys, attacker, pair_vas(&setup, order[rank]).0) else {
+            continue;
+        };
+        if sys.machine.mem().page(f) != &expected {
+            template = Some(rank);
+            break;
+        }
+    }
+    let Some(vuln_rank) = template else {
+        return fail(run_contiguous, false, false);
+    };
+    let vuln_frame = fused[vuln_rank];
+    // --- Phase 3: release everything (CoW) ------------------------------
+    for g in 0..GROUPS {
+        let (va1, va2) = pair_vas(&setup, g);
+        sys.write(attacker, va1, 0x11u8.wrapping_add(g as u8));
+        sys.write(attacker, va2, 0x22u8.wrapping_add(g as u8));
+    }
+    // --- Phase 4: aim the victim's secret at the vulnerable rank --------
+    // The secret content (known to the attacker, e.g. a public key).
+    let secret = labeled_page(0x5ec2_0001);
+    let h_secret = content_hash(&secret);
+    // Choose filler labels so exactly `vuln_rank` of them hash below the
+    // secret: the secret's group then has rank `vuln_rank`.
+    let mut below = Vec::new();
+    let mut above = Vec::new();
+    let mut probe_label = 0xf0f0_0000u64;
+    while (below.len() < vuln_rank || above.len() < (GROUPS as usize - 1 - vuln_rank))
+        && probe_label < 0xf0f4_0000
+    {
+        let h = content_hash(&labeled_page(probe_label));
+        if h < h_secret && below.len() < vuln_rank {
+            below.push(probe_label);
+        } else if h > h_secret && above.len() < GROUPS as usize - 1 - vuln_rank {
+            above.push(probe_label);
+        }
+        probe_label += 1;
+    }
+    if below.len() < vuln_rank || above.len() < GROUPS as usize - 1 - vuln_rank {
+        return fail(run_contiguous, true, false);
+    }
+    let mut new_labels: Vec<u64> = below;
+    new_labels.extend(above);
+    // Rewrite the attacker pages: filler pairs everywhere except group 0,
+    // which holds a single copy of the secret (the victim provides the
+    // other copy).
+    let (sva1, sva2) = pair_vas(&setup, 0);
+    sys.write_page(attacker, sva1, &secret);
+    sys.write_page(attacker, sva2, &labeled_page(0x0ddb_a11d)); // Odd one out.
+    for (g, &label) in new_labels.iter().enumerate() {
+        let (va1, va2) = pair_vas(&setup, g as u64 + 1);
+        sys.write_page(attacker, va1, &labeled_page(label));
+        sys.write_page(attacker, va2, &labeled_page(label));
+    }
+    sys.write_page(victim, setup.merge_page(0), &secret);
+    settle(&mut sys, GROUPS * 4);
+    let victim_frame = frame_of(&sys, victim, setup.merge_page(0));
+    let bait_landed = victim_frame == Some(vuln_frame);
+    // --- Phase 5: hammer the secret's neighbors -------------------------
+    // Rank ordering of the new set tells the attacker which of her filler
+    // pages are physically adjacent to the secret.
+    let mut rank_of: Vec<(u64, VirtAddr)> = vec![(h_secret, sva1)];
+    for (g, &label) in new_labels.iter().enumerate() {
+        rank_of.push((
+            content_hash(&labeled_page(label)),
+            pair_vas(&setup, g as u64 + 1).0,
+        ));
+    }
+    rank_of.sort_by_key(|&(h, _)| h);
+    let secret_rank = rank_of
+        .iter()
+        .position(|&(h, _)| h == h_secret)
+        .expect("present");
+    if secret_rank < AGGR_DISTANCE || secret_rank + AGGR_DISTANCE >= rank_of.len() {
+        return fail(run_contiguous, true, bait_landed);
+    }
+    let a1 = rank_of[secret_rank - AGGR_DISTANCE].1;
+    let a2 = rank_of[secret_rank + AGGR_DISTANCE].1;
+    sys.machine.hammer(attacker, a1, a2, HAMMER_ITERS);
+    // --- Verdict ---------------------------------------------------------
+    let got = sys.read_page(victim, setup.merge_page(0));
+    let victim_corrupted = got != secret;
+    ReuseFfsOutcome {
+        run_contiguous,
+        template_found: true,
+        bait_landed,
+        victim_corrupted,
+        verdict: AttackVerdict {
+            success: victim_corrupted,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_against_wpf() {
+        let o = run(EngineKind::Wpf);
+        assert!(
+            o.run_contiguous,
+            "linear allocation must produce a contiguous run: {o:?}"
+        );
+        assert!(o.template_found, "hammering the run must find a weak frame");
+        assert!(
+            o.bait_landed,
+            "deterministic reuse must place the secret on the template: {o:?}"
+        );
+        assert!(
+            o.verdict.success,
+            "the victim's secret must be corrupted: {o:?}"
+        );
+    }
+
+    #[test]
+    fn fails_against_vusion() {
+        let o = run(EngineKind::VUsion);
+        assert!(
+            !o.bait_landed,
+            "RA must break reuse-based templating: {o:?}"
+        );
+        assert!(
+            !o.verdict.success,
+            "the victim's secret must survive: {o:?}"
+        );
+    }
+}

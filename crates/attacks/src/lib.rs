@@ -1,0 +1,33 @@
+//! The six attacks of the paper's Table 1, implemented end-to-end against
+//! the simulated machine.
+//!
+//! | Attack | Issue | Abused mechanism | Mitigation |
+//! |---|---|---|---|
+//! | [`cow_timing`] | slow write (§4.1) | unmerge | SB |
+//! | [`page_color`] (new) | physical address changes (§5.1) | merge | SB |
+//! | [`page_sharing`] (new) | sharing changes (§5.1) | merge | SB |
+//! | [`translation`] (new) | translation changes (§5.1) | merge | SB |
+//! | [`ffs_ksm`] | predictable merge (§4.2) | merge | RA |
+//! | [`ffs_wpf`] (new) | predictable reuse (§5.2) | reuse | RA |
+//!
+//! Every attack runs the real machinery: it crafts page contents, waits for
+//! fusion passes, and *measures the simulated clock* (or memory contents,
+//! for the Rowhammer attacks) exactly as the real attacker would measure
+//! `rdtsc` or scan for flipped bits. Attacks succeed against the insecure
+//! baselines (KSM/WPF) and fail against VUsion; the [`matrix`] module
+//! packages that as the Table 1 reproduction.
+
+pub mod ablation;
+pub mod common;
+pub mod cow_timing;
+pub mod ffs_ksm;
+pub mod ffs_wpf;
+pub mod matrix;
+pub mod page_color;
+pub mod page_sharing;
+pub mod secret_leak;
+pub mod translation;
+
+pub use ablation::Ablation;
+pub use common::{AttackVerdict, TwinSetup};
+pub use matrix::{attack_matrix, MatrixRow};

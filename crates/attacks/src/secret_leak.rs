@@ -1,0 +1,118 @@
+//! End-to-end secret *extraction* via the unmerge channel, in the style of
+//! Dedup Est Machina (§4.1).
+//!
+//! Detection alone is only half the attack. The CAIN/Dedup-Est-Machina
+//! technique turns the 1-bit merged/not-merged oracle into full secret
+//! recovery: the attacker crafts one guess page per candidate value of an
+//! unknown field, embedded in an otherwise-known page layout, waits a
+//! fusion interval, and times a write to every guess. The guess that merged
+//! (slow CoW write) *is* the secret. Repeating per byte leaks arbitrarily
+//! long secrets one fusion pass per byte.
+//!
+//! Here the victim holds a page with a secret byte at a known offset (the
+//! paper leaks randomized pointers the same way, a few bits at a time);
+//! the attacker recovers the byte against KSM and fails against VUsion.
+
+use vusion_core::EngineKind;
+
+use crate::common::{labeled_page, settle, time_write, AttackVerdict, TwinSetup};
+
+/// Outcome of the extraction attack.
+#[derive(Debug, Clone)]
+pub struct SecretLeakOutcome {
+    /// The secret the victim actually held.
+    pub secret: u8,
+    /// What the attacker recovered, if its oracle produced a unique answer.
+    pub recovered: Option<u8>,
+    /// Verdict: success iff the recovered value equals the secret.
+    pub verdict: AttackVerdict,
+}
+
+/// Number of candidate values probed per pass (a full byte).
+const CANDIDATES: u64 = 64;
+
+/// Runs the attack: the attacker knows the victim's page layout except one
+/// byte, which it brute-forces with `CANDIDATES` guess pages.
+pub fn run(kind: EngineKind, secret: u8) -> SecretLeakOutcome {
+    let secret = secret % CANDIDATES as u8; // Keep test machines small.
+    let mut sys = crate::common::attack_system(kind);
+    let setup = TwinSetup::new(&mut sys, CANDIDATES + 4, 0, false);
+    let (attacker, victim) = (setup.attacker, setup.victim);
+    // The victim's page: known layout + secret byte at offset 1000.
+    let mut victim_page = labeled_page(0xbead);
+    victim_page[1000] = secret;
+    sys.write_page(victim, setup.merge_page(0), &victim_page);
+    // The attacker sprays one guess page per candidate value.
+    for guess in 0..CANDIDATES {
+        let mut guess_page = labeled_page(0xbead);
+        guess_page[1000] = guess as u8;
+        sys.write_page(attacker, setup.merge_page(guess), &guess_page);
+    }
+    // One fusion interval.
+    settle(&mut sys, CANDIDATES * 3);
+    // Probe: time one write per guess page; the merged one takes a CoW
+    // fault, which sits an order of magnitude above any cache/TLB-miss
+    // variation of a plain store. Classify at half the fault entry cost.
+    let times: Vec<u64> = (0..CANDIDATES)
+        .map(|g| time_write(&mut sys, attacker, setup.merge_page(g), 0xFF))
+        .collect();
+    let threshold = sys.machine.costs().fault_base / 2;
+    let outliers: Vec<u8> = times
+        .iter()
+        .enumerate()
+        .filter(|&(_, &t)| t > threshold)
+        .map(|(g, _)| g as u8)
+        .collect();
+    let recovered = if outliers.len() == 1 { Some(outliers[0]) } else { None };
+    SecretLeakOutcome {
+        secret,
+        recovered,
+        verdict: AttackVerdict {
+            success: recovered == Some(secret),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_the_secret_from_ksm() {
+        for secret in [3u8, 17, 42, 63] {
+            let o = run(EngineKind::Ksm, secret);
+            assert_eq!(
+                o.recovered,
+                Some(secret),
+                "KSM must leak the secret byte: {o:?}"
+            );
+            assert!(o.verdict.success);
+        }
+    }
+
+    #[test]
+    fn recovers_the_secret_from_wpf() {
+        let o = run(EngineKind::Wpf, 29);
+        assert!(o.verdict.success, "WPF leaks through the same channel: {o:?}");
+    }
+
+    #[test]
+    fn fails_against_vusion() {
+        for secret in [3u8, 42] {
+            let o = run(EngineKind::VUsion, secret);
+            assert!(
+                !o.verdict.success,
+                "VUsion must not leak the secret: {o:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn guess_pages_write_timing_is_flat_under_vusion() {
+        // Stronger than verdict-checking: under VUsion, *no* candidate may
+        // stand out (every considered page takes the same CoA path).
+        let o = run(EngineKind::VUsion, 11);
+        assert!(o.recovered.is_none() || o.recovered != Some(o.secret), "{o:?}");
+    }
+}
+

@@ -1,0 +1,198 @@
+//! The new translation attack of §5.1 (AnC-style).
+//!
+//! KSM breaks a transparent huge page *when it merges a 4 KiB page inside
+//! it*. The other 511 pages of the THP then need an extra page-table level
+//! (and lose their 2 MiB TLB entry), which the attacker can time — without
+//! ever touching the merged page itself: a slow access to an *adjacent*
+//! page reveals that the target page was merged.
+//!
+//! The attacker keeps two 2 MiB THP regions: the *target* THP contains one
+//! page duplicating the victim's secret guess; the *control* THP holds only
+//! unique data. After a fusion interval it sweeps its TLB and times one
+//! access into each region. Under KSM only the target THP was broken.
+//! Under VUsion every idle THP is broken (consideration alone breaks it, and
+//! being considered only reveals idleness — §8.1), so the two regions time
+//! identically.
+
+use vusion_core::EngineKind;
+use vusion_kernel::{FusionPolicy, MachineConfig, Pid, System};
+use vusion_mem::{VirtAddr, HUGE_PAGE_SIZE, PAGE_SIZE};
+use vusion_mmu::{Protection, Vma};
+
+use crate::common::{labeled_page, settle, AttackVerdict};
+
+/// Outcome of the translation attack.
+#[derive(Debug, Clone)]
+pub struct TranslationOutcome {
+    /// Mean timed access (ns) to a page adjacent to the duplicate.
+    pub target_mean: f64,
+    /// Mean timed access (ns) into the control THP.
+    pub control_mean: f64,
+    /// Whether the target THP is actually broken (ground truth, reported
+    /// for the experiment logs; the verdict uses timing only).
+    pub target_broken: bool,
+    /// Whether the control THP is broken.
+    pub control_broken: bool,
+    /// Verdict: success iff the timing separates the regions.
+    pub verdict: AttackVerdict,
+}
+
+const TARGET_BASE: u64 = 4 * HUGE_PAGE_SIZE;
+const CONTROL_BASE: u64 = 8 * HUGE_PAGE_SIZE;
+const SWEEP_BASE: u64 = 0x8000_0000;
+const SWEEP_PAGES: u64 = 1700; // Exceeds the 1536-entry 4 KiB TLB.
+
+/// Faults a THP region in and fills it with unique content.
+fn setup_thp(sys: &mut System<Box<dyn FusionPolicy>>, pid: Pid, base: u64, salt: u64) {
+    // One faulting read maps the whole 2 MiB range (demand THP).
+    sys.read(pid, VirtAddr(base));
+    assert!(
+        sys.machine.leaf(pid, VirtAddr(base)).expect("mapped").huge,
+        "setup requires a THP-backed region"
+    );
+    for i in 0..512u64 {
+        sys.write_page(
+            pid,
+            VirtAddr(base + i * PAGE_SIZE),
+            &labeled_page(salt ^ (i << 32)),
+        );
+    }
+}
+
+/// Evicts the attacker's 4 KiB TLB entries *and* thrashes the LLC by
+/// sweeping a large buffer (several lines per page), so a subsequent page
+/// walk pays real memory latency per level — the signal AnC measures.
+fn sweep_tlb_and_llc(sys: &mut System<Box<dyn FusionPolicy>>, pid: Pid) {
+    for i in 0..SWEEP_PAGES {
+        // Vary the line offsets per page: page-aligned sweeps alias into a
+        // handful of cache sets and would leave the victim walk entries
+        // cached.
+        for k in 0..4u64 {
+            // Hash the (page, k) pair into a line offset so the sweep's
+            // physical addresses cover every cache set uniformly.
+            let line = (i
+                .wrapping_mul(0x9e37_79b9)
+                .wrapping_add(k.wrapping_mul(0x85eb_ca6b))
+                >> 7)
+                % 64;
+            sys.read(pid, VirtAddr(SWEEP_BASE + i * PAGE_SIZE + line * 64));
+        }
+    }
+}
+
+/// Runs the attack against a fresh system of the given kind (THP machine).
+pub fn run(kind: EngineKind) -> TranslationOutcome {
+    const TRIALS: usize = 10;
+    let mut sys = crate::common::attack_system_on(kind, MachineConfig::test_small().with_thp());
+    // Victim first, so its 4 KiB page hosts a KSM promotion and the
+    // attacker's side is the one that gets merged (and split).
+    let victim = sys.machine.spawn("victim");
+    let attacker = sys.machine.spawn("attacker");
+    sys.machine
+        .mmap(victim, Vma::anon(VirtAddr(0x10000), 8, Protection::rw()));
+    sys.machine.madvise_mergeable(victim, VirtAddr(0x10000), 8);
+    // Two 2 MiB-aligned, THP-eligible mergeable regions.
+    sys.machine.mmap(
+        attacker,
+        Vma::anon(VirtAddr(TARGET_BASE), 512, Protection::rw()),
+    );
+    sys.machine.mmap(
+        attacker,
+        Vma::anon(VirtAddr(CONTROL_BASE), 512, Protection::rw()),
+    );
+    sys.machine
+        .madvise_mergeable(attacker, VirtAddr(TARGET_BASE), 512);
+    sys.machine
+        .madvise_mergeable(attacker, VirtAddr(CONTROL_BASE), 512);
+    // Plus the (non-mergeable) TLB sweep buffer; MADV_NOHUGEPAGE so its
+    // accesses pressure the 4 KiB TLB, not the 2 MiB one.
+    sys.machine.mmap(
+        attacker,
+        Vma::anon(VirtAddr(SWEEP_BASE), SWEEP_PAGES, Protection::rw()).no_thp(),
+    );
+    for i in 0..SWEEP_PAGES {
+        sys.write(attacker, VirtAddr(SWEEP_BASE + i * PAGE_SIZE), 1);
+    }
+    setup_thp(&mut sys, attacker, TARGET_BASE, 0xaaaa);
+    setup_thp(&mut sys, attacker, CONTROL_BASE, 0xbbbb);
+    // The duplicate guess sits at sub-page 100 of the target THP; the
+    // victim holds the same content.
+    let dup_va = VirtAddr(TARGET_BASE + 100 * PAGE_SIZE);
+    sys.write_page(attacker, dup_va, &labeled_page(0x6e6e));
+    sys.write_page(victim, VirtAddr(0x10000), &labeled_page(0x6e6e));
+    // Fusion interval (1032 mergeable pages).
+    settle(&mut sys, 1100);
+    // Probe pages *adjacent* to the duplicate — never the duplicate itself.
+    let target_probe = VirtAddr(TARGET_BASE + 101 * PAGE_SIZE);
+    let control_probe = VirtAddr(CONTROL_BASE + 101 * PAGE_SIZE);
+    let mut target_times = Vec::with_capacity(TRIALS);
+    let mut control_times = Vec::with_capacity(TRIALS);
+    for _ in 0..TRIALS {
+        sweep_tlb_and_llc(&mut sys, attacker);
+        let t0 = sys.machine.now_ns();
+        sys.read(attacker, target_probe);
+        target_times.push((sys.machine.now_ns() - t0) as f64);
+        sweep_tlb_and_llc(&mut sys, attacker);
+        let t1 = sys.machine.now_ns();
+        sys.read(attacker, control_probe);
+        control_times.push((sys.machine.now_ns() - t1) as f64);
+    }
+    // Discard the first trial: it absorbs one-off copy-on-access faults,
+    // which hit both regions identically under SB engines anyway.
+    let mean = |v: &[f64]| v[1..].iter().sum::<f64>() / (v.len() - 1) as f64;
+    let target_mean = mean(&target_times);
+    let control_mean = mean(&control_times);
+    let target_broken = !sys
+        .machine
+        .leaf(attacker, VirtAddr(TARGET_BASE))
+        .map(|l| l.huge)
+        .unwrap_or(false);
+    let control_broken = !sys
+        .machine
+        .leaf(attacker, VirtAddr(CONTROL_BASE))
+        .map(|l| l.huge)
+        .unwrap_or(false);
+    // One extra page-walk level plus the lost 2 MiB TLB entry is worth
+    // hundreds of ns; call it detected beyond 100 ns.
+    let success = target_mean - control_mean > 100.0;
+    TranslationOutcome {
+        target_mean,
+        control_mean,
+        target_broken,
+        control_broken,
+        verdict: AttackVerdict { success },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_against_ksm() {
+        let o = run(EngineKind::Ksm);
+        assert!(o.target_broken, "KSM must split the THP it merged into");
+        assert!(!o.control_broken, "KSM must leave the control THP alone");
+        assert!(o.verdict.success, "timing must reveal the split: {o:?}");
+    }
+
+    #[test]
+    fn fails_against_vusion() {
+        let o = run(EngineKind::VUsion);
+        assert!(
+            o.target_broken && o.control_broken,
+            "VUsion breaks all idle THPs alike"
+        );
+        assert!(!o.verdict.success, "no differential signal: {o:?}");
+    }
+
+    #[test]
+    fn fails_against_vusion_thp() {
+        let o = run(EngineKind::VUsionThp);
+        assert_eq!(
+            o.target_broken, o.control_broken,
+            "VUsion-THP must treat both idle regions identically"
+        );
+        assert!(!o.verdict.success, "no differential signal: {o:?}");
+    }
+}

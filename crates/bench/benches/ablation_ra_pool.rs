@@ -1,0 +1,47 @@
+//! Randomized-Allocation pool-size sweep: measured reuse probability of a
+//! templated frame against the paper's `2^-bits` claim (§7.1: a 128 MiB
+//! pool = 2¹⁵ frames gives reuse probability 2⁻¹⁵).
+
+use vusion_bench::header;
+use vusion_mem::{BuddyAllocator, FrameId, RandomPool};
+
+fn main() {
+    header(
+        "Ablation/RA",
+        "Templated-frame reuse probability vs pool size",
+    );
+    println!(
+        "{:>12} {:>8} {:>12} {:>12} {:>10}",
+        "pool frames", "bits", "expected", "measured", "trials"
+    );
+    const TRIALS: u64 = 40_000;
+    for bits in [4u32, 6, 8, 10, 12] {
+        let pool_frames = 1usize << bits;
+        let mut buddy = BuddyAllocator::new(FrameId(0), (pool_frames * 4) as u64);
+        let mut pool = RandomPool::new(pool_frames, &mut buddy, 0x5eed + u64::from(bits));
+        // Template: release a specific frame into the pool, then count how
+        // often the very next allocation hands it back (the attacker's
+        // best case).
+        let mut reused = 0u64;
+        for _ in 0..TRIALS {
+            let f = pool.alloc_random(&mut buddy).expect("frame");
+            pool.free_random(f, &mut buddy);
+            let g = pool.alloc_random(&mut buddy).expect("frame");
+            if f == g {
+                reused += 1;
+            }
+            pool.free_random(g, &mut buddy);
+        }
+        let measured = reused as f64 / TRIALS as f64;
+        let expected = 1.0 / pool_frames as f64;
+        println!(
+            "{:>12} {:>8} {:>12.6} {:>12.6} {:>10}",
+            pool_frames, bits, expected, measured, TRIALS
+        );
+        assert!(
+            measured < expected * 3.0 + 1e-4,
+            "reuse probability must scale as 2^-bits (got {measured} at {bits} bits)"
+        );
+    }
+    println!("\npaper: 2^15-frame pool => reuse probability 2^-15 (extrapolates from this sweep)");
+}

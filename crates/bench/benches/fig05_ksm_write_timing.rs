@@ -1,0 +1,36 @@
+//! Figure 5: frequency distribution of timing 1,000 writes under KSM.
+//!
+//! The paper's histogram has two distinct peaks — plain stores to unshared
+//! pages and copy-on-write faults on shared pages — which *is* the side
+//! channel. We print the same histogram (bin center, count) and verify the
+//! bimodality.
+
+use vusion_attacks::cow_timing::{self, CowTimingParams};
+use vusion_bench::header;
+use vusion_core::EngineKind;
+use vusion_stats::Histogram;
+
+fn main() {
+    header("Figure 5", "Freq. dist. of timing 1,000 writes in KSM");
+    let params = CowTimingParams {
+        dup_probes: 500,
+        unique_probes: 500,
+        probe_with_writes: true,
+    };
+    let o = cow_timing::run(EngineKind::Ksm, params);
+    let mut all = o.dup_times.clone();
+    all.extend_from_slice(&o.unique_times);
+    let h = Histogram::from_sample(&all, 60);
+    println!("time_ns count   (1,000 writes: 500 to shared, 500 to unshared pages)");
+    for (center, count) in h.rows() {
+        println!("{center:>9.0} {count}");
+    }
+    let peaks = h.peak_count(0.10);
+    println!("peaks detected: {peaks} (paper: two distinct peaks — the CoW side channel)");
+    println!(
+        "KS p-value shared-vs-unshared: {:.3e} (distinguishable)",
+        o.ks.p_value
+    );
+    assert!(peaks >= 2, "KSM write timing must be bimodal");
+    assert!(!o.ks.same_distribution(0.05));
+}

@@ -1,0 +1,62 @@
+//! Figure 11: memory consumption of 16 diverse VMs (44-image catalog).
+//!
+//! Expected shape: VUsion achieves a fusion rate similar to KSM; VUsion
+//! with THP enhancements conserves working-set huge pages at the cost of a
+//! substantially reduced fusion rate (the paper measures −61%).
+
+use vusion_bench::header;
+use vusion_core::EngineKind;
+use vusion_kernel::MachineConfig;
+use vusion_workloads::images::ImageCatalog;
+use vusion_workloads::runner::{consumed_mib, sample_idle};
+
+fn run(kind: EngineKind) -> (f64, f64, u64) {
+    let mut sys = kind.build_system(MachineConfig::guest_2g_scaled());
+    let catalog = ImageCatalog::das4(0xda54);
+    for (i, spec) in catalog.pick(16, 3).into_iter().enumerate() {
+        spec.scaled(1, 2).boot(&mut sys, &format!("vm{i}"));
+    }
+    let start = consumed_mib(&sys);
+    let samples = sample_idle(&mut sys, 120_000_000_000, 10_000_000_000);
+    let end = samples.last().expect("samples");
+    (start, end.mib, end.pages_saved)
+}
+
+fn main() {
+    header("Figure 11", "Memory consumption of 16 diverse VMs");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "engine", "boot MiB", "settled MiB", "pages saved"
+    );
+    let mut results = Vec::new();
+    for kind in [
+        EngineKind::NoFusion,
+        EngineKind::Ksm,
+        EngineKind::VUsion,
+        EngineKind::VUsionThp,
+    ] {
+        let (start, end, saved) = run(kind);
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>12}",
+            kind.label(),
+            start,
+            end,
+            saved
+        );
+        results.push((kind, end, saved));
+    }
+    let get = |k: EngineKind| results.iter().find(|(kk, _, _)| *kk == k).expect("ran");
+    let (_, none_end, _) = get(EngineKind::NoFusion);
+    let (_, ksm_end, ksm_saved) = get(EngineKind::Ksm);
+    let (_, _vus_end, vus_saved) = get(EngineKind::VUsion);
+    println!(
+        "\nfusion rate: KSM {ksm_saved} pages, VUsion {vus_saved} pages ({:.0}% of KSM)",
+        *vus_saved as f64 * 100.0 / *ksm_saved as f64
+    );
+    println!("paper shape: VUsion ≈ KSM fusion rate; VUsion-THP trades ~61% of it for THPs");
+    assert!(ksm_end < none_end, "KSM reclaims memory");
+    assert!(
+        (*vus_saved as f64) > *ksm_saved as f64 * 0.6,
+        "VUsion must approach KSM's rate"
+    );
+}

@@ -1,0 +1,61 @@
+//! Table 6: Redis and Memcached throughput under the memtier-like load.
+//!
+//! Expected shape: KSM and VUsion cost single-digit to ~10% throughput;
+//! VUsion's THP enhancements close most of the gap.
+
+use vusion_bench::{boot_fleet, engine_cell, header};
+use vusion_core::EngineKind;
+use vusion_kernel::MachineConfig;
+use vusion_workloads::kv::KvStore;
+
+const OPS: u64 = 8_000;
+
+fn run(kind: EngineKind, store: KvStore) -> f64 {
+    let mut sys = kind.build_system(MachineConfig::guest_2g_scaled().with_thp());
+    let vms = boot_fleet(&mut sys, 4, 0);
+    let inst = store.start(&mut sys, &vms[0]);
+    // Warm with the scanner interleaved, as in the live deployment.
+    for i in 0..10 {
+        inst.run_load(&mut sys, OPS / 20, 30 + i);
+        // Slow scanner relative to the op rate (paper ratio).
+        sys.force_scans(5);
+    }
+    inst.run_load(&mut sys, OPS, 31).ops_per_s
+}
+
+fn main() {
+    header("Table 6", "Throughput of Redis and Memcached (kreq/s)");
+    println!("{:<12} {:>16} {:>20}", "engine", "Redis", "Memcached");
+    let mut base: Option<(f64, f64)> = None;
+    let mut rows = Vec::new();
+    for kind in EngineKind::evaluation_set() {
+        let redis = run(kind, KvStore::redis());
+        let memc = run(kind, KvStore::memcached());
+        let (br, bm) = *base.get_or_insert((redis, memc));
+        println!(
+            "{} {:>8.1} ({:>5.1}%) {:>10.1} ({:>5.1}%)",
+            engine_cell(kind),
+            redis / 1000.0,
+            redis / br * 100.0,
+            memc / 1000.0,
+            memc / bm * 100.0
+        );
+        rows.push((kind, redis, memc));
+    }
+    println!(
+        "paper: Redis 175.3/155.7/155.1/163.8 kreq/s; Memcached 167.5/164.0/155.1/163.9 kreq/s"
+    );
+    let get = |k: EngineKind| rows.iter().find(|(kk, _, _)| *kk == k).expect("ran");
+    let (_, _, m_vus) = get(EngineKind::VUsion);
+    let (_, _, m_thp) = get(EngineKind::VUsionThp);
+    assert!(
+        m_thp >= m_vus,
+        "THP enhancements must not hurt Memcached throughput"
+    );
+    let (_, r_none, _) = get(EngineKind::NoFusion);
+    let (_, r_vus, _) = get(EngineKind::VUsion);
+    assert!(
+        *r_vus > r_none * 0.6,
+        "VUsion Redis throughput fell out of band"
+    );
+}

@@ -1,0 +1,52 @@
+//! Shared helpers for the per-table / per-figure bench harnesses.
+//!
+//! Every table and figure of the paper's §9 evaluation has a bench target
+//! in `benches/` (`harness = false`): running `cargo bench -p vusion-bench`
+//! regenerates the paper's rows and series on the simulated machine.
+//! `EXPERIMENTS.md` records the paper-vs-measured comparison.
+
+use vusion_core::EngineKind;
+use vusion_kernel::{FusionPolicy, System};
+use vusion_workloads::images::ImageSpec;
+use vusion_workloads::VmHandle;
+
+/// Prints a figure/table header.
+pub fn header(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+/// Prints one row of `label: value` pairs.
+pub fn row(label: &str, cells: &[(&str, String)]) {
+    let cells: Vec<String> = cells.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!("{label:<14} {}", cells.join("  "));
+}
+
+/// Boots `n` VMs of the same family (distinct unique seeds) and returns
+/// their handles. The standard multi-VM backdrop of the evaluation
+/// ("four VMs ... one runs the benchmark while others provide load").
+pub fn boot_fleet<P: FusionPolicy>(sys: &mut System<P>, n: usize, family: u64) -> Vec<VmHandle> {
+    (0..n)
+        .map(|i| ImageSpec::small(family, 100 + i as u64).boot(sys, &format!("vm{i}")))
+        .collect()
+}
+
+/// Relative overhead in percent: `(t - base) / base * 100`.
+pub fn overhead_pct(base_ns: u64, t_ns: u64) -> f64 {
+    (t_ns as f64 - base_ns as f64) / base_ns as f64 * 100.0
+}
+
+/// Formats an engine label padded for tables.
+pub fn engine_cell(kind: EngineKind) -> String {
+    format!("{:<11}", kind.label())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_math() {
+        assert_eq!(overhead_pct(100, 102), 2.0);
+        assert_eq!(overhead_pct(200, 190), -5.0);
+    }
+}

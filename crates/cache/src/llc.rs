@@ -1,0 +1,359 @@
+//! Physically indexed set-associative LLC with true-LRU replacement.
+
+use vusion_mem::{FrameId, PhysAddr, PAGE_SIZE};
+
+/// Geometry of the simulated LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcConfig {
+    /// Number of cache sets.
+    pub sets: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_size: u64,
+}
+
+impl LlcConfig {
+    /// The paper's testbed: Intel Xeon E3-1240 v5, 8 MiB LLC, 8192 sets of
+    /// 16 ways of 64-byte lines, 128 page colors.
+    pub fn xeon_e3_1240_v5() -> Self {
+        Self {
+            sets: 8192,
+            ways: 16,
+            line_size: 64,
+        }
+    }
+
+    /// A small geometry for fast unit tests (16 colors).
+    pub fn tiny() -> Self {
+        Self {
+            sets: 1024,
+            ways: 4,
+            line_size: 64,
+        }
+    }
+
+    /// Number of cache sets a 4 KiB page covers.
+    pub fn sets_per_page(&self) -> usize {
+        (PAGE_SIZE / self.line_size) as usize
+    }
+
+    /// Number of page colors: distinct mappings of pages onto set groups.
+    pub fn colors(&self) -> usize {
+        self.sets / self.sets_per_page()
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_size
+    }
+}
+
+/// Whether an access hit or missed the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Line was present.
+    Hit,
+    /// Line was absent and has been filled (possibly evicting LRU).
+    Miss,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of hits.
+    pub hits: u64,
+    /// Number of misses.
+    pub misses: u64,
+    /// Number of evictions caused by fills.
+    pub evictions: u64,
+    /// Number of explicit flushes that actually removed a line.
+    pub flushes: u64,
+}
+
+/// One cache set: tags ordered most-recently-used first.
+#[derive(Debug, Clone, Default)]
+struct Set {
+    /// Global line indices (physical address / line size), MRU first.
+    lines: Vec<u64>,
+}
+
+/// The simulated last-level cache.
+pub struct Llc {
+    cfg: LlcConfig,
+    sets: Vec<Set>,
+    stats: CacheStats,
+}
+
+impl Llc {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets/ways, or pages
+    /// smaller than one line group).
+    pub fn new(cfg: LlcConfig) -> Self {
+        assert!(
+            cfg.sets > 0 && cfg.ways > 0 && cfg.line_size > 0,
+            "degenerate cache geometry"
+        );
+        assert!(
+            cfg.sets.is_multiple_of(cfg.sets_per_page()),
+            "sets must be a multiple of sets-per-page"
+        );
+        Self {
+            cfg,
+            sets: vec![Set::default(); cfg.sets],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> LlcConfig {
+        self.cfg
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The set index a physical address maps to.
+    pub fn set_index(&self, addr: PhysAddr) -> usize {
+        ((addr.0 / self.cfg.line_size) % self.cfg.sets as u64) as usize
+    }
+
+    /// The color of a physical frame: which group of sets its lines occupy.
+    ///
+    /// If the first line of two pages shares a set, all 64 lines do (§5.1),
+    /// so the color is fully determined by the frame number.
+    pub fn color_of(&self, frame: FrameId) -> usize {
+        (frame.0 % self.cfg.colors() as u64) as usize
+    }
+
+    /// Accesses `addr`, updating LRU state; returns hit or miss.
+    pub fn access(&mut self, addr: PhysAddr) -> CacheOutcome {
+        let line = addr.0 / self.cfg.line_size;
+        let set_idx = self.set_index(addr);
+        let ways = self.cfg.ways;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.lines.iter().position(|&l| l == line) {
+            let l = set.lines.remove(pos);
+            set.lines.insert(0, l);
+            self.stats.hits += 1;
+            CacheOutcome::Hit
+        } else {
+            set.lines.insert(0, line);
+            if set.lines.len() > ways {
+                set.lines.pop();
+                self.stats.evictions += 1;
+            }
+            self.stats.misses += 1;
+            CacheOutcome::Miss
+        }
+    }
+
+    /// Checks presence without touching LRU state (attack helper mirroring a
+    /// timing-only probe; real probes also access, so prefer [`Self::access`]
+    /// in end-to-end attacks).
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        let line = addr.0 / self.cfg.line_size;
+        let set_idx = self.set_index(addr);
+        self.sets[set_idx].lines.contains(&line)
+    }
+
+    /// Flushes one line (the `clflush` instruction).
+    pub fn flush(&mut self, addr: PhysAddr) {
+        let line = addr.0 / self.cfg.line_size;
+        let set_idx = self.set_index(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.lines.iter().position(|&l| l == line) {
+            set.lines.remove(pos);
+            self.stats.flushes += 1;
+        }
+    }
+
+    /// Flushes every line of a frame.
+    pub fn flush_frame(&mut self, frame: FrameId) {
+        for i in 0..(PAGE_SIZE / self.cfg.line_size) {
+            self.flush(frame.base() + i * self.cfg.line_size);
+        }
+    }
+
+    /// Invalidates the entire cache (used between experiment repetitions).
+    pub fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.lines.clear();
+        }
+    }
+
+    /// Returns `ways` physical addresses, one per distinct frame of the
+    /// given color, that all map to the same cache set as `target_set`:
+    /// an **eviction set** (§5.1). Frames are chosen from `candidates`.
+    ///
+    /// Returns `None` if `candidates` does not contain enough frames of the
+    /// right color.
+    pub fn eviction_set(&self, target_set: usize, candidates: &[FrameId]) -> Option<Vec<PhysAddr>> {
+        let line_in_page = (target_set % self.cfg.sets_per_page()) as u64 * self.cfg.line_size;
+        let color = target_set / self.cfg.sets_per_page();
+        let mut out = Vec::with_capacity(self.cfg.ways);
+        for &f in candidates {
+            if self.color_of(f) == color {
+                let addr = f.base() + line_in_page;
+                debug_assert_eq!(self.set_index(addr), target_set);
+                out.push(addr);
+                if out.len() == self.cfg.ways {
+                    return Some(out);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Llc {
+        Llc::new(LlcConfig::tiny())
+    }
+
+    #[test]
+    fn paper_geometry_has_128_colors() {
+        let cfg = LlcConfig::xeon_e3_1240_v5();
+        assert_eq!(cfg.colors(), 128);
+        assert_eq!(cfg.sets_per_page(), 64);
+        assert_eq!(cfg.capacity(), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = tiny();
+        assert_eq!(c.access(PhysAddr(0)), CacheOutcome::Miss);
+        assert_eq!(c.access(PhysAddr(0)), CacheOutcome::Hit);
+        assert_eq!(c.access(PhysAddr(32)), CacheOutcome::Hit, "same line");
+        assert_eq!(c.access(PhysAddr(64)), CacheOutcome::Miss, "next line");
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        let ways = c.config().ways as u64;
+        let stride = c.config().sets as u64 * c.config().line_size;
+        // Fill one set completely, then one more: the first line must go.
+        for i in 0..=ways {
+            assert_eq!(c.access(PhysAddr(i * stride)), CacheOutcome::Miss);
+        }
+        assert_eq!(
+            c.access(PhysAddr(0)),
+            CacheOutcome::Miss,
+            "LRU line evicted"
+        );
+        // Re-inserting line 0 evicted line 1 (now the LRU); line 2 survives.
+        assert_eq!(
+            c.access(PhysAddr(2 * stride)),
+            CacheOutcome::Hit,
+            "younger line survives"
+        );
+    }
+
+    #[test]
+    fn flush_removes_line() {
+        let mut c = tiny();
+        c.access(PhysAddr(128));
+        assert!(c.contains(PhysAddr(128)));
+        c.flush(PhysAddr(128));
+        assert!(!c.contains(PhysAddr(128)));
+        assert_eq!(c.access(PhysAddr(128)), CacheOutcome::Miss);
+        assert_eq!(c.stats().flushes, 1);
+    }
+
+    #[test]
+    fn flush_frame_removes_all_lines() {
+        let mut c = tiny();
+        let f = FrameId(3);
+        for i in 0..64u64 {
+            c.access(f.base() + i * 64);
+        }
+        c.flush_frame(f);
+        for i in 0..64u64 {
+            assert!(!c.contains(f.base() + i * 64));
+        }
+    }
+
+    #[test]
+    fn colors_repeat_with_period() {
+        let c = tiny();
+        let colors = c.config().colors();
+        assert_eq!(c.color_of(FrameId(0)), c.color_of(FrameId(colors as u64)));
+        assert_ne!(c.color_of(FrameId(0)), c.color_of(FrameId(1)));
+    }
+
+    #[test]
+    fn pages_cover_consecutive_sets() {
+        // The §5.1 observation: if the first lines of two pages share a set,
+        // all 64 lines do.
+        let c = tiny();
+        let (a, b) = (FrameId(0), FrameId(c.config().colors() as u64));
+        assert_eq!(c.set_index(a.base()), c.set_index(b.base()));
+        for i in 0..64u64 {
+            assert_eq!(
+                c.set_index(a.base() + i * 64),
+                c.set_index(b.base() + i * 64)
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_set_covers_target_set() {
+        let mut c = tiny();
+        let colors = c.config().colors() as u64;
+        let ways = c.config().ways;
+        // Candidate frames of every color, several rounds worth — starting
+        // past the victim frame so the eviction set never aliases it.
+        let candidates: Vec<FrameId> = (colors..colors * (ways as u64 + 2)).map(FrameId).collect();
+        let target_set = 5 * c.config().sets_per_page() + 17; // Color 5, line 17.
+        let ev = c
+            .eviction_set(target_set, &candidates)
+            .expect("enough candidates");
+        assert_eq!(ev.len(), ways);
+        for &a in &ev {
+            assert_eq!(c.set_index(a), target_set);
+        }
+        // Priming with the eviction set evicts a victim line in that set.
+        let victim = FrameId(5).base() + 17 * 64;
+        assert_eq!(c.set_index(victim), target_set);
+        c.access(victim);
+        for &a in &ev {
+            c.access(a);
+        }
+        assert!(!c.contains(victim), "PRIME must evict the victim line");
+    }
+
+    #[test]
+    fn eviction_set_fails_without_candidates() {
+        let c = tiny();
+        let candidates: Vec<FrameId> = vec![FrameId(1)]; // Wrong color for set 0.
+        assert!(c.eviction_set(0, &candidates).is_none());
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = tiny();
+        c.access(PhysAddr(0));
+        c.clear();
+        assert!(!c.contains(PhysAddr(0)));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = tiny();
+        c.access(PhysAddr(0));
+        c.access(PhysAddr(0));
+        c.access(PhysAddr(64));
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+    }
+}

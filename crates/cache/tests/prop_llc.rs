@@ -1,0 +1,83 @@
+//! Property tests for the LLC model.
+
+use proptest::prelude::*;
+use vusion_cache::{CacheOutcome, Llc, LlcConfig};
+use vusion_mem::{FrameId, PhysAddr};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Inclusion: immediately re-accessing any address hits.
+    #[test]
+    fn reaccess_always_hits(addrs in proptest::collection::vec(0u64..(1 << 24), 1..200)) {
+        let mut c = Llc::new(LlcConfig::tiny());
+        for a in addrs {
+            c.access(PhysAddr(a));
+            prop_assert_eq!(c.access(PhysAddr(a)), CacheOutcome::Hit);
+        }
+    }
+
+    /// Capacity: a set never holds more than `ways` distinct lines — the
+    /// (ways+1)-th distinct line of one set always evicts something.
+    #[test]
+    fn set_capacity_is_respected(extra in 1u64..8) {
+        let cfg = LlcConfig::tiny();
+        let mut c = Llc::new(cfg);
+        let stride = cfg.sets as u64 * cfg.line_size;
+        let n = cfg.ways as u64 + extra;
+        for i in 0..n {
+            c.access(PhysAddr(i * stride));
+        }
+        // Only the last `ways` lines can still be present.
+        let mut present = 0;
+        for i in 0..n {
+            if c.contains(PhysAddr(i * stride)) {
+                present += 1;
+            }
+        }
+        prop_assert_eq!(present, cfg.ways);
+        // And the oldest is gone.
+        prop_assert!(!c.contains(PhysAddr(0)));
+    }
+
+    /// Flush removes exactly the requested line, nothing else in the set.
+    #[test]
+    fn flush_is_precise(keep in 1u64..4) {
+        let cfg = LlcConfig::tiny();
+        let mut c = Llc::new(cfg);
+        let stride = cfg.sets as u64 * cfg.line_size;
+        for i in 0..=keep {
+            c.access(PhysAddr(i * stride));
+        }
+        c.flush(PhysAddr(0));
+        prop_assert!(!c.contains(PhysAddr(0)));
+        for i in 1..=keep {
+            prop_assert!(c.contains(PhysAddr(i * stride)), "line {} unexpectedly flushed", i);
+        }
+    }
+
+    /// Page color is a pure function of the frame number with the
+    /// documented period, and all lines of a page share the color's sets.
+    #[test]
+    fn color_structure(frame in 0u64..100_000) {
+        let c = Llc::new(LlcConfig::xeon_e3_1240_v5());
+        let colors = c.config().colors() as u64;
+        prop_assert_eq!(c.color_of(FrameId(frame)), c.color_of(FrameId(frame + colors)));
+        let base_set = c.set_index(FrameId(frame).base());
+        prop_assert_eq!(base_set % c.config().sets_per_page(), 0);
+        for line in 0..64u64 {
+            prop_assert_eq!(c.set_index(FrameId(frame).base() + line * 64), base_set + line as usize);
+        }
+    }
+
+    /// Stats never lie: hits + misses equals the number of accesses.
+    #[test]
+    fn stats_balance(addrs in proptest::collection::vec(0u64..(1 << 20), 1..300)) {
+        let mut c = Llc::new(LlcConfig::tiny());
+        for &a in &addrs {
+            c.access(PhysAddr(a));
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64);
+    }
+}

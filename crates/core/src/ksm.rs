@@ -1,0 +1,639 @@
+//! Linux Kernel Same-page Merging, as described in §2.1 of the paper.
+//!
+//! The scanner visits `N` pages of the registered (mergeable) VMAs every
+//! `T` ms, round-robin. Each page is first checked against the **stable
+//! tree** of already-fused, write-protected pages; then against the
+//! **unstable tree** of unprotected candidates (which is dropped every full
+//! scan round, since its keys can change under it); unmatched pages enter
+//! the unstable tree. Merging points the scanned PTE at the existing copy
+//! *in place* — one sharing party's physical frame backs the fused page,
+//! which is the Flip Feng Shui weakness (§4.2) — and releases the duplicate
+//! to the buddy allocator, whose LIFO reuse is the other half of that
+//! attack. Unmerging is plain copy-on-write, observable through the timing
+//! side channel of §4.1.
+//!
+//! Two experiment variants from the paper are supported:
+//! `unmerge_on_read` (the copy-on-access modification of Figure 4) and
+//! `zero_only` (zero-page-only fusion, also Figure 4).
+
+use std::collections::HashMap;
+
+use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport};
+use vusion_mem::{FrameId, VirtAddr, PAGE_SIZE};
+use vusion_mmu::{GuestTag, Pte, PteFlags, VmaBacking};
+
+use crate::rbtree::{ContentRbTree, NodeId};
+use crate::TagCounts;
+
+/// KSM tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct KsmConfig {
+    /// Pages scanned per wakeup (`N`, default 100).
+    pub pages_per_scan: usize,
+    /// Wakeup period in ns (`T`, default 20 ms ⇒ 5000 pages/s).
+    pub scan_period_ns: u64,
+    /// Figure 4 variant: unmerge on *any* fault, not just writes
+    /// (copy-on-access). Merged PTEs get the reserved-bit trap.
+    pub unmerge_on_read: bool,
+    /// Figure 4 variant: merge only zero pages.
+    pub zero_only: bool,
+}
+
+impl Default for KsmConfig {
+    fn default() -> Self {
+        Self {
+            pages_per_scan: 100,
+            scan_period_ns: 20_000_000,
+            unmerge_on_read: false,
+            zero_only: false,
+        }
+    }
+}
+
+/// KSM counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KsmStats {
+    /// Pages merged onto a stable page.
+    pub merged: u64,
+    /// Copy-on-write (or copy-on-access) unmerges.
+    pub unmerged: u64,
+    /// Stable-tree promotions from the unstable tree.
+    pub promotions: u64,
+    /// Full scan rounds completed.
+    pub full_rounds: u64,
+    /// Transparent huge pages broken for scanning.
+    pub huge_broken: u64,
+    /// Pages skipped because their checksum was still unstable.
+    pub checksum_skips: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct UnstableEntry {
+    pid: Pid,
+    va: VirtAddr,
+    frame: FrameId,
+}
+
+/// The KSM engine.
+pub struct Ksm {
+    cfg: KsmConfig,
+    /// Stable tree: fused, write-protected pages. Value = mapping count.
+    stable: ContentRbTree<u32>,
+    /// Reverse map: stable frame → tree node.
+    stable_index: HashMap<FrameId, NodeId>,
+    /// Unstable tree: unprotected candidates, rebuilt each round.
+    unstable: ContentRbTree<UnstableEntry>,
+    /// Per-page content checksum from the previous encounter.
+    checksums: HashMap<(usize, u64), u64>,
+    /// Global page cursor over the concatenated mergeable VMAs.
+    cursor: u64,
+    /// Mappings currently pointing at stable frames. Frames saved =
+    /// `merged_live - stable pages` (the stable frame is one party's own).
+    merged_live: u64,
+    tags: TagCounts,
+    stats: KsmStats,
+}
+
+impl Ksm {
+    /// Creates a KSM engine.
+    pub fn new(cfg: KsmConfig) -> Self {
+        Self {
+            cfg,
+            stable: ContentRbTree::new(),
+            stable_index: HashMap::new(),
+            unstable: ContentRbTree::new(),
+            checksums: HashMap::new(),
+            cursor: 0,
+            merged_live: 0,
+            tags: TagCounts::default(),
+            stats: KsmStats::default(),
+        }
+    }
+
+    /// Default-configured engine.
+    pub fn default_engine() -> Self {
+        Self::new(KsmConfig::default())
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> KsmStats {
+        self.stats
+    }
+
+    /// Table 3 accounting.
+    pub fn tag_counts(&self) -> TagCounts {
+        self.tags
+    }
+
+    /// Number of stable-tree pages.
+    pub fn stable_pages(&self) -> usize {
+        self.stable.len()
+    }
+
+    /// Snapshot of the mergeable page list: `(pid, page base)` pairs.
+    fn mergeable_pages(m: &Machine) -> Vec<(Pid, VirtAddr)> {
+        let mut out = Vec::new();
+        for pidx in 0..m.process_count() {
+            let pid = Pid(pidx);
+            for vma in m.process(pid).space.mergeable_vmas() {
+                for va in vma.page_addrs() {
+                    out.push((pid, va));
+                }
+            }
+        }
+        out
+    }
+
+    /// Guest tag and (for file pages) the page-cache key of a mapping.
+    fn vma_info(m: &Machine, pid: Pid, va: VirtAddr) -> (GuestTag, Option<(u64, u64)>) {
+        match m.process(pid).space.find_vma(va) {
+            Some(vma) => {
+                let key = match vma.backing {
+                    VmaBacking::File {
+                        file_id,
+                        offset_pages,
+                    } => Some((file_id, offset_pages + (va.0 - vma.start.0) / PAGE_SIZE)),
+                    VmaBacking::Anon => None,
+                };
+                (vma.tag, key)
+            }
+            None => (GuestTag::Other, None),
+        }
+    }
+
+    /// Releases a page-cache reference if `frame` is the cached copy of the
+    /// file page mapped at `(pid, va)` — the guest page being deduplicated
+    /// out of its cache.
+    fn drop_cache_ref(m: &mut Machine, pid: Pid, va: VirtAddr, frame: FrameId) {
+        let (_, key) = Self::vma_info(m, pid, va);
+        if let Some((file_id, page)) = key {
+            let p = m.process_mut(pid);
+            if p.page_cache.get(&(file_id, page)) == Some(&frame) {
+                p.page_cache_evict(file_id, page);
+                m.put_frame(frame);
+            }
+        }
+    }
+
+    /// The PTE flags of a merged (stable) mapping.
+    fn merged_flags(&self) -> u64 {
+        let mut f = PteFlags::PRESENT | PteFlags::USER;
+        if self.cfg.unmerge_on_read {
+            // Copy-on-access variant: trap reads as well.
+            f |= PteFlags::RESERVED | PteFlags::NO_CACHE;
+        }
+        f
+    }
+
+    /// Points `(pid, va)` at stable node `node`, releasing its old frame.
+    fn merge_into_stable(
+        &mut self,
+        m: &mut Machine,
+        pid: Pid,
+        va: VirtAddr,
+        old: FrameId,
+        node: NodeId,
+    ) {
+        let stable_frame = self.stable.frame(node);
+        debug_assert_ne!(stable_frame, old);
+        m.mem_mut().info_mut(stable_frame).get();
+        *self.stable.value_mut(node) += 1;
+        m.set_leaf(pid, va, Pte::new(stable_frame, self.merged_flags()));
+        // Release the duplicate: cache reference first, then the mapping's.
+        let (tag, _) = Self::vma_info(m, pid, va);
+        Self::drop_cache_ref(m, pid, va, old);
+        m.put_frame(old);
+        self.tags.record(tag);
+        self.merged_live += 1;
+        self.stats.merged += 1;
+    }
+
+    /// Resolves the 4 KiB frame backing `leaf` at `va` (huge-aware).
+    fn leaf_4k_frame(leaf: &vusion_mmu::LeafInfo, va: VirtAddr) -> FrameId {
+        if leaf.huge {
+            FrameId(leaf.pte.frame().0 + (va.0 % vusion_mem::HUGE_PAGE_SIZE) / PAGE_SIZE)
+        } else {
+            leaf.pte.frame()
+        }
+    }
+
+    /// Breaks the THP covering `va` if the mapping is huge. KSM splits a
+    /// huge page only *when merging* a 4 KiB page inside it (§5.1) — the
+    /// conditionality the translation attack observes.
+    fn break_if_huge(&mut self, m: &mut Machine, pid: Pid, va: VirtAddr, report: &mut ScanReport) {
+        if m.leaf(pid, va).map(|l| l.huge).unwrap_or(false) {
+            m.break_thp(pid, va);
+            self.stats.huge_broken += 1;
+            report.huge_pages_broken += 1;
+        }
+    }
+
+    /// Scans one page (the §2.1 per-page algorithm).
+    fn scan_one(&mut self, m: &mut Machine, pid: Pid, va: VirtAddr, report: &mut ScanReport) {
+        report.pages_scanned += 1;
+        let Some(leaf) = m.leaf(pid, va) else {
+            return; // Never faulted in.
+        };
+        if !leaf.pte.is_present() {
+            return;
+        }
+        // For THPs, consider the 4 KiB sub-frame's content but defer the
+        // split until a merge actually happens.
+        let frame = Self::leaf_4k_frame(&leaf, va);
+        if self.stable_index.contains_key(&frame) {
+            return; // Already merged.
+        }
+        // Only merge frames we can account for: sole mapping, possibly plus
+        // the page-cache reference.
+        let refs = m.mem().info(frame).refcount;
+        let (_, cache_key) = Self::vma_info(m, pid, va);
+        let max_refs = if cache_key.is_some() { 2 } else { 1 };
+        if refs > max_refs {
+            return;
+        }
+        if self.cfg.zero_only && !m.mem().is_zero(frame) {
+            return;
+        }
+        // 1. Stable tree first: merging against an already write-protected
+        // page needs no volatility check (the content comparison is
+        // authoritative) — matching real KSM, which only gates the
+        // *unstable* tree with the checksum test.
+        let mem = m.mem();
+        if let Some(node) = self.stable.find(frame, |a, b| mem.compare_pages(a, b)) {
+            self.break_if_huge(m, pid, va, report);
+            self.merge_into_stable(m, pid, va, frame, node);
+            return;
+        }
+        // Volatility check: skip pages whose checksum changed since the
+        // last encounter (KSM's cksum test) before touching the unstable
+        // tree.
+        let h = m.mem().hash_page(frame);
+        let key = (pid.0, va.page());
+        if self.checksums.insert(key, h) != Some(h) {
+            self.stats.checksum_skips += 1;
+            return;
+        }
+        // 2. Unstable tree.
+        let mem = m.mem();
+        if let Some(node) = self.unstable.find(frame, |a, b| mem.compare_pages(a, b)) {
+            let entry = *self.unstable.value(node);
+            // Validate: the candidate must still be mapped to the same
+            // frame (its content equality was just checked by the search).
+            let valid = m
+                .leaf(entry.pid, entry.va)
+                .map(|l| l.pte.is_present() && Self::leaf_4k_frame(&l, entry.va) == entry.frame)
+                .unwrap_or(false)
+                && entry.frame != frame
+                && !self.stable_index.contains_key(&entry.frame);
+            self.unstable.remove(node);
+            if valid {
+                // A merge is about to happen: split any THPs involved.
+                self.break_if_huge(m, pid, va, report);
+                self.break_if_huge(m, entry.pid, entry.va, report);
+                // Promote the matched candidate: its frame becomes the
+                // stable page (merge *in place* — the FFS weakness).
+                m.set_leaf(
+                    entry.pid,
+                    entry.va,
+                    Pte::new(entry.frame, self.merged_flags()),
+                );
+                Self::drop_cache_ref(m, entry.pid, entry.va, entry.frame);
+                let mem = m.mem();
+                let (snode, inserted) = self
+                    .stable
+                    .insert(entry.frame, 1, |a, b| mem.compare_pages(a, b));
+                debug_assert!(inserted, "stable tree had no match a moment ago");
+                self.stable_index.insert(entry.frame, snode);
+                self.merged_live += 1; // The promoted party's own mapping.
+                self.stats.promotions += 1;
+                self.merge_into_stable(m, pid, va, frame, snode);
+            } else {
+                // Stale candidate: replace it with the scanned page.
+                let mem = m.mem();
+                self.unstable
+                    .insert(frame, UnstableEntry { pid, va, frame }, |a, b| {
+                        mem.compare_pages(a, b)
+                    });
+            }
+            return;
+        }
+        // 3. Neither tree: file as a candidate.
+        let mem = m.mem();
+        self.unstable
+            .insert(frame, UnstableEntry { pid, va, frame }, |a, b| {
+                mem.compare_pages(a, b)
+            });
+    }
+
+    /// Copy-on-write (or copy-on-access) unmerge.
+    fn unmerge(&mut self, m: &mut Machine, fault: &PageFault) -> bool {
+        let Some(leaf) = m.leaf(fault.pid, fault.va) else {
+            return false;
+        };
+        let stable_frame = leaf.pte.frame();
+        let Some(&node) = self.stable_index.get(&stable_frame) else {
+            return false;
+        };
+        let Some(vma) = m.process(fault.pid).space.find_vma(fault.va).copied() else {
+            return false;
+        };
+        // Copy into a fresh frame from the system allocator (Linux uses the
+        // buddy allocator here — its LIFO reuse is attacker-predictable).
+        let new = m.alloc_frame(vusion_mem::PageType::Anon);
+        m.mem_mut().copy_page(stable_frame, new);
+        let costs = m.costs();
+        m.charge(costs.copy_page + costs.pte_update + costs.buddy_interaction);
+        let mut flags = PteFlags::PRESENT | PteFlags::USER | PteFlags::ACCESSED;
+        if vma.prot.write {
+            flags |= PteFlags::WRITABLE;
+        }
+        if fault.kind == vusion_kernel::AccessKind::Write {
+            flags |= PteFlags::DIRTY;
+        }
+        m.set_leaf(fault.pid, fault.va.page_base(), Pte::new(new, flags));
+        *self.stable.value_mut(node) -= 1;
+        if m.put_frame(stable_frame) {
+            self.stable.remove(node);
+            self.stable_index.remove(&stable_frame);
+        }
+        self.merged_live -= 1;
+        self.stats.unmerged += 1;
+        true
+    }
+}
+
+impl FusionPolicy for Ksm {
+    fn name(&self) -> &'static str {
+        "ksm"
+    }
+
+    fn scan(&mut self, m: &mut Machine) -> ScanReport {
+        let mut report = ScanReport::default();
+        let pages = Self::mergeable_pages(m);
+        if pages.is_empty() {
+            return report;
+        }
+        for _ in 0..self.cfg.pages_per_scan {
+            let idx = (self.cursor % pages.len() as u64) as usize;
+            let (pid, va) = pages[idx];
+            self.scan_one(m, pid, va, &mut report);
+            self.cursor += 1;
+            if self.cursor.is_multiple_of(pages.len() as u64) {
+                // Full round: the unstable tree's keys may have changed
+                // under it; drop and rebuild (§2.1).
+                self.unstable.clear();
+                self.stats.full_rounds += 1;
+            }
+        }
+        report
+    }
+
+    fn handle_fault(&mut self, m: &mut Machine, fault: &PageFault) -> bool {
+        match fault.reason {
+            vusion_kernel::FaultReason::WriteProtected => self.unmerge(m, fault),
+            vusion_kernel::FaultReason::Trapped if self.cfg.unmerge_on_read => {
+                self.unmerge(m, fault)
+            }
+            _ => false,
+        }
+    }
+
+    fn prepare_collapse(&mut self, m: &mut Machine, pid: Pid, huge_base: VirtAddr) -> bool {
+        // Linux khugepaged skips ranges containing KSM pages.
+        for i in 0..vusion_mem::HUGE_PAGE_FRAMES {
+            let va = VirtAddr(huge_base.0 + i * PAGE_SIZE);
+            if let Some(leaf) = m.leaf(pid, va) {
+                if self.stable_index.contains_key(&leaf.pte.frame()) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn pages_saved(&self) -> u64 {
+        self.merged_live.saturating_sub(self.stable.len() as u64)
+    }
+
+    fn scan_period_ns(&self) -> u64 {
+        self.cfg.scan_period_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vusion_kernel::{MachineConfig, System};
+    use vusion_mmu::{Protection, Vma};
+
+    const BASE: u64 = 0x10000;
+
+    fn system(cfg: KsmConfig) -> (System<Ksm>, Pid, Pid) {
+        let mut m = Machine::new(MachineConfig::test_small());
+        let a = m.spawn("attacker");
+        let v = m.spawn("victim");
+        for pid in [a, v] {
+            m.mmap(pid, Vma::anon(VirtAddr(BASE), 64, Protection::rw()));
+            m.madvise_mergeable(pid, VirtAddr(BASE), 64);
+        }
+        (System::new(m, Ksm::new(cfg)), a, v)
+    }
+
+    fn page(fill: u8) -> [u8; PAGE_SIZE as usize] {
+        let mut p = [0u8; PAGE_SIZE as usize];
+        for (i, b) in p.iter_mut().enumerate() {
+            *b = fill ^ (i % 13) as u8;
+        }
+        p
+    }
+
+    /// Scans enough rounds for checksum stabilization + both trees.
+    fn settle(s: &mut System<Ksm>) {
+        s.force_scans(12);
+    }
+
+    #[test]
+    fn identical_pages_across_processes_merge() {
+        let (mut s, a, v) = system(KsmConfig::default());
+        s.write_page(a, VirtAddr(BASE), &page(1));
+        s.write_page(v, VirtAddr(BASE), &page(1));
+        let fa = s.machine.leaf(a, VirtAddr(BASE)).expect("leaf").pte.frame();
+        let fv = s.machine.leaf(v, VirtAddr(BASE)).expect("leaf").pte.frame();
+        assert_ne!(fa, fv);
+        settle(&mut s);
+        let fa2 = s.machine.leaf(a, VirtAddr(BASE)).expect("leaf").pte.frame();
+        let fv2 = s.machine.leaf(v, VirtAddr(BASE)).expect("leaf").pte.frame();
+        assert_eq!(fa2, fv2, "pages must share a frame after fusion");
+        assert_eq!(s.policy.pages_saved(), 1);
+        assert_eq!(s.policy.stable_pages(), 1);
+        // Reads still work and return the shared content.
+        assert_eq!(s.read(a, VirtAddr(BASE + 1)), page(1)[1]);
+    }
+
+    #[test]
+    fn ksm_merges_in_place_one_sharers_frame_survives() {
+        // The Flip Feng Shui precondition: the stable page is backed by one
+        // of the sharing parties' own frames.
+        let (mut s, a, v) = system(KsmConfig::default());
+        s.write_page(a, VirtAddr(BASE), &page(2));
+        s.write_page(v, VirtAddr(BASE), &page(2));
+        let fa = s.machine.leaf(a, VirtAddr(BASE)).expect("leaf").pte.frame();
+        let fv = s.machine.leaf(v, VirtAddr(BASE)).expect("leaf").pte.frame();
+        settle(&mut s);
+        let shared = s.machine.leaf(a, VirtAddr(BASE)).expect("leaf").pte.frame();
+        assert!(
+            shared == fa || shared == fv,
+            "KSM must reuse a sharer's frame"
+        );
+    }
+
+    #[test]
+    fn write_triggers_cow_unmerge() {
+        let (mut s, a, v) = system(KsmConfig::default());
+        s.write_page(a, VirtAddr(BASE), &page(3));
+        s.write_page(v, VirtAddr(BASE), &page(3));
+        settle(&mut s);
+        assert_eq!(s.policy.pages_saved(), 1);
+        // Victim writes: must get a private copy; attacker's view unchanged.
+        s.write(v, VirtAddr(BASE), 0xFF);
+        let fa = s.machine.leaf(a, VirtAddr(BASE)).expect("leaf").pte.frame();
+        let fv = s.machine.leaf(v, VirtAddr(BASE)).expect("leaf").pte.frame();
+        assert_ne!(fa, fv, "CoW must unshare");
+        assert_eq!(s.read(v, VirtAddr(BASE)), 0xFF);
+        assert_eq!(
+            s.read(a, VirtAddr(BASE)),
+            page(3)[0],
+            "attacker's data intact"
+        );
+        assert_eq!(s.policy.stats().unmerged, 1);
+        assert_eq!(s.policy.pages_saved(), 0);
+    }
+
+    #[test]
+    fn reads_do_not_unmerge_by_default() {
+        let (mut s, a, v) = system(KsmConfig::default());
+        s.write_page(a, VirtAddr(BASE), &page(4));
+        s.write_page(v, VirtAddr(BASE), &page(4));
+        settle(&mut s);
+        let before = s.policy.pages_saved();
+        s.read(a, VirtAddr(BASE));
+        s.read(v, VirtAddr(BASE + 100));
+        assert_eq!(s.policy.pages_saved(), before, "reads keep pages fused");
+    }
+
+    #[test]
+    fn coa_variant_unmerges_on_read() {
+        let (mut s, a, v) = system(KsmConfig {
+            unmerge_on_read: true,
+            ..Default::default()
+        });
+        s.write_page(a, VirtAddr(BASE), &page(5));
+        s.write_page(v, VirtAddr(BASE), &page(5));
+        settle(&mut s);
+        assert_eq!(s.policy.pages_saved(), 1);
+        assert_eq!(
+            s.read(a, VirtAddr(BASE)),
+            page(5)[0],
+            "content preserved through CoA"
+        );
+        assert_eq!(s.policy.stats().unmerged, 1, "a read unmerges in CoA mode");
+    }
+
+    #[test]
+    fn zero_only_variant_skips_nonzero() {
+        let (mut s, a, v) = system(KsmConfig {
+            zero_only: true,
+            ..Default::default()
+        });
+        s.write_page(a, VirtAddr(BASE), &page(6));
+        s.write_page(v, VirtAddr(BASE), &page(6));
+        // And a zero page each.
+        s.write_page(a, VirtAddr(BASE + PAGE_SIZE), &[0; PAGE_SIZE as usize]);
+        s.write_page(v, VirtAddr(BASE + PAGE_SIZE), &[0; PAGE_SIZE as usize]);
+        settle(&mut s);
+        assert_eq!(s.policy.pages_saved(), 1, "only the zero pages merge");
+    }
+
+    #[test]
+    fn volatile_pages_are_not_merged() {
+        let (mut s, a, v) = system(KsmConfig::default());
+        s.write_page(v, VirtAddr(BASE), &page(7));
+        // The attacker's page changes between every scan.
+        for round in 0..10u8 {
+            s.write_page(a, VirtAddr(BASE), &page(round.wrapping_mul(31)));
+            s.force_scans(1);
+        }
+        assert_eq!(
+            s.policy.stats().merged,
+            0,
+            "volatile content must not merge"
+        );
+        assert!(s.policy.stats().checksum_skips > 0);
+    }
+
+    #[test]
+    fn three_way_merge_counts_two_saved() {
+        let mut m = Machine::new(MachineConfig::test_small());
+        let pids: Vec<Pid> = (0..3).map(|i| m.spawn(&format!("p{i}"))).collect();
+        for &pid in &pids {
+            m.mmap(pid, Vma::anon(VirtAddr(BASE), 8, Protection::rw()));
+            m.madvise_mergeable(pid, VirtAddr(BASE), 8);
+        }
+        let mut s = System::new(m, Ksm::default_engine());
+        for &pid in &pids {
+            s.write_page(pid, VirtAddr(BASE), &page(8));
+        }
+        settle(&mut s);
+        assert_eq!(s.policy.pages_saved(), 2);
+        let frames: Vec<FrameId> = pids
+            .iter()
+            .map(|&p| s.machine.leaf(p, VirtAddr(BASE)).expect("leaf").pte.frame())
+            .collect();
+        assert!(
+            frames.windows(2).all(|w| w[0] == w[1]),
+            "all three share one frame"
+        );
+    }
+
+    #[test]
+    fn unregistered_memory_is_never_scanned() {
+        let mut m = Machine::new(MachineConfig::test_small());
+        let a = m.spawn("a");
+        let b = m.spawn("b");
+        for pid in [a, b] {
+            m.mmap(pid, Vma::anon(VirtAddr(BASE), 8, Protection::rw()));
+            // No madvise!
+        }
+        let mut s = System::new(m, Ksm::default_engine());
+        s.write_page(a, VirtAddr(BASE), &page(9));
+        s.write_page(b, VirtAddr(BASE), &page(9));
+        settle(&mut s);
+        assert_eq!(s.policy.pages_saved(), 0, "KSM is opt-in");
+    }
+
+    #[test]
+    fn memory_consumption_drops_after_fusion() {
+        let (mut s, a, v) = system(KsmConfig::default());
+        for i in 0..16u64 {
+            s.write_page(a, VirtAddr(BASE + i * PAGE_SIZE), &page(10));
+            s.write_page(v, VirtAddr(BASE + i * PAGE_SIZE), &page(10));
+        }
+        let before = s.machine.allocated_frames();
+        s.force_scans(30);
+        let after = s.machine.allocated_frames();
+        // 32 identical pages collapse to 1 frame: 31 frames come back.
+        assert_eq!(before - after, 31, "saved frames must be released");
+        assert_eq!(s.policy.pages_saved(), 31);
+    }
+
+    #[test]
+    fn merged_pages_keep_content_across_rounds() {
+        let (mut s, a, v) = system(KsmConfig::default());
+        s.write_page(a, VirtAddr(BASE), &page(11));
+        s.write_page(v, VirtAddr(BASE), &page(11));
+        settle(&mut s);
+        s.force_scans(20); // More rounds must not corrupt anything.
+        assert_eq!(s.read_page(a, VirtAddr(BASE)), page(11));
+        assert_eq!(s.read_page(v, VirtAddr(BASE)), page(11));
+    }
+}

@@ -1,0 +1,81 @@
+//! Page-fusion engines: the paper's contribution and both baselines.
+//!
+//! Three engines implement [`vusion_kernel::FusionPolicy`]:
+//!
+//! * [`Ksm`] — Linux Kernel Same-page Merging as described in §2.1: opt-in
+//!   via `madvise`, round-robin scan of N pages every T ms, a *stable*
+//!   red-black tree of write-protected fused pages and an *unstable* tree of
+//!   unprotected candidates, merge-in-place (one sharer's frame backs the
+//!   fused page — the Flip Feng Shui weakness), copy-on-write unmerge (the
+//!   timing-side-channel weakness).
+//! * [`Wpf`] — Windows Page Fusion as reverse-engineered in §2.2: no opt-in,
+//!   periodic full passes, hash-sorted candidate list, per-process merging
+//!   into AVL trees whose pages come from a *new* allocation by a linear
+//!   end-of-memory allocator (`MiAllocatePagesForMdl`) — which defeats plain
+//!   Flip Feng Shui but falls to the reuse-based variant of §5.2.
+//! * [`VUsion`] — the secure design of §6–§8: **Same Behavior** via
+//!   share-xor-fetch (reserved-bit + PCD traps on every page considered for
+//!   fusion) and Fake Merging (identical code paths, deferred frees, per-scan
+//!   re-randomized backing frames); **Randomized Allocation** via a random
+//!   frame pool; working-set estimation via idle-page tracking; secure THP
+//!   handling (break-before-fuse, idle-gated collapse).
+//!
+//! The two balanced search trees are implemented from scratch in
+//! [`rbtree`] and [`avl`]; both order nodes by the *content* of the
+//! physical page they reference.
+
+pub mod avl;
+pub mod engine;
+pub mod ksm;
+pub mod rbtree;
+pub mod vusion;
+pub mod wpf;
+
+pub use avl::ContentAvlTree;
+pub use engine::{default_pool_frames, EngineKind};
+pub use ksm::{Ksm, KsmConfig, KsmStats};
+pub use rbtree::{ContentRbTree, NodeId};
+pub use vusion::{VUsion, VUsionConfig, VUsionStats};
+pub use wpf::{Wpf, WpfConfig, WpfStats};
+
+/// Fusion accounting by guest page type (Table 3 of the paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TagCounts {
+    /// Guest page-cache pages merged.
+    pub page_cache: u64,
+    /// Guest-buddy (free) pages merged.
+    pub guest_buddy: u64,
+    /// Guest kernel pages merged.
+    pub guest_kernel: u64,
+    /// Everything else.
+    pub rest: u64,
+}
+
+impl TagCounts {
+    /// Records one merged page of the given guest tag.
+    pub fn record(&mut self, tag: vusion_mmu::GuestTag) {
+        match tag {
+            vusion_mmu::GuestTag::PageCache => self.page_cache += 1,
+            vusion_mmu::GuestTag::GuestBuddy => self.guest_buddy += 1,
+            vusion_mmu::GuestTag::GuestKernel => self.guest_kernel += 1,
+            vusion_mmu::GuestTag::Other => self.rest += 1,
+        }
+    }
+
+    /// Total pages recorded.
+    pub fn total(&self) -> u64 {
+        self.page_cache + self.guest_buddy + self.guest_kernel + self.rest
+    }
+
+    /// Percentage breakdown `(page cache, buddy, kernel, rest)` as in
+    /// Table 3.
+    pub fn percentages(&self) -> (f64, f64, f64, f64) {
+        let t = self.total().max(1) as f64;
+        (
+            self.page_cache as f64 * 100.0 / t,
+            self.guest_buddy as f64 * 100.0 / t,
+            self.guest_kernel as f64 * 100.0 / t,
+            self.rest as f64 * 100.0 / t,
+        )
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the content-indexed trees against a model (BTreeMap)
+//! and their balance invariants.
+
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use vusion_core::{ContentAvlTree, ContentRbTree};
+use vusion_mem::FrameId;
+
+fn by_id(a: FrameId, b: FrameId) -> Ordering {
+    a.0.cmp(&b.0)
+}
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(u64),
+    Remove(u64),
+    Find(u64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<TreeOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..200).prop_map(TreeOp::Insert),
+            (0u64..200).prop_map(TreeOp::Remove),
+            (0u64..200).prop_map(TreeOp::Find),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// The red-black tree behaves exactly like a sorted map and keeps its
+    /// invariants through arbitrary operation sequences.
+    #[test]
+    fn rbtree_matches_model(ops in ops()) {
+        let mut tree = ContentRbTree::new();
+        let mut ids = std::collections::HashMap::new();
+        let mut model = std::collections::BTreeSet::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(k) => {
+                    let (id, inserted) = tree.insert(FrameId(k), k, by_id);
+                    prop_assert_eq!(inserted, model.insert(k));
+                    ids.insert(k, id);
+                }
+                TreeOp::Remove(k) => {
+                    if model.remove(&k) {
+                        let id = ids.remove(&k).expect("tracked");
+                        prop_assert_eq!(tree.remove(id), k);
+                    }
+                }
+                TreeOp::Find(k) => {
+                    prop_assert_eq!(tree.find(FrameId(k), by_id).is_some(), model.contains(&k));
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        tree.assert_invariants();
+    }
+
+    /// The AVL tree behaves exactly like a sorted map and keeps its
+    /// invariants through arbitrary operation sequences.
+    #[test]
+    fn avl_matches_model(ops in ops()) {
+        let mut tree = ContentAvlTree::new();
+        let mut model = std::collections::BTreeSet::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(k) => {
+                    let (_, inserted) = tree.insert(FrameId(k), k, by_id);
+                    prop_assert_eq!(inserted, model.insert(k));
+                }
+                TreeOp::Remove(k) => {
+                    prop_assert_eq!(tree.remove(FrameId(k), by_id).is_some(), model.remove(&k));
+                }
+                TreeOp::Find(k) => {
+                    prop_assert_eq!(tree.find(FrameId(k), by_id).is_some(), model.contains(&k));
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        tree.assert_invariants();
+    }
+
+    /// Both trees agree with each other under identical content workloads
+    /// keyed by real page bytes.
+    #[test]
+    fn trees_agree_on_content(keys in proptest::collection::vec(0u64..64, 1..100)) {
+        use vusion_mem::{PhysAddr, PhysMemory};
+        let mut mem = PhysMemory::new(64);
+        for f in 0..64u64 {
+            // Deliberately create duplicate contents (key % 16).
+            mem.write_u64(PhysAddr(f * 4096), f % 16);
+        }
+        let mut rb = ContentRbTree::new();
+        let mut avl = ContentAvlTree::new();
+        for &k in &keys {
+            let cmp = |a: FrameId, b: FrameId| mem.compare_pages(a, b);
+            let (_, rb_new) = rb.insert(FrameId(k), (), cmp);
+            let cmp = |a: FrameId, b: FrameId| mem.compare_pages(a, b);
+            let (_, avl_new) = avl.insert(FrameId(k), (), cmp);
+            prop_assert_eq!(rb_new, avl_new, "trees disagreed on duplicate detection");
+        }
+        prop_assert_eq!(rb.len(), avl.len());
+        rb.assert_invariants();
+        avl.assert_invariants();
+    }
+}

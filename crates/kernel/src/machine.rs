@@ -1,0 +1,1089 @@
+//! The simulated machine: memory hierarchy, processes, fault generation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vusion_cache::{CacheOutcome, Llc, LlcConfig};
+use vusion_dram::{DramConfig, FlipEvent, RowBufferOutcome, RowBuffers, RowhammerModel};
+use vusion_mem::{
+    BuddyAllocator, FrameAllocator, FrameId, PageType, PhysAddr, PhysMemory, VirtAddr,
+    HUGE_PAGE_FRAMES, HUGE_PAGE_SIZE, PAGE_SIZE,
+};
+use vusion_mmu::{AddressSpace, LeafInfo, Pte, PteFlags, TlbEntry, Vma, VmaBacking};
+
+use crate::clock::{CostModel, Jitter, SimClock};
+use crate::process::Process;
+
+/// Process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub usize);
+
+/// Kind of memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Load (also models instruction fetch).
+    Read,
+    /// Store.
+    Write,
+}
+
+/// Why an access faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultReason {
+    /// No (present) translation exists.
+    NotMapped,
+    /// The leaf PTE has a reserved bit set: the access traps regardless of
+    /// permissions (the S⊕F mechanism, §7.1).
+    Trapped,
+    /// A write hit a read-only mapping (copy-on-write).
+    WriteProtected,
+}
+
+/// A page fault, delivered to the [`crate::FusionPolicy`] and then to the
+/// default handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageFault {
+    /// Faulting process.
+    pub pid: Pid,
+    /// Faulting address.
+    pub va: VirtAddr,
+    /// The access that faulted.
+    pub kind: AccessKind,
+    /// Fault classification.
+    pub reason: FaultReason,
+}
+
+/// Counters exposed for experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Completed reads.
+    pub reads: u64,
+    /// Completed writes.
+    pub writes: u64,
+    /// Prefetch instructions executed.
+    pub prefetches: u64,
+    /// Faults by reason.
+    pub faults_not_mapped: u64,
+    /// Reserved-bit traps.
+    pub faults_trapped: u64,
+    /// CoW faults.
+    pub faults_write_protected: u64,
+    /// Demand-zero fills (4 KiB).
+    pub demand_zero: u64,
+    /// Demand huge-page fills (2 MiB).
+    pub demand_huge: u64,
+    /// Page-cache fills.
+    pub demand_file: u64,
+    /// Copy-on-write copies performed by the default handler.
+    pub cow_copies: u64,
+    /// Rowhammer bit flips applied to memory.
+    pub bit_flips: u64,
+}
+
+/// Machine construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Physical memory size in 4 KiB frames.
+    pub frames: u64,
+    /// LLC geometry.
+    pub llc: LlcConfig,
+    /// DRAM geometry.
+    pub dram: DramConfig,
+    /// Latency model.
+    pub costs: CostModel,
+    /// Master seed (jitter, Rowhammer weak cells).
+    pub seed: u64,
+    /// Whether anonymous demand faults install 2 MiB mappings when possible
+    /// (transparent huge pages).
+    pub thp: bool,
+    /// Fraction of DRAM rows with Rowhammer-weak cells.
+    pub weak_row_fraction: f64,
+    /// Frames at the top of physical memory excluded from the system buddy
+    /// allocator. Windows Page Fusion's `MiAllocatePagesForMdl`-style
+    /// allocator serves fused-page backing frames from this region (§2.2).
+    pub reserved_top_frames: u64,
+}
+
+impl MachineConfig {
+    /// A machine sized like one of the paper's 2 GB guests, scaled to
+    /// 256 MiB so experiments stay fast; geometry matches the testbed LLC.
+    pub fn guest_2g_scaled() -> Self {
+        Self {
+            frames: 65536, // 256 MiB
+            llc: LlcConfig::xeon_e3_1240_v5(),
+            dram: DramConfig::ddr4(),
+            costs: CostModel::default(),
+            seed: 0x5eed,
+            thp: false,
+            weak_row_fraction: 0.35,
+            reserved_top_frames: 0,
+        }
+    }
+
+    /// A small machine for unit tests (16 MiB, tiny LLC).
+    pub fn test_small() -> Self {
+        Self {
+            frames: 4096,
+            llc: LlcConfig::tiny(),
+            dram: DramConfig::single_bank(),
+            costs: CostModel::default(),
+            seed: 0x5eed,
+            thp: false,
+            weak_row_fraction: 0.35,
+            reserved_top_frames: 0,
+        }
+    }
+
+    /// Reserves `n` frames at the top of memory (for WPF).
+    pub fn with_reserved_top(mut self, n: u64) -> Self {
+        self.reserved_top_frames = n;
+        self
+    }
+
+    /// Enables transparent huge pages.
+    pub fn with_thp(mut self) -> Self {
+        self.thp = true;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The simulated machine.
+pub struct Machine {
+    cfg: MachineConfig,
+    mem: PhysMemory,
+    buddy: BuddyAllocator,
+    llc: Llc,
+    rows: RowBuffers,
+    hammer: RowhammerModel,
+    clock: SimClock,
+    jitter: Jitter,
+    /// RNG available to policies that need machine-scoped randomness.
+    pub policy_rng: StdRng,
+    processes: Vec<Process>,
+    stats: MachineStats,
+}
+
+impl Machine {
+    /// Builds the machine: physical memory, buddy allocator over all of it,
+    /// cold caches.
+    pub fn new(cfg: MachineConfig) -> Self {
+        assert!(
+            cfg.reserved_top_frames < cfg.frames,
+            "reserved region must leave general memory"
+        );
+        let mem = PhysMemory::new(cfg.frames as usize);
+        let buddy = BuddyAllocator::new(FrameId(0), cfg.frames - cfg.reserved_top_frames);
+        Self {
+            cfg,
+            mem,
+            buddy,
+            llc: Llc::new(cfg.llc),
+            rows: RowBuffers::new(cfg.dram),
+            hammer: RowhammerModel::new(cfg.dram, cfg.seed ^ 0xd7a3, cfg.weak_row_fraction),
+            clock: SimClock::new(),
+            jitter: Jitter::new(cfg.seed ^ 0x1177, cfg.costs.jitter),
+            policy_rng: StdRng::seed_from_u64(cfg.seed ^ 0xbeef),
+            processes: Vec::new(),
+            stats: MachineStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The cost model.
+    pub fn costs(&self) -> CostModel {
+        self.cfg.costs
+    }
+
+    /// Current simulated time (ns).
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Advances the clock by a jittered amount. Fault handlers use this to
+    /// charge their work to the faulting thread.
+    pub fn charge(&mut self, base_ns: u64) {
+        let ns = self.jitter.apply(base_ns);
+        self.clock.advance(ns);
+    }
+
+    /// Advances the clock without jitter (idle time between operations).
+    pub fn sleep(&mut self, ns: u64) {
+        self.clock.advance(ns);
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    /// Physical memory (read-only).
+    pub fn mem(&self) -> &PhysMemory {
+        &self.mem
+    }
+
+    /// Physical memory (mutable) — for engines and tests.
+    pub fn mem_mut(&mut self) -> &mut PhysMemory {
+        &mut self.mem
+    }
+
+    /// The system buddy allocator.
+    pub fn buddy_mut(&mut self) -> &mut BuddyAllocator {
+        &mut self.buddy
+    }
+
+    /// The LLC (for attack primitives that inspect it).
+    pub fn llc(&self) -> &Llc {
+        &self.llc
+    }
+
+    /// The LLC, mutably (experiment/test helper — e.g. flushing lines the
+    /// guest could not flush itself).
+    pub fn llc_mut(&mut self) -> &mut Llc {
+        &mut self.llc
+    }
+
+    /// Splits the machine into the parts engines typically need together.
+    pub fn mm_parts(&mut self) -> (&mut PhysMemory, &mut BuddyAllocator, &mut [Process]) {
+        (&mut self.mem, &mut self.buddy, &mut self.processes)
+    }
+
+    // ------------------------------------------------------------------
+    // Processes and mappings
+    // ------------------------------------------------------------------
+
+    /// Spawns a process; returns its pid.
+    pub fn spawn(&mut self, name: &str) -> Pid {
+        let space = AddressSpace::new(&mut self.mem, &mut self.buddy);
+        self.processes.push(Process::new(name, space));
+        Pid(self.processes.len() - 1)
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// A process by pid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid is stale.
+    pub fn process(&self, pid: Pid) -> &Process {
+        &self.processes[pid.0]
+    }
+
+    /// A process by pid, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid is stale.
+    pub fn process_mut(&mut self, pid: Pid) -> &mut Process {
+        &mut self.processes[pid.0]
+    }
+
+    /// Adds a VMA to a process (`mmap`).
+    pub fn mmap(&mut self, pid: Pid, vma: Vma) {
+        self.processes[pid.0].space.add_vma(vma);
+    }
+
+    /// Registers memory for fusion (`madvise(MADV_MERGEABLE)`).
+    pub fn madvise_mergeable(&mut self, pid: Pid, start: VirtAddr, pages: u64) -> usize {
+        self.processes[pid.0].space.madvise_mergeable(start, pages)
+    }
+
+    /// Allocates a frame from the buddy allocator for the given use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-memory (experiments are sized to fit).
+    pub fn alloc_frame(&mut self, page_type: PageType) -> FrameId {
+        let f = self.buddy.alloc().expect("machine out of physical memory");
+        self.mem.info_mut(f).on_alloc(page_type);
+        f
+    }
+
+    /// The reserved top-of-memory region `(first frame, frame count)`, if
+    /// configured. Fusion engines like WPF own it exclusively.
+    pub fn reserved_region(&self) -> Option<(FrameId, u64)> {
+        if self.cfg.reserved_top_frames == 0 {
+            None
+        } else {
+            Some((
+                FrameId(self.cfg.frames - self.cfg.reserved_top_frames),
+                self.cfg.reserved_top_frames,
+            ))
+        }
+    }
+
+    /// Breaks a transparent huge page covering `va` into 512 base-page
+    /// mappings over the same frames, converting the buddy record so the
+    /// frames can later be freed individually, and flushing the TLB. Both
+    /// KSM and VUsion do this before considering a THP's contents (§8.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is not covered by a huge mapping.
+    pub fn break_thp(&mut self, pid: Pid, va: VirtAddr) {
+        let base = va.huge_base();
+        let leaf = self.leaf(pid, base).expect("break_thp on unmapped address");
+        assert!(leaf.huge, "break_thp on a 4 KiB mapping");
+        let head = leaf.pte.frame();
+        let (mem, buddy, procs) = self.mm_parts();
+        procs[pid.0].space.tables_mut().break_huge(mem, buddy, base);
+        procs[pid.0].tlb.flush();
+        self.buddy.split_allocated(head, 9);
+    }
+
+    /// Allocates an order-9 (2 MiB) block and marks all 512 frames
+    /// allocated with refcount 1. Returns the head frame, or `None` when
+    /// memory is too fragmented.
+    pub fn alloc_huge(&mut self, page_type: PageType) -> Option<FrameId> {
+        let head = self.buddy.alloc_order(9)?;
+        for i in 0..HUGE_PAGE_FRAMES {
+            self.mem.info_mut(FrameId(head.0 + i)).on_alloc(page_type);
+        }
+        Some(head)
+    }
+
+    /// Releases an order-9 block allocated with [`Self::alloc_huge`]
+    /// (every frame must hold exactly one reference).
+    pub fn free_huge(&mut self, head: FrameId) {
+        for i in 0..HUGE_PAGE_FRAMES {
+            let f = FrameId(head.0 + i);
+            let info = self.mem.info_mut(f);
+            assert!(info.put(), "free_huge on a shared frame");
+            info.on_free();
+            self.mem.zero_page(f);
+        }
+        self.buddy.free_order(head, 9);
+    }
+
+    /// Converts a huge block's buddy record into 512 individual frame
+    /// allocations so its frames can be freed one by one — the allocator
+    /// half of breaking a THP (§8.1). Page tables are updated separately
+    /// via [`vusion_mmu::PageTables::break_huge`].
+    pub fn split_huge_allocation(&mut self, head: FrameId) {
+        self.buddy.split_allocated(head, 9);
+    }
+
+    /// Drops a reference to `frame`; frees it to the buddy allocator when
+    /// the count reaches zero. Returns whether the frame was freed.
+    pub fn put_frame(&mut self, frame: FrameId) -> bool {
+        if self.mem.info_mut(frame).put() {
+            self.mem.info_mut(frame).on_free();
+            self.mem.zero_page(frame);
+            self.buddy.free(frame);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Overwrites the leaf PTE mapping `va` and shoots down the TLB entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` has no leaf entry.
+    pub fn set_leaf(&mut self, pid: Pid, va: VirtAddr, pte: Pte) {
+        let p = &mut self.processes[pid.0];
+        p.space.tables_mut().set_leaf(&mut self.mem, va, pte);
+        p.tlb.invalidate(va);
+    }
+
+    /// Reads the leaf PTE mapping `va`, if any (no timing).
+    pub fn leaf(&self, pid: Pid, va: VirtAddr) -> Option<LeafInfo> {
+        self.processes[pid.0].space.tables().leaf(&self.mem, va)
+    }
+
+    /// Quiet translation (no clock, no cache effects).
+    pub fn translate_quiet(&self, pid: Pid, va: VirtAddr) -> Option<PhysAddr> {
+        self.processes[pid.0].translate_quiet(&self.mem, va)
+    }
+
+    // ------------------------------------------------------------------
+    // Timed memory hierarchy
+    // ------------------------------------------------------------------
+
+    fn dram_access(&mut self, pa: PhysAddr) {
+        let cost = match self.rows.access(pa) {
+            RowBufferOutcome::Hit => self.cfg.costs.dram_row_hit,
+            RowBufferOutcome::Empty => self.cfg.costs.dram_row_empty,
+            RowBufferOutcome::Conflict => self.cfg.costs.dram_row_conflict,
+        };
+        self.charge(cost);
+    }
+
+    /// A timed data access: through the LLC unless `uncached`.
+    pub fn phys_access(&mut self, pa: PhysAddr, uncached: bool) {
+        if uncached {
+            self.dram_access(pa);
+            return;
+        }
+        match self.llc.access(pa) {
+            CacheOutcome::Hit => self.charge(self.cfg.costs.llc_hit),
+            CacheOutcome::Miss => self.dram_access(pa),
+        }
+    }
+
+    /// A timed page walk: every level's entry read goes through the LLC.
+    fn walk_timed(&mut self, pid: Pid, va: VirtAddr) -> Option<LeafInfo> {
+        let walk = self.processes[pid.0].space.tables().walk(&self.mem, va);
+        for step in walk.steps.clone() {
+            self.phys_access(step, false);
+        }
+        walk.leaf
+    }
+
+    fn resolve_pa(leaf: &LeafInfo, va: VirtAddr) -> PhysAddr {
+        if leaf.huge {
+            PhysAddr(leaf.pte.frame().base().0 + va.0 % HUGE_PAGE_SIZE)
+        } else {
+            PhysAddr(leaf.pte.frame().base().0 + va.page_offset())
+        }
+    }
+
+    /// Performs one timed access. On success the data access is charged and
+    /// ACCESSED/DIRTY bits are updated; on failure a [`PageFault`] is
+    /// returned (fault entry cost is *not* yet charged — the System driver
+    /// charges it so every fault path pays it exactly once).
+    pub fn try_access(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> Result<PhysAddr, PageFault> {
+        self.charge(self.cfg.costs.cpu_op);
+        // TLB lookup. Trapped PTEs are never cached, so a hit is conclusive
+        // unless the access needs write permission the entry lacks.
+        let cached = self.processes[pid.0].tlb.lookup(va);
+        let (leaf, filled_from_tlb) = match cached {
+            Some(e) => (
+                Some(LeafInfo {
+                    pte: e.pte,
+                    entry_addr: PhysAddr(0),
+                    huge: e.huge,
+                }),
+                true,
+            ),
+            None => (self.walk_timed(pid, va), false),
+        };
+        let Some(leaf) = leaf else {
+            self.stats.faults_not_mapped += 1;
+            return Err(PageFault {
+                pid,
+                va,
+                kind,
+                reason: FaultReason::NotMapped,
+            });
+        };
+        // Hardware checks reserved bits during the walk, before permissions.
+        if leaf.pte.is_trapped() {
+            self.stats.faults_trapped += 1;
+            return Err(PageFault {
+                pid,
+                va,
+                kind,
+                reason: FaultReason::Trapped,
+            });
+        }
+        if !leaf.pte.is_present() {
+            self.stats.faults_not_mapped += 1;
+            return Err(PageFault {
+                pid,
+                va,
+                kind,
+                reason: FaultReason::NotMapped,
+            });
+        }
+        if kind == AccessKind::Write && !leaf.pte.has(PteFlags::WRITABLE) {
+            self.stats.faults_write_protected += 1;
+            return Err(PageFault {
+                pid,
+                va,
+                kind,
+                reason: FaultReason::WriteProtected,
+            });
+        }
+        // Success: update A/D bits (hardware does this during the walk; the
+        // TLB-hit case skips the PTE write like real TLBs skip A updates).
+        if !filled_from_tlb {
+            let mut pte = leaf.pte.set(PteFlags::ACCESSED);
+            if kind == AccessKind::Write {
+                pte = pte.set(PteFlags::DIRTY);
+            }
+            let base = if leaf.huge {
+                va.huge_base()
+            } else {
+                va.page_base()
+            };
+            let p = &mut self.processes[pid.0];
+            p.space.tables_mut().set_leaf(&mut self.mem, base, pte);
+            p.tlb.fill(
+                va,
+                TlbEntry {
+                    pte,
+                    huge: leaf.huge,
+                },
+            );
+        } else if kind == AccessKind::Write {
+            // Set the dirty bit through a quiet walk (first write after a
+            // read fill).
+            let base = if leaf.huge {
+                va.huge_base()
+            } else {
+                va.page_base()
+            };
+            if let Some(l) = self.processes[pid.0].space.tables().leaf(&self.mem, base) {
+                let p = &mut self.processes[pid.0];
+                p.space.tables_mut().set_leaf(
+                    &mut self.mem,
+                    base,
+                    l.pte.set(PteFlags::DIRTY | PteFlags::ACCESSED),
+                );
+            }
+        }
+        let pa = Self::resolve_pa(&leaf, va);
+        self.phys_access(pa, leaf.pte.has(PteFlags::NO_CACHE));
+        Ok(pa)
+    }
+
+    /// Timed read of one byte.
+    pub fn read(&mut self, pid: Pid, va: VirtAddr) -> Result<u8, PageFault> {
+        let pa = self.try_access(pid, va, AccessKind::Read)?;
+        self.stats.reads += 1;
+        Ok(self.mem.read_byte(pa))
+    }
+
+    /// Timed write of one byte.
+    pub fn write(&mut self, pid: Pid, va: VirtAddr, value: u8) -> Result<(), PageFault> {
+        let pa = self.try_access(pid, va, AccessKind::Write)?;
+        self.stats.writes += 1;
+        self.mem.write_byte(pa, value);
+        Ok(())
+    }
+
+    /// The x86 `prefetch` instruction: never faults. Loads the line into
+    /// the LLC iff a translation exists **and caching is not disabled** —
+    /// setting PCD on (fake-)merged pages is how VUsion defeats the
+    /// prefetch side channel (§7.1/§9.1).
+    pub fn prefetch(&mut self, pid: Pid, va: VirtAddr) {
+        self.stats.prefetches += 1;
+        self.charge(self.cfg.costs.cpu_op);
+        let leaf = match self.processes[pid.0].tlb.lookup(va) {
+            Some(e) => Some(LeafInfo {
+                pte: e.pte,
+                entry_addr: PhysAddr(0),
+                huge: e.huge,
+            }),
+            None => self.walk_timed(pid, va),
+        };
+        if let Some(leaf) = leaf {
+            if leaf.pte.is_present() && !leaf.pte.has(PteFlags::NO_CACHE) {
+                // NOTE: the reserved bit does *not* stop the prefetch — only
+                // PCD does. An S⊕F implementation without PCD stays
+                // vulnerable, which test suites verify.
+                let pa = Self::resolve_pa(&leaf, va);
+                self.llc.access(pa);
+            }
+        }
+    }
+
+    /// `clflush` of the line containing `va` (attacker flushes its own
+    /// accessible memory).
+    pub fn clflush(&mut self, pid: Pid, va: VirtAddr) {
+        self.charge(self.cfg.costs.cpu_op * 4);
+        // `clflush` needs a valid, untrapped translation; on a reserved-bit
+        // PTE it would fault like any access, so it flushes nothing here.
+        if let Some(leaf) = self.leaf(pid, va) {
+            if leaf.pte.is_trapped() {
+                return;
+            }
+            let pa = Self::resolve_pa(&leaf, va);
+            self.llc.flush(pa);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Default (non-fusion) fault handling
+    // ------------------------------------------------------------------
+
+    /// Handles demand paging and file CoW. Returns `false` for faults the
+    /// kernel cannot resolve (e.g. reserved-bit traps, which only fusion
+    /// policies create, or accesses outside any VMA).
+    pub fn default_fault(&mut self, fault: &PageFault) -> bool {
+        match fault.reason {
+            FaultReason::NotMapped => self.demand_page(fault),
+            FaultReason::WriteProtected => self.cow_write(fault),
+            FaultReason::Trapped => false,
+        }
+    }
+
+    fn demand_page(&mut self, fault: &PageFault) -> bool {
+        let Some(vma) = self.processes[fault.pid.0]
+            .space
+            .find_vma(fault.va)
+            .copied()
+        else {
+            return false;
+        };
+        match vma.backing {
+            VmaBacking::Anon => {
+                if self.cfg.thp && self.try_demand_huge(fault, &vma) {
+                    return true;
+                }
+                let frame = self.alloc_frame(PageType::Anon);
+                self.charge(
+                    self.cfg.costs.zero_page + self.cfg.costs.pte_update + self.cfg.costs.buddy_interaction,
+                );
+                let mut flags = PteFlags::PRESENT | PteFlags::USER | PteFlags::ACCESSED;
+                if vma.prot.write {
+                    flags |= PteFlags::WRITABLE;
+                }
+                let (mem, buddy, procs) = self.mm_parts();
+                procs[fault.pid.0].space.tables_mut().map_page(
+                    mem,
+                    buddy,
+                    fault.va.page_base(),
+                    frame,
+                    flags,
+                );
+                self.stats.demand_zero += 1;
+                true
+            }
+            VmaBacking::File {
+                file_id,
+                offset_pages,
+            } => {
+                let page_in_vma = (fault.va.0 - vma.start.0) / PAGE_SIZE;
+                let file_page = offset_pages + page_in_vma;
+                self.charge(
+                    self.cfg.costs.copy_page + self.cfg.costs.pte_update + self.cfg.costs.buddy_interaction,
+                );
+                let (mem, buddy, procs) = self.mm_parts();
+                let frame = procs[fault.pid.0].page_cache_load(mem, file_id, file_page, |m| {
+                    let f = buddy.alloc().expect("machine out of physical memory");
+                    m.info_mut(f).on_alloc(PageType::PageCache);
+                    f
+                });
+                // The mapping takes its own reference on top of the cache's.
+                mem.info_mut(frame).get();
+                // File pages map read-only; private writes CoW.
+                let flags = PteFlags::PRESENT | PteFlags::USER | PteFlags::ACCESSED;
+                procs[fault.pid.0].space.tables_mut().map_page(
+                    mem,
+                    buddy,
+                    fault.va.page_base(),
+                    frame,
+                    flags,
+                );
+                self.stats.demand_file += 1;
+                true
+            }
+        }
+    }
+
+    fn try_demand_huge(&mut self, fault: &PageFault, vma: &Vma) -> bool {
+        if !vma.thp_eligible {
+            return false; // MADV_NOHUGEPAGE.
+        }
+        let base = fault.va.huge_base();
+        // The whole 2 MiB range must lie inside the VMA and the PD slot
+        // must be empty.
+        if base.0 < vma.start.0 || base.0 + HUGE_PAGE_SIZE > vma.end().0 {
+            return false;
+        }
+        if !self.processes[fault.pid.0]
+            .space
+            .tables()
+            .huge_slot_free(&self.mem, base)
+        {
+            return false;
+        }
+        let Some(frame) = self.alloc_huge(PageType::Anon) else {
+            return false; // Fragmented: fall back to 4 KiB.
+        };
+        // A 2 MiB zero-fill costs 512 page zeroes; hardware does it faster,
+        // charge half.
+        self.charge(
+            self.cfg.costs.zero_page * HUGE_PAGE_FRAMES / 2
+                + self.cfg.costs.pte_update
+                + self.cfg.costs.buddy_interaction,
+        );
+        let mut flags = PteFlags::PRESENT | PteFlags::USER | PteFlags::ACCESSED;
+        if vma.prot.write {
+            flags |= PteFlags::WRITABLE;
+        }
+        let (mem, buddy, procs) = self.mm_parts();
+        procs[fault.pid.0]
+            .space
+            .tables_mut()
+            .map_huge(mem, buddy, base, frame, flags);
+        self.stats.demand_huge += 1;
+        true
+    }
+
+    fn cow_write(&mut self, fault: &PageFault) -> bool {
+        let Some(vma) = self.processes[fault.pid.0]
+            .space
+            .find_vma(fault.va)
+            .copied()
+        else {
+            return false;
+        };
+        if !vma.prot.write {
+            return false; // A genuine protection violation.
+        }
+        let Some(leaf) = self.leaf(fault.pid, fault.va) else {
+            return false;
+        };
+        assert!(!leaf.huge, "CoW on huge mappings handled by policies");
+        let old = leaf.pte.frame();
+        let new = self.alloc_frame(PageType::Anon);
+        self.mem.copy_page(old, new);
+        self.charge(
+            self.cfg.costs.copy_page + self.cfg.costs.pte_update + self.cfg.costs.buddy_interaction,
+        );
+        let pte = Pte::new(
+            new,
+            PteFlags::PRESENT
+                | PteFlags::USER
+                | PteFlags::WRITABLE
+                | PteFlags::ACCESSED
+                | PteFlags::DIRTY,
+        );
+        self.set_leaf(fault.pid, fault.va.page_base(), pte);
+        self.put_frame(old);
+        self.stats.cow_copies += 1;
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Rowhammer
+    // ------------------------------------------------------------------
+
+    /// Hammers the DRAM rows containing two of the attacker's own virtual
+    /// addresses. Applies any induced flips to physical memory and returns
+    /// them. Charges the (substantial) time hammering takes.
+    pub fn hammer(
+        &mut self,
+        pid: Pid,
+        va1: VirtAddr,
+        va2: VirtAddr,
+        iterations: u64,
+    ) -> Vec<FlipEvent> {
+        let Some(p1) = self.translate_quiet(pid, va1) else {
+            return Vec::new();
+        };
+        let Some(p2) = self.translate_quiet(pid, va2) else {
+            return Vec::new();
+        };
+        // Alternating activations are row conflicts by construction.
+        self.sleep(iterations * 2 * self.cfg.costs.dram_row_conflict);
+        let outcome = self.hammer.hammer(p1, p2, iterations);
+        let mut applied = Vec::new();
+        for flip in outcome.flips {
+            if flip.addr.frame().0 < self.cfg.frames {
+                self.mem.flip_bit(flip.addr, flip.bit);
+                self.stats.bit_flips += 1;
+                applied.push(flip);
+            }
+        }
+        applied
+    }
+
+    /// The Rowhammer fault model (read-only; lets attacks reason about
+    /// geometry the way real attackers learn it from datasheets).
+    pub fn rowhammer_model(&self) -> &RowhammerModel {
+        &self.hammer
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting
+    // ------------------------------------------------------------------
+
+    /// Allocated frames (the memory-consumption metric of Figures 10–12).
+    pub fn allocated_frames(&self) -> usize {
+        self.mem.allocated_frames()
+    }
+
+    /// Counts 2 MiB mappings currently installed for a process's anonymous
+    /// VMAs (the Figure 9 metric).
+    pub fn count_huge_mappings(&self, pid: Pid) -> usize {
+        let p = &self.processes[pid.0];
+        let mut n = 0;
+        for vma in p.space.vmas() {
+            let mut va = VirtAddr(vma.start.0).huge_base();
+            if va.0 < vma.start.0 {
+                va = VirtAddr(va.0 + HUGE_PAGE_SIZE);
+            }
+            while va.0 + HUGE_PAGE_SIZE <= vma.end().0 {
+                if let Some(leaf) = p.space.tables().leaf(&self.mem, va) {
+                    if leaf.huge {
+                        n += 1;
+                    }
+                }
+                va = VirtAddr(va.0 + HUGE_PAGE_SIZE);
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vusion_mmu::Protection;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::test_small())
+    }
+
+    fn anon_vma(m: &mut Machine, pid: Pid, start: u64, pages: u64) {
+        m.mmap(pid, Vma::anon(VirtAddr(start), pages, Protection::rw()));
+    }
+
+    #[test]
+    fn demand_zero_then_read_write() {
+        let mut m = machine();
+        let pid = m.spawn("t");
+        anon_vma(&mut m, pid, 0x10000, 4);
+        let va = VirtAddr(0x10000);
+        // First access faults NotMapped.
+        let fault = m.read(pid, va).expect_err("must fault");
+        assert_eq!(fault.reason, FaultReason::NotMapped);
+        assert!(m.default_fault(&fault), "demand paging handles it");
+        assert_eq!(m.read(pid, va).expect("mapped now"), 0);
+        m.write(pid, va, 0xAA).expect("writable");
+        assert_eq!(m.read(pid, va).expect("read back"), 0xAA);
+        assert_eq!(m.stats().demand_zero, 1);
+    }
+
+    #[test]
+    fn access_outside_vma_unhandled() {
+        let mut m = machine();
+        let pid = m.spawn("t");
+        let fault = m.read(pid, VirtAddr(0xdead_0000)).expect_err("must fault");
+        assert!(!m.default_fault(&fault), "no VMA covers it");
+    }
+
+    #[test]
+    fn file_pages_shared_within_process_and_cow_on_write() {
+        let mut m = machine();
+        let pid = m.spawn("t");
+        m.mmap(
+            pid,
+            Vma::file(VirtAddr(0x2000_0000), 4, Protection::rw(), 9, 0),
+        );
+        let va = VirtAddr(0x2000_0000);
+        let fault = m.read(pid, va).expect_err("fault");
+        assert!(m.default_fault(&fault));
+        let frame_before = m.leaf(pid, va).expect("leaf").pte.frame();
+        assert_eq!(m.mem().info(frame_before).page_type, PageType::PageCache);
+        // Write triggers CoW to a private anon frame; cache keeps the original.
+        let wf = m.write(pid, va, 1).expect_err("read-only mapping");
+        assert_eq!(wf.reason, FaultReason::WriteProtected);
+        assert!(m.default_fault(&wf));
+        m.write(pid, va, 1).expect("now writable");
+        let frame_after = m.leaf(pid, va).expect("leaf").pte.frame();
+        assert_ne!(frame_before, frame_after);
+        assert_eq!(m.mem().info(frame_after).page_type, PageType::Anon);
+        assert_eq!(m.stats().cow_copies, 1);
+        // The cache still holds the pristine page.
+        assert_eq!(m.mem().info(frame_before).refcount, 1);
+    }
+
+    #[test]
+    fn trapped_pte_faults_on_read_and_write() {
+        let mut m = machine();
+        let pid = m.spawn("t");
+        anon_vma(&mut m, pid, 0x10000, 1);
+        let va = VirtAddr(0x10000);
+        let f = m.read(pid, va).expect_err("fault");
+        m.default_fault(&f);
+        // Trap the page the way S⊕F does.
+        let leaf = m.leaf(pid, va).expect("leaf");
+        m.set_leaf(
+            pid,
+            va,
+            leaf.pte.set(PteFlags::RESERVED | PteFlags::NO_CACHE),
+        );
+        let rf = m.read(pid, va).expect_err("trapped");
+        assert_eq!(rf.reason, FaultReason::Trapped);
+        let wf = m.write(pid, va, 1).expect_err("trapped");
+        assert_eq!(wf.reason, FaultReason::Trapped);
+        assert!(
+            !m.default_fault(&rf),
+            "the kernel cannot resolve policy traps"
+        );
+    }
+
+    #[test]
+    fn trap_faults_even_after_tlb_fill() {
+        // Setting the reserved bit must take effect immediately: set_leaf
+        // shoots down the TLB entry.
+        let mut m = machine();
+        let pid = m.spawn("t");
+        anon_vma(&mut m, pid, 0x10000, 1);
+        let va = VirtAddr(0x10000);
+        let f = m.read(pid, va).expect_err("fault");
+        m.default_fault(&f);
+        m.read(pid, va).expect("fills TLB");
+        let leaf = m.leaf(pid, va).expect("leaf");
+        m.set_leaf(pid, va, leaf.pte.set(PteFlags::RESERVED));
+        assert!(
+            m.read(pid, va).is_err(),
+            "stale TLB entry would be a security hole"
+        );
+    }
+
+    #[test]
+    fn timing_separates_fault_from_plain_access() {
+        let mut m = machine();
+        let pid = m.spawn("t");
+        anon_vma(&mut m, pid, 0x10000, 2);
+        // Fault-in page 0.
+        let f = m.read(pid, VirtAddr(0x10000)).expect_err("fault");
+        m.default_fault(&f);
+        // Warm access.
+        let t0 = m.now_ns();
+        m.read(pid, VirtAddr(0x10000)).expect("warm");
+        let warm = m.now_ns() - t0;
+        // Faulting access (to page 1), including handler work.
+        let t1 = m.now_ns();
+        let f1 = m.read(pid, VirtAddr(0x11000)).expect_err("fault");
+        m.charge(m.costs().fault_base);
+        m.default_fault(&f1);
+        m.read(pid, VirtAddr(0x11000)).expect("after handling");
+        let faulted = m.now_ns() - t1;
+        assert!(
+            faulted > warm * 5,
+            "fault path ({faulted} ns) must dwarf warm access ({warm} ns)"
+        );
+    }
+
+    #[test]
+    fn thp_demand_fault_maps_huge() {
+        let mut m = Machine::new(MachineConfig::test_small().with_thp());
+        let pid = m.spawn("t");
+        // A VMA covering two full huge ranges, 2 MiB aligned.
+        m.mmap(
+            pid,
+            Vma::anon(VirtAddr(HUGE_PAGE_SIZE), 1024, Protection::rw()),
+        );
+        let va = VirtAddr(HUGE_PAGE_SIZE + 0x3000);
+        let f = m.read(pid, va).expect_err("fault");
+        assert!(m.default_fault(&f));
+        let leaf = m.leaf(pid, va).expect("leaf");
+        assert!(leaf.huge, "THP machine installs a 2 MiB mapping");
+        assert_eq!(m.stats().demand_huge, 1);
+        assert_eq!(m.count_huge_mappings(pid), 1);
+        // The whole range is readable without further faults.
+        m.read(pid, VirtAddr(HUGE_PAGE_SIZE)).expect("mapped");
+        m.read(pid, VirtAddr(2 * HUGE_PAGE_SIZE - 1))
+            .expect("mapped");
+    }
+
+    #[test]
+    fn prefetch_fills_cache_unless_pcd() {
+        let mut m = machine();
+        let pid = m.spawn("t");
+        anon_vma(&mut m, pid, 0x10000, 1);
+        let va = VirtAddr(0x10000);
+        let f = m.read(pid, va).expect_err("fault");
+        m.default_fault(&f);
+        let pa = m.translate_quiet(pid, va).expect("mapped");
+        // Flush, prefetch: line comes back.
+        m.clflush(pid, va);
+        assert!(!m.llc().contains(pa));
+        m.prefetch(pid, va);
+        assert!(m.llc().contains(pa), "prefetch loads cacheable lines");
+        // With PCD set (and even with RESERVED), prefetch must not load.
+        // Flush first: clflush itself refuses trapped PTEs (it would fault).
+        m.clflush(pid, va);
+        let leaf = m.leaf(pid, va).expect("leaf");
+        m.set_leaf(
+            pid,
+            va,
+            leaf.pte.set(PteFlags::RESERVED | PteFlags::NO_CACHE),
+        );
+        m.prefetch(pid, va);
+        assert!(!m.llc().contains(pa), "PCD stops the prefetch side channel");
+    }
+
+    #[test]
+    fn prefetch_on_trapped_cacheable_page_leaks() {
+        // The reason VUsion must set PCD: a reserved-bit trap alone does
+        // not stop prefetch.
+        let mut m = machine();
+        let pid = m.spawn("t");
+        anon_vma(&mut m, pid, 0x10000, 1);
+        let va = VirtAddr(0x10000);
+        let f = m.read(pid, va).expect_err("fault");
+        m.default_fault(&f);
+        let pa = m.translate_quiet(pid, va).expect("mapped");
+        let leaf = m.leaf(pid, va).expect("leaf");
+        m.set_leaf(pid, va, leaf.pte.set(PteFlags::RESERVED)); // No PCD!
+        m.clflush(pid, va);
+        m.prefetch(pid, va);
+        assert!(
+            m.llc().contains(pa),
+            "without PCD the prefetch side channel remains"
+        );
+    }
+
+    #[test]
+    fn hammer_applies_reproducible_flips() {
+        let mut m = machine();
+        let pid = m.spawn("t");
+        anon_vma(&mut m, pid, 0x10000, 64);
+        // Map the first 64 pages.
+        for i in 0..64u64 {
+            let va = VirtAddr(0x10000 + i * PAGE_SIZE);
+            let f = m.read(pid, va).expect_err("fault");
+            m.default_fault(&f);
+        }
+        // Hammer around every page until a flip lands somewhere.
+        let mut total = 0;
+        for i in 1..63u64 {
+            let a = VirtAddr(0x10000);
+            let b = VirtAddr(0x10000 + i * PAGE_SIZE);
+            total += m.hammer(pid, a, b, 2_000_000).len();
+        }
+        assert_eq!(m.stats().bit_flips as usize, total);
+    }
+
+    #[test]
+    fn put_frame_frees_at_zero() {
+        let mut m = machine();
+        let f = m.alloc_frame(PageType::Anon);
+        m.mem_mut().info_mut(f).get();
+        assert!(!m.put_frame(f), "still referenced");
+        assert!(m.put_frame(f), "last reference frees");
+    }
+
+    #[test]
+    fn tlb_hit_skips_walk_cost() {
+        let mut m = machine();
+        let pid = m.spawn("t");
+        anon_vma(&mut m, pid, 0x10000, 1);
+        let va = VirtAddr(0x10000);
+        let f = m.read(pid, va).expect_err("fault");
+        m.default_fault(&f);
+        m.read(pid, va).expect("fill TLB and caches");
+        m.read(pid, va).expect("warm");
+        let t0 = m.now_ns();
+        m.read(pid, va).expect("hot");
+        let hot = m.now_ns() - t0;
+        // A hot access is one cpu op + one LLC hit, well under 40 ns.
+        assert!(hot < 40, "hot TLB+LLC access took {hot} ns");
+    }
+}

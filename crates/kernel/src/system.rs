@@ -1,0 +1,269 @@
+//! The system driver: glues the machine, a fusion policy, and the daemons.
+//!
+//! Workloads and attacks talk to a [`System`]; it retries faulting accesses
+//! after dispatching faults (policy first, kernel default second) and paces
+//! the background scanner and `khugepaged` against simulated time, mirroring
+//! how `ksmd` wakes every `T` ms on a spare core.
+
+use vusion_mem::{VirtAddr, PAGE_SIZE};
+
+use crate::khugepaged::Khugepaged;
+use crate::machine::{Machine, PageFault, Pid};
+use crate::policy::{FusionPolicy, ScanReport};
+
+/// Driver counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SystemStats {
+    /// Faults resolved by the fusion policy.
+    pub policy_faults: u64,
+    /// Faults resolved by the kernel default handler.
+    pub kernel_faults: u64,
+    /// Scanner wakeups executed.
+    pub scan_wakeups: u64,
+}
+
+/// A machine paired with a fusion policy and optional khugepaged.
+pub struct System<P: FusionPolicy> {
+    /// The machine.
+    pub machine: Machine,
+    /// The fusion engine.
+    pub policy: P,
+    /// Optional THP collapse daemon.
+    pub khugepaged: Option<Khugepaged>,
+    next_scan_ns: u64,
+    next_khuge_ns: u64,
+    stats: SystemStats,
+    scan_totals: ScanReport,
+}
+
+impl<P: FusionPolicy> System<P> {
+    /// Creates a driver. The first scan fires one period in.
+    pub fn new(machine: Machine, policy: P) -> Self {
+        let next_scan_ns = machine.now_ns() + policy.scan_period_ns();
+        Self {
+            machine,
+            policy,
+            khugepaged: None,
+            next_scan_ns,
+            next_khuge_ns: 0,
+            stats: SystemStats::default(),
+            scan_totals: ScanReport::default(),
+        }
+    }
+
+    /// Attaches a khugepaged daemon.
+    pub fn with_khugepaged(mut self, k: Khugepaged) -> Self {
+        self.next_khuge_ns = self.machine.now_ns() + k.period_ns;
+        self.khugepaged = Some(k);
+        self
+    }
+
+    /// Driver counters.
+    pub fn stats(&self) -> SystemStats {
+        self.stats
+    }
+
+    /// Accumulated scanner totals.
+    pub fn scan_totals(&self) -> ScanReport {
+        self.scan_totals
+    }
+
+    /// Runs any background work whose deadline has passed.
+    fn background(&mut self) {
+        let now = self.machine.now_ns();
+        while self.next_scan_ns <= now {
+            let report = self.policy.scan(&mut self.machine);
+            self.scan_totals.absorb(&report);
+            self.stats.scan_wakeups += 1;
+            self.next_scan_ns += self.policy.scan_period_ns();
+        }
+        if let Some(k) = self.khugepaged.as_mut() {
+            while self.next_khuge_ns <= now {
+                k.scan(&mut self.machine, &mut self.policy);
+                self.next_khuge_ns += k.period_ns;
+            }
+        }
+    }
+
+    /// Resolves one fault: charges the fault entry, then policy → kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on faults nobody can resolve (a real kernel would SIGSEGV).
+    fn resolve(&mut self, fault: PageFault) {
+        let base = self.machine.costs().fault_base;
+        self.machine.charge(base);
+        if self.policy.handle_fault(&mut self.machine, &fault) {
+            self.stats.policy_faults += 1;
+            return;
+        }
+        if self.machine.default_fault(&fault) {
+            self.stats.kernel_faults += 1;
+            return;
+        }
+        panic!("SIGSEGV: unresolvable fault {fault:?}");
+    }
+
+    /// Timed read of one byte (retries through faults).
+    pub fn read(&mut self, pid: Pid, va: VirtAddr) -> u8 {
+        self.background();
+        for _ in 0..8 {
+            match self.machine.read(pid, va) {
+                Ok(v) => return v,
+                Err(f) => self.resolve(f),
+            }
+        }
+        panic!("fault livelock at {va:?}");
+    }
+
+    /// Timed write of one byte (retries through faults).
+    pub fn write(&mut self, pid: Pid, va: VirtAddr, value: u8) {
+        self.background();
+        for _ in 0..8 {
+            match self.machine.write(pid, va, value) {
+                Ok(()) => return,
+                Err(f) => self.resolve(f),
+            }
+        }
+        panic!("fault livelock at {va:?}");
+    }
+
+    /// Prefetch (never faults).
+    pub fn prefetch(&mut self, pid: Pid, va: VirtAddr) {
+        self.background();
+        self.machine.prefetch(pid, va);
+    }
+
+    /// Reads a whole page with realistic timing: a faulting first access,
+    /// then one access per remaining cache line.
+    pub fn read_page(&mut self, pid: Pid, va: VirtAddr) -> [u8; PAGE_SIZE as usize] {
+        let base = va.page_base();
+        self.read(pid, base);
+        for line in 1..(PAGE_SIZE / 64) {
+            self.read(pid, VirtAddr(base.0 + line * 64));
+        }
+        let pa = self
+            .machine
+            .translate_quiet(pid, base)
+            .expect("just accessed");
+        *self.machine.mem().page(pa.frame())
+    }
+
+    /// Writes a whole page: a faulting first store (which performs any
+    /// CoW/CoA), then one store per remaining line; content lands in the
+    /// backing frame.
+    pub fn write_page(&mut self, pid: Pid, va: VirtAddr, content: &[u8; PAGE_SIZE as usize]) {
+        let base = va.page_base();
+        self.write(pid, base, content[0]);
+        for line in 1..(PAGE_SIZE / 64) {
+            self.write(
+                pid,
+                VirtAddr(base.0 + line * 64),
+                content[(line * 64) as usize],
+            );
+        }
+        let pa = self
+            .machine
+            .translate_quiet(pid, base)
+            .expect("just accessed");
+        self.machine.mem_mut().write_page(pa.frame(), content);
+    }
+
+    /// Lets simulated time pass, running background daemons on schedule.
+    pub fn idle(&mut self, ns: u64) {
+        let target = self.machine.now_ns() + ns;
+        while self.machine.now_ns() < target {
+            let step = (target - self.machine.now_ns()).min(self.policy.scan_period_ns().max(1));
+            self.machine.sleep(step);
+            self.background();
+        }
+    }
+
+    /// Forces `n` scanner wakeups immediately (experiment helper; does not
+    /// advance the clock).
+    pub fn force_scans(&mut self, n: usize) {
+        for _ in 0..n {
+            let report = self.policy.scan(&mut self.machine);
+            self.scan_totals.absorb(&report);
+            self.stats.scan_wakeups += 1;
+        }
+        // Treat the forced scans as having satisfied any pending deadlines,
+        // so subsequent timed operations are not interrupted by catch-up
+        // wakeups (experiments rely on this for clean measurements).
+        self.next_scan_ns = self.machine.now_ns() + self.policy.scan_period_ns();
+        if let Some(k) = self.khugepaged.as_ref() {
+            self.next_khuge_ns = self.machine.now_ns() + k.period_ns;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use crate::policy::NoFusion;
+    use vusion_mmu::{Protection, Vma};
+
+    fn system() -> (System<NoFusion>, Pid) {
+        let mut m = Machine::new(MachineConfig::test_small());
+        let pid = m.spawn("t");
+        m.mmap(pid, Vma::anon(VirtAddr(0x10000), 64, Protection::rw()));
+        (System::new(m, NoFusion), pid)
+    }
+
+    #[test]
+    fn read_write_roundtrip_through_faults() {
+        let (mut s, pid) = system();
+        s.write(pid, VirtAddr(0x10010), 7);
+        assert_eq!(s.read(pid, VirtAddr(0x10010)), 7);
+        assert_eq!(s.stats().kernel_faults, 1, "one demand-zero fault");
+    }
+
+    #[test]
+    fn page_helpers_roundtrip() {
+        let (mut s, pid) = system();
+        let mut content = [0u8; PAGE_SIZE as usize];
+        for (i, b) in content.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        s.write_page(pid, VirtAddr(0x12000), &content);
+        assert_eq!(s.read_page(pid, VirtAddr(0x12000)), content);
+    }
+
+    #[test]
+    fn idle_advances_clock_and_runs_scans() {
+        let (mut s, pid) = system();
+        let _ = pid;
+        let t0 = s.machine.now_ns();
+        s.idle(100_000_000); // 100 ms = 5 scan periods.
+        assert!(s.machine.now_ns() >= t0 + 100_000_000);
+        assert_eq!(s.stats().scan_wakeups, 5);
+    }
+
+    #[test]
+    fn scans_triggered_by_foreground_time() {
+        let (mut s, pid) = system();
+        // Enough faulting writes to push the clock past several periods.
+        let mut va = 0x10000u64;
+        while s.machine.now_ns() < 50_000_000 {
+            s.write(pid, VirtAddr(va), 1);
+            va += PAGE_SIZE;
+            if va >= 0x10000 + 64 * PAGE_SIZE {
+                s.machine.sleep(1_000_000);
+                va = 0x10000;
+            }
+        }
+        s.read(pid, VirtAddr(0x10000));
+        assert!(
+            s.stats().scan_wakeups >= 2,
+            "scanner must keep pace with time"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "SIGSEGV")]
+    fn unmapped_access_is_fatal() {
+        let (mut s, pid) = system();
+        s.read(pid, VirtAddr(0x0dea_dbee_f000));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the machine: demand paging, CoW isolation, timing
+//! monotonicity.
+
+use proptest::prelude::*;
+use vusion_kernel::{Machine, MachineConfig};
+use vusion_mem::{VirtAddr, PAGE_SIZE};
+use vusion_mmu::{Protection, Vma};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Demand paging + reads/writes behave like a flat byte store.
+    #[test]
+    fn machine_is_a_byte_store(ops in proptest::collection::vec((0u64..16, 0u64..PAGE_SIZE, any::<u8>()), 1..120)) {
+        let mut m = Machine::new(MachineConfig::test_small());
+        let pid = m.spawn("p");
+        m.mmap(pid, Vma::anon(VirtAddr(0x10000), 16, Protection::rw()));
+        let mut model = std::collections::HashMap::new();
+        for (pg, off, v) in ops {
+            let va = VirtAddr(0x10000 + pg * PAGE_SIZE + off);
+            loop {
+                match m.write(pid, va, v) {
+                    Ok(()) => break,
+                    Err(f) => prop_assert!(m.default_fault(&f)),
+                }
+            }
+            model.insert((pg, off), v);
+        }
+        for ((pg, off), v) in model {
+            let va = VirtAddr(0x10000 + pg * PAGE_SIZE + off);
+            let got = loop {
+                match m.read(pid, va) {
+                    Ok(b) => break b,
+                    Err(f) => prop_assert!(m.default_fault(&f)),
+                }
+            };
+            prop_assert_eq!(got, v);
+        }
+    }
+
+    /// Two processes never observe each other's anonymous writes.
+    #[test]
+    fn process_isolation(writes in proptest::collection::vec((0usize..2, 0u64..8, any::<u8>()), 1..60)) {
+        let mut m = Machine::new(MachineConfig::test_small());
+        let pids = [m.spawn("a"), m.spawn("b")];
+        for &pid in &pids {
+            m.mmap(pid, Vma::anon(VirtAddr(0x10000), 8, Protection::rw()));
+        }
+        let mut model = std::collections::HashMap::new();
+        for (p, pg, v) in writes {
+            let va = VirtAddr(0x10000 + pg * PAGE_SIZE);
+            loop {
+                match m.write(pids[p], va, v) {
+                    Ok(()) => break,
+                    Err(f) => prop_assert!(m.default_fault(&f)),
+                }
+            }
+            model.insert((p, pg), v);
+        }
+        for ((p, pg), v) in model {
+            let va = VirtAddr(0x10000 + pg * PAGE_SIZE);
+            let got = loop {
+                match m.read(pids[p], va) {
+                    Ok(b) => break b,
+                    Err(f) => prop_assert!(m.default_fault(&f)),
+                }
+            };
+            prop_assert_eq!(got, v, "process {} page {} corrupted", p, pg);
+        }
+    }
+
+    /// The clock is monotone and every completed access advances it.
+    #[test]
+    fn clock_monotone(accesses in proptest::collection::vec(0u64..4, 1..80)) {
+        let mut m = Machine::new(MachineConfig::test_small());
+        let pid = m.spawn("p");
+        m.mmap(pid, Vma::anon(VirtAddr(0x10000), 4, Protection::rw()));
+        let mut last = m.now_ns();
+        for pg in accesses {
+            let va = VirtAddr(0x10000 + pg * PAGE_SIZE);
+            loop {
+                match m.read(pid, va) {
+                    Ok(_) => break,
+                    Err(f) => prop_assert!(m.default_fault(&f)),
+                }
+            }
+            let now = m.now_ns();
+            prop_assert!(now > last, "access did not advance the clock");
+            last = now;
+        }
+    }
+
+    /// File-backed mappings share content within a process and CoW on
+    /// write without disturbing the cache copy.
+    #[test]
+    fn file_cow_isolation(off in 0u64..PAGE_SIZE, v in 1u8..255) {
+        let mut m = Machine::new(MachineConfig::test_small());
+        let pid = m.spawn("p");
+        // Two mappings of the same file page.
+        m.mmap(pid, Vma::file(VirtAddr(0x10000), 1, Protection::rw(), 7, 0));
+        m.mmap(pid, Vma::file(VirtAddr(0x20000), 1, Protection::rw(), 7, 0));
+        let read = |m: &mut Machine, va: VirtAddr| loop {
+            match m.read(pid, va) {
+                Ok(b) => break b,
+                Err(f) => assert!(m.default_fault(&f)),
+            }
+        };
+        let before_a = read(&mut m, VirtAddr(0x10000 + off));
+        let before_b = read(&mut m, VirtAddr(0x20000 + off));
+        prop_assert_eq!(before_a, before_b, "same file page must read identically");
+        // Write through the first mapping: CoW.
+        loop {
+            match m.write(pid, VirtAddr(0x10000 + off), v) {
+                Ok(()) => break,
+                Err(f) => prop_assert!(m.default_fault(&f)),
+            }
+        }
+        prop_assert_eq!(read(&mut m, VirtAddr(0x10000 + off)), v);
+        prop_assert_eq!(read(&mut m, VirtAddr(0x20000 + off)), before_b, "cache copy must survive");
+    }
+}

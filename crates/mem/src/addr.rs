@@ -1,0 +1,171 @@
+//! Address and frame-number types.
+//!
+//! The simulation uses x86-64 conventions: 4 KiB base pages, 2 MiB huge
+//! pages, 64-byte cache lines. Strong types keep physical and virtual
+//! addresses from being mixed up — a classic source of bugs in MM code.
+
+/// Size of a base page in bytes (4 KiB).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Size of a huge page in bytes (2 MiB).
+pub const HUGE_PAGE_SIZE: u64 = 2 * 1024 * 1024;
+
+/// Number of base frames per huge page (512 on x86-64).
+pub const HUGE_PAGE_FRAMES: u64 = HUGE_PAGE_SIZE / PAGE_SIZE;
+
+/// Size of a cache line in bytes.
+pub const CACHE_LINE: u64 = 64;
+
+/// Identifier of a physical frame (the physical page frame number, PFN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(pub u64);
+
+impl FrameId {
+    /// Physical address of the first byte of this frame.
+    pub fn base(self) -> PhysAddr {
+        PhysAddr(self.0 * PAGE_SIZE)
+    }
+
+    /// Physical address `offset` bytes into this frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= PAGE_SIZE`.
+    pub fn addr(self, offset: u64) -> PhysAddr {
+        assert!(offset < PAGE_SIZE, "offset {offset} outside frame");
+        PhysAddr(self.0 * PAGE_SIZE + offset)
+    }
+
+    /// Whether this frame is aligned to a huge-page boundary.
+    pub fn is_huge_aligned(self) -> bool {
+        self.0.is_multiple_of(HUGE_PAGE_FRAMES)
+    }
+}
+
+/// A physical byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// The frame containing this address.
+    pub fn frame(self) -> FrameId {
+        FrameId(self.0 / PAGE_SIZE)
+    }
+
+    /// Byte offset within the containing frame.
+    pub fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// Index of the cache line containing this address.
+    pub fn line(self) -> u64 {
+        self.0 / CACHE_LINE
+    }
+}
+
+/// A virtual byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// The virtual page number containing this address.
+    pub fn page(self) -> u64 {
+        self.0 / PAGE_SIZE
+    }
+
+    /// Byte offset within the containing page.
+    pub fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// First address of the containing page.
+    pub fn page_base(self) -> VirtAddr {
+        VirtAddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// First address of the containing 2 MiB huge page.
+    pub fn huge_base(self) -> VirtAddr {
+        VirtAddr(self.0 & !(HUGE_PAGE_SIZE - 1))
+    }
+
+    /// Whether this address is 2 MiB aligned.
+    pub fn is_huge_aligned(self) -> bool {
+        self.0.is_multiple_of(HUGE_PAGE_SIZE)
+    }
+
+    /// The four page-table indices (PML4, PDPT, PD, PT) of this address.
+    pub fn pt_indices(self) -> [usize; 4] {
+        let p = self.0;
+        [
+            ((p >> 39) & 0x1ff) as usize,
+            ((p >> 30) & 0x1ff) as usize,
+            ((p >> 21) & 0x1ff) as usize,
+            ((p >> 12) & 0x1ff) as usize,
+        ]
+    }
+}
+
+impl std::ops::Add<u64> for VirtAddr {
+    type Output = VirtAddr;
+    fn add(self, rhs: u64) -> VirtAddr {
+        VirtAddr(self.0 + rhs)
+    }
+}
+
+impl std::ops::Add<u64> for PhysAddr {
+    type Output = PhysAddr;
+    fn add(self, rhs: u64) -> PhysAddr {
+        PhysAddr(self.0 + rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_base_and_back() {
+        let f = FrameId(7);
+        assert_eq!(f.base(), PhysAddr(7 * 4096));
+        assert_eq!(f.base().frame(), f);
+        assert_eq!(f.addr(100).page_offset(), 100);
+    }
+
+    #[test]
+    fn huge_alignment() {
+        assert!(FrameId(0).is_huge_aligned());
+        assert!(FrameId(512).is_huge_aligned());
+        assert!(!FrameId(511).is_huge_aligned());
+        assert!(VirtAddr(HUGE_PAGE_SIZE * 3).is_huge_aligned());
+        assert!(!VirtAddr(HUGE_PAGE_SIZE * 3 + PAGE_SIZE).is_huge_aligned());
+    }
+
+    #[test]
+    fn pt_indices_decompose_address() {
+        // VA with PML4=1, PDPT=2, PD=3, PT=4.
+        let va = VirtAddr((1u64 << 39) | (2 << 30) | (3 << 21) | (4 << 12) | 0x123);
+        assert_eq!(va.pt_indices(), [1, 2, 3, 4]);
+        assert_eq!(va.page_offset(), 0x123);
+    }
+
+    #[test]
+    fn page_and_huge_base() {
+        let va = VirtAddr(HUGE_PAGE_SIZE + 5 * PAGE_SIZE + 17);
+        assert_eq!(va.page_base().0, HUGE_PAGE_SIZE + 5 * PAGE_SIZE);
+        assert_eq!(va.huge_base().0, HUGE_PAGE_SIZE);
+    }
+
+    #[test]
+    fn cache_line_index() {
+        assert_eq!(PhysAddr(0).line(), 0);
+        assert_eq!(PhysAddr(63).line(), 0);
+        assert_eq!(PhysAddr(64).line(), 1);
+        assert_eq!(PhysAddr(4096).line(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside frame")]
+    fn frame_addr_rejects_large_offset() {
+        let _ = FrameId(0).addr(PAGE_SIZE);
+    }
+}

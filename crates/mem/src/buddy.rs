@@ -1,0 +1,375 @@
+//! A Linux-style binary buddy allocator.
+//!
+//! This is the system-wide page allocator of the simulation. Two properties
+//! matter for the paper:
+//!
+//! * **Order-9 allocations** back transparent huge pages (512 contiguous
+//!   frames), which `khugepaged` requests.
+//! * **LIFO free lists**: like Linux, a freed block is pushed on the head of
+//!   its free list and the next allocation pops it right back. This
+//!   *predictable reuse* is the memory-massaging primitive Flip Feng Shui
+//!   exploits (§4.2) and the reason VUsion draws backing frames from a
+//!   [`crate::RandomPool`] instead (§6.2: randomizing the system-wide
+//!   allocator "has non-trivial performance and usability implications", so
+//!   RA is enforced at the fusion system).
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::addr::FrameId;
+use crate::FrameAllocator;
+
+/// Largest supported order: blocks of `2^10 = 1024` frames (4 MiB).
+pub const MAX_ORDER: u8 = 10;
+
+/// Allocation statistics, exposed for benches and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuddyStats {
+    /// Successful allocations (any order).
+    pub allocs: u64,
+    /// Frees (any order).
+    pub frees: u64,
+    /// Block splits performed.
+    pub splits: u64,
+    /// Buddy coalesces performed.
+    pub merges: u64,
+}
+
+/// Binary buddy allocator over the frame range `[base, base + frames)`.
+pub struct BuddyAllocator {
+    base: u64,
+    frames: u64,
+    /// Per-order LIFO stacks of block starts (relative to `base`). Entries
+    /// may be stale (consumed by coalescing); `free_set` is authoritative.
+    free_stacks: Vec<Vec<u64>>,
+    /// Per-order set of genuinely free block starts.
+    free_sets: Vec<BTreeSet<u64>>,
+    /// Order of each outstanding allocation, for free-time validation.
+    allocated: HashMap<u64, u8>,
+    free_frames: u64,
+    stats: BuddyStats,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator managing `frames` frames starting at `base`.
+    ///
+    /// The region need not be a power of two; it is carved greedily into
+    /// maximal aligned blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames == 0`.
+    pub fn new(base: FrameId, frames: u64) -> Self {
+        assert!(frames > 0, "buddy region must be non-empty");
+        let mut a = Self {
+            base: base.0,
+            frames,
+            free_stacks: vec![Vec::new(); usize::from(MAX_ORDER) + 1],
+            free_sets: vec![BTreeSet::new(); usize::from(MAX_ORDER) + 1],
+            allocated: HashMap::new(),
+            free_frames: frames,
+            stats: BuddyStats::default(),
+        };
+        // Carve the region into maximal aligned blocks, from high addresses
+        // down, so the LIFO stack pops low addresses first.
+        let mut carved: Vec<(u64, u8)> = Vec::new();
+        let mut start = 0u64;
+        while start < frames {
+            let align_order = if start == 0 {
+                MAX_ORDER
+            } else {
+                start.trailing_zeros().min(u32::from(MAX_ORDER)) as u8
+            };
+            let mut order = align_order;
+            while (1u64 << order) > frames - start {
+                order -= 1;
+            }
+            carved.push((start, order));
+            start += 1 << order;
+        }
+        for &(s, o) in carved.iter().rev() {
+            a.push_free(s, o);
+        }
+        a
+    }
+
+    /// First frame managed by this allocator.
+    pub fn base(&self) -> FrameId {
+        FrameId(self.base)
+    }
+
+    /// Number of frames managed (free or allocated).
+    pub fn managed_frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Allocation statistics.
+    pub fn stats(&self) -> BuddyStats {
+        self.stats
+    }
+
+    fn push_free(&mut self, rel: u64, order: u8) {
+        self.free_sets[usize::from(order)].insert(rel);
+        self.free_stacks[usize::from(order)].push(rel);
+    }
+
+    /// Pops the most recently freed genuinely-free block of `order`.
+    fn pop_free(&mut self, order: u8) -> Option<u64> {
+        let o = usize::from(order);
+        while let Some(rel) = self.free_stacks[o].pop() {
+            if self.free_sets[o].remove(&rel) {
+                return Some(rel);
+            }
+            // Stale entry: the block was coalesced away. Skip it.
+        }
+        None
+    }
+
+    /// Allocates a block of `2^order` frames; returns its first frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order > MAX_ORDER`.
+    pub fn alloc_order(&mut self, order: u8) -> Option<FrameId> {
+        assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
+        // Find the smallest order with a free block.
+        let mut have = None;
+        for o in order..=MAX_ORDER {
+            if !self.free_sets[usize::from(o)].is_empty() {
+                have = Some(o);
+                break;
+            }
+        }
+        let mut o = have?;
+        let rel = self.pop_free(o).expect("free set was non-empty");
+        // Split down to the requested order, keeping the upper halves free.
+        while o > order {
+            o -= 1;
+            let upper = rel + (1 << o);
+            self.push_free(upper, o);
+            self.stats.splits += 1;
+        }
+        self.allocated.insert(rel, order);
+        self.free_frames -= 1 << order;
+        self.stats.allocs += 1;
+        Some(FrameId(self.base + rel))
+    }
+
+    /// Frees a block previously returned by [`Self::alloc_order`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free, on freeing an unmanaged frame, or if `order`
+    /// does not match the allocation.
+    pub fn free_order(&mut self, frame: FrameId, order: u8) {
+        assert!(
+            frame.0 >= self.base && frame.0 < self.base + self.frames,
+            "frame not managed by this allocator"
+        );
+        let mut rel = frame.0 - self.base;
+        let recorded = self
+            .allocated
+            .remove(&rel)
+            .expect("double free or freeing unallocated block");
+        assert_eq!(recorded, order, "free order mismatch");
+        self.free_frames += 1 << order;
+        self.stats.frees += 1;
+        // Coalesce with the buddy while it is free.
+        let mut o = order;
+        while o < MAX_ORDER {
+            let buddy = rel ^ (1u64 << o);
+            if buddy + (1 << o) > self.frames || !self.free_sets[usize::from(o)].remove(&buddy) {
+                break;
+            }
+            self.stats.merges += 1;
+            rel = rel.min(buddy);
+            o += 1;
+        }
+        self.push_free(rel, o);
+    }
+
+    /// Converts one recorded allocation of `2^order` frames into `2^order`
+    /// independent order-0 allocations, so the frames can be freed
+    /// individually. Used when a transparent huge page is broken up into
+    /// base pages (KSM and VUsion both do this before fusing, §8.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not an outstanding allocation of that order.
+    pub fn split_allocated(&mut self, frame: FrameId, order: u8) {
+        assert!(
+            frame.0 >= self.base && frame.0 < self.base + self.frames,
+            "frame not managed by this allocator"
+        );
+        let rel = frame.0 - self.base;
+        let recorded = self
+            .allocated
+            .remove(&rel)
+            .expect("splitting an unallocated block");
+        assert_eq!(recorded, order, "split order mismatch");
+        for i in 0..(1u64 << order) {
+            self.allocated.insert(rel + i, 0);
+        }
+    }
+
+    /// Whether a specific frame is currently inside any free block.
+    pub fn is_frame_free(&self, frame: FrameId) -> bool {
+        if frame.0 < self.base || frame.0 >= self.base + self.frames {
+            return false;
+        }
+        let rel = frame.0 - self.base;
+        for o in 0..=MAX_ORDER {
+            let block = rel & !((1u64 << o) - 1);
+            if self.free_sets[usize::from(o)].contains(&block) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl FrameAllocator for BuddyAllocator {
+    fn alloc(&mut self) -> Option<FrameId> {
+        self.alloc_order(0)
+    }
+
+    fn free(&mut self, frame: FrameId) {
+        self.free_order(frame, 0);
+    }
+
+    fn free_frames(&self) -> usize {
+        self.free_frames as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_distinct_frames() {
+        let mut b = BuddyAllocator::new(FrameId(0), 64);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let f = b.alloc().expect("in range");
+            assert!(seen.insert(f));
+        }
+        assert_eq!(b.alloc(), None);
+        assert_eq!(b.free_frames(), 0);
+    }
+
+    #[test]
+    fn lifo_reuse_is_predictable() {
+        // The property Flip Feng Shui relies on: free then realloc returns
+        // the same frame.
+        let mut b = BuddyAllocator::new(FrameId(0), 1024);
+        let f = b.alloc().expect("frame");
+        let _g = b.alloc().expect("frame");
+        b.free(f);
+        let h = b.alloc().expect("frame");
+        assert_eq!(f, h, "buddy must exhibit LIFO reuse");
+    }
+
+    #[test]
+    fn coalescing_restores_full_blocks() {
+        let mut b = BuddyAllocator::new(FrameId(0), 1024);
+        let frames: Vec<_> = (0..1024).map(|_| b.alloc().expect("frame")).collect();
+        for f in frames {
+            b.free(f);
+        }
+        assert_eq!(b.free_frames(), 1024);
+        // After everything is freed and coalesced we can allocate MAX_ORDER.
+        assert!(b.alloc_order(MAX_ORDER).is_some());
+    }
+
+    #[test]
+    fn order9_supports_huge_pages() {
+        let mut b = BuddyAllocator::new(FrameId(0), 2048);
+        let f = b.alloc_order(9).expect("huge block");
+        assert_eq!(f.0 % 512, 0, "order-9 blocks are 2 MiB aligned");
+        assert_eq!(b.free_frames(), 2048 - 512);
+        b.free_order(f, 9);
+        assert_eq!(b.free_frames(), 2048);
+    }
+
+    #[test]
+    fn non_power_of_two_region() {
+        let mut b = BuddyAllocator::new(FrameId(0), 1000);
+        let mut n = 0;
+        while b.alloc().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 1000);
+    }
+
+    #[test]
+    fn base_offset_respected() {
+        let mut b = BuddyAllocator::new(FrameId(4096), 16);
+        let f = b.alloc().expect("frame");
+        assert!(f.0 >= 4096 && f.0 < 4096 + 16);
+    }
+
+    #[test]
+    fn is_frame_free_tracks_state() {
+        let mut b = BuddyAllocator::new(FrameId(0), 16);
+        assert!(b.is_frame_free(FrameId(3)));
+        let f = b.alloc().expect("frame");
+        assert!(!b.is_frame_free(f));
+        b.free(f);
+        assert!(b.is_frame_free(f));
+        assert!(!b.is_frame_free(FrameId(99)));
+    }
+
+    #[test]
+    fn split_and_merge_stats() {
+        let mut b = BuddyAllocator::new(FrameId(0), 1024);
+        let f = b.alloc().expect("frame");
+        assert_eq!(b.stats().splits, u64::from(MAX_ORDER));
+        b.free(f);
+        assert_eq!(b.stats().merges, u64::from(MAX_ORDER));
+    }
+
+    #[test]
+    fn split_allocated_allows_individual_frees() {
+        let mut b = BuddyAllocator::new(FrameId(0), 2048);
+        let huge = b.alloc_order(9).expect("huge block");
+        b.split_allocated(huge, 9);
+        // Free every frame individually; coalescing restores the block.
+        for i in 0..512u64 {
+            b.free(FrameId(huge.0 + i));
+        }
+        assert_eq!(b.free_frames(), 2048);
+        assert!(b.alloc_order(MAX_ORDER).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "split order mismatch")]
+    fn split_wrong_order_panics() {
+        let mut b = BuddyAllocator::new(FrameId(0), 2048);
+        let huge = b.alloc_order(9).expect("huge block");
+        b.split_allocated(huge, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut b = BuddyAllocator::new(FrameId(0), 16);
+        let f = b.alloc().expect("frame");
+        b.free(f);
+        b.free(f);
+    }
+
+    #[test]
+    #[should_panic(expected = "order mismatch")]
+    fn wrong_order_free_panics() {
+        let mut b = BuddyAllocator::new(FrameId(0), 16);
+        let f = b.alloc_order(1).expect("block");
+        b.free_order(f, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not managed")]
+    fn foreign_frame_free_panics() {
+        let mut b = BuddyAllocator::new(FrameId(0), 16);
+        b.free(FrameId(100));
+    }
+}

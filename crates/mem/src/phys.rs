@@ -1,0 +1,319 @@
+//! Physical memory: frame contents plus per-frame metadata.
+//!
+//! Frames are materialized lazily: an untouched frame is all-zeroes and
+//! costs no host memory, which lets experiments simulate multi-gigabyte
+//! guests cheaply (most guest memory is zero — and indeed zero pages are a
+//! large fraction of fusion candidates, cf. Figure 4).
+
+use crate::addr::{FrameId, PhysAddr, PAGE_SIZE};
+use crate::frame::{FrameInfo, FrameState, PageType};
+
+/// FNV-1a 64-bit hash of a page's content.
+///
+/// Used by the WPF engine's hash-sorted candidate list (§2.2) and by KSM's
+/// "has the page changed since last scan" checksum.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const ZERO_PAGE: [u8; PAGE_SIZE as usize] = [0; PAGE_SIZE as usize];
+
+/// Simulated physical memory: `n` frames of 4 KiB, with metadata.
+pub struct PhysMemory {
+    data: Vec<Option<Box<[u8; PAGE_SIZE as usize]>>>,
+    info: Vec<FrameInfo>,
+}
+
+impl PhysMemory {
+    /// Creates a physical memory of `frames` frames, all free and zeroed.
+    pub fn new(frames: usize) -> Self {
+        Self {
+            data: (0..frames).map(|_| None).collect(),
+            info: vec![FrameInfo::default(); frames],
+        }
+    }
+
+    /// Total number of frames.
+    pub fn frame_count(&self) -> usize {
+        self.info.len()
+    }
+
+    fn idx(&self, frame: FrameId) -> usize {
+        let i = frame.0 as usize;
+        assert!(i < self.info.len(), "frame {i} out of range");
+        i
+    }
+
+    /// Immutable metadata of a frame.
+    pub fn info(&self, frame: FrameId) -> &FrameInfo {
+        &self.info[self.idx(frame)]
+    }
+
+    /// Mutable metadata of a frame.
+    pub fn info_mut(&mut self, frame: FrameId) -> &mut FrameInfo {
+        let i = self.idx(frame);
+        &mut self.info[i]
+    }
+
+    /// The 4096 content bytes of a frame.
+    pub fn page(&self, frame: FrameId) -> &[u8; PAGE_SIZE as usize] {
+        match &self.data[self.idx(frame)] {
+            Some(b) => b,
+            None => &ZERO_PAGE,
+        }
+    }
+
+    /// Whether the frame is all zeroes (cheap check for the lazy case).
+    pub fn is_zero(&self, frame: FrameId) -> bool {
+        match &self.data[self.idx(frame)] {
+            None => true,
+            Some(b) => b.iter().all(|&x| x == 0),
+        }
+    }
+
+    /// Reads one byte.
+    pub fn read_byte(&self, addr: PhysAddr) -> u8 {
+        self.page(addr.frame())[addr.page_offset() as usize]
+    }
+
+    /// Writes one byte, materializing the frame if needed.
+    pub fn write_byte(&mut self, addr: PhysAddr, value: u8) {
+        let i = self.idx(addr.frame());
+        let page = self.data[i].get_or_insert_with(|| Box::new(ZERO_PAGE));
+        page[addr.page_offset() as usize] = value;
+    }
+
+    /// Reads a little-endian u64 (must not cross a frame boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses a frame boundary.
+    pub fn read_u64(&self, addr: PhysAddr) -> u64 {
+        let off = addr.page_offset() as usize;
+        assert!(
+            off + 8 <= PAGE_SIZE as usize,
+            "u64 read crosses frame boundary"
+        );
+        let page = self.page(addr.frame());
+        u64::from_le_bytes(page[off..off + 8].try_into().expect("8-byte slice"))
+    }
+
+    /// Writes a little-endian u64 (must not cross a frame boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses a frame boundary.
+    pub fn write_u64(&mut self, addr: PhysAddr, value: u64) {
+        let off = addr.page_offset() as usize;
+        assert!(
+            off + 8 <= PAGE_SIZE as usize,
+            "u64 write crosses frame boundary"
+        );
+        let i = self.idx(addr.frame());
+        let page = self.data[i].get_or_insert_with(|| Box::new(ZERO_PAGE));
+        page[off..off + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Overwrites a frame's entire content.
+    pub fn write_page(&mut self, frame: FrameId, bytes: &[u8; PAGE_SIZE as usize]) {
+        let i = self.idx(frame);
+        if bytes.iter().all(|&b| b == 0) {
+            self.data[i] = None;
+        } else {
+            self.data[i] = Some(Box::new(*bytes));
+        }
+    }
+
+    /// Copies the content of `src` into `dst`.
+    pub fn copy_page(&mut self, src: FrameId, dst: FrameId) {
+        let si = self.idx(src);
+        let di = self.idx(dst);
+        self.data[di] = self.data[si].clone();
+    }
+
+    /// Zeroes a frame (demand-zero allocation path).
+    pub fn zero_page(&mut self, frame: FrameId) {
+        let i = self.idx(frame);
+        self.data[i] = None;
+    }
+
+    /// Whether two frames have identical content.
+    pub fn pages_equal(&self, a: FrameId, b: FrameId) -> bool {
+        match (&self.data[self.idx(a)], &self.data[self.idx(b)]) {
+            (None, None) => true,
+            (Some(x), Some(y)) => x == y,
+            (None, Some(y)) => y.iter().all(|&v| v == 0),
+            (Some(x), None) => x.iter().all(|&v| v == 0),
+        }
+    }
+
+    /// Lexicographic comparison of two frames' content (the ordering KSM's
+    /// content-indexed trees use).
+    pub fn compare_pages(&self, a: FrameId, b: FrameId) -> std::cmp::Ordering {
+        self.page(a).as_slice().cmp(self.page(b).as_slice())
+    }
+
+    /// FNV-1a hash of a frame's content.
+    pub fn hash_page(&self, frame: FrameId) -> u64 {
+        match &self.data[self.idx(frame)] {
+            None => content_hash(&ZERO_PAGE),
+            Some(b) => content_hash(b.as_slice()),
+        }
+    }
+
+    /// Flips one bit of physical memory (a Rowhammer-induced fault). Returns
+    /// the new value of the affected byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 8`.
+    pub fn flip_bit(&mut self, addr: PhysAddr, bit: u8) -> u8 {
+        assert!(bit < 8, "bit index out of range");
+        let old = self.read_byte(addr);
+        let new = old ^ (1 << bit);
+        self.write_byte(addr, new);
+        new
+    }
+
+    /// Number of frames currently in the [`FrameState::Allocated`] state;
+    /// drives the memory-consumption curves of Figures 10–12.
+    pub fn allocated_frames(&self) -> usize {
+        self.info
+            .iter()
+            .filter(|i| i.state == FrameState::Allocated)
+            .count()
+    }
+
+    /// Counts allocated frames by page type (Table 3 accounting).
+    pub fn allocated_by_type(&self) -> Vec<(PageType, usize)> {
+        let mut counts: Vec<(PageType, usize)> = Vec::new();
+        for info in &self.info {
+            if info.state != FrameState::Allocated {
+                continue;
+            }
+            match counts.iter_mut().find(|(t, _)| *t == info.page_type) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((info.page_type, 1)),
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_start_zeroed_and_lazy() {
+        let m = PhysMemory::new(4);
+        assert!(m.is_zero(FrameId(0)));
+        assert_eq!(m.read_byte(PhysAddr(100)), 0);
+    }
+
+    #[test]
+    fn byte_write_read_roundtrip() {
+        let mut m = PhysMemory::new(4);
+        m.write_byte(PhysAddr(4096 + 17), 0xAB);
+        assert_eq!(m.read_byte(PhysAddr(4096 + 17)), 0xAB);
+        assert!(!m.is_zero(FrameId(1)));
+        assert!(m.is_zero(FrameId(0)));
+    }
+
+    #[test]
+    fn u64_roundtrip_little_endian() {
+        let mut m = PhysMemory::new(1);
+        m.write_u64(PhysAddr(8), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u64(PhysAddr(8)), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_byte(PhysAddr(8)), 0xef);
+    }
+
+    #[test]
+    fn copy_page_duplicates_content() {
+        let mut m = PhysMemory::new(2);
+        m.write_byte(PhysAddr(5), 9);
+        m.copy_page(FrameId(0), FrameId(1));
+        assert!(m.pages_equal(FrameId(0), FrameId(1)));
+        // Copies are independent afterwards.
+        m.write_byte(PhysAddr(PAGE_SIZE + 5), 10);
+        assert!(!m.pages_equal(FrameId(0), FrameId(1)));
+    }
+
+    #[test]
+    fn zero_written_page_equals_lazy_zero() {
+        let mut m = PhysMemory::new(2);
+        m.write_byte(PhysAddr(0), 1);
+        m.write_byte(PhysAddr(0), 0);
+        assert!(m.pages_equal(FrameId(0), FrameId(1)));
+        assert_eq!(m.hash_page(FrameId(0)), m.hash_page(FrameId(1)));
+    }
+
+    #[test]
+    fn compare_pages_is_lexicographic() {
+        let mut m = PhysMemory::new(2);
+        m.write_byte(PhysAddr(0), 1);
+        assert_eq!(
+            m.compare_pages(FrameId(1), FrameId(0)),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(
+            m.compare_pages(FrameId(0), FrameId(0)),
+            std::cmp::Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn hash_differs_on_content() {
+        let mut m = PhysMemory::new(2);
+        m.write_byte(PhysAddr(0), 1);
+        assert_ne!(m.hash_page(FrameId(0)), m.hash_page(FrameId(1)));
+    }
+
+    #[test]
+    fn flip_bit_toggles() {
+        let mut m = PhysMemory::new(1);
+        m.write_byte(PhysAddr(10), 0b0000_0100);
+        let v = m.flip_bit(PhysAddr(10), 2);
+        assert_eq!(v, 0);
+        let v = m.flip_bit(PhysAddr(10), 7);
+        assert_eq!(v, 0b1000_0000);
+    }
+
+    #[test]
+    fn write_page_of_zeroes_dematerializes() {
+        let mut m = PhysMemory::new(1);
+        m.write_byte(PhysAddr(0), 7);
+        m.write_page(FrameId(0), &[0; PAGE_SIZE as usize]);
+        assert!(m.is_zero(FrameId(0)));
+    }
+
+    #[test]
+    fn allocation_accounting() {
+        let mut m = PhysMemory::new(3);
+        m.info_mut(FrameId(0)).on_alloc(PageType::Anon);
+        m.info_mut(FrameId(2)).on_alloc(PageType::PageCache);
+        assert_eq!(m.allocated_frames(), 2);
+        let by_type = m.allocated_by_type();
+        assert!(by_type.contains(&(PageType::Anon, 1)));
+        assert!(by_type.contains(&(PageType::PageCache, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses frame boundary")]
+    fn u64_across_boundary_panics() {
+        let m = PhysMemory::new(2);
+        let _ = m.read_u64(PhysAddr(PAGE_SIZE - 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_frame_panics() {
+        let m = PhysMemory::new(1);
+        let _ = m.page(FrameId(1));
+    }
+}

@@ -1,0 +1,192 @@
+//! VUsion's Randomized Allocation (RA) pool.
+//!
+//! §7.1: "We reserve 128 MB of physical memory in a cache to add 15 bits of
+//! entropy to physical memory allocations performed by VUsion during both
+//! merging and unmerging." With a pool of 2¹⁵ = 32,768 frames, a specific
+//! vulnerable frame released by the attacker is controllably reused with
+//! probability only 2⁻¹⁵, defeating Flip Feng Shui templating.
+//!
+//! The pool sits in front of a backing allocator (the system buddy
+//! allocator): every allocation draws a uniformly random pool slot and
+//! refills it from the backing allocator; every free inserts the frame at a
+//! random slot and evicts a random resident back to the backing allocator,
+//! so recently freed frames enjoy no reuse preference whatsoever.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::addr::FrameId;
+use crate::FrameAllocator;
+
+/// Default pool capacity: 128 MiB of 4 KiB frames = 2¹⁵ frames.
+pub const DEFAULT_POOL_FRAMES: usize = 32 * 1024;
+
+/// Randomized frame pool in front of a backing allocator.
+pub struct RandomPool {
+    pool: Vec<FrameId>,
+    capacity: usize,
+    rng: StdRng,
+}
+
+impl RandomPool {
+    /// Creates a pool of `capacity` frames, pre-filled from `backing`.
+    ///
+    /// If the backing allocator cannot supply `capacity` frames the pool is
+    /// smaller (entropy degrades gracefully; tests use small pools).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backing allocator yields no frames at all.
+    pub fn new(capacity: usize, backing: &mut dyn FrameAllocator, seed: u64) -> Self {
+        let mut pool = Vec::with_capacity(capacity);
+        for _ in 0..capacity {
+            match backing.alloc() {
+                Some(f) => pool.push(f),
+                None => break,
+            }
+        }
+        assert!(!pool.is_empty(), "random pool requires at least one frame");
+        Self {
+            pool,
+            capacity,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current number of frames resident in the pool.
+    pub fn resident(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Configured capacity (bits of entropy = log2(capacity)).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Draws a uniformly random frame, refilling the slot from `backing`.
+    pub fn alloc_random(&mut self, backing: &mut dyn FrameAllocator) -> Option<FrameId> {
+        if self.pool.is_empty() {
+            return backing.alloc();
+        }
+        let idx = self.rng.random_range(0..self.pool.len());
+        match backing.alloc() {
+            Some(refill) => {
+                let out = std::mem::replace(&mut self.pool[idx], refill);
+                Some(out)
+            }
+            None => Some(self.pool.swap_remove(idx)),
+        }
+    }
+
+    /// Returns a frame: it is inserted at a random pool slot; if the pool is
+    /// over capacity a random resident is evicted to `backing` instead.
+    pub fn free_random(&mut self, frame: FrameId, backing: &mut dyn FrameAllocator) {
+        if self.pool.len() < self.capacity {
+            // Insert at a random position to avoid positional bias.
+            let idx = self.rng.random_range(0..=self.pool.len());
+            self.pool.push(frame);
+            let last = self.pool.len() - 1;
+            self.pool.swap(idx, last);
+        } else {
+            let idx = self.rng.random_range(0..self.pool.len());
+            let evicted = std::mem::replace(&mut self.pool[idx], frame);
+            backing.free(evicted);
+        }
+    }
+
+    /// Whether a frame is currently resident in the pool (test helper).
+    pub fn contains(&self, frame: FrameId) -> bool {
+        self.pool.contains(&frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buddy::BuddyAllocator;
+
+    fn setup(pool_size: usize, frames: u64) -> (RandomPool, BuddyAllocator) {
+        let mut b = BuddyAllocator::new(FrameId(0), frames);
+        let p = RandomPool::new(pool_size, &mut b, 42);
+        (p, b)
+    }
+
+    #[test]
+    fn prefills_to_capacity() {
+        let (p, b) = setup(64, 1024);
+        assert_eq!(p.resident(), 64);
+        assert_eq!(b.free_frames(), 1024 - 64);
+    }
+
+    #[test]
+    fn alloc_returns_distinct_frames() {
+        let (mut p, mut b) = setup(64, 1024);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let f = p.alloc_random(&mut b).expect("frame");
+            assert!(seen.insert(f), "pool handed out a frame twice");
+        }
+    }
+
+    #[test]
+    fn freed_frame_rarely_reused_immediately() {
+        // The anti-Flip-Feng-Shui property: free a frame, then allocate; the
+        // probability of getting the same frame back must be ~1/capacity,
+        // not ~1 as with the LIFO buddy allocator.
+        let (mut p, mut b) = setup(256, 4096);
+        let mut immediate_reuse = 0;
+        for _ in 0..400 {
+            let f = p.alloc_random(&mut b).expect("frame");
+            p.free_random(f, &mut b);
+            let g = p.alloc_random(&mut b).expect("frame");
+            if f == g {
+                immediate_reuse += 1;
+            }
+            p.free_random(g, &mut b);
+        }
+        // Expected ≈ 400/256 ≈ 1.6; allow generous slack but far below LIFO's 400.
+        assert!(immediate_reuse <= 10, "reused {immediate_reuse}/400 times");
+    }
+
+    #[test]
+    fn draws_are_roughly_uniform() {
+        // Chi-square-free sanity check: draw many frames from a small pool
+        // backed by an exhausted allocator and check each slot is hit.
+        let mut b = BuddyAllocator::new(FrameId(0), 16);
+        let mut p = RandomPool::new(16, &mut b, 7);
+        assert_eq!(b.free_frames(), 0);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..2000 {
+            let f = p.alloc_random(&mut b).expect("frame");
+            *counts.entry(f).or_insert(0u32) += 1;
+            p.free_random(f, &mut b);
+        }
+        assert_eq!(counts.len(), 16, "every pool slot must be drawable");
+        for (_, c) in counts {
+            assert!(c > 50, "draws badly non-uniform: {c}");
+        }
+    }
+
+    #[test]
+    fn degrades_to_backing_when_empty() {
+        let mut b = BuddyAllocator::new(FrameId(0), 8);
+        let mut p = RandomPool::new(4, &mut b, 1);
+        // Drain the pool and the backing allocator.
+        let mut got = 0;
+        while p.alloc_random(&mut b).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 8);
+    }
+
+    #[test]
+    fn over_capacity_free_evicts_to_backing() {
+        let mut b = BuddyAllocator::new(FrameId(0), 32);
+        let mut p = RandomPool::new(8, &mut b, 3);
+        let extra = b.alloc().expect("frame");
+        let before = b.free_frames();
+        p.free_random(extra, &mut b);
+        assert_eq!(p.resident(), 8, "pool stays at capacity");
+        assert_eq!(b.free_frames(), before + 1, "one frame evicted to backing");
+    }
+}

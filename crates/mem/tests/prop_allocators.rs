@@ -1,0 +1,127 @@
+//! Property-based tests for the allocator substrate.
+
+use proptest::prelude::*;
+use vusion_mem::{
+    BuddyAllocator, FrameAllocator, FrameId, LinearAllocator, PhysMemory, RandomPool,
+};
+
+proptest! {
+    /// Any interleaving of allocs and frees never hands out a frame twice
+    /// and never loses frames: at the end, freeing everything restores the
+    /// full capacity.
+    #[test]
+    fn buddy_never_double_allocates(ops in proptest::collection::vec(0u8..4, 1..200)) {
+        let mut b = BuddyAllocator::new(FrameId(0), 256);
+        let mut live: Vec<FrameId> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for op in ops {
+            match op {
+                0 | 1 => {
+                    if let Some(f) = b.alloc() {
+                        prop_assert!(seen.insert(f) || !live.contains(&f));
+                        prop_assert!(!live.contains(&f), "frame {f:?} double-allocated");
+                        live.push(f);
+                    }
+                }
+                2 => {
+                    if let Some(f) = live.pop() {
+                        b.free(f);
+                    }
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let f = live.remove(0);
+                        b.free(f);
+                    }
+                }
+            }
+            prop_assert_eq!(b.free_frames(), 256 - live.len());
+        }
+        for f in live {
+            b.free(f);
+        }
+        prop_assert_eq!(b.free_frames(), 256);
+    }
+
+    /// Mixed-order allocations stay within the managed range and aligned.
+    #[test]
+    fn buddy_orders_are_aligned(orders in proptest::collection::vec(0u8..5, 1..40)) {
+        let mut b = BuddyAllocator::new(FrameId(0), 1024);
+        let mut live = Vec::new();
+        for o in orders {
+            if let Some(f) = b.alloc_order(o) {
+                prop_assert_eq!(f.0 % (1 << o), 0, "order-{} block misaligned", o);
+                prop_assert!(f.0 + (1 << o) <= 1024);
+                live.push((f, o));
+            }
+        }
+        for (f, o) in live {
+            b.free_order(f, o);
+        }
+        prop_assert_eq!(b.free_frames(), 1024);
+    }
+
+    /// The linear allocator's reservations never overlap and never exceed
+    /// the managed range.
+    #[test]
+    fn linear_batches_disjoint(sizes in proptest::collection::vec(1usize..30, 1..10)) {
+        let mut a = LinearAllocator::new(FrameId(0), 128);
+        let mut all = std::collections::HashSet::new();
+        for n in sizes {
+            for f in a.reserve_batch(n, |_| false) {
+                prop_assert!(f.0 < 128);
+                prop_assert!(all.insert(f), "frame {f:?} reserved twice");
+            }
+        }
+    }
+
+    /// The random pool conserves frames: alloc/free sequences never lose or
+    /// duplicate a frame.
+    #[test]
+    fn random_pool_conserves_frames(seed in any::<u64>(), ops in proptest::collection::vec(any::<bool>(), 1..100)) {
+        let mut b = BuddyAllocator::new(FrameId(0), 128);
+        let mut p = RandomPool::new(32, &mut b, seed);
+        let mut live = Vec::new();
+        for alloc in ops {
+            if alloc {
+                if let Some(f) = p.alloc_random(&mut b) {
+                    prop_assert!(!live.contains(&f), "pool duplicated {f:?}");
+                    live.push(f);
+                }
+            } else if let Some(f) = live.pop() {
+                p.free_random(f, &mut b);
+            }
+        }
+        // Total frames = backing free + pool resident + live must equal 128.
+        prop_assert_eq!(b.free_frames() + p.resident() + live.len(), 128);
+    }
+
+    /// Page content survives arbitrary byte writes (memory is sound).
+    #[test]
+    fn phys_memory_bytes_roundtrip(writes in proptest::collection::vec((0u64..8, 0u64..4096, any::<u8>()), 1..100)) {
+        let mut m = PhysMemory::new(8);
+        let mut model = std::collections::HashMap::new();
+        for (frame, off, val) in writes {
+            let addr = FrameId(frame).addr(off);
+            m.write_byte(addr, val);
+            model.insert((frame, off), val);
+        }
+        for ((frame, off), val) in model {
+            prop_assert_eq!(m.read_byte(FrameId(frame).addr(off)), val);
+        }
+    }
+
+    /// `pages_equal` agrees with byte-wise comparison, including lazy zeros.
+    #[test]
+    fn pages_equal_matches_bytes(writes in proptest::collection::vec((0u64..2, 0u64..64, 0u8..3), 0..40)) {
+        let mut m = PhysMemory::new(2);
+        for (frame, off, val) in writes {
+            m.write_byte(FrameId(frame).addr(off), val);
+        }
+        let eq = m.page(FrameId(0)).as_slice() == m.page(FrameId(1)).as_slice();
+        prop_assert_eq!(m.pages_equal(FrameId(0), FrameId(1)), eq);
+        if eq {
+            prop_assert_eq!(m.hash_page(FrameId(0)), m.hash_page(FrameId(1)));
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Page-table entries with x86-64 bit layout.
+//!
+//! The bits VUsion cares about:
+//!
+//! * `PRESENT` — VUsion deliberately does **not** clear it (§7.1: the
+//!   present bit "is used for tracking memory pages in many places in
+//!   Linux"); instead it sets a **reserved bit**, which the processor
+//!   checks *before* permissions and faults on unconditionally.
+//! * `PCD` (Caching Disabled) — set together with the reserved bit to stop
+//!   the `prefetch` side channel (Gruss et al., CCS'16): a prefetch of an
+//!   uncacheable page does not load it into the LLC.
+//! * `ACCESSED` — hardware-set on every access; the substrate of the idle
+//!   page tracking that VUsion's working-set estimation uses (§7.2).
+
+use vusion_mem::FrameId;
+
+/// Flag bits of a PTE (x86-64 layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PteFlags(pub u64);
+
+impl PteFlags {
+    /// Entry is valid.
+    pub const PRESENT: u64 = 1 << 0;
+    /// Writes allowed.
+    pub const WRITABLE: u64 = 1 << 1;
+    /// User-mode access allowed.
+    pub const USER: u64 = 1 << 2;
+    /// Caching disabled (PCD).
+    pub const NO_CACHE: u64 = 1 << 4;
+    /// Hardware-set on access.
+    pub const ACCESSED: u64 = 1 << 5;
+    /// Hardware-set on write.
+    pub const DIRTY: u64 = 1 << 6;
+    /// Page size: this PD entry maps a 2 MiB page.
+    pub const HUGE: u64 = 1 << 7;
+    /// A reserved bit (bit 51). Setting it makes the processor raise a page
+    /// fault on any access, regardless of the permission bits — the trap
+    /// mechanism S⊕F is built on.
+    pub const RESERVED: u64 = 1 << 51;
+    /// No-execute.
+    pub const NX: u64 = 1 << 63;
+
+    /// All flag bits (everything that is not part of the frame address).
+    const FLAG_MASK: u64 = !Self::ADDR_MASK;
+    /// Physical-address bits 12..51.
+    const ADDR_MASK: u64 = 0x0007_FFFF_FFFF_F000;
+}
+
+/// A 64-bit page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pte(pub u64);
+
+impl Pte {
+    /// The zero (non-present) entry.
+    pub const EMPTY: Pte = Pte(0);
+
+    /// Builds an entry pointing at `frame` with the given flag bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame number does not fit the address field.
+    pub fn new(frame: FrameId, flags: u64) -> Self {
+        let addr = frame.0 << 12;
+        assert_eq!(
+            addr & !PteFlags::ADDR_MASK,
+            0,
+            "frame number too large for PTE"
+        );
+        assert_eq!(
+            flags & PteFlags::ADDR_MASK,
+            0,
+            "flags overlap address field"
+        );
+        Pte(addr | flags)
+    }
+
+    /// The frame this entry points to.
+    pub fn frame(self) -> FrameId {
+        FrameId((self.0 & PteFlags::ADDR_MASK) >> 12)
+    }
+
+    /// Replaces the frame, keeping all flags. Used by VUsion when
+    /// re-randomizing the backing frame of a (fake-)merged page each scan.
+    pub fn with_frame(self, frame: FrameId) -> Self {
+        Pte::new(frame, self.0 & PteFlags::FLAG_MASK)
+    }
+
+    /// Raw flag bits.
+    pub fn flags(self) -> u64 {
+        self.0 & PteFlags::FLAG_MASK
+    }
+
+    /// Whether all bits in `mask` are set.
+    pub fn has(self, mask: u64) -> bool {
+        self.0 & mask == mask
+    }
+
+    /// Returns a copy with `mask` set.
+    pub fn set(self, mask: u64) -> Self {
+        Pte(self.0 | mask)
+    }
+
+    /// Returns a copy with `mask` cleared.
+    pub fn clear(self, mask: u64) -> Self {
+        Pte(self.0 & !mask)
+    }
+
+    /// Present and not reserved-trapped: a plain access succeeds if
+    /// permissions allow.
+    pub fn is_present(self) -> bool {
+        self.has(PteFlags::PRESENT)
+    }
+
+    /// Whether the entry traps on any access (reserved bit set).
+    pub fn is_trapped(self) -> bool {
+        self.has(PteFlags::RESERVED)
+    }
+
+    /// Whether this is the completely empty entry.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let pte = Pte::new(FrameId(0x1234), PteFlags::PRESENT | PteFlags::WRITABLE);
+        assert_eq!(pte.frame(), FrameId(0x1234));
+        assert!(pte.has(PteFlags::PRESENT));
+        assert!(pte.has(PteFlags::WRITABLE));
+        assert!(!pte.has(PteFlags::NX));
+    }
+
+    #[test]
+    fn reserved_bit_is_outside_address_field() {
+        let pte = Pte::new(
+            FrameId(0xF_FFFF_FFFF),
+            PteFlags::RESERVED | PteFlags::PRESENT,
+        );
+        assert_eq!(pte.frame(), FrameId(0xF_FFFF_FFFF));
+        assert!(pte.is_trapped());
+        assert!(pte.is_present(), "VUsion keeps PRESENT set while trapping");
+    }
+
+    #[test]
+    fn with_frame_keeps_flags() {
+        let pte = Pte::new(
+            FrameId(1),
+            PteFlags::PRESENT | PteFlags::NO_CACHE | PteFlags::RESERVED,
+        );
+        let moved = pte.with_frame(FrameId(99));
+        assert_eq!(moved.frame(), FrameId(99));
+        assert_eq!(moved.flags(), pte.flags());
+    }
+
+    #[test]
+    fn set_and_clear() {
+        let pte = Pte::new(FrameId(5), PteFlags::PRESENT);
+        let a = pte.set(PteFlags::ACCESSED | PteFlags::DIRTY);
+        assert!(a.has(PteFlags::ACCESSED));
+        let c = a.clear(PteFlags::ACCESSED);
+        assert!(!c.has(PteFlags::ACCESSED));
+        assert!(c.has(PteFlags::DIRTY));
+        assert_eq!(c.frame(), FrameId(5));
+    }
+
+    #[test]
+    fn empty_entry() {
+        assert!(Pte::EMPTY.is_empty());
+        assert!(!Pte::EMPTY.is_present());
+        assert!(!Pte(4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_frame_rejected() {
+        let _ = Pte::new(FrameId(1 << 40), PteFlags::PRESENT);
+    }
+}

@@ -1,0 +1,141 @@
+//! A per-process address space: VMA list plus page tables.
+
+use vusion_mem::{FrameAllocator, PhysMemory, VirtAddr};
+
+use crate::tables::PageTables;
+use crate::vma::Vma;
+
+/// One process's (or one VM's) virtual address space.
+pub struct AddressSpace {
+    tables: PageTables,
+    vmas: Vec<Vma>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space (allocates the PML4).
+    pub fn new(mem: &mut PhysMemory, alloc: &mut dyn FrameAllocator) -> Self {
+        Self {
+            tables: PageTables::new(mem, alloc),
+            vmas: Vec::new(),
+        }
+    }
+
+    /// The page tables.
+    pub fn tables(&self) -> &PageTables {
+        &self.tables
+    }
+
+    /// The page tables, mutably.
+    pub fn tables_mut(&mut self) -> &mut PageTables {
+        &mut self.tables
+    }
+
+    /// Adds a VMA (an `mmap` call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the area overlaps an existing VMA.
+    pub fn add_vma(&mut self, vma: Vma) {
+        assert!(
+            !self.vmas.iter().any(|v| v.overlaps(&vma)),
+            "VMA overlap at {:?}",
+            vma.start
+        );
+        self.vmas.push(vma);
+        self.vmas.sort_by_key(|v| v.start.0);
+    }
+
+    /// The VMA containing `va`, if any.
+    pub fn find_vma(&self, va: VirtAddr) -> Option<&Vma> {
+        self.vmas.iter().find(|v| v.contains(va))
+    }
+
+    /// All VMAs, sorted by start address.
+    pub fn vmas(&self) -> &[Vma] {
+        &self.vmas
+    }
+
+    /// Marks every VMA intersecting `[start, start + pages)` as mergeable —
+    /// the `madvise(MADV_MERGEABLE)` registration KSM requires (§2.1).
+    /// Returns how many VMAs were registered.
+    pub fn madvise_mergeable(&mut self, start: VirtAddr, pages: u64) -> usize {
+        let probe = Vma::anon(
+            start.page_base(),
+            pages.max(1),
+            crate::vma::Protection::ro(),
+        );
+        let mut n = 0;
+        for v in &mut self.vmas {
+            if v.overlaps(&probe) && !v.mergeable {
+                v.mergeable = true;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// All mergeable VMAs (the fusion scanner's candidate list).
+    pub fn mergeable_vmas(&self) -> impl Iterator<Item = &Vma> {
+        self.vmas.iter().filter(|v| v.mergeable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vma::Protection;
+    use vusion_mem::{BuddyAllocator, FrameId};
+
+    fn setup() -> (PhysMemory, BuddyAllocator, AddressSpace) {
+        let mut mem = PhysMemory::new(1024);
+        let mut alloc = BuddyAllocator::new(FrameId(0), 1024);
+        let sp = AddressSpace::new(&mut mem, &mut alloc);
+        (mem, alloc, sp)
+    }
+
+    #[test]
+    fn vma_lookup() {
+        let (_m, _a, mut sp) = setup();
+        sp.add_vma(Vma::anon(VirtAddr(0x1000), 4, Protection::rw()));
+        sp.add_vma(Vma::anon(VirtAddr(0x10000), 4, Protection::ro()));
+        assert!(sp.find_vma(VirtAddr(0x2000)).is_some());
+        assert!(sp.find_vma(VirtAddr(0x9000)).is_none());
+        assert_eq!(sp.vmas().len(), 2);
+    }
+
+    #[test]
+    fn vmas_stay_sorted() {
+        let (_m, _a, mut sp) = setup();
+        sp.add_vma(Vma::anon(VirtAddr(0x10000), 1, Protection::rw()));
+        sp.add_vma(Vma::anon(VirtAddr(0x1000), 1, Protection::rw()));
+        assert_eq!(sp.vmas()[0].start, VirtAddr(0x1000));
+    }
+
+    #[test]
+    fn madvise_marks_overlapping_vmas() {
+        let (_m, _a, mut sp) = setup();
+        sp.add_vma(Vma::anon(VirtAddr(0x1000), 4, Protection::rw()));
+        sp.add_vma(Vma::anon(VirtAddr(0x10000), 4, Protection::rw()));
+        let n = sp.madvise_mergeable(VirtAddr(0x2000), 2);
+        assert_eq!(n, 1);
+        assert_eq!(sp.mergeable_vmas().count(), 1);
+        assert!(sp.find_vma(VirtAddr(0x1000)).expect("vma").mergeable);
+        assert!(!sp.find_vma(VirtAddr(0x10000)).expect("vma").mergeable);
+    }
+
+    #[test]
+    fn madvise_is_idempotent() {
+        let (_m, _a, mut sp) = setup();
+        sp.add_vma(Vma::anon(VirtAddr(0x1000), 4, Protection::rw()));
+        assert_eq!(sp.madvise_mergeable(VirtAddr(0x1000), 4), 1);
+        assert_eq!(sp.madvise_mergeable(VirtAddr(0x1000), 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_vma_panics() {
+        let (_m, _a, mut sp) = setup();
+        sp.add_vma(Vma::anon(VirtAddr(0x1000), 4, Protection::rw()));
+        sp.add_vma(Vma::anon(VirtAddr(0x3000), 4, Protection::rw()));
+    }
+}

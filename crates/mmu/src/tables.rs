@@ -1,0 +1,548 @@
+//! Four-level page tables stored in simulated physical frames.
+//!
+//! Table entries are little-endian u64s written into [`PhysMemory`], so a
+//! page walk is a sequence of real physical reads. [`Walk::steps`] exposes
+//! every address a walk touched; the kernel routes them through the LLC,
+//! which is precisely what the AnC translation attack (§5.1) measures: a
+//! 2 MiB mapping touches three table levels, a 4 KiB mapping four.
+
+use vusion_mem::{FrameAllocator, FrameId, PageType, PhysAddr, PhysMemory, VirtAddr};
+
+use crate::pte::{Pte, PteFlags};
+
+/// Information about the leaf entry that maps an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafInfo {
+    /// The leaf entry.
+    pub pte: Pte,
+    /// Physical address of the entry itself (inside a table frame).
+    pub entry_addr: PhysAddr,
+    /// Whether the mapping is a 2 MiB huge page.
+    pub huge: bool,
+}
+
+/// Result of a page walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Walk {
+    /// Physical addresses of every table entry read, in order (PML4 first).
+    pub steps: Vec<PhysAddr>,
+    /// The leaf mapping, if the walk reached one. `None` means the walk hit
+    /// a non-present intermediate entry or an empty leaf.
+    pub leaf: Option<LeafInfo>,
+}
+
+/// A 4-level page-table tree rooted at a PML4 frame.
+pub struct PageTables {
+    root: FrameId,
+}
+
+/// Flags given to intermediate (non-leaf) table entries.
+const TABLE_FLAGS: u64 = PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::USER;
+
+impl PageTables {
+    /// Allocates an empty PML4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocator is out of frames.
+    pub fn new(mem: &mut PhysMemory, alloc: &mut dyn FrameAllocator) -> Self {
+        let root = Self::alloc_table(mem, alloc);
+        Self { root }
+    }
+
+    /// The PML4 frame.
+    pub fn root(&self) -> FrameId {
+        self.root
+    }
+
+    fn alloc_table(mem: &mut PhysMemory, alloc: &mut dyn FrameAllocator) -> FrameId {
+        let f = alloc.alloc().expect("out of memory allocating page table");
+        mem.info_mut(f).on_alloc(PageType::PageTable);
+        mem.zero_page(f);
+        f
+    }
+
+    fn entry_addr(table: FrameId, idx: usize) -> PhysAddr {
+        table.base() + (idx as u64) * 8
+    }
+
+    fn read_entry(mem: &PhysMemory, table: FrameId, idx: usize) -> Pte {
+        Pte(mem.read_u64(Self::entry_addr(table, idx)))
+    }
+
+    fn write_entry(mem: &mut PhysMemory, table: FrameId, idx: usize, pte: Pte) {
+        mem.write_u64(Self::entry_addr(table, idx), pte.0);
+    }
+
+    /// Walks the tables for `va`, recording each entry address touched.
+    pub fn walk(&self, mem: &PhysMemory, va: VirtAddr) -> Walk {
+        let idx = va.pt_indices();
+        let mut steps = Vec::with_capacity(4);
+        let mut table = self.root;
+        for (level, &ix) in idx.iter().enumerate() {
+            let entry_addr = Self::entry_addr(table, ix);
+            steps.push(entry_addr);
+            let pte = Self::read_entry(mem, table, idx[level]);
+            if level == 3 {
+                // PT leaf.
+                let leaf = if pte.is_empty() {
+                    None
+                } else {
+                    Some(LeafInfo {
+                        pte,
+                        entry_addr,
+                        huge: false,
+                    })
+                };
+                return Walk { steps, leaf };
+            }
+            if level == 2 && pte.has(PteFlags::HUGE) {
+                // PD leaf mapping a 2 MiB page: 3-level walk.
+                return Walk {
+                    steps,
+                    leaf: Some(LeafInfo {
+                        pte,
+                        entry_addr,
+                        huge: true,
+                    }),
+                };
+            }
+            if !pte.is_present() {
+                return Walk { steps, leaf: None };
+            }
+            table = pte.frame();
+        }
+        unreachable!("loop returns at level 3");
+    }
+
+    /// Ensures intermediate tables down to the PT exist and returns the PT
+    /// frame. Splits nothing: panics if a huge mapping is in the way.
+    fn ensure_pt(
+        &mut self,
+        mem: &mut PhysMemory,
+        alloc: &mut dyn FrameAllocator,
+        va: VirtAddr,
+    ) -> FrameId {
+        let idx = va.pt_indices();
+        let mut table = self.root;
+        for (level, &ix) in idx.iter().enumerate().take(3) {
+            let pte = Self::read_entry(mem, table, ix);
+            if level == 2 && pte.has(PteFlags::HUGE) {
+                panic!("4 KiB mapping requested under an existing huge mapping at {va:?}");
+            }
+            table = if pte.is_present() {
+                pte.frame()
+            } else {
+                let t = Self::alloc_table(mem, alloc);
+                Self::write_entry(mem, table, idx[level], Pte::new(t, TABLE_FLAGS));
+                t
+            };
+        }
+        table
+    }
+
+    /// Maps `va` (4 KiB) to `frame` with the given flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already mapped (unmap first) or a huge mapping
+    /// covers the address.
+    pub fn map_page(
+        &mut self,
+        mem: &mut PhysMemory,
+        alloc: &mut dyn FrameAllocator,
+        va: VirtAddr,
+        frame: FrameId,
+        flags: u64,
+    ) {
+        let pt = self.ensure_pt(mem, alloc, va);
+        let idx = va.pt_indices()[3];
+        let old = Self::read_entry(mem, pt, idx);
+        assert!(old.is_empty(), "remapping an already mapped page at {va:?}");
+        Self::write_entry(mem, pt, idx, Pte::new(frame, flags));
+    }
+
+    /// Maps a 2 MiB huge page at `va` (must be 2 MiB aligned) to the 512
+    /// frames starting at `frame` (must be huge-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics on misalignment or if anything is already mapped there.
+    pub fn map_huge(
+        &mut self,
+        mem: &mut PhysMemory,
+        alloc: &mut dyn FrameAllocator,
+        va: VirtAddr,
+        frame: FrameId,
+        flags: u64,
+    ) {
+        assert!(
+            va.is_huge_aligned(),
+            "huge mapping at unaligned address {va:?}"
+        );
+        assert!(
+            frame.is_huge_aligned(),
+            "huge mapping of unaligned frame {frame:?}"
+        );
+        let idx = va.pt_indices();
+        let mut table = self.root;
+        for &ix in idx.iter().take(2) {
+            let pte = Self::read_entry(mem, table, ix);
+            table = if pte.is_present() {
+                pte.frame()
+            } else {
+                let t = Self::alloc_table(mem, alloc);
+                Self::write_entry(mem, table, ix, Pte::new(t, TABLE_FLAGS));
+                t
+            };
+        }
+        let old = Self::read_entry(mem, table, idx[2]);
+        assert!(
+            old.is_empty(),
+            "huge-remapping an occupied PD slot at {va:?}"
+        );
+        Self::write_entry(mem, table, idx[2], Pte::new(frame, flags | PteFlags::HUGE));
+    }
+
+    /// Reads the leaf mapping for `va` without recording steps.
+    pub fn leaf(&self, mem: &PhysMemory, va: VirtAddr) -> Option<LeafInfo> {
+        self.walk(mem, va).leaf
+    }
+
+    /// Overwrites the leaf entry that maps `va` (4 KiB or huge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` has no leaf entry.
+    pub fn set_leaf(&mut self, mem: &mut PhysMemory, va: VirtAddr, pte: Pte) {
+        let leaf = self.leaf(mem, va).expect("set_leaf on unmapped address");
+        mem.write_u64(leaf.entry_addr, pte.0);
+    }
+
+    /// Removes the leaf mapping for `va` and returns the old entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is not mapped.
+    pub fn unmap(&mut self, mem: &mut PhysMemory, va: VirtAddr) -> Pte {
+        let leaf = self.leaf(mem, va).expect("unmapping an unmapped address");
+        mem.write_u64(leaf.entry_addr, Pte::EMPTY.0);
+        leaf.pte
+    }
+
+    /// Replaces a huge mapping with a PT of 512 4-KiB entries pointing at
+    /// the same 512 frames with the same permission flags (KSM-style huge
+    /// page break, §5.1 / §8.1). Returns the new PT frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is not covered by a huge mapping.
+    pub fn break_huge(
+        &mut self,
+        mem: &mut PhysMemory,
+        alloc: &mut dyn FrameAllocator,
+        va: VirtAddr,
+    ) -> FrameId {
+        let base = va.huge_base();
+        let leaf = self
+            .leaf(mem, base)
+            .expect("break_huge on unmapped address");
+        assert!(leaf.huge, "break_huge on a 4 KiB mapping");
+        let flags = leaf.pte.flags() & !PteFlags::HUGE;
+        let first = leaf.pte.frame();
+        let pt = Self::alloc_table(mem, alloc);
+        for i in 0..512u64 {
+            Self::write_entry(mem, pt, i as usize, Pte::new(FrameId(first.0 + i), flags));
+        }
+        mem.write_u64(leaf.entry_addr, Pte::new(pt, TABLE_FLAGS).0);
+        pt
+    }
+
+    /// Replaces 512 4-KiB mappings (which must cover the whole huge range
+    /// starting at `va`, all pointing into the huge-aligned block starting
+    /// at `frame`) with one huge mapping, freeing the PT frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misalignment or when the PD slot does not hold a PT.
+    pub fn collapse_huge(
+        &mut self,
+        mem: &mut PhysMemory,
+        alloc: &mut dyn FrameAllocator,
+        va: VirtAddr,
+        frame: FrameId,
+        flags: u64,
+    ) {
+        assert!(
+            va.is_huge_aligned() && frame.is_huge_aligned(),
+            "collapse alignment"
+        );
+        let idx = va.pt_indices();
+        let mut table = self.root;
+        for &ix in idx.iter().take(2) {
+            let pte = Self::read_entry(mem, table, ix);
+            assert!(pte.is_present(), "collapse under non-present table");
+            table = pte.frame();
+        }
+        let pd_entry = Self::read_entry(mem, table, idx[2]);
+        assert!(
+            pd_entry.is_present() && !pd_entry.has(PteFlags::HUGE),
+            "PD slot does not hold a PT"
+        );
+        let pt = pd_entry.frame();
+        Self::write_entry(mem, table, idx[2], Pte::new(frame, flags | PteFlags::HUGE));
+        // Release the now-unused PT frame. Zero it first: every free path
+        // must scrub, or stale PTE bytes would leak into later demand-zero
+        // pages (the buddy's LIFO reuse hands this frame out next).
+        let info = mem.info_mut(pt);
+        assert!(info.put(), "PT frame must have a single reference");
+        info.on_free();
+        mem.zero_page(pt);
+        alloc.free(pt);
+    }
+
+    /// Whether the PD slot covering `va` is completely empty (no PT, no
+    /// huge mapping) — i.e. a 2 MiB demand mapping could be installed.
+    pub fn huge_slot_free(&self, mem: &PhysMemory, va: VirtAddr) -> bool {
+        let idx = va.pt_indices();
+        let mut table = self.root;
+        for &ix in idx.iter().take(2) {
+            let pte = Self::read_entry(mem, table, ix);
+            if !pte.is_present() {
+                return true;
+            }
+            table = pte.frame();
+        }
+        Self::read_entry(mem, table, idx[2]).is_empty()
+    }
+
+    /// Tests and clears the ACCESSED bit of the leaf mapping `va` — the
+    /// idle-page-tracking primitive (§7.2). Returns `None` if unmapped.
+    pub fn test_and_clear_accessed(&mut self, mem: &mut PhysMemory, va: VirtAddr) -> Option<bool> {
+        let leaf = self.leaf(mem, va)?;
+        let was = leaf.pte.has(PteFlags::ACCESSED);
+        if was {
+            mem.write_u64(leaf.entry_addr, leaf.pte.clear(PteFlags::ACCESSED).0);
+        }
+        Some(was)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vusion_mem::BuddyAllocator;
+
+    fn setup() -> (PhysMemory, BuddyAllocator, PageTables) {
+        let mut mem = PhysMemory::new(4096);
+        let mut alloc = BuddyAllocator::new(FrameId(0), 4096);
+        let pt = PageTables::new(&mut mem, &mut alloc);
+        (mem, alloc, pt)
+    }
+
+    fn user_frame(mem: &mut PhysMemory, alloc: &mut BuddyAllocator) -> FrameId {
+        let f = alloc.alloc().expect("frame");
+        mem.info_mut(f).on_alloc(PageType::Anon);
+        f
+    }
+
+    #[test]
+    fn map_and_walk_4k() {
+        let (mut mem, mut alloc, mut pt) = setup();
+        let f = user_frame(&mut mem, &mut alloc);
+        let va = VirtAddr(0x7000_0000_0000);
+        pt.map_page(
+            &mut mem,
+            &mut alloc,
+            va,
+            f,
+            PteFlags::PRESENT | PteFlags::USER,
+        );
+        let w = pt.walk(&mem, va);
+        assert_eq!(w.steps.len(), 4, "4 KiB mapping walks four levels");
+        let leaf = w.leaf.expect("mapped");
+        assert_eq!(leaf.pte.frame(), f);
+        assert!(!leaf.huge);
+    }
+
+    #[test]
+    fn unmapped_walk_has_no_leaf() {
+        let (mem, _alloc, pt) = setup();
+        let w = pt.walk(&mem, VirtAddr(0x1234_5000));
+        assert!(w.leaf.is_none());
+        assert_eq!(w.steps.len(), 1, "stops at the first non-present level");
+    }
+
+    #[test]
+    fn huge_mapping_walks_three_levels() {
+        let (mut mem, mut alloc, mut pt) = setup();
+        let f = alloc.alloc_order(9).expect("huge block");
+        mem.info_mut(f).on_alloc(PageType::Anon);
+        let va = VirtAddr(0x4000_0000);
+        pt.map_huge(
+            &mut mem,
+            &mut alloc,
+            va,
+            f,
+            PteFlags::PRESENT | PteFlags::WRITABLE,
+        );
+        let w = pt.walk(&mem, va + 5 * 4096 + 3);
+        assert_eq!(w.steps.len(), 3, "2 MiB mapping walks three levels");
+        let leaf = w.leaf.expect("mapped");
+        assert!(leaf.huge);
+        assert_eq!(leaf.pte.frame(), f);
+    }
+
+    #[test]
+    fn break_huge_preserves_translation() {
+        let (mut mem, mut alloc, mut pt) = setup();
+        let f = alloc.alloc_order(9).expect("huge block");
+        mem.info_mut(f).on_alloc(PageType::Anon);
+        let va = VirtAddr(0x4000_0000);
+        pt.map_huge(
+            &mut mem,
+            &mut alloc,
+            va,
+            f,
+            PteFlags::PRESENT | PteFlags::WRITABLE,
+        );
+        pt.break_huge(&mut mem, &mut alloc, va + 17 * 4096);
+        // Every sub-page now maps 4 KiB to the corresponding frame.
+        for i in [0u64, 17, 511] {
+            let w = pt.walk(&mem, va + i * 4096);
+            assert_eq!(w.steps.len(), 4, "now a 4-level walk");
+            let leaf = w.leaf.expect("still mapped");
+            assert!(!leaf.huge);
+            assert_eq!(leaf.pte.frame(), FrameId(f.0 + i));
+            assert!(leaf.pte.has(PteFlags::WRITABLE));
+        }
+    }
+
+    #[test]
+    fn collapse_huge_restores_three_level_walk() {
+        let (mut mem, mut alloc, mut pt) = setup();
+        let f = alloc.alloc_order(9).expect("huge block");
+        mem.info_mut(f).on_alloc(PageType::Anon);
+        let va = VirtAddr(0x4000_0000);
+        pt.map_huge(
+            &mut mem,
+            &mut alloc,
+            va,
+            f,
+            PteFlags::PRESENT | PteFlags::WRITABLE,
+        );
+        pt.break_huge(&mut mem, &mut alloc, va);
+        let table_frames_before = alloc.free_frames();
+        pt.collapse_huge(
+            &mut mem,
+            &mut alloc,
+            va,
+            f,
+            PteFlags::PRESENT | PteFlags::WRITABLE,
+        );
+        assert_eq!(
+            alloc.free_frames(),
+            table_frames_before + 1,
+            "PT frame freed"
+        );
+        let w = pt.walk(&mem, va + 4096);
+        assert_eq!(w.steps.len(), 3);
+        assert!(w.leaf.expect("mapped").huge);
+    }
+
+    #[test]
+    fn set_leaf_changes_mapping() {
+        let (mut mem, mut alloc, mut pt) = setup();
+        let f = user_frame(&mut mem, &mut alloc);
+        let g = user_frame(&mut mem, &mut alloc);
+        let va = VirtAddr(0x1000);
+        pt.map_page(&mut mem, &mut alloc, va, f, PteFlags::PRESENT);
+        let leaf = pt.leaf(&mem, va).expect("mapped");
+        pt.set_leaf(
+            &mut mem,
+            va,
+            leaf.pte
+                .with_frame(g)
+                .set(PteFlags::RESERVED | PteFlags::NO_CACHE),
+        );
+        let new = pt.leaf(&mem, va).expect("mapped");
+        assert_eq!(new.pte.frame(), g);
+        assert!(new.pte.is_trapped());
+        assert!(new.pte.has(PteFlags::NO_CACHE));
+    }
+
+    #[test]
+    fn unmap_clears_leaf() {
+        let (mut mem, mut alloc, mut pt) = setup();
+        let f = user_frame(&mut mem, &mut alloc);
+        let va = VirtAddr(0x2000);
+        pt.map_page(&mut mem, &mut alloc, va, f, PteFlags::PRESENT);
+        let old = pt.unmap(&mut mem, va);
+        assert_eq!(old.frame(), f);
+        assert!(pt.leaf(&mem, va).is_none());
+    }
+
+    #[test]
+    fn accessed_bit_test_and_clear() {
+        let (mut mem, mut alloc, mut pt) = setup();
+        let f = user_frame(&mut mem, &mut alloc);
+        let va = VirtAddr(0x3000);
+        pt.map_page(
+            &mut mem,
+            &mut alloc,
+            va,
+            f,
+            PteFlags::PRESENT | PteFlags::ACCESSED,
+        );
+        assert_eq!(pt.test_and_clear_accessed(&mut mem, va), Some(true));
+        assert_eq!(pt.test_and_clear_accessed(&mut mem, va), Some(false));
+        assert_eq!(
+            pt.test_and_clear_accessed(&mut mem, VirtAddr(0x9999_0000)),
+            None
+        );
+    }
+
+    #[test]
+    fn distinct_addresses_share_tables() {
+        let (mut mem, mut alloc, mut pt) = setup();
+        let free_before = alloc.free_frames();
+        let f1 = user_frame(&mut mem, &mut alloc);
+        let f2 = user_frame(&mut mem, &mut alloc);
+        pt.map_page(
+            &mut mem,
+            &mut alloc,
+            VirtAddr(0x1000),
+            f1,
+            PteFlags::PRESENT,
+        );
+        let tables_after_first = free_before - alloc.free_frames();
+        pt.map_page(
+            &mut mem,
+            &mut alloc,
+            VirtAddr(0x2000),
+            f2,
+            PteFlags::PRESENT,
+        );
+        let tables_after_second = free_before - alloc.free_frames();
+        // The second mapping reuses the same PDPT/PD/PT: no new table frames.
+        assert_eq!(tables_after_second, tables_after_first);
+    }
+
+    #[test]
+    #[should_panic(expected = "remapping")]
+    fn double_map_panics() {
+        let (mut mem, mut alloc, mut pt) = setup();
+        let f = user_frame(&mut mem, &mut alloc);
+        pt.map_page(&mut mem, &mut alloc, VirtAddr(0x1000), f, PteFlags::PRESENT);
+        pt.map_page(&mut mem, &mut alloc, VirtAddr(0x1000), f, PteFlags::PRESENT);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn huge_map_requires_alignment() {
+        let (mut mem, mut alloc, mut pt) = setup();
+        let f = alloc.alloc_order(9).expect("block");
+        mem.info_mut(f).on_alloc(PageType::Anon);
+        pt.map_huge(&mut mem, &mut alloc, VirtAddr(0x1000), f, PteFlags::PRESENT);
+    }
+}

@@ -1,0 +1,213 @@
+//! A translation lookaside buffer.
+//!
+//! The TLB matters to the reproduction in two ways: performance (huge pages
+//! exist to reduce TLB misses — the entire motivation of §8) and security
+//! (a TLB hit skips the page-table walk, so the AnC attack needs the walk
+//! entries evicted; the paper's §5.3 also mentions TLB-based side channels).
+
+use std::collections::HashMap;
+
+use vusion_mem::{FrameId, VirtAddr, HUGE_PAGE_SIZE, PAGE_SIZE};
+
+use crate::pte::Pte;
+
+/// A cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// The leaf PTE at fill time.
+    pub pte: Pte,
+    /// Whether it is a 2 MiB translation.
+    pub huge: bool,
+}
+
+/// Fully associative TLB with FIFO replacement and separate 4 KiB / 2 MiB
+/// arrays (like real x86 STLBs, modeled simply).
+pub struct Tlb {
+    cap_4k: usize,
+    cap_2m: usize,
+    map_4k: HashMap<u64, TlbEntry>,
+    fifo_4k: Vec<u64>,
+    map_2m: HashMap<u64, TlbEntry>,
+    fifo_2m: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with the given entry counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    pub fn new(cap_4k: usize, cap_2m: usize) -> Self {
+        assert!(cap_4k > 0 && cap_2m > 0, "TLB capacities must be positive");
+        Self {
+            cap_4k,
+            cap_2m,
+            map_4k: HashMap::new(),
+            fifo_4k: Vec::new(),
+            map_2m: HashMap::new(),
+            fifo_2m: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A typical size: 1536 4 KiB entries, 32 2 MiB entries.
+    pub fn skylake() -> Self {
+        Self::new(1536, 32)
+    }
+
+    /// Looks up `va`; counts a hit or miss.
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<TlbEntry> {
+        if let Some(e) = self.map_2m.get(&(va.0 / HUGE_PAGE_SIZE)) {
+            self.hits += 1;
+            return Some(*e);
+        }
+        if let Some(e) = self.map_4k.get(&va.page()) {
+            self.hits += 1;
+            return Some(*e);
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Inserts a translation after a successful walk.
+    pub fn fill(&mut self, va: VirtAddr, entry: TlbEntry) {
+        if entry.huge {
+            let key = va.0 / HUGE_PAGE_SIZE;
+            if self.map_2m.insert(key, entry).is_none() {
+                self.fifo_2m.push(key);
+                if self.fifo_2m.len() > self.cap_2m {
+                    let evict = self.fifo_2m.remove(0);
+                    self.map_2m.remove(&evict);
+                }
+            }
+        } else {
+            let key = va.page();
+            if self.map_4k.insert(key, entry).is_none() {
+                self.fifo_4k.push(key);
+                if self.fifo_4k.len() > self.cap_4k {
+                    let evict = self.fifo_4k.remove(0);
+                    self.map_4k.remove(&evict);
+                }
+            }
+        }
+    }
+
+    /// Invalidates any translation covering `va` (`invlpg`).
+    pub fn invalidate(&mut self, va: VirtAddr) {
+        if self.map_4k.remove(&va.page()).is_some() {
+            self.fifo_4k.retain(|&k| k != va.page());
+        }
+        let hk = va.0 / HUGE_PAGE_SIZE;
+        if self.map_2m.remove(&hk).is_some() {
+            self.fifo_2m.retain(|&k| k != hk);
+        }
+    }
+
+    /// Flushes everything (CR3 reload).
+    pub fn flush(&mut self) {
+        self.map_4k.clear();
+        self.fifo_4k.clear();
+        self.map_2m.clear();
+        self.fifo_2m.clear();
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// The frame a cached translation resolves `va` to (test helper).
+    pub fn translate_frame(&mut self, va: VirtAddr) -> Option<FrameId> {
+        let e = self.lookup(va)?;
+        if e.huge {
+            let offset_pages = (va.0 % HUGE_PAGE_SIZE) / PAGE_SIZE;
+            Some(FrameId(e.pte.frame().0 + offset_pages))
+        } else {
+            Some(e.pte.frame())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pte::PteFlags;
+
+    fn entry(frame: u64, huge: bool) -> TlbEntry {
+        TlbEntry {
+            pte: Pte::new(FrameId(frame), PteFlags::PRESENT),
+            huge,
+        }
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut t = Tlb::new(4, 4);
+        assert!(t.lookup(VirtAddr(0x1000)).is_none());
+        t.fill(VirtAddr(0x1000), entry(7, false));
+        assert_eq!(
+            t.lookup(VirtAddr(0x1234)).expect("hit").pte.frame(),
+            FrameId(7)
+        );
+        assert_eq!(t.stats(), (1, 1));
+    }
+
+    #[test]
+    fn huge_entry_covers_2m() {
+        let mut t = Tlb::new(4, 4);
+        t.fill(VirtAddr(HUGE_PAGE_SIZE), entry(512, true));
+        assert!(t
+            .lookup(VirtAddr(HUGE_PAGE_SIZE + 123 * PAGE_SIZE))
+            .is_some());
+        assert_eq!(
+            t.translate_frame(VirtAddr(HUGE_PAGE_SIZE + 123 * PAGE_SIZE)),
+            Some(FrameId(512 + 123))
+        );
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut t = Tlb::new(2, 2);
+        t.fill(VirtAddr(0x1000), entry(1, false));
+        t.fill(VirtAddr(0x2000), entry(2, false));
+        t.fill(VirtAddr(0x3000), entry(3, false));
+        assert!(t.lookup(VirtAddr(0x1000)).is_none(), "oldest evicted");
+        assert!(t.lookup(VirtAddr(0x2000)).is_some());
+        assert!(t.lookup(VirtAddr(0x3000)).is_some());
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let mut t = Tlb::new(4, 4);
+        t.fill(VirtAddr(0x1000), entry(1, false));
+        t.invalidate(VirtAddr(0x1000));
+        assert!(t.lookup(VirtAddr(0x1000)).is_none());
+    }
+
+    #[test]
+    fn flush_clears_all() {
+        let mut t = Tlb::new(4, 4);
+        t.fill(VirtAddr(0x1000), entry(1, false));
+        t.fill(VirtAddr(HUGE_PAGE_SIZE * 4), entry(1024, true));
+        t.flush();
+        assert!(t.lookup(VirtAddr(0x1000)).is_none());
+        assert!(t.lookup(VirtAddr(HUGE_PAGE_SIZE * 4)).is_none());
+    }
+
+    #[test]
+    fn refill_does_not_duplicate_fifo() {
+        let mut t = Tlb::new(2, 2);
+        t.fill(VirtAddr(0x1000), entry(1, false));
+        t.fill(VirtAddr(0x1000), entry(9, false));
+        t.fill(VirtAddr(0x2000), entry(2, false));
+        // Capacity 2: both entries must still be present.
+        assert_eq!(
+            t.lookup(VirtAddr(0x1000)).expect("hit").pte.frame(),
+            FrameId(9)
+        );
+        assert!(t.lookup(VirtAddr(0x2000)).is_some());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the page-table substrate.
+
+use proptest::prelude::*;
+use vusion_mem::{
+    BuddyAllocator, FrameAllocator, FrameId, PageType, PhysMemory, VirtAddr, HUGE_PAGE_SIZE,
+    PAGE_SIZE,
+};
+use vusion_mmu::{PageTables, Pte, PteFlags};
+
+fn setup() -> (PhysMemory, BuddyAllocator, PageTables) {
+    let mut mem = PhysMemory::new(8192);
+    let mut alloc = BuddyAllocator::new(FrameId(0), 8192);
+    let pt = PageTables::new(&mut mem, &mut alloc);
+    (mem, alloc, pt)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Mapping a set of distinct pages and walking them back recovers
+    /// exactly the mapped frames; unmapped addresses never resolve.
+    #[test]
+    fn map_walk_roundtrip(pages in proptest::collection::hash_set(0u64..2048, 1..64)) {
+        let (mut mem, mut alloc, mut pt) = setup();
+        let mut expected = std::collections::HashMap::new();
+        for &pg in &pages {
+            let f = alloc.alloc().expect("frame");
+            mem.info_mut(f).on_alloc(PageType::Anon);
+            let va = VirtAddr(pg * PAGE_SIZE);
+            pt.map_page(&mut mem, &mut alloc, va, f, PteFlags::PRESENT | PteFlags::USER);
+            expected.insert(pg, f);
+        }
+        for pg in 0u64..2048 {
+            let leaf = pt.leaf(&mem, VirtAddr(pg * PAGE_SIZE));
+            match expected.get(&pg) {
+                Some(&f) => {
+                    let leaf = leaf.expect("mapped page must resolve");
+                    prop_assert_eq!(leaf.pte.frame(), f);
+                    prop_assert!(!leaf.huge);
+                }
+                None => prop_assert!(leaf.is_none(), "page {} must not resolve", pg),
+            }
+        }
+    }
+
+    /// Walk step counts: 4 for base pages, 3 for huge pages, always ≤ 4.
+    #[test]
+    fn walk_depth_matches_mapping_kind(huge_slot in 1u64..4, small_pg in 0u64..512) {
+        let (mut mem, mut alloc, mut pt) = setup();
+        // One huge mapping and one 4 KiB mapping in different PD slots.
+        let hf = alloc.alloc_order(9).expect("huge block");
+        mem.info_mut(hf).on_alloc(PageType::Anon);
+        let hva = VirtAddr(huge_slot * HUGE_PAGE_SIZE);
+        pt.map_huge(&mut mem, &mut alloc, hva, hf, PteFlags::PRESENT);
+        let sf = alloc.alloc().expect("frame");
+        mem.info_mut(sf).on_alloc(PageType::Anon);
+        let sva = VirtAddr(8 * HUGE_PAGE_SIZE + small_pg * PAGE_SIZE);
+        pt.map_page(&mut mem, &mut alloc, sva, sf, PteFlags::PRESENT);
+        let hw = pt.walk(&mem, VirtAddr(hva.0 + small_pg * PAGE_SIZE));
+        prop_assert_eq!(hw.steps.len(), 3);
+        prop_assert!(hw.leaf.expect("mapped").huge);
+        let sw = pt.walk(&mem, sva);
+        prop_assert_eq!(sw.steps.len(), 4);
+        prop_assert!(!sw.leaf.expect("mapped").huge);
+    }
+
+    /// break_huge preserves every translation and permission; collapse_huge
+    /// restores the huge mapping and frees the PT.
+    #[test]
+    fn break_collapse_roundtrip(probe in 0u64..512) {
+        let (mut mem, mut alloc, mut pt) = setup();
+        let hf = alloc.alloc_order(9).expect("huge block");
+        mem.info_mut(hf).on_alloc(PageType::Anon);
+        let base = VirtAddr(2 * HUGE_PAGE_SIZE);
+        pt.map_huge(&mut mem, &mut alloc, base, hf, PteFlags::PRESENT | PteFlags::WRITABLE);
+        pt.break_huge(&mut mem, &mut alloc, base);
+        let va = VirtAddr(base.0 + probe * PAGE_SIZE);
+        let leaf = pt.leaf(&mem, va).expect("still mapped");
+        prop_assert!(!leaf.huge);
+        prop_assert_eq!(leaf.pte.frame(), FrameId(hf.0 + probe));
+        prop_assert!(leaf.pte.has(PteFlags::WRITABLE));
+        let free_before = alloc.free_frames();
+        pt.collapse_huge(&mut mem, &mut alloc, base, hf, PteFlags::PRESENT | PteFlags::WRITABLE);
+        prop_assert_eq!(alloc.free_frames(), free_before + 1, "PT frame must be freed");
+        prop_assert!(pt.leaf(&mem, va).expect("mapped").huge);
+    }
+
+    /// PTE bit algebra: set/clear of arbitrary flag masks never disturbs
+    /// the frame field.
+    #[test]
+    fn pte_flags_never_touch_frame(frame in 0u64..(1 << 30), set_res in any::<bool>(), set_pcd in any::<bool>()) {
+        let mut pte = Pte::new(FrameId(frame), PteFlags::PRESENT);
+        if set_res {
+            pte = pte.set(PteFlags::RESERVED);
+        }
+        if set_pcd {
+            pte = pte.set(PteFlags::NO_CACHE);
+        }
+        pte = pte.set(PteFlags::ACCESSED | PteFlags::DIRTY).clear(PteFlags::DIRTY);
+        prop_assert_eq!(pte.frame(), FrameId(frame));
+        prop_assert_eq!(pte.is_trapped(), set_res);
+        prop_assert_eq!(pte.has(PteFlags::NO_CACHE), set_pcd);
+        prop_assert!(!pte.has(PteFlags::DIRTY));
+    }
+
+    /// Accessed-bit tracking: set on map, cleared exactly once.
+    #[test]
+    fn accessed_bit_clears_once(pg in 0u64..1024) {
+        let (mut mem, mut alloc, mut pt) = setup();
+        let f = alloc.alloc().expect("frame");
+        mem.info_mut(f).on_alloc(PageType::Anon);
+        let va = VirtAddr(pg * PAGE_SIZE);
+        pt.map_page(&mut mem, &mut alloc, va, f, PteFlags::PRESENT | PteFlags::ACCESSED);
+        prop_assert_eq!(pt.test_and_clear_accessed(&mut mem, va), Some(true));
+        prop_assert_eq!(pt.test_and_clear_accessed(&mut mem, va), Some(false));
+        // Re-marking (a hardware walk) makes it observable again.
+        let leaf = pt.leaf(&mem, va).expect("mapped");
+        pt.set_leaf(&mut mem, va, leaf.pte.set(PteFlags::ACCESSED));
+        prop_assert_eq!(pt.test_and_clear_accessed(&mut mem, va), Some(true));
+    }
+}

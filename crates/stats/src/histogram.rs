@@ -1,0 +1,212 @@
+//! Fixed-bin histograms and peak detection.
+//!
+//! Figures 5 and 6 of the paper are frequency distributions of 1,000 timed
+//! memory operations. Detecting whether such a distribution is bimodal (the
+//! copy-on-write side channel of KSM) or unimodal (VUsion's uniform
+//! copy-on-access path) is the core of the `fig05`/`fig06` experiments.
+
+/// A histogram over `[lo, hi)` with equally sized bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Builds a histogram sized to cover a sample with the given bin count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty.
+    pub fn from_sample(sample: &[f64], bins: usize) -> Self {
+        assert!(!sample.is_empty(), "cannot infer range of an empty sample");
+        let lo = sample.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        // Widen slightly so the maximum lands inside the last bin.
+        let span = (hi - lo).max(1e-9);
+        let mut h = Self::new(lo, hi + span * 1e-6, bins);
+        for &x in sample {
+            h.record(x);
+        }
+        h
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total number of recorded observations (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The midpoint of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.bins.len());
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Counts well-separated peaks ("modes") in the distribution.
+    ///
+    /// A peak is a contiguous run of bins whose count exceeds
+    /// `threshold_frac · max_count`, separated from the next such run by at
+    /// least one bin below the threshold. This is deliberately simple: the
+    /// Figure 5 distribution has two far-apart peaks (plain store vs CoW
+    /// fault) and Figure 6 has a single one, so a coarse detector suffices.
+    pub fn peak_count(&self, threshold_frac: f64) -> usize {
+        let max = self.bins.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 0;
+        }
+        let thr = (max as f64 * threshold_frac).max(1.0);
+        let mut peaks = 0;
+        let mut in_peak = false;
+        for &c in &self.bins {
+            let above = c as f64 >= thr;
+            if above && !in_peak {
+                peaks += 1;
+            }
+            in_peak = above;
+        }
+        peaks
+    }
+
+    /// Renders the histogram as text rows `center count` (one per non-empty
+    /// bin), the format the bench harnesses print for figures.
+    pub fn rows(&self) -> Vec<(f64, u64)> {
+        (0..self.bins.len())
+            .filter(|&i| self.bins[i] > 0)
+            .map(|i| (self.bin_center(i), self.bins[i]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.5);
+        h.record(5.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-1.0);
+        h.record(2.0);
+        h.record(1.0); // Upper bound is exclusive.
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn from_sample_covers_extremes() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        let h = Histogram::from_sample(&s, 4);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+    }
+
+    #[test]
+    fn bimodal_detected_as_two_peaks() {
+        let mut s = Vec::new();
+        for i in 0..500 {
+            s.push(100.0 + f64::from(i % 10));
+            s.push(5000.0 + f64::from(i % 10));
+        }
+        let h = Histogram::from_sample(&s, 64);
+        assert_eq!(h.peak_count(0.2), 2);
+    }
+
+    #[test]
+    fn unimodal_detected_as_one_peak() {
+        let s: Vec<f64> = (0..1000).map(|i| 5000.0 + f64::from(i) * 0.05).collect();
+        let h = Histogram::from_sample(&s, 64);
+        assert_eq!(h.peak_count(0.2), 1);
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(0.0, 10.0, 10);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(9) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_skip_empty_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.1);
+        h.record(0.2);
+        let rows = h.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, 2);
+    }
+
+    #[test]
+    fn empty_histogram_has_zero_peaks() {
+        let h = Histogram::new(0.0, 1.0, 8);
+        assert_eq!(h.peak_count(0.3), 0);
+    }
+}

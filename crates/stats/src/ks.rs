@@ -1,0 +1,230 @@
+//! Kolmogorov–Smirnov tests.
+//!
+//! Implements the classical two-sample KS test and the one-sample
+//! goodness-of-fit test against the continuous uniform distribution, with
+//! p-values computed from the asymptotic Kolmogorov distribution using the
+//! standard series approximation (Numerical Recipes §14.3):
+//!
+//! ```text
+//! Q_KS(λ) = 2 · Σ_{j≥1} (−1)^{j−1} · exp(−2 j² λ²)
+//! ```
+
+/// Outcome of a Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D`: the maximum absolute distance between the two
+    /// cumulative distribution functions.
+    pub statistic: f64,
+    /// Approximate p-value: probability of observing a `D` at least this
+    /// large under the null hypothesis that the distributions are equal.
+    pub p_value: f64,
+}
+
+impl KsResult {
+    /// Whether the null hypothesis ("same distribution") is *not* rejected at
+    /// the given significance level.
+    ///
+    /// The paper uses this to conclude that VUsion's merged and unmerged
+    /// timings are indistinguishable (p = 0.36 ≫ 0.05).
+    pub fn same_distribution(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Survival function of the Kolmogorov distribution, `Q_KS(λ)`.
+///
+/// Returns 1.0 for tiny `λ` and 0.0 for large `λ`; the series converges very
+/// quickly in the interesting range.
+fn q_ks(lambda: f64) -> f64 {
+    if lambda < 1e-9 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    let mut term_bound = f64::MAX;
+    for j in 1..=100 {
+        let j = f64::from(j);
+        let term = (-2.0 * j * j * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        // The series is alternating with decreasing terms; stop once the
+        // contribution is negligible.
+        if term < 1e-12 * term_bound || term < 1e-16 {
+            break;
+        }
+        term_bound = term;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// P-value for a KS statistic `d` with effective sample size `en`.
+fn ks_p_value(d: f64, en: f64) -> f64 {
+    let sqrt_en = en.sqrt();
+    let lambda = (sqrt_en + 0.12 + 0.11 / sqrt_en) * d;
+    q_ks(lambda)
+}
+
+/// Sorts a sample, rejecting NaNs by treating them as equal (callers never
+/// produce NaN; simulated timings are finite).
+fn sorted(sample: &[f64]) -> Vec<f64> {
+    let mut v = sample.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v
+}
+
+/// Two-sample Kolmogorov–Smirnov test.
+///
+/// Tests the null hypothesis that `a` and `b` were drawn from the same
+/// continuous distribution. Used in §9.1 to verify the **Same Behavior**
+/// principle: timings of accesses to merged pages and to fake-merged pages
+/// must be statistically indistinguishable.
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "KS test requires non-empty samples"
+    );
+    let a = sorted(a);
+    let b = sorted(b);
+    let (n1, n2) = (a.len() as f64, b.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < a.len() && j < b.len() {
+        let x1 = a[i];
+        let x2 = b[j];
+        if x1 <= x2 {
+            i += 1;
+        }
+        if x2 <= x1 {
+            j += 1;
+        }
+        let f1 = i as f64 / n1;
+        let f2 = j as f64 / n2;
+        d = d.max((f1 - f2).abs());
+    }
+    let en = n1 * n2 / (n1 + n2);
+    KsResult {
+        statistic: d,
+        p_value: ks_p_value(d, en),
+    }
+}
+
+/// One-sample KS goodness-of-fit test against the continuous uniform
+/// distribution on `[lo, hi)`.
+///
+/// Used in §9.1 to verify the **Randomized Allocation** principle: the
+/// offsets of physical pages chosen by VUsion's allocator must be uniform
+/// over the random pool.
+///
+/// # Panics
+///
+/// Panics if the sample is empty or `hi <= lo`.
+pub fn ks_test_uniform(sample: &[f64], lo: f64, hi: f64) -> KsResult {
+    assert!(!sample.is_empty(), "KS test requires a non-empty sample");
+    assert!(hi > lo, "uniform support must be a non-empty interval");
+    let s = sorted(sample);
+    let n = s.len() as f64;
+    let mut d: f64 = 0.0;
+    for (idx, &x) in s.iter().enumerate() {
+        let cdf = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+        let f_hi = (idx as f64 + 1.0) / n;
+        let f_lo = idx as f64 / n;
+        d = d.max((f_hi - cdf).abs()).max((cdf - f_lo).abs());
+    }
+    KsResult {
+        statistic: d,
+        p_value: ks_p_value(d, n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn identical_samples_have_high_p() {
+        let a: Vec<f64> = (0..500).map(f64::from).collect();
+        let r = ks_two_sample(&a, &a);
+        assert!(r.statistic < 1e-12);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn same_distribution_not_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a: Vec<f64> = (0..800).map(|_| rng.random_range(0.0..1.0)).collect();
+        let b: Vec<f64> = (0..800).map(|_| rng.random_range(0.0..1.0)).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.same_distribution(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a: Vec<f64> = (0..800).map(|_| rng.random_range(0.0..1.0)).collect();
+        let b: Vec<f64> = (0..800).map(|_| rng.random_range(0.3..1.3)).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(!r.same_distribution(0.05), "p = {}", r.p_value);
+        assert!(r.statistic > 0.2);
+    }
+
+    #[test]
+    fn bimodal_vs_unimodal_rejected() {
+        // This is exactly the Figure 5 vs Figure 6 situation: KSM write
+        // timings are bimodal (fast store vs CoW fault), VUsion's are not.
+        let mut rng = StdRng::seed_from_u64(11);
+        let bimodal: Vec<f64> = (0..1000)
+            .map(|i| {
+                if i % 2 == 0 {
+                    rng.random_range(90.0..110.0)
+                } else {
+                    rng.random_range(4900.0..5100.0)
+                }
+            })
+            .collect();
+        let unimodal: Vec<f64> = (0..1000)
+            .map(|_| rng.random_range(4900.0..5100.0))
+            .collect();
+        let r = ks_two_sample(&bimodal, &unimodal);
+        assert!(!r.same_distribution(0.05));
+    }
+
+    #[test]
+    fn uniform_sample_passes_uniform_test() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let s: Vec<f64> = (0..2000).map(|_| rng.random_range(0.0..32768.0)).collect();
+        let r = ks_test_uniform(&s, 0.0, 32768.0);
+        assert!(r.same_distribution(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn clustered_sample_fails_uniform_test() {
+        // A LIFO buddy allocator reuses the most recently freed frames, so
+        // its choices cluster; this must be detected as non-uniform.
+        let s: Vec<f64> = (0..2000).map(|i| 100.0 + f64::from(i % 64)).collect();
+        let r = ks_test_uniform(&s, 0.0, 32768.0);
+        assert!(!r.same_distribution(0.05));
+        assert!(r.statistic > 0.9);
+    }
+
+    #[test]
+    fn q_ks_is_monotone_decreasing() {
+        let mut prev = q_ks(0.01);
+        for i in 1..60 {
+            let cur = q_ks(0.01 + f64::from(i) * 0.05);
+            assert!(cur <= prev + 1e-12);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        let _ = ks_two_sample(&[], &[1.0]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Statistical toolkit used throughout the VUsion reproduction.
+//!
+//! The paper's security evaluation (§9.1) relies on two statistical tests:
+//!
+//! * a **two-sample Kolmogorov–Smirnov test** to show that read/write timings
+//!   of merged and unmerged pages follow the same distribution under VUsion
+//!   (the paper reports p = 0.36), and
+//! * a **KS goodness-of-fit test against the uniform distribution** to show
+//!   that physical-page allocations performed by VUsion's randomized
+//!   allocator are uniform (the paper reports p = 0.44).
+//!
+//! The performance evaluation additionally needs latency percentiles
+//! (Tables 5 and 7), geometric means (Figures 7 and 8) and frequency
+//! distributions / histograms (Figures 5 and 6). All of those utilities live
+//! here, implemented from scratch so the workspace stays dependency-free.
+
+pub mod histogram;
+pub mod ks;
+pub mod percentile;
+pub mod summary;
+
+pub use histogram::Histogram;
+pub use ks::{ks_test_uniform, ks_two_sample, KsResult};
+pub use percentile::{percentile, Percentiles};
+pub use summary::{geometric_mean, mean, std_dev, Summary};

@@ -1,0 +1,122 @@
+//! Percentile computation for latency reporting.
+//!
+//! Tables 5 and 7 of the paper report 75th/90th/99th/99.9th latency
+//! percentiles for Apache, Redis and Memcached. We use linear interpolation
+//! between closest ranks (the same convention as `numpy.percentile`).
+
+/// Returns the `p`-th percentile (0–100) of `sample` using linear
+/// interpolation between closest ranks.
+///
+/// # Panics
+///
+/// Panics if the sample is empty or `p` is outside `[0, 100]`.
+pub fn percentile(sample: &[f64], p: f64) -> f64 {
+    assert!(!sample.is_empty(), "percentile of empty sample");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile must be within [0, 100]"
+    );
+    let mut v = sample.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = rank - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// The latency percentiles the paper reports, computed in one pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// 75th percentile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+impl Percentiles {
+    /// Computes the standard set of percentiles from a latency sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty.
+    pub fn of(sample: &[f64]) -> Self {
+        let mut v = sample.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pick = |p: f64| {
+            let rank = p / 100.0 * (v.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                let frac = rank - lo as f64;
+                v[lo] * (1.0 - frac) + v[hi] * frac
+            }
+        };
+        Self {
+            p75: pick(75.0),
+            p90: pick(90.0),
+            p99: pick(99.0),
+            p999: pick(99.9),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_sample() {
+        let s = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&s, 50.0), 2.0);
+    }
+
+    #[test]
+    fn median_interpolates_even_sample() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&s, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extremes_are_min_and_max() {
+        let s = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 100.0), 9.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let s: Vec<f64> = (0..1000).map(f64::from).collect();
+        let p = Percentiles::of(&s);
+        assert!(p.p75 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.p999);
+    }
+
+    #[test]
+    fn single_element_sample() {
+        let p = Percentiles::of(&[42.0]);
+        assert_eq!(p.p75, 42.0);
+        assert_eq!(p.p999, 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within")]
+    fn out_of_range_percentile_panics() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+}

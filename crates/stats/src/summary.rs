@@ -1,0 +1,132 @@
+//! Summary statistics: mean, standard deviation, geometric mean.
+//!
+//! Figures 7 and 8 of the paper summarize SPEC CPU2006 and PARSEC overheads
+//! with geometric means, the standard convention for normalized benchmark
+//! ratios.
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if the sample is empty.
+pub fn mean(sample: &[f64]) -> f64 {
+    assert!(!sample.is_empty(), "mean of empty sample");
+    sample.iter().sum::<f64>() / sample.len() as f64
+}
+
+/// Sample standard deviation (Bessel-corrected); 0 for a single observation.
+///
+/// # Panics
+///
+/// Panics if the sample is empty.
+pub fn std_dev(sample: &[f64]) -> f64 {
+    assert!(!sample.is_empty(), "std_dev of empty sample");
+    if sample.len() == 1 {
+        return 0.0;
+    }
+    let m = mean(sample);
+    let var = sample.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (sample.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Geometric mean of a sample of positive values.
+///
+/// Computed in log space to avoid overflow.
+///
+/// # Panics
+///
+/// Panics if the sample is empty or contains a non-positive value.
+pub fn geometric_mean(sample: &[f64]) -> f64 {
+    assert!(!sample.is_empty(), "geometric mean of empty sample");
+    let log_sum: f64 = sample
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geometric mean requires positive values");
+            x.ln()
+        })
+        .sum();
+    (log_sum / sample.len() as f64).exp()
+}
+
+/// Mean / std-dev / min / max of a sample, as reported in Table 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Computes all summary statistics in one pass over the sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty.
+    pub fn of(sample: &[f64]) -> Self {
+        assert!(!sample.is_empty(), "summary of empty sample");
+        let min = sample.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            mean: mean(sample),
+            std_dev: std_dev(sample),
+            min,
+            max,
+            n: sample.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_constants() {
+        assert_eq!(mean(&[4.0, 4.0, 4.0]), 4.0);
+    }
+
+    #[test]
+    fn std_dev_of_known_sample() {
+        // Sample {2, 4, 4, 4, 5, 5, 7, 9}: sample std-dev = sqrt(32/7).
+        let s = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&s) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_single_is_zero() {
+        assert_eq!(std_dev(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_of_powers() {
+        assert!((geometric_mean(&[1.0, 4.0, 16.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_leq_arithmetic() {
+        let s = [1.0, 2.0, 3.0, 10.0, 0.5];
+        assert!(geometric_mean(&s) <= mean(&s));
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,279 @@
+//! An Apache-prefork-like HTTP server (Table 5, Figures 9 and 12).
+//!
+//! The server keeps a pool of worker processes; each worker owns a 2 MiB
+//! THP-eligible heap whose first pages hold configuration/code *identical
+//! across workers* (intra-VM duplicates — fusion bait inside the working
+//! set). Serving a request touches a spread of the worker's heap, reads
+//! document pages from the page cache and writes a response buffer. Under
+//! load Apache "self-balances": the worker pool grows, which is what makes
+//! memory consumption rise during the benchmark window in Figure 12.
+//!
+//! The THP story of Table 5 plays out here: with fusion off, worker heaps
+//! stay 2 MiB-mapped and the hot set enjoys huge TLB reach. KSM merges the
+//! duplicated config pages and thereby splits every worker's THP; VUsion
+//! (plain) breaks idle THPs too; VUsion-THP conserves active huge pages
+//! and lets the secured khugepaged re-collapse, recovering the throughput.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vusion_kernel::{FusionPolicy, System};
+use vusion_mem::{VirtAddr, HUGE_PAGE_SIZE, PAGE_SIZE};
+use vusion_mmu::{GuestTag, Protection, Vma};
+
+use crate::images::{labeled_page, VmHandle};
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ApacheServer {
+    /// Workers running at start.
+    pub initial_workers: u64,
+    /// Upper bound on the pool.
+    pub max_workers: u64,
+    /// Requests between pool-growth steps (self-balancing).
+    pub grow_every: u64,
+    /// Pages of each worker's heap that a request touches.
+    pub touched_pages: u64,
+    /// Document-root pages (page cache).
+    pub doc_pages: u64,
+}
+
+impl Default for ApacheServer {
+    fn default() -> Self {
+        Self {
+            initial_workers: 10,
+            max_workers: 18,
+            grow_every: 400,
+            touched_pages: 176,
+            doc_pages: 256,
+        }
+    }
+}
+
+/// A running server instance.
+pub struct ApacheInstance {
+    cfg: ApacheServer,
+    vm: VmHandle,
+    active_workers: u64,
+    served: u64,
+}
+
+/// Result of a load run.
+#[derive(Debug, Clone)]
+pub struct ApacheResult {
+    /// Requests per simulated second (the paper reports kreq/s).
+    pub req_per_s: f64,
+    /// Per-request latencies (ms).
+    pub latencies_ms: Vec<f64>,
+    /// Workers active at the end.
+    pub final_workers: u64,
+}
+
+const WORKER_BASE: u64 = 0x2_0000_0000;
+const DOC_BASE: u64 = 0x1_0000_0000;
+/// Config/code pages at the start of each worker heap, identical across
+/// workers.
+const CONFIG_PAGES: u64 = 16;
+
+impl ApacheServer {
+    fn worker_heap(idx: u64) -> VirtAddr {
+        VirtAddr(WORKER_BASE + idx * 2 * HUGE_PAGE_SIZE)
+    }
+
+    /// Starts the server inside a booted VM: maps the document root and the
+    /// initial workers.
+    pub fn start<P: FusionPolicy>(&self, sys: &mut System<P>, vm: &VmHandle) -> ApacheInstance {
+        sys.machine.mmap(
+            vm.pid,
+            Vma::file(
+                VirtAddr(DOC_BASE),
+                self.doc_pages,
+                Protection::ro(),
+                0x4a11,
+                0,
+            )
+            .with_tag(GuestTag::PageCache),
+        );
+        sys.machine
+            .madvise_mergeable(vm.pid, VirtAddr(DOC_BASE), self.doc_pages);
+        let mut inst = ApacheInstance {
+            cfg: *self,
+            vm: *vm,
+            active_workers: 0,
+            served: 0,
+        };
+        for _ in 0..self.initial_workers {
+            inst.spawn_worker(sys);
+        }
+        inst
+    }
+}
+
+impl ApacheInstance {
+    /// Forks one more worker: maps a 2 MiB-aligned heap and initializes it
+    /// (config pages shared, scratch unique).
+    pub fn spawn_worker<P: FusionPolicy>(&mut self, sys: &mut System<P>) {
+        if self.active_workers >= self.cfg.max_workers {
+            return;
+        }
+        let idx = self.active_workers;
+        let heap = ApacheServer::worker_heap(idx);
+        let pages = HUGE_PAGE_SIZE / PAGE_SIZE;
+        sys.machine
+            .mmap(self.vm.pid, Vma::anon(heap, pages, Protection::rw()));
+        sys.machine.madvise_mergeable(self.vm.pid, heap, pages);
+        // Touch the heap (on a THP machine this maps one huge page).
+        sys.read(self.vm.pid, heap);
+        for p in 0..CONFIG_PAGES {
+            sys.write_page(
+                self.vm.pid,
+                VirtAddr(heap.0 + p * PAGE_SIZE),
+                &labeled_page(0xc0f1_6000 + p), // Same for every worker.
+            );
+        }
+        for p in CONFIG_PAGES..self.cfg.touched_pages {
+            sys.write_page(
+                self.vm.pid,
+                VirtAddr(heap.0 + p * PAGE_SIZE),
+                &labeled_page(0x33_0000 ^ (idx << 32) ^ p),
+            );
+        }
+        self.active_workers += 1;
+    }
+
+    /// Number of active workers.
+    pub fn workers(&self) -> u64 {
+        self.active_workers
+    }
+
+    /// Serves one request; returns its simulated latency (ns).
+    pub fn serve<P: FusionPolicy>(&mut self, sys: &mut System<P>, rng: &mut StdRng) -> u64 {
+        let t0 = sys.machine.now_ns();
+        let worker = self.served % self.active_workers;
+        let heap = ApacheServer::worker_heap(worker);
+        // Parse request: read config pages.
+        for p in 0..4u64 {
+            sys.read(
+                self.vm.pid,
+                VirtAddr(heap.0 + p * PAGE_SIZE + (p * 7 % 64) * 64),
+            );
+        }
+        // Touch a spread of the worker heap (session state, buffers).
+        for t in 0..self.cfg.touched_pages / 4 {
+            let page = (t * 4 + rng.random_range(0..4)) % self.cfg.touched_pages;
+            sys.read(
+                self.vm.pid,
+                VirtAddr(heap.0 + page * PAGE_SIZE + rng.random_range(0..64) * 64),
+            );
+        }
+        // Read the document.
+        let doc = rng.random_range(0..self.cfg.doc_pages);
+        for line in 0..8u64 {
+            sys.read(
+                self.vm.pid,
+                VirtAddr(DOC_BASE + doc * PAGE_SIZE + line * 64),
+            );
+        }
+        // Write the response buffer (last touched page of the heap).
+        let resp = VirtAddr(heap.0 + (self.cfg.touched_pages - 1) * PAGE_SIZE);
+        for line in 0..8u64 {
+            sys.write(self.vm.pid, VirtAddr(resp.0 + line * 64), (doc % 251) as u8);
+        }
+        self.served += 1;
+        // Self-balancing: grow the pool under sustained load.
+        if self.served.is_multiple_of(self.cfg.grow_every) {
+            self.spawn_worker(sys);
+        }
+        sys.machine.now_ns() - t0
+    }
+
+    /// Runs a wrk-like closed-loop load of `requests` requests.
+    pub fn run_load<P: FusionPolicy>(
+        &mut self,
+        sys: &mut System<P>,
+        requests: u64,
+        seed: u64,
+    ) -> ApacheResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut latencies_ms = Vec::with_capacity(requests as usize);
+        let t0 = sys.machine.now_ns();
+        for _ in 0..requests {
+            let ns = self.serve(sys, &mut rng);
+            latencies_ms.push(ns as f64 / 1e6);
+        }
+        let wall = sys.machine.now_ns() - t0;
+        ApacheResult {
+            req_per_s: requests as f64 / (wall as f64 / 1e9),
+            latencies_ms,
+            final_workers: self.active_workers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::images::ImageSpec;
+    use vusion_core::EngineKind;
+    use vusion_kernel::MachineConfig;
+
+    fn run_with(kind: EngineKind, requests: u64) -> ApacheResult {
+        // THP machine, as in the paper's server experiments.
+        let mut sys = kind.build_system(MachineConfig::guest_2g_scaled().with_thp());
+        let vm = ImageSpec::small(0, 1).boot(&mut sys, "apache-vm");
+        let server = ApacheServer {
+            initial_workers: 4,
+            max_workers: 8,
+            grow_every: 200,
+            ..Default::default()
+        };
+        let mut inst = server.start(&mut sys, &vm);
+        inst.run_load(&mut sys, requests, 11)
+    }
+
+    #[test]
+    fn serves_requests_and_self_balances() {
+        let r = run_with(EngineKind::NoFusion, 900);
+        assert!(
+            r.req_per_s > 1000.0,
+            "throughput {} implausible",
+            r.req_per_s
+        );
+        assert!(r.final_workers > 4, "pool must grow under load");
+        assert_eq!(r.latencies_ms.len(), 900);
+    }
+
+    #[test]
+    fn workers_map_huge_pages_without_fusion() {
+        let mut sys =
+            EngineKind::NoFusion.build_system(MachineConfig::guest_2g_scaled().with_thp());
+        let vm = ImageSpec::small(0, 1).boot(&mut sys, "vm");
+        let server = ApacheServer::default();
+        let inst = server.start(&mut sys, &vm);
+        let huge = sys.machine.count_huge_mappings(vm.pid);
+        assert!(
+            huge >= inst.workers() as usize,
+            "each worker heap should be a THP"
+        );
+    }
+
+    #[test]
+    fn ksm_splits_worker_thps() {
+        // The Figure 9 mechanism: duplicated config pages get merged and
+        // the THPs around them split.
+        let mut sys = EngineKind::Ksm.build_system(MachineConfig::guest_2g_scaled().with_thp());
+        let vm = ImageSpec::small(0, 1).boot(&mut sys, "vm");
+        let server = ApacheServer::default();
+        let mut inst = server.start(&mut sys, &vm);
+        let huge_before = sys.machine.count_huge_mappings(vm.pid);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            inst.serve(&mut sys, &mut rng);
+        }
+        sys.force_scans(400);
+        let huge_after = sys.machine.count_huge_mappings(vm.pid);
+        assert!(
+            huge_after < huge_before,
+            "KSM must split THPs ({huge_before} -> {huge_after})"
+        );
+    }
+}

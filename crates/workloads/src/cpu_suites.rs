@@ -1,0 +1,189 @@
+//! SPEC CPU2006- and PARSEC-like workload profiles (Figures 7 and 8).
+//!
+//! Each benchmark is modeled by its memory profile: footprint, hot working
+//! set, write fraction, and how often it strays into cold pages. The
+//! fusion-relevant behaviour — how many (fake-)merged idle pages the
+//! workload re-activates per second — is a function of exactly these
+//! parameters, which is what the overhead figures measure.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vusion_kernel::{FusionPolicy, System};
+use vusion_mem::{VirtAddr, PAGE_SIZE};
+use vusion_mmu::{Protection, Vma};
+
+use crate::images::{labeled_page, VmHandle};
+
+/// A benchmark's memory profile.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuProfile {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Total mapped footprint (pages).
+    pub footprint_pages: u64,
+    /// Hot working set (pages).
+    pub working_set_pages: u64,
+    /// Fraction of accesses that are writes.
+    pub write_frac: f64,
+    /// Fraction of accesses that stray outside the working set.
+    pub cold_frac: f64,
+}
+
+/// The SPEC CPU2006 integer benchmarks (profiles scaled to the simulator).
+pub fn spec_cpu2006() -> Vec<CpuProfile> {
+    let p = |name, fp, ws, wf, cf| CpuProfile {
+        name,
+        footprint_pages: fp,
+        working_set_pages: ws,
+        write_frac: wf,
+        cold_frac: cf,
+    };
+    vec![
+        p("perlbench", 1200, 300, 0.35, 0.02),
+        p("bzip2", 1600, 500, 0.40, 0.01),
+        p("gcc", 2000, 700, 0.35, 0.05),
+        p("mcf", 3000, 1400, 0.30, 0.08),
+        p("gobmk", 800, 250, 0.30, 0.02),
+        p("hmmer", 600, 200, 0.45, 0.01),
+        p("sjeng", 700, 300, 0.30, 0.01),
+        p("libquantum", 1800, 900, 0.50, 0.02),
+        p("h264ref", 1000, 350, 0.40, 0.02),
+        p("omnetpp", 2400, 1000, 0.35, 0.06),
+        p("astar", 1400, 600, 0.30, 0.04),
+        p("xalancbmk", 2200, 900, 0.35, 0.06),
+    ]
+}
+
+/// PARSEC benchmarks (fmm/barnes/netapps excluded, as in the paper).
+pub fn parsec() -> Vec<CpuProfile> {
+    let p = |name, fp, ws, wf, cf| CpuProfile {
+        name,
+        footprint_pages: fp,
+        working_set_pages: ws,
+        write_frac: wf,
+        cold_frac: cf,
+    };
+    vec![
+        p("blackscholes", 900, 400, 0.25, 0.01),
+        p("bodytrack", 1100, 450, 0.35, 0.03),
+        p("canneal", 2800, 1300, 0.30, 0.10),
+        p("dedup", 2000, 800, 0.45, 0.05),
+        p("facesim", 1800, 800, 0.40, 0.03),
+        p("ferret", 1500, 600, 0.35, 0.04),
+        p("fluidanimate", 1600, 700, 0.45, 0.02),
+        p("freqmine", 1400, 600, 0.35, 0.03),
+        p("streamcluster", 2200, 1100, 0.30, 0.06),
+        p("swaptions", 500, 200, 0.30, 0.01),
+        p("vips", 1200, 500, 0.40, 0.03),
+        p("x264", 1300, 500, 0.45, 0.02),
+    ]
+}
+
+const BENCH_BASE: u64 = 0xc000_0000;
+
+/// Maps and initializes the benchmark's footprint inside the VM.
+pub fn setup_profile<P: FusionPolicy>(sys: &mut System<P>, vm: &VmHandle, profile: &CpuProfile) {
+    sys.machine.mmap(
+        vm.pid,
+        Vma::anon(
+            VirtAddr(BENCH_BASE),
+            profile.footprint_pages,
+            Protection::rw(),
+        ),
+    );
+    sys.machine
+        .madvise_mergeable(vm.pid, VirtAddr(BENCH_BASE), profile.footprint_pages);
+    for i in 0..profile.footprint_pages {
+        sys.write_page(
+            sys_pid(vm),
+            VirtAddr(BENCH_BASE + i * PAGE_SIZE),
+            &labeled_page(0xcb_0000 ^ (i << 20) ^ u64::from(profile.name.len() as u32)),
+        );
+    }
+}
+
+fn sys_pid(vm: &VmHandle) -> vusion_kernel::Pid {
+    vm.pid
+}
+
+/// Runs `ops` profile accesses; returns the simulated duration (ns).
+pub fn run_profile<P: FusionPolicy>(
+    sys: &mut System<P>,
+    vm: &VmHandle,
+    profile: &CpuProfile,
+    ops: u64,
+    seed: u64,
+) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed ^ profile.footprint_pages);
+    let t0 = sys.machine.now_ns();
+    for _ in 0..ops {
+        let page = if rng.random_range(0.0..1.0) < profile.cold_frac {
+            rng.random_range(0..profile.footprint_pages)
+        } else {
+            rng.random_range(0..profile.working_set_pages.min(profile.footprint_pages))
+        };
+        let line = rng.random_range(0..PAGE_SIZE / 64);
+        let va = VirtAddr(BENCH_BASE + page * PAGE_SIZE + line * 64);
+        if rng.random_range(0.0..1.0) < profile.write_frac {
+            sys.write(vm.pid, va, (page % 251) as u8);
+        } else {
+            sys.read(vm.pid, va);
+        }
+    }
+    sys.machine.now_ns() - t0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::images::ImageSpec;
+    use vusion_core::EngineKind;
+    use vusion_kernel::MachineConfig;
+
+    fn runtime(kind: EngineKind, profile: &CpuProfile, ops: u64) -> u64 {
+        let mut sys = kind.build_system(MachineConfig::guest_2g_scaled());
+        let vm = ImageSpec::small(0, 1).boot(&mut sys, "vm");
+        setup_profile(&mut sys, &vm, profile);
+        run_profile(&mut sys, &vm, profile, ops, 42)
+    }
+
+    #[test]
+    fn suites_have_twelve_benchmarks_each() {
+        assert_eq!(spec_cpu2006().len(), 12);
+        assert_eq!(parsec().len(), 12);
+        let names: std::collections::HashSet<_> = spec_cpu2006().iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn vusion_overhead_is_bounded() {
+        // The Figure 7 property at test scale: VUsion's extra faults cost
+        // little because they are confined to cold pages.
+        let p = spec_cpu2006()[4]; // gobmk: small, cache-friendly.
+        let base = runtime(EngineKind::NoFusion, &p, 20_000);
+        let vus = runtime(EngineKind::VUsion, &p, 20_000);
+        let overhead = vus as f64 / base as f64 - 1.0;
+        assert!(overhead < 0.25, "VUsion overhead {overhead:.3} out of band");
+    }
+
+    #[test]
+    fn cold_heavy_profiles_pay_more_under_vusion() {
+        // mcf strays into cold (fused) pages 4x more often than hmmer; its
+        // copy-on-access tax must be higher.
+        let suites = spec_cpu2006();
+        let mcf = suites.iter().find(|p| p.name == "mcf").expect("present");
+        let hmmer = suites.iter().find(|p| p.name == "hmmer").expect("present");
+        let mcf_over = {
+            let b = runtime(EngineKind::NoFusion, mcf, 15_000) as f64;
+            runtime(EngineKind::VUsion, mcf, 15_000) as f64 / b
+        };
+        let hmmer_over = {
+            let b = runtime(EngineKind::NoFusion, hmmer, 15_000) as f64;
+            runtime(EngineKind::VUsion, hmmer, 15_000) as f64 / b
+        };
+        assert!(
+            mcf_over > hmmer_over * 0.95,
+            "cold-heavy mcf ({mcf_over:.3}) should pay at least as much as hmmer ({hmmer_over:.3})"
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Redis- and Memcached-like key-value stores under a memtier-like load
+//! (Tables 6 and 7).
+//!
+//! Both stores keep a large page-resident value heap; a GET reads a value
+//! line (plus store-specific metadata), a SET writes one. The memtier
+//! parameters from the paper apply: a 1:10 SET/GET ratio and a large key
+//! space, so much of the heap is touched rarely — prime fusion-candidate
+//! territory whose reactivation cost separates the engines.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vusion_kernel::{FusionPolicy, System};
+use vusion_mem::{VirtAddr, PAGE_SIZE};
+use vusion_mmu::{Protection, Vma};
+
+use crate::images::{labeled_page, VmHandle};
+
+/// Which store to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvFlavor {
+    /// Single-threaded event loop, dict metadata touched per op.
+    Redis,
+    /// Slab allocator, hash bucket per op, lighter metadata.
+    Memcached,
+}
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KvStore {
+    /// Which store.
+    pub flavor: KvFlavor,
+    /// Value-heap pages.
+    pub heap_pages: u64,
+    /// Metadata pages (dict/slab headers).
+    pub meta_pages: u64,
+    /// Number of keys.
+    pub keys: u64,
+}
+
+impl KvStore {
+    /// A Redis-like store.
+    pub fn redis() -> Self {
+        Self {
+            flavor: KvFlavor::Redis,
+            heap_pages: 3072,
+            meta_pages: 128,
+            keys: 100_000,
+        }
+    }
+
+    /// A Memcached-like store.
+    pub fn memcached() -> Self {
+        Self {
+            flavor: KvFlavor::Memcached,
+            heap_pages: 3072,
+            meta_pages: 64,
+            keys: 100_000,
+        }
+    }
+}
+
+/// Result of a load run.
+#[derive(Debug, Clone)]
+pub struct KvResult {
+    /// Operations per simulated second.
+    pub ops_per_s: f64,
+    /// SET latencies (ms).
+    pub set_latencies_ms: Vec<f64>,
+    /// GET latencies (ms).
+    pub get_latencies_ms: Vec<f64>,
+}
+
+const HEAP_BASE: u64 = 0x3_0000_0000;
+const META_BASE: u64 = 0x4_0000_0000;
+
+/// A running store.
+pub struct KvInstance {
+    cfg: KvStore,
+    vm: VmHandle,
+}
+
+impl KvStore {
+    /// Maps and pre-populates the store inside a booted VM.
+    pub fn start<P: FusionPolicy>(&self, sys: &mut System<P>, vm: &VmHandle) -> KvInstance {
+        sys.machine.mmap(
+            vm.pid,
+            Vma::anon(VirtAddr(HEAP_BASE), self.heap_pages, Protection::rw()),
+        );
+        sys.machine.mmap(
+            vm.pid,
+            Vma::anon(VirtAddr(META_BASE), self.meta_pages, Protection::rw()),
+        );
+        sys.machine
+            .madvise_mergeable(vm.pid, VirtAddr(HEAP_BASE), self.heap_pages);
+        sys.machine
+            .madvise_mergeable(vm.pid, VirtAddr(META_BASE), self.meta_pages);
+        // Pre-populate: values are mostly sparse (32-byte objects), so many
+        // heap pages start highly similar (zero-ish) — realistic dedup bait.
+        for i in 0..self.heap_pages {
+            if i % 8 == 0 {
+                sys.write_page(
+                    vm.pid,
+                    VirtAddr(HEAP_BASE + i * PAGE_SIZE),
+                    &labeled_page(0x4b_0000 ^ (i << 24)),
+                );
+            } else {
+                sys.read(vm.pid, VirtAddr(HEAP_BASE + i * PAGE_SIZE)); // Demand zero.
+            }
+        }
+        for i in 0..self.meta_pages {
+            sys.write_page(
+                vm.pid,
+                VirtAddr(META_BASE + i * PAGE_SIZE),
+                &labeled_page(0x3e7a ^ (i << 16)),
+            );
+        }
+        KvInstance {
+            cfg: *self,
+            vm: *vm,
+        }
+    }
+}
+
+impl KvInstance {
+    fn key_addr(&self, key: u64) -> VirtAddr {
+        // 32-byte objects: 128 per page.
+        let slot = key % (self.cfg.heap_pages * 128);
+        VirtAddr(HEAP_BASE + (slot / 128) * PAGE_SIZE + (slot % 128) * 32)
+    }
+
+    fn meta_addr(&self, key: u64) -> VirtAddr {
+        let slot = key % (self.cfg.meta_pages * 64);
+        VirtAddr(META_BASE + (slot / 64) * PAGE_SIZE + (slot % 64) * 64)
+    }
+
+    /// One GET.
+    pub fn get<P: FusionPolicy>(&self, sys: &mut System<P>, key: u64) -> u64 {
+        let t0 = sys.machine.now_ns();
+        match self.cfg.flavor {
+            KvFlavor::Redis => {
+                // Dict lookup: two metadata reads, then the value.
+                sys.read(self.vm.pid, self.meta_addr(key));
+                sys.read(self.vm.pid, self.meta_addr(key.rotate_left(17)));
+            }
+            KvFlavor::Memcached => {
+                sys.read(self.vm.pid, self.meta_addr(key));
+            }
+        }
+        sys.read(self.vm.pid, self.key_addr(key));
+        sys.machine.now_ns() - t0
+    }
+
+    /// One SET.
+    pub fn set<P: FusionPolicy>(&self, sys: &mut System<P>, key: u64, value: u8) -> u64 {
+        let t0 = sys.machine.now_ns();
+        sys.read(self.vm.pid, self.meta_addr(key));
+        sys.write(self.vm.pid, self.meta_addr(key), value ^ 1);
+        sys.write(self.vm.pid, self.key_addr(key), value);
+        sys.machine.now_ns() - t0
+    }
+
+    /// Runs a memtier-like closed loop: `ops` operations, 1:10 SET/GET
+    /// ratio, keys drawn hot-skewed (80% of ops hit 10% of the key space).
+    pub fn run_load<P: FusionPolicy>(&self, sys: &mut System<P>, ops: u64, seed: u64) -> KvResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set_lat = Vec::new();
+        let mut get_lat = Vec::new();
+        let t0 = sys.machine.now_ns();
+        for _ in 0..ops {
+            let key = if rng.random_range(0..10) < 8 {
+                rng.random_range(0..self.cfg.keys / 10)
+            } else {
+                rng.random_range(0..self.cfg.keys)
+            };
+            if rng.random_range(0..11) == 0 {
+                set_lat.push(self.set(sys, key, (key % 251) as u8) as f64 / 1e6);
+            } else {
+                get_lat.push(self.get(sys, key) as f64 / 1e6);
+            }
+        }
+        let wall = sys.machine.now_ns() - t0;
+        KvResult {
+            ops_per_s: ops as f64 / (wall as f64 / 1e9),
+            set_latencies_ms: set_lat,
+            get_latencies_ms: get_lat,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::images::ImageSpec;
+    use vusion_core::EngineKind;
+    use vusion_kernel::MachineConfig;
+
+    fn run_with(kind: EngineKind, store: KvStore, ops: u64) -> KvResult {
+        let mut sys = kind.build_system(MachineConfig::guest_2g_scaled().with_thp());
+        let vm = ImageSpec::small(0, 1).boot(&mut sys, "kv-vm");
+        let inst = store.start(&mut sys, &vm);
+        inst.run_load(&mut sys, ops, 5)
+    }
+
+    #[test]
+    fn load_mix_is_one_to_ten() {
+        let r = run_with(EngineKind::NoFusion, KvStore::memcached(), 3000);
+        let ratio = r.get_latencies_ms.len() as f64 / r.set_latencies_ms.len() as f64;
+        assert!(
+            (6.0..16.0).contains(&ratio),
+            "SET:GET ratio off: 1:{ratio:.1}"
+        );
+    }
+
+    #[test]
+    fn throughput_positive_and_latencies_recorded() {
+        let r = run_with(EngineKind::NoFusion, KvStore::redis(), 2000);
+        assert!(r.ops_per_s > 10_000.0);
+        assert!(!r.get_latencies_ms.is_empty());
+        assert!(r.get_latencies_ms.iter().all(|&l| l >= 0.0));
+    }
+
+    #[test]
+    fn redis_pays_more_metadata_than_memcached() {
+        let r = run_with(EngineKind::NoFusion, KvStore::redis(), 2000);
+        let m = run_with(EngineKind::NoFusion, KvStore::memcached(), 2000);
+        assert!(
+            m.ops_per_s > r.ops_per_s * 0.95,
+            "memcached ({:.0}) should not trail redis ({:.0}) by much",
+            m.ops_per_s,
+            r.ops_per_s
+        );
+    }
+
+    #[test]
+    fn fusion_keeps_throughput_in_band() {
+        let base = run_with(EngineKind::NoFusion, KvStore::memcached(), 2500);
+        for kind in [EngineKind::Ksm, EngineKind::VUsion] {
+            let r = run_with(kind, KvStore::memcached(), 2500);
+            let rel = r.ops_per_s / base.ops_per_s;
+            assert!(rel > 0.6, "{kind:?} throughput collapsed to {rel:.2}");
+        }
+    }
+}

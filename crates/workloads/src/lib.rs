@@ -1,0 +1,34 @@
+//! Synthetic VM images and workload drivers with the memory-access profiles
+//! of the paper's benchmarks (§9).
+//!
+//! The paper's performance and fusion-rate evaluation runs real suites
+//! (SPEC CPU2006, PARSEC, Stream, Postmark, Apache, Redis, Memcached) in
+//! KVM guests. What the fusion engines *see* of those workloads is their
+//! memory behaviour: footprints, working sets, page-cache traffic,
+//! duplicate content across VMs, THP affinity, and the rate at which idle
+//! pages become active again. This crate reproduces those profiles:
+//!
+//! * [`images`] — bootable VM images with family-shared base files,
+//!   globally shared libraries, stale "guest buddy" pages, zero pages and
+//!   unique application data; the duplication structure that drives
+//!   Figures 10–12 and Table 3.
+//! * [`stream`] — the Stream bandwidth kernels (Table 2).
+//! * [`cpu_suites`] — SPEC CPU2006- and PARSEC-like profiles (Figures 7/8).
+//! * [`postmark`] — a mail-server file-transaction benchmark (Table 4).
+//! * [`apache`] — a prefork HTTP server with self-balancing workers and a
+//!   wrk-like load generator (Table 5, Figures 9/12).
+//! * [`kv`] — Redis/Memcached-like key-value stores under a memtier-like
+//!   load (Tables 6/7).
+//! * [`runner`] — experiment scaffolding: build a multi-VM system for an
+//!   engine, time-sample memory consumption, compare engines.
+
+pub mod apache;
+pub mod cpu_suites;
+pub mod images;
+pub mod kv;
+pub mod postmark;
+pub mod runner;
+pub mod stream;
+
+pub use images::{ImageCatalog, ImageSpec, VmHandle};
+pub use runner::{consumed_mib, engine_comparison, ExperimentMachine, MemorySample};

@@ -1,0 +1,153 @@
+//! A Postmark-like mail-server benchmark (Table 4).
+//!
+//! Postmark stresses the file system with small-file transactions. In the
+//! guest this means page-cache traffic: reads populate cache pages (prime
+//! fusion candidates once the mailbox goes idle), appends copy-on-write
+//! them into private dirty pages. Transactions per simulated second is the
+//! reported metric.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vusion_kernel::{FusionPolicy, System};
+use vusion_mem::{VirtAddr, PAGE_SIZE};
+use vusion_mmu::{GuestTag, Protection, Vma};
+
+use crate::images::VmHandle;
+
+/// Postmark configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PostmarkBench {
+    /// Size of the mail spool (pages; each "file" is 4 pages).
+    pub spool_pages: u64,
+    /// Transactions to run.
+    pub transactions: u64,
+}
+
+impl Default for PostmarkBench {
+    fn default() -> Self {
+        Self {
+            spool_pages: 2048,
+            transactions: 2000,
+        }
+    }
+}
+
+/// Result of a Postmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PostmarkResult {
+    /// Transactions per simulated second.
+    pub tx_per_s: f64,
+    /// Total simulated duration (ns).
+    pub duration_ns: u64,
+}
+
+const SPOOL_BASE: u64 = 0xd000_0000;
+const FILE_PAGES: u64 = 4;
+
+impl PostmarkBench {
+    /// Maps the mail spool (file-backed: the guest page cache).
+    pub fn setup<P: FusionPolicy>(&self, sys: &mut System<P>, vm: &VmHandle) {
+        sys.machine.mmap(
+            vm.pid,
+            Vma::file(
+                VirtAddr(SPOOL_BASE),
+                self.spool_pages,
+                Protection::rw(),
+                0x90_0000,
+                0,
+            )
+            .with_tag(GuestTag::PageCache),
+        );
+        sys.machine
+            .madvise_mergeable(vm.pid, VirtAddr(SPOOL_BASE), self.spool_pages);
+    }
+
+    /// Runs the transaction mix: 50% read a file, 30% append (write last
+    /// page), 20% create (write all pages of a file slot).
+    pub fn run<P: FusionPolicy>(
+        &self,
+        sys: &mut System<P>,
+        vm: &VmHandle,
+        seed: u64,
+    ) -> PostmarkResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let files = self.spool_pages / FILE_PAGES;
+        let t0 = sys.machine.now_ns();
+        for _ in 0..self.transactions {
+            let file = rng.random_range(0..files);
+            let base = SPOOL_BASE + file * FILE_PAGES * PAGE_SIZE;
+            let kind = rng.random_range(0..10);
+            if kind < 5 {
+                // Read the whole file.
+                for p in 0..FILE_PAGES {
+                    sys.read(vm.pid, VirtAddr(base + p * PAGE_SIZE));
+                }
+            } else if kind < 8 {
+                // Append: read header, write the tail page.
+                sys.read(vm.pid, VirtAddr(base));
+                for line in 0..8u64 {
+                    sys.write(
+                        vm.pid,
+                        VirtAddr(base + (FILE_PAGES - 1) * PAGE_SIZE + line * 64),
+                        (file % 251) as u8,
+                    );
+                }
+            } else {
+                // Create: overwrite the slot.
+                for p in 0..FILE_PAGES {
+                    for line in 0..4u64 {
+                        sys.write(
+                            vm.pid,
+                            VirtAddr(base + p * PAGE_SIZE + line * 64),
+                            (p + line) as u8,
+                        );
+                    }
+                }
+            }
+        }
+        let duration_ns = sys.machine.now_ns() - t0;
+        PostmarkResult {
+            tx_per_s: self.transactions as f64 / (duration_ns as f64 / 1e9),
+            duration_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::images::ImageSpec;
+    use vusion_core::EngineKind;
+    use vusion_kernel::MachineConfig;
+
+    fn run_with(kind: EngineKind) -> PostmarkResult {
+        let mut sys = kind.build_system(MachineConfig::guest_2g_scaled());
+        let vm = ImageSpec::small(0, 1).scaled(1, 2).boot(&mut sys, "vm");
+        let bench = PostmarkBench {
+            spool_pages: 512,
+            transactions: 600,
+        };
+        bench.setup(&mut sys, &vm);
+        bench.run(&mut sys, &vm, 7)
+    }
+
+    #[test]
+    fn throughput_is_positive() {
+        let r = run_with(EngineKind::NoFusion);
+        assert!(r.tx_per_s > 100.0, "implausible throughput {}", r.tx_per_s);
+    }
+
+    #[test]
+    fn engines_stay_within_band() {
+        // Table 4: all engines within a few percent of each other.
+        let base = run_with(EngineKind::NoFusion);
+        for kind in [EngineKind::Ksm, EngineKind::VUsion] {
+            let r = run_with(kind);
+            let rel = r.tx_per_s / base.tx_per_s;
+            assert!(
+                rel > 0.75,
+                "{kind:?} throughput collapsed to {rel:.3} of baseline"
+            );
+        }
+    }
+}

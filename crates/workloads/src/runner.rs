@@ -1,0 +1,114 @@
+//! Experiment scaffolding shared by the benches.
+
+use vusion_core::EngineKind;
+use vusion_kernel::{FusionPolicy, MachineConfig, System};
+
+/// A machine profile for experiments.
+pub struct ExperimentMachine;
+
+impl ExperimentMachine {
+    /// The standard evaluation machine: 256 MiB (a scaled 2 GB guest host),
+    /// the testbed's LLC geometry, DDR4 banks.
+    pub fn standard() -> MachineConfig {
+        MachineConfig::guest_2g_scaled()
+    }
+
+    /// The standard machine with transparent huge pages (server workloads).
+    pub fn standard_thp() -> MachineConfig {
+        MachineConfig::guest_2g_scaled().with_thp()
+    }
+}
+
+/// Memory in use, in MiB (frames × 4 KiB).
+pub fn consumed_mib<P: FusionPolicy>(sys: &System<P>) -> f64 {
+    sys.machine.allocated_frames() as f64 * 4096.0 / (1024.0 * 1024.0)
+}
+
+/// One point of a memory-consumption time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemorySample {
+    /// Simulated time (seconds).
+    pub t_s: f64,
+    /// Memory in use (MiB).
+    pub mib: f64,
+    /// Pages currently saved by fusion.
+    pub pages_saved: u64,
+}
+
+/// Samples memory consumption while idling the system for `duration_ns`,
+/// every `sample_ns`.
+pub fn sample_idle<P: FusionPolicy>(
+    sys: &mut System<P>,
+    duration_ns: u64,
+    sample_ns: u64,
+) -> Vec<MemorySample> {
+    let mut out = Vec::new();
+    let end = sys.machine.now_ns() + duration_ns;
+    while sys.machine.now_ns() < end {
+        sys.idle(sample_ns.min(end - sys.machine.now_ns()));
+        out.push(MemorySample {
+            t_s: sys.machine.now_ns() as f64 / 1e9,
+            mib: consumed_mib(sys),
+            pages_saved: sys.policy.pages_saved(),
+        });
+    }
+    out
+}
+
+/// Runs `f` once per engine, returning `(engine, result)` rows — the
+/// standard "No dedup / KSM / VUsion / VUsion THP" comparison.
+pub fn engine_comparison<R>(
+    engines: &[EngineKind],
+    base: MachineConfig,
+    mut f: impl FnMut(EngineKind, System<Box<dyn FusionPolicy>>) -> R,
+) -> Vec<(EngineKind, R)> {
+    engines
+        .iter()
+        .map(|&kind| (kind, f(kind, kind.build_system(base))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::images::ImageSpec;
+
+    #[test]
+    fn memory_sampling_tracks_fusion() {
+        let mut sys = EngineKind::Ksm.build_system(ExperimentMachine::standard());
+        ImageSpec::small(0, 1).boot(&mut sys, "a");
+        ImageSpec::small(0, 2).boot(&mut sys, "b");
+        // Sample quickly: KSM converges within a couple of simulated
+        // seconds at this scale (5000 pages/s over ~2000 pages).
+        let samples = sample_idle(&mut sys, 10_000_000_000, 400_000_000);
+        assert!(samples.len() >= 5);
+        let first = samples.first().expect("non-empty");
+        let last = samples.last().expect("non-empty");
+        assert!(
+            last.mib < first.mib,
+            "idle fusion must reclaim memory: {first:?} -> {last:?}"
+        );
+        assert!(last.pages_saved > 0);
+    }
+
+    #[test]
+    fn engine_comparison_runs_all() {
+        let rows = engine_comparison(
+            &EngineKind::evaluation_set(),
+            MachineConfig::test_small(),
+            |kind, sys| {
+                let _ = sys;
+                kind.label().len()
+            },
+        );
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn consumed_mib_counts_frames() {
+        let mut sys = EngineKind::NoFusion.build_system(MachineConfig::test_small());
+        let before = consumed_mib(&sys);
+        ImageSpec::small(0, 1).scaled(1, 4).boot(&mut sys, "vm");
+        assert!(consumed_mib(&sys) > before);
+    }
+}

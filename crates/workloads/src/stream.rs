@@ -1,0 +1,168 @@
+//! The Stream memory-bandwidth benchmark (Table 2).
+//!
+//! Four kernels over three arrays: copy (`c = a`), scale (`b = q·c`), add
+//! (`c = a + b`), triad (`a = b + q·c`). Bandwidth is bytes moved per
+//! simulated second. Fusion engines perturb it only through the few extra
+//! faults their scanners induce, which is why the paper measures < 1%
+//! overhead for every configuration.
+
+use vusion_kernel::{FusionPolicy, System};
+use vusion_mem::{VirtAddr, PAGE_SIZE};
+use vusion_mmu::{Protection, Vma};
+
+use crate::images::{labeled_page, VmHandle};
+
+/// Stream configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamBench {
+    /// Pages per array.
+    pub pages: u64,
+    /// Repetitions of each kernel.
+    pub iterations: u32,
+}
+
+impl Default for StreamBench {
+    fn default() -> Self {
+        Self {
+            pages: 512,
+            iterations: 3,
+        }
+    }
+}
+
+/// Measured bandwidths in MiB/s of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamResult {
+    /// `c = a`.
+    pub copy_mib_s: f64,
+    /// `b = q·c`.
+    pub scale_mib_s: f64,
+    /// `c = a + b`.
+    pub add_mib_s: f64,
+    /// `a = b + q·c`.
+    pub triad_mib_s: f64,
+}
+
+const ARRAY_A: u64 = 0x9000_0000;
+const ARRAY_B: u64 = 0xa000_0000;
+const ARRAY_C: u64 = 0xb000_0000;
+
+impl StreamBench {
+    /// Maps and initializes the three arrays inside the VM.
+    pub fn setup<P: FusionPolicy>(&self, sys: &mut System<P>, vm: &VmHandle) {
+        for (base, salt) in [(ARRAY_A, 1u64), (ARRAY_B, 2), (ARRAY_C, 3)] {
+            sys.machine.mmap(
+                vm.pid,
+                Vma::anon(VirtAddr(base), self.pages, Protection::rw()),
+            );
+            sys.machine
+                .madvise_mergeable(vm.pid, VirtAddr(base), self.pages);
+            for i in 0..self.pages {
+                sys.write_page(
+                    vm.pid,
+                    VirtAddr(base + i * PAGE_SIZE),
+                    &labeled_page(salt ^ (i << 16)),
+                );
+            }
+        }
+    }
+
+    fn sweep<P: FusionPolicy>(
+        sys: &mut System<P>,
+        vm: &VmHandle,
+        pages: u64,
+        reads: &[u64],
+        write: u64,
+    ) -> u64 {
+        let t0 = sys.machine.now_ns();
+        for i in 0..pages {
+            for &r in reads {
+                // One access per cache line, streaming.
+                for line in 0..(PAGE_SIZE / 64) {
+                    sys.read(vm.pid, VirtAddr(r + i * PAGE_SIZE + line * 64));
+                }
+            }
+            for line in 0..(PAGE_SIZE / 64) {
+                sys.write(
+                    vm.pid,
+                    VirtAddr(write + i * PAGE_SIZE + line * 64),
+                    (line % 251) as u8,
+                );
+            }
+        }
+        sys.machine.now_ns() - t0
+    }
+
+    /// Runs the four kernels and reports bandwidths.
+    pub fn run<P: FusionPolicy>(&self, sys: &mut System<P>, vm: &VmHandle) -> StreamResult {
+        let mut totals = [0u64; 4]; // copy, scale, add, triad.
+        for _ in 0..self.iterations {
+            totals[0] += Self::sweep(sys, vm, self.pages, &[ARRAY_A], ARRAY_C);
+            totals[1] += Self::sweep(sys, vm, self.pages, &[ARRAY_C], ARRAY_B);
+            totals[2] += Self::sweep(sys, vm, self.pages, &[ARRAY_A, ARRAY_B], ARRAY_C);
+            totals[3] += Self::sweep(sys, vm, self.pages, &[ARRAY_B, ARRAY_C], ARRAY_A);
+        }
+        let bytes_2 = (self.pages * PAGE_SIZE * 2 * u64::from(self.iterations)) as f64;
+        let bytes_3 = (self.pages * PAGE_SIZE * 3 * u64::from(self.iterations)) as f64;
+        let mib = |bytes: f64, ns: u64| bytes / (1024.0 * 1024.0) / (ns as f64 / 1e9);
+        StreamResult {
+            copy_mib_s: mib(bytes_2, totals[0]),
+            scale_mib_s: mib(bytes_2, totals[1]),
+            add_mib_s: mib(bytes_3, totals[2]),
+            triad_mib_s: mib(bytes_3, totals[3]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::images::ImageSpec;
+    use vusion_core::EngineKind;
+    use vusion_kernel::MachineConfig;
+
+    fn run_with(kind: EngineKind) -> StreamResult {
+        let mut sys = kind.build_system(MachineConfig::test_small());
+        let vm = ImageSpec::small(0, 1).scaled(1, 8).boot(&mut sys, "vm");
+        let bench = StreamBench {
+            pages: 64,
+            iterations: 2,
+        };
+        bench.setup(&mut sys, &vm);
+        bench.run(&mut sys, &vm)
+    }
+
+    #[test]
+    fn bandwidth_is_positive_and_sane() {
+        let r = run_with(EngineKind::NoFusion);
+        for v in [r.copy_mib_s, r.scale_mib_s, r.add_mib_s, r.triad_mib_s] {
+            assert!(v > 100.0, "bandwidth {v} MiB/s implausibly low");
+            assert!(v < 1_000_000.0, "bandwidth {v} MiB/s implausibly high");
+        }
+    }
+
+    #[test]
+    fn fusion_overhead_is_small() {
+        // The Table 2 property: KSM and VUsion stay within a few percent.
+        let base = run_with(EngineKind::NoFusion);
+        for kind in [EngineKind::Ksm, EngineKind::VUsion] {
+            let r = run_with(kind);
+            let overhead = (base.copy_mib_s - r.copy_mib_s) / base.copy_mib_s;
+            assert!(
+                overhead < 0.10,
+                "{kind:?} copy overhead {overhead:.3} too high"
+            );
+        }
+    }
+
+    #[test]
+    fn add_and_triad_move_more_bytes() {
+        // 3-operand kernels take longer per element, so bandwidths are in
+        // the same ballpark; sanity check the accounting.
+        let r = run_with(EngineKind::NoFusion);
+        let lo = r.copy_mib_s.min(r.scale_mib_s) * 0.5;
+        let hi = r.copy_mib_s.max(r.scale_mib_s) * 2.0;
+        assert!(r.add_mib_s > lo && r.add_mib_s < hi);
+        assert!(r.triad_mib_s > lo && r.triad_mib_s < hi);
+    }
+}

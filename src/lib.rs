@@ -1,0 +1,70 @@
+//! # VUsion — secure page fusion, reproduced in Rust
+//!
+//! This workspace reproduces **"Secure Page Fusion with VUsion"**
+//! (Oliverio, Razavi, Bos, Giuffrida — SOSP 2017) on a simulated memory
+//! subsystem: a complete software model of physical frames, allocators,
+//! page tables, TLBs, a last-level cache and Rowhammer-prone DRAM, with
+//! three page-fusion engines on top — Linux **KSM**, Windows **WPF**, and
+//! the paper's secure **VUsion** — plus the paper's six attacks and every
+//! table/figure of its evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vusion::prelude::*;
+//!
+//! // A machine running the secure VUsion engine.
+//! let mut sys = EngineKind::VUsion.build_system(MachineConfig::test_small());
+//!
+//! // Two "VMs" with one identical page each.
+//! let a = sys.machine.spawn("vm-a");
+//! let b = sys.machine.spawn("vm-b");
+//! for pid in [a, b] {
+//!     sys.machine.mmap(pid, Vma::anon(VirtAddr(0x10000), 16, Protection::rw()));
+//!     sys.machine.madvise_mergeable(pid, VirtAddr(0x10000), 16);
+//!     sys.write_page(pid, VirtAddr(0x10000), &[7u8; 4096]);
+//! }
+//!
+//! // Let the scanner run: the duplicates fuse...
+//! sys.force_scans(14);
+//! assert_eq!(sys.policy.pages_saved(), 1);
+//!
+//! // ...and any access transparently unmerges with identical timing for
+//! // merged and non-merged pages (the Same Behavior principle).
+//! assert_eq!(sys.read(a, VirtAddr(0x10000)), 7);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`mem`] | frames, buddy/linear/random-pool allocators, deferred free |
+//! | [`mmu`] | PTEs, 4-level page tables, VMAs, TLB |
+//! | [`cache`] | last-level cache with page coloring |
+//! | [`dram`] | DRAM geometry, row buffers, Rowhammer fault model |
+//! | [`kernel`] | the simulated machine, fault handling, khugepaged |
+//! | [`core`] | the fusion engines: KSM, WPF, VUsion |
+//! | [`attacks`] | the six attacks of the paper's Table 1 |
+//! | [`stats`] | KS tests, histograms, percentiles |
+//! | [`workloads`] | VM images and benchmark drivers |
+
+pub use vusion_attacks as attacks;
+pub use vusion_cache as cache;
+pub use vusion_core as core;
+pub use vusion_dram as dram;
+pub use vusion_kernel as kernel;
+pub use vusion_mem as mem;
+pub use vusion_mmu as mmu;
+pub use vusion_stats as stats;
+pub use vusion_workloads as workloads;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use vusion_core::{EngineKind, Ksm, KsmConfig, VUsion, VUsionConfig, Wpf, WpfConfig};
+    pub use vusion_kernel::{
+        FusionPolicy, Khugepaged, Machine, MachineConfig, NoFusion, Pid, System,
+    };
+    pub use vusion_mem::{FrameId, PhysAddr, VirtAddr, HUGE_PAGE_SIZE, PAGE_SIZE};
+    pub use vusion_mmu::{GuestTag, Protection, Pte, PteFlags, Vma};
+    pub use vusion_workloads::images::{ImageCatalog, ImageSpec};
+}

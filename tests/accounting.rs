@@ -1,0 +1,146 @@
+//! Resource accounting across the whole stack: no engine may leak or
+//! double-free physical frames, whatever churn it goes through.
+
+use vusion::prelude::*;
+
+const BASE: u64 = 0x10000;
+
+/// Total frames accounted for: allocated + free in the buddy + resident in
+/// engine pools must equal the machine size. We verify the weaker but
+/// sufficient invariant that repeated churn does not monotonically consume
+/// memory (a leak) and never double-frees (which would panic).
+fn churn(kind: EngineKind) -> Vec<usize> {
+    let mut sys = kind.build_system(MachineConfig::test_small());
+    let pids: Vec<Pid> = (0..2)
+        .map(|i| sys.machine.spawn(&format!("p{i}")))
+        .collect();
+    for &pid in &pids {
+        sys.machine
+            .mmap(pid, Vma::anon(VirtAddr(BASE), 32, Protection::rw()));
+        sys.machine.madvise_mergeable(pid, VirtAddr(BASE), 32);
+    }
+    let mut allocated_after_round = Vec::new();
+    for round in 0..8u8 {
+        // Write identical content (merge bait), scan, then unmerge all by
+        // touching everything.
+        for &pid in &pids {
+            for pg in 0..32u64 {
+                sys.write_page(
+                    pid,
+                    VirtAddr(BASE + pg * PAGE_SIZE),
+                    &[round.wrapping_add(1); PAGE_SIZE as usize],
+                );
+            }
+        }
+        sys.force_scans(12);
+        for &pid in &pids {
+            for pg in 0..32u64 {
+                sys.write(pid, VirtAddr(BASE + pg * PAGE_SIZE), round ^ 0x55);
+            }
+        }
+        sys.force_scans(12); // Drain deferred queues etc.
+        allocated_after_round.push(sys.machine.allocated_frames());
+    }
+    allocated_after_round
+}
+
+#[test]
+fn no_engine_leaks_frames_under_churn() {
+    for kind in [
+        EngineKind::NoFusion,
+        EngineKind::Ksm,
+        EngineKind::KsmCoa,
+        EngineKind::Wpf,
+        EngineKind::VUsion,
+        EngineKind::VUsionThp,
+    ] {
+        let series = churn(kind);
+        let first = series[1]; // Round 0 includes warm-up allocations.
+        let last = *series.last().expect("rounds");
+        assert!(
+            last <= first + 8,
+            "{kind:?}: allocated frames grew {first} -> {last} across identical churn rounds: {series:?}"
+        );
+    }
+}
+
+#[test]
+fn saved_pages_never_exceed_total_duplicates() {
+    for kind in [EngineKind::Ksm, EngineKind::Wpf, EngineKind::VUsion] {
+        let mut sys = kind.build_system(MachineConfig::test_small());
+        let a = sys.machine.spawn("a");
+        let b = sys.machine.spawn("b");
+        for pid in [a, b] {
+            sys.machine
+                .mmap(pid, Vma::anon(VirtAddr(BASE), 16, Protection::rw()));
+            sys.machine.madvise_mergeable(pid, VirtAddr(BASE), 16);
+        }
+        for pid in [a, b] {
+            for pg in 0..16u64 {
+                sys.write_page(
+                    pid,
+                    VirtAddr(BASE + pg * PAGE_SIZE),
+                    &[9u8; PAGE_SIZE as usize],
+                );
+            }
+        }
+        sys.force_scans(20);
+        // 32 identical pages can save at most 31 frames.
+        let saved = sys.policy.pages_saved();
+        assert!(
+            saved <= 31,
+            "{kind:?} claims {saved} saved frames from 32 duplicates"
+        );
+        assert!(saved >= 20, "{kind:?} merged suspiciously little: {saved}");
+    }
+}
+
+#[test]
+fn memory_returns_after_total_unmerge() {
+    for kind in [EngineKind::Ksm, EngineKind::VUsion] {
+        let mut sys = kind.build_system(MachineConfig::test_small());
+        let a = sys.machine.spawn("a");
+        let b = sys.machine.spawn("b");
+        for pid in [a, b] {
+            sys.machine
+                .mmap(pid, Vma::anon(VirtAddr(BASE), 16, Protection::rw()));
+            sys.machine.madvise_mergeable(pid, VirtAddr(BASE), 16);
+        }
+        for pid in [a, b] {
+            for pg in 0..16u64 {
+                sys.write_page(
+                    pid,
+                    VirtAddr(BASE + pg * PAGE_SIZE),
+                    &[4u8; PAGE_SIZE as usize],
+                );
+            }
+        }
+        let full = sys.machine.allocated_frames();
+        sys.force_scans(20);
+        assert!(
+            sys.machine.allocated_frames() < full,
+            "{kind:?} reclaimed nothing"
+        );
+        // Unique writes everywhere unmerge everything.
+        for (k, pid) in [a, b].into_iter().enumerate() {
+            for pg in 0..16u64 {
+                sys.write(
+                    pid,
+                    VirtAddr(BASE + pg * PAGE_SIZE),
+                    (k as u8 + 1) * 16 + pg as u8,
+                );
+            }
+        }
+        sys.force_scans(20); // Drain deferred frees.
+        let back = sys.machine.allocated_frames();
+        assert!(
+            (back as i64 - full as i64).abs() <= 4,
+            "{kind:?}: expected full repopulation, {full} -> {back}"
+        );
+        assert_eq!(
+            sys.policy.pages_saved(),
+            0,
+            "{kind:?} still counts saved pages"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Cross-crate correctness: fusion must never change what any process
+//! observes in its memory, under any engine and any interleaving of
+//! accesses and scan passes.
+//!
+//! The oracle is a plain `HashMap<(pid, va), byte>` model of what was
+//! written; after arbitrary interleavings of writes, reads, scans,
+//! khugepaged passes and idle time, every byte must read back as the model
+//! predicts.
+
+use proptest::prelude::*;
+use vusion::prelude::*;
+
+const ENGINES: [EngineKind; 5] = [
+    EngineKind::Ksm,
+    EngineKind::KsmCoa,
+    EngineKind::Wpf,
+    EngineKind::VUsion,
+    EngineKind::VUsionThp,
+];
+
+const BASE: u64 = 0x10000;
+const PAGES: u64 = 24;
+
+fn build(kind: EngineKind) -> (System<Box<dyn FusionPolicy>>, Vec<Pid>) {
+    let mut sys = kind.build_system(MachineConfig::test_small());
+    let pids: Vec<Pid> = (0..3)
+        .map(|i| sys.machine.spawn(&format!("p{i}")))
+        .collect();
+    for &pid in &pids {
+        sys.machine
+            .mmap(pid, Vma::anon(VirtAddr(BASE), PAGES, Protection::rw()));
+        sys.machine.madvise_mergeable(pid, VirtAddr(BASE), PAGES);
+    }
+    (sys, pids)
+}
+
+/// One scripted operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write a (often duplicate-prone) byte at (pid, page, offset).
+    Write(usize, u64, u16, u8),
+    /// Read at (pid, page, offset).
+    Read(usize, u64, u16),
+    /// Run scanner wakeups.
+    Scan(u8),
+    /// Let simulated time pass (daemons run).
+    Idle(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..3usize, 0..PAGES, 0..4096u16, 0..4u8)
+            .prop_map(|(p, pg, off, v)| Op::Write(p, pg, off, v)),
+        (0..3usize, 0..PAGES, 0..4096u16).prop_map(|(p, pg, off)| Op::Read(p, pg, off)),
+        (1..6u8).prop_map(Op::Scan),
+        (1..4u8).prop_map(Op::Idle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Differential test: every engine preserves the memory model.
+    #[test]
+    fn fusion_preserves_memory_semantics(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        for kind in ENGINES {
+            let (mut sys, pids) = build(kind);
+            let mut model = std::collections::HashMap::new();
+            for op in &ops {
+                match *op {
+                    Op::Write(p, pg, off, v) => {
+                        let va = VirtAddr(BASE + pg * PAGE_SIZE + u64::from(off));
+                        sys.write(pids[p], va, v);
+                        model.insert((p, pg, off), v);
+                    }
+                    Op::Read(p, pg, off) => {
+                        let va = VirtAddr(BASE + pg * PAGE_SIZE + u64::from(off));
+                        let got = sys.read(pids[p], va);
+                        let want = model.get(&(p, pg, off)).copied().unwrap_or(0);
+                        prop_assert_eq!(got, want, "{:?}: mismatch at p{} page {} off {}", kind, p, pg, off);
+                    }
+                    Op::Scan(n) => sys.force_scans(n as usize),
+                    Op::Idle(n) => sys.idle(u64::from(n) * 25_000_000),
+                }
+            }
+            // Final sweep: every written byte still reads back.
+            for (&(p, pg, off), &v) in &model {
+                let va = VirtAddr(BASE + pg * PAGE_SIZE + u64::from(off));
+                prop_assert_eq!(sys.read(pids[p], va), v, "{:?}: final state diverged", kind);
+            }
+        }
+    }
+
+    /// Identical content across processes always converges to sharing under
+    /// KSM and VUsion, and writes always unshare correctly afterwards.
+    #[test]
+    fn merge_then_diverge(fill in 1u8..255, diverge_at in 0u16..4096) {
+        for kind in [EngineKind::Ksm, EngineKind::VUsion] {
+            let (mut sys, pids) = build(kind);
+            let page = [fill; PAGE_SIZE as usize];
+            for &pid in &pids {
+                sys.write_page(pid, VirtAddr(BASE), &page);
+            }
+            sys.force_scans(16);
+            prop_assert!(sys.policy.pages_saved() >= 2, "{kind:?} failed to merge triples");
+            // One process diverges.
+            let va = VirtAddr(BASE + u64::from(diverge_at));
+            sys.write(pids[0], va, fill.wrapping_add(1));
+            prop_assert_eq!(sys.read(pids[0], va), fill.wrapping_add(1));
+            prop_assert_eq!(sys.read(pids[1], va), fill);
+            prop_assert_eq!(sys.read(pids[2], va), fill);
+        }
+    }
+}
+
+#[test]
+fn heavy_churn_converges_and_preserves_contents() {
+    // Repeated merge/unmerge cycles across engines must neither corrupt
+    // contents nor leak saved-page accounting.
+    for kind in ENGINES {
+        let (mut sys, pids) = build(kind);
+        for round in 0..6u8 {
+            for (i, &pid) in pids.iter().enumerate() {
+                for pg in 0..PAGES {
+                    // Alternate between all-same and per-process content.
+                    let label = if round % 2 == 0 {
+                        7
+                    } else {
+                        (i as u8 + 1) * 10 + round
+                    };
+                    sys.write_page(
+                        pid,
+                        VirtAddr(BASE + pg * PAGE_SIZE),
+                        &[label; PAGE_SIZE as usize],
+                    );
+                }
+            }
+            sys.force_scans(20);
+        }
+        // Verify final contents.
+        for (i, &pid) in pids.iter().enumerate() {
+            let want = (i as u8 + 1) * 10 + 5;
+            for pg in 0..PAGES {
+                assert_eq!(
+                    sys.read_page(pid, VirtAddr(BASE + pg * PAGE_SIZE)),
+                    [want; PAGE_SIZE as usize],
+                    "{kind:?}: corrupted after churn"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! End-to-end security invariants: the Same Behavior and Randomized
+//! Allocation principles, checked at the PTE and allocator level (the
+//! attack-level checks live in `vusion-attacks`).
+
+use vusion::core::{VUsion, VUsionConfig};
+use vusion::prelude::*;
+use vusion::stats::ks_test_uniform;
+
+const BASE: u64 = 0x10000;
+
+fn vusion_system(pool: usize) -> (System<VUsion>, Pid, Pid) {
+    let mut m = Machine::new(MachineConfig::test_small());
+    let a = m.spawn("a");
+    let b = m.spawn("b");
+    for pid in [a, b] {
+        m.mmap(pid, Vma::anon(VirtAddr(BASE), 64, Protection::rw()));
+        m.madvise_mergeable(pid, VirtAddr(BASE), 64);
+    }
+    let policy = VUsion::new(
+        &mut m,
+        VUsionConfig {
+            pool_frames: pool,
+            ..Default::default()
+        },
+    );
+    (System::new(m, policy), a, b)
+}
+
+fn page(fill: u8) -> [u8; PAGE_SIZE as usize] {
+    let mut p = [fill; PAGE_SIZE as usize];
+    p[0] = fill.wrapping_add(1);
+    p
+}
+
+/// SB at the PTE level: after a scan pass, *every* page that was considered
+/// carries byte-identical flag bits — there is no PTE-visible difference
+/// between really-merged and fake-merged pages.
+#[test]
+fn sb_ptes_are_flagwise_identical() {
+    let (mut sys, a, b) = vusion_system(256);
+    // Pages 0..8: duplicates (will merge). Pages 8..16: unique (fake merge).
+    for i in 0..8u64 {
+        sys.write_page(a, VirtAddr(BASE + i * PAGE_SIZE), &page(i as u8 + 1));
+        sys.write_page(b, VirtAddr(BASE + i * PAGE_SIZE), &page(i as u8 + 1));
+    }
+    for i in 8..16u64 {
+        sys.write_page(a, VirtAddr(BASE + i * PAGE_SIZE), &page(i as u8 + 100));
+    }
+    sys.force_scans(16);
+    let flags: Vec<u64> = (0..16u64)
+        .map(|i| {
+            sys.machine
+                .leaf(a, VirtAddr(BASE + i * PAGE_SIZE))
+                .expect("mapped")
+                .pte
+                .flags()
+        })
+        .collect();
+    assert!(
+        flags.windows(2).all(|w| w[0] == w[1]),
+        "PTE flags must be indistinguishable across merged/fake-merged pages: {flags:?}"
+    );
+    // And they are all trapped + uncacheable.
+    let leaf = sys.machine.leaf(a, VirtAddr(BASE)).expect("mapped");
+    assert!(leaf.pte.is_trapped());
+    assert!(leaf.pte.has(PteFlags::NO_CACHE));
+}
+
+/// SB: prefetch must not load any considered page into the cache (the PCD
+/// bit), merged or not.
+#[test]
+fn sb_prefetch_is_inert_on_considered_pages() {
+    let (mut sys, a, b) = vusion_system(256);
+    sys.write_page(a, VirtAddr(BASE), &page(1));
+    sys.write_page(b, VirtAddr(BASE), &page(1)); // Merged.
+    sys.write_page(a, VirtAddr(BASE + PAGE_SIZE), &page(2)); // Fake merged.
+    sys.force_scans(16);
+    for i in 0..2u64 {
+        let va = VirtAddr(BASE + i * PAGE_SIZE);
+        let pa = sys.machine.translate_quiet(a, va).expect("mapped");
+        sys.machine.llc_mut().flush_frame(pa.frame());
+        assert!(!sys.machine.llc().contains(pa));
+        sys.prefetch(a, va);
+        assert!(
+            !sys.machine.llc().contains(pa),
+            "prefetch leaked page {i} into the cache despite PCD"
+        );
+    }
+}
+
+/// RA: the frames backing (fake-)merged pages never coincide with either
+/// party's original frame, and the choices pass a uniformity test.
+#[test]
+fn ra_backing_frames_are_random_and_foreign() {
+    let (mut sys, a, b) = vusion_system(512);
+    let mut originals = Vec::new();
+    for i in 0..48u64 {
+        let va = VirtAddr(BASE + i * PAGE_SIZE);
+        sys.write_page(a, va, &page(i as u8));
+        sys.write_page(b, va, &page(i as u8));
+        originals.push((
+            sys.machine.translate_quiet(a, va).expect("mapped").frame(),
+            sys.machine.translate_quiet(b, va).expect("mapped").frame(),
+        ));
+    }
+    sys.force_scans(30);
+    // The invariant Flip Feng Shui cares about: the fused copy of page `i`
+    // is never backed by either of page `i`'s own parties' frames (KSM
+    // merges in place; VUsion never does). Released originals may re-enter
+    // the random pool and back *unrelated* pages — that reuse is uniform
+    // at probability 1/pool, which the KS test below checks.
+    for (i, &(fa, fb)) in originals.iter().enumerate() {
+        let va = VirtAddr(BASE + i as u64 * PAGE_SIZE);
+        let f = sys.machine.translate_quiet(a, va).expect("mapped").frame();
+        assert_ne!(f, fa, "page {i} merged in place onto a's frame");
+        assert_ne!(f, fb, "page {i} merged in place onto b's frame");
+    }
+    // Uniformity of the RA trace.
+    let trace: Vec<f64> = sys.policy.ra_trace().iter().map(|&f| f as f64).collect();
+    assert!(trace.len() >= 48);
+    let lo = trace.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = trace.iter().copied().fold(f64::NEG_INFINITY, f64::max) + 1.0;
+    let ks = ks_test_uniform(&trace, lo, hi);
+    assert!(
+        ks.same_distribution(0.01),
+        "RA trace not uniform: p = {}",
+        ks.p_value
+    );
+}
+
+/// The contrast that motivates RA: KSM's unmerge allocations are instantly
+/// predictable (LIFO buddy reuse).
+#[test]
+fn ksm_unmerge_allocation_is_predictable() {
+    let mut sys = EngineKind::Ksm.build_system(MachineConfig::test_small());
+    let a = sys.machine.spawn("a");
+    let b = sys.machine.spawn("b");
+    for pid in [a, b] {
+        sys.machine
+            .mmap(pid, Vma::anon(VirtAddr(BASE), 8, Protection::rw()));
+        sys.machine.madvise_mergeable(pid, VirtAddr(BASE), 8);
+    }
+    sys.write_page(a, VirtAddr(BASE), &page(3));
+    sys.write_page(b, VirtAddr(BASE), &page(3));
+    let frame_b = sys
+        .machine
+        .translate_quiet(b, VirtAddr(BASE))
+        .expect("mapped")
+        .frame();
+    sys.force_scans(16);
+    // b's duplicate frame went back to the buddy allocator; the very next
+    // allocation (b's own CoW) gets it straight back — LIFO predictability.
+    sys.write(b, VirtAddr(BASE), 9);
+    let frame_after = sys
+        .machine
+        .translate_quiet(b, VirtAddr(BASE))
+        .expect("mapped")
+        .frame();
+    assert_eq!(
+        frame_after, frame_b,
+        "buddy LIFO reuse is the predictable behavior RA fixes"
+    );
+}
+
+/// SB timing, end to end: merged and fake-merged pages fault with the same
+/// distribution even when measured through the public API.
+#[test]
+fn sb_fault_timing_indistinguishable() {
+    let (mut sys, a, b) = vusion_system(512);
+    const N: u64 = 60;
+    for i in 0..N {
+        let va = VirtAddr(BASE + i * PAGE_SIZE);
+        sys.write_page(a, va, &page(i as u8));
+        if i % 2 == 0 {
+            sys.write_page(b, va, &page(i as u8)); // Even pages merge.
+        }
+    }
+    sys.force_scans(24);
+    let mut merged = Vec::new();
+    let mut fake = Vec::new();
+    for i in 0..N {
+        let va = VirtAddr(BASE + i * PAGE_SIZE);
+        let t0 = sys.machine.now_ns();
+        sys.read(a, va);
+        let dt = (sys.machine.now_ns() - t0) as f64;
+        if i % 2 == 0 {
+            merged.push(dt);
+        } else {
+            fake.push(dt);
+        }
+    }
+    let ks = vusion::stats::ks_two_sample(&merged, &fake);
+    assert!(
+        ks.same_distribution(0.05),
+        "SB violated end-to-end: p = {}",
+        ks.p_value
+    );
+}
