@@ -69,8 +69,8 @@ const BASE: u64 = 0x10000;
 
 fn build(ablation: Ablation) -> (System<VUsion>, Pid, Pid) {
     let mut m = Machine::new(MachineConfig::test_small());
-    let a = m.spawn("attacker");
-    let v = m.spawn("victim");
+    let a = m.spawn("attacker").expect("spawn");
+    let v = m.spawn("victim").expect("spawn");
     for pid in [a, v] {
         m.mmap(pid, Vma::anon(VirtAddr(BASE), 128, Protection::rw()));
         m.madvise_mergeable(pid, VirtAddr(BASE), 128);

@@ -46,12 +46,12 @@ impl TwinSetup {
         victim_first: bool,
     ) -> Self {
         let (attacker, victim) = if victim_first {
-            let v = sys.machine.spawn("victim");
-            let a = sys.machine.spawn("attacker");
+            let v = sys.machine.spawn("victim").expect("spawn");
+            let a = sys.machine.spawn("attacker").expect("spawn");
             (a, v)
         } else {
-            let a = sys.machine.spawn("attacker");
-            let v = sys.machine.spawn("victim");
+            let a = sys.machine.spawn("attacker").expect("spawn");
+            let v = sys.machine.spawn("victim").expect("spawn");
             (a, v)
         };
         let merge_base = VirtAddr(0x1000_0000);

@@ -63,7 +63,11 @@ pub fn run(kind: EngineKind, secret: u8) -> SecretLeakOutcome {
         .filter(|&(_, &t)| t > threshold)
         .map(|(g, _)| g as u8)
         .collect();
-    let recovered = if outliers.len() == 1 { Some(outliers[0]) } else { None };
+    let recovered = if outliers.len() == 1 {
+        Some(outliers[0])
+    } else {
+        None
+    };
     SecretLeakOutcome {
         secret,
         recovered,
@@ -93,17 +97,17 @@ mod tests {
     #[test]
     fn recovers_the_secret_from_wpf() {
         let o = run(EngineKind::Wpf, 29);
-        assert!(o.verdict.success, "WPF leaks through the same channel: {o:?}");
+        assert!(
+            o.verdict.success,
+            "WPF leaks through the same channel: {o:?}"
+        );
     }
 
     #[test]
     fn fails_against_vusion() {
         for secret in [3u8, 42] {
             let o = run(EngineKind::VUsion, secret);
-            assert!(
-                !o.verdict.success,
-                "VUsion must not leak the secret: {o:?}"
-            );
+            assert!(!o.verdict.success, "VUsion must not leak the secret: {o:?}");
         }
     }
 
@@ -112,7 +116,9 @@ mod tests {
         // Stronger than verdict-checking: under VUsion, *no* candidate may
         // stand out (every considered page takes the same CoA path).
         let o = run(EngineKind::VUsion, 11);
-        assert!(o.recovered.is_none() || o.recovered != Some(o.secret), "{o:?}");
+        assert!(
+            o.recovered.is_none() || o.recovered != Some(o.secret),
+            "{o:?}"
+        );
     }
 }
-

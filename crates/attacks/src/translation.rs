@@ -86,8 +86,8 @@ pub fn run(kind: EngineKind) -> TranslationOutcome {
     let mut sys = crate::common::attack_system_on(kind, MachineConfig::test_small().with_thp());
     // Victim first, so its 4 KiB page hosts a KSM promotion and the
     // attacker's side is the one that gets merged (and split).
-    let victim = sys.machine.spawn("victim");
-    let attacker = sys.machine.spawn("attacker");
+    let victim = sys.machine.spawn("victim").expect("spawn");
+    let attacker = sys.machine.spawn("attacker").expect("spawn");
     sys.machine
         .mmap(victim, Vma::anon(VirtAddr(0x10000), 8, Protection::rw()));
     sys.machine.madvise_mergeable(victim, VirtAddr(0x10000), 8);

@@ -25,12 +25,12 @@ fn main() {
         let mut reused = 0u64;
         for _ in 0..TRIALS {
             let f = pool.alloc_random(&mut buddy).expect("frame");
-            pool.free_random(f, &mut buddy);
+            pool.free_random(f, &mut buddy).expect("free");
             let g = pool.alloc_random(&mut buddy).expect("frame");
             if f == g {
                 reused += 1;
             }
-            pool.free_random(g, &mut buddy);
+            pool.free_random(g, &mut buddy).expect("free");
         }
         let measured = reused as f64 / TRIALS as f64;
         let expected = 1.0 / pool_frames as f64;

@@ -20,7 +20,7 @@ fn main() {
     );
     const PAIRS: u64 = 32;
     let mut sys = EngineKind::Wpf.build_system(MachineConfig::guest_2g_scaled());
-    let pid = sys.machine.spawn("attacker");
+    let pid = sys.machine.spawn("attacker").expect("spawn");
     sys.machine.mmap(
         pid,
         Vma::anon(VirtAddr(0x1000_0000), PAIRS * 2, Protection::rw()),

@@ -6,11 +6,11 @@
 //! fusion rate, because most benefits come from idle pages — while merging
 //! only zero pages captures a mere 16% of the duplicates.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use vusion_bench::{boot_fleet, header, row};
 use vusion_core::EngineKind;
 use vusion_kernel::MachineConfig;
+use vusion_rng::rngs::StdRng;
+use vusion_rng::SeedableRng;
 use vusion_workloads::apache::ApacheServer;
 
 fn fused_pages(kind: EngineKind) -> u64 {

@@ -4,11 +4,11 @@
 //! merge / on consideration); VUsion with THP enhancements conserves the
 //! working set's huge pages.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use vusion_bench::{boot_fleet, header};
 use vusion_core::EngineKind;
 use vusion_kernel::MachineConfig;
+use vusion_rng::rngs::StdRng;
+use vusion_rng::SeedableRng;
 use vusion_workloads::apache::ApacheServer;
 
 fn series(kind: EngineKind) -> Vec<(f64, usize)> {

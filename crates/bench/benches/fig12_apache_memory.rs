@@ -5,11 +5,11 @@
 //! and consumption *rises* during the benchmark window for every engine —
 //! Apache's self-balancing worker pool expands.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use vusion_bench::{boot_fleet, header};
 use vusion_core::EngineKind;
 use vusion_kernel::MachineConfig;
+use vusion_rng::rngs::StdRng;
+use vusion_rng::SeedableRng;
 use vusion_workloads::apache::ApacheServer;
 use vusion_workloads::runner::{consumed_mib, sample_idle};
 

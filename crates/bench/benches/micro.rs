@@ -1,10 +1,13 @@
-//! Criterion microbenchmarks of the core data structures and hot paths:
-//! the content trees (KSM's red-black tree, WPF's AVL tree), the
-//! allocators (buddy / linear / randomized pool), LLC accesses, and the
-//! end-to-end fault path.
+//! Microbenchmarks of the core data structures and hot paths: the content
+//! trees (KSM's red-black tree, WPF's AVL tree), the allocators (buddy /
+//! linear / randomized pool), LLC accesses, and the end-to-end fault path.
+//!
+//! Plain self-timed harness (no external benchmark framework): each case
+//! runs a warm-up pass, then reports the mean wall-clock time per
+//! iteration over a fixed sample count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use vusion_cache::{Llc, LlcConfig};
 use vusion_core::{ContentAvlTree, ContentRbTree};
 use vusion_kernel::{Machine, MachineConfig};
@@ -14,120 +17,118 @@ use vusion_mem::{
 };
 use vusion_mmu::{Protection, Vma};
 
-fn bench_trees(c: &mut Criterion) {
+const SAMPLES: u32 = 20;
+
+fn bench(name: &str, mut f: impl FnMut()) {
+    f(); // Warm-up.
+    let start = Instant::now();
+    for _ in 0..SAMPLES {
+        f();
+    }
+    let per_iter = start.elapsed() / SAMPLES;
+    println!("{name:<32} {per_iter:>12.2?}/iter over {SAMPLES} samples");
+}
+
+fn bench_trees() {
     // Content comparisons against real page bytes.
     let mut mem = PhysMemory::new(4096);
     for f in 0..4096u64 {
         mem.write_u64(PhysAddr(f * 4096), f.wrapping_mul(0x9e37_79b9_7f4a_7c15));
     }
-    c.bench_function("rbtree_insert_find_1k", |b| {
-        b.iter(|| {
-            let mut t = ContentRbTree::new();
-            for f in 0..1024u64 {
-                t.insert(FrameId(f), f, |a, b| mem.compare_pages(a, b));
-            }
-            for f in 0..1024u64 {
-                black_box(t.find(FrameId(f), |a, b| mem.compare_pages(a, b)));
-            }
-        })
+    bench("rbtree_insert_find_1k", || {
+        let mut t = ContentRbTree::new();
+        for f in 0..1024u64 {
+            t.insert(FrameId(f), f, |a, b| mem.compare_pages(a, b));
+        }
+        for f in 0..1024u64 {
+            black_box(t.find(FrameId(f), |a, b| mem.compare_pages(a, b)));
+        }
     });
-    c.bench_function("avl_insert_find_1k", |b| {
-        b.iter(|| {
-            let mut t = ContentAvlTree::new();
-            for f in 0..1024u64 {
-                t.insert(FrameId(f), f, |a, b| mem.compare_pages(a, b));
-            }
-            for f in 0..1024u64 {
-                black_box(t.find(FrameId(f), |a, b| mem.compare_pages(a, b)));
-            }
-        })
+    bench("avl_insert_find_1k", || {
+        let mut t = ContentAvlTree::new();
+        for f in 0..1024u64 {
+            t.insert(FrameId(f), f, |a, b| mem.compare_pages(a, b));
+        }
+        for f in 0..1024u64 {
+            black_box(t.find(FrameId(f), |a, b| mem.compare_pages(a, b)));
+        }
     });
 }
 
-fn bench_allocators(c: &mut Criterion) {
-    c.bench_function("buddy_alloc_free_1k", |b| {
-        b.iter(|| {
-            let mut a = BuddyAllocator::new(FrameId(0), 2048);
-            let frames: Vec<_> = (0..1024).map(|_| a.alloc().expect("frame")).collect();
-            for f in frames {
-                a.free(f);
-            }
-        })
+fn bench_allocators() {
+    bench("buddy_alloc_free_1k", || {
+        let mut a = BuddyAllocator::new(FrameId(0), 2048);
+        let frames: Vec<_> = (0..1024).map(|_| a.alloc().expect("frame")).collect();
+        for f in frames {
+            a.free(f).expect("free");
+        }
     });
-    c.bench_function("linear_reserve_release_256", |b| {
-        b.iter(|| {
-            let mut a = LinearAllocator::new(FrameId(0), 4096);
-            let batch = a.reserve_batch(256, |_| false);
-            for f in batch {
-                a.free(f);
-            }
-        })
+    bench("linear_reserve_release_256", || {
+        let mut a = LinearAllocator::new(FrameId(0), 4096);
+        let batch = a.reserve_batch(256, |_| false);
+        for f in batch {
+            a.free(f).expect("free");
+        }
     });
-    c.bench_function("random_pool_cycle_1k", |b| {
-        let mut buddy = BuddyAllocator::new(FrameId(0), 8192);
-        let mut pool = RandomPool::new(2048, &mut buddy, 9);
-        b.iter(|| {
-            for _ in 0..1024 {
-                let f = pool.alloc_random(&mut buddy).expect("frame");
-                pool.free_random(f, &mut buddy);
-            }
-        })
+    let mut buddy = BuddyAllocator::new(FrameId(0), 8192);
+    let mut pool = RandomPool::new(2048, &mut buddy, 9);
+    bench("random_pool_cycle_1k", || {
+        for _ in 0..1024 {
+            let f = pool.alloc_random(&mut buddy).expect("frame");
+            pool.free_random(f, &mut buddy).expect("free");
+        }
     });
 }
 
-fn bench_llc(c: &mut Criterion) {
-    c.bench_function("llc_access_stream_4k_lines", |b| {
-        let mut llc = Llc::new(LlcConfig::xeon_e3_1240_v5());
-        b.iter(|| {
-            for i in 0..4096u64 {
-                black_box(llc.access(PhysAddr(i * 64)));
-            }
-        })
+fn bench_llc() {
+    let mut llc = Llc::new(LlcConfig::xeon_e3_1240_v5());
+    bench("llc_access_stream_4k_lines", || {
+        for i in 0..4096u64 {
+            black_box(llc.access(PhysAddr(i * 64)));
+        }
     });
 }
 
-fn bench_fault_path(c: &mut Criterion) {
-    c.bench_function("demand_zero_fault_and_map", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(MachineConfig::test_small());
-            let pid = m.spawn("t");
-            m.mmap(pid, Vma::anon(VirtAddr(0x10000), 128, Protection::rw()));
-            for i in 0..128u64 {
-                let va = VirtAddr(0x10000 + i * 4096);
-                let f = m.read(pid, va).expect_err("faults");
-                m.default_fault(&f);
-                black_box(m.read(pid, va).expect("mapped"));
-            }
-        })
+fn bench_fault_path() {
+    bench("demand_zero_fault_and_map", || {
+        let mut m = Machine::new(MachineConfig::test_small());
+        let pid = m.spawn("t").expect("spawn");
+        m.mmap(pid, Vma::anon(VirtAddr(0x10000), 128, Protection::rw()));
+        for i in 0..128u64 {
+            let va = VirtAddr(0x10000 + i * 4096);
+            let f = m.read(pid, va).expect_err("faults");
+            m.default_fault(&f);
+            black_box(m.read(pid, va).expect("mapped"));
+        }
     });
-    c.bench_function("scan_visit_100_pages_ksm", |b| {
+    {
         use vusion_core::{Ksm, KsmConfig};
         use vusion_kernel::{FusionPolicy, System};
         let mut m = Machine::new(MachineConfig::test_small());
-        let pid = m.spawn("t");
+        let pid = m.spawn("t").expect("spawn");
         m.mmap(pid, Vma::anon(VirtAddr(0x10000), 512, Protection::rw()));
         m.madvise_mergeable(pid, VirtAddr(0x10000), 512);
         let mut sys = System::new(m, Ksm::new(KsmConfig::default()));
         for i in 0..512u64 {
             sys.write(pid, VirtAddr(0x10000 + i * 4096), (i % 251) as u8);
         }
-        b.iter(|| {
+        bench("scan_visit_100_pages_ksm", || {
             black_box(sys.policy.scan(&mut sys.machine));
-        })
-    });
-    c.bench_function("frame_alloc_with_metadata", |b| {
+        });
+    }
+    {
         let mut m = Machine::new(MachineConfig::test_small());
-        b.iter(|| {
-            let f = m.alloc_frame(PageType::Anon);
+        bench("frame_alloc_with_metadata", || {
+            let f = m.alloc_frame(PageType::Anon).expect("frame");
             black_box(f);
-            m.put_frame(f);
-        })
-    });
+            m.put_frame(f).expect("put");
+        });
+    }
 }
 
-criterion_group!(
-    name = micro;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_trees, bench_allocators, bench_llc, bench_fault_path
-);
-criterion_main!(micro);
+fn main() {
+    bench_trees();
+    bench_allocators();
+    bench_llc();
+    bench_fault_path();
+}

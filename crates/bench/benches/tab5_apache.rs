@@ -4,11 +4,11 @@
 //! VUsion) lose double-digit throughput; VUsion's THP enhancements recover
 //! most of it. Latency percentiles follow the same ordering.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use vusion_bench::{boot_fleet, engine_cell, header};
 use vusion_core::EngineKind;
 use vusion_kernel::MachineConfig;
+use vusion_rng::rngs::StdRng;
+use vusion_rng::SeedableRng;
 use vusion_stats::Percentiles;
 use vusion_workloads::apache::ApacheServer;
 

@@ -86,7 +86,11 @@ impl<V> ContentAvlTree<V> {
     /// Panics on a stale id.
     pub fn value(&self, id: NodeId) -> &V {
         assert!(self.is_live(id.0), "stale node id");
-        self.nodes[id.0].value.as_ref().expect("live node")
+        match self.nodes[id.0].value.as_ref() {
+            Some(v) => v,
+            // is_live above checked value.is_some().
+            None => unreachable!("live node has a value"),
+        }
     }
 
     /// The value stored at a node, mutably.
@@ -96,7 +100,11 @@ impl<V> ContentAvlTree<V> {
     /// Panics on a stale id.
     pub fn value_mut(&mut self, id: NodeId) -> &mut V {
         assert!(self.is_live(id.0), "stale node id");
-        self.nodes[id.0].value.as_mut().expect("live node")
+        match self.nodes[id.0].value.as_mut() {
+            Some(v) => v,
+            // is_live above checked value.is_some().
+            None => unreachable!("live node has a value"),
+        }
     }
 
     fn height(&self, idx: usize) -> i32 {
@@ -200,7 +208,11 @@ impl<V> ContentAvlTree<V> {
         found: &mut Option<(NodeId, bool)>,
     ) -> usize {
         if idx == NIL {
-            let v = value.take().expect("value consumed once");
+            let Some(v) = value.take() else {
+                // The recursion reaches NIL at most once per insert, so
+                // the staged value is still present.
+                unreachable!("insert consumes its value exactly once");
+            };
             let node = Node {
                 frame,
                 value: Some(v),

@@ -6,6 +6,7 @@
 //! attacks, and benches can be written once and run against each.
 
 use vusion_kernel::{FusionPolicy, Khugepaged, Machine, MachineConfig, NoFusion, System};
+use vusion_mem::MmError;
 
 use crate::ksm::{Ksm, KsmConfig};
 use crate::vusion::{VUsion, VUsionConfig};
@@ -69,14 +70,16 @@ impl EngineKind {
         }
     }
 
-    /// Builds the policy for a machine (already adapted).
+    /// Builds the policy for a machine (already adapted). Reports
+    /// [`MmError::MissingReservedRegion`] if WPF is requested on a machine
+    /// whose config was not adapted.
     pub fn build_policy(
         self,
         m: &mut Machine,
         scan_period_ns: u64,
         pool_frames: usize,
-    ) -> Box<dyn FusionPolicy> {
-        match self {
+    ) -> Result<Box<dyn FusionPolicy>, MmError> {
+        Ok(match self {
             EngineKind::NoFusion => Box::new(NoFusion),
             EngineKind::Ksm => Box::new(Ksm::new(KsmConfig {
                 scan_period_ns,
@@ -97,7 +100,7 @@ impl EngineKind {
                 WpfConfig {
                     pass_period_ns: scan_period_ns * 16,
                 },
-            )),
+            )?),
             EngineKind::VUsion => Box::new(VUsion::new(
                 m,
                 VUsionConfig {
@@ -115,7 +118,7 @@ impl EngineKind {
                     ..Default::default()
                 },
             )),
-        }
+        })
     }
 
     /// Builds a complete [`System`] over a fresh machine: adapted config,
@@ -124,7 +127,12 @@ impl EngineKind {
         let cfg = self.adapt_machine(base);
         let mut m = Machine::new(cfg);
         let pool = default_pool_frames(cfg.frames);
-        let policy = self.build_policy(&mut m, 20_000_000, pool);
+        let policy = match self.build_policy(&mut m, 20_000_000, pool) {
+            Ok(p) => p,
+            // adapt_machine reserved the linear region above, so engine
+            // construction cannot fail on a freshly built machine.
+            Err(e) => unreachable!("engine construction failed: {e}"),
+        };
         let sys = System::new(m, policy);
         if self == EngineKind::VUsionThp {
             sys.with_khugepaged(Khugepaged::new().with_min_active(1))
@@ -149,8 +157,8 @@ mod tests {
 
     fn smoke(kind: EngineKind) {
         let mut sys = kind.build_system(MachineConfig::test_small());
-        let a = sys.machine.spawn("a");
-        let b = sys.machine.spawn("b");
+        let a = sys.machine.spawn("a").expect("spawn");
+        let b = sys.machine.spawn("b").expect("spawn");
         for pid in [a, b] {
             sys.machine
                 .mmap(pid, Vma::anon(VirtAddr(0x10000), 32, Protection::rw()));
@@ -186,8 +194,8 @@ mod tests {
     fn fusing_engines_actually_save_memory() {
         for kind in [EngineKind::Ksm, EngineKind::Wpf, EngineKind::VUsion] {
             let mut sys = kind.build_system(MachineConfig::test_small());
-            let a = sys.machine.spawn("a");
-            let b = sys.machine.spawn("b");
+            let a = sys.machine.spawn("a").expect("spawn");
+            let b = sys.machine.spawn("b").expect("spawn");
             for pid in [a, b] {
                 sys.machine
                     .mmap(pid, Vma::anon(VirtAddr(0x10000), 32, Protection::rw()));

@@ -170,7 +170,7 @@ impl Ksm {
             let p = m.process_mut(pid);
             if p.page_cache.get(&(file_id, page)) == Some(&frame) {
                 p.page_cache_evict(file_id, page);
-                m.put_frame(frame);
+                let _ = m.put_frame(frame);
             }
         }
     }
@@ -198,11 +198,20 @@ impl Ksm {
         debug_assert_ne!(stable_frame, old);
         m.mem_mut().info_mut(stable_frame).get();
         *self.stable.value_mut(node) += 1;
-        m.set_leaf(pid, va, Pte::new(stable_frame, self.merged_flags()));
+        if m.set_leaf(pid, va, Pte::new(stable_frame, self.merged_flags()))
+            .is_err()
+        {
+            // The mapping vanished under us: undo the stable reference and
+            // leave the page alone for a later round.
+            m.mem_mut().info_mut(stable_frame).put();
+            *self.stable.value_mut(node) -= 1;
+            m.note_scan_retry();
+            return;
+        }
         // Release the duplicate: cache reference first, then the mapping's.
         let (tag, _) = Self::vma_info(m, pid, va);
         Self::drop_cache_ref(m, pid, va, old);
-        m.put_frame(old);
+        let _ = m.put_frame(old);
         self.tags.record(tag);
         self.merged_live += 1;
         self.stats.merged += 1;
@@ -220,12 +229,24 @@ impl Ksm {
     /// Breaks the THP covering `va` if the mapping is huge. KSM splits a
     /// huge page only *when merging* a 4 KiB page inside it (§5.1) — the
     /// conditionality the translation attack observes.
-    fn break_if_huge(&mut self, m: &mut Machine, pid: Pid, va: VirtAddr, report: &mut ScanReport) {
+    fn break_if_huge(
+        &mut self,
+        m: &mut Machine,
+        pid: Pid,
+        va: VirtAddr,
+        report: &mut ScanReport,
+    ) -> bool {
         if m.leaf(pid, va).map(|l| l.huge).unwrap_or(false) {
-            m.break_thp(pid, va);
+            if m.break_thp(pid, va).is_err() {
+                // Could not split (PT allocation failed): skip this page
+                // for now and retry in a later round.
+                m.note_scan_retry();
+                return false;
+            }
             self.stats.huge_broken += 1;
             report.huge_pages_broken += 1;
         }
+        true
     }
 
     /// Scans one page (the §2.1 per-page algorithm).
@@ -235,6 +256,12 @@ impl Ksm {
             return; // Never faulted in.
         };
         if !leaf.pte.is_present() {
+            return;
+        }
+        if m.observed_scan_flip() {
+            // Injected bit flip: the page comparison is unreliable this
+            // round, so skip and retry later.
+            m.note_scan_retry();
             return;
         }
         // For THPs, consider the 4 KiB sub-frame's content but defer the
@@ -260,14 +287,15 @@ impl Ksm {
         // *unstable* tree with the checksum test.
         let mem = m.mem();
         if let Some(node) = self.stable.find(frame, |a, b| mem.compare_pages(a, b)) {
-            self.break_if_huge(m, pid, va, report);
-            self.merge_into_stable(m, pid, va, frame, node);
+            if self.break_if_huge(m, pid, va, report) {
+                self.merge_into_stable(m, pid, va, frame, node);
+            }
             return;
         }
         // Volatility check: skip pages whose checksum changed since the
         // last encounter (KSM's cksum test) before touching the unstable
         // tree.
-        let h = m.mem().hash_page(frame);
+        let h = m.observed_hash(frame);
         let key = (pid.0, va.page());
         if self.checksums.insert(key, h) != Some(h) {
             self.stats.checksum_skips += 1;
@@ -286,17 +314,22 @@ impl Ksm {
                 && entry.frame != frame
                 && !self.stable_index.contains_key(&entry.frame);
             self.unstable.remove(node);
-            if valid {
-                // A merge is about to happen: split any THPs involved.
-                self.break_if_huge(m, pid, va, report);
-                self.break_if_huge(m, entry.pid, entry.va, report);
-                // Promote the matched candidate: its frame becomes the
-                // stable page (merge *in place* — the FFS weakness).
-                m.set_leaf(
+            // A merge is about to happen: split any THPs involved. Either
+            // split failing (an injected or genuine PT allocation failure)
+            // downgrades the candidate to stale — both pages stay intact
+            // and get rescanned later.
+            let valid = valid
+                && self.break_if_huge(m, pid, va, report)
+                && self.break_if_huge(m, entry.pid, entry.va, report)
+                && m.set_leaf(
                     entry.pid,
                     entry.va,
                     Pte::new(entry.frame, self.merged_flags()),
-                );
+                )
+                .is_ok();
+            if valid {
+                // Promote the matched candidate: its frame becomes the
+                // stable page (merge *in place* — the FFS weakness).
                 Self::drop_cache_ref(m, entry.pid, entry.va, entry.frame);
                 let mem = m.mem();
                 let (snode, inserted) = self
@@ -339,7 +372,9 @@ impl Ksm {
         };
         // Copy into a fresh frame from the system allocator (Linux uses the
         // buddy allocator here — its LIFO reuse is attacker-predictable).
-        let new = m.alloc_frame(vusion_mem::PageType::Anon);
+        let Ok(new) = m.alloc_frame(vusion_mem::PageType::Anon) else {
+            return false; // OOM: stay merged; the access retries later.
+        };
         m.mem_mut().copy_page(stable_frame, new);
         let costs = m.costs();
         m.charge(costs.copy_page + costs.pte_update + costs.buddy_interaction);
@@ -350,9 +385,14 @@ impl Ksm {
         if fault.kind == vusion_kernel::AccessKind::Write {
             flags |= PteFlags::DIRTY;
         }
-        m.set_leaf(fault.pid, fault.va.page_base(), Pte::new(new, flags));
+        if m.set_leaf(fault.pid, fault.va.page_base(), Pte::new(new, flags))
+            .is_err()
+        {
+            let _ = m.put_frame(new);
+            return false;
+        }
         *self.stable.value_mut(node) -= 1;
-        if m.put_frame(stable_frame) {
+        if m.put_frame(stable_frame).unwrap_or(false) {
             self.stable.remove(node);
             self.stable_index.remove(&stable_frame);
         }
@@ -430,8 +470,8 @@ mod tests {
 
     fn system(cfg: KsmConfig) -> (System<Ksm>, Pid, Pid) {
         let mut m = Machine::new(MachineConfig::test_small());
-        let a = m.spawn("attacker");
-        let v = m.spawn("victim");
+        let a = m.spawn("attacker").expect("spawn");
+        let v = m.spawn("victim").expect("spawn");
         for pid in [a, v] {
             m.mmap(pid, Vma::anon(VirtAddr(BASE), 64, Protection::rw()));
             m.madvise_mergeable(pid, VirtAddr(BASE), 64);
@@ -574,7 +614,9 @@ mod tests {
     #[test]
     fn three_way_merge_counts_two_saved() {
         let mut m = Machine::new(MachineConfig::test_small());
-        let pids: Vec<Pid> = (0..3).map(|i| m.spawn(&format!("p{i}"))).collect();
+        let pids: Vec<Pid> = (0..3)
+            .map(|i| m.spawn(&format!("p{i}")).expect("spawn"))
+            .collect();
         for &pid in &pids {
             m.mmap(pid, Vma::anon(VirtAddr(BASE), 8, Protection::rw()));
             m.madvise_mergeable(pid, VirtAddr(BASE), 8);
@@ -598,8 +640,8 @@ mod tests {
     #[test]
     fn unregistered_memory_is_never_scanned() {
         let mut m = Machine::new(MachineConfig::test_small());
-        let a = m.spawn("a");
-        let b = m.spawn("b");
+        let a = m.spawn("a").expect("spawn");
+        let b = m.spawn("b").expect("spawn");
         for pid in [a, b] {
             m.mmap(pid, Vma::anon(VirtAddr(BASE), 8, Protection::rw()));
             // No madvise!

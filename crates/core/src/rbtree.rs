@@ -109,10 +109,11 @@ impl<V> ContentRbTree<V> {
     /// Panics on a stale id.
     pub fn value(&self, id: NodeId) -> &V {
         assert!(self.is_live(id.0), "stale node id");
-        self.nodes[id.0]
-            .value
-            .as_ref()
-            .expect("live node has a value")
+        match self.nodes[id.0].value.as_ref() {
+            Some(v) => v,
+            // is_live above checked value.is_some().
+            None => unreachable!("live node has a value"),
+        }
     }
 
     /// The value stored at a node, mutably.
@@ -122,10 +123,11 @@ impl<V> ContentRbTree<V> {
     /// Panics on a stale id.
     pub fn value_mut(&mut self, id: NodeId) -> &mut V {
         assert!(self.is_live(id.0), "stale node id");
-        self.nodes[id.0]
-            .value
-            .as_mut()
-            .expect("live node has a value")
+        match self.nodes[id.0].value.as_mut() {
+            Some(v) => v,
+            // is_live above checked value.is_some().
+            None => unreachable!("live node has a value"),
+        }
     }
 
     fn is_live(&self, idx: usize) -> bool {
@@ -366,7 +368,12 @@ impl<V> ContentRbTree<V> {
         }
         self.len -= 1;
         self.free.push(z);
-        self.nodes[z].value.take().expect("live node has a value")
+        match self.nodes[z].value.take() {
+            Some(v) => v,
+            // Callers hold a NodeId to a live node; a live node's value
+            // slot is always populated.
+            None => unreachable!("live node has a value"),
+        }
     }
 
     fn delete_fixup(&mut self, mut x: usize, mut parent: usize) {

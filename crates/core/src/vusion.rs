@@ -31,7 +31,8 @@ use std::collections::HashMap;
 
 use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport};
 use vusion_mem::{
-    DeferredFreeQueue, FrameId, PageType, RandomPool, VirtAddr, HUGE_PAGE_FRAMES, PAGE_SIZE,
+    DeferredFreeQueue, FrameId, MmError, PageType, RandomPool, VirtAddr, HUGE_PAGE_FRAMES,
+    PAGE_SIZE,
 };
 use vusion_mmu::{GuestTag, Pte, PteFlags, VmaBacking};
 
@@ -194,22 +195,42 @@ impl VUsion {
         }
     }
 
-    /// Draws a random backing frame (RA).
-    fn ra_alloc(&mut self, m: &mut Machine, page_type: PageType) -> FrameId {
-        let f = self
-            .pool
-            .alloc_random(m.buddy_mut())
-            .expect("machine out of physical memory");
+    /// Draws a random backing frame (RA). On exhaustion the deferred-free
+    /// queue is force-drained back into the pool (the emergency version of
+    /// decision ii's background half) before [`MmError::PoolExhausted`] is
+    /// reported.
+    fn ra_alloc(&mut self, m: &mut Machine, page_type: PageType) -> Result<FrameId, MmError> {
+        let f = match self.pool.alloc_random(m.buddy_mut()) {
+            Ok(f) => f,
+            Err(_) => {
+                let mut dead = Vec::new();
+                self.deferred.drain(usize::MAX, |f| dead.push(f));
+                let drained = !dead.is_empty();
+                for d in dead {
+                    self.ra_release(m, d);
+                }
+                if drained {
+                    m.note_deferred_drain();
+                }
+                match self.pool.alloc_random(m.buddy_mut()) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        m.note_oom();
+                        return Err(e);
+                    }
+                }
+            }
+        };
         m.mem_mut().info_mut(f).on_alloc(page_type);
         self.trace_alloc(f);
-        f
+        Ok(f)
     }
 
     /// Returns a dead (refcount 0, still `Allocated`) frame to the pool.
     fn ra_release(&mut self, m: &mut Machine, frame: FrameId) {
         m.mem_mut().info_mut(frame).on_free();
         m.mem_mut().zero_page(frame);
-        self.pool.free_random(frame, m.buddy_mut());
+        let _ = self.pool.free_random(frame, m.buddy_mut());
     }
 
     /// The uniform trapped-PTE flags of (fake-)merged pages: present but
@@ -269,6 +290,12 @@ impl VUsion {
         let Some(mut leaf) = m.leaf(pid, va) else {
             return;
         };
+        if m.observed_scan_flip() {
+            // Injected bit flip: the page comparison is unreliable this
+            // round, so skip and retry later.
+            m.note_scan_retry();
+            return;
+        }
         if leaf.huge {
             // Act once per THP per round (at its head): the scanner visits
             // all 512 candidate VAs, but the idle test must not be repeated
@@ -297,10 +324,17 @@ impl VUsion {
                     return;
                 }
             }
-            m.break_thp(pid, va);
+            if m.break_thp(pid, va).is_err() {
+                // Could not split (PT allocation failed): retry later.
+                m.note_scan_retry();
+                return;
+            }
             self.stats.huge_broken += 1;
             report.huge_pages_broken += 1;
-            leaf = m.leaf(pid, va).expect("page still mapped after break");
+            let Some(l) = m.leaf(pid, va) else {
+                return;
+            };
+            leaf = l;
         }
         if !leaf.pte.is_present() || leaf.pte.is_trapped() {
             return;
@@ -339,8 +373,15 @@ impl VUsion {
             Some(node) => {
                 let shared = self.tree.frame(node);
                 m.mem_mut().info_mut(shared).get();
+                if m.set_leaf(pid, va, Pte::new(shared, self.trapped_flags()))
+                    .is_err()
+                {
+                    // The mapping vanished under us: undo and retry later.
+                    m.mem_mut().info_mut(shared).put();
+                    m.note_scan_retry();
+                    return;
+                }
                 self.tree.value_mut(node).push((pid, va));
-                m.set_leaf(pid, va, Pte::new(shared, self.trapped_flags()));
                 self.page_state.insert((pid.0, va.page()), node);
                 self.release_candidate(m, pid, va, frame);
                 self.tags.record(tag);
@@ -350,15 +391,28 @@ impl VUsion {
             }
             None => {
                 // Fake merge: fresh random backing frame, same trap.
-                let new = self.ra_alloc(m, PageType::Fused);
+                let Ok(new) = self.ra_alloc(m, PageType::Fused) else {
+                    // Pool exhausted even after the emergency drain: the
+                    // page stays unmanaged and is retried next round.
+                    m.note_scan_retry();
+                    return;
+                };
                 m.mem_mut().copy_page(frame, new);
+                if m.set_leaf(pid, va, Pte::new(new, self.trapped_flags()))
+                    .is_err()
+                {
+                    if m.mem_mut().info_mut(new).put() {
+                        self.ra_release(m, new);
+                    }
+                    m.note_scan_retry();
+                    return;
+                }
                 let mem = m.mem();
                 let (node, inserted) = self
                     .tree
                     .insert(new, vec![(pid, va)], |a, b| mem.compare_pages(a, b));
                 debug_assert!(inserted, "tree had no match a moment ago");
                 self.tree_index.insert(new, node);
-                m.set_leaf(pid, va, Pte::new(new, self.trapped_flags()));
                 self.page_state.insert((pid.0, va.page()), node);
                 self.release_candidate(m, pid, va, frame);
                 self.stats.fake_merged += 1;
@@ -409,20 +463,23 @@ impl VUsion {
     }
 
     /// Copy-on-access: the single code path every trapped page takes.
+    ///
+    /// Failure (pool exhaustion, a vanished VMA) leaves the page merged
+    /// and unhandled; the faulting access retries, indistinguishably from
+    /// a slow success — the Same Behavior principle extended to errors.
     fn copy_on_access(&mut self, m: &mut Machine, fault: &PageFault) -> bool {
         let Some(&node) = self.page_state.get(&(fault.pid.0, fault.va.page())) else {
             return false;
         };
-        self.page_state.remove(&(fault.pid.0, fault.va.page()));
         let shared = self.tree.frame(node);
+        let Some(vma) = m.process(fault.pid).space.find_vma(fault.va).copied() else {
+            return false;
+        };
         // RA on unmerge too (§7.1): the private copy is a random frame.
-        let new = self.ra_alloc(m, PageType::Anon);
+        let Ok(new) = self.ra_alloc(m, PageType::Anon) else {
+            return false;
+        };
         m.mem_mut().copy_page(shared, new);
-        let vma = *m
-            .process(fault.pid)
-            .space
-            .find_vma(fault.va)
-            .expect("managed pages live inside a VMA");
         let mut flags = PteFlags::PRESENT | PteFlags::USER | PteFlags::ACCESSED;
         if vma.prot.write {
             flags |= PteFlags::WRITABLE;
@@ -430,7 +487,15 @@ impl VUsion {
         if fault.kind == vusion_kernel::AccessKind::Write {
             flags |= PteFlags::DIRTY;
         }
-        m.set_leaf(fault.pid, fault.va.page_base(), Pte::new(new, flags));
+        if m.set_leaf(fault.pid, fault.va.page_base(), Pte::new(new, flags))
+            .is_err()
+        {
+            if m.mem_mut().info_mut(new).put() {
+                self.ra_release(m, new);
+            }
+            return false;
+        }
+        self.page_state.remove(&(fault.pid.0, fault.va.page()));
         let (_, died) = self.detach_mapping(m, fault.pid, fault.va, node);
         let costs = m.costs();
         if self.cfg.ablate_deferred_free {
@@ -448,10 +513,12 @@ impl VUsion {
     }
 
     /// Scanner-side unmerge (no fault, no charge) for khugepaged (§8.2).
-    fn unmerge_quiet(&mut self, m: &mut Machine, pid: Pid, va: VirtAddr, node: NodeId) {
-        self.page_state.remove(&(pid.0, va.page()));
+    /// Returns `false` (changing nothing) if no private copy could be made.
+    fn unmerge_quiet(&mut self, m: &mut Machine, pid: Pid, va: VirtAddr, node: NodeId) -> bool {
         let shared = self.tree.frame(node);
-        let new = self.ra_alloc(m, PageType::Anon);
+        let Ok(new) = self.ra_alloc(m, PageType::Anon) else {
+            return false;
+        };
         m.mem_mut().copy_page(shared, new);
         let writable = m
             .process(pid)
@@ -463,9 +530,18 @@ impl VUsion {
         if writable {
             flags |= PteFlags::WRITABLE;
         }
-        m.set_leaf(pid, va.page_base(), Pte::new(new, flags));
+        if m.set_leaf(pid, va.page_base(), Pte::new(new, flags))
+            .is_err()
+        {
+            if m.mem_mut().info_mut(new).put() {
+                self.ra_release(m, new);
+            }
+            return false;
+        }
+        self.page_state.remove(&(pid.0, va.page()));
         let _ = self.detach_mapping(m, pid, va, node);
         self.stats.collapse_unmerges += 1;
+        true
     }
 
     /// Decision iii: re-randomize the backing frame of every tree page so
@@ -475,15 +551,47 @@ impl VUsion {
         for node in self.tree.ids() {
             let old = self.tree.frame(node);
             let mappings = self.tree.value(node).clone();
-            let new = self.ra_alloc(m, PageType::Fused);
+            let Ok(new) = self.ra_alloc(m, PageType::Fused) else {
+                // Pool exhausted: keep the old backing frame this round
+                // (weaker randomization, never a crash) and retry later.
+                m.note_scan_retry();
+                continue;
+            };
             m.mem_mut().copy_page(old, new);
             // Transfer one reference per mapping.
             for _ in 1..mappings.len() {
                 m.mem_mut().info_mut(new).get();
             }
+            let mut moved: Vec<(Pid, VirtAddr)> = Vec::new();
+            let mut all_moved = true;
             for &(pid, va) in &mappings {
-                let leaf = m.leaf(pid, va).expect("trapped page stays mapped");
-                m.set_leaf(pid, va, leaf.pte.with_frame(new));
+                let repointed = match m.leaf(pid, va) {
+                    Some(leaf) => m.set_leaf(pid, va, leaf.pte.with_frame(new)).is_ok(),
+                    None => false,
+                };
+                if repointed {
+                    moved.push((pid, va));
+                } else {
+                    all_moved = false;
+                    break;
+                }
+            }
+            if !all_moved {
+                // A mapping vanished mid-transfer: point everything back at
+                // the old frame and give the new one back.
+                for &(pid, va) in &moved {
+                    if let Some(leaf) = m.leaf(pid, va) {
+                        let _ = m.set_leaf(pid, va, leaf.pte.with_frame(old));
+                    }
+                }
+                for _ in 1..mappings.len() {
+                    let _ = m.mem_mut().info_mut(new).put();
+                }
+                if m.mem_mut().info_mut(new).put() {
+                    self.ra_release(m, new);
+                }
+                m.note_scan_retry();
+                continue;
             }
             for _ in 0..mappings.len() {
                 m.mem_mut().info_mut(old).put();
@@ -564,11 +672,15 @@ impl FusionPolicy for VUsion {
             }
             return true;
         }
-        // §8.2: fake-unmerge every managed sub-page, then allow.
+        // §8.2: fake-unmerge every managed sub-page, then allow. If any
+        // sub-page cannot be privatized (pool exhausted), veto the collapse
+        // — khugepaged retries the range later.
         for i in 0..HUGE_PAGE_FRAMES {
             let va = VirtAddr(huge_base.0 + i * PAGE_SIZE);
             if let Some(&node) = self.page_state.get(&(pid.0, va.page())) {
-                self.unmerge_quiet(m, pid, va, node);
+                if !self.unmerge_quiet(m, pid, va, node) {
+                    return false;
+                }
             }
         }
         true
@@ -593,8 +705,8 @@ mod tests {
 
     fn system(cfg: VUsionConfig) -> (System<VUsion>, Pid, Pid) {
         let mut m = Machine::new(MachineConfig::test_small());
-        let a = m.spawn("attacker");
-        let v = m.spawn("victim");
+        let a = m.spawn("attacker").expect("spawn");
+        let v = m.spawn("victim").expect("spawn");
         for pid in [a, v] {
             m.mmap(pid, Vma::anon(VirtAddr(BASE), 64, Protection::rw()));
             m.madvise_mergeable(pid, VirtAddr(BASE), 64);
@@ -811,7 +923,7 @@ mod tests {
     #[test]
     fn prepare_collapse_fake_unmerges_in_thp_mode() {
         let mut m = Machine::new(MachineConfig::test_small());
-        let pid = m.spawn("p");
+        let pid = m.spawn("p").expect("spawn");
         m.mmap(pid, Vma::anon(VirtAddr(BASE), 64, Protection::rw()));
         m.madvise_mergeable(pid, VirtAddr(BASE), 64);
         let policy = VUsion::new(

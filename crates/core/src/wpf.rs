@@ -20,7 +20,9 @@
 use std::collections::HashMap;
 
 use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport};
-use vusion_mem::{FrameAllocator, FrameId, LinearAllocator, PageType, VirtAddr, PAGE_SIZE};
+use vusion_mem::{
+    FrameAllocator, FrameId, LinearAllocator, MmError, PageType, VirtAddr, PAGE_SIZE,
+};
 use vusion_mmu::{GuestTag, Pte, PteFlags, VmaBacking};
 
 use crate::avl::ContentAvlTree;
@@ -77,16 +79,12 @@ pub struct Wpf {
 impl Wpf {
     /// Creates the engine. The machine must have a reserved top region
     /// ([`vusion_kernel::MachineConfig::with_reserved_top`]) for the linear
-    /// allocator.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the machine has no reserved region.
-    pub fn new(m: &Machine, cfg: WpfConfig) -> Self {
-        let (base, frames) = m
-            .reserved_region()
-            .expect("WPF needs MachineConfig::with_reserved_top for its linear allocator");
-        Self {
+    /// allocator, or [`MmError::MissingReservedRegion`] is reported.
+    pub fn new(m: &Machine, cfg: WpfConfig) -> Result<Self, MmError> {
+        let Some((base, frames)) = m.reserved_region() else {
+            return Err(MmError::MissingReservedRegion);
+        };
+        Ok(Self {
             cfg,
             avl: ContentAvlTree::new(),
             avl_index: HashMap::new(),
@@ -95,7 +93,7 @@ impl Wpf {
             tags: TagCounts::default(),
             stats: WpfStats::default(),
             last_pass_frames: Vec::new(),
-        }
+        })
     }
 
     /// Counters.
@@ -136,13 +134,14 @@ impl Wpf {
             let p = m.process_mut(pid);
             if p.page_cache.get(&(file_id, page)) == Some(&frame) {
                 p.page_cache_evict(file_id, page);
-                m.put_frame(frame);
+                let _ = m.put_frame(frame);
             }
         }
     }
 
     /// Repoints `(pid, va)` at tree frame `tree_frame`, releasing its old
-    /// frame to the system.
+    /// frame to the system. Returns `false` (and changes nothing) if the
+    /// mapping vanished under the scan.
     fn merge_onto(
         &mut self,
         m: &mut Machine,
@@ -150,19 +149,26 @@ impl Wpf {
         va: VirtAddr,
         old: FrameId,
         tree_frame: FrameId,
-    ) {
+    ) -> bool {
         m.mem_mut().info_mut(tree_frame).get();
-        m.set_leaf(
+        if m.set_leaf(
             pid,
             va,
             Pte::new(tree_frame, PteFlags::PRESENT | PteFlags::USER),
-        );
+        )
+        .is_err()
+        {
+            m.mem_mut().info_mut(tree_frame).put();
+            m.note_scan_retry();
+            return false;
+        }
         let (tag, _) = Self::vma_info(m, pid, va);
         Self::drop_cache_ref(m, pid, va, old);
-        m.put_frame(old);
+        let _ = m.put_frame(old);
         self.tags.record(tag);
         self.merged_live += 1;
         self.stats.merged += 1;
+        true
     }
 
     /// One full fusion pass (§2.2).
@@ -248,6 +254,7 @@ impl Wpf {
         let mut batch_iter = batch.into_iter();
         // 5. Merge, assigning new frames in hash order.
         for group in groups {
+            let is_new = group.existing.is_none();
             let tree_frame = match group.existing {
                 Some(f) => f,
                 None => {
@@ -268,7 +275,8 @@ impl Wpf {
                     f
                 }
             };
-            for (k, &(pid, va, old)) in group.members.iter().enumerate() {
+            let mut consumed_initial_ref = !is_new;
+            for &(pid, va, old) in group.members.iter() {
                 // Re-validate the mapping (it may have CoW'd since hashing).
                 let still = m
                     .leaf(pid, va)
@@ -277,23 +285,31 @@ impl Wpf {
                 if !still {
                     continue;
                 }
-                if group.existing.is_none() && k == 0 {
+                if !consumed_initial_ref {
                     // The new tree frame's initial reference stands in for
-                    // this first mapping.
-                    m.set_leaf(
+                    // the first successfully merged mapping.
+                    if m.set_leaf(
                         pid,
                         va,
                         Pte::new(tree_frame, PteFlags::PRESENT | PteFlags::USER),
-                    );
+                    )
+                    .is_err()
+                    {
+                        m.note_scan_retry();
+                        continue;
+                    }
+                    consumed_initial_ref = true;
                     let (tag, _) = Self::vma_info(m, pid, va);
                     Self::drop_cache_ref(m, pid, va, old);
-                    m.put_frame(old);
+                    let _ = m.put_frame(old);
                     self.tags.record(tag);
                     self.merged_live += 1;
                     self.stats.merged += 1;
                     report.pages_merged += 1;
                 } else {
-                    self.merge_onto(m, pid, va, old, tree_frame);
+                    if !self.merge_onto(m, pid, va, old, tree_frame) {
+                        continue;
+                    }
                     report.pages_merged += 1;
                 }
                 if let Some(id) = {
@@ -302,6 +318,22 @@ impl Wpf {
                 } {
                     *self.avl.value_mut(id) += 1;
                 }
+            }
+            if is_new && !consumed_initial_ref {
+                // Nothing merged onto the freshly reserved frame (every
+                // member CoW'd away or its PTE write failed): roll back the
+                // reservation so the frame is not leaked.
+                self.avl_index.remove(&tree_frame);
+                let removed = {
+                    let mem = m.mem();
+                    self.avl.remove(tree_frame, |a, b| mem.compare_pages(a, b))
+                };
+                debug_assert!(removed.is_some());
+                self.last_pass_frames.pop();
+                self.stats.tree_pages_allocated -= 1;
+                m.mem_mut().info_mut(tree_frame).on_free();
+                m.mem_mut().zero_page(tree_frame);
+                let _ = self.linear.free(tree_frame);
             }
         }
         self.stats.passes += 1;
@@ -321,7 +353,9 @@ impl Wpf {
         let Some(vma) = m.process(fault.pid).space.find_vma(fault.va).copied() else {
             return false;
         };
-        let new = m.alloc_frame(PageType::Anon);
+        let Ok(new) = m.alloc_frame(PageType::Anon) else {
+            return false; // OOM: stay merged; the access retries later.
+        };
         m.mem_mut().copy_page(tree_frame, new);
         let costs = m.costs();
         m.charge(costs.copy_page + costs.pte_update + costs.buddy_interaction);
@@ -329,7 +363,12 @@ impl Wpf {
         if vma.prot.write {
             flags |= PteFlags::WRITABLE;
         }
-        m.set_leaf(fault.pid, fault.va.page_base(), Pte::new(new, flags));
+        if m.set_leaf(fault.pid, fault.va.page_base(), Pte::new(new, flags))
+            .is_err()
+        {
+            let _ = m.put_frame(new);
+            return false;
+        }
         if m.mem_mut().info_mut(tree_frame).put() {
             // Last sharer gone: the frame goes back to the linear
             // allocator and will be re-reserved, from the end of memory,
@@ -354,7 +393,7 @@ impl Wpf {
             }
             m.mem_mut().info_mut(tree_frame).on_free();
             m.mem_mut().zero_page(tree_frame);
-            self.linear.free(tree_frame);
+            let _ = self.linear.free(tree_frame);
         }
         self.merged_live -= 1;
         self.stats.unmerged += 1;
@@ -411,13 +450,13 @@ mod tests {
 
     fn system() -> (System<Wpf>, Pid, Pid) {
         let mut m = Machine::new(MachineConfig::test_small().with_reserved_top(512));
-        let a = m.spawn("a");
-        let b = m.spawn("b");
+        let a = m.spawn("a").expect("spawn");
+        let b = m.spawn("b").expect("spawn");
         for pid in [a, b] {
             // No madvise: WPF scans everything.
             m.mmap(pid, Vma::anon(VirtAddr(BASE), 64, Protection::rw()));
         }
-        let policy = Wpf::new(&m, WpfConfig::default());
+        let policy = Wpf::new(&m, WpfConfig::default()).expect("wpf");
         (System::new(m, policy), a, b)
     }
 

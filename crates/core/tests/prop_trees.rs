@@ -1,94 +1,122 @@
-//! Property tests for the content-indexed trees against a model (BTreeMap)
-//! and their balance invariants.
+//! Property-style tests for the content-indexed trees against a model
+//! (BTreeSet) and their balance invariants, driven by the in-repo seeded
+//! PRNG: each test sweeps many seeds so failures reproduce exactly by seed.
 
-use proptest::prelude::*;
+// Tests assert setup preconditions with expect("why"); the crate-level
+// expect_used deny targets simulation code, not its test harness.
+#![allow(clippy::expect_used)]
+
 use std::cmp::Ordering;
 use vusion_core::{ContentAvlTree, ContentRbTree};
 use vusion_mem::FrameId;
+use vusion_rng::rngs::StdRng;
+use vusion_rng::{RngExt, SeedableRng};
+
+const SEEDS: u64 = 96;
 
 fn by_id(a: FrameId, b: FrameId) -> Ordering {
     a.0.cmp(&b.0)
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum TreeOp {
     Insert(u64),
     Remove(u64),
     Find(u64),
 }
 
-fn ops() -> impl Strategy<Value = Vec<TreeOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u64..200).prop_map(TreeOp::Insert),
-            (0u64..200).prop_map(TreeOp::Remove),
-            (0u64..200).prop_map(TreeOp::Find),
-        ],
-        1..400,
-    )
+fn ops(rng: &mut StdRng) -> Vec<TreeOp> {
+    let n = rng.random_range(1..400usize);
+    (0..n)
+        .map(|_| {
+            let k = rng.random_range(0..200u64);
+            match rng.random_range(0..3u8) {
+                0 => TreeOp::Insert(k),
+                1 => TreeOp::Remove(k),
+                _ => TreeOp::Find(k),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
-
-    /// The red-black tree behaves exactly like a sorted map and keeps its
-    /// invariants through arbitrary operation sequences.
-    #[test]
-    fn rbtree_matches_model(ops in ops()) {
+/// The red-black tree behaves exactly like a sorted map and keeps its
+/// invariants through arbitrary operation sequences.
+#[test]
+fn rbtree_matches_model() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9b7e);
         let mut tree = ContentRbTree::new();
         let mut ids = std::collections::HashMap::new();
         let mut model = std::collections::BTreeSet::new();
-        for op in ops {
+        for op in ops(&mut rng) {
             match op {
                 TreeOp::Insert(k) => {
                     let (id, inserted) = tree.insert(FrameId(k), k, by_id);
-                    prop_assert_eq!(inserted, model.insert(k));
+                    assert_eq!(inserted, model.insert(k), "seed {seed}");
                     ids.insert(k, id);
                 }
                 TreeOp::Remove(k) => {
                     if model.remove(&k) {
                         let id = ids.remove(&k).expect("tracked");
-                        prop_assert_eq!(tree.remove(id), k);
+                        assert_eq!(tree.remove(id), k, "seed {seed}");
                     }
                 }
                 TreeOp::Find(k) => {
-                    prop_assert_eq!(tree.find(FrameId(k), by_id).is_some(), model.contains(&k));
+                    assert_eq!(
+                        tree.find(FrameId(k), by_id).is_some(),
+                        model.contains(&k),
+                        "seed {seed}"
+                    );
                 }
             }
-            prop_assert_eq!(tree.len(), model.len());
+            assert_eq!(tree.len(), model.len(), "seed {seed}");
         }
         tree.assert_invariants();
     }
+}
 
-    /// The AVL tree behaves exactly like a sorted map and keeps its
-    /// invariants through arbitrary operation sequences.
-    #[test]
-    fn avl_matches_model(ops in ops()) {
+/// The AVL tree behaves exactly like a sorted map and keeps its
+/// invariants through arbitrary operation sequences.
+#[test]
+fn avl_matches_model() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa71e);
         let mut tree = ContentAvlTree::new();
         let mut model = std::collections::BTreeSet::new();
-        for op in ops {
+        for op in ops(&mut rng) {
             match op {
                 TreeOp::Insert(k) => {
                     let (_, inserted) = tree.insert(FrameId(k), k, by_id);
-                    prop_assert_eq!(inserted, model.insert(k));
+                    assert_eq!(inserted, model.insert(k), "seed {seed}");
                 }
                 TreeOp::Remove(k) => {
-                    prop_assert_eq!(tree.remove(FrameId(k), by_id).is_some(), model.remove(&k));
+                    assert_eq!(
+                        tree.remove(FrameId(k), by_id).is_some(),
+                        model.remove(&k),
+                        "seed {seed}"
+                    );
                 }
                 TreeOp::Find(k) => {
-                    prop_assert_eq!(tree.find(FrameId(k), by_id).is_some(), model.contains(&k));
+                    assert_eq!(
+                        tree.find(FrameId(k), by_id).is_some(),
+                        model.contains(&k),
+                        "seed {seed}"
+                    );
                 }
             }
-            prop_assert_eq!(tree.len(), model.len());
+            assert_eq!(tree.len(), model.len(), "seed {seed}");
         }
         tree.assert_invariants();
     }
+}
 
-    /// Both trees agree with each other under identical content workloads
-    /// keyed by real page bytes.
-    #[test]
-    fn trees_agree_on_content(keys in proptest::collection::vec(0u64..64, 1..100)) {
-        use vusion_mem::{PhysAddr, PhysMemory};
+/// Both trees agree with each other under identical content workloads
+/// keyed by real page bytes.
+#[test]
+fn trees_agree_on_content() {
+    use vusion_mem::{PhysAddr, PhysMemory};
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0de);
         let mut mem = PhysMemory::new(64);
         for f in 0..64u64 {
             // Deliberately create duplicate contents (key % 16).
@@ -96,14 +124,19 @@ proptest! {
         }
         let mut rb = ContentRbTree::new();
         let mut avl = ContentAvlTree::new();
-        for &k in &keys {
+        let n = rng.random_range(1..100usize);
+        for _ in 0..n {
+            let k = rng.random_range(0..64u64);
             let cmp = |a: FrameId, b: FrameId| mem.compare_pages(a, b);
             let (_, rb_new) = rb.insert(FrameId(k), (), cmp);
             let cmp = |a: FrameId, b: FrameId| mem.compare_pages(a, b);
             let (_, avl_new) = avl.insert(FrameId(k), (), cmp);
-            prop_assert_eq!(rb_new, avl_new, "trees disagreed on duplicate detection");
+            assert_eq!(
+                rb_new, avl_new,
+                "seed {seed}: trees disagreed on duplicate detection"
+            );
         }
-        prop_assert_eq!(rb.len(), avl.len());
+        assert_eq!(rb.len(), avl.len(), "seed {seed}");
         rb.assert_invariants();
         avl.assert_invariants();
     }

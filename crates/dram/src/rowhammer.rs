@@ -8,9 +8,9 @@
 //! cells of a row and their activation thresholds are a deterministic
 //! function of `(seed, bank, row)`.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use vusion_mem::PhysAddr;
+use vusion_rng::rngs::StdRng;
+use vusion_rng::{RngExt, SeedableRng};
 
 use crate::geometry::{DramConfig, DramLocation};
 

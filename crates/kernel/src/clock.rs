@@ -1,7 +1,7 @@
 //! Simulated time and the cost model that advances it.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use vusion_rng::rngs::StdRng;
+use vusion_rng::{RngExt, SeedableRng};
 
 /// Nanosecond-resolution simulated clock.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]

@@ -136,7 +136,7 @@ impl Khugepaged {
         };
         // Phase 2b: let the fusion policy release (or veto) its pages.
         if !policy.prepare_collapse(m, pid, base) {
-            m.free_huge(huge);
+            let _ = m.free_huge(huge);
             self.stats.blocked_by_policy += 1;
             return false;
         }
@@ -146,17 +146,18 @@ impl Khugepaged {
         for i in 0..HUGE_PAGE_FRAMES {
             let va = VirtAddr(base.0 + i * PAGE_SIZE);
             let Some(leaf) = m.leaf(pid, va) else {
+                let _ = m.free_huge(huge);
                 self.stats.skipped += 1;
                 return false;
             };
             if leaf.huge || leaf.pte.is_trapped() || !leaf.pte.is_present() {
-                m.free_huge(huge);
+                let _ = m.free_huge(huge);
                 self.stats.skipped += 1;
                 return false;
             }
             let frame = leaf.pte.frame();
             if m.mem().info(frame).refcount != 1 {
-                m.free_huge(huge);
+                let _ = m.free_huge(huge);
                 self.stats.skipped += 1; // Still shared: unsafe to move.
                 return false;
             }
@@ -177,15 +178,26 @@ impl Khugepaged {
         if writable {
             flags |= PteFlags::WRITABLE;
         }
-        let (mem, buddy, procs) = m.mm_parts();
-        let proc = &mut procs[pid.0];
-        // Swap the PT for a huge entry in one shot (frees the PT frame).
-        proc.space
-            .tables_mut()
-            .collapse_huge(mem, buddy, base, huge, flags);
-        proc.tlb.flush();
+        let collapsed = {
+            let (mem, buddy, procs) = m.mm_parts();
+            let proc = &mut procs[pid.0];
+            // Swap the PT for a huge entry in one shot (frees the PT frame).
+            let r = proc
+                .space
+                .tables_mut()
+                .collapse_huge(mem, buddy, base, huge, flags);
+            proc.tlb.flush();
+            r
+        };
+        if collapsed.is_err() {
+            // The tables rejected the swap (a sub-page changed under us):
+            // nothing was modified, so just release the reserved block.
+            let _ = m.free_huge(huge);
+            self.stats.skipped += 1;
+            return false;
+        }
         for f in frames {
-            m.put_frame(f);
+            let _ = m.put_frame(f);
         }
         self.stats.collapsed += 1;
         true
@@ -207,7 +219,7 @@ mod tests {
 
     fn setup() -> (Machine, Pid) {
         let mut m = Machine::new(MachineConfig::test_small());
-        let pid = m.spawn("t");
+        let pid = m.spawn("t").expect("spawn");
         m.mmap(
             pid,
             Vma::anon(VirtAddr(HUGE_PAGE_SIZE), 1024, Protection::rw()),

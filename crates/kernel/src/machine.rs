@@ -1,14 +1,15 @@
 //! The simulated machine: memory hierarchy, processes, fault generation.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::collections::HashMap;
 use vusion_cache::{CacheOutcome, Llc, LlcConfig};
 use vusion_dram::{DramConfig, FlipEvent, RowBufferOutcome, RowBuffers, RowhammerModel};
 use vusion_mem::{
-    BuddyAllocator, FrameAllocator, FrameId, PageType, PhysAddr, PhysMemory, VirtAddr,
-    HUGE_PAGE_FRAMES, HUGE_PAGE_SIZE, PAGE_SIZE,
+    BuddyAllocator, FaultInjector, FaultPlan, FrameAllocator, FrameId, FrameState, MmError,
+    PageType, PhysAddr, PhysMemory, VirtAddr, HUGE_PAGE_FRAMES, HUGE_PAGE_SIZE, PAGE_SIZE,
 };
 use vusion_mmu::{AddressSpace, LeafInfo, Pte, PteFlags, TlbEntry, Vma, VmaBacking};
+use vusion_rng::rngs::StdRng;
+use vusion_rng::SeedableRng;
 
 use crate::clock::{CostModel, Jitter, SimClock};
 use crate::process::Process;
@@ -77,6 +78,18 @@ pub struct MachineStats {
     pub cow_copies: u64,
     /// Rowhammer bit flips applied to memory.
     pub bit_flips: u64,
+    /// Allocation failures observed by the kernel (genuine or injected):
+    /// each one degraded gracefully instead of aborting.
+    pub oom_events: u64,
+    /// Faults injected by the machine's [`FaultPlan`] (allocator failures,
+    /// checksum corruptions and scan bit flips combined).
+    pub injected_faults: u64,
+    /// Scanner pages skipped this run and left for a later round because a
+    /// resource was unavailable or a scan read was unreliable.
+    pub scan_retries: u64,
+    /// Deferred-free-queue drains performed under memory pressure to
+    /// recover frames before reporting exhaustion.
+    pub deferred_drains: u64,
 }
 
 /// Machine construction parameters.
@@ -101,6 +114,10 @@ pub struct MachineConfig {
     /// allocator. Windows Page Fusion's `MiAllocatePagesForMdl`-style
     /// allocator serves fused-page backing frames from this region (§2.2).
     pub reserved_top_frames: u64,
+    /// Deterministic fault-injection plan, seeded from [`Self::seed`].
+    /// Inert until [`Machine::arm_faults`] is called, so machine and engine
+    /// construction stay deterministic regardless of the plan.
+    pub fault_plan: FaultPlan,
 }
 
 impl MachineConfig {
@@ -116,6 +133,7 @@ impl MachineConfig {
             thp: false,
             weak_row_fraction: 0.35,
             reserved_top_frames: 0,
+            fault_plan: FaultPlan::NONE,
         }
     }
 
@@ -130,6 +148,7 @@ impl MachineConfig {
             thp: false,
             weak_row_fraction: 0.35,
             reserved_top_frames: 0,
+            fault_plan: FaultPlan::NONE,
         }
     }
 
@@ -150,6 +169,13 @@ impl MachineConfig {
         self.seed = seed;
         self
     }
+
+    /// Sets the fault-injection plan (armed later via
+    /// [`Machine::arm_faults`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
 }
 
 /// The simulated machine.
@@ -164,6 +190,9 @@ pub struct Machine {
     jitter: Jitter,
     /// RNG available to policies that need machine-scoped randomness.
     pub policy_rng: StdRng,
+    /// Scan-time fault source (checksum corruption, observed bit flips),
+    /// salted independently from the allocator's injector.
+    scan_injector: FaultInjector,
     processes: Vec<Process>,
     stats: MachineStats,
 }
@@ -188,9 +217,51 @@ impl Machine {
             clock: SimClock::new(),
             jitter: Jitter::new(cfg.seed ^ 0x1177, cfg.costs.jitter),
             policy_rng: StdRng::seed_from_u64(cfg.seed ^ 0xbeef),
+            scan_injector: FaultInjector::new(FaultPlan::NONE, cfg.seed ^ 0x5ca1),
             processes: Vec::new(),
             stats: MachineStats::default(),
         }
+    }
+
+    /// Arms the configured [`FaultPlan`]: subsequent buddy allocations and
+    /// scan-time reads consult deterministic, independently salted
+    /// injectors. Called *after* setup (spawns, engine construction) so a
+    /// chaos run perturbs steady-state behavior, not construction.
+    pub fn arm_faults(&mut self) {
+        let plan = self.cfg.fault_plan;
+        self.buddy
+            .set_fault_injector(FaultInjector::new(plan, self.cfg.seed ^ 0xfa01));
+        self.scan_injector = FaultInjector::new(plan, self.cfg.seed ^ 0x5ca1);
+    }
+
+    /// A page hash as the *scanner* observes it: the machine's fault plan
+    /// may corrupt the value (a guest racing the checksum read). Memory
+    /// itself is never altered — only the scanner's view.
+    pub fn observed_hash(&mut self, frame: FrameId) -> u64 {
+        let h = self.mem.hash_page(frame);
+        self.scan_injector.corrupt_checksum(h)
+    }
+
+    /// Whether the scanner observes a transient bit flip on the page it is
+    /// examining, making this round's content comparison unreliable.
+    pub fn observed_scan_flip(&mut self) -> bool {
+        self.scan_injector.scan_bitflip()
+    }
+
+    /// Records a scanner skip-and-retry (graceful degradation under
+    /// resource failure).
+    pub fn note_scan_retry(&mut self) {
+        self.stats.scan_retries += 1;
+    }
+
+    /// Records an OOM condition an engine absorbed gracefully.
+    pub fn note_oom(&mut self) {
+        self.stats.oom_events += 1;
+    }
+
+    /// Records a deferred-free-queue drain performed under memory pressure.
+    pub fn note_deferred_drain(&mut self) {
+        self.stats.deferred_drains += 1;
     }
 
     /// The configuration.
@@ -220,9 +291,12 @@ impl Machine {
         self.clock.advance(ns);
     }
 
-    /// Counters.
+    /// Counters. `injected_faults` is computed live from both injectors.
     pub fn stats(&self) -> MachineStats {
-        self.stats
+        let mut s = self.stats;
+        s.injected_faults =
+            self.buddy.injection_stats().total() + self.scan_injector.stats().total();
+        s
     }
 
     /// Physical memory (read-only).
@@ -260,11 +334,12 @@ impl Machine {
     // Processes and mappings
     // ------------------------------------------------------------------
 
-    /// Spawns a process; returns its pid.
-    pub fn spawn(&mut self, name: &str) -> Pid {
-        let space = AddressSpace::new(&mut self.mem, &mut self.buddy);
+    /// Spawns a process; returns its pid, or [`MmError::OutOfFrames`] when
+    /// no frame remains for its top-level page table.
+    pub fn spawn(&mut self, name: &str) -> Result<Pid, MmError> {
+        let space = AddressSpace::new(&mut self.mem, &mut self.buddy)?;
         self.processes.push(Process::new(name, space));
-        Pid(self.processes.len() - 1)
+        Ok(Pid(self.processes.len() - 1))
     }
 
     /// Number of processes.
@@ -301,14 +376,19 @@ impl Machine {
     }
 
     /// Allocates a frame from the buddy allocator for the given use.
-    ///
-    /// # Panics
-    ///
-    /// Panics on out-of-memory (experiments are sized to fit).
-    pub fn alloc_frame(&mut self, page_type: PageType) -> FrameId {
-        let f = self.buddy.alloc().expect("machine out of physical memory");
-        self.mem.info_mut(f).on_alloc(page_type);
-        f
+    /// Failure (genuine OOM or injected) is counted in
+    /// [`MachineStats::oom_events`] and reported, never fatal.
+    pub fn alloc_frame(&mut self, page_type: PageType) -> Result<FrameId, MmError> {
+        match self.buddy.alloc() {
+            Ok(f) => {
+                self.mem.info_mut(f).on_alloc(page_type);
+                Ok(f)
+            }
+            Err(e) => {
+                self.stats.oom_events += 1;
+                Err(e)
+            }
+        }
     }
 
     /// The reserved top-of-memory region `(first frame, frame count)`, if
@@ -328,75 +408,91 @@ impl Machine {
     /// mappings over the same frames, converting the buddy record so the
     /// frames can later be freed individually, and flushing the TLB. Both
     /// KSM and VUsion do this before considering a THP's contents (§8.1).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `va` is not covered by a huge mapping.
-    pub fn break_thp(&mut self, pid: Pid, va: VirtAddr) {
+    /// Reports [`MmError::BadPageTable`] if `va` is not covered by a huge
+    /// mapping.
+    pub fn break_thp(&mut self, pid: Pid, va: VirtAddr) -> Result<(), MmError> {
         let base = va.huge_base();
-        let leaf = self.leaf(pid, base).expect("break_thp on unmapped address");
-        assert!(leaf.huge, "break_thp on a 4 KiB mapping");
+        let leaf = self.leaf(pid, base).ok_or(MmError::BadPageTable(base))?;
+        if !leaf.huge {
+            return Err(MmError::BadPageTable(base));
+        }
         let head = leaf.pte.frame();
-        let (mem, buddy, procs) = self.mm_parts();
-        procs[pid.0].space.tables_mut().break_huge(mem, buddy, base);
-        procs[pid.0].tlb.flush();
-        self.buddy.split_allocated(head, 9);
+        {
+            let (mem, buddy, procs) = self.mm_parts();
+            procs[pid.0]
+                .space
+                .tables_mut()
+                .break_huge(mem, buddy, base)?;
+            procs[pid.0].tlb.flush();
+        }
+        self.buddy.split_allocated(head, 9)
     }
 
     /// Allocates an order-9 (2 MiB) block and marks all 512 frames
     /// allocated with refcount 1. Returns the head frame, or `None` when
     /// memory is too fragmented.
     pub fn alloc_huge(&mut self, page_type: PageType) -> Option<FrameId> {
-        let head = self.buddy.alloc_order(9)?;
+        let head = self.buddy.alloc_order(9).ok()?;
         for i in 0..HUGE_PAGE_FRAMES {
             self.mem.info_mut(FrameId(head.0 + i)).on_alloc(page_type);
         }
         Some(head)
     }
 
-    /// Releases an order-9 block allocated with [`Self::alloc_huge`]
-    /// (every frame must hold exactly one reference).
-    pub fn free_huge(&mut self, head: FrameId) {
+    /// Releases an order-9 block allocated with [`Self::alloc_huge`].
+    /// Every frame must hold exactly one reference; a shared frame is
+    /// reported (before any state changes) as [`MmError::DoubleFree`],
+    /// since releasing it would strand its other owners.
+    pub fn free_huge(&mut self, head: FrameId) -> Result<(), MmError> {
+        for i in 0..HUGE_PAGE_FRAMES {
+            let f = FrameId(head.0 + i);
+            if self.mem.info(f).refcount != 1 {
+                return Err(MmError::DoubleFree(f));
+            }
+        }
         for i in 0..HUGE_PAGE_FRAMES {
             let f = FrameId(head.0 + i);
             let info = self.mem.info_mut(f);
-            assert!(info.put(), "free_huge on a shared frame");
+            info.put();
             info.on_free();
             self.mem.zero_page(f);
         }
-        self.buddy.free_order(head, 9);
+        self.buddy.free_order(head, 9)
     }
 
     /// Converts a huge block's buddy record into 512 individual frame
     /// allocations so its frames can be freed one by one — the allocator
     /// half of breaking a THP (§8.1). Page tables are updated separately
     /// via [`vusion_mmu::PageTables::break_huge`].
-    pub fn split_huge_allocation(&mut self, head: FrameId) {
-        self.buddy.split_allocated(head, 9);
+    pub fn split_huge_allocation(&mut self, head: FrameId) -> Result<(), MmError> {
+        self.buddy.split_allocated(head, 9)
     }
 
     /// Drops a reference to `frame`; frees it to the buddy allocator when
-    /// the count reaches zero. Returns whether the frame was freed.
-    pub fn put_frame(&mut self, frame: FrameId) -> bool {
-        if self.mem.info_mut(frame).put() {
-            self.mem.info_mut(frame).on_free();
+    /// the count reaches zero. Returns whether the frame was freed, or the
+    /// buddy's misuse error (double free, foreign frame) with the
+    /// reference *not* dropped, so a rejected put leaves state unchanged.
+    pub fn put_frame(&mut self, frame: FrameId) -> Result<bool, MmError> {
+        if self.mem.info(frame).refcount == 1 {
+            self.buddy.free(frame)?;
+            let info = self.mem.info_mut(frame);
+            info.put();
+            info.on_free();
             self.mem.zero_page(frame);
-            self.buddy.free(frame);
-            true
+            Ok(true)
         } else {
-            false
+            self.mem.info_mut(frame).put();
+            Ok(false)
         }
     }
 
     /// Overwrites the leaf PTE mapping `va` and shoots down the TLB entry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `va` has no leaf entry.
-    pub fn set_leaf(&mut self, pid: Pid, va: VirtAddr, pte: Pte) {
+    /// Reports [`MmError::BadPageTable`] if `va` has no leaf entry.
+    pub fn set_leaf(&mut self, pid: Pid, va: VirtAddr, pte: Pte) -> Result<(), MmError> {
         let p = &mut self.processes[pid.0];
-        p.space.tables_mut().set_leaf(&mut self.mem, va, pte);
+        p.space.tables_mut().set_leaf(&mut self.mem, va, pte)?;
         p.tlb.invalidate(va);
+        Ok(())
     }
 
     /// Reads the leaf PTE mapping `va`, if any (no timing).
@@ -526,7 +622,8 @@ impl Machine {
                 va.page_base()
             };
             let p = &mut self.processes[pid.0];
-            p.space.tables_mut().set_leaf(&mut self.mem, base, pte);
+            // The walk above just resolved this leaf; the entry exists.
+            let _ = p.space.tables_mut().set_leaf(&mut self.mem, base, pte);
             p.tlb.fill(
                 va,
                 TlbEntry {
@@ -544,7 +641,8 @@ impl Machine {
             };
             if let Some(l) = self.processes[pid.0].space.tables().leaf(&self.mem, base) {
                 let p = &mut self.processes[pid.0];
-                p.space.tables_mut().set_leaf(
+                // The quiet walk just resolved this leaf; the entry exists.
+                let _ = p.space.tables_mut().set_leaf(
                     &mut self.mem,
                     base,
                     l.pte.set(PteFlags::DIRTY | PteFlags::ACCESSED),
@@ -640,22 +738,37 @@ impl Machine {
                 if self.cfg.thp && self.try_demand_huge(fault, &vma) {
                     return true;
                 }
-                let frame = self.alloc_frame(PageType::Anon);
+                // OOM (genuine or injected) leaves the fault unresolved:
+                // counted, surfaced to the caller, never fatal here.
+                let Ok(frame) = self.alloc_frame(PageType::Anon) else {
+                    return false;
+                };
                 self.charge(
-                    self.cfg.costs.zero_page + self.cfg.costs.pte_update + self.cfg.costs.buddy_interaction,
+                    self.cfg.costs.zero_page
+                        + self.cfg.costs.pte_update
+                        + self.cfg.costs.buddy_interaction,
                 );
                 let mut flags = PteFlags::PRESENT | PteFlags::USER | PteFlags::ACCESSED;
                 if vma.prot.write {
                     flags |= PteFlags::WRITABLE;
                 }
-                let (mem, buddy, procs) = self.mm_parts();
-                procs[fault.pid.0].space.tables_mut().map_page(
-                    mem,
-                    buddy,
-                    fault.va.page_base(),
-                    frame,
-                    flags,
-                );
+                let mapped = {
+                    let (mem, buddy, procs) = self.mm_parts();
+                    procs[fault.pid.0].space.tables_mut().map_page(
+                        mem,
+                        buddy,
+                        fault.va.page_base(),
+                        frame,
+                        flags,
+                    )
+                };
+                if mapped.is_err() {
+                    // A table frame could not be allocated mid-map: give the
+                    // data frame back and leave the fault unresolved.
+                    self.stats.oom_events += 1;
+                    let _ = self.put_frame(frame);
+                    return false;
+                }
                 self.stats.demand_zero += 1;
                 true
             }
@@ -666,27 +779,48 @@ impl Machine {
                 let page_in_vma = (fault.va.0 - vma.start.0) / PAGE_SIZE;
                 let file_page = offset_pages + page_in_vma;
                 self.charge(
-                    self.cfg.costs.copy_page + self.cfg.costs.pte_update + self.cfg.costs.buddy_interaction,
+                    self.cfg.costs.copy_page
+                        + self.cfg.costs.pte_update
+                        + self.cfg.costs.buddy_interaction,
                 );
-                let (mem, buddy, procs) = self.mm_parts();
-                let frame = procs[fault.pid.0].page_cache_load(mem, file_id, file_page, |m| {
-                    let f = buddy.alloc().expect("machine out of physical memory");
-                    m.info_mut(f).on_alloc(PageType::PageCache);
-                    f
-                });
-                // The mapping takes its own reference on top of the cache's.
-                mem.info_mut(frame).get();
-                // File pages map read-only; private writes CoW.
-                let flags = PteFlags::PRESENT | PteFlags::USER | PteFlags::ACCESSED;
-                procs[fault.pid.0].space.tables_mut().map_page(
-                    mem,
-                    buddy,
-                    fault.va.page_base(),
-                    frame,
-                    flags,
-                );
-                self.stats.demand_file += 1;
-                true
+                let mapped = {
+                    let (mem, buddy, procs) = self.mm_parts();
+                    let loaded = procs[fault.pid.0].page_cache_load(mem, file_id, file_page, |m| {
+                        let f = buddy.alloc()?;
+                        m.info_mut(f).on_alloc(PageType::PageCache);
+                        Ok(f)
+                    });
+                    loaded.map(|frame| {
+                        // The mapping takes its own reference on top of the
+                        // cache's.
+                        mem.info_mut(frame).get();
+                        // File pages map read-only; private writes CoW.
+                        let flags = PteFlags::PRESENT | PteFlags::USER | PteFlags::ACCESSED;
+                        let r = procs[fault.pid.0].space.tables_mut().map_page(
+                            mem,
+                            buddy,
+                            fault.va.page_base(),
+                            frame,
+                            flags,
+                        );
+                        if r.is_err() {
+                            // Undo the mapping's reference; the page stays
+                            // cached for a later retry.
+                            mem.info_mut(frame).put();
+                        }
+                        r
+                    })
+                };
+                match mapped {
+                    Ok(Ok(())) => {
+                        self.stats.demand_file += 1;
+                        true
+                    }
+                    Ok(Err(_)) | Err(_) => {
+                        self.stats.oom_events += 1;
+                        false
+                    }
+                }
             }
         }
     }
@@ -722,11 +856,20 @@ impl Machine {
         if vma.prot.write {
             flags |= PteFlags::WRITABLE;
         }
-        let (mem, buddy, procs) = self.mm_parts();
-        procs[fault.pid.0]
-            .space
-            .tables_mut()
-            .map_huge(mem, buddy, base, frame, flags);
+        let mapped = {
+            let (mem, buddy, procs) = self.mm_parts();
+            procs[fault.pid.0]
+                .space
+                .tables_mut()
+                .map_huge(mem, buddy, base, frame, flags)
+        };
+        if mapped.is_err() {
+            // A table frame could not be allocated: release the huge block
+            // and fall back to the 4 KiB path.
+            self.stats.oom_events += 1;
+            let _ = self.free_huge(frame);
+            return false;
+        }
         self.stats.demand_huge += 1;
         true
     }
@@ -745,9 +888,16 @@ impl Machine {
         let Some(leaf) = self.leaf(fault.pid, fault.va) else {
             return false;
         };
-        assert!(!leaf.huge, "CoW on huge mappings handled by policies");
+        if leaf.huge {
+            return false; // CoW on huge mappings is handled by policies.
+        }
         let old = leaf.pte.frame();
-        let new = self.alloc_frame(PageType::Anon);
+        // OOM on the CoW copy is a countable event: the write simply stays
+        // unresolved (the guest would be OOM-killed; the simulation reports
+        // it through SystemStats instead).
+        let Ok(new) = self.alloc_frame(PageType::Anon) else {
+            return false;
+        };
         self.mem.copy_page(old, new);
         self.charge(
             self.cfg.costs.copy_page + self.cfg.costs.pte_update + self.cfg.costs.buddy_interaction,
@@ -760,8 +910,13 @@ impl Machine {
                 | PteFlags::ACCESSED
                 | PteFlags::DIRTY,
         );
-        self.set_leaf(fault.pid, fault.va.page_base(), pte);
-        self.put_frame(old);
+        if self.set_leaf(fault.pid, fault.va.page_base(), pte).is_err() {
+            let _ = self.put_frame(new);
+            return false;
+        }
+        // The old frame may be shared (page cache); a rejected free would
+        // mean the refcount was already wrong, which put_frame reports.
+        let _ = self.put_frame(old);
         self.stats.cow_copies += 1;
         true
     }
@@ -815,6 +970,78 @@ impl Machine {
         self.mem.allocated_frames()
     }
 
+    /// Audits frame accounting against the page tables and returns every
+    /// violation found (empty = healthy). Two invariants must hold no
+    /// matter what sequence of merges, unmerges, and injected failures the
+    /// machine went through:
+    ///
+    /// 1. every present leaf PTE points at an in-bounds, *allocated* frame
+    ///    with a non-zero refcount (no mapped-after-free), and
+    /// 2. no frame is referenced by more leaf mappings than its refcount
+    ///    (engines may hold extra references — tree nodes, deferred-free
+    ///    queues — so `mappings ≤ refcount` is the sound direction; more
+    ///    mappings than references means a refcount underflow).
+    ///
+    /// Chaos tests call this after every fault-injected churn round.
+    pub fn audit_frames(&self) -> Vec<String> {
+        let mut mapped: HashMap<FrameId, u32> = HashMap::new();
+        let mut violations = Vec::new();
+        for (i, p) in self.processes.iter().enumerate() {
+            for vma in p.space.vmas() {
+                let mut pg = 0;
+                while pg < vma.pages {
+                    let va = VirtAddr(vma.start.0 + pg * PAGE_SIZE);
+                    let Some(leaf) = p.space.tables().leaf(&self.mem, va) else {
+                        pg += 1;
+                        continue;
+                    };
+                    if !leaf.pte.is_present() {
+                        pg += 1;
+                        continue;
+                    }
+                    let frame = leaf.pte.frame();
+                    // A huge mapping references one head frame; step over
+                    // the whole region so it is counted once.
+                    let step = if leaf.huge {
+                        HUGE_PAGE_SIZE / PAGE_SIZE
+                    } else {
+                        1
+                    };
+                    if frame.0 >= self.cfg.frames {
+                        violations.push(format!(
+                            "p{i} {va:?}: leaf points outside physical memory ({frame:?})"
+                        ));
+                        pg += step;
+                        continue;
+                    }
+                    let info = self.mem.info(frame);
+                    if info.state != FrameState::Allocated {
+                        violations.push(format!(
+                            "p{i} {va:?}: mapped frame {frame:?} is {:?} (use after free)",
+                            info.state
+                        ));
+                    }
+                    if info.refcount == 0 {
+                        violations.push(format!(
+                            "p{i} {va:?}: mapped frame {frame:?} has refcount 0"
+                        ));
+                    }
+                    *mapped.entry(frame).or_insert(0) += 1;
+                    pg += step;
+                }
+            }
+        }
+        for (frame, count) in mapped {
+            let refcount = self.mem.info(frame).refcount;
+            if count > refcount {
+                violations.push(format!(
+                    "{frame:?}: {count} leaf mappings but refcount {refcount} (underflow)"
+                ));
+            }
+        }
+        violations
+    }
+
     /// Counts 2 MiB mappings currently installed for a process's anonymous
     /// VMAs (the Figure 9 metric).
     pub fn count_huge_mappings(&self, pid: Pid) -> usize {
@@ -854,7 +1081,7 @@ mod tests {
     #[test]
     fn demand_zero_then_read_write() {
         let mut m = machine();
-        let pid = m.spawn("t");
+        let pid = m.spawn("t").expect("spawn");
         anon_vma(&mut m, pid, 0x10000, 4);
         let va = VirtAddr(0x10000);
         // First access faults NotMapped.
@@ -870,7 +1097,7 @@ mod tests {
     #[test]
     fn access_outside_vma_unhandled() {
         let mut m = machine();
-        let pid = m.spawn("t");
+        let pid = m.spawn("t").expect("spawn");
         let fault = m.read(pid, VirtAddr(0xdead_0000)).expect_err("must fault");
         assert!(!m.default_fault(&fault), "no VMA covers it");
     }
@@ -878,7 +1105,7 @@ mod tests {
     #[test]
     fn file_pages_shared_within_process_and_cow_on_write() {
         let mut m = machine();
-        let pid = m.spawn("t");
+        let pid = m.spawn("t").expect("spawn");
         m.mmap(
             pid,
             Vma::file(VirtAddr(0x2000_0000), 4, Protection::rw(), 9, 0),
@@ -904,7 +1131,7 @@ mod tests {
     #[test]
     fn trapped_pte_faults_on_read_and_write() {
         let mut m = machine();
-        let pid = m.spawn("t");
+        let pid = m.spawn("t").expect("spawn");
         anon_vma(&mut m, pid, 0x10000, 1);
         let va = VirtAddr(0x10000);
         let f = m.read(pid, va).expect_err("fault");
@@ -915,7 +1142,8 @@ mod tests {
             pid,
             va,
             leaf.pte.set(PteFlags::RESERVED | PteFlags::NO_CACHE),
-        );
+        )
+        .expect("set leaf");
         let rf = m.read(pid, va).expect_err("trapped");
         assert_eq!(rf.reason, FaultReason::Trapped);
         let wf = m.write(pid, va, 1).expect_err("trapped");
@@ -931,14 +1159,15 @@ mod tests {
         // Setting the reserved bit must take effect immediately: set_leaf
         // shoots down the TLB entry.
         let mut m = machine();
-        let pid = m.spawn("t");
+        let pid = m.spawn("t").expect("spawn");
         anon_vma(&mut m, pid, 0x10000, 1);
         let va = VirtAddr(0x10000);
         let f = m.read(pid, va).expect_err("fault");
         m.default_fault(&f);
         m.read(pid, va).expect("fills TLB");
         let leaf = m.leaf(pid, va).expect("leaf");
-        m.set_leaf(pid, va, leaf.pte.set(PteFlags::RESERVED));
+        m.set_leaf(pid, va, leaf.pte.set(PteFlags::RESERVED))
+            .expect("set leaf");
         assert!(
             m.read(pid, va).is_err(),
             "stale TLB entry would be a security hole"
@@ -948,7 +1177,7 @@ mod tests {
     #[test]
     fn timing_separates_fault_from_plain_access() {
         let mut m = machine();
-        let pid = m.spawn("t");
+        let pid = m.spawn("t").expect("spawn");
         anon_vma(&mut m, pid, 0x10000, 2);
         // Fault-in page 0.
         let f = m.read(pid, VirtAddr(0x10000)).expect_err("fault");
@@ -973,7 +1202,7 @@ mod tests {
     #[test]
     fn thp_demand_fault_maps_huge() {
         let mut m = Machine::new(MachineConfig::test_small().with_thp());
-        let pid = m.spawn("t");
+        let pid = m.spawn("t").expect("spawn");
         // A VMA covering two full huge ranges, 2 MiB aligned.
         m.mmap(
             pid,
@@ -995,7 +1224,7 @@ mod tests {
     #[test]
     fn prefetch_fills_cache_unless_pcd() {
         let mut m = machine();
-        let pid = m.spawn("t");
+        let pid = m.spawn("t").expect("spawn");
         anon_vma(&mut m, pid, 0x10000, 1);
         let va = VirtAddr(0x10000);
         let f = m.read(pid, va).expect_err("fault");
@@ -1014,7 +1243,8 @@ mod tests {
             pid,
             va,
             leaf.pte.set(PteFlags::RESERVED | PteFlags::NO_CACHE),
-        );
+        )
+        .expect("set leaf");
         m.prefetch(pid, va);
         assert!(!m.llc().contains(pa), "PCD stops the prefetch side channel");
     }
@@ -1024,14 +1254,15 @@ mod tests {
         // The reason VUsion must set PCD: a reserved-bit trap alone does
         // not stop prefetch.
         let mut m = machine();
-        let pid = m.spawn("t");
+        let pid = m.spawn("t").expect("spawn");
         anon_vma(&mut m, pid, 0x10000, 1);
         let va = VirtAddr(0x10000);
         let f = m.read(pid, va).expect_err("fault");
         m.default_fault(&f);
         let pa = m.translate_quiet(pid, va).expect("mapped");
         let leaf = m.leaf(pid, va).expect("leaf");
-        m.set_leaf(pid, va, leaf.pte.set(PteFlags::RESERVED)); // No PCD!
+        m.set_leaf(pid, va, leaf.pte.set(PteFlags::RESERVED))
+            .expect("set leaf"); // No PCD!
         m.clflush(pid, va);
         m.prefetch(pid, va);
         assert!(
@@ -1043,7 +1274,7 @@ mod tests {
     #[test]
     fn hammer_applies_reproducible_flips() {
         let mut m = machine();
-        let pid = m.spawn("t");
+        let pid = m.spawn("t").expect("spawn");
         anon_vma(&mut m, pid, 0x10000, 64);
         // Map the first 64 pages.
         for i in 0..64u64 {
@@ -1064,16 +1295,16 @@ mod tests {
     #[test]
     fn put_frame_frees_at_zero() {
         let mut m = machine();
-        let f = m.alloc_frame(PageType::Anon);
+        let f = m.alloc_frame(PageType::Anon).expect("frame");
         m.mem_mut().info_mut(f).get();
-        assert!(!m.put_frame(f), "still referenced");
-        assert!(m.put_frame(f), "last reference frees");
+        assert!(!m.put_frame(f).expect("put"), "still referenced");
+        assert!(m.put_frame(f).expect("put"), "last reference frees");
     }
 
     #[test]
     fn tlb_hit_skips_walk_cost() {
         let mut m = machine();
-        let pid = m.spawn("t");
+        let pid = m.spawn("t").expect("spawn");
         anon_vma(&mut m, pid, 0x10000, 1);
         let va = VirtAddr(0x10000);
         let f = m.read(pid, va).expect_err("fault");

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use vusion_mem::{FrameId, PhysAddr, PhysMemory, VirtAddr, PAGE_SIZE};
+use vusion_mem::{FrameId, MmError, PhysAddr, PhysMemory, VirtAddr, PAGE_SIZE};
 use vusion_mmu::{AddressSpace, Tlb};
 
 /// A simulated process.
@@ -59,21 +59,23 @@ impl Process {
     }
 
     /// Loads a file page into the page cache, materializing content on
-    /// first use. Returns the backing frame.
+    /// first use. Returns the backing frame, or the allocator's error when
+    /// the frame for a cold page cannot be allocated (the cache is left
+    /// unchanged, so a retry after reclaim can succeed).
     pub fn page_cache_load(
         &mut self,
         mem: &mut PhysMemory,
         file_id: u64,
         offset_pages: u64,
-        alloc_frame: impl FnOnce(&mut PhysMemory) -> FrameId,
-    ) -> FrameId {
+        alloc_frame: impl FnOnce(&mut PhysMemory) -> Result<FrameId, MmError>,
+    ) -> Result<FrameId, MmError> {
         if let Some(&f) = self.page_cache.get(&(file_id, offset_pages)) {
-            return f;
+            return Ok(f);
         }
-        let f = alloc_frame(mem);
+        let f = alloc_frame(mem)?;
         mem.write_page(f, &Self::file_page_content(file_id, offset_pages));
         self.page_cache.insert((file_id, offset_pages), f);
-        f
+        Ok(f)
     }
 
     /// Evicts a page-cache entry that fusion replaced (the engine now owns
@@ -104,7 +106,7 @@ mod tests {
     fn setup() -> (PhysMemory, BuddyAllocator, Process) {
         let mut mem = PhysMemory::new(1024);
         let mut alloc = BuddyAllocator::new(FrameId(0), 1024);
-        let space = AddressSpace::new(&mut mem, &mut alloc);
+        let space = AddressSpace::new(&mut mem, &mut alloc).expect("address space");
         (mem, alloc, Process::new("p0", space))
     }
 
@@ -127,10 +129,14 @@ mod tests {
             let f = alloc.alloc().expect("frame");
             mem.info_mut(f).on_alloc(PageType::PageCache);
             *n += 1;
-            f
+            Ok(f)
         };
-        let f1 = p.page_cache_load(&mut mem, 7, 3, |m| do_alloc(m, &mut alloc, &mut allocs));
-        let f2 = p.page_cache_load(&mut mem, 7, 3, |_| panic!("must not reallocate"));
+        let f1 = p
+            .page_cache_load(&mut mem, 7, 3, |m| do_alloc(m, &mut alloc, &mut allocs))
+            .expect("load");
+        let f2 = p
+            .page_cache_load(&mut mem, 7, 3, |_| panic!("must not reallocate"))
+            .expect("load");
         assert_eq!(f1, f2);
         assert_eq!(allocs, 1);
         // Content matches the deterministic generator.
@@ -140,15 +146,19 @@ mod tests {
     #[test]
     fn same_file_same_content_across_processes() {
         let (mut mem, mut alloc, mut p1) = setup();
-        let space2 = AddressSpace::new(&mut mem, &mut alloc);
+        let space2 = AddressSpace::new(&mut mem, &mut alloc).expect("address space");
         let mut p2 = Process::new("p1", space2);
         let mk = |mem: &mut PhysMemory, alloc: &mut BuddyAllocator| {
             let f = alloc.alloc().expect("frame");
             mem.info_mut(f).on_alloc(PageType::PageCache);
-            f
+            Ok(f)
         };
-        let f1 = p1.page_cache_load(&mut mem, 42, 0, |m| mk(m, &mut alloc));
-        let f2 = p2.page_cache_load(&mut mem, 42, 0, |m| mk(m, &mut alloc));
+        let f1 = p1
+            .page_cache_load(&mut mem, 42, 0, |m| mk(m, &mut alloc))
+            .expect("load");
+        let f2 = p2
+            .page_cache_load(&mut mem, 42, 0, |m| mk(m, &mut alloc))
+            .expect("load");
         assert_ne!(f1, f2, "separate frames");
         assert!(
             mem.pages_equal(f1, f2),
@@ -159,11 +169,13 @@ mod tests {
     #[test]
     fn evict_removes_entry() {
         let (mut mem, mut alloc, mut p) = setup();
-        let f = p.page_cache_load(&mut mem, 1, 1, |m| {
-            let f = alloc.alloc().expect("frame");
-            m.info_mut(f).on_alloc(PageType::PageCache);
-            f
-        });
+        let f = p
+            .page_cache_load(&mut mem, 1, 1, |m| {
+                let f = alloc.alloc().expect("frame");
+                m.info_mut(f).on_alloc(PageType::PageCache);
+                Ok(f)
+            })
+            .expect("load");
         assert_eq!(p.page_cache_evict(1, 1), Some(f));
         assert_eq!(p.page_cache_evict(1, 1), None);
     }
@@ -175,13 +187,16 @@ mod tests {
         mem.info_mut(f).on_alloc(PageType::Anon);
         p.space
             .add_vma(Vma::anon(VirtAddr(0x1000), 1, Protection::rw()));
-        p.space.tables_mut().map_page(
-            &mut mem,
-            &mut alloc,
-            VirtAddr(0x1000),
-            f,
-            vusion_mmu::PteFlags::PRESENT,
-        );
+        p.space
+            .tables_mut()
+            .map_page(
+                &mut mem,
+                &mut alloc,
+                VirtAddr(0x1000),
+                f,
+                vusion_mmu::PteFlags::PRESENT,
+            )
+            .expect("map");
         assert_eq!(
             p.translate_quiet(&mem, VirtAddr(0x1234)),
             Some(f.addr(0x234))

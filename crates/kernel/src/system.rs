@@ -5,7 +5,7 @@
 //! the background scanner and `khugepaged` against simulated time, mirroring
 //! how `ksmd` wakes every `T` ms on a spare core.
 
-use vusion_mem::{VirtAddr, PAGE_SIZE};
+use vusion_mem::{MmError, VirtAddr, PAGE_SIZE};
 
 use crate::khugepaged::Khugepaged;
 use crate::machine::{Machine, PageFault, Pid};
@@ -20,6 +20,10 @@ pub struct SystemStats {
     pub kernel_faults: u64,
     /// Scanner wakeups executed.
     pub scan_wakeups: u64,
+    /// Accesses that no handler could resolve (the simulated SIGSEGVs).
+    pub unresolved_faults: u64,
+    /// Accesses abandoned after the retry budget (fault livelocks).
+    pub fault_livelocks: u64,
 }
 
 /// A machine paired with a fusion policy and optional khugepaged.
@@ -86,46 +90,66 @@ impl<P: FusionPolicy> System<P> {
     }
 
     /// Resolves one fault: charges the fault entry, then policy → kernel.
-    ///
-    /// # Panics
-    ///
-    /// Panics on faults nobody can resolve (a real kernel would SIGSEGV).
-    fn resolve(&mut self, fault: PageFault) {
+    /// Reports [`MmError::UnresolvableFault`] when no handler takes it —
+    /// the simulated equivalent of delivering SIGSEGV.
+    fn resolve(&mut self, fault: PageFault) -> Result<(), MmError> {
         let base = self.machine.costs().fault_base;
         self.machine.charge(base);
         if self.policy.handle_fault(&mut self.machine, &fault) {
             self.stats.policy_faults += 1;
-            return;
+            return Ok(());
         }
         if self.machine.default_fault(&fault) {
             self.stats.kernel_faults += 1;
-            return;
+            return Ok(());
         }
-        panic!("SIGSEGV: unresolvable fault {fault:?}");
+        self.stats.unresolved_faults += 1;
+        Err(MmError::UnresolvableFault(fault.va))
     }
 
-    /// Timed read of one byte (retries through faults).
-    pub fn read(&mut self, pid: Pid, va: VirtAddr) -> u8 {
+    /// Timed read of one byte, retrying through faults. Reports
+    /// [`MmError::UnresolvableFault`] (SIGSEGV) or
+    /// [`MmError::FaultLivelock`] when the retry budget is exhausted.
+    pub fn try_read(&mut self, pid: Pid, va: VirtAddr) -> Result<u8, MmError> {
         self.background();
         for _ in 0..8 {
             match self.machine.read(pid, va) {
-                Ok(v) => return v,
-                Err(f) => self.resolve(f),
+                Ok(v) => return Ok(v),
+                Err(f) => self.resolve(f)?,
             }
         }
-        panic!("fault livelock at {va:?}");
+        self.stats.fault_livelocks += 1;
+        Err(MmError::FaultLivelock(va))
     }
 
-    /// Timed write of one byte (retries through faults).
-    pub fn write(&mut self, pid: Pid, va: VirtAddr, value: u8) {
+    /// Timed write of one byte, retrying through faults; errors as
+    /// [`Self::try_read`].
+    pub fn try_write(&mut self, pid: Pid, va: VirtAddr, value: u8) -> Result<(), MmError> {
         self.background();
         for _ in 0..8 {
             match self.machine.write(pid, va, value) {
-                Ok(()) => return,
-                Err(f) => self.resolve(f),
+                Ok(()) => return Ok(()),
+                Err(f) => self.resolve(f)?,
             }
         }
-        panic!("fault livelock at {va:?}");
+        self.stats.fault_livelocks += 1;
+        Err(MmError::FaultLivelock(va))
+    }
+
+    /// Timed read of one byte (retries through faults). The
+    /// workload-facing convenience wrapper: an unresolvable access reads
+    /// as 0 and is counted in [`SystemStats`]; callers that must observe
+    /// the failure use [`Self::try_read`].
+    pub fn read(&mut self, pid: Pid, va: VirtAddr) -> u8 {
+        self.try_read(pid, va).unwrap_or(0)
+    }
+
+    /// Timed write of one byte (retries through faults). The
+    /// workload-facing convenience wrapper: an unresolvable store is
+    /// dropped and counted in [`SystemStats`]; callers that must observe
+    /// the failure use [`Self::try_write`].
+    pub fn write(&mut self, pid: Pid, va: VirtAddr, value: u8) {
+        let _ = self.try_write(pid, va, value);
     }
 
     /// Prefetch (never faults).
@@ -142,11 +166,12 @@ impl<P: FusionPolicy> System<P> {
         for line in 1..(PAGE_SIZE / 64) {
             self.read(pid, VirtAddr(base.0 + line * 64));
         }
-        let pa = self
-            .machine
-            .translate_quiet(pid, base)
-            .expect("just accessed");
-        *self.machine.mem().page(pa.frame())
+        match self.machine.translate_quiet(pid, base) {
+            Some(pa) => *self.machine.mem().page(pa.frame()),
+            // The page never got mapped (OOM during demand paging): the
+            // failed reads above observed zeroes; report the same.
+            None => [0; PAGE_SIZE as usize],
+        }
     }
 
     /// Writes a whole page: a faulting first store (which performs any
@@ -162,11 +187,11 @@ impl<P: FusionPolicy> System<P> {
                 content[(line * 64) as usize],
             );
         }
-        let pa = self
-            .machine
-            .translate_quiet(pid, base)
-            .expect("just accessed");
-        self.machine.mem_mut().write_page(pa.frame(), content);
+        if let Some(pa) = self.machine.translate_quiet(pid, base) {
+            self.machine.mem_mut().write_page(pa.frame(), content);
+        }
+        // Else: the page never got mapped (OOM during demand paging); the
+        // store is dropped like the byte-wise writes above.
     }
 
     /// Lets simulated time pass, running background daemons on schedule.
@@ -206,7 +231,7 @@ mod tests {
 
     fn system() -> (System<NoFusion>, Pid) {
         let mut m = Machine::new(MachineConfig::test_small());
-        let pid = m.spawn("t");
+        let pid = m.spawn("t").expect("spawn");
         m.mmap(pid, Vma::anon(VirtAddr(0x10000), 64, Protection::rw()));
         (System::new(m, NoFusion), pid)
     }
@@ -261,9 +286,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "SIGSEGV")]
     fn unmapped_access_is_fatal() {
+        // The simulated SIGSEGV: a typed error whose display names it.
         let (mut s, pid) = system();
-        s.read(pid, VirtAddr(0x0dea_dbee_f000));
+        let va = VirtAddr(0x0dea_dbee_f000);
+        let err = s.try_read(pid, va).expect_err("must not resolve");
+        assert!(err.to_string().contains("SIGSEGV"), "{err}");
+    }
+
+    #[test]
+    fn unmapped_access_is_a_typed_error() {
+        let (mut s, pid) = system();
+        let va = VirtAddr(0x0dea_dbee_f000);
+        assert_eq!(s.try_read(pid, va), Err(MmError::UnresolvableFault(va)));
+        assert_eq!(s.stats().unresolved_faults, 1);
+        // The system survives: mapped memory still works afterwards.
+        s.write(pid, VirtAddr(0x10000), 3);
+        assert_eq!(s.read(pid, VirtAddr(0x10000)), 3);
     }
 }

@@ -1,121 +1,137 @@
-//! Property tests for the machine: demand paging, CoW isolation, timing
-//! monotonicity.
+//! Property-style tests for the machine: demand paging, CoW isolation,
+//! timing monotonicity. Driven by the in-repo seeded PRNG: each test
+//! sweeps many seeds so failures reproduce exactly by seed.
 
-use proptest::prelude::*;
+// Tests assert setup preconditions with expect("why"); the crate-level
+// expect_used deny targets simulation code, not its test harness.
+#![allow(clippy::expect_used)]
+
 use vusion_kernel::{Machine, MachineConfig};
 use vusion_mem::{VirtAddr, PAGE_SIZE};
 use vusion_mmu::{Protection, Vma};
+use vusion_rng::rngs::StdRng;
+use vusion_rng::{RngExt, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+const SEEDS: u64 = 32;
 
-    /// Demand paging + reads/writes behave like a flat byte store.
-    #[test]
-    fn machine_is_a_byte_store(ops in proptest::collection::vec((0u64..16, 0u64..PAGE_SIZE, any::<u8>()), 1..120)) {
+fn read(m: &mut Machine, pid: vusion_kernel::Pid, va: VirtAddr) -> u8 {
+    loop {
+        match m.read(pid, va) {
+            Ok(b) => break b,
+            Err(f) => assert!(m.default_fault(&f), "unresolvable fault at {va:?}"),
+        }
+    }
+}
+
+fn write(m: &mut Machine, pid: vusion_kernel::Pid, va: VirtAddr, v: u8) {
+    loop {
+        match m.write(pid, va, v) {
+            Ok(()) => break,
+            Err(f) => assert!(m.default_fault(&f), "unresolvable fault at {va:?}"),
+        }
+    }
+}
+
+/// Demand paging + reads/writes behave like a flat byte store.
+#[test]
+fn machine_is_a_byte_store() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb17e);
         let mut m = Machine::new(MachineConfig::test_small());
-        let pid = m.spawn("p");
+        let pid = m.spawn("p").expect("spawn");
         m.mmap(pid, Vma::anon(VirtAddr(0x10000), 16, Protection::rw()));
         let mut model = std::collections::HashMap::new();
-        for (pg, off, v) in ops {
-            let va = VirtAddr(0x10000 + pg * PAGE_SIZE + off);
-            loop {
-                match m.write(pid, va, v) {
-                    Ok(()) => break,
-                    Err(f) => prop_assert!(m.default_fault(&f)),
-                }
-            }
+        let n = rng.random_range(1..120usize);
+        for _ in 0..n {
+            let pg = rng.random_range(0..16u64);
+            let off = rng.random_range(0..PAGE_SIZE);
+            let v = rng.random_range(0..=u8::MAX as u64) as u8;
+            write(&mut m, pid, VirtAddr(0x10000 + pg * PAGE_SIZE + off), v);
             model.insert((pg, off), v);
         }
         for ((pg, off), v) in model {
             let va = VirtAddr(0x10000 + pg * PAGE_SIZE + off);
-            let got = loop {
-                match m.read(pid, va) {
-                    Ok(b) => break b,
-                    Err(f) => prop_assert!(m.default_fault(&f)),
-                }
-            };
-            prop_assert_eq!(got, v);
+            assert_eq!(read(&mut m, pid, va), v, "seed {seed}");
         }
     }
+}
 
-    /// Two processes never observe each other's anonymous writes.
-    #[test]
-    fn process_isolation(writes in proptest::collection::vec((0usize..2, 0u64..8, any::<u8>()), 1..60)) {
+/// Two processes never observe each other's anonymous writes.
+#[test]
+fn process_isolation() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x150a);
         let mut m = Machine::new(MachineConfig::test_small());
-        let pids = [m.spawn("a"), m.spawn("b")];
+        let pids = [m.spawn("a").expect("spawn"), m.spawn("b").expect("spawn")];
         for &pid in &pids {
             m.mmap(pid, Vma::anon(VirtAddr(0x10000), 8, Protection::rw()));
         }
         let mut model = std::collections::HashMap::new();
-        for (p, pg, v) in writes {
-            let va = VirtAddr(0x10000 + pg * PAGE_SIZE);
-            loop {
-                match m.write(pids[p], va, v) {
-                    Ok(()) => break,
-                    Err(f) => prop_assert!(m.default_fault(&f)),
-                }
-            }
+        let n = rng.random_range(1..60usize);
+        for _ in 0..n {
+            let p = rng.random_range(0..2usize);
+            let pg = rng.random_range(0..8u64);
+            let v = rng.random_range(0..=u8::MAX as u64) as u8;
+            write(&mut m, pids[p], VirtAddr(0x10000 + pg * PAGE_SIZE), v);
             model.insert((p, pg), v);
         }
         for ((p, pg), v) in model {
             let va = VirtAddr(0x10000 + pg * PAGE_SIZE);
-            let got = loop {
-                match m.read(pids[p], va) {
-                    Ok(b) => break b,
-                    Err(f) => prop_assert!(m.default_fault(&f)),
-                }
-            };
-            prop_assert_eq!(got, v, "process {} page {} corrupted", p, pg);
+            assert_eq!(
+                read(&mut m, pids[p], va),
+                v,
+                "seed {seed}: process {p} page {pg} corrupted"
+            );
         }
     }
+}
 
-    /// The clock is monotone and every completed access advances it.
-    #[test]
-    fn clock_monotone(accesses in proptest::collection::vec(0u64..4, 1..80)) {
+/// The clock is monotone and every completed access advances it.
+#[test]
+fn clock_monotone() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc10c);
         let mut m = Machine::new(MachineConfig::test_small());
-        let pid = m.spawn("p");
+        let pid = m.spawn("p").expect("spawn");
         m.mmap(pid, Vma::anon(VirtAddr(0x10000), 4, Protection::rw()));
         let mut last = m.now_ns();
-        for pg in accesses {
-            let va = VirtAddr(0x10000 + pg * PAGE_SIZE);
-            loop {
-                match m.read(pid, va) {
-                    Ok(_) => break,
-                    Err(f) => prop_assert!(m.default_fault(&f)),
-                }
-            }
+        let n = rng.random_range(1..80usize);
+        for _ in 0..n {
+            let pg = rng.random_range(0..4u64);
+            read(&mut m, pid, VirtAddr(0x10000 + pg * PAGE_SIZE));
             let now = m.now_ns();
-            prop_assert!(now > last, "access did not advance the clock");
+            assert!(now > last, "seed {seed}: access did not advance the clock");
             last = now;
         }
     }
+}
 
-    /// File-backed mappings share content within a process and CoW on
-    /// write without disturbing the cache copy.
-    #[test]
-    fn file_cow_isolation(off in 0u64..PAGE_SIZE, v in 1u8..255) {
+/// File-backed mappings share content within a process and CoW on
+/// write without disturbing the cache copy.
+#[test]
+fn file_cow_isolation() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xf11e);
+        let off = rng.random_range(0..PAGE_SIZE);
+        let v = rng.random_range(1..255u64) as u8;
         let mut m = Machine::new(MachineConfig::test_small());
-        let pid = m.spawn("p");
+        let pid = m.spawn("p").expect("spawn");
         // Two mappings of the same file page.
         m.mmap(pid, Vma::file(VirtAddr(0x10000), 1, Protection::rw(), 7, 0));
         m.mmap(pid, Vma::file(VirtAddr(0x20000), 1, Protection::rw(), 7, 0));
-        let read = |m: &mut Machine, va: VirtAddr| loop {
-            match m.read(pid, va) {
-                Ok(b) => break b,
-                Err(f) => assert!(m.default_fault(&f)),
-            }
-        };
-        let before_a = read(&mut m, VirtAddr(0x10000 + off));
-        let before_b = read(&mut m, VirtAddr(0x20000 + off));
-        prop_assert_eq!(before_a, before_b, "same file page must read identically");
+        let before_a = read(&mut m, pid, VirtAddr(0x10000 + off));
+        let before_b = read(&mut m, pid, VirtAddr(0x20000 + off));
+        assert_eq!(
+            before_a, before_b,
+            "seed {seed}: same file page must read identically"
+        );
         // Write through the first mapping: CoW.
-        loop {
-            match m.write(pid, VirtAddr(0x10000 + off), v) {
-                Ok(()) => break,
-                Err(f) => prop_assert!(m.default_fault(&f)),
-            }
-        }
-        prop_assert_eq!(read(&mut m, VirtAddr(0x10000 + off)), v);
-        prop_assert_eq!(read(&mut m, VirtAddr(0x20000 + off)), before_b, "cache copy must survive");
+        write(&mut m, pid, VirtAddr(0x10000 + off), v);
+        assert_eq!(read(&mut m, pid, VirtAddr(0x10000 + off)), v, "seed {seed}");
+        assert_eq!(
+            read(&mut m, pid, VirtAddr(0x20000 + off)),
+            before_b,
+            "seed {seed}: cache copy must survive"
+        );
     }
 }

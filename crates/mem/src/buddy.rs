@@ -12,10 +12,16 @@
 //!   [`crate::RandomPool`] instead (§6.2: randomizing the system-wide
 //!   allocator "has non-trivial performance and usability implications", so
 //!   RA is enforced at the fusion system).
+//!
+//! Exhaustion and misuse are reported as [`MmError`], never as panics: the
+//! chaos suite drives this allocator straight into OOM (optionally via an
+//! attached [`FaultInjector`]) and the engines must degrade gracefully.
 
 use std::collections::{BTreeSet, HashMap};
 
 use crate::addr::FrameId;
+use crate::error::MmError;
+use crate::fault::{FaultInjector, InjectionStats};
 use crate::FrameAllocator;
 
 /// Largest supported order: blocks of `2^10 = 1024` frames (4 MiB).
@@ -47,6 +53,8 @@ pub struct BuddyAllocator {
     allocated: HashMap<u64, u8>,
     free_frames: u64,
     stats: BuddyStats,
+    /// Optional deterministic failure source (chaos runs).
+    injector: Option<FaultInjector>,
 }
 
 impl BuddyAllocator {
@@ -57,7 +65,8 @@ impl BuddyAllocator {
     ///
     /// # Panics
     ///
-    /// Panics if `frames == 0`.
+    /// Panics if `frames == 0` (a configuration error, not a runtime
+    /// condition).
     pub fn new(base: FrameId, frames: u64) -> Self {
         assert!(frames > 0, "buddy region must be non-empty");
         let mut a = Self {
@@ -68,6 +77,7 @@ impl BuddyAllocator {
             allocated: HashMap::new(),
             free_frames: frames,
             stats: BuddyStats::default(),
+            injector: None,
         };
         // Carve the region into maximal aligned blocks, from high addresses
         // down, so the LIFO stack pops low addresses first.
@@ -107,6 +117,21 @@ impl BuddyAllocator {
         self.stats
     }
 
+    /// Attaches a deterministic fault injector: every subsequent
+    /// allocation consults it and may fail with
+    /// [`MmError::OutOfFrames`] even while frames remain.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Counters of faults injected into this allocator so far.
+    pub fn injection_stats(&self) -> InjectionStats {
+        self.injector
+            .as_ref()
+            .map(FaultInjector::stats)
+            .unwrap_or_default()
+    }
+
     fn push_free(&mut self, rel: u64, order: u8) {
         self.free_sets[usize::from(order)].insert(rel);
         self.free_stacks[usize::from(order)].push(rel);
@@ -124,13 +149,27 @@ impl BuddyAllocator {
         None
     }
 
+    fn check_managed(&self, frame: FrameId) -> Result<(), MmError> {
+        if frame.0 >= self.base && frame.0 < self.base + self.frames {
+            Ok(())
+        } else {
+            Err(MmError::ForeignFrame(frame))
+        }
+    }
+
     /// Allocates a block of `2^order` frames; returns its first frame.
     ///
-    /// # Panics
-    ///
-    /// Panics if `order > MAX_ORDER`.
-    pub fn alloc_order(&mut self, order: u8) -> Option<FrameId> {
-        assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
+    /// Fails with [`MmError::OutOfFrames`] on exhaustion (or injected
+    /// failure) and on `order > MAX_ORDER`.
+    pub fn alloc_order(&mut self, order: u8) -> Result<FrameId, MmError> {
+        if order > MAX_ORDER {
+            return Err(MmError::OutOfFrames);
+        }
+        if let Some(inj) = &mut self.injector {
+            if inj.should_fail_alloc() {
+                return Err(MmError::OutOfFrames);
+            }
+        }
         // Find the smallest order with a free block.
         let mut have = None;
         for o in order..=MAX_ORDER {
@@ -139,8 +178,8 @@ impl BuddyAllocator {
                 break;
             }
         }
-        let mut o = have?;
-        let rel = self.pop_free(o).expect("free set was non-empty");
+        let mut o = have.ok_or(MmError::OutOfFrames)?;
+        let rel = self.pop_free(o).ok_or(MmError::OutOfFrames)?;
         // Split down to the requested order, keeping the upper halves free.
         while o > order {
             o -= 1;
@@ -151,26 +190,30 @@ impl BuddyAllocator {
         self.allocated.insert(rel, order);
         self.free_frames -= 1 << order;
         self.stats.allocs += 1;
-        Some(FrameId(self.base + rel))
+        Ok(FrameId(self.base + rel))
     }
 
     /// Frees a block previously returned by [`Self::alloc_order`].
     ///
-    /// # Panics
-    ///
-    /// Panics on double free, on freeing an unmanaged frame, or if `order`
-    /// does not match the allocation.
-    pub fn free_order(&mut self, frame: FrameId, order: u8) {
-        assert!(
-            frame.0 >= self.base && frame.0 < self.base + self.frames,
-            "frame not managed by this allocator"
-        );
+    /// Reports (instead of aborting on) misuse: [`MmError::DoubleFree`],
+    /// [`MmError::ForeignFrame`], [`MmError::OrderMismatch`]. A failed
+    /// free leaves the allocator state unchanged.
+    pub fn free_order(&mut self, frame: FrameId, order: u8) -> Result<(), MmError> {
+        self.check_managed(frame)?;
         let mut rel = frame.0 - self.base;
         let recorded = self
             .allocated
             .remove(&rel)
-            .expect("double free or freeing unallocated block");
-        assert_eq!(recorded, order, "free order mismatch");
+            .ok_or(MmError::DoubleFree(frame))?;
+        if recorded != order {
+            // Restore the record: a rejected free must not alter state.
+            self.allocated.insert(rel, recorded);
+            return Err(MmError::OrderMismatch {
+                frame,
+                recorded,
+                claimed: order,
+            });
+        }
         self.free_frames += 1 << order;
         self.stats.frees += 1;
         // Coalesce with the buddy while it is free.
@@ -185,30 +228,32 @@ impl BuddyAllocator {
             o += 1;
         }
         self.push_free(rel, o);
+        Ok(())
     }
 
     /// Converts one recorded allocation of `2^order` frames into `2^order`
     /// independent order-0 allocations, so the frames can be freed
     /// individually. Used when a transparent huge page is broken up into
     /// base pages (KSM and VUsion both do this before fusing, §8.1).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `frame` is not an outstanding allocation of that order.
-    pub fn split_allocated(&mut self, frame: FrameId, order: u8) {
-        assert!(
-            frame.0 >= self.base && frame.0 < self.base + self.frames,
-            "frame not managed by this allocator"
-        );
+    pub fn split_allocated(&mut self, frame: FrameId, order: u8) -> Result<(), MmError> {
+        self.check_managed(frame)?;
         let rel = frame.0 - self.base;
         let recorded = self
             .allocated
             .remove(&rel)
-            .expect("splitting an unallocated block");
-        assert_eq!(recorded, order, "split order mismatch");
+            .ok_or(MmError::DoubleFree(frame))?;
+        if recorded != order {
+            self.allocated.insert(rel, recorded);
+            return Err(MmError::OrderMismatch {
+                frame,
+                recorded,
+                claimed: order,
+            });
+        }
         for i in 0..(1u64 << order) {
             self.allocated.insert(rel + i, 0);
         }
+        Ok(())
     }
 
     /// Whether a specific frame is currently inside any free block.
@@ -228,12 +273,12 @@ impl BuddyAllocator {
 }
 
 impl FrameAllocator for BuddyAllocator {
-    fn alloc(&mut self) -> Option<FrameId> {
+    fn alloc(&mut self) -> Result<FrameId, MmError> {
         self.alloc_order(0)
     }
 
-    fn free(&mut self, frame: FrameId) {
-        self.free_order(frame, 0);
+    fn free(&mut self, frame: FrameId) -> Result<(), MmError> {
+        self.free_order(frame, 0)
     }
 
     fn free_frames(&self) -> usize {
@@ -244,6 +289,7 @@ impl FrameAllocator for BuddyAllocator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     #[test]
     fn allocates_distinct_frames() {
@@ -253,7 +299,7 @@ mod tests {
             let f = b.alloc().expect("in range");
             assert!(seen.insert(f));
         }
-        assert_eq!(b.alloc(), None);
+        assert_eq!(b.alloc(), Err(MmError::OutOfFrames));
         assert_eq!(b.free_frames(), 0);
     }
 
@@ -264,7 +310,7 @@ mod tests {
         let mut b = BuddyAllocator::new(FrameId(0), 1024);
         let f = b.alloc().expect("frame");
         let _g = b.alloc().expect("frame");
-        b.free(f);
+        b.free(f).expect("free");
         let h = b.alloc().expect("frame");
         assert_eq!(f, h, "buddy must exhibit LIFO reuse");
     }
@@ -274,11 +320,11 @@ mod tests {
         let mut b = BuddyAllocator::new(FrameId(0), 1024);
         let frames: Vec<_> = (0..1024).map(|_| b.alloc().expect("frame")).collect();
         for f in frames {
-            b.free(f);
+            b.free(f).expect("free");
         }
         assert_eq!(b.free_frames(), 1024);
         // After everything is freed and coalesced we can allocate MAX_ORDER.
-        assert!(b.alloc_order(MAX_ORDER).is_some());
+        assert!(b.alloc_order(MAX_ORDER).is_ok());
     }
 
     #[test]
@@ -287,7 +333,7 @@ mod tests {
         let f = b.alloc_order(9).expect("huge block");
         assert_eq!(f.0 % 512, 0, "order-9 blocks are 2 MiB aligned");
         assert_eq!(b.free_frames(), 2048 - 512);
-        b.free_order(f, 9);
+        b.free_order(f, 9).expect("free");
         assert_eq!(b.free_frames(), 2048);
     }
 
@@ -295,7 +341,7 @@ mod tests {
     fn non_power_of_two_region() {
         let mut b = BuddyAllocator::new(FrameId(0), 1000);
         let mut n = 0;
-        while b.alloc().is_some() {
+        while b.alloc().is_ok() {
             n += 1;
         }
         assert_eq!(n, 1000);
@@ -314,7 +360,7 @@ mod tests {
         assert!(b.is_frame_free(FrameId(3)));
         let f = b.alloc().expect("frame");
         assert!(!b.is_frame_free(f));
-        b.free(f);
+        b.free(f).expect("free");
         assert!(b.is_frame_free(f));
         assert!(!b.is_frame_free(FrameId(99)));
     }
@@ -324,7 +370,7 @@ mod tests {
         let mut b = BuddyAllocator::new(FrameId(0), 1024);
         let f = b.alloc().expect("frame");
         assert_eq!(b.stats().splits, u64::from(MAX_ORDER));
-        b.free(f);
+        b.free(f).expect("free");
         assert_eq!(b.stats().merges, u64::from(MAX_ORDER));
     }
 
@@ -332,44 +378,84 @@ mod tests {
     fn split_allocated_allows_individual_frees() {
         let mut b = BuddyAllocator::new(FrameId(0), 2048);
         let huge = b.alloc_order(9).expect("huge block");
-        b.split_allocated(huge, 9);
+        b.split_allocated(huge, 9).expect("split");
         // Free every frame individually; coalescing restores the block.
         for i in 0..512u64 {
-            b.free(FrameId(huge.0 + i));
+            b.free(FrameId(huge.0 + i)).expect("free");
         }
         assert_eq!(b.free_frames(), 2048);
-        assert!(b.alloc_order(MAX_ORDER).is_some());
+        assert!(b.alloc_order(MAX_ORDER).is_ok());
     }
 
     #[test]
-    #[should_panic(expected = "split order mismatch")]
-    fn split_wrong_order_panics() {
+    fn split_wrong_order_is_reported() {
         let mut b = BuddyAllocator::new(FrameId(0), 2048);
         let huge = b.alloc_order(9).expect("huge block");
-        b.split_allocated(huge, 8);
+        assert_eq!(
+            b.split_allocated(huge, 8),
+            Err(MmError::OrderMismatch {
+                frame: huge,
+                recorded: 9,
+                claimed: 8
+            })
+        );
+        // The rejected split must not have consumed the record.
+        b.free_order(huge, 9).expect("block still freeable");
+        assert_eq!(b.free_frames(), 2048);
     }
 
     #[test]
-    #[should_panic(expected = "double free")]
-    fn double_free_panics() {
+    fn double_free_is_reported_not_fatal() {
+        // Regression test for the former double-free panic: the error is
+        // reported and the allocator stays fully usable.
         let mut b = BuddyAllocator::new(FrameId(0), 16);
         let f = b.alloc().expect("frame");
-        b.free(f);
-        b.free(f);
+        b.free(f).expect("first free");
+        assert_eq!(b.free(f), Err(MmError::DoubleFree(f)));
+        assert_eq!(b.free_frames(), 16, "double free must not corrupt counts");
+        // Allocator still works after the rejected free.
+        let g = b.alloc().expect("frame after double free");
+        b.free(g).expect("free");
     }
 
     #[test]
-    #[should_panic(expected = "order mismatch")]
-    fn wrong_order_free_panics() {
+    fn wrong_order_free_is_reported() {
         let mut b = BuddyAllocator::new(FrameId(0), 16);
         let f = b.alloc_order(1).expect("block");
-        b.free_order(f, 0);
+        assert_eq!(
+            b.free_order(f, 0),
+            Err(MmError::OrderMismatch {
+                frame: f,
+                recorded: 1,
+                claimed: 0
+            })
+        );
+        // The correct-order free still succeeds.
+        b.free_order(f, 1).expect("free at recorded order");
+        assert_eq!(b.free_frames(), 16);
     }
 
     #[test]
-    #[should_panic(expected = "not managed")]
-    fn foreign_frame_free_panics() {
+    fn foreign_frame_free_is_reported() {
         let mut b = BuddyAllocator::new(FrameId(0), 16);
-        b.free(FrameId(100));
+        assert_eq!(
+            b.free(FrameId(100)),
+            Err(MmError::ForeignFrame(FrameId(100)))
+        );
+        assert_eq!(b.free_frames(), 16);
+    }
+
+    #[test]
+    fn injected_failures_look_like_oom() {
+        let mut b = BuddyAllocator::new(FrameId(0), 64);
+        b.set_fault_injector(FaultInjector::new(FaultPlan::every_nth_alloc(3), 7));
+        let results: Vec<bool> = (0..9).map(|_| b.alloc().is_ok()).collect();
+        assert_eq!(
+            results,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
+        assert_eq!(b.injection_stats().injected_allocs, 3);
+        // Injected failures must not consume frames.
+        assert_eq!(b.free_frames(), 64 - 6);
     }
 }

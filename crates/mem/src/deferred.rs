@@ -59,15 +59,19 @@ impl DeferredFreeQueue {
     /// Drains up to `limit` operations, invoking `release` for each queued
     /// free. Returns the number of operations processed.
     pub fn drain(&mut self, limit: usize, mut release: impl FnMut(FrameId)) -> usize {
-        let n = limit.min(self.ops.len());
-        for _ in 0..n {
-            match self.ops.pop_front().expect("queue length checked") {
+        let mut n = 0;
+        while n < limit {
+            let Some(op) = self.ops.pop_front() else {
+                break;
+            };
+            match op {
                 DeferredOp::Free(f) => {
                     release(f);
                     self.processed_frees += 1;
                 }
                 DeferredOp::Dummy => self.processed_dummies += 1,
             }
+            n += 1;
         }
         n
     }

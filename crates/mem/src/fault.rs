@@ -1,0 +1,227 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes *which* faults to inject; a [`FaultInjector`]
+//! (plan + seeded RNG + counters) decides *when*. Everything is driven by
+//! the machine's master seed, so a chaos run is exactly reproducible: the
+//! same seed and plan produce the same injected failures at the same
+//! points, which is what lets `tests/chaos.rs` assert engine behavior
+//! under failure rather than merely observing crashes.
+//!
+//! Injected allocation failures are deliberately indistinguishable from
+//! genuine OOM ([`crate::MmError::OutOfFrames`]): the paper's Same
+//! Behavior principle demands that callers take the same degradation path
+//! either way, and the tests verify exactly that.
+
+use vusion_rng::rngs::StdRng;
+use vusion_rng::{RngExt, SeedableRng};
+
+/// Which faults to inject, and how often. The default plan injects
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Fail every Nth allocation (0 disables the counter-based injector).
+    pub alloc_every_nth: u64,
+    /// Fail each allocation independently with this probability.
+    pub alloc_fail_prob: f64,
+    /// Corrupt each scan-time checksum read with this probability
+    /// (modeling a guest racing the scanner mid-checksum).
+    pub checksum_corrupt_prob: f64,
+    /// Perturb each scan-time content comparison with this probability
+    /// (modeling a bit flip observed mid-scan).
+    pub scan_bitflip_prob: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+impl FaultPlan {
+    /// The no-injection plan.
+    pub const NONE: FaultPlan = FaultPlan {
+        alloc_every_nth: 0,
+        alloc_fail_prob: 0.0,
+        checksum_corrupt_prob: 0.0,
+        scan_bitflip_prob: 0.0,
+    };
+
+    /// Fail every `n`th allocation.
+    pub fn every_nth_alloc(n: u64) -> Self {
+        FaultPlan {
+            alloc_every_nth: n,
+            ..Self::NONE
+        }
+    }
+
+    /// Fail each allocation with probability `p`.
+    pub fn alloc_prob(p: f64) -> Self {
+        FaultPlan {
+            alloc_fail_prob: p,
+            ..Self::NONE
+        }
+    }
+
+    /// Whether this plan injects anything at all.
+    pub fn is_active(&self) -> bool {
+        self.alloc_every_nth > 0
+            || self.alloc_fail_prob > 0.0
+            || self.checksum_corrupt_prob > 0.0
+            || self.scan_bitflip_prob > 0.0
+    }
+}
+
+/// Counts of faults actually injected so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectionStats {
+    /// Allocations forced to fail.
+    pub injected_allocs: u64,
+    /// Checksum reads corrupted.
+    pub injected_checksums: u64,
+    /// Scan-time comparisons perturbed.
+    pub injected_bitflips: u64,
+}
+
+impl InjectionStats {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.injected_allocs + self.injected_checksums + self.injected_bitflips
+    }
+}
+
+/// A seeded fault source: deterministic for a given `(plan, seed)` pair.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    alloc_calls: u64,
+    stats: InjectionStats,
+}
+
+impl FaultInjector {
+    /// Creates an injector. Callers derive `seed` from the machine's
+    /// master seed (xor'ed with a per-site salt so the buddy injector and
+    /// the scan injector draw independent streams).
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        Self {
+            plan,
+            rng: StdRng::seed_from_u64(seed),
+            alloc_calls: 0,
+            stats: InjectionStats::default(),
+        }
+    }
+
+    /// The plan this injector follows.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Counters of injected faults.
+    pub fn stats(&self) -> InjectionStats {
+        self.stats
+    }
+
+    /// Decides whether the current allocation should fail.
+    pub fn should_fail_alloc(&mut self) -> bool {
+        if !self.plan.is_active() {
+            return false;
+        }
+        self.alloc_calls += 1;
+        let nth = self.plan.alloc_every_nth > 0
+            && self.alloc_calls.is_multiple_of(self.plan.alloc_every_nth);
+        let prob =
+            self.plan.alloc_fail_prob > 0.0 && self.rng.random_bool(self.plan.alloc_fail_prob);
+        if nth || prob {
+            self.stats.injected_allocs += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Possibly corrupts a checksum read during a scan. Returns the value
+    /// the scanner should see.
+    pub fn corrupt_checksum(&mut self, sum: u64) -> u64 {
+        if self.plan.checksum_corrupt_prob > 0.0
+            && self.rng.random_bool(self.plan.checksum_corrupt_prob)
+        {
+            self.stats.injected_checksums += 1;
+            // Flip one pseudo-random bit of the checksum.
+            sum ^ (1u64 << self.rng.random_range(0..64u64))
+        } else {
+            sum
+        }
+    }
+
+    /// Decides whether the scanner observes a transient bit flip on the
+    /// page it is currently examining (making its content comparison
+    /// unreliable this round).
+    pub fn scan_bitflip(&mut self) -> bool {
+        if self.plan.scan_bitflip_prob > 0.0 && self.rng.random_bool(self.plan.scan_bitflip_prob) {
+            self.stats.injected_bitflips += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_plan_injects_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::NONE, 1);
+        for _ in 0..1000 {
+            assert!(!inj.should_fail_alloc());
+            assert_eq!(inj.corrupt_checksum(42), 42);
+            assert!(!inj.scan_bitflip());
+        }
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn every_nth_is_exact() {
+        let mut inj = FaultInjector::new(FaultPlan::every_nth_alloc(5), 1);
+        let fails: Vec<bool> = (0..20).map(|_| inj.should_fail_alloc()).collect();
+        let expect: Vec<bool> = (1..=20).map(|i| i % 5 == 0).collect();
+        assert_eq!(fails, expect);
+        assert_eq!(inj.stats().injected_allocs, 4);
+    }
+
+    #[test]
+    fn probability_injection_is_deterministic_per_seed() {
+        let plan = FaultPlan::alloc_prob(0.3);
+        let mut a = FaultInjector::new(plan, 9);
+        let mut b = FaultInjector::new(plan, 9);
+        let fa: Vec<bool> = (0..200).map(|_| a.should_fail_alloc()).collect();
+        let fb: Vec<bool> = (0..200).map(|_| b.should_fail_alloc()).collect();
+        assert_eq!(fa, fb);
+        let hits = fa.iter().filter(|&&x| x).count();
+        assert!((30..90).contains(&hits), "p=0.3 injected {hits}/200");
+    }
+
+    #[test]
+    fn checksum_corruption_changes_value() {
+        let plan = FaultPlan {
+            checksum_corrupt_prob: 1.0,
+            ..FaultPlan::NONE
+        };
+        let mut inj = FaultInjector::new(plan, 3);
+        let corrupted = inj.corrupt_checksum(0xdead_beef);
+        assert_ne!(corrupted, 0xdead_beef);
+        assert_eq!(inj.stats().injected_checksums, 1);
+    }
+
+    #[test]
+    fn bitflip_counting() {
+        let plan = FaultPlan {
+            scan_bitflip_prob: 1.0,
+            ..FaultPlan::NONE
+        };
+        let mut inj = FaultInjector::new(plan, 3);
+        assert!(inj.scan_bitflip());
+        assert_eq!(inj.stats().injected_bitflips, 1);
+    }
+}

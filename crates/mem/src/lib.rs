@@ -24,6 +24,8 @@
 pub mod addr;
 pub mod buddy;
 pub mod deferred;
+pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod linear;
 pub mod phys;
@@ -32,6 +34,8 @@ pub mod random_pool;
 pub use addr::{FrameId, PhysAddr, VirtAddr, HUGE_PAGE_FRAMES, HUGE_PAGE_SIZE, PAGE_SIZE};
 pub use buddy::BuddyAllocator;
 pub use deferred::{DeferredFreeQueue, DeferredOp};
+pub use error::MmError;
+pub use fault::{FaultInjector, FaultPlan, InjectionStats};
 pub use frame::{FrameInfo, FrameState, PageType};
 pub use linear::LinearAllocator;
 pub use phys::{content_hash, PhysMemory};
@@ -40,16 +44,17 @@ pub use random_pool::RandomPool;
 /// A frame allocator: the interface fusion engines use to obtain backing
 /// frames. Implemented by [`BuddyAllocator`], [`LinearAllocator`] and
 /// [`RandomPool`].
+///
+/// All operations are fallible: exhaustion surfaces as
+/// [`MmError::OutOfFrames`] and misuse (double free, foreign frame) as the
+/// corresponding [`MmError`] variant, never as a panic — failure paths are
+/// load-bearing for the Same Behavior argument and are exercised directly
+/// by the chaos suite.
 pub trait FrameAllocator {
-    /// Allocates one 4 KiB frame, or `None` if memory is exhausted.
-    fn alloc(&mut self) -> Option<FrameId>;
+    /// Allocates one 4 KiB frame.
+    fn alloc(&mut self) -> Result<FrameId, MmError>;
     /// Returns one 4 KiB frame to the allocator.
-    ///
-    /// # Panics
-    ///
-    /// Implementations panic on double free or on freeing a frame they do
-    /// not manage.
-    fn free(&mut self, frame: FrameId);
+    fn free(&mut self, frame: FrameId) -> Result<(), MmError>;
     /// Number of frames currently available without stealing/refilling.
     fn free_frames(&self) -> usize;
 }

@@ -13,6 +13,7 @@
 use std::collections::BTreeSet;
 
 use crate::addr::FrameId;
+use crate::error::MmError;
 use crate::FrameAllocator;
 
 /// Linear allocator over `[base, base + frames)`, allocating from the top.
@@ -66,17 +67,23 @@ impl LinearAllocator {
 }
 
 impl FrameAllocator for LinearAllocator {
-    fn alloc(&mut self) -> Option<FrameId> {
-        self.reserve_batch(1, |_| false).into_iter().next()
+    fn alloc(&mut self) -> Result<FrameId, MmError> {
+        self.reserve_batch(1, |_| false)
+            .into_iter()
+            .next()
+            .ok_or(MmError::OutOfFrames)
     }
 
-    fn free(&mut self, frame: FrameId) {
-        assert!(
-            frame.0 >= self.base && frame.0 < self.base + self.frames,
-            "frame not managed by this allocator"
-        );
+    fn free(&mut self, frame: FrameId) -> Result<(), MmError> {
+        if frame.0 < self.base || frame.0 >= self.base + self.frames {
+            return Err(MmError::ForeignFrame(frame));
+        }
         let rel = frame.0 - self.base;
-        assert!(self.taken.remove(&rel), "double free in linear allocator");
+        if self.taken.remove(&rel) {
+            Ok(())
+        } else {
+            Err(MmError::DoubleFree(frame))
+        }
     }
 
     fn free_frames(&self) -> usize {
@@ -109,7 +116,7 @@ mod tests {
         let mut a = LinearAllocator::new(FrameId(0), 1000);
         let pass1 = a.reserve_batch(50, |_| false);
         for &f in &pass1 {
-            a.free(f);
+            a.free(f).expect("free");
         }
         let pass2 = a.reserve_batch(50, |_| false);
         assert_eq!(
@@ -132,7 +139,7 @@ mod tests {
         let mut a = LinearAllocator::new(FrameId(0), 5);
         let b = a.reserve_batch(10, |_| false);
         assert_eq!(b.len(), 5);
-        assert_eq!(a.alloc(), None);
+        assert_eq!(a.alloc(), Err(MmError::OutOfFrames));
         assert_eq!(a.free_frames(), 0);
     }
 
@@ -143,16 +150,20 @@ mod tests {
         let f = a.alloc().expect("frame");
         assert_eq!(f, FrameId(29));
         assert_eq!(a.free_frames(), 19);
-        a.free(f);
+        a.free(f).expect("free");
         assert_eq!(a.free_frames(), 20);
     }
 
     #[test]
-    #[should_panic(expected = "double free")]
-    fn double_free_panics() {
+    fn double_free_is_reported() {
         let mut a = LinearAllocator::new(FrameId(0), 5);
         let f = a.alloc().expect("frame");
-        a.free(f);
-        a.free(f);
+        a.free(f).expect("first free");
+        assert_eq!(a.free(f), Err(MmError::DoubleFree(f)));
+        assert_eq!(
+            a.free(FrameId(999)),
+            Err(MmError::ForeignFrame(FrameId(999)))
+        );
+        assert_eq!(a.free_frames(), 5);
     }
 }

@@ -100,7 +100,9 @@ impl PhysMemory {
             "u64 read crosses frame boundary"
         );
         let page = self.page(addr.frame());
-        u64::from_le_bytes(page[off..off + 8].try_into().expect("8-byte slice"))
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&page[off..off + 8]);
+        u64::from_le_bytes(bytes)
     }
 
     /// Writes a little-endian u64 (must not cross a frame boundary).

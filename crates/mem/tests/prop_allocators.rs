@@ -1,127 +1,233 @@
-//! Property-based tests for the allocator substrate.
+//! Property-style tests for the allocator substrate, driven by the in-repo
+//! seeded PRNG: each test sweeps many seeds and generates its inputs from
+//! the seed, so failures reproduce exactly by seed.
 
-use proptest::prelude::*;
+// Tests assert setup preconditions with expect("why"); the crate-level
+// expect_used deny targets simulation code, not its test harness.
+#![allow(clippy::expect_used)]
+
+use vusion_rng::rngs::StdRng;
+use vusion_rng::{RngExt, SeedableRng};
+
 use vusion_mem::{
     BuddyAllocator, FrameAllocator, FrameId, LinearAllocator, PhysMemory, RandomPool,
 };
 
-proptest! {
-    /// Any interleaving of allocs and frees never hands out a frame twice
-    /// and never loses frames: at the end, freeing everything restores the
-    /// full capacity.
-    #[test]
-    fn buddy_never_double_allocates(ops in proptest::collection::vec(0u8..4, 1..200)) {
+const SEEDS: u64 = 48;
+
+/// Any interleaving of allocs and frees never hands out a frame twice
+/// and never loses frames: at the end, freeing everything restores the
+/// full capacity.
+#[test]
+fn buddy_never_double_allocates() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_ops = rng.random_range(1..200usize);
         let mut b = BuddyAllocator::new(FrameId(0), 256);
         let mut live: Vec<FrameId> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match rng.random_range(0..4u8) {
                 0 | 1 => {
-                    if let Some(f) = b.alloc() {
-                        prop_assert!(seen.insert(f) || !live.contains(&f));
-                        prop_assert!(!live.contains(&f), "frame {f:?} double-allocated");
+                    if let Ok(f) = b.alloc() {
+                        assert!(
+                            !live.contains(&f),
+                            "seed {seed}: frame {f:?} double-allocated"
+                        );
                         live.push(f);
                     }
                 }
                 2 => {
                     if let Some(f) = live.pop() {
-                        b.free(f);
+                        b.free(f).expect("free of live frame");
                     }
                 }
                 _ => {
                     if !live.is_empty() {
                         let f = live.remove(0);
-                        b.free(f);
+                        b.free(f).expect("free of live frame");
                     }
                 }
             }
-            prop_assert_eq!(b.free_frames(), 256 - live.len());
+            assert_eq!(b.free_frames(), 256 - live.len(), "seed {seed}");
         }
         for f in live {
-            b.free(f);
+            b.free(f).expect("free of live frame");
         }
-        prop_assert_eq!(b.free_frames(), 256);
+        assert_eq!(b.free_frames(), 256, "seed {seed}");
     }
+}
 
-    /// Mixed-order allocations stay within the managed range and aligned.
-    #[test]
-    fn buddy_orders_are_aligned(orders in proptest::collection::vec(0u8..5, 1..40)) {
+/// Mixed-order allocations stay within the managed range and aligned.
+#[test]
+fn buddy_orders_are_aligned() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa11c);
+        let n = rng.random_range(1..40usize);
         let mut b = BuddyAllocator::new(FrameId(0), 1024);
         let mut live = Vec::new();
-        for o in orders {
-            if let Some(f) = b.alloc_order(o) {
-                prop_assert_eq!(f.0 % (1 << o), 0, "order-{} block misaligned", o);
-                prop_assert!(f.0 + (1 << o) <= 1024);
+        for _ in 0..n {
+            let o = rng.random_range(0..5u8);
+            if let Ok(f) = b.alloc_order(o) {
+                assert_eq!(f.0 % (1 << o), 0, "seed {seed}: order-{o} block misaligned");
+                assert!(f.0 + (1 << o) <= 1024, "seed {seed}");
                 live.push((f, o));
             }
         }
         for (f, o) in live {
-            b.free_order(f, o);
+            b.free_order(f, o).expect("free");
         }
-        prop_assert_eq!(b.free_frames(), 1024);
+        assert_eq!(b.free_frames(), 1024, "seed {seed}");
     }
+}
 
-    /// The linear allocator's reservations never overlap and never exceed
-    /// the managed range.
-    #[test]
-    fn linear_batches_disjoint(sizes in proptest::collection::vec(1usize..30, 1..10)) {
+/// The linear allocator's reservations never overlap and never exceed
+/// the managed range.
+#[test]
+fn linear_batches_disjoint() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x11ea);
+        let batches = rng.random_range(1..10usize);
         let mut a = LinearAllocator::new(FrameId(0), 128);
         let mut all = std::collections::HashSet::new();
-        for n in sizes {
+        for _ in 0..batches {
+            let n = rng.random_range(1..30usize);
             for f in a.reserve_batch(n, |_| false) {
-                prop_assert!(f.0 < 128);
-                prop_assert!(all.insert(f), "frame {f:?} reserved twice");
+                assert!(f.0 < 128, "seed {seed}");
+                assert!(all.insert(f), "seed {seed}: frame {f:?} reserved twice");
             }
         }
     }
+}
 
-    /// The random pool conserves frames: alloc/free sequences never lose or
-    /// duplicate a frame.
-    #[test]
-    fn random_pool_conserves_frames(seed in any::<u64>(), ops in proptest::collection::vec(any::<bool>(), 1..100)) {
+/// The random pool conserves frames: alloc/free sequences never lose or
+/// duplicate a frame.
+#[test]
+fn random_pool_conserves_frames() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9001);
+        let n_ops = rng.random_range(1..100usize);
         let mut b = BuddyAllocator::new(FrameId(0), 128);
         let mut p = RandomPool::new(32, &mut b, seed);
         let mut live = Vec::new();
-        for alloc in ops {
-            if alloc {
-                if let Some(f) = p.alloc_random(&mut b) {
-                    prop_assert!(!live.contains(&f), "pool duplicated {f:?}");
+        for _ in 0..n_ops {
+            if rng.random_range(0..2u8) == 0 {
+                if let Ok(f) = p.alloc_random(&mut b) {
+                    assert!(!live.contains(&f), "seed {seed}: pool duplicated {f:?}");
                     live.push(f);
                 }
             } else if let Some(f) = live.pop() {
-                p.free_random(f, &mut b);
+                p.free_random(f, &mut b).expect("free");
             }
         }
         // Total frames = backing free + pool resident + live must equal 128.
-        prop_assert_eq!(b.free_frames() + p.resident() + live.len(), 128);
+        assert_eq!(
+            b.free_frames() + p.resident() + live.len(),
+            128,
+            "seed {seed}"
+        );
     }
+}
 
-    /// Page content survives arbitrary byte writes (memory is sound).
-    #[test]
-    fn phys_memory_bytes_roundtrip(writes in proptest::collection::vec((0u64..8, 0u64..4096, any::<u8>()), 1..100)) {
+/// The RA exclusion guarantee survives injected backing failures: even
+/// while the backing allocator fails deterministically underneath it, the
+/// pool never hands back the caller-templated frame, and exhaustion is a
+/// clean typed error (never a panic, never a frame leak).
+#[test]
+fn random_pool_exclusion_under_injected_backing_failures() {
+    use vusion_mem::{FaultInjector, FaultPlan, MmError};
+    let plans = [
+        FaultPlan::every_nth_alloc(2),
+        FaultPlan::every_nth_alloc(3),
+        FaultPlan::every_nth_alloc(7),
+        FaultPlan::alloc_prob(0.5),
+        FaultPlan::alloc_prob(0.9),
+        FaultPlan::alloc_prob(1.0),
+    ];
+    for (pi, plan) in plans.into_iter().enumerate() {
+        for seed in 0..SEEDS {
+            let mut b = BuddyAllocator::new(FrameId(0), 64);
+            let mut p = RandomPool::new(16, &mut b, seed);
+            b.set_fault_injector(FaultInjector::new(plan, seed ^ 0xfa17));
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xdeed);
+            // The attacker-templated frame: drawn, then released.
+            let marked = p.alloc_random(&mut b).expect("pool is pre-filled");
+            p.free_random(marked, &mut b).expect("free");
+            let mut held: Vec<FrameId> = Vec::new();
+            for _ in 0..300 {
+                if rng.random_range(0..3u8) < 2 {
+                    match p.alloc_random_excluding(&mut b, Some(marked)) {
+                        Ok(f) => {
+                            assert_ne!(
+                                f, marked,
+                                "plan {pi} seed {seed}: templated frame reused under failure"
+                            );
+                            assert!(!held.contains(&f), "plan {pi} seed {seed}: duplicate");
+                            held.push(f);
+                        }
+                        Err(e) => assert_eq!(
+                            e,
+                            MmError::PoolExhausted,
+                            "plan {pi} seed {seed}: unexpected error"
+                        ),
+                    }
+                } else if let Some(f) = held.pop() {
+                    p.free_random(f, &mut b).expect("free");
+                }
+            }
+            // No frame leaked or duplicated across the whole run. The
+            // templated frame is still somewhere in the system.
+            assert_eq!(
+                b.free_frames() + p.resident() + held.len(),
+                64,
+                "plan {pi} seed {seed}: frames leaked"
+            );
+        }
+    }
+}
+
+/// Page content survives arbitrary byte writes (memory is sound).
+#[test]
+fn phys_memory_bytes_roundtrip() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb17e);
+        let writes = rng.random_range(1..100usize);
         let mut m = PhysMemory::new(8);
         let mut model = std::collections::HashMap::new();
-        for (frame, off, val) in writes {
+        for _ in 0..writes {
+            let frame = rng.random_range(0..8u64);
+            let off = rng.random_range(0..4096u64);
+            let val = rng.random_range(0..=255u64) as u8;
             let addr = FrameId(frame).addr(off);
             m.write_byte(addr, val);
             model.insert((frame, off), val);
         }
         for ((frame, off), val) in model {
-            prop_assert_eq!(m.read_byte(FrameId(frame).addr(off)), val);
+            assert_eq!(m.read_byte(FrameId(frame).addr(off)), val, "seed {seed}");
         }
     }
+}
 
-    /// `pages_equal` agrees with byte-wise comparison, including lazy zeros.
-    #[test]
-    fn pages_equal_matches_bytes(writes in proptest::collection::vec((0u64..2, 0u64..64, 0u8..3), 0..40)) {
+/// `pages_equal` agrees with byte-wise comparison, including lazy zeros.
+#[test]
+fn pages_equal_matches_bytes() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xe4a1);
+        let writes = rng.random_range(0..40usize);
         let mut m = PhysMemory::new(2);
-        for (frame, off, val) in writes {
+        for _ in 0..writes {
+            let frame = rng.random_range(0..2u64);
+            let off = rng.random_range(0..64u64);
+            let val = rng.random_range(0..3u8);
             m.write_byte(FrameId(frame).addr(off), val);
         }
         let eq = m.page(FrameId(0)).as_slice() == m.page(FrameId(1)).as_slice();
-        prop_assert_eq!(m.pages_equal(FrameId(0), FrameId(1)), eq);
+        assert_eq!(m.pages_equal(FrameId(0), FrameId(1)), eq, "seed {seed}");
         if eq {
-            prop_assert_eq!(m.hash_page(FrameId(0)), m.hash_page(FrameId(1)));
+            assert_eq!(
+                m.hash_page(FrameId(0)),
+                m.hash_page(FrameId(1)),
+                "seed {seed}"
+            );
         }
     }
 }

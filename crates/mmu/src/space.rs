@@ -1,6 +1,6 @@
 //! A per-process address space: VMA list plus page tables.
 
-use vusion_mem::{FrameAllocator, PhysMemory, VirtAddr};
+use vusion_mem::{FrameAllocator, MmError, PhysMemory, VirtAddr};
 
 use crate::tables::PageTables;
 use crate::vma::Vma;
@@ -12,12 +12,13 @@ pub struct AddressSpace {
 }
 
 impl AddressSpace {
-    /// Creates an empty address space (allocates the PML4).
-    pub fn new(mem: &mut PhysMemory, alloc: &mut dyn FrameAllocator) -> Self {
-        Self {
-            tables: PageTables::new(mem, alloc),
+    /// Creates an empty address space (allocates the PML4), or reports
+    /// [`MmError::OutOfFrames`].
+    pub fn new(mem: &mut PhysMemory, alloc: &mut dyn FrameAllocator) -> Result<Self, MmError> {
+        Ok(Self {
+            tables: PageTables::new(mem, alloc)?,
             vmas: Vec::new(),
-        }
+        })
     }
 
     /// The page tables.
@@ -89,7 +90,7 @@ mod tests {
     fn setup() -> (PhysMemory, BuddyAllocator, AddressSpace) {
         let mut mem = PhysMemory::new(1024);
         let mut alloc = BuddyAllocator::new(FrameId(0), 1024);
-        let sp = AddressSpace::new(&mut mem, &mut alloc);
+        let sp = AddressSpace::new(&mut mem, &mut alloc).expect("address space");
         (mem, alloc, sp)
     }
 

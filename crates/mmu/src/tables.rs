@@ -5,8 +5,14 @@
 //! every address a walk touched; the kernel routes them through the LLC,
 //! which is precisely what the AnC translation attack (§5.1) measures: a
 //! 2 MiB mapping touches three table levels, a 4 KiB mapping four.
+//!
+//! All mutating operations are fallible: table allocation propagates
+//! [`MmError::OutOfFrames`] from the frame allocator, and structurally
+//! invalid requests (remapping a mapped page, unmapping an unmapped one,
+//! huge operations at unaligned or wrongly-populated slots) surface as
+//! [`MmError::BadPageTable`] instead of aborting the simulation.
 
-use vusion_mem::{FrameAllocator, FrameId, PageType, PhysAddr, PhysMemory, VirtAddr};
+use vusion_mem::{FrameAllocator, FrameId, MmError, PageType, PhysAddr, PhysMemory, VirtAddr};
 
 use crate::pte::{Pte, PteFlags};
 
@@ -40,14 +46,10 @@ pub struct PageTables {
 const TABLE_FLAGS: u64 = PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::USER;
 
 impl PageTables {
-    /// Allocates an empty PML4.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the allocator is out of frames.
-    pub fn new(mem: &mut PhysMemory, alloc: &mut dyn FrameAllocator) -> Self {
-        let root = Self::alloc_table(mem, alloc);
-        Self { root }
+    /// Allocates an empty PML4, or reports [`MmError::OutOfFrames`].
+    pub fn new(mem: &mut PhysMemory, alloc: &mut dyn FrameAllocator) -> Result<Self, MmError> {
+        let root = Self::alloc_table(mem, alloc)?;
+        Ok(Self { root })
     }
 
     /// The PML4 frame.
@@ -55,11 +57,14 @@ impl PageTables {
         self.root
     }
 
-    fn alloc_table(mem: &mut PhysMemory, alloc: &mut dyn FrameAllocator) -> FrameId {
-        let f = alloc.alloc().expect("out of memory allocating page table");
+    fn alloc_table(
+        mem: &mut PhysMemory,
+        alloc: &mut dyn FrameAllocator,
+    ) -> Result<FrameId, MmError> {
+        let f = alloc.alloc()?;
         mem.info_mut(f).on_alloc(PageType::PageTable);
         mem.zero_page(f);
-        f
+        Ok(f)
     }
 
     fn entry_addr(table: FrameId, idx: usize) -> PhysAddr {
@@ -112,41 +117,47 @@ impl PageTables {
             }
             table = pte.frame();
         }
-        unreachable!("loop returns at level 3");
+        // The loop always returns at level 3; this is dead code kept only to
+        // satisfy control-flow analysis without a panicking branch.
+        Walk { steps, leaf: None }
     }
 
     /// Ensures intermediate tables down to the PT exist and returns the PT
-    /// frame. Splits nothing: panics if a huge mapping is in the way.
+    /// frame. Splits nothing: a huge mapping in the way is
+    /// [`MmError::BadPageTable`].
     fn ensure_pt(
         &mut self,
         mem: &mut PhysMemory,
         alloc: &mut dyn FrameAllocator,
         va: VirtAddr,
-    ) -> FrameId {
+    ) -> Result<FrameId, MmError> {
         let idx = va.pt_indices();
         let mut table = self.root;
         for (level, &ix) in idx.iter().enumerate().take(3) {
             let pte = Self::read_entry(mem, table, ix);
             if level == 2 && pte.has(PteFlags::HUGE) {
-                panic!("4 KiB mapping requested under an existing huge mapping at {va:?}");
+                // A 4 KiB mapping was requested under an existing huge
+                // mapping; the caller must break_huge first.
+                return Err(MmError::BadPageTable(va));
             }
             table = if pte.is_present() {
                 pte.frame()
             } else {
-                let t = Self::alloc_table(mem, alloc);
+                let t = Self::alloc_table(mem, alloc)?;
                 Self::write_entry(mem, table, idx[level], Pte::new(t, TABLE_FLAGS));
                 t
             };
         }
-        table
+        Ok(table)
     }
 
     /// Maps `va` (4 KiB) to `frame` with the given flags.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the page is already mapped (unmap first) or a huge mapping
-    /// covers the address.
+    /// [`MmError::BadPageTable`] if the page is already mapped (unmap first)
+    /// or a huge mapping covers the address; [`MmError::OutOfFrames`] if an
+    /// intermediate table cannot be allocated.
     pub fn map_page(
         &mut self,
         mem: &mut PhysMemory,
@@ -154,20 +165,25 @@ impl PageTables {
         va: VirtAddr,
         frame: FrameId,
         flags: u64,
-    ) {
-        let pt = self.ensure_pt(mem, alloc, va);
+    ) -> Result<(), MmError> {
+        let pt = self.ensure_pt(mem, alloc, va)?;
         let idx = va.pt_indices()[3];
         let old = Self::read_entry(mem, pt, idx);
-        assert!(old.is_empty(), "remapping an already mapped page at {va:?}");
+        if !old.is_empty() {
+            return Err(MmError::BadPageTable(va));
+        }
         Self::write_entry(mem, pt, idx, Pte::new(frame, flags));
+        Ok(())
     }
 
     /// Maps a 2 MiB huge page at `va` (must be 2 MiB aligned) to the 512
     /// frames starting at `frame` (must be huge-aligned).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on misalignment or if anything is already mapped there.
+    /// [`MmError::BadPageTable`] on misalignment or if anything is already
+    /// mapped there; [`MmError::OutOfFrames`] if an intermediate table
+    /// cannot be allocated.
     pub fn map_huge(
         &mut self,
         mem: &mut PhysMemory,
@@ -175,15 +191,10 @@ impl PageTables {
         va: VirtAddr,
         frame: FrameId,
         flags: u64,
-    ) {
-        assert!(
-            va.is_huge_aligned(),
-            "huge mapping at unaligned address {va:?}"
-        );
-        assert!(
-            frame.is_huge_aligned(),
-            "huge mapping of unaligned frame {frame:?}"
-        );
+    ) -> Result<(), MmError> {
+        if !va.is_huge_aligned() || !frame.is_huge_aligned() {
+            return Err(MmError::BadPageTable(va));
+        }
         let idx = va.pt_indices();
         let mut table = self.root;
         for &ix in idx.iter().take(2) {
@@ -191,17 +202,17 @@ impl PageTables {
             table = if pte.is_present() {
                 pte.frame()
             } else {
-                let t = Self::alloc_table(mem, alloc);
+                let t = Self::alloc_table(mem, alloc)?;
                 Self::write_entry(mem, table, ix, Pte::new(t, TABLE_FLAGS));
                 t
             };
         }
         let old = Self::read_entry(mem, table, idx[2]);
-        assert!(
-            old.is_empty(),
-            "huge-remapping an occupied PD slot at {va:?}"
-        );
+        if !old.is_empty() {
+            return Err(MmError::BadPageTable(va));
+        }
         Self::write_entry(mem, table, idx[2], Pte::new(frame, flags | PteFlags::HUGE));
+        Ok(())
     }
 
     /// Reads the leaf mapping for `va` without recording steps.
@@ -211,60 +222,69 @@ impl PageTables {
 
     /// Overwrites the leaf entry that maps `va` (4 KiB or huge).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `va` has no leaf entry.
-    pub fn set_leaf(&mut self, mem: &mut PhysMemory, va: VirtAddr, pte: Pte) {
-        let leaf = self.leaf(mem, va).expect("set_leaf on unmapped address");
+    /// [`MmError::BadPageTable`] if `va` has no leaf entry.
+    pub fn set_leaf(
+        &mut self,
+        mem: &mut PhysMemory,
+        va: VirtAddr,
+        pte: Pte,
+    ) -> Result<(), MmError> {
+        let leaf = self.leaf(mem, va).ok_or(MmError::BadPageTable(va))?;
         mem.write_u64(leaf.entry_addr, pte.0);
+        Ok(())
     }
 
     /// Removes the leaf mapping for `va` and returns the old entry.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `va` is not mapped.
-    pub fn unmap(&mut self, mem: &mut PhysMemory, va: VirtAddr) -> Pte {
-        let leaf = self.leaf(mem, va).expect("unmapping an unmapped address");
+    /// [`MmError::BadPageTable`] if `va` is not mapped.
+    pub fn unmap(&mut self, mem: &mut PhysMemory, va: VirtAddr) -> Result<Pte, MmError> {
+        let leaf = self.leaf(mem, va).ok_or(MmError::BadPageTable(va))?;
         mem.write_u64(leaf.entry_addr, Pte::EMPTY.0);
-        leaf.pte
+        Ok(leaf.pte)
     }
 
     /// Replaces a huge mapping with a PT of 512 4-KiB entries pointing at
     /// the same 512 frames with the same permission flags (KSM-style huge
     /// page break, §5.1 / §8.1). Returns the new PT frame.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `va` is not covered by a huge mapping.
+    /// [`MmError::BadPageTable`] if `va` is not covered by a huge mapping;
+    /// [`MmError::OutOfFrames`] if the PT cannot be allocated.
     pub fn break_huge(
         &mut self,
         mem: &mut PhysMemory,
         alloc: &mut dyn FrameAllocator,
         va: VirtAddr,
-    ) -> FrameId {
+    ) -> Result<FrameId, MmError> {
         let base = va.huge_base();
-        let leaf = self
-            .leaf(mem, base)
-            .expect("break_huge on unmapped address");
-        assert!(leaf.huge, "break_huge on a 4 KiB mapping");
+        let leaf = self.leaf(mem, base).ok_or(MmError::BadPageTable(base))?;
+        if !leaf.huge {
+            return Err(MmError::BadPageTable(base));
+        }
         let flags = leaf.pte.flags() & !PteFlags::HUGE;
         let first = leaf.pte.frame();
-        let pt = Self::alloc_table(mem, alloc);
+        let pt = Self::alloc_table(mem, alloc)?;
         for i in 0..512u64 {
             Self::write_entry(mem, pt, i as usize, Pte::new(FrameId(first.0 + i), flags));
         }
         mem.write_u64(leaf.entry_addr, Pte::new(pt, TABLE_FLAGS).0);
-        pt
+        Ok(pt)
     }
 
     /// Replaces 512 4-KiB mappings (which must cover the whole huge range
     /// starting at `va`, all pointing into the huge-aligned block starting
     /// at `frame`) with one huge mapping, freeing the PT frame.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on misalignment or when the PD slot does not hold a PT.
+    /// [`MmError::BadPageTable`] on misalignment, when the PD slot does not
+    /// hold a PT, or when the PT frame is multiply referenced; free errors
+    /// from the allocator propagate.
     pub fn collapse_huge(
         &mut self,
         mem: &mut PhysMemory,
@@ -272,33 +292,38 @@ impl PageTables {
         va: VirtAddr,
         frame: FrameId,
         flags: u64,
-    ) {
-        assert!(
-            va.is_huge_aligned() && frame.is_huge_aligned(),
-            "collapse alignment"
-        );
+    ) -> Result<(), MmError> {
+        if !va.is_huge_aligned() || !frame.is_huge_aligned() {
+            return Err(MmError::BadPageTable(va));
+        }
         let idx = va.pt_indices();
         let mut table = self.root;
         for &ix in idx.iter().take(2) {
             let pte = Self::read_entry(mem, table, ix);
-            assert!(pte.is_present(), "collapse under non-present table");
+            if !pte.is_present() {
+                return Err(MmError::BadPageTable(va));
+            }
             table = pte.frame();
         }
         let pd_entry = Self::read_entry(mem, table, idx[2]);
-        assert!(
-            pd_entry.is_present() && !pd_entry.has(PteFlags::HUGE),
-            "PD slot does not hold a PT"
-        );
+        if !pd_entry.is_present() || pd_entry.has(PteFlags::HUGE) {
+            return Err(MmError::BadPageTable(va));
+        }
         let pt = pd_entry.frame();
+        // Validate the PT's refcount before touching the PD entry, so a
+        // rejected collapse leaves the tables unchanged.
+        let info = mem.info_mut(pt);
+        if !info.put() {
+            return Err(MmError::BadPageTable(va));
+        }
+        info.on_free();
         Self::write_entry(mem, table, idx[2], Pte::new(frame, flags | PteFlags::HUGE));
         // Release the now-unused PT frame. Zero it first: every free path
         // must scrub, or stale PTE bytes would leak into later demand-zero
         // pages (the buddy's LIFO reuse hands this frame out next).
-        let info = mem.info_mut(pt);
-        assert!(info.put(), "PT frame must have a single reference");
-        info.on_free();
         mem.zero_page(pt);
-        alloc.free(pt);
+        alloc.free(pt)?;
+        Ok(())
     }
 
     /// Whether the PD slot covering `va` is completely empty (no PT, no
@@ -336,7 +361,7 @@ mod tests {
     fn setup() -> (PhysMemory, BuddyAllocator, PageTables) {
         let mut mem = PhysMemory::new(4096);
         let mut alloc = BuddyAllocator::new(FrameId(0), 4096);
-        let pt = PageTables::new(&mut mem, &mut alloc);
+        let pt = PageTables::new(&mut mem, &mut alloc).expect("PML4");
         (mem, alloc, pt)
     }
 
@@ -357,7 +382,8 @@ mod tests {
             va,
             f,
             PteFlags::PRESENT | PteFlags::USER,
-        );
+        )
+        .expect("map");
         let w = pt.walk(&mem, va);
         assert_eq!(w.steps.len(), 4, "4 KiB mapping walks four levels");
         let leaf = w.leaf.expect("mapped");
@@ -385,7 +411,8 @@ mod tests {
             va,
             f,
             PteFlags::PRESENT | PteFlags::WRITABLE,
-        );
+        )
+        .expect("map_huge");
         let w = pt.walk(&mem, va + 5 * 4096 + 3);
         assert_eq!(w.steps.len(), 3, "2 MiB mapping walks three levels");
         let leaf = w.leaf.expect("mapped");
@@ -405,8 +432,10 @@ mod tests {
             va,
             f,
             PteFlags::PRESENT | PteFlags::WRITABLE,
-        );
-        pt.break_huge(&mut mem, &mut alloc, va + 17 * 4096);
+        )
+        .expect("map_huge");
+        pt.break_huge(&mut mem, &mut alloc, va + 17 * 4096)
+            .expect("break_huge");
         // Every sub-page now maps 4 KiB to the corresponding frame.
         for i in [0u64, 17, 511] {
             let w = pt.walk(&mem, va + i * 4096);
@@ -430,8 +459,9 @@ mod tests {
             va,
             f,
             PteFlags::PRESENT | PteFlags::WRITABLE,
-        );
-        pt.break_huge(&mut mem, &mut alloc, va);
+        )
+        .expect("map_huge");
+        pt.break_huge(&mut mem, &mut alloc, va).expect("break_huge");
         let table_frames_before = alloc.free_frames();
         pt.collapse_huge(
             &mut mem,
@@ -439,7 +469,8 @@ mod tests {
             va,
             f,
             PteFlags::PRESENT | PteFlags::WRITABLE,
-        );
+        )
+        .expect("collapse_huge");
         assert_eq!(
             alloc.free_frames(),
             table_frames_before + 1,
@@ -456,7 +487,8 @@ mod tests {
         let f = user_frame(&mut mem, &mut alloc);
         let g = user_frame(&mut mem, &mut alloc);
         let va = VirtAddr(0x1000);
-        pt.map_page(&mut mem, &mut alloc, va, f, PteFlags::PRESENT);
+        pt.map_page(&mut mem, &mut alloc, va, f, PteFlags::PRESENT)
+            .expect("map");
         let leaf = pt.leaf(&mem, va).expect("mapped");
         pt.set_leaf(
             &mut mem,
@@ -464,7 +496,8 @@ mod tests {
             leaf.pte
                 .with_frame(g)
                 .set(PteFlags::RESERVED | PteFlags::NO_CACHE),
-        );
+        )
+        .expect("set_leaf");
         let new = pt.leaf(&mem, va).expect("mapped");
         assert_eq!(new.pte.frame(), g);
         assert!(new.pte.is_trapped());
@@ -472,14 +505,30 @@ mod tests {
     }
 
     #[test]
+    fn set_leaf_on_unmapped_is_reported() {
+        let (mut mem, _alloc, mut pt) = setup();
+        let va = VirtAddr(0x5000);
+        assert_eq!(
+            pt.set_leaf(&mut mem, va, Pte::EMPTY),
+            Err(MmError::BadPageTable(va))
+        );
+    }
+
+    #[test]
     fn unmap_clears_leaf() {
         let (mut mem, mut alloc, mut pt) = setup();
         let f = user_frame(&mut mem, &mut alloc);
         let va = VirtAddr(0x2000);
-        pt.map_page(&mut mem, &mut alloc, va, f, PteFlags::PRESENT);
-        let old = pt.unmap(&mut mem, va);
+        pt.map_page(&mut mem, &mut alloc, va, f, PteFlags::PRESENT)
+            .expect("map");
+        let old = pt.unmap(&mut mem, va).expect("unmap");
         assert_eq!(old.frame(), f);
         assert!(pt.leaf(&mem, va).is_none());
+        assert_eq!(
+            pt.unmap(&mut mem, va),
+            Err(MmError::BadPageTable(va)),
+            "second unmap is a typed error"
+        );
     }
 
     #[test]
@@ -493,7 +542,8 @@ mod tests {
             va,
             f,
             PteFlags::PRESENT | PteFlags::ACCESSED,
-        );
+        )
+        .expect("map");
         assert_eq!(pt.test_and_clear_accessed(&mut mem, va), Some(true));
         assert_eq!(pt.test_and_clear_accessed(&mut mem, va), Some(false));
         assert_eq!(
@@ -514,7 +564,8 @@ mod tests {
             VirtAddr(0x1000),
             f1,
             PteFlags::PRESENT,
-        );
+        )
+        .expect("map");
         let tables_after_first = free_before - alloc.free_frames();
         pt.map_page(
             &mut mem,
@@ -522,27 +573,69 @@ mod tests {
             VirtAddr(0x2000),
             f2,
             PteFlags::PRESENT,
-        );
+        )
+        .expect("map");
         let tables_after_second = free_before - alloc.free_frames();
         // The second mapping reuses the same PDPT/PD/PT: no new table frames.
         assert_eq!(tables_after_second, tables_after_first);
     }
 
     #[test]
-    #[should_panic(expected = "remapping")]
-    fn double_map_panics() {
+    fn double_map_is_reported() {
         let (mut mem, mut alloc, mut pt) = setup();
         let f = user_frame(&mut mem, &mut alloc);
-        pt.map_page(&mut mem, &mut alloc, VirtAddr(0x1000), f, PteFlags::PRESENT);
-        pt.map_page(&mut mem, &mut alloc, VirtAddr(0x1000), f, PteFlags::PRESENT);
+        let va = VirtAddr(0x1000);
+        pt.map_page(&mut mem, &mut alloc, va, f, PteFlags::PRESENT)
+            .expect("map");
+        assert_eq!(
+            pt.map_page(&mut mem, &mut alloc, va, f, PteFlags::PRESENT),
+            Err(MmError::BadPageTable(va)),
+            "remapping must be a typed error"
+        );
+        // The original mapping is untouched.
+        assert_eq!(pt.leaf(&mem, va).expect("mapped").pte.frame(), f);
     }
 
     #[test]
-    #[should_panic(expected = "unaligned")]
     fn huge_map_requires_alignment() {
         let (mut mem, mut alloc, mut pt) = setup();
         let f = alloc.alloc_order(9).expect("block");
         mem.info_mut(f).on_alloc(PageType::Anon);
-        pt.map_huge(&mut mem, &mut alloc, VirtAddr(0x1000), f, PteFlags::PRESENT);
+        let va = VirtAddr(0x1000);
+        assert_eq!(
+            pt.map_huge(&mut mem, &mut alloc, va, f, PteFlags::PRESENT),
+            Err(MmError::BadPageTable(va))
+        );
+    }
+
+    #[test]
+    fn map_under_huge_is_reported() {
+        let (mut mem, mut alloc, mut pt) = setup();
+        let f = alloc.alloc_order(9).expect("block");
+        mem.info_mut(f).on_alloc(PageType::Anon);
+        let va = VirtAddr(0x4000_0000);
+        pt.map_huge(&mut mem, &mut alloc, va, f, PteFlags::PRESENT)
+            .expect("map_huge");
+        let inner = va + 3 * 4096;
+        let g = user_frame(&mut mem, &mut alloc);
+        assert_eq!(
+            pt.map_page(&mut mem, &mut alloc, inner, g, PteFlags::PRESENT),
+            Err(MmError::BadPageTable(inner)),
+            "4 KiB map under a huge mapping must be a typed error"
+        );
+    }
+
+    #[test]
+    fn out_of_frames_surfaces_from_table_allocation() {
+        let mut mem = PhysMemory::new(2);
+        let mut alloc = BuddyAllocator::new(FrameId(0), 2);
+        let mut pt = PageTables::new(&mut mem, &mut alloc).expect("PML4");
+        let f = alloc.alloc().expect("frame");
+        mem.info_mut(f).on_alloc(PageType::Anon);
+        // No frames left for the PDPT/PD/PT chain.
+        assert_eq!(
+            pt.map_page(&mut mem, &mut alloc, VirtAddr(0x1000), f, PteFlags::PRESENT),
+            Err(MmError::OutOfFrames)
+        );
     }
 }

@@ -1,0 +1,314 @@
+//! Dependency-free seeded pseudo-random numbers for the simulation.
+//!
+//! Every stochastic component in the workspace (jitter, workloads, the
+//! Randomized Allocation pool, Rowhammer bit-flip placement, fault
+//! injection) draws from one of these generators, seeded from the master
+//! seed in `MachineConfig`. Two generators back the crate:
+//!
+//! * **SplitMix64** expands a single `u64` seed into a full generator
+//!   state (it is the recommended seeder for the xoshiro family);
+//! * **xoshiro256\*\*** produces the actual stream — 256 bits of state,
+//!   period 2²⁵⁶ − 1, and excellent statistical quality for simulation
+//!   purposes (it is not, and does not need to be, cryptographic).
+//!
+//! The API mirrors the subset of the `rand` crate the workspace used
+//! before going hermetic: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`]
+//! and [`RngExt::random_range`] over integer and float ranges. Keeping the
+//! surface identical made the migration mechanical and keeps the door open
+//! to swapping generators later without touching call sites.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core of every generator: a stream of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it through
+    /// SplitMix64 so that nearby seeds yield uncorrelated streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// One step of SplitMix64 (Steele, Lea & Flood 2014). Advances `state`
+/// and returns the next output.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256\*\* (Blackman & Vigna 2018): the workspace's standard
+/// generator, named `StdRng` for source compatibility with `rand`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl SeedableRng for Xoshiro256StarStar {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+}
+
+impl RngCore for Xoshiro256StarStar {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange {
+    /// The value type produced by sampling.
+    type Sample;
+    /// Draws one uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Sample;
+}
+
+/// Maps 64 random bits onto `[0, span)` without modulo bias worth
+/// speaking of: a 128-bit widening multiply (Lemire 2019, sans the
+/// rejection step — the residual bias is ≤ span ⋅ 2⁻⁶⁴, irrelevant for
+/// simulation spans).
+#[inline]
+fn bounded(bits: u64, span: u64) -> u64 {
+    (((bits as u128) * (span as u128)) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Sample = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + bounded(rng.next_u64(), span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Sample = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + bounded(rng.next_u64(), span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Sample = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                ((self.start as i64).wrapping_add(bounded(rng.next_u64(), span) as i64)) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Sample = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                ((lo as i64).wrapping_add(bounded(rng.next_u64(), span + 1) as i64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Sample = f64;
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait RngExt: RngCore {
+    /// Draws a uniform sample from `range` (half-open or inclusive,
+    /// integer or float).
+    #[inline]
+    fn random_range<T: SampleRange>(&mut self, range: T) -> T::Sample
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.random_range(0.0..1.0) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard generator (xoshiro256\*\*).
+    pub type StdRng = super::Xoshiro256StarStar;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0, "adjacent seeds must not share outputs");
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 0, from the reference implementation.
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xe220a8397b1dcdaf);
+        assert_eq!(splitmix64(&mut s), 0x6e789e6aa1b965f4);
+        assert_eq!(splitmix64(&mut s), 0x06c45d188009454f);
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(2..=4u64);
+            assert!((2..=4).contains(&w));
+            let x = rng.random_range(0..3usize);
+            assert!(x < 3);
+            let y = rng.random_range(0..8u8);
+            assert!(y < 8);
+        }
+    }
+
+    #[test]
+    fn signed_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.random_range(-3..=3i64);
+            assert!((-3..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all bucket values should appear");
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds_and_varies() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut lo_half = 0usize;
+        for _ in 0..10_000 {
+            let v = rng.random_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&v));
+            if v < 0.0 {
+                lo_half += 1;
+            }
+        }
+        assert!((3000..7000).contains(&lo_half), "both halves populated");
+    }
+
+    #[test]
+    fn uniformity_chi_square_ish() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut buckets = [0u32; 16];
+        const N: u32 = 160_000;
+        for _ in 0..N {
+            buckets[rng.random_range(0..16usize)] += 1;
+        }
+        let expected = N / 16;
+        for (i, &b) in buckets.iter().enumerate() {
+            let dev = (b as i64 - expected as i64).abs();
+            assert!(dev < expected as i64 / 10, "bucket {i} off by {dev}");
+        }
+    }
+
+    #[test]
+    fn random_bool_edges() {
+        let mut rng = StdRng::seed_from_u64(17);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 hit {hits}/10000");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.random_range(5u64..5);
+    }
+}

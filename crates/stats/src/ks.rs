@@ -143,8 +143,8 @@ pub fn ks_test_uniform(sample: &[f64], lo: f64, hi: f64) -> KsResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use vusion_rng::rngs::StdRng;
+    use vusion_rng::{RngExt, SeedableRng};
 
     #[test]
     fn identical_samples_have_high_p() {

@@ -14,11 +14,11 @@
 //! (plain) breaks idle THPs too; VUsion-THP conserves active huge pages
 //! and lets the secured khugepaged re-collapse, recovering the throughput.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use vusion_kernel::{FusionPolicy, System};
 use vusion_mem::{VirtAddr, HUGE_PAGE_SIZE, PAGE_SIZE};
 use vusion_mmu::{GuestTag, Protection, Vma};
+use vusion_rng::rngs::StdRng;
+use vusion_rng::{RngExt, SeedableRng};
 
 use crate::images::{labeled_page, VmHandle};
 
@@ -159,10 +159,10 @@ impl ApacheInstance {
         }
         // Touch a spread of the worker heap (session state, buffers).
         for t in 0..self.cfg.touched_pages / 4 {
-            let page = (t * 4 + rng.random_range(0..4)) % self.cfg.touched_pages;
+            let page = (t * 4 + rng.random_range(0..4u64)) % self.cfg.touched_pages;
             sys.read(
                 self.vm.pid,
-                VirtAddr(heap.0 + page * PAGE_SIZE + rng.random_range(0..64) * 64),
+                VirtAddr(heap.0 + page * PAGE_SIZE + rng.random_range(0..64u64) * 64),
             );
         }
         // Read the document.

@@ -6,11 +6,11 @@
 //! workload re-activates per second — is a function of exactly these
 //! parameters, which is what the overhead figures measure.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use vusion_kernel::{FusionPolicy, System};
 use vusion_mem::{VirtAddr, PAGE_SIZE};
 use vusion_mmu::{Protection, Vma};
+use vusion_rng::rngs::StdRng;
+use vusion_rng::{RngExt, SeedableRng};
 
 use crate::images::{labeled_page, VmHandle};
 

@@ -8,11 +8,11 @@
 //! creates a process, maps and faults everything in, and registers the
 //! guest's memory for fusion the way KVM registers guest RAM with KSM.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use vusion_kernel::{FusionPolicy, Pid, System};
 use vusion_mem::{VirtAddr, PAGE_SIZE};
 use vusion_mmu::{GuestTag, Protection, Vma};
+use vusion_rng::rngs::StdRng;
+use vusion_rng::{RngExt, SeedableRng};
 
 /// Page content with a recognizable label (shared helper).
 pub fn labeled_page(label: u64) -> [u8; PAGE_SIZE as usize] {
@@ -92,7 +92,7 @@ impl ImageSpec {
     /// Boots the image: spawns a VM process, maps all regions, faults them
     /// in with content, and registers everything mergeable.
     pub fn boot<P: FusionPolicy>(&self, sys: &mut System<P>, name: &str) -> VmHandle {
-        let pid = sys.machine.spawn(name);
+        let pid = sys.machine.spawn(name).expect("spawn");
         let mut cursor = 0x1000_0000u64;
         let mut region = |pages: u64| {
             let start = cursor;

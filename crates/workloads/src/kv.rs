@@ -7,11 +7,11 @@
 //! space, so much of the heap is touched rarely — prime fusion-candidate
 //! territory whose reactivation cost separates the engines.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use vusion_kernel::{FusionPolicy, System};
 use vusion_mem::{VirtAddr, PAGE_SIZE};
 use vusion_mmu::{Protection, Vma};
+use vusion_rng::rngs::StdRng;
+use vusion_rng::{RngExt, SeedableRng};
 
 use crate::images::{labeled_page, VmHandle};
 

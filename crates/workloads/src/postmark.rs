@@ -6,11 +6,11 @@
 //! them into private dirty pages. Transactions per simulated second is the
 //! reported metric.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use vusion_kernel::{FusionPolicy, System};
 use vusion_mem::{VirtAddr, PAGE_SIZE};
 use vusion_mmu::{GuestTag, Protection, Vma};
+use vusion_rng::rngs::StdRng;
+use vusion_rng::{RngExt, SeedableRng};
 
 use crate::images::VmHandle;
 

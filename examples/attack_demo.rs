@@ -24,7 +24,7 @@ fn main() {
         );
     }
 
-        println!("\n== 2. Secret extraction, byte by byte (Dedup Est Machina) ==");
+    println!("\n== 2. Secret extraction, byte by byte (Dedup Est Machina) ==");
     for kind in [EngineKind::Ksm, EngineKind::VUsion] {
         let o = secret_leak::run(kind, 42);
         println!(
@@ -32,7 +32,11 @@ fn main() {
             kind.label(),
             o.secret,
             o.recovered,
-            if o.verdict.success { "SECRET LEAKED" } else { "nothing learned" }
+            if o.verdict.success {
+                "SECRET LEAKED"
+            } else {
+                "nothing learned"
+            }
         );
     }
 

@@ -13,8 +13,8 @@ fn main() {
 
     // Two "virtual machines" (processes whose memory is registered for
     // fusion, as KVM registers guest RAM).
-    let vm_a = sys.machine.spawn("vm-a");
-    let vm_b = sys.machine.spawn("vm-b");
+    let vm_a = sys.machine.spawn("vm-a").expect("spawn");
+    let vm_b = sys.machine.spawn("vm-b").expect("spawn");
     let base = VirtAddr(0x10000);
     for pid in [vm_a, vm_b] {
         sys.machine.mmap(pid, Vma::anon(base, 32, Protection::rw()));

@@ -5,11 +5,11 @@
 //! cargo run --release --example thp_tuning
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use vusion::prelude::*;
 use vusion::workloads::apache::ApacheServer;
 use vusion::workloads::images::ImageSpec;
+use vusion_rng::rngs::StdRng;
+use vusion_rng::SeedableRng;
 
 fn run(kind: EngineKind) -> (usize, u64, f64) {
     let mut sys = kind.build_system(MachineConfig::guest_2g_scaled().with_thp());

@@ -17,8 +17,8 @@
 //! let mut sys = EngineKind::VUsion.build_system(MachineConfig::test_small());
 //!
 //! // Two "VMs" with one identical page each.
-//! let a = sys.machine.spawn("vm-a");
-//! let b = sys.machine.spawn("vm-b");
+//! let a = sys.machine.spawn("vm-a").expect("spawn");
+//! let b = sys.machine.spawn("vm-b").expect("spawn");
 //! for pid in [a, b] {
 //!     sys.machine.mmap(pid, Vma::anon(VirtAddr(0x10000), 16, Protection::rw()));
 //!     sys.machine.madvise_mergeable(pid, VirtAddr(0x10000), 16);
@@ -64,7 +64,9 @@ pub mod prelude {
     pub use vusion_kernel::{
         FusionPolicy, Khugepaged, Machine, MachineConfig, NoFusion, Pid, System,
     };
-    pub use vusion_mem::{FrameId, PhysAddr, VirtAddr, HUGE_PAGE_SIZE, PAGE_SIZE};
+    pub use vusion_mem::{
+        FaultPlan, FrameId, MmError, PhysAddr, VirtAddr, HUGE_PAGE_SIZE, PAGE_SIZE,
+    };
     pub use vusion_mmu::{GuestTag, Protection, Pte, PteFlags, Vma};
     pub use vusion_workloads::images::{ImageCatalog, ImageSpec};
 }

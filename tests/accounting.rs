@@ -12,7 +12,7 @@ const BASE: u64 = 0x10000;
 fn churn(kind: EngineKind) -> Vec<usize> {
     let mut sys = kind.build_system(MachineConfig::test_small());
     let pids: Vec<Pid> = (0..2)
-        .map(|i| sys.machine.spawn(&format!("p{i}")))
+        .map(|i| sys.machine.spawn(&format!("p{i}")).expect("spawn"))
         .collect();
     for &pid in &pids {
         sys.machine
@@ -68,8 +68,8 @@ fn no_engine_leaks_frames_under_churn() {
 fn saved_pages_never_exceed_total_duplicates() {
     for kind in [EngineKind::Ksm, EngineKind::Wpf, EngineKind::VUsion] {
         let mut sys = kind.build_system(MachineConfig::test_small());
-        let a = sys.machine.spawn("a");
-        let b = sys.machine.spawn("b");
+        let a = sys.machine.spawn("a").expect("spawn");
+        let b = sys.machine.spawn("b").expect("spawn");
         for pid in [a, b] {
             sys.machine
                 .mmap(pid, Vma::anon(VirtAddr(BASE), 16, Protection::rw()));
@@ -99,8 +99,8 @@ fn saved_pages_never_exceed_total_duplicates() {
 fn memory_returns_after_total_unmerge() {
     for kind in [EngineKind::Ksm, EngineKind::VUsion] {
         let mut sys = kind.build_system(MachineConfig::test_small());
-        let a = sys.machine.spawn("a");
-        let b = sys.machine.spawn("b");
+        let a = sys.machine.spawn("a").expect("spawn");
+        let b = sys.machine.spawn("b").expect("spawn");
         for pid in [a, b] {
             sys.machine
                 .mmap(pid, Vma::anon(VirtAddr(BASE), 16, Protection::rw()));

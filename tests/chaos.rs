@@ -1,0 +1,372 @@
+//! Chaos testing: deterministic fault injection across every fusion
+//! engine.
+//!
+//! Each run arms a seeded [`FaultPlan`] (allocation failures, checksum
+//! corruption, mid-scan bit flips) *after* setup, then churns merge bait
+//! and divergent writes through the engine while asserting, after every
+//! round:
+//!
+//! * no panics anywhere (the run completing is itself the assertion);
+//! * frame accounting stays sound ([`Machine::audit_frames`]: no mapped
+//!   frame is free, no refcount underflow);
+//! * no silent corruption: every page still translates, and its content
+//!   matches a byte-exact oracle. A *failed* write is observable (the
+//!   `try_write` error) and leaves the old content in place — it must
+//!   never half-apply;
+//! * memory does not leak across identical churn rounds;
+//! * the security invariants survive injected failures: merged (Fused)
+//!   pages stay trapped under VUsion and stay read-only under KSM/WPF.
+//!
+//! Every plan is driven by the machine's master seed, so any failure here
+//! reproduces exactly from the printed plan name and seed.
+
+use std::collections::HashMap;
+use vusion::mem::PageType;
+use vusion::prelude::*;
+use vusion_rng::rngs::StdRng;
+use vusion_rng::{RngExt, SeedableRng};
+
+const BASE: u64 = 0x10000;
+const PAGES: u64 = 24;
+const PROCS: usize = 3;
+const ROUNDS: u32 = 4;
+
+const ENGINES: [EngineKind; 5] = [
+    EngineKind::Ksm,
+    EngineKind::KsmCoa,
+    EngineKind::Wpf,
+    EngineKind::VUsion,
+    EngineKind::VUsionThp,
+];
+
+/// The seeded fault plans the sweep runs. At least eight, covering each
+/// injector alone and in combination, light and heavy.
+fn plans() -> [(&'static str, FaultPlan); 9] {
+    [
+        ("none", FaultPlan::NONE),
+        ("every_3rd_alloc", FaultPlan::every_nth_alloc(3)),
+        ("every_7th_alloc", FaultPlan::every_nth_alloc(7)),
+        ("alloc_p10", FaultPlan::alloc_prob(0.10)),
+        ("alloc_p35", FaultPlan::alloc_prob(0.35)),
+        (
+            "checksum_p25",
+            FaultPlan {
+                checksum_corrupt_prob: 0.25,
+                ..FaultPlan::NONE
+            },
+        ),
+        (
+            "bitflip_p25",
+            FaultPlan {
+                scan_bitflip_prob: 0.25,
+                ..FaultPlan::NONE
+            },
+        ),
+        (
+            "mixed_light",
+            FaultPlan {
+                alloc_fail_prob: 0.05,
+                checksum_corrupt_prob: 0.05,
+                scan_bitflip_prob: 0.05,
+                ..FaultPlan::NONE
+            },
+        ),
+        (
+            "mixed_heavy",
+            FaultPlan {
+                alloc_every_nth: 5,
+                alloc_fail_prob: 0.15,
+                checksum_corrupt_prob: 0.15,
+                scan_bitflip_prob: 0.15,
+            },
+        ),
+    ]
+}
+
+/// Byte-exact oracle of what each (process, page) should contain.
+type Oracle = HashMap<(usize, u64), [u8; PAGE_SIZE as usize]>;
+
+struct ChaosRun {
+    sys: System<Box<dyn FusionPolicy>>,
+    pids: Vec<Pid>,
+    oracle: Oracle,
+    label: String,
+}
+
+impl ChaosRun {
+    /// Builds a system, populates every page with known content, and only
+    /// then arms the fault plan — setup is never subject to injection.
+    fn start(kind: EngineKind, plan_name: &str, plan: FaultPlan, seed: u64) -> Self {
+        let cfg = MachineConfig::test_small()
+            .with_seed(seed)
+            .with_fault_plan(plan);
+        Self::setup(kind.build_system(cfg), kind, plan_name, seed)
+    }
+
+    /// Spawns processes, populates pages, and arms the machine's fault
+    /// plan on an already-built system.
+    fn setup(
+        mut sys: System<Box<dyn FusionPolicy>>,
+        kind: EngineKind,
+        plan_name: &str,
+        seed: u64,
+    ) -> Self {
+        let pids: Vec<Pid> = (0..PROCS)
+            .map(|i| sys.machine.spawn(&format!("p{i}")).expect("spawn"))
+            .collect();
+        for &pid in &pids {
+            sys.machine
+                .mmap(pid, Vma::anon(VirtAddr(BASE), PAGES, Protection::rw()));
+            sys.machine.madvise_mergeable(pid, VirtAddr(BASE), PAGES);
+        }
+        let mut oracle = Oracle::new();
+        for (i, &pid) in pids.iter().enumerate() {
+            for pg in 0..PAGES {
+                // Duplicate-prone: only a handful of distinct fills.
+                let fill = (pg % 4) as u8 + 1;
+                let page = [fill; PAGE_SIZE as usize];
+                sys.write_page(pid, VirtAddr(BASE + pg * PAGE_SIZE), &page);
+                oracle.insert((i, pg), page);
+            }
+        }
+        sys.machine.arm_faults();
+        Self {
+            sys,
+            pids,
+            oracle,
+            label: format!("{kind:?}/{plan_name}/seed {seed}"),
+        }
+    }
+
+    /// One churn round: random single-byte writes (tracked in the oracle
+    /// only when they succeed), full-page rewrites of merge bait, scans.
+    fn churn(&mut self, rng: &mut StdRng) {
+        for _ in 0..96 {
+            let p = rng.random_range(0..PROCS);
+            let pg = rng.random_range(0..PAGES);
+            let off = rng.random_range(0..PAGE_SIZE);
+            let v = rng.random_range(0..8u8);
+            let va = VirtAddr(BASE + pg * PAGE_SIZE + off);
+            if self.sys.try_write(self.pids[p], va, v).is_ok() {
+                self.oracle.get_mut(&(p, pg)).expect("tracked")[off as usize] = v;
+            }
+        }
+        self.sys.force_scans(rng.random_range(2..8usize));
+    }
+
+    /// Asserts every invariant the run guarantees.
+    fn check(&mut self) {
+        let label = &self.label;
+        // Frame accounting is sound.
+        let violations = self.sys.machine.audit_frames();
+        assert!(violations.is_empty(), "{label}: {violations:?}");
+        // No silent corruption: every page still translates and matches
+        // the oracle byte for byte (failed writes must not half-apply).
+        for (i, &pid) in self.pids.iter().enumerate() {
+            for pg in 0..PAGES {
+                let va = VirtAddr(BASE + pg * PAGE_SIZE);
+                let pa = self
+                    .sys
+                    .machine
+                    .translate_quiet(pid, va)
+                    .unwrap_or_else(|| panic!("{label}: p{i} page {pg} lost its mapping"));
+                let got = self.sys.machine.mem().page(pa.frame());
+                let want = &self.oracle[&(i, pg)];
+                assert!(
+                    got == want,
+                    "{label}: p{i} page {pg} diverged from the oracle"
+                );
+            }
+        }
+        // Security invariants hold for whatever is merged right now:
+        // shared Fused frames are trapped under VUsion (Same Behavior) and
+        // never writable under any engine (CoW soundness).
+        for &pid in &self.pids {
+            for pg in 0..PAGES {
+                let va = VirtAddr(BASE + pg * PAGE_SIZE);
+                let Some(leaf) = self.sys.machine.leaf(pid, va) else {
+                    continue;
+                };
+                if !leaf.pte.is_present() {
+                    continue;
+                }
+                let frame = leaf.pte.frame();
+                let info = self.sys.machine.mem().info(frame);
+                if info.page_type != PageType::Fused || info.refcount < 2 {
+                    continue;
+                }
+                assert!(
+                    !leaf.pte.has(PteFlags::WRITABLE),
+                    "{label}: merged frame {frame:?} is writable"
+                );
+            }
+        }
+    }
+}
+
+/// The main sweep: every plan over every engine. No run may panic, leak,
+/// corrupt contents, or violate the merge security invariants —
+/// regardless of which allocations fail or which scans get corrupted.
+#[test]
+fn engines_survive_seeded_fault_plans() {
+    for (pi, (plan_name, plan)) in plans().into_iter().enumerate() {
+        for (ki, kind) in ENGINES.into_iter().enumerate() {
+            let seed = 0xc0de_0000 + (pi * 16 + ki) as u64;
+            let mut run = ChaosRun::start(kind, plan_name, plan, seed);
+            // Everything is populated and nothing merged yet: sharing can
+            // only reduce this, so any round exceeding it leaked frames.
+            let full = run.sys.machine.allocated_frames();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a0);
+            let mut allocated = Vec::new();
+            for _ in 0..ROUNDS {
+                run.churn(&mut rng);
+                run.check();
+                allocated.push(run.sys.machine.allocated_frames());
+            }
+            // Bounded memory: divergent writes may unshare back up to the
+            // fully-populated level, but never past it (modulo transient
+            // engine-held frames), even with injection forcing retry
+            // paths.
+            let last = *allocated.last().expect("rounds");
+            assert!(
+                last <= full + 16,
+                "{}: allocated frames leaked past full population {full}: {allocated:?}",
+                run.label
+            );
+        }
+    }
+}
+
+/// The injectors actually fire, and the machine counts them: a chaos
+/// sweep that never injects anything would be vacuous.
+#[test]
+fn fault_plans_inject_and_are_counted() {
+    let mut checksum_or_flip_total = 0;
+    for (plan_name, plan) in plans() {
+        if !plan.is_active() {
+            continue;
+        }
+        let alloc_plan = plan.alloc_every_nth > 0 || plan.alloc_fail_prob > 0.0;
+        let mut injected_total = 0;
+        for kind in ENGINES {
+            let mut run = ChaosRun::start(kind, plan_name, plan, 0xab5e);
+            let mut rng = StdRng::seed_from_u64(0xab5e);
+            for _ in 0..ROUNDS {
+                run.churn(&mut rng);
+            }
+            run.check();
+            let stats = run.sys.machine.stats();
+            injected_total += stats.injected_faults;
+            if !alloc_plan {
+                checksum_or_flip_total += stats.injected_faults;
+            }
+            if alloc_plan {
+                assert!(
+                    stats.injected_faults > 0,
+                    "{}: alloc plan never fired",
+                    run.label
+                );
+            }
+        }
+        assert!(
+            injected_total > 0,
+            "plan {plan_name} injected nothing across all engines"
+        );
+    }
+    // The scan-side injectors (checksum corruption, bit flips) fired
+    // somewhere in the sweep, not just the allocator one.
+    assert!(
+        checksum_or_flip_total > 0,
+        "scan-side injection never fired"
+    );
+}
+
+/// Graceful degradation is visible in the counters: under heavy
+/// allocation failure VUsion drains its deferred-free queue to refill
+/// the pool, and skips-and-retries the scan when even that runs dry —
+/// instead of crashing. The pool buffers allocation failure by design
+/// (a failed refill just shrinks it), so the test builds the engine with
+/// a deliberately tiny pool; the default 256-frame pool would absorb the
+/// whole plan without ever exposing the exhaustion path.
+#[test]
+fn degradation_counters_move_under_alloc_pressure() {
+    let plan = FaultPlan {
+        alloc_every_nth: 2,
+        alloc_fail_prob: 0.8,
+        ..FaultPlan::NONE
+    };
+    let mut scan_retries = 0;
+    let mut deferred_drains = 0;
+    for kind in [EngineKind::VUsion, EngineKind::VUsionThp] {
+        for seed in 0..4u64 {
+            let cfg = kind.adapt_machine(
+                MachineConfig::test_small()
+                    .with_seed(0xd15c ^ seed)
+                    .with_fault_plan(plan),
+            );
+            let mut m = Machine::new(cfg);
+            let policy = kind
+                .build_policy(&mut m, 20_000_000, 8)
+                .expect("vusion engines need no reserved region");
+            let mut run =
+                ChaosRun::setup(System::new(m, policy), kind, "alloc_heavy", 0xd15c ^ seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..2 * ROUNDS {
+                run.churn(&mut rng);
+            }
+            run.check();
+            let stats = run.sys.machine.stats();
+            scan_retries += stats.scan_retries;
+            deferred_drains += stats.deferred_drains;
+        }
+    }
+    assert!(
+        scan_retries > 0,
+        "no engine ever took the skip-and-retry path"
+    );
+    assert!(
+        deferred_drains > 0,
+        "VUsion never refilled its pool from the deferred-free queue"
+    );
+}
+
+/// Determinism: the same plan and seed produce the exact same injection
+/// counts and the exact same final memory image — chaos failures are
+/// reproducible by construction.
+#[test]
+fn chaos_runs_are_deterministic() {
+    let plan = FaultPlan {
+        alloc_fail_prob: 0.2,
+        checksum_corrupt_prob: 0.2,
+        scan_bitflip_prob: 0.2,
+        ..FaultPlan::NONE
+    };
+    for kind in [EngineKind::Ksm, EngineKind::VUsion] {
+        let image = |_: ()| {
+            let mut run = ChaosRun::start(kind, "repro", plan, 0x5eed);
+            let mut rng = StdRng::seed_from_u64(0x5eed);
+            for _ in 0..ROUNDS {
+                run.churn(&mut rng);
+            }
+            let stats = run.sys.machine.stats();
+            let mut bytes = Vec::new();
+            for (i, &pid) in run.pids.iter().enumerate() {
+                for pg in 0..PAGES {
+                    let va = VirtAddr(BASE + pg * PAGE_SIZE);
+                    let pa = run
+                        .sys
+                        .machine
+                        .translate_quiet(pid, va)
+                        .unwrap_or_else(|| panic!("p{i} page {pg} unmapped"));
+                    bytes.extend_from_slice(run.sys.machine.mem().page(pa.frame()));
+                }
+            }
+            (stats.injected_faults, stats.oom_events, bytes)
+        };
+        let a = image(());
+        let b = image(());
+        assert_eq!(a.0, b.0, "{kind:?}: injection counts diverged");
+        assert_eq!(a.1, b.1, "{kind:?}: OOM counts diverged");
+        assert_eq!(a.2, b.2, "{kind:?}: final memory images diverged");
+    }
+}

@@ -5,10 +5,12 @@
 //! The oracle is a plain `HashMap<(pid, va), byte>` model of what was
 //! written; after arbitrary interleavings of writes, reads, scans,
 //! khugepaged passes and idle time, every byte must read back as the model
-//! predicts.
+//! predicts. Driven by the in-repo seeded PRNG: each test sweeps many
+//! seeds so failures reproduce exactly by seed.
 
-use proptest::prelude::*;
 use vusion::prelude::*;
+use vusion_rng::rngs::StdRng;
+use vusion_rng::{RngExt, SeedableRng};
 
 const ENGINES: [EngineKind; 5] = [
     EngineKind::Ksm,
@@ -24,7 +26,7 @@ const PAGES: u64 = 24;
 fn build(kind: EngineKind) -> (System<Box<dyn FusionPolicy>>, Vec<Pid>) {
     let mut sys = kind.build_system(MachineConfig::test_small());
     let pids: Vec<Pid> = (0..3)
-        .map(|i| sys.machine.spawn(&format!("p{i}")))
+        .map(|i| sys.machine.spawn(&format!("p{i}")).expect("spawn"))
         .collect();
     for &pid in &pids {
         sys.machine
@@ -35,7 +37,7 @@ fn build(kind: EngineKind) -> (System<Box<dyn FusionPolicy>>, Vec<Pid>) {
 }
 
 /// One scripted operation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Op {
     /// Write a (often duplicate-prone) byte at (pid, page, offset).
     Write(usize, u64, u16, u8),
@@ -47,22 +49,31 @@ enum Op {
     Idle(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..3usize, 0..PAGES, 0..4096u16, 0..4u8)
-            .prop_map(|(p, pg, off, v)| Op::Write(p, pg, off, v)),
-        (0..3usize, 0..PAGES, 0..4096u16).prop_map(|(p, pg, off)| Op::Read(p, pg, off)),
-        (1..6u8).prop_map(Op::Scan),
-        (1..4u8).prop_map(Op::Idle),
-    ]
+fn random_op(rng: &mut StdRng) -> Op {
+    match rng.random_range(0..4u8) {
+        0 => Op::Write(
+            rng.random_range(0..3usize),
+            rng.random_range(0..PAGES),
+            rng.random_range(0..4096u16),
+            rng.random_range(0..4u8),
+        ),
+        1 => Op::Read(
+            rng.random_range(0..3usize),
+            rng.random_range(0..PAGES),
+            rng.random_range(0..4096u16),
+        ),
+        2 => Op::Scan(rng.random_range(1..6u8)),
+        _ => Op::Idle(rng.random_range(1..4u8)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Differential test: every engine preserves the memory model.
-    #[test]
-    fn fusion_preserves_memory_semantics(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+/// Differential test: every engine preserves the memory model.
+#[test]
+fn fusion_preserves_memory_semantics() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0bb);
+        let n = rng.random_range(1..120usize);
+        let ops: Vec<Op> = (0..n).map(|_| random_op(&mut rng)).collect();
         for kind in ENGINES {
             let (mut sys, pids) = build(kind);
             let mut model = std::collections::HashMap::new();
@@ -77,7 +88,10 @@ proptest! {
                         let va = VirtAddr(BASE + pg * PAGE_SIZE + u64::from(off));
                         let got = sys.read(pids[p], va);
                         let want = model.get(&(p, pg, off)).copied().unwrap_or(0);
-                        prop_assert_eq!(got, want, "{:?}: mismatch at p{} page {} off {}", kind, p, pg, off);
+                        assert_eq!(
+                            got, want,
+                            "seed {seed} {kind:?}: mismatch at p{p} page {pg} off {off}"
+                        );
                     }
                     Op::Scan(n) => sys.force_scans(n as usize),
                     Op::Idle(n) => sys.idle(u64::from(n) * 25_000_000),
@@ -86,15 +100,24 @@ proptest! {
             // Final sweep: every written byte still reads back.
             for (&(p, pg, off), &v) in &model {
                 let va = VirtAddr(BASE + pg * PAGE_SIZE + u64::from(off));
-                prop_assert_eq!(sys.read(pids[p], va), v, "{:?}: final state diverged", kind);
+                assert_eq!(
+                    sys.read(pids[p], va),
+                    v,
+                    "seed {seed} {kind:?}: final state diverged"
+                );
             }
         }
     }
+}
 
-    /// Identical content across processes always converges to sharing under
-    /// KSM and VUsion, and writes always unshare correctly afterwards.
-    #[test]
-    fn merge_then_diverge(fill in 1u8..255, diverge_at in 0u16..4096) {
+/// Identical content across processes always converges to sharing under
+/// KSM and VUsion, and writes always unshare correctly afterwards.
+#[test]
+fn merge_then_diverge() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xd1fe);
+        let fill = rng.random_range(1..255u8);
+        let diverge_at = rng.random_range(0..4096u16);
         for kind in [EngineKind::Ksm, EngineKind::VUsion] {
             let (mut sys, pids) = build(kind);
             let page = [fill; PAGE_SIZE as usize];
@@ -102,13 +125,16 @@ proptest! {
                 sys.write_page(pid, VirtAddr(BASE), &page);
             }
             sys.force_scans(16);
-            prop_assert!(sys.policy.pages_saved() >= 2, "{kind:?} failed to merge triples");
+            assert!(
+                sys.policy.pages_saved() >= 2,
+                "seed {seed} {kind:?} failed to merge triples"
+            );
             // One process diverges.
             let va = VirtAddr(BASE + u64::from(diverge_at));
             sys.write(pids[0], va, fill.wrapping_add(1));
-            prop_assert_eq!(sys.read(pids[0], va), fill.wrapping_add(1));
-            prop_assert_eq!(sys.read(pids[1], va), fill);
-            prop_assert_eq!(sys.read(pids[2], va), fill);
+            assert_eq!(sys.read(pids[0], va), fill.wrapping_add(1), "seed {seed}");
+            assert_eq!(sys.read(pids[1], va), fill, "seed {seed}");
+            assert_eq!(sys.read(pids[2], va), fill, "seed {seed}");
         }
     }
 }

@@ -10,8 +10,8 @@ const BASE: u64 = 0x10000;
 
 fn vusion_system(pool: usize) -> (System<VUsion>, Pid, Pid) {
     let mut m = Machine::new(MachineConfig::test_small());
-    let a = m.spawn("a");
-    let b = m.spawn("b");
+    let a = m.spawn("a").expect("spawn");
+    let b = m.spawn("b").expect("spawn");
     for pid in [a, b] {
         m.mmap(pid, Vma::anon(VirtAddr(BASE), 64, Protection::rw()));
         m.madvise_mergeable(pid, VirtAddr(BASE), 64);
@@ -133,8 +133,8 @@ fn ra_backing_frames_are_random_and_foreign() {
 #[test]
 fn ksm_unmerge_allocation_is_predictable() {
     let mut sys = EngineKind::Ksm.build_system(MachineConfig::test_small());
-    let a = sys.machine.spawn("a");
-    let b = sys.machine.spawn("b");
+    let a = sys.machine.spawn("a").expect("spawn");
+    let b = sys.machine.spawn("b").expect("spawn");
     for pid in [a, b] {
         sys.machine
             .mmap(pid, Vma::anon(VirtAddr(BASE), 8, Protection::rw()));
