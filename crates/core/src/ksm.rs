@@ -16,13 +16,14 @@
 //! `unmerge_on_read` (the copy-on-access modification of Figure 4) and
 //! `zero_only` (zero-page-only fusion, also Figure 4).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport};
 use vusion_mem::{FrameId, VirtAddr, PAGE_SIZE};
 use vusion_mmu::{GuestTag, Pte, PteFlags, VmaBacking};
 
 use crate::rbtree::{ContentRbTree, NodeId};
+use crate::scan_cache::{CandidateCache, HashIndex};
 use crate::TagCounts;
 
 /// KSM tuning knobs.
@@ -81,10 +82,18 @@ pub struct Ksm {
     stable: ContentRbTree<u32>,
     /// Reverse map: stable frame → tree node.
     stable_index: HashMap<FrameId, NodeId>,
+    /// Content-hash pre-filter over the stable tree's pages.
+    stable_hashes: HashIndex,
     /// Unstable tree: unprotected candidates, rebuilt each round.
     unstable: ContentRbTree<UnstableEntry>,
-    /// Per-page content checksum from the previous encounter.
+    /// Content-hash pre-filter over the unstable tree's pages.
+    unstable_hashes: HashIndex,
+    /// Per-page content checksum from the previous encounter. Entries are
+    /// evicted when their page leaves the candidate list (unmapped VMA,
+    /// exited process), so the map is bounded by the candidate set.
     checksums: HashMap<(usize, u64), u64>,
+    /// Cached candidate list, rebuilt only when the VMA layout changes.
+    candidates: CandidateCache,
     /// Global page cursor over the concatenated mergeable VMAs.
     cursor: u64,
     /// Mappings currently pointing at stable frames. Frames saved =
@@ -101,8 +110,11 @@ impl Ksm {
             cfg,
             stable: ContentRbTree::new(),
             stable_index: HashMap::new(),
+            stable_hashes: HashIndex::default(),
             unstable: ContentRbTree::new(),
+            unstable_hashes: HashIndex::default(),
             checksums: HashMap::new(),
+            candidates: CandidateCache::default(),
             cursor: 0,
             merged_live: 0,
             tags: TagCounts::default(),
@@ -284,9 +296,16 @@ impl Ksm {
         // 1. Stable tree first: merging against an already write-protected
         // page needs no volatility check (the content comparison is
         // authoritative) — matching real KSM, which only gates the
-        // *unstable* tree with the checksum test.
+        // *unstable* tree with the checksum test. The hash index skips
+        // the descent when no stable page can possibly match; a hit (or a
+        // hash collision) is confirmed by the authoritative search.
         let mem = m.mem();
-        if let Some(node) = self.stable.find(frame, |a, b| mem.compare_pages(a, b)) {
+        let stable_node = if self.stable_hashes.may_contain(mem, frame) {
+            self.stable.find(frame, |a, b| mem.compare_pages(a, b))
+        } else {
+            None
+        };
+        if let Some(node) = stable_node {
             if self.break_if_huge(m, pid, va, report) {
                 self.merge_into_stable(m, pid, va, frame, node);
             }
@@ -301,9 +320,14 @@ impl Ksm {
             self.stats.checksum_skips += 1;
             return;
         }
-        // 2. Unstable tree.
+        // 2. Unstable tree, behind the same hash pre-filter.
         let mem = m.mem();
-        if let Some(node) = self.unstable.find(frame, |a, b| mem.compare_pages(a, b)) {
+        let unstable_node = if self.unstable_hashes.may_contain(mem, frame) {
+            self.unstable.find(frame, |a, b| mem.compare_pages(a, b))
+        } else {
+            None
+        };
+        if let Some(node) = unstable_node {
             let entry = *self.unstable.value(node);
             // Validate: the candidate must still be mapped to the same
             // frame (its content equality was just checked by the search).
@@ -314,6 +338,7 @@ impl Ksm {
                 && entry.frame != frame
                 && !self.stable_index.contains_key(&entry.frame);
             self.unstable.remove(node);
+            self.unstable_hashes.remove(entry.frame);
             // A merge is about to happen: split any THPs involved. Either
             // split failing (an injected or genuine PT allocation failure)
             // downgrades the candidate to stale — both pages stay intact
@@ -337,6 +362,7 @@ impl Ksm {
                     .insert(entry.frame, 1, |a, b| mem.compare_pages(a, b));
                 debug_assert!(inserted, "stable tree had no match a moment ago");
                 self.stable_index.insert(entry.frame, snode);
+                self.stable_hashes.insert(m.mem(), entry.frame);
                 self.merged_live += 1; // The promoted party's own mapping.
                 self.stats.promotions += 1;
                 self.merge_into_stable(m, pid, va, frame, snode);
@@ -347,6 +373,7 @@ impl Ksm {
                     .insert(frame, UnstableEntry { pid, va, frame }, |a, b| {
                         mem.compare_pages(a, b)
                     });
+                self.unstable_hashes.insert(mem, frame);
             }
             return;
         }
@@ -356,6 +383,7 @@ impl Ksm {
             .insert(frame, UnstableEntry { pid, va, frame }, |a, b| {
                 mem.compare_pages(a, b)
             });
+        self.unstable_hashes.insert(mem, frame);
     }
 
     /// Copy-on-write (or copy-on-access) unmerge.
@@ -395,6 +423,7 @@ impl Ksm {
         if m.put_frame(stable_frame).unwrap_or(false) {
             self.stable.remove(node);
             self.stable_index.remove(&stable_frame);
+            self.stable_hashes.remove(stable_frame);
         }
         self.merged_live -= 1;
         self.stats.unmerged += 1;
@@ -409,10 +438,24 @@ impl FusionPolicy for Ksm {
 
     fn scan(&mut self, m: &mut Machine) -> ScanReport {
         let mut report = ScanReport::default();
-        let pages = Self::mergeable_pages(m);
+        let (pages, rebuilt) = self.candidates.take(m, Self::mergeable_pages);
+        if rebuilt {
+            // The candidate set changed (mmap / madvise / new process):
+            // drop checksums of pages no longer scanned, so the map stays
+            // bounded by the candidate list.
+            let live: HashSet<(usize, u64)> =
+                pages.iter().map(|&(pid, va)| (pid.0, va.page())).collect();
+            self.checksums.retain(|key, _| live.contains(key));
+        }
         if pages.is_empty() {
+            self.candidates.put_back(pages);
             return report;
         }
+        // Tree pages may have changed in place since the last wakeup
+        // (guest writes to unstable pages, Rowhammer anywhere): re-sync
+        // the hash pre-filters before trusting them.
+        self.stable_hashes.refresh(m.mem());
+        self.unstable_hashes.refresh(m.mem());
         for _ in 0..self.cfg.pages_per_scan {
             let idx = (self.cursor % pages.len() as u64) as usize;
             let (pid, va) = pages[idx];
@@ -422,9 +465,11 @@ impl FusionPolicy for Ksm {
                 // Full round: the unstable tree's keys may have changed
                 // under it; drop and rebuild (§2.1).
                 self.unstable.clear();
+                self.unstable_hashes.clear();
                 self.stats.full_rounds += 1;
             }
         }
+        self.candidates.put_back(pages);
         report
     }
 

@@ -28,6 +28,7 @@ pub mod avl;
 pub mod engine;
 pub mod ksm;
 pub mod rbtree;
+mod scan_cache;
 pub mod vusion;
 pub mod wpf;
 

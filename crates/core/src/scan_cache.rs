@@ -1,0 +1,194 @@
+//! Scan-path caching shared by the fusion engines: a content-hash index
+//! over a content tree's pages, and an incremental candidate list.
+//!
+//! Both are pure wall-clock optimizations. The hash index only ever
+//! answers "definitely not in the tree" (equal content implies equal
+//! hash; a hash collision merely wastes one authoritative tree descent),
+//! and the candidate cache reproduces exactly the list a fresh
+//! enumeration would build, because rebuilds are deterministic and every
+//! layout mutation bumps the machine's epoch. Neither changes a single
+//! simulated-cycle charge or merge decision.
+
+use std::collections::HashMap;
+
+use vusion_kernel::{Machine, Pid};
+use vusion_mem::{FrameId, PhysMemory, VirtAddr};
+
+/// Content-hash index mirroring a content tree's node frames.
+///
+/// `may_contain(probe)` pre-filters tree searches: if the probe page's
+/// hash is absent from the multiset of tree-page hashes, no tree page can
+/// be content-equal and the O(log n) full-page-compare descent is
+/// skipped. Tree pages are not immutable — guest writes hit unstable-tree
+/// pages and Rowhammer hits anything — so every entry records the frame's
+/// write generation and [`HashIndex::refresh`] re-hashes stale entries at
+/// the top of each scan.
+#[derive(Default)]
+pub(crate) struct HashIndex {
+    by_frame: HashMap<FrameId, (u64, u64)>, // frame -> (hash, write_gen)
+    counts: HashMap<u64, u32>,              // hash -> tree pages bearing it
+}
+
+impl HashIndex {
+    fn bump(counts: &mut HashMap<u64, u32>, hash: u64) {
+        *counts.entry(hash).or_insert(0) += 1;
+    }
+
+    fn unbump(counts: &mut HashMap<u64, u32>, hash: u64) {
+        if let Some(c) = counts.get_mut(&hash) {
+            *c -= 1;
+            if *c == 0 {
+                counts.remove(&hash);
+            }
+        }
+    }
+
+    /// Records `frame` as present in the tree.
+    pub(crate) fn insert(&mut self, mem: &PhysMemory, frame: FrameId) {
+        let hash = mem.hash_page(frame);
+        let gen = mem.info(frame).write_gen;
+        if let Some((old, _)) = self.by_frame.insert(frame, (hash, gen)) {
+            Self::unbump(&mut self.counts, old);
+        }
+        Self::bump(&mut self.counts, hash);
+    }
+
+    /// Forgets `frame` (removed from the tree).
+    pub(crate) fn remove(&mut self, frame: FrameId) {
+        if let Some((hash, _)) = self.by_frame.remove(&frame) {
+            Self::unbump(&mut self.counts, hash);
+        }
+    }
+
+    /// Moves an entry from `old` to `new` without rehashing when the
+    /// content was copied verbatim (VUsion's re-randomization).
+    pub(crate) fn replace_frame(&mut self, mem: &PhysMemory, old: FrameId, new: FrameId) {
+        self.remove(old);
+        self.insert(mem, new);
+    }
+
+    /// Drops everything (tree cleared or rebuilt).
+    pub(crate) fn clear(&mut self) {
+        self.by_frame.clear();
+        self.counts.clear();
+    }
+
+    /// Re-syncs entries whose frame content changed since they were
+    /// recorded (detected via the frame's write generation). Cheap: the
+    /// re-hash itself is served by the frame cache.
+    pub(crate) fn refresh(&mut self, mem: &PhysMemory) {
+        let stale: Vec<FrameId> = self
+            .by_frame
+            .iter()
+            .filter(|(f, (_, gen))| mem.info(**f).write_gen != *gen)
+            .map(|(f, _)| *f)
+            .collect();
+        for f in stale {
+            self.insert(mem, f);
+        }
+    }
+
+    /// Whether a tree page *could* be content-equal to `probe`. `false`
+    /// is definitive; `true` must be confirmed by the tree search.
+    pub(crate) fn may_contain(&self, mem: &PhysMemory, probe: FrameId) -> bool {
+        self.counts.contains_key(&mem.hash_page(probe))
+    }
+}
+
+/// Cached `mergeable_pages` enumeration, invalidated by the machine's
+/// layout epoch (process count + per-space VMA layout generations).
+///
+/// Used in a take / put-back pattern so the scan loop can hold the list
+/// while mutating the engine and the machine.
+#[derive(Default)]
+pub(crate) struct CandidateCache {
+    pages: Vec<(Pid, VirtAddr)>,
+    epoch: Option<(usize, u64)>,
+}
+
+impl CandidateCache {
+    /// Returns `(pages, rebuilt)`: the candidate list (rebuilt via `build`
+    /// only if the layout epoch moved) and whether a rebuild happened.
+    /// Hand the vector back with [`CandidateCache::put_back`] after the
+    /// scan loop.
+    pub(crate) fn take(
+        &mut self,
+        m: &Machine,
+        build: impl FnOnce(&Machine) -> Vec<(Pid, VirtAddr)>,
+    ) -> (Vec<(Pid, VirtAddr)>, bool) {
+        let epoch = m.layout_epoch();
+        let rebuilt = self.epoch != Some(epoch);
+        if rebuilt {
+            self.pages = build(m);
+            self.epoch = Some(epoch);
+        }
+        (std::mem::take(&mut self.pages), rebuilt)
+    }
+
+    /// Restores the list taken by [`CandidateCache::take`].
+    pub(crate) fn put_back(&mut self, pages: Vec<(Pid, VirtAddr)>) {
+        self.pages = pages;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vusion_mem::PhysAddr;
+
+    #[test]
+    fn hash_index_filters_and_tracks_membership() {
+        let mut mem = PhysMemory::new(4);
+        mem.write_byte(PhysAddr(0), 1);
+        mem.write_byte(PhysAddr(4096), 2);
+        mem.write_byte(PhysAddr(2 * 4096), 1); // same content as frame 0
+        let mut ix = HashIndex::default();
+        ix.insert(&mem, FrameId(0));
+        assert!(ix.may_contain(&mem, FrameId(2)), "equal content must pass");
+        assert!(
+            !ix.may_contain(&mem, FrameId(1)),
+            "absent hash is definitive"
+        );
+        ix.remove(FrameId(0));
+        assert!(!ix.may_contain(&mem, FrameId(2)));
+    }
+
+    #[test]
+    fn hash_index_refresh_catches_inplace_change() {
+        let mut mem = PhysMemory::new(2);
+        mem.write_byte(PhysAddr(0), 1);
+        let mut ix = HashIndex::default();
+        ix.insert(&mem, FrameId(0));
+        // The tree page changes in place (a Rowhammer flip): the stale
+        // hash must not make the filter claim the old content is present.
+        mem.flip_bit(PhysAddr(0), 0);
+        mem.write_byte(PhysAddr(4096), 1); // probe with the *old* content
+        ix.refresh(&mem);
+        assert!(
+            !ix.may_contain(&mem, FrameId(1)),
+            "refresh must drop the stale hash"
+        );
+        assert!(
+            ix.may_contain(&mem, FrameId(0)),
+            "the new content is indexed after refresh"
+        );
+    }
+
+    #[test]
+    fn duplicate_hashes_are_counted_not_clobbered() {
+        let mut mem = PhysMemory::new(3);
+        mem.write_byte(PhysAddr(0), 7);
+        mem.write_byte(PhysAddr(4096), 7);
+        mem.write_byte(PhysAddr(2 * 4096), 7);
+        let mut ix = HashIndex::default();
+        ix.insert(&mem, FrameId(0));
+        ix.insert(&mem, FrameId(1));
+        ix.remove(FrameId(0));
+        assert!(
+            ix.may_contain(&mem, FrameId(2)),
+            "one bearer removed, one remains"
+        );
+        ix.remove(FrameId(1));
+        assert!(!ix.may_contain(&mem, FrameId(2)));
+    }
+}

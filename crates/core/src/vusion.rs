@@ -37,6 +37,7 @@ use vusion_mem::{
 use vusion_mmu::{GuestTag, Pte, PteFlags, VmaBacking};
 
 use crate::rbtree::{ContentRbTree, NodeId};
+use crate::scan_cache::{CandidateCache, HashIndex};
 use crate::TagCounts;
 
 /// VUsion tuning knobs.
@@ -131,6 +132,10 @@ pub struct VUsion {
     tree: ContentRbTree<Vec<(Pid, VirtAddr)>>,
     /// Reverse map: tree frame → node.
     tree_index: HashMap<FrameId, NodeId>,
+    /// Content-hash filter over the tree pages (wall-clock only).
+    tree_hashes: HashIndex,
+    /// Cached mergeable-page list, invalidated by the layout epoch.
+    candidates: CandidateCache,
     /// Reverse map: trapped page → node.
     page_state: HashMap<(usize, u64), NodeId>,
     pool: RandomPool,
@@ -153,6 +158,8 @@ impl VUsion {
             cfg,
             tree: ContentRbTree::new(),
             tree_index: HashMap::new(),
+            tree_hashes: HashIndex::default(),
+            candidates: CandidateCache::default(),
             page_state: HashMap::new(),
             pool,
             deferred: DeferredFreeQueue::new(),
@@ -367,8 +374,14 @@ impl VUsion {
             return;
         }
         // Single content tree: match ⇒ real merge, no match ⇒ fake merge.
+        // The hash filter only skips the descent when no tree page can be
+        // content-equal; a positive is confirmed by the authoritative find.
         let mem = m.mem();
-        let found = self.tree.find(frame, |a, b| mem.compare_pages(a, b));
+        let found = if self.tree_hashes.may_contain(mem, frame) {
+            self.tree.find(frame, |a, b| mem.compare_pages(a, b))
+        } else {
+            None
+        };
         match found {
             Some(node) => {
                 let shared = self.tree.frame(node);
@@ -413,6 +426,7 @@ impl VUsion {
                     .insert(new, vec![(pid, va)], |a, b| mem.compare_pages(a, b));
                 debug_assert!(inserted, "tree had no match a moment ago");
                 self.tree_index.insert(new, node);
+                self.tree_hashes.insert(m.mem(), new);
                 self.page_state.insert((pid.0, va.page()), node);
                 self.release_candidate(m, pid, va, frame);
                 self.stats.fake_merged += 1;
@@ -448,6 +462,7 @@ impl VUsion {
             if died {
                 self.tree.remove(node);
                 self.tree_index.remove(&shared);
+                self.tree_hashes.remove(shared);
                 self.ra_release(m, shared);
             }
         } else if died {
@@ -455,6 +470,7 @@ impl VUsion {
             // queue, so the fault path cost is identical (decision ii).
             self.tree.remove(node);
             self.tree_index.remove(&shared);
+            self.tree_hashes.remove(shared);
             self.deferred.push_free(shared);
         } else {
             self.deferred.push_dummy();
@@ -599,6 +615,9 @@ impl VUsion {
             self.tree.set_frame(node, new);
             self.tree_index.remove(&old);
             self.tree_index.insert(new, node);
+            // `copy_page` seeded the new frame's hash cache from the old
+            // frame's, so this re-index is a cache hit, not a re-hash.
+            self.tree_hashes.replace_frame(m.mem(), old, new);
             self.ra_release(m, old);
             self.stats.rerandomized += 1;
         }
@@ -633,8 +652,12 @@ impl FusionPolicy for VUsion {
         for f in dead {
             self.ra_release(m, f);
         }
-        let pages = Self::mergeable_pages(m);
+        // Re-sync hash-filter entries whose frames changed between scans
+        // (Rowhammer flips — trapped tree pages see no guest writes).
+        self.tree_hashes.refresh(m.mem());
+        let (pages, _) = self.candidates.take(m, Self::mergeable_pages);
         if pages.is_empty() {
+            self.candidates.put_back(pages);
             return report;
         }
         for _ in 0..self.cfg.pages_per_scan {
@@ -649,6 +672,7 @@ impl FusionPolicy for VUsion {
                 self.stats.full_rounds += 1;
             }
         }
+        self.candidates.put_back(pages);
         report
     }
 

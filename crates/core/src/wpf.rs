@@ -26,6 +26,7 @@ use vusion_mem::{
 use vusion_mmu::{GuestTag, Pte, PteFlags, VmaBacking};
 
 use crate::avl::ContentAvlTree;
+use crate::scan_cache::{CandidateCache, HashIndex};
 use crate::TagCounts;
 
 /// WPF tuning knobs.
@@ -64,6 +65,11 @@ pub struct Wpf {
     avl: ContentAvlTree<u32>,
     /// Frames owned by the AVL tree.
     avl_index: HashMap<FrameId, ()>,
+    /// Content-hash pre-filter over the AVL tree's pages.
+    avl_hashes: HashIndex,
+    /// Cached page enumeration (every VMA page of every process), rebuilt
+    /// only when the layout epoch moves.
+    candidates: CandidateCache,
     /// The `MiAllocatePagesForMdl` stand-in.
     linear: LinearAllocator,
     /// Mappings currently pointing at tree frames. Frames saved =
@@ -88,6 +94,8 @@ impl Wpf {
             cfg,
             avl: ContentAvlTree::new(),
             avl_index: HashMap::new(),
+            avl_hashes: HashIndex::default(),
+            candidates: CandidateCache::default(),
             linear: LinearAllocator::new(base, frames),
             merged_live: 0,
             tags: TagCounts::default(),
@@ -171,37 +179,53 @@ impl Wpf {
         true
     }
 
+    /// Every VMA page of every process — WPF has no opt-in.
+    fn all_pages(m: &Machine) -> Vec<(Pid, VirtAddr)> {
+        let mut out = Vec::new();
+        for pidx in 0..m.process_count() {
+            let pid = Pid(pidx);
+            for vma in m.process(pid).space.vmas() {
+                for va in vma.page_addrs() {
+                    out.push((pid, va));
+                }
+            }
+        }
+        out
+    }
+
     /// One full fusion pass (§2.2).
     fn full_pass(&mut self, m: &mut Machine) -> ScanReport {
         let mut report = ScanReport::default();
         self.last_pass_frames.clear();
-        // 1. Hash every candidate page of every process (no opt-in).
+        // Tree pages can change in place between passes (Rowhammer on a
+        // fused page — the §5.2 attack): re-sync the hash pre-filter.
+        self.avl_hashes.refresh(m.mem());
+        // 1. Hash every candidate page of every process (no opt-in). The
+        // page enumeration is cached against the layout epoch; the
+        // per-page leaf checks and hashes still run every pass (hashes
+        // are served by the frame cache unless the page was written).
+        let (pages, _) = self.candidates.take(m, Self::all_pages);
         let mut candidates: Vec<(u64, usize, u64, FrameId)> = Vec::new(); // (hash, pid, va, frame)
-        for pidx in 0..m.process_count() {
-            let pid = Pid(pidx);
-            let vmas: Vec<_> = m.process(pid).space.vmas().to_vec();
-            for vma in vmas {
-                for va in vma.page_addrs() {
-                    let Some(leaf) = m.leaf(pid, va) else {
-                        continue;
-                    };
-                    if leaf.huge || !leaf.pte.is_present() || leaf.pte.is_trapped() {
-                        continue;
-                    }
-                    let frame = leaf.pte.frame();
-                    if self.avl_index.contains_key(&frame) {
-                        continue; // Already fused.
-                    }
-                    let (_, cache_key) = Self::vma_info(m, pid, va);
-                    let max_refs = if cache_key.is_some() { 2 } else { 1 };
-                    if m.mem().info(frame).refcount > max_refs {
-                        continue;
-                    }
-                    report.pages_scanned += 1;
-                    candidates.push((m.mem().hash_page(frame), pid.0, va.0, frame));
-                }
+        for &(pid, va) in &pages {
+            let Some(leaf) = m.leaf(pid, va) else {
+                continue;
+            };
+            if leaf.huge || !leaf.pte.is_present() || leaf.pte.is_trapped() {
+                continue;
             }
+            let frame = leaf.pte.frame();
+            if self.avl_index.contains_key(&frame) {
+                continue; // Already fused.
+            }
+            let (_, cache_key) = Self::vma_info(m, pid, va);
+            let max_refs = if cache_key.is_some() { 2 } else { 1 };
+            if m.mem().info(frame).refcount > max_refs {
+                continue;
+            }
+            report.pages_scanned += 1;
+            candidates.push((m.mem().hash_page(frame), pid.0, va.0, frame));
         }
+        self.candidates.put_back(pages);
         // 2. Sort by hash (the order that drives backing-frame adjacency).
         candidates.sort();
         // 3. Walk hash groups, verify content equality, plan merges.
@@ -229,9 +253,13 @@ impl Wpf {
                 bucket = rest;
                 let existing = {
                     let mem = m.mem();
-                    self.avl
-                        .find(first.2, |a, b| mem.compare_pages(a, b))
-                        .map(|id| self.avl.frame(id))
+                    if self.avl_hashes.may_contain(mem, first.2) {
+                        self.avl
+                            .find(first.2, |a, b| mem.compare_pages(a, b))
+                            .map(|id| self.avl.frame(id))
+                    } else {
+                        None
+                    }
                 };
                 if existing.is_some() || same.len() >= 2 {
                     groups.push(Group {
@@ -270,6 +298,7 @@ impl Wpf {
                     debug_assert!(inserted);
                     let _ = id;
                     self.avl_index.insert(f, ());
+                    self.avl_hashes.insert(m.mem(), f);
                     self.last_pass_frames.push(f);
                     self.stats.tree_pages_allocated += 1;
                     f
@@ -324,6 +353,7 @@ impl Wpf {
                 // member CoW'd away or its PTE write failed): roll back the
                 // reservation so the frame is not leaked.
                 self.avl_index.remove(&tree_frame);
+                self.avl_hashes.remove(tree_frame);
                 let removed = {
                     let mem = m.mem();
                     self.avl.remove(tree_frame, |a, b| mem.compare_pages(a, b))
@@ -374,6 +404,7 @@ impl Wpf {
             // allocator and will be re-reserved, from the end of memory,
             // on the next pass (Figure 3).
             self.avl_index.remove(&tree_frame);
+            self.avl_hashes.remove(tree_frame);
             let removed = {
                 let mem = m.mem();
                 self.avl.remove(tree_frame, |a, b| mem.compare_pages(a, b))
@@ -386,9 +417,11 @@ impl Wpf {
                 // pointing at the freed frame.
                 let frames: Vec<FrameId> = self.avl_index.keys().copied().collect();
                 self.avl.clear();
+                self.avl_hashes.clear();
                 for f in frames {
                     let mem = m.mem();
                     self.avl.insert(f, 0, |a, b| mem.compare_pages(a, b));
+                    self.avl_hashes.insert(mem, f);
                 }
             }
             m.mem_mut().info_mut(tree_frame).on_free();

@@ -375,6 +375,20 @@ impl Machine {
         self.processes[pid.0].space.madvise_mergeable(start, pages)
     }
 
+    /// A cheap fingerprint of everything the fusion candidate list is
+    /// derived from: the process count plus every address space's layout
+    /// generation. Engines cache their `mergeable_pages` enumeration and
+    /// rebuild only when this changes (new process, `mmap`, or a
+    /// successful `madvise(MADV_MERGEABLE)`).
+    pub fn layout_epoch(&self) -> (usize, u64) {
+        let gens = self
+            .processes
+            .iter()
+            .map(|p| p.space.layout_generation())
+            .sum();
+        (self.processes.len(), gens)
+    }
+
     /// Allocates a frame from the buddy allocator for the given use.
     /// Failure (genuine OOM or injected) is counted in
     /// [`MachineStats::oom_events`] and reported, never fatal.
@@ -452,9 +466,10 @@ impl Machine {
         }
         for i in 0..HUGE_PAGE_FRAMES {
             let f = FrameId(head.0 + i);
-            let info = self.mem.info_mut(f);
+            let mut info = self.mem.info_mut(f);
             info.put();
             info.on_free();
+            drop(info);
             self.mem.zero_page(f);
         }
         self.buddy.free_order(head, 9)
@@ -475,9 +490,10 @@ impl Machine {
     pub fn put_frame(&mut self, frame: FrameId) -> Result<bool, MmError> {
         if self.mem.info(frame).refcount == 1 {
             self.buddy.free(frame)?;
-            let info = self.mem.info_mut(frame);
+            let mut info = self.mem.info_mut(frame);
             info.put();
             info.on_free();
+            drop(info);
             self.mem.zero_page(frame);
             Ok(true)
         } else {

@@ -28,6 +28,29 @@ pub enum PageType {
 }
 
 impl PageType {
+    /// Every page type, in a fixed order usable as a dense array index via
+    /// [`PageType::index`].
+    pub const ALL: [PageType; 6] = [
+        PageType::Free,
+        PageType::Anon,
+        PageType::PageCache,
+        PageType::Kernel,
+        PageType::PageTable,
+        PageType::Fused,
+    ];
+
+    /// Position of this type in [`PageType::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            PageType::Free => 0,
+            PageType::Anon => 1,
+            PageType::PageCache => 2,
+            PageType::Kernel => 3,
+            PageType::PageTable => 4,
+            PageType::Fused => 5,
+        }
+    }
+
     /// Whether a fusion scanner may consider this frame's content.
     pub fn fusable(self) -> bool {
         matches!(self, PageType::Anon | PageType::PageCache)
@@ -55,6 +78,12 @@ pub struct FrameInfo {
     /// Generation counter bumped on every allocation; lets attack code
     /// detect frame reuse across fusion passes.
     pub generation: u64,
+    /// Write generation: bumped by every content mutation of the frame
+    /// (`write_byte`, `write_u64`, `write_page`, `copy_page`, `zero_page`,
+    /// `flip_bit` — so Rowhammer flips invalidate it like any other
+    /// write). `PhysMemory` keys its content-hash / is-zero memoization on
+    /// this, and engines use it to detect in-place changes of tree pages.
+    pub write_gen: u64,
 }
 
 impl Default for FrameInfo {
@@ -64,6 +93,7 @@ impl Default for FrameInfo {
             page_type: PageType::Free,
             refcount: 0,
             generation: 0,
+            write_gen: 0,
         }
     }
 }
@@ -162,6 +192,13 @@ mod tests {
         assert!(!f.put());
         assert!(!f.put());
         assert!(f.put());
+    }
+
+    #[test]
+    fn page_type_index_matches_all_order() {
+        for (i, t) in PageType::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use error::MmError;
 pub use fault::{FaultInjector, FaultPlan, InjectionStats};
 pub use frame::{FrameInfo, FrameState, PageType};
 pub use linear::LinearAllocator;
-pub use phys::{content_hash, PhysMemory};
+pub use phys::{content_hash, FrameInfoMut, PhysMemory};
 pub use random_pool::RandomPool;
 
 /// A frame allocator: the interface fusion engines use to obtain backing

@@ -4,29 +4,151 @@
 //! costs no host memory, which lets experiments simulate multi-gigabyte
 //! guests cheaply (most guest memory is zero — and indeed zero pages are a
 //! large fraction of fusion candidates, cf. Figure 4).
+//!
+//! Content hashes and zero checks are memoized per frame, keyed on the
+//! frame's [`FrameInfo::write_gen`]: every mutator bumps the generation,
+//! so any write — including a Rowhammer [`PhysMemory::flip_bit`] or an
+//! injected fault — invalidates the cached values for free. The cache
+//! changes wall-clock cost only; every observable value (`hash_page`,
+//! `is_zero`, comparisons) is identical to a fresh computation, which the
+//! chaos suite asserts under interleaved mutation.
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::ops::{Deref, DerefMut};
 
 use crate::addr::{FrameId, PhysAddr, PAGE_SIZE};
 use crate::frame::{FrameInfo, FrameState, PageType};
+
+const FNV_INIT: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// FNV-1a 64-bit hash of a page's content.
 ///
 /// Used by the WPF engine's hash-sorted candidate list (§2.2) and by KSM's
 /// "has the page changed since last scan" checksum.
+///
+/// The byte-at-a-time FNV-1a semantics are preserved exactly — WPF's
+/// hash-sort order decides frame adjacency, so changing a single hash
+/// value would silently move the §5.2 attack's timing curves. The loop is
+/// merely restructured to load memory in `u64` words and fold the eight
+/// bytes from the register.
 pub fn content_hash(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
+    let mut h = FNV_INIT;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(chunk);
+        let word = u64::from_le_bytes(w);
+        let mut shift = 0u32;
+        while shift < 64 {
+            h ^= (word >> shift) & 0xff;
+            h = h.wrapping_mul(FNV_PRIME);
+            shift += 8;
+        }
+    }
+    for &b in chunks.remainder() {
         h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h = h.wrapping_mul(FNV_PRIME);
     }
     h
 }
 
+/// FNV-1a of 4096 zero bytes: each step xors in 0 (a no-op) and
+/// multiplies by the prime, so the whole page folds to 4096 multiplies —
+/// computable at compile time.
+const fn zero_page_hash() -> u64 {
+    let mut h = FNV_INIT;
+    let mut i = 0;
+    while i < PAGE_SIZE as usize {
+        h = h.wrapping_mul(FNV_PRIME);
+        i += 1;
+    }
+    h
+}
+
+const ZERO_PAGE_HASH: u64 = zero_page_hash();
+
 const ZERO_PAGE: [u8; PAGE_SIZE as usize] = [0; PAGE_SIZE as usize];
+
+/// Word-wise all-zero check of a materialized page.
+fn page_is_zero(page: &[u8; PAGE_SIZE as usize]) -> bool {
+    page.chunks_exact(8).all(|c| {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(c);
+        u64::from_ne_bytes(w) == 0
+    })
+}
+
+/// Memoized derived values for one frame, valid only while the recorded
+/// generation equals the frame's current [`FrameInfo::write_gen`].
+#[derive(Clone, Copy, Default)]
+struct FrameCache {
+    hash: u64,
+    hash_gen: u64,
+    hash_valid: bool,
+    zero: bool,
+    zero_gen: u64,
+    zero_valid: bool,
+}
+
+/// O(1) allocation accounting, maintained on every frame state
+/// transition by [`FrameInfoMut`].
+#[derive(Clone, Copy, Default)]
+struct FrameCounts {
+    allocated: usize,
+    by_type: [usize; PageType::ALL.len()],
+}
+
+fn contribution(info: &FrameInfo) -> Option<PageType> {
+    (info.state == FrameState::Allocated).then_some(info.page_type)
+}
+
+/// Mutable access to a frame's metadata. Dereferences to [`FrameInfo`];
+/// on drop, any allocation-state or page-type transition made through it
+/// is folded into the O(1) allocation counters.
+pub struct FrameInfoMut<'a> {
+    info: &'a mut FrameInfo,
+    counts: &'a mut FrameCounts,
+    was: Option<PageType>,
+}
+
+impl Deref for FrameInfoMut<'_> {
+    type Target = FrameInfo;
+    fn deref(&self) -> &FrameInfo {
+        self.info
+    }
+}
+
+impl DerefMut for FrameInfoMut<'_> {
+    fn deref_mut(&mut self) -> &mut FrameInfo {
+        self.info
+    }
+}
+
+impl Drop for FrameInfoMut<'_> {
+    fn drop(&mut self) {
+        let now = contribution(self.info);
+        if self.was == now {
+            return;
+        }
+        if let Some(t) = self.was {
+            self.counts.allocated -= 1;
+            self.counts.by_type[t.index()] -= 1;
+        }
+        if let Some(t) = now {
+            self.counts.allocated += 1;
+            self.counts.by_type[t.index()] += 1;
+        }
+    }
+}
 
 /// Simulated physical memory: `n` frames of 4 KiB, with metadata.
 pub struct PhysMemory {
     data: Vec<Option<Box<[u8; PAGE_SIZE as usize]>>>,
     info: Vec<FrameInfo>,
+    cache: Vec<Cell<FrameCache>>,
+    counts: FrameCounts,
 }
 
 impl PhysMemory {
@@ -35,6 +157,10 @@ impl PhysMemory {
         Self {
             data: (0..frames).map(|_| None).collect(),
             info: vec![FrameInfo::default(); frames],
+            cache: (0..frames)
+                .map(|_| Cell::new(FrameCache::default()))
+                .collect(),
+            counts: FrameCounts::default(),
         }
     }
 
@@ -49,15 +175,33 @@ impl PhysMemory {
         i
     }
 
+    /// Bumps a frame's write generation, invalidating memoized values.
+    fn touch(&mut self, i: usize) {
+        self.info[i].write_gen = self.info[i].write_gen.wrapping_add(1);
+    }
+
+    /// The frame's cached content hash, if still valid at its current
+    /// write generation.
+    fn cached_hash(&self, i: usize) -> Option<u64> {
+        let c = self.cache[i].get();
+        (c.hash_valid && c.hash_gen == self.info[i].write_gen).then_some(c.hash)
+    }
+
     /// Immutable metadata of a frame.
     pub fn info(&self, frame: FrameId) -> &FrameInfo {
         &self.info[self.idx(frame)]
     }
 
-    /// Mutable metadata of a frame.
-    pub fn info_mut(&mut self, frame: FrameId) -> &mut FrameInfo {
+    /// Mutable metadata of a frame. The guard keeps the allocation
+    /// counters in sync with whatever transition is performed through it.
+    pub fn info_mut(&mut self, frame: FrameId) -> FrameInfoMut<'_> {
         let i = self.idx(frame);
-        &mut self.info[i]
+        let was = contribution(&self.info[i]);
+        FrameInfoMut {
+            info: &mut self.info[i],
+            counts: &mut self.counts,
+            was,
+        }
     }
 
     /// The 4096 content bytes of a frame.
@@ -68,11 +212,25 @@ impl PhysMemory {
         }
     }
 
-    /// Whether the frame is all zeroes (cheap check for the lazy case).
+    /// Whether the frame is all zeroes (cheap check for the lazy case;
+    /// memoized against the frame's write generation otherwise).
     pub fn is_zero(&self, frame: FrameId) -> bool {
-        match &self.data[self.idx(frame)] {
+        let i = self.idx(frame);
+        match &self.data[i] {
             None => true,
-            Some(b) => b.iter().all(|&x| x == 0),
+            Some(b) => {
+                let gen = self.info[i].write_gen;
+                let mut c = self.cache[i].get();
+                if c.zero_valid && c.zero_gen == gen {
+                    return c.zero;
+                }
+                let z = page_is_zero(b);
+                c.zero = z;
+                c.zero_gen = gen;
+                c.zero_valid = true;
+                self.cache[i].set(c);
+                z
+            }
         }
     }
 
@@ -86,6 +244,7 @@ impl PhysMemory {
         let i = self.idx(addr.frame());
         let page = self.data[i].get_or_insert_with(|| Box::new(ZERO_PAGE));
         page[addr.page_offset() as usize] = value;
+        self.touch(i);
     }
 
     /// Reads a little-endian u64 (must not cross a frame boundary).
@@ -119,16 +278,18 @@ impl PhysMemory {
         let i = self.idx(addr.frame());
         let page = self.data[i].get_or_insert_with(|| Box::new(ZERO_PAGE));
         page[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        self.touch(i);
     }
 
     /// Overwrites a frame's entire content.
     pub fn write_page(&mut self, frame: FrameId, bytes: &[u8; PAGE_SIZE as usize]) {
         let i = self.idx(frame);
-        if bytes.iter().all(|&b| b == 0) {
+        if page_is_zero(bytes) {
             self.data[i] = None;
         } else {
             self.data[i] = Some(Box::new(*bytes));
         }
+        self.touch(i);
     }
 
     /// Copies the content of `src` into `dst`.
@@ -136,40 +297,123 @@ impl PhysMemory {
         let si = self.idx(src);
         let di = self.idx(dst);
         self.data[di] = self.data[si].clone();
+        self.touch(di);
+        // The destination now holds exactly the source's bytes, so any
+        // still-valid memoized value of the source seeds the destination
+        // at its fresh generation (VUsion's fake merging and
+        // re-randomization copy pages constantly).
+        let sc = self.cache[si].get();
+        let sgen = self.info[si].write_gen;
+        let dgen = self.info[di].write_gen;
+        let mut dc = FrameCache::default();
+        if sc.hash_valid && sc.hash_gen == sgen {
+            dc.hash = sc.hash;
+            dc.hash_gen = dgen;
+            dc.hash_valid = true;
+        }
+        if sc.zero_valid && sc.zero_gen == sgen {
+            dc.zero = sc.zero;
+            dc.zero_gen = dgen;
+            dc.zero_valid = true;
+        }
+        self.cache[di].set(dc);
     }
 
     /// Zeroes a frame (demand-zero allocation path).
     pub fn zero_page(&mut self, frame: FrameId) {
         let i = self.idx(frame);
         self.data[i] = None;
+        self.touch(i);
+        // Content is now known exactly; memoize it outright.
+        let gen = self.info[i].write_gen;
+        self.cache[i].set(FrameCache {
+            hash: ZERO_PAGE_HASH,
+            hash_gen: gen,
+            hash_valid: true,
+            zero: true,
+            zero_gen: gen,
+            zero_valid: true,
+        });
     }
 
     /// Whether two frames have identical content.
     pub fn pages_equal(&self, a: FrameId, b: FrameId) -> bool {
-        match (&self.data[self.idx(a)], &self.data[self.idx(b)]) {
+        let ia = self.idx(a);
+        let ib = self.idx(b);
+        if ia == ib {
+            return true;
+        }
+        // Differing cached hashes prove inequality (equal bytes hash
+        // equal). Equal hashes prove nothing — FNV collisions exist — so
+        // anything else falls through to the authoritative byte compare.
+        if let (Some(ha), Some(hb)) = (self.cached_hash(ia), self.cached_hash(ib)) {
+            if ha != hb {
+                return false;
+            }
+        }
+        match (&self.data[ia], &self.data[ib]) {
             (None, None) => true,
             (Some(x), Some(y)) => x == y,
-            (None, Some(y)) => y.iter().all(|&v| v == 0),
-            (Some(x), None) => x.iter().all(|&v| v == 0),
+            (None, Some(y)) => page_is_zero(y),
+            (Some(x), None) => page_is_zero(x),
         }
     }
 
     /// Lexicographic comparison of two frames' content (the ordering KSM's
-    /// content-indexed trees use).
-    pub fn compare_pages(&self, a: FrameId, b: FrameId) -> std::cmp::Ordering {
-        self.page(a).as_slice().cmp(self.page(b).as_slice())
+    /// content-indexed trees use), word-wise: lexicographic byte order is
+    /// exactly numeric order of big-endian `u64` words.
+    pub fn compare_pages(&self, a: FrameId, b: FrameId) -> Ordering {
+        let ia = self.idx(a);
+        let ib = self.idx(b);
+        if ia == ib || (self.data[ia].is_none() && self.data[ib].is_none()) {
+            return Ordering::Equal;
+        }
+        let pa = self.page(a);
+        let pb = self.page(b);
+        let mut off = 0usize;
+        while off < PAGE_SIZE as usize {
+            let mut wa = [0u8; 8];
+            let mut wb = [0u8; 8];
+            wa.copy_from_slice(&pa[off..off + 8]);
+            wb.copy_from_slice(&pb[off..off + 8]);
+            let va = u64::from_be_bytes(wa);
+            let vb = u64::from_be_bytes(wb);
+            if va != vb {
+                return va.cmp(&vb);
+            }
+            off += 8;
+        }
+        Ordering::Equal
     }
 
-    /// FNV-1a hash of a frame's content.
+    /// FNV-1a hash of a frame's content, memoized against the frame's
+    /// write generation. Always equal to `content_hash(self.page(frame))`.
     pub fn hash_page(&self, frame: FrameId) -> u64 {
-        match &self.data[self.idx(frame)] {
-            None => content_hash(&ZERO_PAGE),
-            Some(b) => content_hash(b.as_slice()),
+        let i = self.idx(frame);
+        match &self.data[i] {
+            None => ZERO_PAGE_HASH,
+            Some(b) => {
+                let gen = self.info[i].write_gen;
+                let mut c = self.cache[i].get();
+                if c.hash_valid && c.hash_gen == gen {
+                    return c.hash;
+                }
+                let h = content_hash(b.as_slice());
+                c.hash = h;
+                c.hash_gen = gen;
+                c.hash_valid = true;
+                self.cache[i].set(c);
+                h
+            }
         }
     }
 
     /// Flips one bit of physical memory (a Rowhammer-induced fault). Returns
-    /// the new value of the affected byte.
+    /// the new value of the affected byte. Goes through [`write_byte`],
+    /// so the frame's write generation bumps and any cached hash of the
+    /// victim frame is invalidated.
+    ///
+    /// [`write_byte`]: PhysMemory::write_byte
     ///
     /// # Panics
     ///
@@ -183,27 +427,45 @@ impl PhysMemory {
     }
 
     /// Number of frames currently in the [`FrameState::Allocated`] state;
-    /// drives the memory-consumption curves of Figures 10–12.
+    /// drives the memory-consumption curves of Figures 10–12. O(1):
+    /// maintained on every state transition, reconciled against the
+    /// O(frames) scan in debug builds.
     pub fn allocated_frames(&self) -> usize {
-        self.info
-            .iter()
-            .filter(|i| i.state == FrameState::Allocated)
-            .count()
+        debug_assert_eq!(
+            self.counts.allocated,
+            self.info
+                .iter()
+                .filter(|i| i.state == FrameState::Allocated)
+                .count(),
+            "allocated-frame counter out of sync with frame states"
+        );
+        self.counts.allocated
     }
 
-    /// Counts allocated frames by page type (Table 3 accounting).
+    /// Counts allocated frames by page type (Table 3 accounting). O(types)
+    /// from the transition-maintained counters; debug builds reconcile
+    /// against a full frame scan.
     pub fn allocated_by_type(&self) -> Vec<(PageType, usize)> {
-        let mut counts: Vec<(PageType, usize)> = Vec::new();
-        for info in &self.info {
-            if info.state != FrameState::Allocated {
-                continue;
+        #[cfg(debug_assertions)]
+        {
+            let mut slow = [0usize; PageType::ALL.len()];
+            for info in &self.info {
+                if info.state == FrameState::Allocated {
+                    slow[info.page_type.index()] += 1;
+                }
             }
-            match counts.iter_mut().find(|(t, _)| *t == info.page_type) {
-                Some((_, c)) => *c += 1,
-                None => counts.push((info.page_type, 1)),
-            }
+            debug_assert_eq!(
+                slow, self.counts.by_type,
+                "per-type allocation counters out of sync with frame states"
+            );
         }
-        counts
+        PageType::ALL
+            .iter()
+            .filter_map(|&t| {
+                let c = self.counts.by_type[t.index()];
+                (c > 0).then_some((t, c))
+            })
+            .collect()
     }
 }
 
@@ -270,10 +532,93 @@ mod tests {
     }
 
     #[test]
+    fn compare_pages_orders_within_a_word() {
+        // Bytes 0..8 fall in one u64; lexicographic order must still hold
+        // byte-wise (big-endian word interpretation).
+        let mut m = PhysMemory::new(2);
+        m.write_byte(PhysAddr(3), 2);
+        m.write_byte(PhysAddr(PAGE_SIZE + 3), 1);
+        m.write_byte(PhysAddr(PAGE_SIZE + 4), 0xFF);
+        // Page 0: 00 00 00 02 ...; page 1: 00 00 00 01 FF ... → page 1 < page 0.
+        assert_eq!(
+            m.compare_pages(FrameId(1), FrameId(0)),
+            std::cmp::Ordering::Less
+        );
+    }
+
+    #[test]
     fn hash_differs_on_content() {
         let mut m = PhysMemory::new(2);
         m.write_byte(PhysAddr(0), 1);
         assert_ne!(m.hash_page(FrameId(0)), m.hash_page(FrameId(1)));
+    }
+
+    #[test]
+    fn content_hash_matches_bytewise_reference() {
+        // The chunked implementation must reproduce byte-at-a-time FNV-1a
+        // exactly: WPF's sort order (and the §5.2 attack) depends on the
+        // values, not just on hash equality.
+        let reference = |bytes: &[u8]| {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        };
+        let mut page = [0u8; PAGE_SIZE as usize];
+        for (i, b) in page.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(31).wrapping_add(7);
+        }
+        assert_eq!(content_hash(&page), reference(&page));
+        // Lengths that exercise the non-multiple-of-8 remainder path.
+        for len in [0usize, 1, 7, 8, 9, 63, 100] {
+            assert_eq!(content_hash(&page[..len]), reference(&page[..len]));
+        }
+        assert_eq!(content_hash(&ZERO_PAGE), ZERO_PAGE_HASH);
+    }
+
+    #[test]
+    fn hash_cache_invalidated_by_every_mutator() {
+        let mut m = PhysMemory::new(3);
+        let f = FrameId(0);
+        m.write_byte(PhysAddr(1), 3);
+        let h1 = m.hash_page(f); // populate cache
+        m.write_byte(PhysAddr(1), 4);
+        assert_ne!(m.hash_page(f), h1);
+        assert_eq!(m.hash_page(f), content_hash(m.page(f)));
+
+        m.write_u64(PhysAddr(64), 0xdead_beef);
+        assert_eq!(m.hash_page(f), content_hash(m.page(f)));
+
+        let snapshot = *m.page(FrameId(1));
+        m.write_page(f, &snapshot);
+        assert_eq!(m.hash_page(f), content_hash(m.page(f)));
+
+        m.write_byte(PhysAddr(2 * PAGE_SIZE + 9), 9);
+        let _ = m.hash_page(FrameId(2));
+        m.copy_page(FrameId(2), f);
+        assert_eq!(m.hash_page(f), content_hash(m.page(f)));
+        assert_eq!(m.hash_page(f), m.hash_page(FrameId(2)));
+
+        let _ = m.hash_page(f);
+        m.flip_bit(PhysAddr(17), 5);
+        assert_eq!(m.hash_page(f), content_hash(m.page(f)));
+
+        m.zero_page(f);
+        assert_eq!(m.hash_page(f), ZERO_PAGE_HASH);
+        assert!(m.is_zero(f));
+    }
+
+    #[test]
+    fn is_zero_cache_tracks_writes() {
+        let mut m = PhysMemory::new(1);
+        m.write_byte(PhysAddr(100), 1);
+        assert!(!m.is_zero(FrameId(0)));
+        m.write_byte(PhysAddr(100), 0);
+        assert!(m.is_zero(FrameId(0)));
+        m.flip_bit(PhysAddr(100), 0);
+        assert!(!m.is_zero(FrameId(0)));
     }
 
     #[test]
@@ -303,6 +648,25 @@ mod tests {
         let by_type = m.allocated_by_type();
         assert!(by_type.contains(&(PageType::Anon, 1)));
         assert!(by_type.contains(&(PageType::PageCache, 1)));
+    }
+
+    #[test]
+    fn allocation_counters_follow_transitions() {
+        let mut m = PhysMemory::new(4);
+        m.info_mut(FrameId(0)).on_alloc(PageType::Anon);
+        m.info_mut(FrameId(1)).on_alloc(PageType::Fused);
+        assert_eq!(m.allocated_frames(), 2);
+        {
+            let mut info = m.info_mut(FrameId(1));
+            assert!(info.put());
+            info.on_free();
+        }
+        assert_eq!(m.allocated_frames(), 1);
+        assert_eq!(m.allocated_by_type(), vec![(PageType::Anon, 1)]);
+        // Retyping in place must move the per-type counter too.
+        m.info_mut(FrameId(0)).page_type = PageType::PageCache;
+        assert_eq!(m.allocated_by_type(), vec![(PageType::PageCache, 1)]);
+        assert_eq!(m.allocated_frames(), 1);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::vma::Vma;
 pub struct AddressSpace {
     tables: PageTables,
     vmas: Vec<Vma>,
+    layout_gen: u64,
 }
 
 impl AddressSpace {
@@ -18,7 +19,16 @@ impl AddressSpace {
         Ok(Self {
             tables: PageTables::new(mem, alloc)?,
             vmas: Vec::new(),
+            layout_gen: 0,
         })
+    }
+
+    /// Layout generation: bumped whenever the VMA list or its mergeable
+    /// marking changes. Scanners key their cached candidate lists on this
+    /// so they only re-enumerate after an `mmap`/`madvise`, not on every
+    /// scan.
+    pub fn layout_generation(&self) -> u64 {
+        self.layout_gen
     }
 
     /// The page tables.
@@ -44,6 +54,7 @@ impl AddressSpace {
         );
         self.vmas.push(vma);
         self.vmas.sort_by_key(|v| v.start.0);
+        self.layout_gen += 1;
     }
 
     /// The VMA containing `va`, if any.
@@ -71,6 +82,9 @@ impl AddressSpace {
                 v.mergeable = true;
                 n += 1;
             }
+        }
+        if n > 0 {
+            self.layout_gen += 1;
         }
         n
     }
@@ -122,6 +136,21 @@ mod tests {
         assert_eq!(sp.mergeable_vmas().count(), 1);
         assert!(sp.find_vma(VirtAddr(0x1000)).expect("vma").mergeable);
         assert!(!sp.find_vma(VirtAddr(0x10000)).expect("vma").mergeable);
+    }
+
+    #[test]
+    fn layout_generation_tracks_mutations() {
+        let (_m, _a, mut sp) = setup();
+        let g0 = sp.layout_generation();
+        sp.add_vma(Vma::anon(VirtAddr(0x1000), 4, Protection::rw()));
+        let g1 = sp.layout_generation();
+        assert!(g1 > g0);
+        assert_eq!(sp.madvise_mergeable(VirtAddr(0x1000), 4), 1);
+        let g2 = sp.layout_generation();
+        assert!(g2 > g1);
+        // A no-op madvise leaves the candidate set unchanged.
+        assert_eq!(sp.madvise_mergeable(VirtAddr(0x1000), 4), 0);
+        assert_eq!(sp.layout_generation(), g2);
     }
 
     #[test]

@@ -312,11 +312,12 @@ impl PageTables {
         let pt = pd_entry.frame();
         // Validate the PT's refcount before touching the PD entry, so a
         // rejected collapse leaves the tables unchanged.
-        let info = mem.info_mut(pt);
+        let mut info = mem.info_mut(pt);
         if !info.put() {
             return Err(MmError::BadPageTable(va));
         }
         info.on_free();
+        drop(info);
         Self::write_entry(mem, table, idx[2], Pte::new(frame, flags | PteFlags::HUGE));
         // Release the now-unused PT frame. Zero it first: every free path
         // must scrub, or stale PTE bytes would leak into later demand-zero

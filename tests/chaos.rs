@@ -330,6 +330,141 @@ fn degradation_counters_move_under_alloc_pressure() {
     );
 }
 
+/// Hash-cache coherence, raw memory level: after any seeded interleaving
+/// of content mutators — `write_byte`, `write_u64`, `write_page`,
+/// `copy_page`, `zero_page`, and Rowhammer's `flip_bit` — the memoized
+/// `hash_page` / `is_zero` answers always equal a fresh recomputation
+/// over the frame's actual bytes. The cache is deliberately populated
+/// *before* each mutation so a missed invalidation (a mutator that
+/// forgets to bump the write generation) fails loudly rather than being
+/// masked by a cold cache.
+#[test]
+fn hash_cache_stays_coherent_under_raw_mutation() {
+    use vusion::mem::{content_hash, FrameId, PhysAddr, PhysMemory};
+    const FRAMES: u64 = 32;
+    let check = |mem: &PhysMemory, f: FrameId, op: &str, step: u32| {
+        let fresh = content_hash(mem.page(f));
+        assert_eq!(
+            mem.hash_page(f),
+            fresh,
+            "step {step} ({op}): frame {f:?} served a stale cached hash"
+        );
+        let zero = mem.page(f).iter().all(|&b| b == 0);
+        assert_eq!(
+            mem.is_zero(f),
+            zero,
+            "step {step} ({op}): frame {f:?} served a stale zero bit"
+        );
+    };
+    let mut mem = PhysMemory::new(FRAMES as usize);
+    let mut rng = StdRng::seed_from_u64(0x4a5b_c0de);
+    for step in 0..2000u32 {
+        let f = FrameId(rng.random_range(0..FRAMES));
+        // Warm the cache for the victim frame so the assertion below
+        // exercises invalidation, not recomputation.
+        let _ = mem.hash_page(f);
+        let _ = mem.is_zero(f);
+        let off = rng.random_range(0..PAGE_SIZE);
+        match step % 6 {
+            0 => {
+                mem.write_byte(PhysAddr(f.0 * PAGE_SIZE + off), rng.random_range(0..=255u8));
+                check(&mem, f, "write_byte", step);
+            }
+            1 => {
+                let aligned = off & !7;
+                mem.write_u64(
+                    PhysAddr(f.0 * PAGE_SIZE + aligned),
+                    rng.random_range(0..u64::MAX),
+                );
+                check(&mem, f, "write_u64", step);
+            }
+            2 => {
+                let mut page = [0u8; PAGE_SIZE as usize];
+                for b in page.iter_mut() {
+                    *b = rng.random_range(0..4u8);
+                }
+                mem.write_page(f, &page);
+                check(&mem, f, "write_page", step);
+            }
+            3 => {
+                let src = FrameId(rng.random_range(0..FRAMES));
+                let _ = mem.hash_page(src);
+                mem.copy_page(src, f);
+                check(&mem, f, "copy_page dst", step);
+                check(&mem, src, "copy_page src", step);
+            }
+            4 => {
+                mem.zero_page(f);
+                check(&mem, f, "zero_page", step);
+            }
+            _ => {
+                mem.flip_bit(PhysAddr(f.0 * PAGE_SIZE + off), rng.random_range(0..8u8));
+                check(&mem, f, "flip_bit", step);
+            }
+        }
+    }
+    // Final full sweep: every frame, not just the last victims.
+    for f in 0..FRAMES {
+        check(&mem, FrameId(f), "final sweep", 2000);
+    }
+}
+
+/// Hash-cache coherence, machine level: engines scan (and so populate
+/// and consult the per-frame hash cache) while an armed fault plan
+/// injects scan corruption and Rowhammer flips bits straight into mapped
+/// DRAM between rounds. After every round, every frame's cached hash and
+/// zero bit must equal a fresh recomputation — injected flips provably
+/// invalidate cached hashes.
+#[test]
+fn hash_cache_stays_coherent_across_engines_and_injection() {
+    use vusion::mem::{content_hash, PhysAddr};
+    let plan = FaultPlan {
+        alloc_fail_prob: 0.10,
+        checksum_corrupt_prob: 0.25,
+        scan_bitflip_prob: 0.25,
+        ..FaultPlan::NONE
+    };
+    for (ki, kind) in ENGINES.into_iter().enumerate() {
+        let seed = 0x4a5e_0000 + ki as u64;
+        let mut run = ChaosRun::start(kind, "hash_coherence", plan, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..ROUNDS {
+            run.churn(&mut rng);
+            // Rowhammer between scans: flip bits in mapped data frames
+            // (templated flips land in page contents, not page tables).
+            for _ in 0..8 {
+                let p = rng.random_range(0..PROCS);
+                let pg = rng.random_range(0..PAGES);
+                let va = VirtAddr(BASE + pg * PAGE_SIZE);
+                let Some(pa) = run.sys.machine.translate_quiet(run.pids[p], va) else {
+                    continue;
+                };
+                let addr = PhysAddr(pa.frame().0 * PAGE_SIZE + rng.random_range(0..PAGE_SIZE));
+                let bit = rng.random_range(0..8u8);
+                run.sys.machine.mem_mut().flip_bit(addr, bit);
+            }
+            // Scans walk the hammered memory through the cached paths.
+            run.sys.force_scans(2);
+            let mem = run.sys.machine.mem();
+            for f in 0..mem.frame_count() as u64 {
+                let f = vusion::mem::FrameId(f);
+                assert_eq!(
+                    mem.hash_page(f),
+                    content_hash(mem.page(f)),
+                    "{}: frame {f:?} served a stale hash after injection",
+                    run.label
+                );
+                assert_eq!(
+                    mem.is_zero(f),
+                    mem.page(f).iter().all(|&b| b == 0),
+                    "{}: frame {f:?} served a stale zero bit after injection",
+                    run.label
+                );
+            }
+        }
+    }
+}
+
 /// Determinism: the same plan and seed produce the exact same injection
 /// counts and the exact same final memory image — chaos failures are
 /// reproducible by construction.
