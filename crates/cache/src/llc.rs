@@ -211,6 +211,45 @@ impl Llc {
     }
 }
 
+impl vusion_snapshot::Snapshot for Llc {
+    fn save(&self, w: &mut vusion_snapshot::Writer) {
+        w.usize(self.cfg.sets);
+        w.usize(self.cfg.ways);
+        w.u64(self.cfg.line_size);
+        for set in &self.sets {
+            // MRU-first line order is the LRU state; it travels verbatim.
+            w.u64s(&set.lines);
+        }
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+        w.u64(self.stats.evictions);
+        w.u64(self.stats.flushes);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        use vusion_snapshot::SnapshotError;
+        if r.usize()? != self.cfg.sets
+            || r.usize()? != self.cfg.ways
+            || r.u64()? != self.cfg.line_size
+        {
+            return Err(SnapshotError::Corrupt("cache geometry mismatch"));
+        }
+        for set in &mut self.sets {
+            set.lines = r.u64s()?;
+        }
+        self.stats = CacheStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            evictions: r.u64()?,
+            flushes: r.u64()?,
+        };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

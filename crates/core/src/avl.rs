@@ -336,6 +336,78 @@ impl<V> ContentAvlTree<V> {
         self.rebalance(idx)
     }
 
+    /// Serializes the arena slot-for-slot, including the free list, so
+    /// [`Self::load_with`] reproduces identical [`NodeId`]s and slot-reuse
+    /// order.
+    pub fn save_with(
+        &self,
+        w: &mut vusion_snapshot::Writer,
+        mut save_value: impl FnMut(&V, &mut vusion_snapshot::Writer),
+    ) {
+        w.usize(self.nodes.len());
+        for n in &self.nodes {
+            w.u64(n.frame.0);
+            w.usize(n.left);
+            w.usize(n.right);
+            w.u32(n.height as u32);
+            match &n.value {
+                Some(v) => {
+                    w.bool(true);
+                    save_value(v, w);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.usize(self.root);
+        w.usize(self.free.len());
+        for &slot in &self.free {
+            w.usize(slot);
+        }
+        w.usize(self.len);
+    }
+
+    /// Rebuilds a tree written by [`Self::save_with`].
+    pub fn load_with(
+        r: &mut vusion_snapshot::Reader<'_>,
+        mut load_value: impl FnMut(
+            &mut vusion_snapshot::Reader<'_>,
+        ) -> Result<V, vusion_snapshot::SnapshotError>,
+    ) -> Result<Self, vusion_snapshot::SnapshotError> {
+        let count = r.usize()?;
+        let mut nodes = Vec::with_capacity(count);
+        for _ in 0..count {
+            let frame = FrameId(r.u64()?);
+            let left = r.usize()?;
+            let right = r.usize()?;
+            let height = r.u32()? as i32;
+            let value = if r.bool()? {
+                Some(load_value(r)?)
+            } else {
+                None
+            };
+            nodes.push(Node {
+                frame,
+                value,
+                left,
+                right,
+                height,
+            });
+        }
+        let root = r.usize()?;
+        let free_count = r.usize()?;
+        let mut free = Vec::with_capacity(free_count);
+        for _ in 0..free_count {
+            free.push(r.usize()?);
+        }
+        let len = r.usize()?;
+        Ok(Self {
+            nodes,
+            root,
+            free,
+            len,
+        })
+    }
+
     /// Verifies AVL invariants (heights correct, |balance| ≤ 1). Returns
     /// the tree height.
     ///

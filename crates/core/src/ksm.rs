@@ -19,7 +19,7 @@
 use std::collections::{HashMap, HashSet};
 
 use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport};
-use vusion_mem::{FrameId, VirtAddr, PAGE_SIZE};
+use vusion_mem::{CrashSite, FrameId, VirtAddr, PAGE_SIZE};
 use vusion_mmu::{GuestTag, Pte, PteFlags, VmaBacking};
 
 use crate::rbtree::{ContentRbTree, NodeId};
@@ -210,11 +210,13 @@ impl Ksm {
         debug_assert_ne!(stable_frame, old);
         m.mem_mut().info_mut(stable_frame).get();
         *self.stable.value_mut(node) += 1;
-        if m.set_leaf(pid, va, Pte::new(stable_frame, self.merged_flags()))
-            .is_err()
+        if m.crash_now(CrashSite::MidMerge)
+            || m.set_leaf(pid, va, Pte::new(stable_frame, self.merged_flags()))
+                .is_err()
         {
-            // The mapping vanished under us: undo the stable reference and
-            // leave the page alone for a later round.
+            // The mapping vanished under us — or the scanner daemon died
+            // mid-merge: undo the stable reference and leave the page
+            // alone for a later round.
             m.mem_mut().info_mut(stable_frame).put();
             *self.stable.value_mut(node) -= 1;
             m.note_scan_retry();
@@ -403,6 +405,12 @@ impl Ksm {
         let Ok(new) = m.alloc_frame(vusion_mem::PageType::Anon) else {
             return false; // OOM: stay merged; the access retries later.
         };
+        if m.crash_now(CrashSite::MidUnmerge) {
+            // Died after allocating the private copy: recovery frees it;
+            // the page is still merged and the access simply retries.
+            let _ = m.put_frame(new);
+            return false;
+        }
         m.mem_mut().copy_page(stable_frame, new);
         let costs = m.costs();
         m.charge(costs.copy_page + costs.pte_update + costs.buddy_interaction);
@@ -428,6 +436,95 @@ impl Ksm {
         self.merged_live -= 1;
         self.stats.unmerged += 1;
         true
+    }
+}
+
+impl vusion_snapshot::Snapshot for Ksm {
+    fn save(&self, w: &mut vusion_snapshot::Writer) {
+        w.usize(self.cfg.pages_per_scan);
+        w.u64(self.cfg.scan_period_ns);
+        w.bool(self.cfg.unmerge_on_read);
+        w.bool(self.cfg.zero_only);
+        self.stable.save_with(w, |v, w| w.u32(*v));
+        self.stable_hashes.save(w);
+        self.unstable.save_with(w, |e, w| {
+            w.usize(e.pid.0);
+            w.u64(e.va.0);
+            w.u64(e.frame.0);
+        });
+        self.unstable_hashes.save(w);
+        let mut sums: Vec<((usize, u64), u64)> =
+            self.checksums.iter().map(|(&k, &v)| (k, v)).collect();
+        sums.sort_unstable();
+        w.usize(sums.len());
+        for ((pid, page), sum) in sums {
+            w.usize(pid);
+            w.u64(page);
+            w.u64(sum);
+        }
+        self.candidates.save(w);
+        w.u64(self.cursor);
+        w.u64(self.merged_live);
+        self.tags.save(w);
+        w.u64(self.stats.merged);
+        w.u64(self.stats.unmerged);
+        w.u64(self.stats.promotions);
+        w.u64(self.stats.full_rounds);
+        w.u64(self.stats.huge_broken);
+        w.u64(self.stats.checksum_skips);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        self.cfg.pages_per_scan = r.usize()?;
+        self.cfg.scan_period_ns = r.u64()?;
+        self.cfg.unmerge_on_read = r.bool()?;
+        self.cfg.zero_only = r.bool()?;
+        // The trees restore slot-exactly, so rebuilding the reverse map
+        // from live node ids reproduces the pre-snapshot NodeIds.
+        self.stable = ContentRbTree::load_with(r, |r| r.u32())?;
+        self.stable_index = self
+            .stable
+            .ids()
+            .into_iter()
+            .map(|id| (self.stable.frame(id), id))
+            .collect();
+        self.stable_hashes = HashIndex::load(r)?;
+        self.unstable = ContentRbTree::load_with(r, |r| {
+            Ok(UnstableEntry {
+                pid: Pid(r.usize()?),
+                va: VirtAddr(r.u64()?),
+                frame: FrameId(r.u64()?),
+            })
+        })?;
+        self.unstable_hashes = HashIndex::load(r)?;
+        let sums = r.usize()?;
+        self.checksums = HashMap::with_capacity(sums);
+        for _ in 0..sums {
+            let key = (r.usize()?, r.u64()?);
+            self.checksums.insert(key, r.u64()?);
+        }
+        self.candidates = CandidateCache::load(r)?;
+        self.cursor = r.u64()?;
+        self.merged_live = r.u64()?;
+        self.tags = TagCounts::load(r)?;
+        self.stats = KsmStats {
+            merged: r.u64()?,
+            unmerged: r.u64()?,
+            promotions: r.u64()?,
+            full_rounds: r.u64()?,
+            huge_broken: r.u64()?,
+            checksum_skips: r.u64()?,
+        };
+        Ok(())
+    }
+}
+
+impl vusion_snapshot::EngineState for Ksm {
+    fn engine_tag(&self) -> &'static str {
+        "ksm"
     }
 }
 
@@ -457,6 +554,11 @@ impl FusionPolicy for Ksm {
         self.stable_hashes.refresh(m.mem());
         self.unstable_hashes.refresh(m.mem());
         for _ in 0..self.cfg.pages_per_scan {
+            if m.crash_now(CrashSite::MidScan) {
+                // The daemon dies between pages: work already done this
+                // wakeup stays committed, nothing is left in flight.
+                break;
+            }
             let idx = (self.cursor % pages.len() as u64) as usize;
             let (pid, va) = pages[idx];
             self.scan_one(m, pid, va, &mut report);
@@ -502,6 +604,17 @@ impl FusionPolicy for Ksm {
 
     fn scan_period_ns(&self) -> u64 {
         self.cfg.scan_period_ns
+    }
+
+    fn save_state(&self, w: &mut vusion_snapshot::Writer) {
+        vusion_snapshot::Snapshot::save(self, w)
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        vusion_snapshot::Snapshot::load(self, r)
     }
 }
 

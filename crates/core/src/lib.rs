@@ -63,6 +63,26 @@ impl TagCounts {
         }
     }
 
+    /// Appends the four counters to a snapshot.
+    pub fn save(&self, w: &mut vusion_snapshot::Writer) {
+        w.u64(self.page_cache);
+        w.u64(self.guest_buddy);
+        w.u64(self.guest_kernel);
+        w.u64(self.rest);
+    }
+
+    /// Reads counters written by [`Self::save`].
+    pub fn load(
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<Self, vusion_snapshot::SnapshotError> {
+        Ok(Self {
+            page_cache: r.u64()?,
+            guest_buddy: r.u64()?,
+            guest_kernel: r.u64()?,
+            rest: r.u64()?,
+        })
+    }
+
     /// Total pages recorded.
     pub fn total(&self) -> u64 {
         self.page_cache + self.guest_buddy + self.guest_kernel + self.rest

@@ -464,6 +464,88 @@ impl<V> ContentRbTree<V> {
             .collect()
     }
 
+    /// Serializes the arena slot-for-slot — node indices, colors, and the
+    /// free list verbatim — so [`Self::load_with`] reproduces identical
+    /// [`NodeId`]s and engine-side reverse maps survive a restore.
+    pub fn save_with(
+        &self,
+        w: &mut vusion_snapshot::Writer,
+        mut save_value: impl FnMut(&V, &mut vusion_snapshot::Writer),
+    ) {
+        w.usize(self.nodes.len());
+        for n in &self.nodes {
+            w.u64(n.frame.0);
+            w.usize(n.left);
+            w.usize(n.right);
+            w.usize(n.parent);
+            w.u8(match n.color {
+                Color::Red => 0,
+                Color::Black => 1,
+            });
+            match &n.value {
+                Some(v) => {
+                    w.bool(true);
+                    save_value(v, w);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.usize(self.root);
+        w.usize(self.free.len());
+        for &slot in &self.free {
+            w.usize(slot);
+        }
+        w.usize(self.len);
+    }
+
+    /// Rebuilds a tree written by [`Self::save_with`].
+    pub fn load_with(
+        r: &mut vusion_snapshot::Reader<'_>,
+        mut load_value: impl FnMut(
+            &mut vusion_snapshot::Reader<'_>,
+        ) -> Result<V, vusion_snapshot::SnapshotError>,
+    ) -> Result<Self, vusion_snapshot::SnapshotError> {
+        let count = r.usize()?;
+        let mut nodes = Vec::with_capacity(count);
+        for _ in 0..count {
+            let frame = FrameId(r.u64()?);
+            let left = r.usize()?;
+            let right = r.usize()?;
+            let parent = r.usize()?;
+            let color = match r.u8()? {
+                0 => Color::Red,
+                1 => Color::Black,
+                _ => return Err(vusion_snapshot::SnapshotError::Corrupt("bad node color")),
+            };
+            let value = if r.bool()? {
+                Some(load_value(r)?)
+            } else {
+                None
+            };
+            nodes.push(Node {
+                frame,
+                value,
+                left,
+                right,
+                parent,
+                color,
+            });
+        }
+        let root = r.usize()?;
+        let free_count = r.usize()?;
+        let mut free = Vec::with_capacity(free_count);
+        for _ in 0..free_count {
+            free.push(r.usize()?);
+        }
+        let len = r.usize()?;
+        Ok(Self {
+            nodes,
+            root,
+            free,
+            len,
+        })
+    }
+
     /// Verifies the red-black invariants (test/debug helper):
     /// root is black, no red node has a red child, and every root-to-leaf
     /// path has the same black height. Returns the black height.

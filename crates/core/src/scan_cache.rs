@@ -93,6 +93,40 @@ impl HashIndex {
     pub(crate) fn may_contain(&self, mem: &PhysMemory, probe: FrameId) -> bool {
         self.counts.contains_key(&mem.hash_page(probe))
     }
+
+    /// Serializes the per-frame entries (sorted for determinism). The hash
+    /// multiset is derivable, so only `by_frame` is written.
+    pub(crate) fn save(&self, w: &mut vusion_snapshot::Writer) {
+        let mut entries: Vec<(u64, u64, u64)> = self
+            .by_frame
+            .iter()
+            .map(|(f, &(hash, gen))| (f.0, hash, gen))
+            .collect();
+        entries.sort_unstable();
+        w.usize(entries.len());
+        for (frame, hash, gen) in entries {
+            w.u64(frame);
+            w.u64(hash);
+            w.u64(gen);
+        }
+    }
+
+    /// Rebuilds an index written by [`Self::save`].
+    pub(crate) fn load(
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<Self, vusion_snapshot::SnapshotError> {
+        let count = r.usize()?;
+        let mut by_frame = HashMap::with_capacity(count);
+        let mut counts = HashMap::new();
+        for _ in 0..count {
+            let frame = FrameId(r.u64()?);
+            let hash = r.u64()?;
+            let gen = r.u64()?;
+            by_frame.insert(frame, (hash, gen));
+            Self::bump(&mut counts, hash);
+        }
+        Ok(Self { by_frame, counts })
+    }
 }
 
 /// Cached `mergeable_pages` enumeration, invalidated by the machine's
@@ -128,6 +162,40 @@ impl CandidateCache {
     /// Restores the list taken by [`CandidateCache::take`].
     pub(crate) fn put_back(&mut self, pages: Vec<(Pid, VirtAddr)>) {
         self.pages = pages;
+    }
+
+    /// Serializes the cached list and its epoch stamp.
+    pub(crate) fn save(&self, w: &mut vusion_snapshot::Writer) {
+        match self.epoch {
+            Some((procs, layout_gen)) => {
+                w.bool(true);
+                w.usize(procs);
+                w.u64(layout_gen);
+            }
+            None => w.bool(false),
+        }
+        w.usize(self.pages.len());
+        for &(pid, va) in &self.pages {
+            w.usize(pid.0);
+            w.u64(va.0);
+        }
+    }
+
+    /// Rebuilds a cache written by [`Self::save`].
+    pub(crate) fn load(
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<Self, vusion_snapshot::SnapshotError> {
+        let epoch = if r.bool()? {
+            Some((r.usize()?, r.u64()?))
+        } else {
+            None
+        };
+        let count = r.usize()?;
+        let mut pages = Vec::with_capacity(count);
+        for _ in 0..count {
+            pages.push((Pid(r.usize()?), VirtAddr(r.u64()?)));
+        }
+        Ok(Self { pages, epoch })
     }
 }
 

@@ -31,8 +31,8 @@ use std::collections::HashMap;
 
 use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport};
 use vusion_mem::{
-    DeferredFreeQueue, FrameId, MmError, PageType, RandomPool, VirtAddr, HUGE_PAGE_FRAMES,
-    PAGE_SIZE,
+    CrashSite, DeferredFreeQueue, FrameId, MmError, PageType, RandomPool, VirtAddr,
+    HUGE_PAGE_FRAMES, PAGE_SIZE,
 };
 use vusion_mmu::{GuestTag, Pte, PteFlags, VmaBacking};
 
@@ -386,10 +386,12 @@ impl VUsion {
             Some(node) => {
                 let shared = self.tree.frame(node);
                 m.mem_mut().info_mut(shared).get();
-                if m.set_leaf(pid, va, Pte::new(shared, self.trapped_flags()))
-                    .is_err()
+                if m.crash_now(CrashSite::MidMerge)
+                    || m.set_leaf(pid, va, Pte::new(shared, self.trapped_flags()))
+                        .is_err()
                 {
-                    // The mapping vanished under us: undo and retry later.
+                    // The mapping vanished under us — or the scanner died
+                    // mid-merge: undo and retry later.
                     m.mem_mut().info_mut(shared).put();
                     m.note_scan_retry();
                     return;
@@ -411,8 +413,9 @@ impl VUsion {
                     return;
                 };
                 m.mem_mut().copy_page(frame, new);
-                if m.set_leaf(pid, va, Pte::new(new, self.trapped_flags()))
-                    .is_err()
+                if m.crash_now(CrashSite::MidMerge)
+                    || m.set_leaf(pid, va, Pte::new(new, self.trapped_flags()))
+                        .is_err()
                 {
                     if m.mem_mut().info_mut(new).put() {
                         self.ra_release(m, new);
@@ -495,6 +498,14 @@ impl VUsion {
         let Ok(new) = self.ra_alloc(m, PageType::Anon) else {
             return false;
         };
+        if m.crash_now(CrashSite::MidUnmerge) {
+            // Died after drawing the private copy: recovery returns it to
+            // the pool; the page stays merged and the access retries.
+            if m.mem_mut().info_mut(new).put() {
+                self.ra_release(m, new);
+            }
+            return false;
+        }
         m.mem_mut().copy_page(shared, new);
         let mut flags = PteFlags::PRESENT | PteFlags::USER | PteFlags::ACCESSED;
         if vma.prot.write {
@@ -565,6 +576,13 @@ impl VUsion {
     /// color each round.
     fn rerandomize_round(&mut self, m: &mut Machine) {
         for node in self.tree.ids() {
+            if m.crash_now(CrashSite::MidRerandomization) {
+                // Died between nodes: pages re-randomized so far keep
+                // their new frames, the rest keep their old ones — every
+                // intermediate state is a valid tree.
+                m.note_scan_retry();
+                continue;
+            }
             let old = self.tree.frame(node);
             let mappings = self.tree.value(node).clone();
             let Ok(new) = self.ra_alloc(m, PageType::Fused) else {
@@ -638,6 +656,116 @@ impl VUsion {
     }
 }
 
+impl vusion_snapshot::Snapshot for VUsion {
+    fn save(&self, w: &mut vusion_snapshot::Writer) {
+        w.usize(self.cfg.pages_per_scan);
+        w.u64(self.cfg.scan_period_ns);
+        w.usize(self.cfg.pool_frames);
+        w.bool(self.cfg.thp_enhancements);
+        w.usize(self.cfg.deferred_drain_per_wake);
+        w.usize(self.cfg.ra_trace_cap);
+        w.bool(self.cfg.ablate_pcd);
+        w.bool(self.cfg.ablate_deferred_free);
+        w.bool(self.cfg.ablate_rerandomize);
+        self.tree.save_with(w, |mappings, w| {
+            w.usize(mappings.len());
+            for &(pid, va) in mappings {
+                w.usize(pid.0);
+                w.u64(va.0);
+            }
+        });
+        self.tree_hashes.save(w);
+        self.candidates.save(w);
+        let mut pages: Vec<((usize, u64), usize)> =
+            self.page_state.iter().map(|(&k, &v)| (k, v.0)).collect();
+        pages.sort_unstable();
+        w.usize(pages.len());
+        for ((pid, page), node) in pages {
+            w.usize(pid);
+            w.u64(page);
+            w.usize(node);
+        }
+        self.pool.save(w);
+        self.deferred.save(w);
+        w.u64(self.cursor);
+        w.u64(self.saved);
+        w.u64s(&self.ra_trace);
+        self.tags.save(w);
+        w.u64(self.stats.merged);
+        w.u64(self.stats.fake_merged);
+        w.u64(self.stats.coa_unmerges);
+        w.u64(self.stats.skipped_active);
+        w.u64(self.stats.huge_broken);
+        w.u64(self.stats.huge_conserved);
+        w.u64(self.stats.rerandomized);
+        w.u64(self.stats.collapse_unmerges);
+        w.u64(self.stats.full_rounds);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        self.cfg.pages_per_scan = r.usize()?;
+        self.cfg.scan_period_ns = r.u64()?;
+        self.cfg.pool_frames = r.usize()?;
+        self.cfg.thp_enhancements = r.bool()?;
+        self.cfg.deferred_drain_per_wake = r.usize()?;
+        self.cfg.ra_trace_cap = r.usize()?;
+        self.cfg.ablate_pcd = r.bool()?;
+        self.cfg.ablate_deferred_free = r.bool()?;
+        self.cfg.ablate_rerandomize = r.bool()?;
+        self.tree = ContentRbTree::load_with(r, |r| {
+            let count = r.usize()?;
+            let mut mappings = Vec::with_capacity(count);
+            for _ in 0..count {
+                mappings.push((Pid(r.usize()?), VirtAddr(r.u64()?)));
+            }
+            Ok(mappings)
+        })?;
+        // Slot-exact tree restore keeps NodeIds valid, so both reverse
+        // maps can be rebuilt (tree_index) or reloaded (page_state).
+        self.tree_index = self
+            .tree
+            .ids()
+            .into_iter()
+            .map(|id| (self.tree.frame(id), id))
+            .collect();
+        self.tree_hashes = HashIndex::load(r)?;
+        self.candidates = CandidateCache::load(r)?;
+        let pages = r.usize()?;
+        self.page_state = HashMap::with_capacity(pages);
+        for _ in 0..pages {
+            let key = (r.usize()?, r.u64()?);
+            self.page_state.insert(key, NodeId(r.usize()?));
+        }
+        self.pool.load(r)?;
+        self.deferred.load(r)?;
+        self.cursor = r.u64()?;
+        self.saved = r.u64()?;
+        self.ra_trace = r.u64s()?;
+        self.tags = TagCounts::load(r)?;
+        self.stats = VUsionStats {
+            merged: r.u64()?,
+            fake_merged: r.u64()?,
+            coa_unmerges: r.u64()?,
+            skipped_active: r.u64()?,
+            huge_broken: r.u64()?,
+            huge_conserved: r.u64()?,
+            rerandomized: r.u64()?,
+            collapse_unmerges: r.u64()?,
+            full_rounds: r.u64()?,
+        };
+        Ok(())
+    }
+}
+
+impl vusion_snapshot::EngineState for VUsion {
+    fn engine_tag(&self) -> &'static str {
+        "vusion"
+    }
+}
+
 impl FusionPolicy for VUsion {
     fn name(&self) -> &'static str {
         "vusion"
@@ -661,6 +789,11 @@ impl FusionPolicy for VUsion {
             return report;
         }
         for _ in 0..self.cfg.pages_per_scan {
+            if m.crash_now(CrashSite::MidScan) {
+                // The daemon dies between pages: work already done this
+                // wakeup stays committed, nothing is left in flight.
+                break;
+            }
             let idx = (self.cursor % pages.len() as u64) as usize;
             let (pid, va) = pages[idx];
             self.scan_one(m, pid, va, &mut report);
@@ -716,6 +849,17 @@ impl FusionPolicy for VUsion {
 
     fn scan_period_ns(&self) -> u64 {
         self.cfg.scan_period_ns
+    }
+
+    fn save_state(&self, w: &mut vusion_snapshot::Writer) {
+        vusion_snapshot::Snapshot::save(self, w)
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        vusion_snapshot::Snapshot::load(self, r)
     }
 }
 

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 
 use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport};
 use vusion_mem::{
-    FrameAllocator, FrameId, LinearAllocator, MmError, PageType, VirtAddr, PAGE_SIZE,
+    CrashSite, FrameAllocator, FrameId, LinearAllocator, MmError, PageType, VirtAddr, PAGE_SIZE,
 };
 use vusion_mmu::{GuestTag, Pte, PteFlags, VmaBacking};
 
@@ -226,6 +226,11 @@ impl Wpf {
             candidates.push((m.mem().hash_page(frame), pid.0, va.0, frame));
         }
         self.candidates.put_back(pages);
+        if m.crash_now(CrashSite::MidScan) {
+            // The pass dies after the read-only hashing stage: nothing has
+            // been mutated yet.
+            return report;
+        }
         // 2. Sort by hash (the order that drives backing-frame adjacency).
         candidates.sort();
         // 3. Walk hash groups, verify content equality, plan merges.
@@ -282,6 +287,12 @@ impl Wpf {
         let mut batch_iter = batch.into_iter();
         // 5. Merge, assigning new frames in hash order.
         for group in groups {
+            if m.crash_now(CrashSite::MidMerge) {
+                // Died between groups: merges committed so far stand;
+                // frames reserved for the remaining groups are returned
+                // below.
+                break;
+            }
             let is_new = group.existing.is_none();
             let tree_frame = match group.existing {
                 Some(f) => f,
@@ -366,6 +377,11 @@ impl Wpf {
                 let _ = self.linear.free(tree_frame);
             }
         }
+        // Batch frames never consumed (a mid-pass crash) were reserved but
+        // never mapped: hand them straight back to the linear allocator.
+        for f in batch_iter {
+            let _ = self.linear.free(f);
+        }
         self.stats.passes += 1;
         report
     }
@@ -386,6 +402,12 @@ impl Wpf {
         let Ok(new) = m.alloc_frame(PageType::Anon) else {
             return false; // OOM: stay merged; the access retries later.
         };
+        if m.crash_now(CrashSite::MidUnmerge) {
+            // Died after allocating the private copy: recovery frees it;
+            // the page is still merged and the access simply retries.
+            let _ = m.put_frame(new);
+            return false;
+        }
         m.mem_mut().copy_page(tree_frame, new);
         let costs = m.costs();
         m.charge(costs.copy_page + costs.pte_update + costs.buddy_interaction);
@@ -434,6 +456,55 @@ impl Wpf {
     }
 }
 
+impl vusion_snapshot::Snapshot for Wpf {
+    fn save(&self, w: &mut vusion_snapshot::Writer) {
+        w.u64(self.cfg.pass_period_ns);
+        self.avl.save_with(w, |v, w| w.u32(*v));
+        let mut owned: Vec<u64> = self.avl_index.keys().map(|f| f.0).collect();
+        owned.sort_unstable();
+        w.u64s(&owned);
+        self.avl_hashes.save(w);
+        self.candidates.save(w);
+        self.linear.save(w);
+        w.u64(self.merged_live);
+        self.tags.save(w);
+        w.u64(self.stats.merged);
+        w.u64(self.stats.unmerged);
+        w.u64(self.stats.tree_pages_allocated);
+        w.u64(self.stats.passes);
+        let last: Vec<u64> = self.last_pass_frames.iter().map(|f| f.0).collect();
+        w.u64s(&last);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        self.cfg.pass_period_ns = r.u64()?;
+        self.avl = ContentAvlTree::load_with(r, |r| r.u32())?;
+        self.avl_index = r.u64s()?.into_iter().map(|f| (FrameId(f), ())).collect();
+        self.avl_hashes = HashIndex::load(r)?;
+        self.candidates = CandidateCache::load(r)?;
+        self.linear.load(r)?;
+        self.merged_live = r.u64()?;
+        self.tags = TagCounts::load(r)?;
+        self.stats = WpfStats {
+            merged: r.u64()?,
+            unmerged: r.u64()?,
+            tree_pages_allocated: r.u64()?,
+            passes: r.u64()?,
+        };
+        self.last_pass_frames = r.u64s()?.into_iter().map(FrameId).collect();
+        Ok(())
+    }
+}
+
+impl vusion_snapshot::EngineState for Wpf {
+    fn engine_tag(&self) -> &'static str {
+        "wpf"
+    }
+}
+
 impl FusionPolicy for Wpf {
     fn name(&self) -> &'static str {
         "wpf"
@@ -470,6 +541,17 @@ impl FusionPolicy for Wpf {
 
     fn scan_period_ns(&self) -> u64 {
         self.cfg.pass_period_ns
+    }
+
+    fn save_state(&self, w: &mut vusion_snapshot::Writer) {
+        vusion_snapshot::Snapshot::save(self, w)
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        vusion_snapshot::Snapshot::load(self, r)
     }
 }
 

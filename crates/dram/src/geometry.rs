@@ -136,6 +136,38 @@ impl RowBuffers {
     }
 }
 
+impl vusion_snapshot::Snapshot for RowBuffers {
+    fn save(&self, w: &mut vusion_snapshot::Writer) {
+        w.u64(self.cfg.banks);
+        w.u64(self.cfg.row_size);
+        for slot in &self.open {
+            match slot {
+                Some(row) => {
+                    w.bool(true);
+                    w.u64(*row);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.u64(self.activations);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        use vusion_snapshot::SnapshotError;
+        if r.u64()? != self.cfg.banks || r.u64()? != self.cfg.row_size {
+            return Err(SnapshotError::Corrupt("dram geometry mismatch"));
+        }
+        for slot in &mut self.open {
+            *slot = if r.bool()? { Some(r.u64()?) } else { None };
+        }
+        self.activations = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

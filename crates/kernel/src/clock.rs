@@ -103,6 +103,28 @@ impl Jitter {
         }
     }
 
+    /// Serializes the jitter stream (RNG position and band width).
+    pub fn save(&self, w: &mut vusion_snapshot::Writer) {
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        w.f64(self.frac);
+    }
+
+    /// Restores a jitter stream saved by [`Self::save`].
+    pub fn load(
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<Self, vusion_snapshot::SnapshotError> {
+        let mut s = [0u64; 4];
+        for x in &mut s {
+            *x = r.u64()?;
+        }
+        Ok(Self {
+            rng: StdRng::from_state(s),
+            frac: r.f64()?,
+        })
+    }
+
     /// Returns `base` perturbed by up to ±`frac`.
     pub fn apply(&mut self, base: u64) -> u64 {
         if base == 0 || self.frac <= 0.0 {

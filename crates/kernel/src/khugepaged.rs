@@ -62,6 +62,34 @@ impl Khugepaged {
         self.stats
     }
 
+    /// Serializes the daemon (knobs, scan cursor, counters).
+    pub fn save(&self, w: &mut vusion_snapshot::Writer) {
+        w.u64(self.period_ns);
+        w.usize(self.ranges_per_scan);
+        w.usize(self.min_active);
+        w.usize(self.cursor);
+        w.u64(self.stats.collapsed);
+        w.u64(self.stats.blocked_by_policy);
+        w.u64(self.stats.skipped);
+    }
+
+    /// Restores a daemon saved by [`Self::save`].
+    pub fn load(
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<Self, vusion_snapshot::SnapshotError> {
+        Ok(Self {
+            period_ns: r.u64()?,
+            ranges_per_scan: r.usize()?,
+            min_active: r.usize()?,
+            cursor: r.usize()?,
+            stats: KhugepagedStats {
+                collapsed: r.u64()?,
+                blocked_by_policy: r.u64()?,
+                skipped: r.u64()?,
+            },
+        })
+    }
+
     /// Enumerates all 2 MiB-aligned candidate ranges in anonymous writable
     /// VMAs across all processes.
     fn candidates(m: &Machine) -> Vec<(Pid, VirtAddr)> {

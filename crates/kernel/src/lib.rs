@@ -23,6 +23,7 @@
 //!   overhead the paper measures (§9.2).
 
 pub mod clock;
+pub mod journal;
 pub mod khugepaged;
 pub mod machine;
 pub mod policy;
@@ -30,6 +31,7 @@ pub mod process;
 pub mod system;
 
 pub use clock::{CostModel, SimClock};
+pub use journal::JournalEvent;
 pub use khugepaged::{Khugepaged, KhugepagedStats};
 pub use machine::{AccessKind, FaultReason, Machine, MachineConfig, MachineStats, PageFault, Pid};
 pub use policy::{FusionPolicy, NoFusion, ScanReport};

@@ -4,14 +4,17 @@ use std::collections::HashMap;
 use vusion_cache::{CacheOutcome, Llc, LlcConfig};
 use vusion_dram::{DramConfig, FlipEvent, RowBufferOutcome, RowBuffers, RowhammerModel};
 use vusion_mem::{
-    BuddyAllocator, FaultInjector, FaultPlan, FrameAllocator, FrameId, FrameState, MmError,
-    PageType, PhysAddr, PhysMemory, VirtAddr, HUGE_PAGE_FRAMES, HUGE_PAGE_SIZE, PAGE_SIZE,
+    BuddyAllocator, CrashInjector, CrashPlan, CrashSite, FaultInjector, FaultPlan, FrameAllocator,
+    FrameId, FrameState, MmError, PageType, PhysAddr, PhysMemory, VirtAddr, HUGE_PAGE_FRAMES,
+    HUGE_PAGE_SIZE, PAGE_SIZE,
 };
-use vusion_mmu::{AddressSpace, LeafInfo, Pte, PteFlags, TlbEntry, Vma, VmaBacking};
+use vusion_mmu::{AddressSpace, LeafInfo, Pte, PteFlags, Tlb, TlbEntry, Vma, VmaBacking};
 use vusion_rng::rngs::StdRng;
 use vusion_rng::SeedableRng;
+use vusion_snapshot::{Reader, Snapshot, SnapshotError, Writer};
 
 use crate::clock::{CostModel, Jitter, SimClock};
+use crate::journal::JournalEvent;
 use crate::process::Process;
 
 /// Process identifier.
@@ -118,6 +121,11 @@ pub struct MachineConfig {
     /// Inert until [`Machine::arm_faults`] is called, so machine and engine
     /// construction stay deterministic regardless of the plan.
     pub fault_plan: FaultPlan,
+    /// Seeded crash-point plan, mirroring `fault_plan`: inert until
+    /// [`Machine::arm_crashes`] is called, after which the engine whose
+    /// crash-site poll matches aborts that operation mid-flight exactly
+    /// once.
+    pub crash_plan: CrashPlan,
 }
 
 impl MachineConfig {
@@ -134,6 +142,7 @@ impl MachineConfig {
             weak_row_fraction: 0.35,
             reserved_top_frames: 0,
             fault_plan: FaultPlan::NONE,
+            crash_plan: CrashPlan::NONE,
         }
     }
 
@@ -149,6 +158,7 @@ impl MachineConfig {
             weak_row_fraction: 0.35,
             reserved_top_frames: 0,
             fault_plan: FaultPlan::NONE,
+            crash_plan: CrashPlan::NONE,
         }
     }
 
@@ -176,6 +186,13 @@ impl MachineConfig {
         self.fault_plan = plan;
         self
     }
+
+    /// Sets the crash-point plan (armed later via
+    /// [`Machine::arm_crashes`]).
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
 }
 
 /// The simulated machine.
@@ -193,8 +210,15 @@ pub struct Machine {
     /// Scan-time fault source (checksum corruption, observed bit flips),
     /// salted independently from the allocator's injector.
     scan_injector: FaultInjector,
+    /// Crash-point source, inert until [`Machine::arm_crashes`].
+    crash_injector: CrashInjector,
     processes: Vec<Process>,
     stats: MachineStats,
+    journal: Vec<JournalEvent>,
+    journal_on: bool,
+    /// Non-zero while a composite operation (page-wise read/write, replay)
+    /// is recording itself: inner byte accesses must not double-journal.
+    journal_suspend: u32,
 }
 
 impl Machine {
@@ -218,8 +242,12 @@ impl Machine {
             jitter: Jitter::new(cfg.seed ^ 0x1177, cfg.costs.jitter),
             policy_rng: StdRng::seed_from_u64(cfg.seed ^ 0xbeef),
             scan_injector: FaultInjector::new(FaultPlan::NONE, cfg.seed ^ 0x5ca1),
+            crash_injector: CrashInjector::new(CrashPlan::NONE),
             processes: Vec::new(),
             stats: MachineStats::default(),
+            journal: Vec::new(),
+            journal_on: false,
+            journal_suspend: 0,
         }
     }
 
@@ -228,10 +256,76 @@ impl Machine {
     /// injectors. Called *after* setup (spawns, engine construction) so a
     /// chaos run perturbs steady-state behavior, not construction.
     pub fn arm_faults(&mut self) {
+        self.record(|| JournalEvent::ArmFaults);
         let plan = self.cfg.fault_plan;
         self.buddy
             .set_fault_injector(FaultInjector::new(plan, self.cfg.seed ^ 0xfa01));
         self.scan_injector = FaultInjector::new(plan, self.cfg.seed ^ 0x5ca1);
+    }
+
+    /// Arms the configured [`CrashPlan`]: subsequent [`Self::crash_now`]
+    /// polls count toward the planned crash point. Deliberately *not*
+    /// journaled — a replay of a crashed run must converge to the
+    /// uncrashed execution of the same call sequence.
+    pub fn arm_crashes(&mut self) {
+        self.crash_injector = CrashInjector::new(self.cfg.crash_plan);
+    }
+
+    /// Polls the crash injector at a named crash site. Engines call this
+    /// at the top of interruptible operations; `true` means "the kernel
+    /// thread died here": abandon the operation mid-flight (after restoring
+    /// whatever invariant-preserving cleanup the call site defines).
+    pub fn crash_now(&mut self, site: CrashSite) -> bool {
+        self.crash_injector.should_crash(site)
+    }
+
+    /// How many crashes have fired since arming.
+    pub fn crashes_fired(&self) -> u64 {
+        self.crash_injector.fired()
+    }
+
+    // ------------------------------------------------------------------
+    // Event journal
+    // ------------------------------------------------------------------
+
+    /// Turns on journaling (off by default: benchmarks drive millions of
+    /// operations and must not accumulate events).
+    pub fn enable_journal(&mut self) {
+        self.journal_on = true;
+    }
+
+    /// Whether events are currently being recorded.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal_on && self.journal_suspend == 0
+    }
+
+    /// Drops all recorded events (e.g. right after taking a snapshot, so
+    /// the journal describes exactly the delta since it).
+    pub fn clear_journal(&mut self) {
+        self.journal.clear();
+    }
+
+    /// The events recorded so far.
+    pub fn journal(&self) -> &[JournalEvent] {
+        &self.journal
+    }
+
+    /// Suspends recording (composite operations, replay).
+    pub fn suspend_journal(&mut self) {
+        self.journal_suspend += 1;
+    }
+
+    /// Resumes recording after [`Self::suspend_journal`].
+    pub fn resume_journal(&mut self) {
+        self.journal_suspend = self.journal_suspend.saturating_sub(1);
+    }
+
+    /// Appends an event if journaling is on; the closure keeps event
+    /// construction (string/box allocation) off the hot path.
+    pub fn record(&mut self, ev: impl FnOnce() -> JournalEvent) {
+        if self.journal_on && self.journal_suspend == 0 {
+            self.journal.push(ev());
+        }
     }
 
     /// A page hash as the *scanner* observes it: the machine's fault plan
@@ -337,6 +431,9 @@ impl Machine {
     /// Spawns a process; returns its pid, or [`MmError::OutOfFrames`] when
     /// no frame remains for its top-level page table.
     pub fn spawn(&mut self, name: &str) -> Result<Pid, MmError> {
+        self.record(|| JournalEvent::Spawn {
+            name: name.to_string(),
+        });
         let space = AddressSpace::new(&mut self.mem, &mut self.buddy)?;
         self.processes.push(Process::new(name, space));
         Ok(Pid(self.processes.len() - 1))
@@ -367,11 +464,13 @@ impl Machine {
 
     /// Adds a VMA to a process (`mmap`).
     pub fn mmap(&mut self, pid: Pid, vma: Vma) {
+        self.record(|| JournalEvent::Mmap { pid, vma });
         self.processes[pid.0].space.add_vma(vma);
     }
 
     /// Registers memory for fusion (`madvise(MADV_MERGEABLE)`).
     pub fn madvise_mergeable(&mut self, pid: Pid, start: VirtAddr, pages: u64) -> usize {
+        self.record(|| JournalEvent::Madvise { pid, start, pages });
         self.processes[pid.0].space.madvise_mergeable(start, pages)
     }
 
@@ -951,6 +1050,12 @@ impl Machine {
         va2: VirtAddr,
         iterations: u64,
     ) -> Vec<FlipEvent> {
+        self.record(|| JournalEvent::Hammer {
+            pid,
+            va1,
+            va2,
+            iterations,
+        });
         let Some(p1) = self.translate_quiet(pid, va1) else {
             return Vec::new();
         };
@@ -996,7 +1101,12 @@ impl Machine {
     /// 2. no frame is referenced by more leaf mappings than its refcount
     ///    (engines may hold extra references — tree nodes, deferred-free
     ///    queues — so `mappings ≤ refcount` is the sound direction; more
-    ///    mappings than references means a refcount underflow).
+    ///    mappings than references means a refcount underflow), and
+    /// 3. every *shared* frame (refcount > 1) is mapped read-only or
+    ///    reserved-bit-trapped in every leaf PTE that references it — a
+    ///    writable mapping of a shared frame would let one process corrupt
+    ///    another's memory, the exact bug class fusion engines must never
+    ///    introduce (§2, §7.1).
     ///
     /// Chaos tests call this after every fault-injected churn round.
     pub fn audit_frames(&self) -> Vec<String> {
@@ -1042,6 +1152,15 @@ impl Machine {
                             "p{i} {va:?}: mapped frame {frame:?} has refcount 0"
                         ));
                     }
+                    if info.refcount > 1
+                        && leaf.pte.has(PteFlags::WRITABLE)
+                        && !leaf.pte.is_trapped()
+                    {
+                        violations.push(format!(
+                            "p{i} {va:?}: shared frame {frame:?} (refcount {}) mapped writable",
+                            info.refcount
+                        ));
+                    }
                     *mapped.entry(frame).or_insert(0) += 1;
                     pg += step;
                 }
@@ -1056,6 +1175,134 @@ impl Machine {
             }
         }
         violations
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / restore
+    // ------------------------------------------------------------------
+
+    /// Serializes the complete machine state: physical frames and their
+    /// metadata, the buddy allocator, caches, DRAM row buffers, clock,
+    /// every RNG stream, injectors, and all processes (address spaces,
+    /// TLBs, page caches). The journal is *not* included — a snapshot is
+    /// state at a point in time; the journal is what happened after it,
+    /// and the two travel separately in failure bundles.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.u64(self.cfg.frames);
+        w.u64(self.cfg.seed);
+        self.mem.save(w);
+        self.buddy.save(w);
+        self.llc.save(w);
+        self.rows.save(w);
+        w.u64(self.clock.now_ns());
+        self.jitter.save(w);
+        for s in self.policy_rng.state() {
+            w.u64(s);
+        }
+        self.scan_injector.save(w);
+        self.crash_injector.save(w);
+        w.usize(self.processes.len());
+        for p in &self.processes {
+            w.str(&p.name);
+            p.space.save(w);
+            p.tlb.save(w);
+            let mut entries: Vec<(u64, u64, u64)> = p
+                .page_cache
+                .iter()
+                .map(|(&(file, page), &frame)| (file, page, frame.0))
+                .collect();
+            entries.sort_unstable();
+            w.usize(entries.len());
+            for (file, page, frame) in entries {
+                w.u64(file);
+                w.u64(page);
+                w.u64(frame);
+            }
+        }
+        let s = self.stats;
+        for v in [
+            s.reads,
+            s.writes,
+            s.prefetches,
+            s.faults_not_mapped,
+            s.faults_trapped,
+            s.faults_write_protected,
+            s.demand_zero,
+            s.demand_huge,
+            s.demand_file,
+            s.cow_copies,
+            s.bit_flips,
+            s.oom_events,
+            s.injected_faults,
+            s.scan_retries,
+            s.deferred_drains,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Restores state saved by [`Self::save_state`] into a machine built
+    /// with the *same configuration* (geometry and seed are verified; the
+    /// Rowhammer model, being a pure function of config, is not
+    /// serialized). The journal is left untouched.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        if r.u64()? != self.cfg.frames || r.u64()? != self.cfg.seed {
+            return Err(SnapshotError::Corrupt("machine config mismatch"));
+        }
+        self.mem.load(r)?;
+        self.buddy.load(r)?;
+        self.llc.load(r)?;
+        self.rows.load(r)?;
+        self.clock = SimClock::new();
+        self.clock.advance(r.u64()?);
+        self.jitter = Jitter::load(r)?;
+        let mut s = [0u64; 4];
+        for x in &mut s {
+            *x = r.u64()?;
+        }
+        self.policy_rng = StdRng::from_state(s);
+        self.scan_injector.load(r)?;
+        self.crash_injector.load(r)?;
+        let n = r.usize()?;
+        self.processes.clear();
+        for _ in 0..n {
+            let name = r.str()?;
+            let space = AddressSpace::load(r)?;
+            let mut tlb = Tlb::skylake();
+            tlb.load(r)?;
+            let mut page_cache = HashMap::new();
+            let entries = r.usize()?;
+            for _ in 0..entries {
+                let file = r.u64()?;
+                let page = r.u64()?;
+                let frame = FrameId(r.u64()?);
+                page_cache.insert((file, page), frame);
+            }
+            self.processes.push(Process {
+                name,
+                space,
+                tlb,
+                page_cache,
+            });
+        }
+        self.stats = MachineStats {
+            reads: r.u64()?,
+            writes: r.u64()?,
+            prefetches: r.u64()?,
+            faults_not_mapped: r.u64()?,
+            faults_trapped: r.u64()?,
+            faults_write_protected: r.u64()?,
+            demand_zero: r.u64()?,
+            demand_huge: r.u64()?,
+            demand_file: r.u64()?,
+            cow_copies: r.u64()?,
+            bit_flips: r.u64()?,
+            oom_events: r.u64()?,
+            injected_faults: r.u64()?,
+            scan_retries: r.u64()?,
+            deferred_drains: r.u64()?,
+        };
+        Ok(())
     }
 
     /// Counts 2 MiB mappings currently installed for a process's anonymous

@@ -71,6 +71,23 @@ pub trait FusionPolicy {
     fn scan_period_ns(&self) -> u64 {
         20_000_000
     }
+
+    /// Serializes the engine's complete scan/merge state into a snapshot.
+    /// Stateless policies keep the default no-op; real engines implement
+    /// `vusion_snapshot::EngineState` and delegate here.
+    fn save_state(&self, w: &mut vusion_snapshot::Writer) {
+        let _ = w;
+    }
+
+    /// Restores state written by [`Self::save_state`] into a freshly
+    /// constructed policy of the same kind.
+    fn restore_state(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// The "No dedup" baseline: never merges, never handles faults.
@@ -114,6 +131,19 @@ impl<P: FusionPolicy + ?Sized> FusionPolicy for Box<P> {
 
     fn scan_period_ns(&self) -> u64 {
         (**self).scan_period_ns()
+    }
+
+    // Explicitly forwarded: falling back to the trait defaults here would
+    // silently snapshot a boxed engine as empty.
+    fn save_state(&self, w: &mut vusion_snapshot::Writer) {
+        (**self).save_state(w)
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        (**self).restore_state(r)
     }
 }
 

@@ -6,7 +6,9 @@
 //! how `ksmd` wakes every `T` ms on a spare core.
 
 use vusion_mem::{MmError, VirtAddr, PAGE_SIZE};
+use vusion_snapshot::{Reader, SnapshotError, Writer};
 
+use crate::journal::JournalEvent;
 use crate::khugepaged::Khugepaged;
 use crate::machine::{Machine, PageFault, Pid};
 use crate::policy::{FusionPolicy, ScanReport};
@@ -111,6 +113,7 @@ impl<P: FusionPolicy> System<P> {
     /// [`MmError::UnresolvableFault`] (SIGSEGV) or
     /// [`MmError::FaultLivelock`] when the retry budget is exhausted.
     pub fn try_read(&mut self, pid: Pid, va: VirtAddr) -> Result<u8, MmError> {
+        self.machine.record(|| JournalEvent::Read { pid, va });
         self.background();
         for _ in 0..8 {
             match self.machine.read(pid, va) {
@@ -125,6 +128,8 @@ impl<P: FusionPolicy> System<P> {
     /// Timed write of one byte, retrying through faults; errors as
     /// [`Self::try_read`].
     pub fn try_write(&mut self, pid: Pid, va: VirtAddr, value: u8) -> Result<(), MmError> {
+        self.machine
+            .record(|| JournalEvent::Write { pid, va, value });
         self.background();
         for _ in 0..8 {
             match self.machine.write(pid, va, value) {
@@ -154,6 +159,7 @@ impl<P: FusionPolicy> System<P> {
 
     /// Prefetch (never faults).
     pub fn prefetch(&mut self, pid: Pid, va: VirtAddr) {
+        self.machine.record(|| JournalEvent::Prefetch { pid, va });
         self.background();
         self.machine.prefetch(pid, va);
     }
@@ -162,10 +168,14 @@ impl<P: FusionPolicy> System<P> {
     /// then one access per remaining cache line.
     pub fn read_page(&mut self, pid: Pid, va: VirtAddr) -> [u8; PAGE_SIZE as usize] {
         let base = va.page_base();
+        // One composite event; the inner byte reads must not re-journal.
+        self.machine.record(|| JournalEvent::ReadPage { pid, va });
+        self.machine.suspend_journal();
         self.read(pid, base);
         for line in 1..(PAGE_SIZE / 64) {
             self.read(pid, VirtAddr(base.0 + line * 64));
         }
+        self.machine.resume_journal();
         match self.machine.translate_quiet(pid, base) {
             Some(pa) => *self.machine.mem().page(pa.frame()),
             // The page never got mapped (OOM during demand paging): the
@@ -179,6 +189,12 @@ impl<P: FusionPolicy> System<P> {
     /// backing frame.
     pub fn write_page(&mut self, pid: Pid, va: VirtAddr, content: &[u8; PAGE_SIZE as usize]) {
         let base = va.page_base();
+        self.machine.record(|| JournalEvent::WritePage {
+            pid,
+            va,
+            content: Box::new(*content),
+        });
+        self.machine.suspend_journal();
         self.write(pid, base, content[0]);
         for line in 1..(PAGE_SIZE / 64) {
             self.write(
@@ -187,6 +203,7 @@ impl<P: FusionPolicy> System<P> {
                 content[(line * 64) as usize],
             );
         }
+        self.machine.resume_journal();
         if let Some(pa) = self.machine.translate_quiet(pid, base) {
             self.machine.mem_mut().write_page(pa.frame(), content);
         }
@@ -196,6 +213,7 @@ impl<P: FusionPolicy> System<P> {
 
     /// Lets simulated time pass, running background daemons on schedule.
     pub fn idle(&mut self, ns: u64) {
+        self.machine.record(|| JournalEvent::Idle { ns });
         let target = self.machine.now_ns() + ns;
         while self.machine.now_ns() < target {
             let step = (target - self.machine.now_ns()).min(self.policy.scan_period_ns().max(1));
@@ -207,6 +225,7 @@ impl<P: FusionPolicy> System<P> {
     /// Forces `n` scanner wakeups immediately (experiment helper; does not
     /// advance the clock).
     pub fn force_scans(&mut self, n: usize) {
+        self.machine.record(|| JournalEvent::ForceScans { n });
         for _ in 0..n {
             let report = self.policy.scan(&mut self.machine);
             self.scan_totals.absorb(&report);
@@ -218,6 +237,144 @@ impl<P: FusionPolicy> System<P> {
         self.next_scan_ns = self.machine.now_ns() + self.policy.scan_period_ns();
         if let Some(k) = self.khugepaged.as_ref() {
             self.next_khuge_ns = self.machine.now_ns() + k.period_ns;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint, restore, replay
+    // ------------------------------------------------------------------
+
+    /// Serializes the whole system (machine, daemon deadlines, driver
+    /// stats, khugepaged, engine state) into a sealed, checksummed blob.
+    /// The machine's event journal is *not* included; pair
+    /// [`Machine::journal`] with this blob to describe "state at T, then
+    /// what happened".
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.machine.save_state(&mut w);
+        w.u64(self.next_scan_ns);
+        w.u64(self.next_khuge_ns);
+        let s = self.stats;
+        for v in [
+            s.policy_faults,
+            s.kernel_faults,
+            s.scan_wakeups,
+            s.unresolved_faults,
+            s.fault_livelocks,
+        ] {
+            w.u64(v);
+        }
+        let t = self.scan_totals;
+        for v in [
+            t.pages_scanned,
+            t.pages_merged,
+            t.pages_fake_merged,
+            t.pages_unmerged,
+            t.pages_skipped_active,
+            t.huge_pages_broken,
+        ] {
+            w.u64(v);
+        }
+        match &self.khugepaged {
+            Some(k) => {
+                w.bool(true);
+                k.save(&mut w);
+            }
+            None => w.bool(false),
+        }
+        // The engine payload is tagged with the policy name and framed as
+        // a blob, so a bundle recorded under one engine fails loudly when
+        // replayed into another.
+        w.str(self.policy.name());
+        let mut pw = Writer::new();
+        self.policy.save_state(&mut pw);
+        w.blob(&pw.into_bytes());
+        vusion_snapshot::seal(&w.into_bytes())
+    }
+
+    /// Restores a snapshot taken by [`Self::snapshot`] into a system built
+    /// with the same machine configuration and the same policy kind.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let payload = vusion_snapshot::unseal(bytes)?;
+        let mut r = Reader::new(payload);
+        self.machine.restore_state(&mut r)?;
+        self.next_scan_ns = r.u64()?;
+        self.next_khuge_ns = r.u64()?;
+        self.stats = SystemStats {
+            policy_faults: r.u64()?,
+            kernel_faults: r.u64()?,
+            scan_wakeups: r.u64()?,
+            unresolved_faults: r.u64()?,
+            fault_livelocks: r.u64()?,
+        };
+        self.scan_totals = ScanReport {
+            pages_scanned: r.u64()?,
+            pages_merged: r.u64()?,
+            pages_fake_merged: r.u64()?,
+            pages_unmerged: r.u64()?,
+            pages_skipped_active: r.u64()?,
+            huge_pages_broken: r.u64()?,
+        };
+        if r.bool()? {
+            self.khugepaged = Some(Khugepaged::load(&mut r)?);
+        } else {
+            self.khugepaged = None;
+        }
+        let tag = r.str()?;
+        if tag != self.policy.name() {
+            return Err(SnapshotError::Corrupt("engine tag mismatch"));
+        }
+        let blob = r.blob()?;
+        let mut pr = Reader::new(blob);
+        self.policy.restore_state(&mut pr)
+    }
+
+    /// Re-executes one journaled event. Journaling is suspended for the
+    /// duration so a replay never re-records itself.
+    pub fn replay_event(&mut self, ev: &JournalEvent) {
+        self.machine.suspend_journal();
+        match ev {
+            JournalEvent::Spawn { name } => {
+                let _ = self.machine.spawn(name);
+            }
+            JournalEvent::Mmap { pid, vma } => self.machine.mmap(*pid, *vma),
+            JournalEvent::Madvise { pid, start, pages } => {
+                let _ = self.machine.madvise_mergeable(*pid, *start, *pages);
+            }
+            JournalEvent::Read { pid, va } => {
+                let _ = self.try_read(*pid, *va);
+            }
+            JournalEvent::Write { pid, va, value } => {
+                let _ = self.try_write(*pid, *va, *value);
+            }
+            JournalEvent::ReadPage { pid, va } => {
+                let _ = self.read_page(*pid, *va);
+            }
+            JournalEvent::WritePage { pid, va, content } => {
+                self.write_page(*pid, *va, content);
+            }
+            JournalEvent::Prefetch { pid, va } => self.prefetch(*pid, *va),
+            JournalEvent::ForceScans { n } => self.force_scans(*n),
+            JournalEvent::Idle { ns } => self.idle(*ns),
+            JournalEvent::Hammer {
+                pid,
+                va1,
+                va2,
+                iterations,
+            } => {
+                let _ = self.machine.hammer(*pid, *va1, *va2, *iterations);
+            }
+            JournalEvent::ArmFaults => self.machine.arm_faults(),
+        }
+        self.machine.resume_journal();
+    }
+
+    /// Replays a journal in order. Starting from the matching snapshot,
+    /// this converges to the same memory image and stats as the original
+    /// (uncrashed) execution of the recorded call sequence.
+    pub fn replay(&mut self, events: &[JournalEvent]) {
+        for ev in events {
+            self.replay_event(ev);
         }
     }
 }

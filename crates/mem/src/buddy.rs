@@ -272,6 +272,90 @@ impl BuddyAllocator {
     }
 }
 
+impl vusion_snapshot::Snapshot for BuddyAllocator {
+    fn save(&self, w: &mut vusion_snapshot::Writer) {
+        w.u64(self.base);
+        w.u64(self.frames);
+        // Free stacks travel verbatim, stale entries included: the LIFO pop
+        // order (and thus predictable reuse) must survive restore exactly.
+        w.usize(self.free_stacks.len());
+        for stack in &self.free_stacks {
+            w.u64s(stack);
+        }
+        for set in &self.free_sets {
+            w.usize(set.len());
+            for &rel in set {
+                w.u64(rel);
+            }
+        }
+        w.usize(self.allocated.len());
+        let mut allocs: Vec<(u64, u8)> = self.allocated.iter().map(|(&k, &v)| (k, v)).collect();
+        allocs.sort_unstable();
+        for (rel, order) in allocs {
+            w.u64(rel);
+            w.u8(order);
+        }
+        w.u64(self.free_frames);
+        w.u64(self.stats.allocs);
+        w.u64(self.stats.frees);
+        w.u64(self.stats.splits);
+        w.u64(self.stats.merges);
+        match &self.injector {
+            None => w.bool(false),
+            Some(inj) => {
+                w.bool(true);
+                inj.save(w);
+            }
+        }
+    }
+
+    fn load(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        use vusion_snapshot::SnapshotError;
+        if r.u64()? != self.base || r.u64()? != self.frames {
+            return Err(SnapshotError::Corrupt("buddy geometry mismatch"));
+        }
+        let orders = r.usize()?;
+        if orders != self.free_stacks.len() {
+            return Err(SnapshotError::Corrupt("buddy order count mismatch"));
+        }
+        for stack in &mut self.free_stacks {
+            *stack = r.u64s()?;
+        }
+        for set in &mut self.free_sets {
+            set.clear();
+            let n = r.usize()?;
+            for _ in 0..n {
+                set.insert(r.u64()?);
+            }
+        }
+        self.allocated.clear();
+        let n = r.usize()?;
+        for _ in 0..n {
+            let rel = r.u64()?;
+            let order = r.u8()?;
+            self.allocated.insert(rel, order);
+        }
+        self.free_frames = r.u64()?;
+        self.stats = BuddyStats {
+            allocs: r.u64()?,
+            frees: r.u64()?,
+            splits: r.u64()?,
+            merges: r.u64()?,
+        };
+        self.injector = if r.bool()? {
+            let mut inj = FaultInjector::new(crate::fault::FaultPlan::NONE, 0);
+            inj.load(r)?;
+            Some(inj)
+        } else {
+            None
+        };
+        Ok(())
+    }
+}
+
 impl FrameAllocator for BuddyAllocator {
     fn alloc(&mut self) -> Result<FrameId, MmError> {
         self.alloc_order(0)

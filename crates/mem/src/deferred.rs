@@ -87,6 +87,42 @@ impl DeferredFreeQueue {
     }
 }
 
+impl vusion_snapshot::Snapshot for DeferredFreeQueue {
+    fn save(&self, w: &mut vusion_snapshot::Writer) {
+        w.usize(self.ops.len());
+        for op in &self.ops {
+            match op {
+                DeferredOp::Free(f) => {
+                    w.u8(0);
+                    w.u64(f.0);
+                }
+                DeferredOp::Dummy => w.u8(1),
+            }
+        }
+        w.u64(self.processed_frees);
+        w.u64(self.processed_dummies);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        let n = r.usize()?;
+        self.ops.clear();
+        for _ in 0..n {
+            let op = match r.u8()? {
+                0 => DeferredOp::Free(FrameId(r.u64()?)),
+                1 => DeferredOp::Dummy,
+                _ => return Err(vusion_snapshot::SnapshotError::Corrupt("deferred op")),
+            };
+            self.ops.push_back(op);
+        }
+        self.processed_frees = r.u64()?;
+        self.processed_dummies = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,6 +14,7 @@
 
 use vusion_rng::rngs::StdRng;
 use vusion_rng::{RngExt, SeedableRng};
+use vusion_snapshot::{Reader, Snapshot, SnapshotError, Writer};
 
 /// Which faults to inject, and how often. The default plan injects
 /// nothing.
@@ -68,6 +69,190 @@ impl FaultPlan {
             || self.alloc_fail_prob > 0.0
             || self.checksum_corrupt_prob > 0.0
             || self.scan_bitflip_prob > 0.0
+    }
+
+    /// Serializes the plan into a snapshot payload.
+    pub fn save(&self, w: &mut Writer) {
+        w.u64(self.alloc_every_nth);
+        w.f64(self.alloc_fail_prob);
+        w.f64(self.checksum_corrupt_prob);
+        w.f64(self.scan_bitflip_prob);
+    }
+
+    /// Reads a plan previously written by [`Self::save`].
+    pub fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            alloc_every_nth: r.u64()?,
+            alloc_fail_prob: r.f64()?,
+            checksum_corrupt_prob: r.f64()?,
+            scan_bitflip_prob: r.f64()?,
+        })
+    }
+}
+
+/// A point in engine code where a crash can be injected. Mirrors the
+/// interruption points a host reboot could hit under real KSM load: the
+/// scanner loop itself, and the three state transitions that move frames
+/// between shared and exclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// Top of a scan pass, between pages.
+    MidScan,
+    /// Inside a merge, after the target frame has been chosen.
+    MidMerge,
+    /// Inside a copy-on-write break-away, after the private frame was
+    /// allocated but before the mapping moved.
+    MidUnmerge,
+    /// Inside VUsion's per-round backing-frame re-randomization.
+    MidRerandomization,
+}
+
+impl CrashSite {
+    /// All injectable sites, for sweep tests.
+    pub const ALL: [CrashSite; 4] = [
+        CrashSite::MidScan,
+        CrashSite::MidMerge,
+        CrashSite::MidUnmerge,
+        CrashSite::MidRerandomization,
+    ];
+
+    fn tag(self) -> u8 {
+        match self {
+            CrashSite::MidScan => 0,
+            CrashSite::MidMerge => 1,
+            CrashSite::MidUnmerge => 2,
+            CrashSite::MidRerandomization => 3,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Self, SnapshotError> {
+        Ok(match t {
+            0 => CrashSite::MidScan,
+            1 => CrashSite::MidMerge,
+            2 => CrashSite::MidUnmerge,
+            3 => CrashSite::MidRerandomization,
+            _ => return Err(SnapshotError::Corrupt("unknown crash site")),
+        })
+    }
+}
+
+/// Which crash to inject, mirroring [`FaultPlan`]: the `after`-th time the
+/// engine polls the configured site, the operation is killed mid-flight.
+/// Counter-based (no RNG), so a crash point is a stable coordinate across
+/// runs with the same seed. The default plan crashes nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CrashPlan {
+    /// Site to crash at; `None` disables injection.
+    pub site: Option<CrashSite>,
+    /// Crash on the `after`-th poll of `site` (1-based).
+    pub after: u64,
+}
+
+impl CrashPlan {
+    /// The no-crash plan.
+    pub const NONE: CrashPlan = CrashPlan {
+        site: None,
+        after: 0,
+    };
+
+    /// Crash the `after`-th time `site` is reached.
+    pub fn at(site: CrashSite, after: u64) -> Self {
+        CrashPlan {
+            site: Some(site),
+            after: after.max(1),
+        }
+    }
+
+    /// Whether this plan can fire at all.
+    pub fn is_active(&self) -> bool {
+        self.site.is_some()
+    }
+
+    /// Serializes the plan into a snapshot payload.
+    pub fn save(&self, w: &mut Writer) {
+        match self.site {
+            None => w.u8(0xff),
+            Some(s) => w.u8(s.tag()),
+        }
+        w.u64(self.after);
+    }
+
+    /// Reads a plan previously written by [`Self::save`].
+    pub fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let tag = r.u8()?;
+        let site = if tag == 0xff {
+            None
+        } else {
+            Some(CrashSite::from_tag(tag)?)
+        };
+        Ok(Self {
+            site,
+            after: r.u64()?,
+        })
+    }
+}
+
+/// One-shot crash trigger: counts polls of the configured site and fires
+/// exactly once. Inert (zero-cost, no RNG) when the plan is `NONE`, so
+/// leaving the polls compiled into engine hot paths never perturbs a
+/// normal run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrashInjector {
+    plan: CrashPlan,
+    polls: u64,
+    fired: u64,
+}
+
+impl CrashInjector {
+    /// Creates an injector following `plan`.
+    pub fn new(plan: CrashPlan) -> Self {
+        Self {
+            plan,
+            polls: 0,
+            fired: 0,
+        }
+    }
+
+    /// The plan this injector follows.
+    pub fn plan(&self) -> CrashPlan {
+        self.plan
+    }
+
+    /// How many crashes have fired (0 or 1).
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Polls the injector at `site`. Returns `true` exactly once: on the
+    /// `after`-th poll of the configured site. Polls at other sites do not
+    /// advance the counter, so a plan's coordinate is independent of how
+    /// many unrelated sites execute.
+    pub fn should_crash(&mut self, site: CrashSite) -> bool {
+        if self.plan.site != Some(site) || self.fired > 0 {
+            return false;
+        }
+        self.polls += 1;
+        if self.polls >= self.plan.after {
+            self.fired = 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Snapshot for CrashInjector {
+    fn save(&self, w: &mut Writer) {
+        self.plan.save(w);
+        w.u64(self.polls);
+        w.u64(self.fired);
+    }
+
+    fn load(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        self.plan = CrashPlan::load(r)?;
+        self.polls = r.u64()?;
+        self.fired = r.u64()?;
+        Ok(())
     }
 }
 
@@ -166,6 +351,33 @@ impl FaultInjector {
     }
 }
 
+impl Snapshot for FaultInjector {
+    fn save(&self, w: &mut Writer) {
+        self.plan.save(w);
+        let s = self.rng.state();
+        for x in s {
+            w.u64(x);
+        }
+        w.u64(self.alloc_calls);
+        w.u64(self.stats.injected_allocs);
+        w.u64(self.stats.injected_checksums);
+        w.u64(self.stats.injected_bitflips);
+    }
+
+    fn load(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        self.plan = FaultPlan::load(r)?;
+        let s = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        self.rng = StdRng::from_state(s);
+        self.alloc_calls = r.u64()?;
+        self.stats = InjectionStats {
+            injected_allocs: r.u64()?,
+            injected_checksums: r.u64()?,
+            injected_bitflips: r.u64()?,
+        };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +424,67 @@ mod tests {
         let corrupted = inj.corrupt_checksum(0xdead_beef);
         assert_ne!(corrupted, 0xdead_beef);
         assert_eq!(inj.stats().injected_checksums, 1);
+    }
+
+    #[test]
+    fn crash_injector_fires_once_at_coordinate() {
+        let mut inj = CrashInjector::new(CrashPlan::at(CrashSite::MidMerge, 3));
+        // Polls at other sites never advance the counter.
+        assert!(!inj.should_crash(CrashSite::MidScan));
+        assert!(!inj.should_crash(CrashSite::MidMerge));
+        assert!(!inj.should_crash(CrashSite::MidUnmerge));
+        assert!(!inj.should_crash(CrashSite::MidMerge));
+        assert!(inj.should_crash(CrashSite::MidMerge));
+        assert_eq!(inj.fired(), 1);
+        // One-shot: never fires again.
+        for _ in 0..10 {
+            assert!(!inj.should_crash(CrashSite::MidMerge));
+        }
+    }
+
+    #[test]
+    fn inert_crash_injector_never_fires() {
+        let mut inj = CrashInjector::new(CrashPlan::NONE);
+        for site in CrashSite::ALL {
+            for _ in 0..100 {
+                assert!(!inj.should_crash(site));
+            }
+        }
+        assert_eq!(inj.fired(), 0);
+    }
+
+    #[test]
+    fn injector_state_round_trips() {
+        let mut inj = FaultInjector::new(FaultPlan::alloc_prob(0.4), 11);
+        for _ in 0..37 {
+            let _ = inj.should_fail_alloc();
+        }
+        let mut w = Writer::new();
+        inj.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut copy = FaultInjector::new(FaultPlan::NONE, 0);
+        copy.load(&mut Reader::new(&bytes)).expect("load");
+        // The restored injector must continue the exact same stream.
+        let a: Vec<bool> = (0..50).map(|_| inj.should_fail_alloc()).collect();
+        let b: Vec<bool> = (0..50).map(|_| copy.should_fail_alloc()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crash_plans_round_trip() {
+        for plan in [
+            CrashPlan::NONE,
+            CrashPlan::at(CrashSite::MidScan, 1),
+            CrashPlan::at(CrashSite::MidRerandomization, 42),
+        ] {
+            let mut w = Writer::new();
+            plan.save(&mut w);
+            let bytes = w.into_bytes();
+            assert_eq!(
+                CrashPlan::load(&mut Reader::new(&bytes)).expect("load"),
+                plan
+            );
+        }
     }
 
     #[test]

@@ -39,6 +39,11 @@ impl PageType {
         PageType::Fused,
     ];
 
+    /// Inverse of [`PageType::index`], for snapshot decoding.
+    pub fn from_index(i: usize) -> Option<Self> {
+        Self::ALL.get(i).copied()
+    }
+
     /// Position of this type in [`PageType::ALL`].
     pub fn index(self) -> usize {
         match self {
@@ -153,6 +158,36 @@ impl FrameInfo {
         assert!(self.refcount > 0, "refcount underflow");
         self.refcount -= 1;
         self.refcount == 0
+    }
+}
+
+impl vusion_snapshot::Snapshot for FrameInfo {
+    fn save(&self, w: &mut vusion_snapshot::Writer) {
+        w.u8(match self.state {
+            FrameState::Free => 0,
+            FrameState::Allocated => 1,
+        });
+        w.u8(self.page_type.index() as u8);
+        w.u32(self.refcount);
+        w.u64(self.generation);
+        w.u64(self.write_gen);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        self.state = match r.u8()? {
+            0 => FrameState::Free,
+            1 => FrameState::Allocated,
+            _ => return Err(vusion_snapshot::SnapshotError::Corrupt("frame state")),
+        };
+        self.page_type = PageType::from_index(r.u8()? as usize)
+            .ok_or(vusion_snapshot::SnapshotError::Corrupt("page type"))?;
+        self.refcount = r.u32()?;
+        self.generation = r.u64()?;
+        self.write_gen = r.u64()?;
+        Ok(())
     }
 }
 

@@ -66,6 +66,34 @@ impl LinearAllocator {
     }
 }
 
+impl vusion_snapshot::Snapshot for LinearAllocator {
+    fn save(&self, w: &mut vusion_snapshot::Writer) {
+        w.u64(self.base);
+        w.u64(self.frames);
+        w.usize(self.taken.len());
+        for &rel in &self.taken {
+            w.u64(rel);
+        }
+    }
+
+    fn load(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        if r.u64()? != self.base || r.u64()? != self.frames {
+            return Err(vusion_snapshot::SnapshotError::Corrupt(
+                "linear geometry mismatch",
+            ));
+        }
+        self.taken.clear();
+        let n = r.usize()?;
+        for _ in 0..n {
+            self.taken.insert(r.u64()?);
+        }
+        Ok(())
+    }
+}
+
 impl FrameAllocator for LinearAllocator {
     fn alloc(&mut self) -> Result<FrameId, MmError> {
         self.reserve_batch(1, |_| false)

@@ -469,6 +469,65 @@ impl PhysMemory {
     }
 }
 
+impl vusion_snapshot::Snapshot for PhysMemory {
+    fn save(&self, w: &mut vusion_snapshot::Writer) {
+        w.usize(self.info.len());
+        // Sparse frame contents: only materialized frames travel.
+        let live = self.data.iter().filter(|d| d.is_some()).count();
+        w.usize(live);
+        for (i, d) in self.data.iter().enumerate() {
+            if let Some(page) = d {
+                w.usize(i);
+                w.bytes(page.as_slice());
+            }
+        }
+        for info in &self.info {
+            info.save(w);
+        }
+    }
+
+    fn load(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        use vusion_snapshot::SnapshotError;
+        let frames = r.usize()?;
+        if frames != self.info.len() {
+            return Err(SnapshotError::Corrupt("frame count mismatch"));
+        }
+        for d in &mut self.data {
+            *d = None;
+        }
+        let live = r.usize()?;
+        for _ in 0..live {
+            let i = r.usize()?;
+            if i >= frames {
+                return Err(SnapshotError::Corrupt("frame index out of range"));
+            }
+            let bytes = r.bytes(PAGE_SIZE as usize)?;
+            let mut page = Box::new(ZERO_PAGE);
+            page.copy_from_slice(bytes);
+            self.data[i] = Some(page);
+        }
+        for info in &mut self.info {
+            info.load(r)?;
+        }
+        // Memoized hashes and the O(1) allocation counters are derived
+        // state: reset the former, recompute the latter.
+        for c in &self.cache {
+            c.set(FrameCache::default());
+        }
+        self.counts = FrameCounts::default();
+        for info in &self.info {
+            if let Some(t) = contribution(info) {
+                self.counts.allocated += 1;
+                self.counts.by_type[t.index()] += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -166,6 +166,36 @@ impl RandomPool {
     }
 }
 
+impl vusion_snapshot::Snapshot for RandomPool {
+    fn save(&self, w: &mut vusion_snapshot::Writer) {
+        // Pool slots travel in order: draws index into the vector, so slot
+        // order is load-bearing for determinism.
+        w.usize(self.pool.len());
+        for f in &self.pool {
+            w.u64(f.0);
+        }
+        w.usize(self.capacity);
+        for x in self.rng.state() {
+            w.u64(x);
+        }
+    }
+
+    fn load(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        let n = r.usize()?;
+        self.pool.clear();
+        for _ in 0..n {
+            self.pool.push(FrameId(r.u64()?));
+        }
+        self.capacity = r.usize()?;
+        let s = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        self.rng = StdRng::from_state(s);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -93,6 +93,37 @@ impl AddressSpace {
     pub fn mergeable_vmas(&self) -> impl Iterator<Item = &Vma> {
         self.vmas.iter().filter(|v| v.mergeable)
     }
+
+    /// Serializes the space: root table frame, VMA list, layout
+    /// generation. The table frames themselves are physical memory and
+    /// travel with the [`PhysMemory`] snapshot.
+    pub fn save(&self, w: &mut vusion_snapshot::Writer) {
+        w.u64(self.tables.root().0);
+        w.usize(self.vmas.len());
+        for v in &self.vmas {
+            v.save(w);
+        }
+        w.u64(self.layout_gen);
+    }
+
+    /// Rebuilds a space previously written by [`Self::save`]. No frames
+    /// are allocated: the recorded root must already be live in the
+    /// restored physical memory.
+    pub fn load(
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<Self, vusion_snapshot::SnapshotError> {
+        let root = vusion_mem::FrameId(r.u64()?);
+        let n = r.usize()?;
+        let mut vmas = Vec::with_capacity(n);
+        for _ in 0..n {
+            vmas.push(Vma::load(r)?);
+        }
+        Ok(Self {
+            tables: PageTables::from_root(root),
+            vmas,
+            layout_gen: r.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,13 @@ impl PageTables {
         self.root
     }
 
+    /// Rebuilds the handle around an existing root frame (snapshot
+    /// restore: the table frames themselves live in [`PhysMemory`] and
+    /// travel with its contents, so only the root needs recording).
+    pub(crate) fn from_root(root: FrameId) -> Self {
+        Self { root }
+    }
+
     fn alloc_table(
         mem: &mut PhysMemory,
         alloc: &mut dyn FrameAllocator,

@@ -131,6 +131,61 @@ impl Tlb {
     }
 }
 
+impl vusion_snapshot::Snapshot for Tlb {
+    fn save(&self, w: &mut vusion_snapshot::Writer) {
+        w.usize(self.cap_4k);
+        w.usize(self.cap_2m);
+        // Entries travel in FIFO order; the maps contain exactly the FIFO
+        // keys, so this round-trips both content and eviction order.
+        w.usize(self.fifo_4k.len());
+        for &k in &self.fifo_4k {
+            w.u64(k);
+            let e = self.map_4k.get(&k).copied().unwrap_or(TlbEntry {
+                pte: Pte(0),
+                huge: false,
+            });
+            w.u64(e.pte.0);
+        }
+        w.usize(self.fifo_2m.len());
+        for &k in &self.fifo_2m {
+            w.u64(k);
+            let e = self.map_2m.get(&k).copied().unwrap_or(TlbEntry {
+                pte: Pte(0),
+                huge: true,
+            });
+            w.u64(e.pte.0);
+        }
+        w.u64(self.hits);
+        w.u64(self.misses);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<(), vusion_snapshot::SnapshotError> {
+        self.cap_4k = r.usize()?;
+        self.cap_2m = r.usize()?;
+        self.flush();
+        let n = r.usize()?;
+        for _ in 0..n {
+            let k = r.u64()?;
+            let pte = Pte(r.u64()?);
+            self.map_4k.insert(k, TlbEntry { pte, huge: false });
+            self.fifo_4k.push(k);
+        }
+        let n = r.usize()?;
+        for _ in 0..n {
+            let k = r.u64()?;
+            let pte = Pte(r.u64()?);
+            self.map_2m.insert(k, TlbEntry { pte, huge: true });
+            self.fifo_2m.push(k);
+        }
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -181,6 +181,77 @@ impl Vma {
     pub fn page_addrs(&self) -> impl Iterator<Item = VirtAddr> + '_ {
         (0..self.pages).map(move |i| VirtAddr(self.start.0 + i * PAGE_SIZE))
     }
+
+    /// Serializes the area into a snapshot payload.
+    pub fn save(&self, w: &mut vusion_snapshot::Writer) {
+        w.u64(self.start.0);
+        w.u64(self.pages);
+        w.bool(self.prot.read);
+        w.bool(self.prot.write);
+        w.bool(self.prot.exec);
+        w.bool(self.mergeable);
+        match self.backing {
+            VmaBacking::Anon => w.u8(0),
+            VmaBacking::File {
+                file_id,
+                offset_pages,
+            } => {
+                w.u8(1);
+                w.u64(file_id);
+                w.u64(offset_pages);
+            }
+        }
+        w.u8(match self.tag {
+            GuestTag::Other => 0,
+            GuestTag::PageCache => 1,
+            GuestTag::GuestBuddy => 2,
+            GuestTag::GuestKernel => 3,
+        });
+        w.bool(self.thp_eligible);
+    }
+
+    /// Reads an area previously written by [`Self::save`].
+    pub fn load(
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<Self, vusion_snapshot::SnapshotError> {
+        use vusion_snapshot::SnapshotError;
+        let start = VirtAddr(r.u64()?);
+        let pages = r.u64()?;
+        let prot = Protection {
+            read: r.bool()?,
+            write: r.bool()?,
+            exec: r.bool()?,
+        };
+        let mergeable = r.bool()?;
+        let backing = match r.u8()? {
+            0 => VmaBacking::Anon,
+            1 => VmaBacking::File {
+                file_id: r.u64()?,
+                offset_pages: r.u64()?,
+            },
+            _ => return Err(SnapshotError::Corrupt("vma backing")),
+        };
+        let tag = match r.u8()? {
+            0 => GuestTag::Other,
+            1 => GuestTag::PageCache,
+            2 => GuestTag::GuestBuddy,
+            3 => GuestTag::GuestKernel,
+            _ => return Err(SnapshotError::Corrupt("guest tag")),
+        };
+        let thp_eligible = r.bool()?;
+        if start.page_offset() != 0 || pages == 0 {
+            return Err(SnapshotError::Corrupt("vma geometry"));
+        }
+        Ok(Self {
+            start,
+            pages,
+            prot,
+            mergeable,
+            backing,
+            tag,
+            thp_eligible,
+        })
+    }
 }
 
 #[cfg(test)]

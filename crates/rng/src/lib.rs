@@ -50,6 +50,20 @@ pub struct Xoshiro256StarStar {
     s: [u64; 4],
 }
 
+impl Xoshiro256StarStar {
+    /// Exports the full 256-bit generator state, so a simulation snapshot
+    /// can resume the stream exactly where it left off.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured with [`Self::state`].
+    /// The next output continues the original stream bit-for-bit.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self { s }
+    }
+}
+
 impl SeedableRng for Xoshiro256StarStar {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;

@@ -48,6 +48,8 @@
 //! | [`stats`] | KS tests, histograms, percentiles |
 //! | [`workloads`] | VM images and benchmark drivers |
 
+pub mod repro;
+
 pub use vusion_attacks as attacks;
 pub use vusion_cache as cache;
 pub use vusion_core as core;
@@ -65,7 +67,8 @@ pub mod prelude {
         FusionPolicy, Khugepaged, Machine, MachineConfig, NoFusion, Pid, System,
     };
     pub use vusion_mem::{
-        FaultPlan, FrameId, MmError, PhysAddr, VirtAddr, HUGE_PAGE_SIZE, PAGE_SIZE,
+        CrashPlan, CrashSite, FaultPlan, FrameId, MmError, PhysAddr, VirtAddr, HUGE_PAGE_SIZE,
+        PAGE_SIZE,
     };
     pub use vusion_mmu::{GuestTag, Protection, Pte, PteFlags, Vma};
     pub use vusion_workloads::images::{ImageCatalog, ImageSpec};

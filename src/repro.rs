@@ -1,0 +1,386 @@
+//! Failure bundles: self-contained repro artifacts for chaos failures.
+//!
+//! When a chaos or security-invariant assertion fails, the harness dumps a
+//! [`Bundle`] — `{engine, seed, fault plan, crash plan, base snapshot,
+//! event journal, expected digest}` — into [`REPRO_DIR`]. The
+//! `replay` example (or [`Bundle::replay`] from test code) rebuilds the
+//! identical system, restores the snapshot, re-arms the crash plan if the
+//! failing run had one armed, re-executes the journal, and checks that
+//! the machine digest matches the one recorded at failure time. A match
+//! means the failure is deterministic and the bundle alone reproduces it.
+//!
+//! Bundles record only the *deltas* from [`MachineConfig::test_small`]
+//! (frame count, reserved region, THP, weak-row fraction, seed, plans) —
+//! the configuration every chaos and security test starts from. A bundle
+//! from an exotic cache/DRAM geometry would fail loudly on restore (the
+//! snapshot verifies geometry), never silently mis-replay.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use vusion_core::EngineKind;
+use vusion_kernel::{FusionPolicy, JournalEvent, Machine, MachineConfig, System};
+use vusion_mem::{CrashPlan, FaultPlan, FrameId};
+use vusion_snapshot::{fnv1a64, Reader, SnapshotError, Writer};
+
+/// Where [`Bundle::dump`] writes and `examples/replay.rs` looks.
+pub const REPRO_DIR: &str = "bench_logs/repro";
+
+/// Newest bundles kept by the [`Bundle::dump`] rotation; older ones are
+/// deleted so a flaky suite cannot fill the disk.
+pub const KEEP_BUNDLES: usize = 8;
+
+/// Everything needed to re-execute a failing chaos run.
+#[derive(Clone)]
+pub struct Bundle {
+    /// Engine the failing run used.
+    pub kind: EngineKind,
+    /// Physical frames (from the run's config).
+    pub frames: u64,
+    /// Reserved top-of-memory frames (WPF linear region).
+    pub reserved_top_frames: u64,
+    /// Whether huge demand paging was on.
+    pub thp: bool,
+    /// Rowhammer weak-cell density.
+    pub weak_row_fraction: f64,
+    /// Machine seed.
+    pub seed: u64,
+    /// Fault-injection plan (journaled behavior; replayed).
+    pub fault_plan: FaultPlan,
+    /// Crash-injection plan (re-armed on replay iff `crashes_armed`).
+    pub crash_plan: CrashPlan,
+    /// Whether the failing run armed its crash plan after the snapshot.
+    pub crashes_armed: bool,
+    /// Free-form context (which test, which assertion).
+    pub note: String,
+    /// The assertion message that fired.
+    pub failing_step: String,
+    /// [`machine_digest`] of the machine at failure time.
+    pub digest: u64,
+    /// Sealed [`System::snapshot`] taken when journaling began.
+    pub snapshot: Vec<u8>,
+    /// Every journaled event between the snapshot and the failure.
+    pub journal: Vec<JournalEvent>,
+}
+
+/// What [`Bundle::replay`] observed.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Digest recorded in the bundle at failure time.
+    pub digest_expected: u64,
+    /// Digest of the machine after restore + replay.
+    pub digest_replayed: u64,
+    /// Frame-accounting violations after replay (non-empty exactly when
+    /// the original failure was an audit failure).
+    pub audit_violations: Vec<String>,
+    /// Crash sites that fired during the replay.
+    pub crashes_fired: u64,
+}
+
+impl ReplayOutcome {
+    /// Whether the replay converged to the recorded failing state.
+    pub fn reproduced(&self) -> bool {
+        self.digest_replayed == self.digest_expected
+    }
+}
+
+/// Loading or dumping a bundle failed.
+#[derive(Debug)]
+pub enum BundleError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// The bundle bytes are corrupt or from an incompatible version.
+    Snapshot(SnapshotError),
+}
+
+impl fmt::Display for BundleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "bundle I/O error: {e}"),
+            Self::Snapshot(e) => write!(f, "bundle decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+impl From<std::io::Error> for BundleError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<SnapshotError> for BundleError {
+    fn from(e: SnapshotError) -> Self {
+        Self::Snapshot(e)
+    }
+}
+
+fn kind_tag(kind: EngineKind) -> u8 {
+    match kind {
+        EngineKind::NoFusion => 0,
+        EngineKind::Ksm => 1,
+        EngineKind::KsmCoa => 2,
+        EngineKind::KsmZeroOnly => 3,
+        EngineKind::Wpf => 4,
+        EngineKind::VUsion => 5,
+        EngineKind::VUsionThp => 6,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Result<EngineKind, SnapshotError> {
+    Ok(match tag {
+        0 => EngineKind::NoFusion,
+        1 => EngineKind::Ksm,
+        2 => EngineKind::KsmCoa,
+        3 => EngineKind::KsmZeroOnly,
+        4 => EngineKind::Wpf,
+        5 => EngineKind::VUsion,
+        6 => EngineKind::VUsionThp,
+        _ => return Err(SnapshotError::Corrupt("unknown engine tag")),
+    })
+}
+
+/// Order-insensitive-free digest of the externally observable machine
+/// state: every frame's content hash and refcount, plus the full stats
+/// block. Two machines with equal digests hold byte-identical memory
+/// images (up to 64-bit hash collision) and identical accounting — the
+/// equality the replay contract promises.
+pub fn machine_digest(m: &Machine) -> u64 {
+    let mut w = Writer::new();
+    let mem = m.mem();
+    for i in 0..mem.frame_count() {
+        let f = FrameId(i as u64);
+        w.u64(mem.hash_page(f));
+        w.u32(mem.info(f).refcount);
+    }
+    let s = m.stats();
+    for v in [
+        s.reads,
+        s.writes,
+        s.prefetches,
+        s.faults_not_mapped,
+        s.faults_trapped,
+        s.faults_write_protected,
+        s.demand_zero,
+        s.demand_huge,
+        s.demand_file,
+        s.cow_copies,
+        s.bit_flips,
+        s.oom_events,
+        s.injected_faults,
+        s.scan_retries,
+        s.deferred_drains,
+    ] {
+        w.u64(v);
+    }
+    fnv1a64(&w.into_bytes())
+}
+
+impl Bundle {
+    /// Builds a bundle from a failing system. `cfg` is the *pre-adapt*
+    /// config the run was built from (the same value handed to
+    /// [`EngineKind::build_system`]); `base_snapshot` is the
+    /// [`System::snapshot`] taken when the journal was last cleared.
+    pub fn capture<P: FusionPolicy>(
+        kind: EngineKind,
+        cfg: &MachineConfig,
+        base_snapshot: Vec<u8>,
+        sys: &System<P>,
+        crashes_armed: bool,
+        note: &str,
+        failing_step: &str,
+    ) -> Self {
+        Self {
+            kind,
+            frames: cfg.frames,
+            reserved_top_frames: cfg.reserved_top_frames,
+            thp: cfg.thp,
+            weak_row_fraction: cfg.weak_row_fraction,
+            seed: cfg.seed,
+            fault_plan: cfg.fault_plan,
+            crash_plan: cfg.crash_plan,
+            crashes_armed,
+            note: note.to_string(),
+            failing_step: failing_step.to_string(),
+            digest: machine_digest(&sys.machine),
+            snapshot: base_snapshot,
+            journal: sys.machine.journal().to_vec(),
+        }
+    }
+
+    /// Rebuilds the run's config: [`MachineConfig::test_small`] with the
+    /// recorded deltas applied. [`EngineKind::build_system`] re-runs the
+    /// engine's `adapt_machine`, exactly as the original run did.
+    pub fn config(&self) -> MachineConfig {
+        let mut cfg = MachineConfig::test_small()
+            .with_seed(self.seed)
+            .with_fault_plan(self.fault_plan)
+            .with_crash_plan(self.crash_plan);
+        cfg.frames = self.frames;
+        cfg.reserved_top_frames = self.reserved_top_frames;
+        cfg.thp = self.thp;
+        cfg.weak_row_fraction = self.weak_row_fraction;
+        cfg
+    }
+
+    /// Builds a fresh system identical to the one the failing run started
+    /// from (before the snapshot is restored into it).
+    pub fn build_system(&self) -> System<Box<dyn FusionPolicy>> {
+        self.kind.build_system(self.config())
+    }
+
+    /// Re-executes the failing run: restore the base snapshot, re-arm the
+    /// crash plan if the original run had armed it, replay the journal,
+    /// digest the result.
+    pub fn replay(&self) -> Result<ReplayOutcome, SnapshotError> {
+        let mut sys = self.build_system();
+        sys.restore(&self.snapshot)?;
+        if self.crashes_armed {
+            sys.machine.arm_crashes();
+        }
+        sys.replay(&self.journal);
+        Ok(ReplayOutcome {
+            digest_expected: self.digest,
+            digest_replayed: machine_digest(&sys.machine),
+            audit_violations: sys.machine.audit_frames(),
+            crashes_fired: sys.machine.crashes_fired(),
+        })
+    }
+
+    /// Serializes the bundle into a sealed, checksummed byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(kind_tag(self.kind));
+        w.u64(self.frames);
+        w.u64(self.reserved_top_frames);
+        w.bool(self.thp);
+        w.f64(self.weak_row_fraction);
+        w.u64(self.seed);
+        self.fault_plan.save(&mut w);
+        self.crash_plan.save(&mut w);
+        w.bool(self.crashes_armed);
+        w.str(&self.note);
+        w.str(&self.failing_step);
+        w.u64(self.digest);
+        w.blob(&self.snapshot);
+        let mut jw = Writer::new();
+        JournalEvent::save_all(&self.journal, &mut jw);
+        w.blob(&jw.into_bytes());
+        vusion_snapshot::seal(&w.into_bytes())
+    }
+
+    /// Deserializes a bundle written by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let payload = vusion_snapshot::unseal(bytes)?;
+        let mut r = Reader::new(payload);
+        let kind = kind_from_tag(r.u8()?)?;
+        let frames = r.u64()?;
+        let reserved_top_frames = r.u64()?;
+        let thp = r.bool()?;
+        let weak_row_fraction = r.f64()?;
+        let seed = r.u64()?;
+        let fault_plan = FaultPlan::load(&mut r)?;
+        let crash_plan = CrashPlan::load(&mut r)?;
+        let crashes_armed = r.bool()?;
+        let note = r.str()?;
+        let failing_step = r.str()?;
+        let digest = r.u64()?;
+        let snapshot = r.blob()?.to_vec();
+        let jblob = r.blob()?;
+        let mut jr = Reader::new(jblob);
+        let journal = JournalEvent::load_all(&mut jr)?;
+        Ok(Self {
+            kind,
+            frames,
+            reserved_top_frames,
+            thp,
+            weak_row_fraction,
+            seed,
+            fault_plan,
+            crash_plan,
+            crashes_armed,
+            note,
+            failing_step,
+            digest,
+            snapshot,
+            journal,
+        })
+    }
+
+    /// Writes the bundle into [`REPRO_DIR`], rotating so at most
+    /// [`KEEP_BUNDLES`] bundles remain. Returns the path written.
+    pub fn dump(&self) -> Result<PathBuf, BundleError> {
+        self.dump_to(Path::new(REPRO_DIR))
+    }
+
+    /// [`Self::dump`] into an explicit directory (tests use a temp dir).
+    pub fn dump_to(&self, dir: &Path) -> Result<PathBuf, BundleError> {
+        fs::create_dir_all(dir)?;
+        let stem: String = self
+            .kind
+            .label()
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        let mut n = 0u32;
+        let path = loop {
+            let p = dir.join(format!("{stem}-seed{:016x}-{n:03}.vbun", self.seed));
+            if !p.exists() {
+                break p;
+            }
+            n += 1;
+        };
+        fs::write(&path, self.to_bytes())?;
+        rotate(dir, KEEP_BUNDLES)?;
+        Ok(path)
+    }
+
+    /// Loads a bundle from disk.
+    pub fn load(path: &Path) -> Result<Self, BundleError> {
+        let bytes = fs::read(path)?;
+        Ok(Self::from_bytes(&bytes)?)
+    }
+}
+
+/// Bundle files in `dir`, oldest first (by modification time, ties broken
+/// by name so rotation is stable within one filesystem-timestamp tick).
+fn bundles_oldest_first(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "vbun") {
+            let modified = entry
+                .metadata()?
+                .modified()
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            entries.push((modified, path));
+        }
+    }
+    entries.sort();
+    Ok(entries.into_iter().map(|(_, p)| p).collect())
+}
+
+/// Deletes the oldest bundles until at most `keep` remain.
+fn rotate(dir: &Path, keep: usize) -> std::io::Result<()> {
+    let paths = bundles_oldest_first(dir)?;
+    if paths.len() > keep {
+        for path in &paths[..paths.len() - keep] {
+            fs::remove_file(path)?;
+        }
+    }
+    Ok(())
+}
+
+/// Newest bundle in `dir`, if any (what `examples/replay.rs` picks up).
+pub fn latest_bundle(dir: &Path) -> std::io::Result<Option<PathBuf>> {
+    Ok(bundles_oldest_first(dir)?.pop())
+}

@@ -23,6 +23,7 @@
 use std::collections::HashMap;
 use vusion::mem::PageType;
 use vusion::prelude::*;
+use vusion::repro::{machine_digest, Bundle, KEEP_BUNDLES};
 use vusion_rng::rngs::StdRng;
 use vusion_rng::{RngExt, SeedableRng};
 
@@ -91,6 +92,10 @@ struct ChaosRun {
     pids: Vec<Pid>,
     oracle: Oracle,
     label: String,
+    kind: EngineKind,
+    cfg: MachineConfig,
+    base_snapshot: Vec<u8>,
+    crashes_armed: bool,
 }
 
 impl ChaosRun {
@@ -100,14 +105,17 @@ impl ChaosRun {
         let cfg = MachineConfig::test_small()
             .with_seed(seed)
             .with_fault_plan(plan);
-        Self::setup(kind.build_system(cfg), kind, plan_name, seed)
+        Self::setup(kind.build_system(cfg), kind, cfg, plan_name, seed)
     }
 
     /// Spawns processes, populates pages, and arms the machine's fault
-    /// plan on an already-built system.
+    /// plan on an already-built system. `cfg` is the config the system
+    /// was built from; it travels into any failure bundle so a replay can
+    /// rebuild the identical machine.
     fn setup(
         mut sys: System<Box<dyn FusionPolicy>>,
         kind: EngineKind,
+        cfg: MachineConfig,
         plan_name: &str,
         seed: u64,
     ) -> Self {
@@ -130,11 +138,50 @@ impl ChaosRun {
             }
         }
         sys.machine.arm_faults();
+        // Journal from here on; the snapshot pairs with an empty journal,
+        // so any later failure bundles as "this state, then these calls".
+        sys.machine.enable_journal();
+        sys.machine.clear_journal();
+        let base_snapshot = sys.snapshot();
         Self {
             sys,
             pids,
             oracle,
             label: format!("{kind:?}/{plan_name}/seed {seed}"),
+            kind,
+            cfg,
+            base_snapshot,
+            crashes_armed: false,
+        }
+    }
+
+    /// Arms the config's crash plan (post-setup, like the fault plan) and
+    /// marks the fact so failure bundles re-arm it on replay.
+    fn arm_crashes(&mut self) {
+        self.sys.machine.arm_crashes();
+        self.crashes_armed = true;
+    }
+
+    /// Packages the run's base snapshot + journal + current digest.
+    fn bundle(&self, failing_step: &str) -> Bundle {
+        Bundle::capture(
+            self.kind,
+            &self.cfg,
+            self.base_snapshot.clone(),
+            &self.sys,
+            self.crashes_armed,
+            &self.label,
+            failing_step,
+        )
+    }
+
+    /// Dumps a failure bundle into `bench_logs/repro/` and panics with the
+    /// assertion message — every invariant failure in this suite leaves a
+    /// replayable artifact behind.
+    fn fail(&self, step: &str) -> ! {
+        match self.bundle(step).dump() {
+            Ok(path) => panic!("{step}\n  repro bundle: {}", path.display()),
+            Err(e) => panic!("{step}\n  (repro bundle could not be written: {e})"),
         }
     }
 
@@ -154,34 +201,37 @@ impl ChaosRun {
         self.sys.force_scans(rng.random_range(2..8usize));
     }
 
-    /// Asserts every invariant the run guarantees.
+    /// Asserts every invariant the run guarantees. Any failure dumps a
+    /// replayable bundle before panicking.
     fn check(&mut self) {
-        let label = &self.label;
         // Frame accounting is sound.
         let violations = self.sys.machine.audit_frames();
-        assert!(violations.is_empty(), "{label}: {violations:?}");
+        if !violations.is_empty() {
+            self.fail(&format!("{}: {violations:?}", self.label));
+        }
         // No silent corruption: every page still translates and matches
         // the oracle byte for byte (failed writes must not half-apply).
         for (i, &pid) in self.pids.iter().enumerate() {
             for pg in 0..PAGES {
                 let va = VirtAddr(BASE + pg * PAGE_SIZE);
-                let pa = self
-                    .sys
-                    .machine
-                    .translate_quiet(pid, va)
-                    .unwrap_or_else(|| panic!("{label}: p{i} page {pg} lost its mapping"));
+                let Some(pa) = self.sys.machine.translate_quiet(pid, va) else {
+                    self.fail(&format!("{}: p{i} page {pg} lost its mapping", self.label));
+                };
                 let got = self.sys.machine.mem().page(pa.frame());
                 let want = &self.oracle[&(i, pg)];
-                assert!(
-                    got == want,
-                    "{label}: p{i} page {pg} diverged from the oracle"
-                );
+                if got != want {
+                    self.fail(&format!(
+                        "{}: p{i} page {pg} diverged from the oracle",
+                        self.label
+                    ));
+                }
             }
         }
         // Security invariants hold for whatever is merged right now:
         // shared Fused frames are trapped under VUsion (Same Behavior) and
         // never writable under any engine (CoW soundness).
-        for &pid in &self.pids {
+        for pi in 0..self.pids.len() {
+            let pid = self.pids[pi];
             for pg in 0..PAGES {
                 let va = VirtAddr(BASE + pg * PAGE_SIZE);
                 let Some(leaf) = self.sys.machine.leaf(pid, va) else {
@@ -195,10 +245,12 @@ impl ChaosRun {
                 if info.page_type != PageType::Fused || info.refcount < 2 {
                     continue;
                 }
-                assert!(
-                    !leaf.pte.has(PteFlags::WRITABLE),
-                    "{label}: merged frame {frame:?} is writable"
-                );
+                if leaf.pte.has(PteFlags::WRITABLE) {
+                    self.fail(&format!(
+                        "{}: merged frame {frame:?} is writable",
+                        self.label
+                    ));
+                }
             }
         }
     }
@@ -308,8 +360,13 @@ fn degradation_counters_move_under_alloc_pressure() {
             let policy = kind
                 .build_policy(&mut m, 20_000_000, 8)
                 .expect("vusion engines need no reserved region");
-            let mut run =
-                ChaosRun::setup(System::new(m, policy), kind, "alloc_heavy", 0xd15c ^ seed);
+            let mut run = ChaosRun::setup(
+                System::new(m, policy),
+                kind,
+                cfg,
+                "alloc_heavy",
+                0xd15c ^ seed,
+            );
             let mut rng = StdRng::seed_from_u64(seed);
             for _ in 0..2 * ROUNDS {
                 run.churn(&mut rng);
@@ -504,4 +561,235 @@ fn chaos_runs_are_deterministic() {
         assert_eq!(a.1, b.1, "{kind:?}: OOM counts diverged");
         assert_eq!(a.2, b.2, "{kind:?}: final memory images diverged");
     }
+}
+
+/// The oracle-free churn script used by the snapshot/replay tests: same
+/// access pattern as [`ChaosRun::churn`], driven purely by the RNG so two
+/// systems fed the same seed execute the identical call sequence.
+fn churn_script(sys: &mut System<Box<dyn FusionPolicy>>, pids: &[Pid], rng: &mut StdRng) {
+    for _ in 0..96 {
+        let p = rng.random_range(0..PROCS);
+        let pg = rng.random_range(0..PAGES);
+        let off = rng.random_range(0..PAGE_SIZE);
+        let v = rng.random_range(0..8u8);
+        let _ = sys.try_write(pids[p], VirtAddr(BASE + pg * PAGE_SIZE + off), v);
+    }
+    sys.force_scans(rng.random_range(2..8usize));
+}
+
+/// Byte-identical convergence: equal digests, equal stats, equal frame
+/// contents, and — the strongest form — equal serialized system state
+/// (clock, RNG streams, engine internals, daemon deadlines included).
+fn assert_identical(
+    a: &System<Box<dyn FusionPolicy>>,
+    b: &System<Box<dyn FusionPolicy>>,
+    label: &str,
+) {
+    assert_eq!(
+        a.machine.stats(),
+        b.machine.stats(),
+        "{label}: machine stats diverge"
+    );
+    let (ma, mb) = (a.machine.mem(), b.machine.mem());
+    assert_eq!(ma.frame_count(), mb.frame_count(), "{label}: frame counts");
+    for f in 0..ma.frame_count() {
+        let f = FrameId(f as u64);
+        assert!(
+            ma.page(f) == mb.page(f),
+            "{label}: frame {f:?} contents diverge"
+        );
+    }
+    assert_eq!(
+        machine_digest(&a.machine),
+        machine_digest(&b.machine),
+        "{label}: machine digests diverge"
+    );
+    assert_eq!(
+        a.snapshot(),
+        b.snapshot(),
+        "{label}: serialized system state diverges"
+    );
+}
+
+/// Satellite: snapshot determinism per engine. Freeze a mid-chaos run
+/// (fault plan armed and firing), restore the snapshot into a freshly
+/// built system, then drive both with the identical script: every
+/// subsequent tick must match byte for byte, including the injector RNG
+/// streams.
+#[test]
+fn snapshot_restore_resumes_identically() {
+    let plan = FaultPlan {
+        alloc_fail_prob: 0.10,
+        checksum_corrupt_prob: 0.10,
+        scan_bitflip_prob: 0.10,
+        ..FaultPlan::NONE
+    };
+    for (ki, kind) in ENGINES.into_iter().enumerate() {
+        let seed = 0x5a40_0000 + ki as u64;
+        let mut run = ChaosRun::start(kind, "snapshot", plan, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        run.churn(&mut rng);
+        run.churn(&mut rng);
+        let frozen = run.sys.snapshot();
+        let mut twin = run.kind.build_system(run.cfg);
+        twin.restore(&frozen).expect("restore into a fresh system");
+        let pids = run.pids.clone();
+        let mut ra = StdRng::seed_from_u64(seed ^ 2);
+        let mut rb = StdRng::seed_from_u64(seed ^ 2);
+        for _ in 0..2 {
+            churn_script(&mut run.sys, &pids, &mut ra);
+            churn_script(&mut twin, &pids, &mut rb);
+        }
+        assert_identical(&run.sys, &twin, &run.label);
+    }
+}
+
+/// The tentpole acceptance sweep: every engine crashes at every site
+/// (scan loop, merge, unmerge, re-randomization) at two depths — eight
+/// seeded crash points per engine. Three runs per point:
+///
+/// * **X** (crashed): snapshot, arm the crash plan, churn. Crash branches
+///   abandon work mid-flight; X must still pass `audit_frames` and the
+///   content oracle — a crash may lose progress, never soundness.
+/// * **Z** (control): the identical call script, crash plan never armed.
+/// * **Y** (recovered): fresh system + `restore(X's snapshot)` +
+///   `replay(X's journal)`. The journal records calls, not outcomes, and
+///   crash arming is deliberately not journaled — so Y must converge to
+///   **Z** byte-identically: same memory image, same stats, same
+///   serialized state.
+#[test]
+fn crash_recovery_restores_byte_identical_state() {
+    let mut fired_by_engine: HashMap<&'static str, u64> = HashMap::new();
+    for (ki, kind) in ENGINES.into_iter().enumerate() {
+        for (si, site) in CrashSite::ALL.into_iter().enumerate() {
+            for (ai, after) in [0u64, 3].into_iter().enumerate() {
+                let seed = 0xc4a5_0000 + (ki * 16 + si * 2 + ai) as u64;
+                let cfg = MachineConfig::test_small()
+                    .with_seed(seed)
+                    .with_crash_plan(CrashPlan::at(site, after));
+                let label = format!("{kind:?}/{site:?}+{after}/seed {seed}");
+
+                // X: the crashed run.
+                let mut x = ChaosRun::setup(kind.build_system(cfg), kind, cfg, "crash", seed);
+                x.arm_crashes();
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+                for _ in 0..2 {
+                    x.churn(&mut rng);
+                }
+                *fired_by_engine.entry(kind.label()).or_insert(0) += x.sys.machine.crashes_fired();
+                // A crash may abandon a scan's progress but never
+                // soundness: accounting and contents must still hold.
+                x.check();
+
+                // Z: the identical script, never crashed.
+                let mut z = ChaosRun::setup(kind.build_system(cfg), kind, cfg, "control", seed);
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+                for _ in 0..2 {
+                    z.churn(&mut rng);
+                }
+
+                // Y: restore X's base snapshot, replay X's journal.
+                let mut y = kind.build_system(cfg);
+                y.restore(&x.base_snapshot).expect("restore base snapshot");
+                y.replay(x.sys.machine.journal());
+                assert!(
+                    y.machine.audit_frames().is_empty(),
+                    "{label}: replayed system fails the frame audit"
+                );
+                assert_identical(&y, &z.sys, &label);
+            }
+        }
+    }
+    // The sweep is not vacuous: every engine actually crashed somewhere
+    // (the re-randomization site is VUsion-only, hence the aggregation
+    // across sites).
+    for kind in ENGINES {
+        assert!(
+            fired_by_engine.get(kind.label()).copied().unwrap_or(0) > 0,
+            "{}: no crash site ever fired",
+            kind.label()
+        );
+    }
+}
+
+/// Failure bundles round-trip through disk and reproduce the failing
+/// state — including a mid-merge crash, the hardest case: the replay must
+/// re-arm the crash plan and re-fire it at the same poll so the replayed
+/// digest matches the digest recorded at "failure" time.
+#[test]
+fn failure_bundles_reproduce_crashed_runs() {
+    let dir = std::path::PathBuf::from(format!("bench_logs/repro-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let seed = 0xb0bb;
+    let plan = FaultPlan {
+        alloc_fail_prob: 0.10,
+        checksum_corrupt_prob: 0.10,
+        scan_bitflip_prob: 0.10,
+        ..FaultPlan::NONE
+    };
+    let cfg = MachineConfig::test_small()
+        .with_seed(seed)
+        .with_fault_plan(plan)
+        .with_crash_plan(CrashPlan::at(CrashSite::MidMerge, 1));
+    let mut run = ChaosRun::setup(
+        EngineKind::VUsion.build_system(cfg),
+        EngineKind::VUsion,
+        cfg,
+        "bundle",
+        seed,
+    );
+    run.arm_crashes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..2 {
+        run.churn(&mut rng);
+    }
+    let fired = run.sys.machine.crashes_fired();
+    assert!(fired > 0, "the crash plan must fire for this test to bite");
+
+    // Dump as if an assertion had just failed, then reload and replay.
+    let bundle = run.bundle("intentional failure (bundle round-trip test)");
+    let path = bundle.dump_to(&dir).expect("dump bundle");
+    let back = Bundle::load(&path).expect("load bundle");
+    assert_eq!(back.seed, bundle.seed);
+    assert_eq!(back.journal, bundle.journal, "journal must survive disk");
+    assert_eq!(back.digest, bundle.digest);
+    assert!(back.crashes_armed);
+    let outcome = back.replay().expect("replay bundle");
+    assert_eq!(
+        outcome.crashes_fired, fired,
+        "replay must re-fire the crash at the same poll"
+    );
+    assert!(
+        outcome.reproduced(),
+        "replayed digest {:#018x} != recorded {:#018x}",
+        outcome.digest_replayed,
+        outcome.digest_expected
+    );
+    assert!(outcome.audit_violations.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The bundle directory rotates: a flaky suite cannot fill the disk.
+#[test]
+fn bundle_rotation_caps_the_repro_directory() {
+    let dir = std::path::PathBuf::from(format!("bench_logs/repro-rotate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = MachineConfig::test_small().with_seed(0x0e11);
+    let run = ChaosRun::setup(
+        EngineKind::Ksm.build_system(cfg),
+        EngineKind::Ksm,
+        cfg,
+        "rotate",
+        0x0e11,
+    );
+    let bundle = run.bundle("rotation test");
+    for _ in 0..KEEP_BUNDLES + 3 {
+        bundle.dump_to(&dir).expect("dump");
+    }
+    let count = std::fs::read_dir(&dir).expect("read dir").count();
+    assert!(
+        count <= KEEP_BUNDLES,
+        "rotation kept {count} bundles, cap is {KEEP_BUNDLES}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

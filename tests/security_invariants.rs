@@ -2,14 +2,59 @@
 //! Allocation principles, checked at the PTE and allocator level (the
 //! attack-level checks live in `vusion-attacks`).
 
-use vusion::core::{VUsion, VUsionConfig};
+use vusion::core::{EngineKind, VUsion, VUsionConfig};
 use vusion::prelude::*;
+use vusion::repro::Bundle;
 use vusion::stats::ks_test_uniform;
 
 const BASE: u64 = 0x10000;
 
-fn vusion_system(pool: usize) -> (System<VUsion>, Pid, Pid) {
-    let mut m = Machine::new(MachineConfig::test_small());
+/// Journal + base snapshot for a test system: any invariant failure dumps
+/// a replayable bundle into `bench_logs/repro/` before panicking.
+struct Guard {
+    kind: EngineKind,
+    cfg: MachineConfig,
+    base: Vec<u8>,
+}
+
+impl Guard {
+    fn arm<P: FusionPolicy>(sys: &mut System<P>, kind: EngineKind, cfg: MachineConfig) -> Self {
+        sys.machine.enable_journal();
+        sys.machine.clear_journal();
+        Self {
+            kind,
+            cfg,
+            base: sys.snapshot(),
+        }
+    }
+
+    fn fail<P: FusionPolicy>(&self, sys: &System<P>, step: &str) -> ! {
+        let bundle = Bundle::capture(
+            self.kind,
+            &self.cfg,
+            self.base.clone(),
+            sys,
+            false,
+            "security_invariants",
+            step,
+        );
+        match bundle.dump() {
+            Ok(path) => panic!("{step}\n  repro bundle: {}", path.display()),
+            Err(e) => panic!("{step}\n  (repro bundle could not be written: {e})"),
+        }
+    }
+
+    /// `assert!` that leaves a bundle behind on failure.
+    fn check<P: FusionPolicy>(&self, sys: &System<P>, cond: bool, step: &str) {
+        if !cond {
+            self.fail(sys, step);
+        }
+    }
+}
+
+fn vusion_system(pool: usize) -> (System<VUsion>, Pid, Pid, Guard) {
+    let cfg = MachineConfig::test_small();
+    let mut m = Machine::new(cfg);
     let a = m.spawn("a").expect("spawn");
     let b = m.spawn("b").expect("spawn");
     for pid in [a, b] {
@@ -23,7 +68,9 @@ fn vusion_system(pool: usize) -> (System<VUsion>, Pid, Pid) {
             ..Default::default()
         },
     );
-    (System::new(m, policy), a, b)
+    let mut sys = System::new(m, policy);
+    let guard = Guard::arm(&mut sys, EngineKind::VUsion, cfg);
+    (sys, a, b, guard)
 }
 
 fn page(fill: u8) -> [u8; PAGE_SIZE as usize] {
@@ -37,7 +84,7 @@ fn page(fill: u8) -> [u8; PAGE_SIZE as usize] {
 /// between really-merged and fake-merged pages.
 #[test]
 fn sb_ptes_are_flagwise_identical() {
-    let (mut sys, a, b) = vusion_system(256);
+    let (mut sys, a, b, guard) = vusion_system(256);
     // Pages 0..8: duplicates (will merge). Pages 8..16: unique (fake merge).
     for i in 0..8u64 {
         sys.write_page(a, VirtAddr(BASE + i * PAGE_SIZE), &page(i as u8 + 1));
@@ -56,21 +103,30 @@ fn sb_ptes_are_flagwise_identical() {
                 .flags()
         })
         .collect();
-    assert!(
+    guard.check(
+        &sys,
         flags.windows(2).all(|w| w[0] == w[1]),
-        "PTE flags must be indistinguishable across merged/fake-merged pages: {flags:?}"
+        &format!("PTE flags must be indistinguishable across merged/fake-merged pages: {flags:?}"),
     );
     // And they are all trapped + uncacheable.
     let leaf = sys.machine.leaf(a, VirtAddr(BASE)).expect("mapped");
-    assert!(leaf.pte.is_trapped());
-    assert!(leaf.pte.has(PteFlags::NO_CACHE));
+    guard.check(
+        &sys,
+        leaf.pte.is_trapped(),
+        "considered page is not trapped",
+    );
+    guard.check(
+        &sys,
+        leaf.pte.has(PteFlags::NO_CACHE),
+        "considered page is cacheable despite PCD",
+    );
 }
 
 /// SB: prefetch must not load any considered page into the cache (the PCD
 /// bit), merged or not.
 #[test]
 fn sb_prefetch_is_inert_on_considered_pages() {
-    let (mut sys, a, b) = vusion_system(256);
+    let (mut sys, a, b, guard) = vusion_system(256);
     sys.write_page(a, VirtAddr(BASE), &page(1));
     sys.write_page(b, VirtAddr(BASE), &page(1)); // Merged.
     sys.write_page(a, VirtAddr(BASE + PAGE_SIZE), &page(2)); // Fake merged.
@@ -81,9 +137,10 @@ fn sb_prefetch_is_inert_on_considered_pages() {
         sys.machine.llc_mut().flush_frame(pa.frame());
         assert!(!sys.machine.llc().contains(pa));
         sys.prefetch(a, va);
-        assert!(
+        guard.check(
+            &sys,
             !sys.machine.llc().contains(pa),
-            "prefetch leaked page {i} into the cache despite PCD"
+            &format!("prefetch leaked page {i} into the cache despite PCD"),
         );
     }
 }
@@ -92,7 +149,7 @@ fn sb_prefetch_is_inert_on_considered_pages() {
 /// party's original frame, and the choices pass a uniformity test.
 #[test]
 fn ra_backing_frames_are_random_and_foreign() {
-    let (mut sys, a, b) = vusion_system(512);
+    let (mut sys, a, b, guard) = vusion_system(512);
     let mut originals = Vec::new();
     for i in 0..48u64 {
         let va = VirtAddr(BASE + i * PAGE_SIZE);
@@ -112,8 +169,16 @@ fn ra_backing_frames_are_random_and_foreign() {
     for (i, &(fa, fb)) in originals.iter().enumerate() {
         let va = VirtAddr(BASE + i as u64 * PAGE_SIZE);
         let f = sys.machine.translate_quiet(a, va).expect("mapped").frame();
-        assert_ne!(f, fa, "page {i} merged in place onto a's frame");
-        assert_ne!(f, fb, "page {i} merged in place onto b's frame");
+        guard.check(
+            &sys,
+            f != fa,
+            &format!("page {i} merged in place onto a's frame"),
+        );
+        guard.check(
+            &sys,
+            f != fb,
+            &format!("page {i} merged in place onto b's frame"),
+        );
     }
     // Uniformity of the RA trace.
     let trace: Vec<f64> = sys.policy.ra_trace().iter().map(|&f| f as f64).collect();
@@ -121,10 +186,10 @@ fn ra_backing_frames_are_random_and_foreign() {
     let lo = trace.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = trace.iter().copied().fold(f64::NEG_INFINITY, f64::max) + 1.0;
     let ks = ks_test_uniform(&trace, lo, hi);
-    assert!(
+    guard.check(
+        &sys,
         ks.same_distribution(0.01),
-        "RA trace not uniform: p = {}",
-        ks.p_value
+        &format!("RA trace not uniform: p = {}", ks.p_value),
     );
 }
 
@@ -132,7 +197,10 @@ fn ra_backing_frames_are_random_and_foreign() {
 /// predictable (LIFO buddy reuse).
 #[test]
 fn ksm_unmerge_allocation_is_predictable() {
-    let mut sys = EngineKind::Ksm.build_system(MachineConfig::test_small());
+    let cfg = MachineConfig::test_small();
+    let mut sys = EngineKind::Ksm.build_system(cfg);
+    // Armed before setup: the journal covers spawn/mmap/madvise too.
+    let guard = Guard::arm(&mut sys, EngineKind::Ksm, cfg);
     let a = sys.machine.spawn("a").expect("spawn");
     let b = sys.machine.spawn("b").expect("spawn");
     for pid in [a, b] {
@@ -156,9 +224,10 @@ fn ksm_unmerge_allocation_is_predictable() {
         .translate_quiet(b, VirtAddr(BASE))
         .expect("mapped")
         .frame();
-    assert_eq!(
-        frame_after, frame_b,
-        "buddy LIFO reuse is the predictable behavior RA fixes"
+    guard.check(
+        &sys,
+        frame_after == frame_b,
+        "buddy LIFO reuse is the predictable behavior RA fixes",
     );
 }
 
@@ -166,7 +235,7 @@ fn ksm_unmerge_allocation_is_predictable() {
 /// distribution even when measured through the public API.
 #[test]
 fn sb_fault_timing_indistinguishable() {
-    let (mut sys, a, b) = vusion_system(512);
+    let (mut sys, a, b, guard) = vusion_system(512);
     const N: u64 = 60;
     for i in 0..N {
         let va = VirtAddr(BASE + i * PAGE_SIZE);
@@ -190,9 +259,9 @@ fn sb_fault_timing_indistinguishable() {
         }
     }
     let ks = vusion::stats::ks_two_sample(&merged, &fake);
-    assert!(
+    guard.check(
+        &sys,
         ks.same_distribution(0.05),
-        "SB violated end-to-end: p = {}",
-        ks.p_value
+        &format!("SB violated end-to-end: p = {}", ks.p_value),
     );
 }
