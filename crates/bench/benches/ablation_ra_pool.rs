@@ -2,18 +2,18 @@
 //! templated frame against the paper's `2^-bits` claim (§7.1: a 128 MiB
 //! pool = 2¹⁵ frames gives reuse probability 2⁻¹⁵).
 
-use vusion_bench::header;
+use vusion_bench::Report;
 use vusion_mem::{BuddyAllocator, FrameId, RandomPool};
 
 fn main() {
-    header(
+    let mut rep = Report::new(
         "Ablation/RA",
         "Templated-frame reuse probability vs pool size",
     );
-    println!(
+    rep.text(format!(
         "{:>12} {:>8} {:>12} {:>12} {:>10}",
         "pool frames", "bits", "expected", "measured", "trials"
-    );
+    ));
     const TRIALS: u64 = 40_000;
     for bits in [4u32, 6, 8, 10, 12] {
         let pool_frames = 1usize << bits;
@@ -34,14 +34,25 @@ fn main() {
         }
         let measured = reused as f64 / TRIALS as f64;
         let expected = 1.0 / pool_frames as f64;
-        println!(
-            "{:>12} {:>8} {:>12.6} {:>12.6} {:>10}",
-            pool_frames, bits, expected, measured, TRIALS
+        rep.raw_row(
+            &format!(
+                "{:>12} {:>8} {:>12.6} {:>12.6} {:>10}",
+                pool_frames, bits, expected, measured, TRIALS
+            ),
+            &format!("bits_{bits}"),
+            &[
+                ("pool_frames", pool_frames.to_string()),
+                ("bits", bits.to_string()),
+                ("expected", format!("{expected:.6}")),
+                ("measured", format!("{measured:.6}")),
+                ("trials", TRIALS.to_string()),
+            ],
         );
         assert!(
             measured < expected * 3.0 + 1e-4,
             "reuse probability must scale as 2^-bits (got {measured} at {bits} bits)"
         );
     }
-    println!("\npaper: 2^15-frame pool => reuse probability 2^-15 (extrapolates from this sweep)");
+    rep.text("\npaper: 2^15-frame pool => reuse probability 2^-15 (extrapolates from this sweep)");
+    rep.finish();
 }

@@ -11,28 +11,42 @@
 use vusion_attacks::ablation::{
     backing_frame_stable_across_rounds, coa_timing_asymmetry, prefetch_leaks, Ablation,
 };
-use vusion_bench::header;
+use vusion_bench::Report;
 
 fn main() {
-    header("Ablation", "Each §7.1 mechanism closes exactly one channel");
-    println!(
+    let mut rep = Report::new("Ablation", "Each §7.1 mechanism closes exactly one channel");
+    rep.text(format!(
         "{:<18} {:>14} {:>18} {:>22}",
         "variant", "prefetch leak", "CoA timing KS p", "frame stable (rounds)"
-    );
+    ));
     for ab in Ablation::all() {
         let leak = prefetch_leaks(ab);
         let ks = coa_timing_asymmetry(ab);
         let stable = backing_frame_stable_across_rounds(ab);
-        println!(
-            "{:<18} {:>14} {:>18.3} {:>22}",
+        rep.raw_row(
+            &format!(
+                "{:<18} {:>14} {:>18.3} {:>22}",
+                ab.label(),
+                if leak { "LEAKS" } else { "blocked" },
+                ks.p_value,
+                if stable {
+                    "STABLE (leaky)"
+                } else {
+                    "re-randomized"
+                }
+            ),
             ab.label(),
-            if leak { "LEAKS" } else { "blocked" },
-            ks.p_value,
-            if stable {
-                "STABLE (leaky)"
-            } else {
-                "re-randomized"
-            }
+            &[
+                (
+                    "prefetch_leak",
+                    (if leak { "LEAKS" } else { "blocked" }).to_string(),
+                ),
+                ("coa_timing_ks_p", format!("{:.3}", ks.p_value)),
+                (
+                    "frame_stable",
+                    (if stable { "STABLE" } else { "re-randomized" }).to_string(),
+                ),
+            ],
         );
     }
     // Enforce the expected diagonal.
@@ -42,5 +56,6 @@ fn main() {
     assert!(!coa_timing_asymmetry(Ablation::NoDeferredFree).same_distribution(0.05));
     assert!(!backing_frame_stable_across_rounds(Ablation::None));
     assert!(backing_frame_stable_across_rounds(Ablation::NoRerandomize));
-    println!("\neach mechanism is necessary: removing it reopens exactly its channel");
+    rep.text("\neach mechanism is necessary: removing it reopens exactly its channel");
+    rep.finish();
 }

@@ -6,7 +6,7 @@
 //! the attacker releases everything, and the reuse rate (paper:
 //! "near-perfect").
 
-use vusion_bench::{header, row};
+use vusion_bench::Report;
 use vusion_core::EngineKind;
 use vusion_kernel::MachineConfig;
 use vusion_mem::{VirtAddr, PAGE_SIZE};
@@ -14,7 +14,7 @@ use vusion_mmu::{Protection, Vma};
 use vusion_workloads::images::labeled_page;
 
 fn main() {
-    header(
+    let mut rep = Report::new(
         "Figure 3",
         "WPF physical memory reuse between fusion passes",
     );
@@ -67,10 +67,12 @@ fn main() {
     let set1: std::collections::HashSet<u64> = pass1.iter().copied().collect();
     let reused = pass2.iter().filter(|f| set1.contains(f)).count();
     let total_frames = sys.machine.config().frames;
-    println!("machine frames: {total_frames} (fused pages live at the end of memory)");
-    println!("pass 1 frames: {pass1:?}");
-    println!("pass 2 frames: {pass2:?}");
-    row(
+    rep.text(format!(
+        "machine frames: {total_frames} (fused pages live at the end of memory)"
+    ));
+    rep.text(format!("pass 1 frames: {pass1:?}"));
+    rep.text(format!("pass 2 frames: {pass2:?}"));
+    rep.row(
         "reuse",
         &[
             ("reused", format!("{reused}/{}", pass2.len())),
@@ -81,6 +83,7 @@ fn main() {
             ("paper", "near-perfect reuse at end of memory".to_string()),
         ],
     );
+    rep.finish();
     assert!(
         reused * 10 >= pass2.len() * 9,
         "expected near-perfect reuse"

@@ -6,7 +6,7 @@
 //! fusion rate, because most benefits come from idle pages — while merging
 //! only zero pages captures a mere 16% of the duplicates.
 
-use vusion_bench::{boot_fleet, header, row};
+use vusion_bench::{boot_fleet, Report};
 use vusion_core::EngineKind;
 use vusion_kernel::MachineConfig;
 use vusion_rng::rngs::StdRng;
@@ -35,18 +35,18 @@ fn fused_pages(kind: EngineKind) -> u64 {
 }
 
 fn main() {
-    header("Figure 4", "Effect of copy-on-access on fusion rates");
+    let mut rep = Report::new("Figure 4", "Effect of copy-on-access on fusion rates");
     let cow = fused_pages(EngineKind::Ksm);
     let coa = fused_pages(EngineKind::KsmCoa);
     let zero = fused_pages(EngineKind::KsmZeroOnly);
-    row(
+    rep.row(
         "KSM (CoW)",
         &[
             ("pages_saved", cow.to_string()),
             ("rel", "100%".to_string()),
         ],
     );
-    row(
+    rep.row(
         "KSM (CoA)",
         &[
             ("pages_saved", coa.to_string()),
@@ -54,7 +54,7 @@ fn main() {
             ("paper", "~99% of CoW".to_string()),
         ],
     );
-    row(
+    rep.row(
         "zero-only",
         &[
             ("pages_saved", zero.to_string()),
@@ -70,4 +70,5 @@ fn main() {
         (zero as f64) < cow as f64 * 0.6,
         "zero pages are a minority of duplicates"
     );
+    rep.finish();
 }

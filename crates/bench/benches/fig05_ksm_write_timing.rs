@@ -6,12 +6,12 @@
 //! bimodality.
 
 use vusion_attacks::cow_timing::{self, CowTimingParams};
-use vusion_bench::header;
+use vusion_bench::Report;
 use vusion_core::EngineKind;
 use vusion_stats::Histogram;
 
 fn main() {
-    header("Figure 5", "Freq. dist. of timing 1,000 writes in KSM");
+    let mut rep = Report::new("Figure 5", "Freq. dist. of timing 1,000 writes in KSM");
     let params = CowTimingParams {
         dup_probes: 500,
         unique_probes: 500,
@@ -21,16 +21,26 @@ fn main() {
     let mut all = o.dup_times.clone();
     all.extend_from_slice(&o.unique_times);
     let h = Histogram::from_sample(&all, 60);
-    println!("time_ns count   (1,000 writes: 500 to shared, 500 to unshared pages)");
-    for (center, count) in h.rows() {
-        println!("{center:>9.0} {count}");
+    rep.text("time_ns count   (1,000 writes: 500 to shared, 500 to unshared pages)");
+    for (i, (center, count)) in h.rows().into_iter().enumerate() {
+        rep.raw_row(
+            &format!("{center:>9.0} {count}"),
+            &format!("bin_{i}"),
+            &[
+                ("time_ns", format!("{center:.0}")),
+                ("count", count.to_string()),
+            ],
+        );
     }
     let peaks = h.peak_count(0.10);
-    println!("peaks detected: {peaks} (paper: two distinct peaks — the CoW side channel)");
-    println!(
+    rep.text(format!(
+        "peaks detected: {peaks} (paper: two distinct peaks — the CoW side channel)"
+    ));
+    rep.text(format!(
         "KS p-value shared-vs-unshared: {:.3e} (distinguishable)",
         o.ks.p_value
-    );
+    ));
+    rep.finish();
     assert!(peaks >= 2, "KSM write timing must be bimodal");
     assert!(!o.ks.same_distribution(0.05));
 }

@@ -6,12 +6,12 @@
 //! same-distribution hypothesis (the paper reports p = 0.36).
 
 use vusion_attacks::cow_timing::{self, CowTimingParams};
-use vusion_bench::header;
+use vusion_bench::Report;
 use vusion_core::EngineKind;
 use vusion_stats::Histogram;
 
 fn main() {
-    header("Figure 6", "Freq. dist. of timing 1,000 reads in VUsion");
+    let mut rep = Report::new("Figure 6", "Freq. dist. of timing 1,000 reads in VUsion");
     let params = CowTimingParams {
         dup_probes: 500,
         unique_probes: 500,
@@ -21,19 +21,27 @@ fn main() {
     let mut all = o.dup_times.clone();
     all.extend_from_slice(&o.unique_times);
     let h = Histogram::from_sample(&all, 24);
-    println!("time_ns count   (1,000 reads: 500 shared, 500 unshared — indistinguishable)");
-    for (center, count) in h.rows() {
-        println!("{center:>9.0} {count}");
+    rep.text("time_ns count   (1,000 reads: 500 shared, 500 unshared — indistinguishable)");
+    for (i, (center, count)) in h.rows().into_iter().enumerate() {
+        rep.raw_row(
+            &format!("{center:>9.0} {count}"),
+            &format!("bin_{i}"),
+            &[
+                ("time_ns", format!("{center:.0}")),
+                ("count", count.to_string()),
+            ],
+        );
     }
     // Coarse bins: the copy-on-access path has fine structure from
     // discrete cache outcomes, but no second mode anywhere near the
     // plain-store regime of Figure 5.
     let peaks = h.peak_count(0.20);
-    println!("peaks detected: {peaks} (paper: one)");
-    println!(
+    rep.text(format!("peaks detected: {peaks} (paper: one)"));
+    rep.text(format!(
         "KS test shared-vs-unshared: D = {:.4}, p = {:.3} (paper: p = 0.36; same distribution)",
         o.ks.statistic, o.ks.p_value
-    );
+    ));
+    rep.finish();
     assert_eq!(peaks, 1, "VUsion read timing must be unimodal");
     assert!(
         o.ks.same_distribution(0.05),

@@ -4,7 +4,7 @@
 //! VUsion THP ≈ +4.6% total — small single-digit overheads with most
 //! benchmarks insensitive to the extra faults.
 
-use vusion_bench::{boot_fleet, header, overhead_pct};
+use vusion_bench::{boot_fleet, overhead_pct, Report};
 use vusion_core::EngineKind;
 use vusion_kernel::MachineConfig;
 use vusion_stats::geometric_mean;
@@ -38,13 +38,13 @@ fn measure(
 }
 
 fn main() {
-    header("Figure 7", "Performance overhead on SPEC CPU2006 (%)");
+    let mut rep = Report::new("Figure 7", "Performance overhead on SPEC CPU2006 (%)");
     let profiles = spec_cpu2006();
     let engines = [EngineKind::Ksm, EngineKind::VUsion, EngineKind::VUsionThp];
-    println!(
+    rep.text(format!(
         "{:<14} {:>8} {:>8} {:>11}",
         "benchmark", "KSM", "VUsion", "VUsion THP"
-    );
+    ));
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); engines.len()];
     for p in &profiles {
         // Every configuration runs on the same THP-enabled host, like the
@@ -65,17 +65,30 @@ fn main() {
             ratios[ei].push(t as f64 / baseline as f64);
             cells.push(overhead_pct(baseline, t));
         }
-        println!(
-            "{:<14} {:>7.1}% {:>7.1}% {:>10.1}%",
-            p.name, cells[0], cells[1], cells[2]
+        rep.raw_row(
+            &format!(
+                "{:<14} {:>7.1}% {:>7.1}% {:>10.1}%",
+                p.name, cells[0], cells[1], cells[2]
+            ),
+            p.name,
+            &[
+                ("ksm_pct", format!("{:.1}", cells[0])),
+                ("vusion_pct", format!("{:.1}", cells[1])),
+                ("vusion_thp_pct", format!("{:.1}", cells[2])),
+            ],
         );
     }
-    println!("{:-<45}", "");
+    rep.text(format!("{:-<45}", ""));
     for (ei, &kind) in engines.iter().enumerate() {
         let gm = (geometric_mean(&ratios[ei]) - 1.0) * 100.0;
-        println!("geomean {:<12} {:>6.1}%", kind.label(), gm);
+        rep.raw_row(
+            &format!("geomean {:<12} {:>6.1}%", kind.label(), gm),
+            &format!("geomean {}", kind.label()),
+            &[("overhead_pct", format!("{gm:.1}"))],
+        );
     }
-    println!("paper geomeans: KSM +2.2%, VUsion +4.9% overall, VUsion THP +4.6% overall");
+    rep.text("paper geomeans: KSM +2.2%, VUsion +4.9% overall, VUsion THP +4.6% overall");
+    rep.finish();
     // Shape assertions: small overheads, single digits at this scale.
     for r in &ratios {
         let gm = geometric_mean(r);

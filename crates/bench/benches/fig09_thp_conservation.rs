@@ -4,7 +4,7 @@
 //! merge / on consideration); VUsion with THP enhancements conserves the
 //! working set's huge pages.
 
-use vusion_bench::{boot_fleet, header};
+use vusion_bench::{boot_fleet, Report};
 use vusion_core::EngineKind;
 use vusion_kernel::MachineConfig;
 use vusion_rng::rngs::StdRng;
@@ -35,7 +35,7 @@ fn series(kind: EngineKind) -> Vec<(f64, usize)> {
 }
 
 fn main() {
-    header("Figure 9", "Conserving THPs during the Apache benchmark");
+    let mut rep = Report::new("Figure 9", "Conserving THPs during the Apache benchmark");
     let kinds = [
         EngineKind::NoFusion,
         EngineKind::Ksm,
@@ -43,18 +43,20 @@ fn main() {
         EngineKind::VUsionThp,
     ];
     let all: Vec<(EngineKind, Vec<(f64, usize)>)> = kinds.iter().map(|&k| (k, series(k))).collect();
-    print!("{:<8}", "t(s)");
+    let mut head = format!("{:<8}", "t(s)");
     for (k, _) in &all {
-        print!("{:>12}", k.label());
+        head.push_str(&format!("{:>12}", k.label()));
     }
-    println!();
+    rep.text(head);
     let steps = all[0].1.len();
     for i in 0..steps {
-        print!("{:<8.0}", all[0].1[i].0);
-        for (_, s) in &all {
-            print!("{:>12}", s[i].1);
+        let mut line = format!("{:<8.0}", all[0].1[i].0);
+        let mut cells = Vec::new();
+        for (k, s) in &all {
+            line.push_str(&format!("{:>12}", s[i].1));
+            cells.push((k.label(), s[i].1.to_string()));
         }
-        println!();
+        rep.raw_row(&line, &format!("t_{:.1}", all[0].1[i].0), &cells);
     }
     let end = |k: EngineKind| {
         all.iter()
@@ -65,14 +67,15 @@ fn main() {
             .expect("steps")
             .1
     };
-    println!(
+    rep.text(format!(
         "\nfinal huge pages: No-dedup {}, KSM {}, VUsion {}, VUsion THP {}",
         end(EngineKind::NoFusion),
         end(EngineKind::Ksm),
         end(EngineKind::VUsion),
         end(EngineKind::VUsionThp)
-    );
-    println!("paper shape: VUsion-THP conserves working-set THPs; KSM and plain VUsion erode them");
+    ));
+    rep.text("paper shape: VUsion-THP conserves working-set THPs; KSM and plain VUsion erode them");
+    rep.finish();
     assert!(
         end(EngineKind::VUsionThp) > end(EngineKind::VUsion),
         "THP enhancements must conserve more huge pages than plain VUsion"

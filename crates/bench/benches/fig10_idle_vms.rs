@@ -4,7 +4,7 @@
 //! consumption, far below no-dedup; VUsion takes longer to get there (it
 //! waits for pages to prove idle, and defers merging by a round).
 
-use vusion_bench::header;
+use vusion_bench::Report;
 use vusion_core::EngineKind;
 use vusion_kernel::MachineConfig;
 use vusion_workloads::images::ImageSpec;
@@ -33,7 +33,7 @@ fn series(kind: EngineKind) -> Vec<(f64, f64)> {
 }
 
 fn main() {
-    header(
+    let mut rep = Report::new(
         "Figure 10",
         "Memory consumption of idle VMs (MiB over time)",
     );
@@ -44,17 +44,19 @@ fn main() {
         EngineKind::VUsionThp,
     ];
     let all: Vec<(EngineKind, Vec<(f64, f64)>)> = kinds.iter().map(|&k| (k, series(k))).collect();
-    println!(
+    rep.text(format!(
         "t(s)    {:>10} {:>10} {:>10} {:>10}",
         "No dedup", "KSM", "VUsion", "VUsion THP"
-    );
+    ));
     let n = all.iter().map(|(_, s)| s.len()).min().expect("series");
     for i in (0..n).step_by(2) {
-        print!("{:<7.0}", all[0].1[i].0);
-        for (_, s) in &all {
-            print!(" {:>10.2}", s[i].1);
+        let mut line = format!("{:<7.0}", all[0].1[i].0);
+        let mut cells = Vec::new();
+        for (k, s) in &all {
+            line.push_str(&format!(" {:>10.2}", s[i].1));
+            cells.push((k.label(), format!("{:.2}", s[i].1)));
         }
-        println!();
+        rep.raw_row(&line, &format!("t_{:.1}", all[0].1[i].0), &cells);
     }
     let final_mib = |k: EngineKind| {
         all.iter()
@@ -68,9 +70,10 @@ fn main() {
     let none = final_mib(EngineKind::NoFusion);
     let ksm = final_mib(EngineKind::Ksm);
     let vus = final_mib(EngineKind::VUsion);
-    println!(
+    rep.text(format!(
         "\nfinal: No-dedup {none:.1} MiB, KSM {ksm:.1} MiB, VUsion {vus:.1} MiB (paper: VUsion converges to KSM)"
-    );
+    ));
+    rep.finish();
     assert!(ksm < none * 0.8, "KSM must reclaim substantial idle memory");
     assert!(
         vus < none * 0.85,

@@ -4,7 +4,7 @@
 //! with THP enhancements conserves working-set huge pages at the cost of a
 //! substantially reduced fusion rate (the paper measures −61%).
 
-use vusion_bench::header;
+use vusion_bench::Report;
 use vusion_core::EngineKind;
 use vusion_kernel::MachineConfig;
 use vusion_workloads::images::ImageCatalog;
@@ -23,11 +23,11 @@ fn run(kind: EngineKind) -> (f64, f64, u64) {
 }
 
 fn main() {
-    header("Figure 11", "Memory consumption of 16 diverse VMs");
-    println!(
+    let mut rep = Report::new("Figure 11", "Memory consumption of 16 diverse VMs");
+    rep.text(format!(
         "{:<12} {:>12} {:>12} {:>12}",
         "engine", "boot MiB", "settled MiB", "pages saved"
-    );
+    ));
     let mut results = Vec::new();
     for kind in [
         EngineKind::NoFusion,
@@ -36,12 +36,20 @@ fn main() {
         EngineKind::VUsionThp,
     ] {
         let (start, end, saved) = run(kind);
-        println!(
-            "{:<12} {:>12.1} {:>12.1} {:>12}",
+        rep.raw_row(
+            &format!(
+                "{:<12} {:>12.1} {:>12.1} {:>12}",
+                kind.label(),
+                start,
+                end,
+                saved
+            ),
             kind.label(),
-            start,
-            end,
-            saved
+            &[
+                ("boot_mib", format!("{start:.1}")),
+                ("settled_mib", format!("{end:.1}")),
+                ("pages_saved", saved.to_string()),
+            ],
         );
         results.push((kind, end, saved));
     }
@@ -49,11 +57,12 @@ fn main() {
     let (_, none_end, _) = get(EngineKind::NoFusion);
     let (_, ksm_end, ksm_saved) = get(EngineKind::Ksm);
     let (_, _vus_end, vus_saved) = get(EngineKind::VUsion);
-    println!(
+    rep.text(format!(
         "\nfusion rate: KSM {ksm_saved} pages, VUsion {vus_saved} pages ({:.0}% of KSM)",
         *vus_saved as f64 * 100.0 / *ksm_saved as f64
-    );
-    println!("paper shape: VUsion ≈ KSM fusion rate; VUsion-THP trades ~61% of it for THPs");
+    ));
+    rep.text("paper shape: VUsion ≈ KSM fusion rate; VUsion-THP trades ~61% of it for THPs");
+    rep.finish();
     assert!(ksm_end < none_end, "KSM reclaims memory");
     assert!(
         (*vus_saved as f64) > *ksm_saved as f64 * 0.6,

@@ -5,7 +5,7 @@
 //! and consumption *rises* during the benchmark window for every engine —
 //! Apache's self-balancing worker pool expands.
 
-use vusion_bench::{boot_fleet, header};
+use vusion_bench::{boot_fleet, Report};
 use vusion_core::EngineKind;
 use vusion_kernel::MachineConfig;
 use vusion_rng::rngs::StdRng;
@@ -42,7 +42,7 @@ fn series(kind: EngineKind) -> Vec<(f64, f64)> {
 }
 
 fn main() {
-    header(
+    let mut rep = Report::new(
         "Figure 12",
         "Memory consumption during the Apache benchmark",
     );
@@ -53,17 +53,19 @@ fn main() {
         EngineKind::VUsionThp,
     ];
     let all: Vec<(EngineKind, Vec<(f64, f64)>)> = kinds.iter().map(|&k| (k, series(k))).collect();
-    println!(
+    rep.text(format!(
         "t(s)    {:>10} {:>10} {:>10} {:>10}",
         "No dedup", "KSM", "VUsion", "VUsion THP"
-    );
+    ));
     let n = all.iter().map(|(_, s)| s.len()).min().expect("series");
     for i in 0..n {
-        print!("{:<7.0}", all[0].1[i].0);
-        for (_, s) in &all {
-            print!(" {:>10.2}", s[i].1);
+        let mut line = format!("{:<7.0}", all[0].1[i].0);
+        let mut cells = Vec::new();
+        for (k, s) in &all {
+            line.push_str(&format!(" {:>10.2}", s[i].1));
+            cells.push((k.label(), format!("{:.2}", s[i].1)));
         }
-        println!();
+        rep.raw_row(&line, &format!("t_{:.1}", all[0].1[i].0), &cells);
     }
     // Shapes: fusion reclaims during the idle window; the benchmark grows
     // memory for every engine (self-balancing workers).
@@ -77,5 +79,6 @@ fn main() {
     }
     let at_bench_start = |k: EngineKind| all.iter().find(|(kk, _)| *kk == k).expect("ran").1[8].1;
     assert!(at_bench_start(EngineKind::Ksm) < at_bench_start(EngineKind::NoFusion));
-    println!("\npaper shape: fused curves below no-dedup; all rise during the benchmark window");
+    rep.text("\npaper shape: fused curves below no-dedup; all rise during the benchmark window");
+    rep.finish();
 }

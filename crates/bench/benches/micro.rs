@@ -227,9 +227,14 @@ fn bench_fault_path(out: &mut Vec<BenchResult>) {
     }
 }
 
-fn bench_engine_scans(out: &mut Vec<BenchResult>) {
+/// Times the three engine scans, then — with timing done — enables the
+/// observability layer and takes one instrumented scan per engine so the
+/// JSON artifact carries a metrics snapshot next to the timings. Tracing
+/// is off while the samples are collected, preserving the perf gate.
+fn bench_engine_scans(out: &mut Vec<BenchResult>) -> Vec<(&'static str, String)> {
     use vusion_core::{Ksm, KsmConfig, VUsion, VUsionConfig, Wpf, WpfConfig};
     use vusion_kernel::{FusionPolicy, System};
+    let mut metrics = Vec::new();
     {
         let mut m = Machine::new(MachineConfig::test_small());
         let pid = m.spawn("t").expect("spawn");
@@ -247,6 +252,9 @@ fn bench_engine_scans(out: &mut Vec<BenchResult>) {
         bench(out, "scan_visit_100_pages_ksm", || {
             black_box(sys.policy.scan(&mut sys.machine));
         });
+        sys.machine.enable_tracing();
+        black_box(sys.policy.scan(&mut sys.machine));
+        metrics.push(("ksm", sys.metrics_snapshot().to_json()));
     }
     {
         // Unique pages so a pass hashes all 512 candidates and merges none.
@@ -264,6 +272,9 @@ fn bench_engine_scans(out: &mut Vec<BenchResult>) {
         bench(out, "scan_full_pass_wpf_512", || {
             black_box(sys.policy.scan(&mut sys.machine));
         });
+        sys.machine.enable_tracing();
+        black_box(sys.policy.scan(&mut sys.machine));
+        metrics.push(("wpf", sys.metrics_snapshot().to_json()));
     }
     {
         // Re-randomization ablated so the bench isolates the scan itself
@@ -295,7 +306,11 @@ fn bench_engine_scans(out: &mut Vec<BenchResult>) {
         bench(out, "scan_visit_100_pages_vusion", || {
             black_box(sys.policy.scan(&mut sys.machine));
         });
+        sys.machine.enable_tracing();
+        black_box(sys.policy.scan(&mut sys.machine));
+        metrics.push(("vusion", sys.metrics_snapshot().to_json()));
     }
+    metrics
 }
 
 /// `git rev-parse --short HEAD`, or `"unknown"` outside a git checkout.
@@ -338,7 +353,12 @@ fn carry_baseline(old: &str) -> Option<String> {
     Some(old.trim().to_string())
 }
 
-fn render_json(rev: &str, results: &[BenchResult], baseline: Option<&str>) -> String {
+fn render_json(
+    rev: &str,
+    results: &[BenchResult],
+    metrics: &[(&'static str, String)],
+    baseline: Option<&str>,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"vusion-bench-micro/v1\",\n");
@@ -354,6 +374,14 @@ fn render_json(rev: &str, results: &[BenchResult], baseline: Option<&str>) -> St
         ));
     }
     s.push_str("  ],\n");
+    // One instrumented scan per engine: the observability layer's metrics
+    // snapshot, embedded verbatim (it is already a JSON object).
+    s.push_str("  \"metrics\": {");
+    for (i, (engine, snap)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        s.push_str(&format!("\n    \"{engine}\": {snap}{comma}"));
+    }
+    s.push_str("\n  },\n");
     match baseline {
         Some(b) => {
             s.push_str("  \"baseline\": ");
@@ -374,14 +402,14 @@ fn main() {
     bench_allocators(&mut results);
     bench_llc(&mut results);
     bench_fault_path(&mut results);
-    bench_engine_scans(&mut results);
+    let metrics = bench_engine_scans(&mut results);
 
     let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = format!("{repo_root}/BENCH_micro.json");
     let baseline = std::fs::read_to_string(&path)
         .ok()
         .and_then(|old| carry_baseline(&old));
-    let json = render_json(&git_rev(repo_root), &results, baseline.as_deref());
+    let json = render_json(&git_rev(repo_root), &results, &metrics, baseline.as_deref());
     std::fs::write(&path, json).expect("write BENCH_micro.json");
     println!("wrote {path}");
 }

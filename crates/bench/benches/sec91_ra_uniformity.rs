@@ -7,13 +7,13 @@
 //! the contrast: the buddy allocator's LIFO choices are grossly
 //! non-uniform.
 
-use vusion_bench::{boot_fleet, header, row};
+use vusion_bench::{boot_fleet, Report};
 use vusion_core::{EngineKind, VUsion, VUsionConfig};
 use vusion_kernel::{Machine, MachineConfig, System};
 use vusion_stats::ks_test_uniform;
 
 fn main() {
-    header("Section 9.1", "Randomized Allocation uniformity (KS test)");
+    let mut rep = Report::new("Section 9.1", "Randomized Allocation uniformity (KS test)");
     // Build VUsion directly so we can read its RA trace.
     let mut m = Machine::new(MachineConfig::guest_2g_scaled());
     let policy = VUsion::new(
@@ -31,7 +31,7 @@ fn main() {
     let lo = trace.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = trace.iter().copied().fold(f64::NEG_INFINITY, f64::max) + 1.0;
     let ks = ks_test_uniform(&trace, lo, hi);
-    row(
+    rep.row(
         "VUsion RA",
         &[
             ("allocations", trace.len().to_string()),
@@ -64,7 +64,7 @@ fn main() {
     let lo = ksm_frames.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = sys.machine.config().frames as f64;
     let ks_ksm = ks_test_uniform(&ksm_frames, lo, hi);
-    row(
+    rep.row(
         "KSM (buddy)",
         &[
             ("allocations", ksm_frames.len().to_string()),
@@ -77,4 +77,5 @@ fn main() {
         !ks_ksm.same_distribution(0.05),
         "buddy allocations must NOT look uniform"
     );
+    rep.finish();
 }

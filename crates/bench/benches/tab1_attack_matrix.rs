@@ -5,20 +5,20 @@
 //! none defeats VUsion.
 
 use vusion_attacks::attack_matrix;
-use vusion_bench::header;
+use vusion_bench::Report;
 use vusion_core::EngineKind;
 
 fn main() {
-    header(
+    let mut rep = Report::new(
         "Table 1",
         "Attacks against page fusion and their mitigations",
     );
     let engines = [EngineKind::Ksm, EngineKind::Wpf, EngineKind::VUsion];
     let rows = attack_matrix(&engines);
-    println!(
+    rep.text(format!(
         "{:<34} {:<8} {:<10} {:>6} {:>6} {:>8}",
         "Attack", "Abuses", "Mitigation", "KSM", "WPF", "VUsion"
-    );
+    ));
     let attacks: Vec<&str> = {
         let mut seen = Vec::new();
         for r in &rows {
@@ -39,14 +39,24 @@ fn main() {
             .iter()
             .find(|r| r.attack == *attack)
             .expect("row exists");
-        println!(
-            "{:<34} {:<8} {:<10} {:>6} {:>6} {:>8}",
+        rep.raw_row(
+            &format!(
+                "{:<34} {:<8} {:<10} {:>6} {:>6} {:>8}",
+                attack,
+                meta.mechanism,
+                meta.mitigation,
+                cell(EngineKind::Ksm),
+                cell(EngineKind::Wpf),
+                cell(EngineKind::VUsion)
+            ),
             attack,
-            meta.mechanism,
-            meta.mitigation,
-            cell(EngineKind::Ksm),
-            cell(EngineKind::Wpf),
-            cell(EngineKind::VUsion)
+            &[
+                ("abuses", meta.mechanism.to_string()),
+                ("mitigation", meta.mitigation.to_string()),
+                ("ksm", cell(EngineKind::Ksm).to_string()),
+                ("wpf", cell(EngineKind::Wpf).to_string()),
+                ("vusion", cell(EngineKind::VUsion).to_string()),
+            ],
         );
     }
     // The paper's claim, enforced.
@@ -60,5 +70,6 @@ fn main() {
             "{attack} must break a baseline"
         );
     }
-    println!("\nAll attacks stopped by VUsion; every attack breaks an insecure baseline.");
+    rep.text("\nAll attacks stopped by VUsion; every attack breaks an insecure baseline.");
+    rep.finish();
 }

@@ -3,17 +3,17 @@
 //! Expected shape: all four configurations within ~1% of each other — the
 //! slow default scanning rate barely perturbs a bandwidth-bound kernel.
 
-use vusion_bench::{boot_fleet, engine_cell, header};
+use vusion_bench::{boot_fleet, engine_cell, Report};
 use vusion_core::EngineKind;
 use vusion_workloads::runner::ExperimentMachine;
 use vusion_workloads::stream::StreamBench;
 
 fn main() {
-    header("Table 2", "Performance of the Stream benchmark (MiB/s)");
-    println!(
+    let mut rep = Report::new("Table 2", "Performance of the Stream benchmark (MiB/s)");
+    rep.text(format!(
         "{:<12} {:>10} {:>10} {:>10} {:>10}",
         "engine", "copy", "scale", "add", "triad"
-    );
+    ));
     let mut baseline_copy = None;
     for kind in EngineKind::evaluation_set() {
         let base = if kind == EngineKind::VUsionThp {
@@ -29,13 +29,22 @@ fn main() {
         };
         bench.setup(&mut sys, &vms[0]);
         let r = bench.run(&mut sys, &vms[0]);
-        println!(
-            "{} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
-            engine_cell(kind),
-            r.copy_mib_s,
-            r.scale_mib_s,
-            r.add_mib_s,
-            r.triad_mib_s
+        rep.raw_row(
+            &format!(
+                "{} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+                engine_cell(kind),
+                r.copy_mib_s,
+                r.scale_mib_s,
+                r.add_mib_s,
+                r.triad_mib_s
+            ),
+            kind.label(),
+            &[
+                ("copy_mib_s", format!("{:.0}", r.copy_mib_s)),
+                ("scale_mib_s", format!("{:.0}", r.scale_mib_s)),
+                ("add_mib_s", format!("{:.0}", r.add_mib_s)),
+                ("triad_mib_s", format!("{:.0}", r.triad_mib_s)),
+            ],
         );
         let b = *baseline_copy.get_or_insert(r.copy_mib_s);
         assert!(
@@ -43,5 +52,6 @@ fn main() {
             "{kind:?} copy bandwidth degraded beyond the Table 2 band"
         );
     }
-    println!("paper: all configurations within ~1% of No-dedup (11.0-12.5 GB/s on the testbed)");
+    rep.text("paper: all configurations within ~1% of No-dedup (11.0-12.5 GB/s on the testbed)");
+    rep.finish();
 }

@@ -5,7 +5,7 @@
 //! making up the remainder — i.e. "most benefits of page fusion come from
 //! idle pages in the system".
 
-use vusion_bench::{boot_fleet, header};
+use vusion_bench::{boot_fleet, Report};
 use vusion_core::{EngineKind, Ksm, KsmConfig, TagCounts, VUsion, VUsionConfig};
 use vusion_kernel::{Machine, MachineConfig, System};
 
@@ -40,21 +40,30 @@ fn tags_for(kind: EngineKind) -> TagCounts {
 }
 
 fn main() {
-    header("Table 3", "Contribution of page types to page fusion (%)");
-    println!(
+    let mut rep = Report::new("Table 3", "Contribution of page types to page fusion (%)");
+    rep.text(format!(
         "{:<12} {:>12} {:>8} {:>8} {:>6}",
         "engine", "page cache", "buddy", "kernel", "rest"
-    );
+    ));
     for kind in [EngineKind::Ksm, EngineKind::VUsion, EngineKind::VUsionThp] {
         let t = tags_for(kind);
         let (pc, buddy, kernel, rest) = t.percentages();
-        println!(
-            "{:<12} {:>11.1}% {:>7.1}% {:>7.1}% {:>5.1}%",
+        rep.raw_row(
+            &format!(
+                "{:<12} {:>11.1}% {:>7.1}% {:>7.1}% {:>5.1}%",
+                kind.label(),
+                pc,
+                buddy,
+                kernel,
+                rest
+            ),
             kind.label(),
-            pc,
-            buddy,
-            kernel,
-            rest
+            &[
+                ("page_cache_pct", format!("{pc:.1}")),
+                ("buddy_pct", format!("{buddy:.1}")),
+                ("kernel_pct", format!("{kernel:.1}")),
+                ("rest_pct", format!("{rest:.1}")),
+            ],
         );
         // Shape: page cache + guest-buddy dominate.
         assert!(
@@ -62,7 +71,8 @@ fn main() {
             "{kind:?}: idle-page sources must dominate fusion"
         );
     }
-    println!(
-        "paper: KSM 51.8/38.4/6.9/2.9, VUsion 51.2/38.6/6.6/3.6, VUsion THP 50.4/32.8/6.3/10.5"
+    rep.text(
+        "paper: KSM 51.8/38.4/6.9/2.9, VUsion 51.2/38.6/6.6/3.6, VUsion THP 50.4/32.8/6.3/10.5",
     );
+    rep.finish();
 }

@@ -3,18 +3,18 @@
 //! Expected shape: KSM ≈ −1.5%, VUsion ≈ −2.9%, VUsion THP ≈ baseline —
 //! file-system-bound work barely notices secure fusion.
 
-use vusion_bench::{boot_fleet, engine_cell, header};
+use vusion_bench::{boot_fleet, engine_cell, Report};
 use vusion_core::EngineKind;
 use vusion_kernel::MachineConfig;
 use vusion_stats::Summary;
 use vusion_workloads::postmark::PostmarkBench;
 
 fn main() {
-    header("Table 4", "Performance of the Postmark benchmark (tx/s)");
-    println!(
+    let mut report = Report::new("Table 4", "Performance of the Postmark benchmark (tx/s)");
+    report.text(format!(
         "{:<12} {:>10} {:>10} {:>10}",
         "engine", "mean", "min", "max"
-    );
+    ));
     let mut baseline = None;
     for kind in EngineKind::evaluation_set() {
         let mut runs = Vec::new();
@@ -45,17 +45,26 @@ fn main() {
             runs.push(bench.run(&mut sys, &vms[0], 17 + rep).tx_per_s);
         }
         let s = Summary::of(&runs);
-        println!(
-            "{} {:>10.1} {:>10.1} {:>10.1}",
-            engine_cell(kind),
-            s.mean,
-            s.min,
-            s.max
+        report.raw_row(
+            &format!(
+                "{} {:>10.1} {:>10.1} {:>10.1}",
+                engine_cell(kind),
+                s.mean,
+                s.min,
+                s.max
+            ),
+            kind.label(),
+            &[
+                ("mean_tx_s", format!("{:.1}", s.mean)),
+                ("min_tx_s", format!("{:.1}", s.min)),
+                ("max_tx_s", format!("{:.1}", s.max)),
+            ],
         );
         let b = *baseline.get_or_insert(s.mean);
         assert!(s.mean > b * 0.85, "{kind:?} fell out of the Table 4 band");
     }
-    println!(
-        "paper: No-dedup 3237.3, KSM 3221.7 (-0.5%), VUsion 3178.7 (-1.8%), VUsion THP 3246.3"
+    report.text(
+        "paper: No-dedup 3237.3, KSM 3221.7 (-0.5%), VUsion 3178.7 (-1.8%), VUsion THP 3246.3",
     );
+    report.finish();
 }

@@ -4,7 +4,7 @@
 //! VUsion) lose double-digit throughput; VUsion's THP enhancements recover
 //! most of it. Latency percentiles follow the same ordering.
 
-use vusion_bench::{boot_fleet, engine_cell, header};
+use vusion_bench::{boot_fleet, engine_cell, Report};
 use vusion_core::EngineKind;
 use vusion_kernel::MachineConfig;
 use vusion_rng::rngs::StdRng;
@@ -16,11 +16,11 @@ const WARMUP: u64 = 400;
 const REQUESTS: u64 = 2500;
 
 fn main() {
-    header("Table 5", "Performance of the Apache server");
-    println!(
+    let mut rep = Report::new("Table 5", "Performance of the Apache server");
+    rep.text(format!(
         "{:<12} {:>9} {:>8} {:>9} {:>9} {:>9}",
         "engine", "kreq/s", "rel", "p75 us", "p90 us", "p99 us"
-    );
+    ));
     let mut baseline = None;
     let mut results = Vec::new();
     for kind in EngineKind::evaluation_set() {
@@ -43,18 +43,29 @@ fn main() {
         let r = inst.run_load(&mut sys, REQUESTS, 22);
         let p = Percentiles::of(&r.latencies_ms);
         let b = *baseline.get_or_insert(r.req_per_s);
-        println!(
-            "{} {:>9.2} {:>7.1}% {:>8.3} {:>8.3} {:>8.3}",
-            engine_cell(kind),
-            r.req_per_s / 1000.0,
-            r.req_per_s / b * 100.0,
-            p.p75 * 1000.0,
-            p.p90 * 1000.0,
-            p.p99 * 1000.0
+        rep.raw_row(
+            &format!(
+                "{} {:>9.2} {:>7.1}% {:>8.3} {:>8.3} {:>8.3}",
+                engine_cell(kind),
+                r.req_per_s / 1000.0,
+                r.req_per_s / b * 100.0,
+                p.p75 * 1000.0,
+                p.p90 * 1000.0,
+                p.p99 * 1000.0
+            ),
+            kind.label(),
+            &[
+                ("kreq_s", format!("{:.2}", r.req_per_s / 1000.0)),
+                ("rel_pct", format!("{:.1}", r.req_per_s / b * 100.0)),
+                ("p75_us", format!("{:.3}", p.p75 * 1000.0)),
+                ("p90_us", format!("{:.3}", p.p90 * 1000.0)),
+                ("p99_us", format!("{:.3}", p.p99 * 1000.0)),
+            ],
         );
         results.push((kind, r.req_per_s));
     }
-    println!("paper: No-dedup 22.03 (100%), KSM 18.42 (83.6%), VUsion 18.28 (82.3%), VUsion THP 21.18 (96.1%)");
+    rep.text("paper: No-dedup 22.03 (100%), KSM 18.42 (83.6%), VUsion 18.28 (82.3%), VUsion THP 21.18 (96.1%)");
+    rep.finish();
     // Shape: VUsion-THP must beat plain VUsion; baseline must lead.
     let get = |k: EngineKind| results.iter().find(|(kk, _)| *kk == k).expect("ran").1;
     assert!(

@@ -3,7 +3,7 @@
 //! Expected shape: KSM and VUsion cost single-digit to ~10% throughput;
 //! VUsion's THP enhancements close most of the gap.
 
-use vusion_bench::{boot_fleet, engine_cell, header};
+use vusion_bench::{boot_fleet, engine_cell, Report};
 use vusion_core::EngineKind;
 use vusion_kernel::MachineConfig;
 use vusion_workloads::kv::KvStore;
@@ -24,27 +24,40 @@ fn run(kind: EngineKind, store: KvStore) -> f64 {
 }
 
 fn main() {
-    header("Table 6", "Throughput of Redis and Memcached (kreq/s)");
-    println!("{:<12} {:>16} {:>20}", "engine", "Redis", "Memcached");
+    let mut rep = Report::new("Table 6", "Throughput of Redis and Memcached (kreq/s)");
+    rep.text(format!(
+        "{:<12} {:>16} {:>20}",
+        "engine", "Redis", "Memcached"
+    ));
     let mut base: Option<(f64, f64)> = None;
     let mut rows = Vec::new();
     for kind in EngineKind::evaluation_set() {
         let redis = run(kind, KvStore::redis());
         let memc = run(kind, KvStore::memcached());
         let (br, bm) = *base.get_or_insert((redis, memc));
-        println!(
-            "{} {:>8.1} ({:>5.1}%) {:>10.1} ({:>5.1}%)",
-            engine_cell(kind),
-            redis / 1000.0,
-            redis / br * 100.0,
-            memc / 1000.0,
-            memc / bm * 100.0
+        rep.raw_row(
+            &format!(
+                "{} {:>8.1} ({:>5.1}%) {:>10.1} ({:>5.1}%)",
+                engine_cell(kind),
+                redis / 1000.0,
+                redis / br * 100.0,
+                memc / 1000.0,
+                memc / bm * 100.0
+            ),
+            kind.label(),
+            &[
+                ("redis_kreq_s", format!("{:.1}", redis / 1000.0)),
+                ("redis_rel_pct", format!("{:.1}", redis / br * 100.0)),
+                ("memcached_kreq_s", format!("{:.1}", memc / 1000.0)),
+                ("memcached_rel_pct", format!("{:.1}", memc / bm * 100.0)),
+            ],
         );
         rows.push((kind, redis, memc));
     }
-    println!(
-        "paper: Redis 175.3/155.7/155.1/163.8 kreq/s; Memcached 167.5/164.0/155.1/163.9 kreq/s"
+    rep.text(
+        "paper: Redis 175.3/155.7/155.1/163.8 kreq/s; Memcached 167.5/164.0/155.1/163.9 kreq/s",
     );
+    rep.finish();
     let get = |k: EngineKind| rows.iter().find(|(kk, _, _)| *kk == k).expect("ran");
     let (_, _, m_vus) = get(EngineKind::VUsion);
     let (_, _, m_thp) = get(EngineKind::VUsionThp);

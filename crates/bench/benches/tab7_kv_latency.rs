@@ -3,7 +3,7 @@
 //! Expected shape: VUsion's tail latencies track KSM's closely; the THP
 //! enhancements improve the tail back toward the no-dedup baseline.
 
-use vusion_bench::{boot_fleet, engine_cell, header};
+use vusion_bench::{boot_fleet, engine_cell, Report};
 use vusion_core::EngineKind;
 use vusion_kernel::MachineConfig;
 use vusion_stats::Percentiles;
@@ -25,30 +25,42 @@ fn run(kind: EngineKind, store: KvStore) -> KvResult {
 }
 
 fn print_block(
+    rep: &mut Report,
     title: &str,
     pick: impl Fn(&KvResult) -> Vec<f64>,
     results: &[(EngineKind, KvResult)],
 ) {
-    println!("\n{title} latency (us)");
-    println!("{:<12} {:>8} {:>8} {:>8}", "engine", "90.0", "99.0", "99.9");
+    rep.text(format!("\n{title} latency (us)"));
+    rep.text(format!(
+        "{:<12} {:>8} {:>8} {:>8}",
+        "engine", "90.0", "99.0", "99.9"
+    ));
     for (kind, r) in results {
         let lat = pick(r);
         if lat.is_empty() {
             continue;
         }
         let p = Percentiles::of(&lat);
-        println!(
-            "{} {:>8.3} {:>8.3} {:>8.3}",
-            engine_cell(*kind),
-            p.p90 * 1000.0,
-            p.p99 * 1000.0,
-            p.p999 * 1000.0
+        rep.raw_row(
+            &format!(
+                "{} {:>8.3} {:>8.3} {:>8.3}",
+                engine_cell(*kind),
+                p.p90 * 1000.0,
+                p.p99 * 1000.0,
+                p.p999 * 1000.0
+            ),
+            &format!("{title} {}", kind.label()),
+            &[
+                ("p90_us", format!("{:.3}", p.p90 * 1000.0)),
+                ("p99_us", format!("{:.3}", p.p99 * 1000.0)),
+                ("p999_us", format!("{:.3}", p.p999 * 1000.0)),
+            ],
         );
     }
 }
 
 fn main() {
-    header("Table 7", "Latency of Redis and Memcached");
+    let mut rep = Report::new("Table 7", "Latency of Redis and Memcached");
     for store in [
         ("Redis", KvStore::redis()),
         ("Memcached", KvStore::memcached()),
@@ -58,11 +70,13 @@ fn main() {
             .map(|&k| (k, run(k, store.1)))
             .collect();
         print_block(
+            &mut rep,
             &format!("{} SET", store.0),
             |r| r.set_latencies_ms.clone(),
             &results,
         );
         print_block(
+            &mut rep,
             &format!("{} GET", store.0),
             |r| r.get_latencies_ms.clone(),
             &results,
@@ -79,5 +93,6 @@ fn main() {
             );
         }
     }
-    println!("\npaper: VUsion within ~0.2 ms of KSM at every percentile; THP improves the tail");
+    rep.text("\npaper: VUsion within ~0.2 ms of KSM at every percentile; THP improves the tail");
+    rep.finish();
 }

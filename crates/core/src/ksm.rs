@@ -18,7 +18,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport};
+use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport, SpanKind};
 use vusion_mem::{CrashSite, FrameId, VirtAddr, PAGE_SIZE};
 use vusion_mmu::{GuestTag, Pte, PteFlags, VmaBacking};
 
@@ -205,9 +205,11 @@ impl Ksm {
         va: VirtAddr,
         old: FrameId,
         node: NodeId,
+        report: &mut ScanReport,
     ) {
         let stable_frame = self.stable.frame(node);
         debug_assert_ne!(stable_frame, old);
+        m.trace_begin("ksm", SpanKind::Merge);
         m.mem_mut().info_mut(stable_frame).get();
         *self.stable.value_mut(node) += 1;
         if m.crash_now(CrashSite::MidMerge)
@@ -220,15 +222,20 @@ impl Ksm {
             m.mem_mut().info_mut(stable_frame).put();
             *self.stable.value_mut(node) -= 1;
             m.note_scan_retry();
+            m.trace_end(SpanKind::Merge);
             return;
         }
         // Release the duplicate: cache reference first, then the mapping's.
         let (tag, _) = Self::vma_info(m, pid, va);
         Self::drop_cache_ref(m, pid, va, old);
         let _ = m.put_frame(old);
+        let costs = m.costs();
+        m.scan_cost(costs.pte_update + costs.buddy_interaction);
+        m.trace_end(SpanKind::Merge);
         self.tags.record(tag);
         self.merged_live += 1;
         self.stats.merged += 1;
+        report.pages_merged += 1;
     }
 
     /// Resolves the 4 KiB frame backing `leaf` at `va` (huge-aware).
@@ -251,7 +258,14 @@ impl Ksm {
         report: &mut ScanReport,
     ) -> bool {
         if m.leaf(pid, va).map(|l| l.huge).unwrap_or(false) {
-            if m.break_thp(pid, va).is_err() {
+            m.trace_begin("ksm", SpanKind::ThpBreak);
+            let broke = m.break_thp(pid, va).is_ok();
+            if broke {
+                let costs = m.costs();
+                m.scan_cost(costs.pte_update);
+            }
+            m.trace_end(SpanKind::ThpBreak);
+            if !broke {
                 // Could not split (PT allocation failed): skip this page
                 // for now and retry in a later round.
                 m.note_scan_retry();
@@ -309,7 +323,7 @@ impl Ksm {
         };
         if let Some(node) = stable_node {
             if self.break_if_huge(m, pid, va, report) {
-                self.merge_into_stable(m, pid, va, frame, node);
+                self.merge_into_stable(m, pid, va, frame, node, report);
             }
             return;
         }
@@ -367,7 +381,8 @@ impl Ksm {
                 self.stable_hashes.insert(m.mem(), entry.frame);
                 self.merged_live += 1; // The promoted party's own mapping.
                 self.stats.promotions += 1;
-                self.merge_into_stable(m, pid, va, frame, snode);
+                report.pages_merged += 1; // The promoted candidate's mapping.
+                self.merge_into_stable(m, pid, va, frame, snode, report);
             } else {
                 // Stale candidate: replace it with the scanned page.
                 let mem = m.mem();
@@ -400,6 +415,23 @@ impl Ksm {
         let Some(vma) = m.process(fault.pid).space.find_vma(fault.va).copied() else {
             return false;
         };
+        // The page is ours: from here on the work is an unmerge attempt
+        // (span opened only now, so foreign CoW faults never pollute it).
+        m.trace_begin("ksm", SpanKind::Unmerge);
+        let handled = self.unmerge_owned(m, fault, stable_frame, node, vma);
+        m.trace_end(SpanKind::Unmerge);
+        handled
+    }
+
+    /// The unmerge proper, once ownership is established.
+    fn unmerge_owned(
+        &mut self,
+        m: &mut Machine,
+        fault: &PageFault,
+        stable_frame: FrameId,
+        node: NodeId,
+        vma: vusion_mmu::Vma,
+    ) -> bool {
         // Copy into a fresh frame from the system allocator (Linux uses the
         // buddy allocator here — its LIFO reuse is attacker-predictable).
         let Ok(new) = m.alloc_frame(vusion_mem::PageType::Anon) else {

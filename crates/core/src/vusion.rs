@@ -29,7 +29,7 @@
 
 use std::collections::HashMap;
 
-use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport};
+use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport, SpanKind};
 use vusion_mem::{
     CrashSite, DeferredFreeQueue, FrameId, MmError, PageType, RandomPool, VirtAddr,
     HUGE_PAGE_FRAMES, PAGE_SIZE,
@@ -384,6 +384,7 @@ impl VUsion {
         };
         match found {
             Some(node) => {
+                m.trace_begin("vusion", SpanKind::Merge);
                 let shared = self.tree.frame(node);
                 m.mem_mut().info_mut(shared).get();
                 if m.crash_now(CrashSite::MidMerge)
@@ -394,22 +395,28 @@ impl VUsion {
                     // mid-merge: undo and retry later.
                     m.mem_mut().info_mut(shared).put();
                     m.note_scan_retry();
+                    m.trace_end(SpanKind::Merge);
                     return;
                 }
                 self.tree.value_mut(node).push((pid, va));
                 self.page_state.insert((pid.0, va.page()), node);
                 self.release_candidate(m, pid, va, frame);
+                let costs = m.costs();
+                m.scan_cost(costs.pte_update + costs.buddy_interaction);
+                m.trace_end(SpanKind::Merge);
                 self.tags.record(tag);
                 self.saved += 1;
                 self.stats.merged += 1;
                 report.pages_merged += 1;
             }
             None => {
+                m.trace_begin("vusion", SpanKind::FakeMerge);
                 // Fake merge: fresh random backing frame, same trap.
                 let Ok(new) = self.ra_alloc(m, PageType::Fused) else {
                     // Pool exhausted even after the emergency drain: the
                     // page stays unmanaged and is retried next round.
                     m.note_scan_retry();
+                    m.trace_end(SpanKind::FakeMerge);
                     return;
                 };
                 m.mem_mut().copy_page(frame, new);
@@ -421,6 +428,7 @@ impl VUsion {
                         self.ra_release(m, new);
                     }
                     m.note_scan_retry();
+                    m.trace_end(SpanKind::FakeMerge);
                     return;
                 }
                 let mem = m.mem();
@@ -432,6 +440,9 @@ impl VUsion {
                 self.tree_hashes.insert(m.mem(), new);
                 self.page_state.insert((pid.0, va.page()), node);
                 self.release_candidate(m, pid, va, frame);
+                let costs = m.costs();
+                m.scan_cost(costs.copy_page + costs.pte_update + costs.buddy_interaction);
+                m.trace_end(SpanKind::FakeMerge);
                 self.stats.fake_merged += 1;
                 report.pages_fake_merged += 1;
             }
@@ -490,6 +501,16 @@ impl VUsion {
         let Some(&node) = self.page_state.get(&(fault.pid.0, fault.va.page())) else {
             return false;
         };
+        // The page is ours: from here on the work is a CoA attempt (span
+        // opened only now, so foreign trapped faults never pollute it).
+        m.trace_begin("vusion", SpanKind::CoaCopy);
+        let handled = self.copy_on_access_owned(m, fault, node);
+        m.trace_end(SpanKind::CoaCopy);
+        handled
+    }
+
+    /// The CoA copy proper, once ownership is established.
+    fn copy_on_access_owned(&mut self, m: &mut Machine, fault: &PageFault, node: NodeId) -> bool {
         let shared = self.tree.frame(node);
         let Some(vma) = m.process(fault.pid).space.find_vma(fault.va).copied() else {
             return false;
@@ -575,6 +596,7 @@ impl VUsion {
     /// a cross-scan page-coloring attack on the fault handler sees a fresh
     /// color each round.
     fn rerandomize_round(&mut self, m: &mut Machine) {
+        m.trace_begin("vusion", SpanKind::Rerandomize);
         for node in self.tree.ids() {
             if m.crash_now(CrashSite::MidRerandomization) {
                 // Died between nodes: pages re-randomized so far keep
@@ -637,8 +659,11 @@ impl VUsion {
             // frame's, so this re-index is a cache hit, not a re-hash.
             self.tree_hashes.replace_frame(m.mem(), old, new);
             self.ra_release(m, old);
+            let costs = m.costs();
+            m.scan_cost(costs.copy_page + costs.pte_update);
             self.stats.rerandomized += 1;
         }
+        m.trace_end(SpanKind::Rerandomize);
     }
 
     /// Snapshot of the mergeable page list.
@@ -777,8 +802,14 @@ impl FusionPolicy for VUsion {
         let drain = self.cfg.deferred_drain_per_wake;
         let mut dead = Vec::new();
         self.deferred.drain(drain, |f| dead.push(f));
-        for f in dead {
-            self.ra_release(m, f);
+        if !dead.is_empty() {
+            m.trace_begin("vusion", SpanKind::DeferredDrain);
+            let costs = m.costs();
+            for f in dead {
+                self.ra_release(m, f);
+                m.scan_cost(costs.buddy_interaction);
+            }
+            m.trace_end(SpanKind::DeferredDrain);
         }
         // Re-sync hash-filter entries whose frames changed between scans
         // (Rowhammer flips — trapped tree pages see no guest writes).

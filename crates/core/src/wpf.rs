@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 
-use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport};
+use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport, SpanKind};
 use vusion_mem::{
     CrashSite, FrameAllocator, FrameId, LinearAllocator, MmError, PageType, VirtAddr, PAGE_SIZE,
 };
@@ -173,6 +173,8 @@ impl Wpf {
         let (tag, _) = Self::vma_info(m, pid, va);
         Self::drop_cache_ref(m, pid, va, old);
         let _ = m.put_frame(old);
+        let costs = m.costs();
+        m.scan_cost(costs.pte_update + costs.buddy_interaction);
         self.tags.record(tag);
         self.merged_live += 1;
         self.stats.merged += 1;
@@ -293,16 +295,20 @@ impl Wpf {
                 // below.
                 break;
             }
+            m.trace_begin("wpf", SpanKind::Merge);
             let is_new = group.existing.is_none();
             let tree_frame = match group.existing {
                 Some(f) => f,
                 None => {
                     let Some(f) = batch_iter.next() else {
+                        m.trace_end(SpanKind::Merge);
                         continue; // Linear region exhausted.
                     };
                     let src = group.members[0].2;
                     m.mem_mut().info_mut(f).on_alloc(PageType::Fused);
                     m.mem_mut().copy_page(src, f);
+                    let costs = m.costs();
+                    m.scan_cost(costs.copy_page);
                     // The first merge consumes the allocation's reference.
                     let mem = m.mem();
                     let (id, inserted) = self.avl.insert(f, 0, |a, b| mem.compare_pages(a, b));
@@ -342,6 +348,8 @@ impl Wpf {
                     let (tag, _) = Self::vma_info(m, pid, va);
                     Self::drop_cache_ref(m, pid, va, old);
                     let _ = m.put_frame(old);
+                    let costs = m.costs();
+                    m.scan_cost(costs.pte_update + costs.buddy_interaction);
                     self.tags.record(tag);
                     self.merged_live += 1;
                     self.stats.merged += 1;
@@ -376,6 +384,7 @@ impl Wpf {
                 m.mem_mut().zero_page(tree_frame);
                 let _ = self.linear.free(tree_frame);
             }
+            m.trace_end(SpanKind::Merge);
         }
         // Batch frames never consumed (a mid-pass crash) were reserved but
         // never mapped: hand them straight back to the linear allocator.
@@ -399,6 +408,22 @@ impl Wpf {
         let Some(vma) = m.process(fault.pid).space.find_vma(fault.va).copied() else {
             return false;
         };
+        // The page is ours: from here on the work is an unmerge attempt
+        // (span opened only now, so foreign CoW faults never pollute it).
+        m.trace_begin("wpf", SpanKind::Unmerge);
+        let handled = self.unmerge_owned(m, fault, tree_frame, vma);
+        m.trace_end(SpanKind::Unmerge);
+        handled
+    }
+
+    /// The unmerge proper, once ownership is established.
+    fn unmerge_owned(
+        &mut self,
+        m: &mut Machine,
+        fault: &PageFault,
+        tree_frame: FrameId,
+        vma: vusion_mmu::Vma,
+    ) -> bool {
         let Ok(new) = m.alloc_frame(PageType::Anon) else {
             return false; // OOM: stay merged; the access retries later.
         };

@@ -36,4 +36,8 @@ pub use khugepaged::{Khugepaged, KhugepagedStats};
 pub use machine::{AccessKind, FaultReason, Machine, MachineConfig, MachineStats, PageFault, Pid};
 pub use policy::{FusionPolicy, NoFusion, ScanReport};
 pub use process::Process;
-pub use system::{System, SystemStats};
+pub use system::{System, SystemReport, SystemStats};
+
+// Observability vocabulary, re-exported so engines and tests can name
+// span/instant kinds without a direct `vusion-obs` dependency.
+pub use vusion_obs::{InstantKind, MetricsSnapshot, Obs, Profile, SpanKind, Tracer};

@@ -9,6 +9,7 @@ use vusion_mem::{
     HUGE_PAGE_SIZE, PAGE_SIZE,
 };
 use vusion_mmu::{AddressSpace, LeafInfo, Pte, PteFlags, Tlb, TlbEntry, Vma, VmaBacking};
+use vusion_obs::{InstantKind, Obs, SpanKind};
 use vusion_rng::rngs::StdRng;
 use vusion_rng::SeedableRng;
 use vusion_snapshot::{Reader, Snapshot, SnapshotError, Writer};
@@ -219,6 +220,10 @@ pub struct Machine {
     /// Non-zero while a composite operation (page-wise read/write, replay)
     /// is recording itself: inner byte accesses must not double-journal.
     journal_suspend: u32,
+    /// Observability hub: tracer + metrics registry. Disabled by default
+    /// (every hook is a single branch) and excluded from snapshots — it
+    /// describes a run, not machine state.
+    obs: Obs,
 }
 
 impl Machine {
@@ -248,6 +253,7 @@ impl Machine {
             journal: Vec::new(),
             journal_on: false,
             journal_suspend: 0,
+            obs: Obs::new(),
         }
     }
 
@@ -276,7 +282,11 @@ impl Machine {
     /// thread died here": abandon the operation mid-flight (after restoring
     /// whatever invariant-preserving cleanup the call site defines).
     pub fn crash_now(&mut self, site: CrashSite) -> bool {
-        self.crash_injector.should_crash(site)
+        let fired = self.crash_injector.should_crash(site);
+        if fired {
+            self.trace_instant("chaos", InstantKind::CrashPoint, site as u64);
+        }
+        fired
     }
 
     /// How many crashes have fired since arming.
@@ -328,6 +338,68 @@ impl Machine {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Observability (tracing, metrics)
+    // ------------------------------------------------------------------
+
+    /// The observability hub (read-only).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The observability hub, mutably (tests and drivers record metrics
+    /// through this).
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
+    }
+
+    /// Turns on tracing and metrics with the default ring capacity.
+    /// Off by default: with tracing disabled every hook below is a single
+    /// branch — no allocation, no clock read.
+    pub fn enable_tracing(&mut self) {
+        self.obs.enable(vusion_obs::DEFAULT_CAPACITY);
+    }
+
+    /// Opens a trace span, timestamped by the simulated clock. `cat` names
+    /// the emitting engine or subsystem ("ksm", "kernel", "mmu", ...).
+    #[inline]
+    pub fn trace_begin(&mut self, cat: &'static str, kind: SpanKind) {
+        if self.obs.enabled() {
+            let now = self.clock.now_ns();
+            self.obs.tracer_mut().begin(cat, kind, now);
+        }
+    }
+
+    /// Closes the innermost trace span (which must be of `kind`).
+    #[inline]
+    pub fn trace_end(&mut self, kind: SpanKind) {
+        if self.obs.enabled() {
+            let now = self.clock.now_ns();
+            self.obs.tracer_mut().end(kind, now);
+        }
+    }
+
+    /// Records a point trace event.
+    #[inline]
+    pub fn trace_instant(&mut self, cat: &'static str, kind: InstantKind, arg: u64) {
+        if self.obs.enabled() {
+            let now = self.clock.now_ns();
+            self.obs.tracer_mut().instant(cat, kind, now, arg);
+        }
+    }
+
+    /// Attributes scanner-side modeled cost to the open trace span.
+    /// Scan work runs on its own core and never advances the workload
+    /// clock (see the crate docs), so engines report its cost-model value
+    /// here for attribution. Observability-only: touches no clock and no
+    /// RNG, so enabling tracing never changes simulated behavior.
+    #[inline]
+    pub fn scan_cost(&mut self, ns: u64) {
+        if self.obs.enabled() {
+            self.obs.tracer_mut().on_cycles(ns);
+        }
+    }
+
     /// A page hash as the *scanner* observes it: the machine's fault plan
     /// may corrupt the value (a guest racing the checksum read). Memory
     /// itself is never altered — only the scanner's view.
@@ -343,14 +415,17 @@ impl Machine {
     }
 
     /// Records a scanner skip-and-retry (graceful degradation under
-    /// resource failure).
+    /// resource failure). Call sites bump this exactly once per skipped
+    /// page per round — `tests/accounting.rs` holds the identities.
     pub fn note_scan_retry(&mut self) {
         self.stats.scan_retries += 1;
+        self.trace_instant("kernel", InstantKind::ScanRetry, 0);
     }
 
     /// Records an OOM condition an engine absorbed gracefully.
     pub fn note_oom(&mut self) {
         self.stats.oom_events += 1;
+        self.trace_instant("kernel", InstantKind::Oom, 0);
     }
 
     /// Records a deferred-free-queue drain performed under memory pressure.
@@ -374,10 +449,14 @@ impl Machine {
     }
 
     /// Advances the clock by a jittered amount. Fault handlers use this to
-    /// charge their work to the faulting thread.
+    /// charge their work to the faulting thread. When tracing is on, the
+    /// jittered cycles are also attributed to the open trace span.
     pub fn charge(&mut self, base_ns: u64) {
         let ns = self.jitter.apply(base_ns);
         self.clock.advance(ns);
+        if self.obs.enabled() {
+            self.obs.tracer_mut().on_cycles(ns);
+        }
     }
 
     /// Advances the clock without jitter (idle time between operations).
@@ -401,6 +480,11 @@ impl Machine {
     /// Physical memory (mutable) — for engines and tests.
     pub fn mem_mut(&mut self) -> &mut PhysMemory {
         &mut self.mem
+    }
+
+    /// The system buddy allocator (read-only).
+    pub fn buddy(&self) -> &BuddyAllocator {
+        &self.buddy
     }
 
     /// The system buddy allocator.
@@ -499,6 +583,7 @@ impl Machine {
             }
             Err(e) => {
                 self.stats.oom_events += 1;
+                self.trace_instant("kernel", InstantKind::Oom, 0);
                 Err(e)
             }
         }
@@ -538,6 +623,7 @@ impl Machine {
                 .break_huge(mem, buddy, base)?;
             procs[pid.0].tlb.flush();
         }
+        self.trace_instant("mmu", InstantKind::TlbFlush, base.0);
         self.buddy.split_allocated(head, 9)
     }
 
@@ -607,7 +693,23 @@ impl Machine {
         let p = &mut self.processes[pid.0];
         p.space.tables_mut().set_leaf(&mut self.mem, va, pte)?;
         p.tlb.invalidate(va);
+        self.trace_instant("mmu", InstantKind::TlbShootdown, va.0);
         Ok(())
+    }
+
+    /// Per-process TLB counters summed machine-wide:
+    /// `(hits, misses, invalidations, full flushes)`.
+    pub fn tlb_totals(&self) -> (u64, u64, u64, u64) {
+        let mut t = (0, 0, 0, 0);
+        for p in &self.processes {
+            let (h, m) = p.tlb.stats();
+            let (inv, fl) = p.tlb.event_counts();
+            t.0 += h;
+            t.1 += m;
+            t.2 += inv;
+            t.3 += fl;
+        }
+        t
     }
 
     /// Reads the leaf PTE mapping `va`, if any (no timing).
@@ -822,6 +924,7 @@ impl Machine {
             }
             let pa = Self::resolve_pa(&leaf, va);
             self.llc.flush(pa);
+            self.trace_instant("cache", InstantKind::LlcFlush, pa.0);
         }
     }
 
@@ -834,8 +937,18 @@ impl Machine {
     /// policies create, or accesses outside any VMA).
     pub fn default_fault(&mut self, fault: &PageFault) -> bool {
         match fault.reason {
-            FaultReason::NotMapped => self.demand_page(fault),
-            FaultReason::WriteProtected => self.cow_write(fault),
+            FaultReason::NotMapped => {
+                self.trace_begin("kernel", SpanKind::DemandPaging);
+                let handled = self.demand_page(fault);
+                self.trace_end(SpanKind::DemandPaging);
+                handled
+            }
+            FaultReason::WriteProtected => {
+                self.trace_begin("kernel", SpanKind::CowCopy);
+                let handled = self.cow_write(fault);
+                self.trace_end(SpanKind::CowCopy);
+                handled
+            }
             FaultReason::Trapped => false,
         }
     }
@@ -881,6 +994,7 @@ impl Machine {
                     // A table frame could not be allocated mid-map: give the
                     // data frame back and leave the fault unresolved.
                     self.stats.oom_events += 1;
+                    self.trace_instant("kernel", InstantKind::Oom, 0);
                     let _ = self.put_frame(frame);
                     return false;
                 }
@@ -933,6 +1047,7 @@ impl Machine {
                     }
                     Ok(Err(_)) | Err(_) => {
                         self.stats.oom_events += 1;
+                        self.trace_instant("kernel", InstantKind::Oom, 0);
                         false
                     }
                 }
@@ -982,6 +1097,7 @@ impl Machine {
             // A table frame could not be allocated: release the huge block
             // and fall back to the 4 KiB path.
             self.stats.oom_events += 1;
+            self.trace_instant("kernel", InstantKind::Oom, 0);
             let _ = self.free_huge(frame);
             return false;
         }
@@ -1070,6 +1186,7 @@ impl Machine {
             if flip.addr.frame().0 < self.cfg.frames {
                 self.mem.flip_bit(flip.addr, flip.bit);
                 self.stats.bit_flips += 1;
+                self.trace_instant("dram", InstantKind::BitFlip, flip.addr.0);
                 applied.push(flip);
             }
         }

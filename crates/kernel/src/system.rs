@@ -6,6 +6,7 @@
 //! how `ksmd` wakes every `T` ms on a spare core.
 
 use vusion_mem::{MmError, VirtAddr, PAGE_SIZE};
+use vusion_obs::{MetricsSnapshot, Profile, SpanKind};
 use vusion_snapshot::{Reader, SnapshotError, Writer};
 
 use crate::journal::JournalEvent;
@@ -26,6 +27,47 @@ pub struct SystemStats {
     pub unresolved_faults: u64,
     /// Accesses abandoned after the retry budget (fault livelocks).
     pub fault_livelocks: u64,
+}
+
+/// Everything observability knows about a run, bundled for reporting:
+/// the engine under test, a full metrics snapshot, and the per-phase
+/// cycle-attribution profile (the paper's Table 5 breakdown).
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    /// Engine name ("ksm", "wpf", "vusion", "none").
+    pub engine: String,
+    /// Counters, gauges and latency histograms at report time.
+    pub metrics: MetricsSnapshot,
+    /// Cycle attribution per category and span kind.
+    pub profile: Profile,
+}
+
+impl SystemReport {
+    /// Human-readable report: the cycle-attribution table followed by the
+    /// metrics snapshot.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== system report: engine={} ==\n", self.engine));
+        if self.profile.is_empty() {
+            out.push_str("(no spans recorded; was tracing enabled?)\n");
+        } else {
+            out.push_str(&self.profile.text());
+        }
+        out.push_str("-- metrics --\n");
+        out.push_str(&self.metrics.to_json());
+        out.push('\n');
+        out
+    }
+
+    /// The whole report as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"engine\":{},\"profile\":{},\"metrics\":{}}}",
+            vusion_obs::json::quote(&self.engine),
+            self.profile.to_json(),
+            self.metrics.to_json()
+        )
+    }
 }
 
 /// A machine paired with a fusion policy and optional khugepaged.
@@ -78,14 +120,20 @@ impl<P: FusionPolicy> System<P> {
     fn background(&mut self) {
         let now = self.machine.now_ns();
         while self.next_scan_ns <= now {
+            self.machine
+                .trace_begin(self.policy.name(), SpanKind::ScanPass);
             let report = self.policy.scan(&mut self.machine);
+            self.machine.trace_end(SpanKind::ScanPass);
             self.scan_totals.absorb(&report);
             self.stats.scan_wakeups += 1;
             self.next_scan_ns += self.policy.scan_period_ns();
         }
         if let Some(k) = self.khugepaged.as_mut() {
             while self.next_khuge_ns <= now {
+                self.machine
+                    .trace_begin("khugepaged", SpanKind::ThpCollapse);
                 k.scan(&mut self.machine, &mut self.policy);
+                self.machine.trace_end(SpanKind::ThpCollapse);
                 self.next_khuge_ns += k.period_ns;
             }
         }
@@ -95,18 +143,33 @@ impl<P: FusionPolicy> System<P> {
     /// Reports [`MmError::UnresolvableFault`] when no handler takes it —
     /// the simulated equivalent of delivering SIGSEGV.
     fn resolve(&mut self, fault: PageFault) -> Result<(), MmError> {
+        let tracing = self.machine.obs().enabled();
+        let t0 = if tracing { self.machine.now_ns() } else { 0 };
+        if tracing {
+            self.machine
+                .trace_begin(self.policy.name(), SpanKind::FaultHandling);
+        }
         let base = self.machine.costs().fault_base;
         self.machine.charge(base);
-        if self.policy.handle_fault(&mut self.machine, &fault) {
+        let outcome = if self.policy.handle_fault(&mut self.machine, &fault) {
             self.stats.policy_faults += 1;
-            return Ok(());
-        }
-        if self.machine.default_fault(&fault) {
+            Ok(())
+        } else if self.machine.default_fault(&fault) {
             self.stats.kernel_faults += 1;
-            return Ok(());
+            Ok(())
+        } else {
+            self.stats.unresolved_faults += 1;
+            Err(MmError::UnresolvableFault(fault.va))
+        };
+        if tracing {
+            self.machine.trace_end(SpanKind::FaultHandling);
+            let dt = self.machine.now_ns().saturating_sub(t0);
+            self.machine
+                .obs_mut()
+                .metrics_mut()
+                .observe("fault.latency_ns", dt as f64);
         }
-        self.stats.unresolved_faults += 1;
-        Err(MmError::UnresolvableFault(fault.va))
+        outcome
     }
 
     /// Timed read of one byte, retrying through faults. Reports
@@ -227,7 +290,10 @@ impl<P: FusionPolicy> System<P> {
     pub fn force_scans(&mut self, n: usize) {
         self.machine.record(|| JournalEvent::ForceScans { n });
         for _ in 0..n {
+            self.machine
+                .trace_begin(self.policy.name(), SpanKind::ScanPass);
             let report = self.policy.scan(&mut self.machine);
+            self.machine.trace_end(SpanKind::ScanPass);
             self.scan_totals.absorb(&report);
             self.stats.scan_wakeups += 1;
         }
@@ -237,6 +303,96 @@ impl<P: FusionPolicy> System<P> {
         self.next_scan_ns = self.machine.now_ns() + self.policy.scan_period_ns();
         if let Some(k) = self.khugepaged.as_ref() {
             self.next_khuge_ns = self.machine.now_ns() + k.period_ns;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// A point-in-time metrics snapshot: whatever the registry has
+    /// accumulated, plus the structured machine/driver/scanner/hierarchy
+    /// counters folded in under stable dotted names — one document
+    /// captures the whole system. Diff two snapshots to isolate a phase.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.machine.obs().metrics().snapshot();
+        let m = self.machine.stats();
+        for (name, v) in [
+            ("machine.reads", m.reads),
+            ("machine.writes", m.writes),
+            ("machine.prefetches", m.prefetches),
+            ("machine.faults_not_mapped", m.faults_not_mapped),
+            ("machine.faults_trapped", m.faults_trapped),
+            ("machine.faults_write_protected", m.faults_write_protected),
+            ("machine.demand_zero", m.demand_zero),
+            ("machine.demand_huge", m.demand_huge),
+            ("machine.demand_file", m.demand_file),
+            ("machine.cow_copies", m.cow_copies),
+            ("machine.bit_flips", m.bit_flips),
+            ("machine.oom_events", m.oom_events),
+            ("machine.injected_faults", m.injected_faults),
+            ("machine.scan_retries", m.scan_retries),
+            ("machine.deferred_drains", m.deferred_drains),
+        ] {
+            snap.set_counter(name, v);
+        }
+        let s = self.stats;
+        for (name, v) in [
+            ("system.policy_faults", s.policy_faults),
+            ("system.kernel_faults", s.kernel_faults),
+            ("system.scan_wakeups", s.scan_wakeups),
+            ("system.unresolved_faults", s.unresolved_faults),
+            ("system.fault_livelocks", s.fault_livelocks),
+        ] {
+            snap.set_counter(name, v);
+        }
+        let t = self.scan_totals;
+        for (name, v) in [
+            ("scan.pages_scanned", t.pages_scanned),
+            ("scan.pages_merged", t.pages_merged),
+            ("scan.pages_fake_merged", t.pages_fake_merged),
+            ("scan.pages_unmerged", t.pages_unmerged),
+            ("scan.pages_skipped_active", t.pages_skipped_active),
+            ("scan.huge_pages_broken", t.huge_pages_broken),
+        ] {
+            snap.set_counter(name, v);
+        }
+        let (hits, misses, invalidations, flushes) = self.machine.tlb_totals();
+        snap.set_counter("tlb.hits", hits);
+        snap.set_counter("tlb.misses", misses);
+        snap.set_counter("tlb.shootdowns", invalidations);
+        snap.set_counter("tlb.flushes", flushes);
+        let c = self.machine.llc().stats();
+        snap.set_counter("llc.hits", c.hits);
+        snap.set_counter("llc.misses", c.misses);
+        snap.set_counter("llc.evictions", c.evictions);
+        snap.set_counter("llc.flushes", c.flushes);
+        let b = self.machine.buddy().stats();
+        snap.set_counter("buddy.allocs", b.allocs);
+        snap.set_counter("buddy.frees", b.frees);
+        snap.set_counter("buddy.splits", b.splits);
+        snap.set_counter("buddy.merges", b.merges);
+        if let Some(k) = self.khugepaged.as_ref() {
+            let ks = k.stats();
+            snap.set_counter("khugepaged.collapsed", ks.collapsed);
+            snap.set_counter("khugepaged.blocked_by_policy", ks.blocked_by_policy);
+            snap.set_counter("khugepaged.skipped", ks.skipped);
+        }
+        snap.set_gauge(
+            "mem.allocated_frames",
+            self.machine.allocated_frames() as i64,
+        );
+        snap.set_gauge("engine.pages_saved", self.policy.pages_saved() as i64);
+        snap
+    }
+
+    /// The per-run report: engine name, metrics snapshot, and the
+    /// cycle-attribution profile accumulated by the tracer.
+    pub fn report(&self) -> SystemReport {
+        SystemReport {
+            engine: self.policy.name().to_string(),
+            metrics: self.metrics_snapshot(),
+            profile: self.machine.obs().tracer().profile().clone(),
         }
     }
 

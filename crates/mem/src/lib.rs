@@ -32,7 +32,7 @@ pub mod phys;
 pub mod random_pool;
 
 pub use addr::{FrameId, PhysAddr, VirtAddr, HUGE_PAGE_FRAMES, HUGE_PAGE_SIZE, PAGE_SIZE};
-pub use buddy::BuddyAllocator;
+pub use buddy::{BuddyAllocator, BuddyStats};
 pub use deferred::{DeferredFreeQueue, DeferredOp};
 pub use error::MmError;
 pub use fault::{CrashInjector, CrashPlan, CrashSite, FaultInjector, FaultPlan, InjectionStats};

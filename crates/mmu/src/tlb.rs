@@ -31,6 +31,8 @@ pub struct Tlb {
     fifo_2m: Vec<u64>,
     hits: u64,
     misses: u64,
+    invalidations: u64,
+    flushes: u64,
 }
 
 impl Tlb {
@@ -50,6 +52,8 @@ impl Tlb {
             fifo_2m: Vec::new(),
             hits: 0,
             misses: 0,
+            invalidations: 0,
+            flushes: 0,
         }
     }
 
@@ -97,6 +101,7 @@ impl Tlb {
 
     /// Invalidates any translation covering `va` (`invlpg`).
     pub fn invalidate(&mut self, va: VirtAddr) {
+        self.invalidations += 1;
         if self.map_4k.remove(&va.page()).is_some() {
             self.fifo_4k.retain(|&k| k != va.page());
         }
@@ -108,6 +113,7 @@ impl Tlb {
 
     /// Flushes everything (CR3 reload).
     pub fn flush(&mut self) {
+        self.flushes += 1;
         self.map_4k.clear();
         self.fifo_4k.clear();
         self.map_2m.clear();
@@ -117,6 +123,13 @@ impl Tlb {
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// `(invalidations, full flushes)` — the shootdown traffic the
+    /// observability layer reports (`invlpg` per PTE rewrite, CR3 reloads
+    /// on THP breaks and process switches).
+    pub fn event_counts(&self) -> (u64, u64) {
+        (self.invalidations, self.flushes)
     }
 
     /// The frame a cached translation resolves `va` to (test helper).
@@ -157,6 +170,8 @@ impl vusion_snapshot::Snapshot for Tlb {
         }
         w.u64(self.hits);
         w.u64(self.misses);
+        w.u64(self.invalidations);
+        w.u64(self.flushes);
     }
 
     fn load(
@@ -182,6 +197,8 @@ impl vusion_snapshot::Snapshot for Tlb {
         }
         self.hits = r.u64()?;
         self.misses = r.u64()?;
+        self.invalidations = r.u64()?;
+        self.flushes = r.u64()?;
         Ok(())
     }
 }
@@ -250,6 +267,16 @@ mod tests {
         t.flush();
         assert!(t.lookup(VirtAddr(0x1000)).is_none());
         assert!(t.lookup(VirtAddr(HUGE_PAGE_SIZE * 4)).is_none());
+    }
+
+    #[test]
+    fn event_counts_track_shootdowns_and_flushes() {
+        let mut t = Tlb::new(4, 4);
+        t.fill(VirtAddr(0x1000), entry(1, false));
+        t.invalidate(VirtAddr(0x1000));
+        t.invalidate(VirtAddr(0x2000)); // Counts even when nothing is cached.
+        t.flush();
+        assert_eq!(t.event_counts(), (2, 1));
     }
 
     #[test]

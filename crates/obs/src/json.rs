@@ -1,0 +1,72 @@
+//! Minimal hand-rolled JSON emission helpers (the workspace is
+//! dependency-free by design; every JSON artifact is rendered by hand).
+//!
+//! Formatting is deterministic: strings escape the same way every time
+//! and floats render through [`fmt_f64`], which uses Rust's shortest
+//! round-trip representation — a pure function of the bit pattern.
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes included).
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number: finite values use Rust's shortest
+/// round-trip form (with a forced `.0` for integral values so the token
+/// stays a float); non-finite values become `null`.
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Timestamp in microseconds with nanosecond precision (`ns / 1000` with
+/// three decimals), rendered exactly — the Chrome `trace_event` `ts`
+/// field wants microseconds, and integer arithmetic keeps it
+/// byte-deterministic.
+pub fn fmt_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quote_escapes() {
+        assert_eq!(quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn f64_round_trip_and_integral() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(3.0), "3.0");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn microseconds_keep_ns_precision() {
+        assert_eq!(fmt_us(1_234_567), "1234.567");
+        assert_eq!(fmt_us(999), "0.999");
+    }
+}

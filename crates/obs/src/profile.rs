@@ -1,0 +1,203 @@
+//! Span roll-up: the per-engine, per-phase cycle-attribution report.
+//!
+//! This is the "where did the share/unshare cost go" breakdown behind the
+//! paper's Table 5: each closed span adds to a `(category, phase)` bucket,
+//! and the report renders, per category (engine or subsystem), how many
+//! times each phase ran and how many simulated cycles it consumed —
+//! self (its own work) vs. total (including nested spans).
+
+use std::collections::BTreeMap;
+
+use crate::json::quote;
+use crate::trace::SpanKind;
+
+/// Accumulated statistics for one `(category, phase)` bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Spans closed.
+    pub count: u64,
+    /// Cycles charged while a span of this bucket was innermost.
+    pub cycles_self: u64,
+    /// Self cycles plus every nested child's total.
+    pub cycles_total: u64,
+    /// Simulated wall time spent inside spans of this bucket (end − begin
+    /// timestamps; scanner-side spans show ~0 here because scan work does
+    /// not advance the workload clock).
+    pub sim_ns: u64,
+    /// Largest single span's total cycles.
+    pub max_cycles: u64,
+}
+
+/// Per-category, per-phase cycle attribution (a sorted map, so every
+/// iteration — text, JSON — is deterministic).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    buckets: BTreeMap<(&'static str, SpanKind), PhaseStat>,
+}
+
+impl Profile {
+    /// Adds one closed span.
+    pub fn record(
+        &mut self,
+        cat: &'static str,
+        kind: SpanKind,
+        cycles_self: u64,
+        cycles_total: u64,
+        sim_ns: u64,
+    ) {
+        let stat = self.buckets.entry((cat, kind)).or_default();
+        stat.count += 1;
+        stat.cycles_self += cycles_self;
+        stat.cycles_total += cycles_total;
+        stat.sim_ns += sim_ns;
+        stat.max_cycles = stat.max_cycles.max(cycles_total);
+    }
+
+    /// The bucket for `(cat, kind)`, if any span closed there.
+    pub fn get(&self, cat: &str, kind: SpanKind) -> Option<&PhaseStat> {
+        // BTreeMap keys are (&'static str, SpanKind); look up by value.
+        self.buckets
+            .iter()
+            .find(|((c, k), _)| *c == cat && *k == kind)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether no span ever closed.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Categories present, sorted.
+    pub fn categories(&self) -> Vec<&'static str> {
+        let mut cats: Vec<&'static str> = self.buckets.keys().map(|(c, _)| *c).collect();
+        cats.dedup();
+        cats
+    }
+
+    /// All buckets, sorted by `(category, phase)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, SpanKind, &PhaseStat)> {
+        self.buckets.iter().map(|(&(c, k), v)| (c, k, v))
+    }
+
+    /// Renders the attribution table, one section per category:
+    ///
+    /// ```text
+    /// -- cycle attribution: vusion --
+    /// phase             count     self-cyc    total-cyc   self%
+    /// fault               120      150000       950000    15.8
+    /// ```
+    ///
+    /// `self%` is the bucket's share of the category's summed self cycles.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for cat in self.categories() {
+            let cat_self: u64 = self
+                .iter()
+                .filter(|(c, _, _)| *c == cat)
+                .map(|(_, _, s)| s.cycles_self)
+                .sum();
+            out.push_str(&format!("-- cycle attribution: {cat} --\n"));
+            out.push_str(&format!(
+                "{:<16} {:>8} {:>12} {:>12} {:>7}\n",
+                "phase", "count", "self-cyc", "total-cyc", "self%"
+            ));
+            for (c, kind, stat) in self.iter() {
+                if c != cat {
+                    continue;
+                }
+                let pct = if cat_self == 0 {
+                    0.0
+                } else {
+                    stat.cycles_self as f64 / cat_self as f64 * 100.0
+                };
+                out.push_str(&format!(
+                    "{:<16} {:>8} {:>12} {:>12} {:>7.1}\n",
+                    kind.name(),
+                    stat.count,
+                    stat.cycles_self,
+                    stat.cycles_total,
+                    pct
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the profile as JSON:
+    /// `{"cat":{"phase":{"count":..,"cycles_self":..,...},...},...}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first_cat = true;
+        for cat in self.categories() {
+            if !first_cat {
+                out.push(',');
+            }
+            first_cat = false;
+            out.push_str(&format!("{}:{{", quote(cat)));
+            let mut first = true;
+            for (c, kind, s) in self.iter() {
+                if c != cat {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{}:{{\"count\":{},\"cycles_self\":{},\"cycles_total\":{},\
+                     \"sim_ns\":{},\"max_cycles\":{}}}",
+                    quote(kind.name()),
+                    s.count,
+                    s.cycles_self,
+                    s.cycles_total,
+                    s.sim_ns,
+                    s.max_cycles
+                ));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_tracks_max() {
+        let mut p = Profile::default();
+        p.record("ksm", SpanKind::Merge, 10, 30, 5);
+        p.record("ksm", SpanKind::Merge, 20, 20, 5);
+        let s = p.get("ksm", SpanKind::Merge).expect("bucket");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.cycles_self, 30);
+        assert_eq!(s.cycles_total, 50);
+        assert_eq!(s.max_cycles, 30);
+    }
+
+    #[test]
+    fn text_report_sections_per_category() {
+        let mut p = Profile::default();
+        p.record("vusion", SpanKind::FaultHandling, 100, 100, 1);
+        p.record("kernel", SpanKind::DemandPaging, 50, 50, 1);
+        let txt = p.text();
+        assert!(txt.contains("cycle attribution: kernel"), "{txt}");
+        assert!(txt.contains("cycle attribution: vusion"), "{txt}");
+        assert!(txt.contains("demand_paging"), "{txt}");
+    }
+
+    #[test]
+    fn json_is_sorted_and_stable() {
+        let mut p = Profile::default();
+        p.record("b", SpanKind::Merge, 1, 1, 0);
+        p.record("a", SpanKind::Unmerge, 2, 2, 0);
+        let j = p.to_json();
+        assert!(
+            j.find("\"a\"").expect("a") < j.find("\"b\"").expect("b"),
+            "{j}"
+        );
+        assert_eq!(j, p.clone().to_json());
+    }
+}

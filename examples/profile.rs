@@ -1,0 +1,98 @@
+//! Cycle-attribution profiles for all three fusion engines.
+//!
+//! ```text
+//! cargo run --example profile
+//! ```
+//!
+//! Runs an identical traced workload (duplicate-heavy VM pages, scans,
+//! then reads and writes that unmerge) under KSM, WPF and VUsion, prints
+//! each engine's [`SystemReport`] — the per-phase cycle-attribution table
+//! followed by the metrics snapshot — and writes, per engine, into
+//! `bench_logs/`:
+//!
+//! * `profile_<engine>.trace.json` — Chrome `trace_event` JSON; open in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//! * `profile_<engine>.metrics.json` — the full metrics snapshot.
+//! * `profile_<engine>.report.json` — engine + profile + metrics in one
+//!   document (the [`SystemReport::to_json`] form).
+//!
+//! Everything is timestamped by the simulated cycle clock, so the output
+//! is byte-identical run to run.
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use vusion::prelude::*;
+
+const BASE: u64 = 0x40000;
+const PAGES: u64 = 64;
+const PROCS: usize = 3;
+
+/// The shared workload: duplicate-prone writes, merge scans, a read pass
+/// (CoA traps under VUsion), partial unmerging writes, more scans.
+fn drive<P: FusionPolicy>(sys: &mut System<P>) {
+    let pids: Vec<Pid> = (0..PROCS)
+        .map(|i| sys.machine.spawn(&format!("vm{i}")).expect("spawn"))
+        .collect();
+    for &pid in &pids {
+        sys.machine
+            .mmap(pid, Vma::anon(VirtAddr(BASE), PAGES, Protection::rw()));
+        sys.machine.madvise_mergeable(pid, VirtAddr(BASE), PAGES);
+    }
+    for &pid in &pids {
+        for pg in 0..PAGES {
+            sys.write_page(
+                pid,
+                VirtAddr(BASE + pg * PAGE_SIZE),
+                &[(pg % 6) as u8 + 1; PAGE_SIZE as usize],
+            );
+        }
+    }
+    sys.force_scans(16);
+    for &pid in &pids {
+        for pg in 0..PAGES {
+            sys.read(pid, VirtAddr(BASE + pg * PAGE_SIZE));
+        }
+        for pg in 0..PAGES / 2 {
+            sys.write(pid, VirtAddr(BASE + pg * PAGE_SIZE), 0xa5);
+        }
+    }
+    sys.force_scans(16);
+}
+
+fn profile_engine(kind: EngineKind, out_dir: &Path) -> Result<(), String> {
+    let mut sys = kind.build_system(MachineConfig::test_small().with_seed(0x9e3779b9));
+    sys.machine.enable_tracing();
+    drive(&mut sys);
+    let report = sys.report();
+    println!("{}", report.text());
+    let slug = report.engine.clone();
+    let chrome = sys.machine.obs().tracer().chrome_trace_json();
+    for (suffix, body) in [
+        ("trace.json", &chrome),
+        ("metrics.json", &report.metrics.to_json()),
+        ("report.json", &report.to_json()),
+    ] {
+        let path = out_dir.join(format!("profile_{slug}.{suffix}"));
+        fs::write(&path, body).map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let out_dir = Path::new("bench_logs");
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    for kind in [EngineKind::Ksm, EngineKind::Wpf, EngineKind::VUsion] {
+        if let Err(e) = profile_engine(kind, out_dir) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -43,6 +43,7 @@
 //! | [`cache`] | last-level cache with page coloring |
 //! | [`dram`] | DRAM geometry, row buffers, Rowhammer fault model |
 //! | [`kernel`] | the simulated machine, fault handling, khugepaged |
+//! | [`obs`] | deterministic tracer, metrics registry, cycle profiler |
 //! | [`core`] | the fusion engines: KSM, WPF, VUsion |
 //! | [`attacks`] | the six attacks of the paper's Table 1 |
 //! | [`stats`] | KS tests, histograms, percentiles |
@@ -57,6 +58,7 @@ pub use vusion_dram as dram;
 pub use vusion_kernel as kernel;
 pub use vusion_mem as mem;
 pub use vusion_mmu as mmu;
+pub use vusion_obs as obs;
 pub use vusion_stats as stats;
 pub use vusion_workloads as workloads;
 
@@ -64,12 +66,13 @@ pub use vusion_workloads as workloads;
 pub mod prelude {
     pub use vusion_core::{EngineKind, Ksm, KsmConfig, VUsion, VUsionConfig, Wpf, WpfConfig};
     pub use vusion_kernel::{
-        FusionPolicy, Khugepaged, Machine, MachineConfig, NoFusion, Pid, System,
+        FusionPolicy, Khugepaged, Machine, MachineConfig, NoFusion, Pid, System, SystemReport,
     };
     pub use vusion_mem::{
         CrashPlan, CrashSite, FaultPlan, FrameId, MmError, PhysAddr, VirtAddr, HUGE_PAGE_SIZE,
         PAGE_SIZE,
     };
     pub use vusion_mmu::{GuestTag, Protection, Pte, PteFlags, Vma};
+    pub use vusion_obs::{InstantKind, MetricsSnapshot, Profile, SpanKind, Tracer};
     pub use vusion_workloads::images::{ImageCatalog, ImageSpec};
 }

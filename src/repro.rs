@@ -56,6 +56,9 @@ pub struct Bundle {
     pub note: String,
     /// The assertion message that fired.
     pub failing_step: String,
+    /// Chrome `trace_event` JSON of the tracer ring buffer at failure
+    /// time — empty when the failing run had tracing disabled.
+    pub trace_tail: String,
     /// [`machine_digest`] of the machine at failure time.
     pub digest: u64,
     /// Sealed [`System::snapshot`] taken when journaling began.
@@ -204,6 +207,11 @@ impl Bundle {
             crashes_armed,
             note: note.to_string(),
             failing_step: failing_step.to_string(),
+            trace_tail: if sys.machine.obs().enabled() {
+                sys.machine.obs().tracer().chrome_trace_json()
+            } else {
+                String::new()
+            },
             digest: machine_digest(&sys.machine),
             snapshot: base_snapshot,
             journal: sys.machine.journal().to_vec(),
@@ -263,6 +271,7 @@ impl Bundle {
         w.bool(self.crashes_armed);
         w.str(&self.note);
         w.str(&self.failing_step);
+        w.str(&self.trace_tail);
         w.u64(self.digest);
         w.blob(&self.snapshot);
         let mut jw = Writer::new();
@@ -286,6 +295,7 @@ impl Bundle {
         let crashes_armed = r.bool()?;
         let note = r.str()?;
         let failing_step = r.str()?;
+        let trace_tail = r.str()?;
         let digest = r.u64()?;
         let snapshot = r.blob()?.to_vec();
         let jblob = r.blob()?;
@@ -303,6 +313,7 @@ impl Bundle {
             crashes_armed,
             note,
             failing_step,
+            trace_tail,
             digest,
             snapshot,
             journal,
@@ -339,6 +350,10 @@ impl Bundle {
             n += 1;
         };
         fs::write(&path, self.to_bytes())?;
+        if !self.trace_tail.is_empty() {
+            // Openable directly in a Chrome-trace viewer, no unbundling.
+            fs::write(path.with_extension("trace.json"), &self.trace_tail)?;
+        }
         rotate(dir, KEEP_BUNDLES)?;
         Ok(path)
     }
@@ -375,6 +390,10 @@ fn rotate(dir: &Path, keep: usize) -> std::io::Result<()> {
     if paths.len() > keep {
         for path in &paths[..paths.len() - keep] {
             fs::remove_file(path)?;
+            let sidecar = path.with_extension("trace.json");
+            if sidecar.exists() {
+                fs::remove_file(sidecar)?;
+            }
         }
     }
     Ok(())

@@ -95,6 +95,170 @@ fn saved_pages_never_exceed_total_duplicates() {
     }
 }
 
+/// Drives a mixed workload (demand faults, merges, unmerges, scans) and
+/// returns the system for counter inspection.
+fn churn_system(kind: EngineKind) -> System<Box<dyn FusionPolicy>> {
+    let mut sys = kind.build_system(MachineConfig::test_small());
+    let pids: Vec<Pid> = (0..2)
+        .map(|i| sys.machine.spawn(&format!("p{i}")).expect("spawn"))
+        .collect();
+    for &pid in &pids {
+        sys.machine
+            .mmap(pid, Vma::anon(VirtAddr(BASE), 48, Protection::rw()));
+        sys.machine.madvise_mergeable(pid, VirtAddr(BASE), 48);
+    }
+    for round in 0..4u8 {
+        for &pid in &pids {
+            for pg in 0..48u64 {
+                sys.write_page(
+                    pid,
+                    VirtAddr(BASE + pg * PAGE_SIZE),
+                    &[round.wrapping_add(1); PAGE_SIZE as usize],
+                );
+            }
+        }
+        sys.force_scans(10);
+        // Reads and writes: CoA engines trap reads too, CoW only writes.
+        for &pid in &pids {
+            for pg in 0..48u64 {
+                sys.read(pid, VirtAddr(BASE + pg * PAGE_SIZE));
+            }
+            for pg in 0..24u64 {
+                sys.write(pid, VirtAddr(BASE + pg * PAGE_SIZE), round ^ 0x3c);
+            }
+        }
+        sys.force_scans(10);
+    }
+    sys
+}
+
+/// Every hardware fault the machine observes is resolved by exactly one
+/// handler, and every kernel-handled fault performs exactly one fill or
+/// copy. A degraded path that forgets a counter (or bumps two) breaks
+/// these identities.
+#[test]
+fn fault_counter_identities() {
+    for kind in [
+        EngineKind::NoFusion,
+        EngineKind::Ksm,
+        EngineKind::KsmCoa,
+        EngineKind::KsmZeroOnly,
+        EngineKind::Wpf,
+        EngineKind::VUsion,
+        EngineKind::VUsionThp,
+    ] {
+        let sys = churn_system(kind);
+        let m = sys.machine.stats();
+        let s = sys.stats();
+        let hw_faults = m.faults_not_mapped + m.faults_trapped + m.faults_write_protected;
+        let resolved = s.policy_faults + s.kernel_faults + s.unresolved_faults;
+        assert_eq!(
+            hw_faults, resolved,
+            "{kind:?}: machine saw {hw_faults} faults but handlers accounted {resolved}"
+        );
+        assert!(hw_faults > 0, "{kind:?}: workload must fault");
+        let kernel_work = m.demand_zero + m.demand_huge + m.demand_file + m.cow_copies;
+        assert_eq!(
+            s.kernel_faults, kernel_work,
+            "{kind:?}: {} kernel-handled faults vs {} fills/copies",
+            s.kernel_faults, kernel_work
+        );
+        assert_eq!(s.unresolved_faults, 0, "{kind:?}: workload must resolve");
+    }
+}
+
+/// The scanner's aggregated `ScanReport` must agree with each engine's own
+/// statistics: every merge shows up exactly once on both sides.
+#[test]
+fn scan_report_matches_engine_stats() {
+    const PAGES: u64 = 32;
+    fn seed_duplicates<P: FusionPolicy>(sys: &mut System<P>, pids: &[Pid]) {
+        for &pid in pids {
+            sys.machine
+                .mmap(pid, Vma::anon(VirtAddr(BASE), PAGES, Protection::rw()));
+            sys.machine.madvise_mergeable(pid, VirtAddr(BASE), PAGES);
+        }
+        for &pid in pids {
+            for pg in 0..PAGES {
+                sys.write_page(
+                    pid,
+                    VirtAddr(BASE + pg * PAGE_SIZE),
+                    &[(pg % 7) as u8 + 1; PAGE_SIZE as usize],
+                );
+            }
+        }
+        sys.force_scans(20);
+    }
+    {
+        let m = Machine::new(MachineConfig::test_small());
+        let mut sys = System::new(m, Ksm::new(KsmConfig::default()));
+        let pids = [
+            sys.machine.spawn("a").expect("spawn"),
+            sys.machine.spawn("b").expect("spawn"),
+        ];
+        seed_duplicates(&mut sys, &pids);
+        let t = sys.scan_totals();
+        let ks = sys.policy.stats();
+        // A promotion fuses the promoted candidate's mapping as well.
+        assert_eq!(
+            t.pages_merged,
+            ks.merged + ks.promotions,
+            "KSM scan report vs stats: {t:?} {ks:?}"
+        );
+        assert!(t.pages_merged > 0, "KSM must merge duplicates");
+    }
+    {
+        let cfg = MachineConfig::test_small().with_reserved_top(256);
+        let m = Machine::new(cfg);
+        let wpf = Wpf::new(&m, WpfConfig::default()).expect("reserved region");
+        let mut sys = System::new(m, wpf);
+        let pids = [
+            sys.machine.spawn("a").expect("spawn"),
+            sys.machine.spawn("b").expect("spawn"),
+        ];
+        seed_duplicates(&mut sys, &pids);
+        let t = sys.scan_totals();
+        let ws = sys.policy.stats();
+        assert_eq!(
+            t.pages_merged, ws.merged,
+            "WPF scan report vs stats: {t:?} {ws:?}"
+        );
+        assert!(t.pages_merged > 0, "WPF must merge duplicates");
+    }
+    {
+        let mut m = Machine::new(MachineConfig::test_small());
+        let policy = VUsion::new(
+            &mut m,
+            VUsionConfig {
+                pool_frames: 1024,
+                ..Default::default()
+            },
+        );
+        let mut sys = System::new(m, policy);
+        let pids = [
+            sys.machine.spawn("a").expect("spawn"),
+            sys.machine.spawn("b").expect("spawn"),
+        ];
+        seed_duplicates(&mut sys, &pids);
+        let t = sys.scan_totals();
+        let vs = sys.policy.stats();
+        assert_eq!(
+            t.pages_merged, vs.merged,
+            "VUsion scan report vs stats: {t:?} {vs:?}"
+        );
+        assert_eq!(
+            t.pages_fake_merged, vs.fake_merged,
+            "VUsion fake merges: {t:?} {vs:?}"
+        );
+        assert_eq!(
+            t.huge_pages_broken, vs.huge_broken,
+            "VUsion THP breaks: {t:?} {vs:?}"
+        );
+        assert!(t.pages_merged > 0, "VUsion must merge duplicates");
+        assert!(t.pages_fake_merged > 0, "VUsion must fake-merge uniques");
+    }
+}
+
 #[test]
 fn memory_returns_after_total_unmerge() {
     for kind in [EngineKind::Ksm, EngineKind::VUsion] {

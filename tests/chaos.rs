@@ -138,6 +138,10 @@ impl ChaosRun {
             }
         }
         sys.machine.arm_faults();
+        // Trace from here on: failure bundles attach the ring buffer's
+        // tail as a Chrome trace, so a red chaos run ships its own
+        // "what was the kernel doing" evidence.
+        sys.machine.enable_tracing();
         // Journal from here on; the snapshot pairs with an empty journal,
         // so any later failure bundles as "this state, then these calls".
         sys.machine.enable_journal();
@@ -786,10 +790,25 @@ fn bundle_rotation_caps_the_repro_directory() {
     for _ in 0..KEEP_BUNDLES + 3 {
         bundle.dump_to(&dir).expect("dump");
     }
-    let count = std::fs::read_dir(&dir).expect("read dir").count();
+    // Each bundle may ship a `.trace.json` sidecar; rotation removes the
+    // pair together, so the directory holds at most KEEP pairs.
+    let entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    let bundles = entries
+        .iter()
+        .filter(|p| p.extension().is_some_and(|e| e == "vbun"))
+        .count();
     assert!(
-        count <= KEEP_BUNDLES,
-        "rotation kept {count} bundles, cap is {KEEP_BUNDLES}"
+        bundles <= KEEP_BUNDLES,
+        "rotation kept {bundles} bundles, cap is {KEEP_BUNDLES}"
+    );
+    assert!(
+        entries.len() <= 2 * KEEP_BUNDLES,
+        "rotation left {} files (cap {} bundle+sidecar pairs)",
+        entries.len(),
+        KEEP_BUNDLES
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,202 @@
+//! Determinism of the observability layer: with a fixed seed and
+//! workload, the trace ring buffer and the metrics snapshot must be
+//! byte-identical across independent runs, and across a
+//! snapshot/restore + journal-replay boundary. Timestamps come from the
+//! simulated clock and ordering from the tracer's sequence counter, so
+//! any wall-clock or iteration-order leak shows up here as a byte diff.
+
+use vusion::prelude::*;
+use vusion::repro::Bundle;
+
+const BASE: u64 = 0x40000;
+const PAGES: u64 = 32;
+
+/// Builds a traced system and drives the standard mixed workload:
+/// duplicate writes, scans, then reads and partial writes (CoW + CoA
+/// unmerges), then more scans.
+fn traced_run(kind: EngineKind, seed: u64) -> (Vec<u8>, String, String) {
+    let mut sys = kind.build_system(MachineConfig::test_small().with_seed(seed));
+    sys.machine.enable_tracing();
+    let pids: Vec<Pid> = (0..2)
+        .map(|i| sys.machine.spawn(&format!("p{i}")).expect("spawn"))
+        .collect();
+    for &pid in &pids {
+        sys.machine
+            .mmap(pid, Vma::anon(VirtAddr(BASE), PAGES, Protection::rw()));
+        sys.machine.madvise_mergeable(pid, VirtAddr(BASE), PAGES);
+    }
+    for &pid in &pids {
+        for pg in 0..PAGES {
+            sys.write_page(
+                pid,
+                VirtAddr(BASE + pg * PAGE_SIZE),
+                &[(pg % 5) as u8 + 1; PAGE_SIZE as usize],
+            );
+        }
+    }
+    sys.force_scans(12);
+    for &pid in &pids {
+        for pg in 0..PAGES {
+            sys.read(pid, VirtAddr(BASE + pg * PAGE_SIZE));
+        }
+        for pg in 0..PAGES / 2 {
+            sys.write(pid, VirtAddr(BASE + pg * PAGE_SIZE), 0x5a);
+        }
+    }
+    sys.force_scans(12);
+    let trace = sys.machine.obs().tracer().export_bytes();
+    let chrome = sys.machine.obs().tracer().chrome_trace_json();
+    let metrics = sys.metrics_snapshot().to_json();
+    (trace, chrome, metrics)
+}
+
+/// Same seed + workload ⇒ byte-identical trace buffer, Chrome JSON and
+/// metrics snapshot, for every engine.
+#[test]
+fn identical_runs_produce_identical_artifacts() {
+    for kind in [
+        EngineKind::NoFusion,
+        EngineKind::Ksm,
+        EngineKind::Wpf,
+        EngineKind::VUsion,
+        EngineKind::VUsionThp,
+    ] {
+        let a = traced_run(kind, 0xfeed);
+        let b = traced_run(kind, 0xfeed);
+        assert!(!a.0.is_empty(), "{kind:?}: trace must record events");
+        assert_eq!(a.0, b.0, "{kind:?}: trace buffers diverged");
+        assert_eq!(a.1, b.1, "{kind:?}: Chrome trace JSON diverged");
+        assert_eq!(a.2, b.2, "{kind:?}: metrics snapshots diverged");
+    }
+}
+
+/// A different seed must actually change something (guards against the
+/// artifacts being trivially constant).
+#[test]
+fn different_seed_changes_the_trace() {
+    let a = traced_run(EngineKind::VUsion, 1);
+    let b = traced_run(EngineKind::VUsion, 2);
+    assert_ne!(
+        a.0, b.0,
+        "VUsion trace must depend on the seed (rerandomization)"
+    );
+}
+
+/// Drives the post-snapshot phase of the restore/replay test. Everything
+/// here is journaled in the live run and re-executed by `System::replay`.
+fn phase2<P: FusionPolicy>(sys: &mut System<P>, pids: &[Pid]) {
+    for &pid in pids {
+        for pg in 0..PAGES {
+            sys.write_page(
+                pid,
+                VirtAddr(BASE + pg * PAGE_SIZE),
+                &[7u8; PAGE_SIZE as usize],
+            );
+        }
+    }
+    sys.force_scans(10);
+    for &pid in pids {
+        for pg in 0..PAGES {
+            sys.read(pid, VirtAddr(BASE + pg * PAGE_SIZE));
+        }
+    }
+    sys.force_scans(5);
+}
+
+/// The trace of the live post-snapshot phase must equal the trace of the
+/// same phase re-executed via restore + journal replay: observability is
+/// part of the replay contract, not a bystander.
+#[test]
+fn trace_survives_snapshot_restore_replay() {
+    for kind in [EngineKind::Ksm, EngineKind::VUsion] {
+        // Live run: set up, snapshot, then a traced phase 2.
+        let cfg = MachineConfig::test_small().with_seed(0xabcd);
+        let mut sys = kind.build_system(cfg);
+        let pids: Vec<Pid> = (0..2)
+            .map(|i| sys.machine.spawn(&format!("p{i}")).expect("spawn"))
+            .collect();
+        for &pid in &pids {
+            sys.machine
+                .mmap(pid, Vma::anon(VirtAddr(BASE), PAGES, Protection::rw()));
+            sys.machine.madvise_mergeable(pid, VirtAddr(BASE), PAGES);
+        }
+        for &pid in &pids {
+            for pg in 0..PAGES {
+                sys.write_page(
+                    pid,
+                    VirtAddr(BASE + pg * PAGE_SIZE),
+                    &[3u8; PAGE_SIZE as usize],
+                );
+            }
+        }
+        sys.force_scans(8);
+        sys.machine.enable_journal();
+        sys.machine.clear_journal();
+        let snapshot = sys.snapshot();
+        // Trace exactly the delta after the snapshot.
+        sys.machine.enable_tracing();
+        phase2(&mut sys, &pids);
+        let live_trace = sys.machine.obs().tracer().export_bytes();
+        let live_metrics = sys.machine.obs().metrics().snapshot().to_json();
+        let journal = sys.machine.journal().to_vec();
+        assert!(!live_trace.is_empty(), "{kind:?}: phase 2 must trace");
+
+        // Replayed run: fresh system, restore, trace, replay the journal.
+        let mut replayed = kind.build_system(cfg);
+        replayed.restore(&snapshot).expect("restore");
+        replayed.machine.enable_tracing();
+        replayed.replay(&journal);
+        let replay_trace = replayed.machine.obs().tracer().export_bytes();
+        let replay_metrics = replayed.machine.obs().metrics().snapshot().to_json();
+        assert_eq!(
+            live_trace, replay_trace,
+            "{kind:?}: trace diverged across snapshot/restore + replay"
+        );
+        assert_eq!(
+            live_metrics, replay_metrics,
+            "{kind:?}: registry metrics diverged across snapshot/restore + replay"
+        );
+    }
+}
+
+/// A failure bundle captured from a traced run carries the Chrome trace
+/// tail, and it survives the sealed byte roundtrip.
+#[test]
+fn bundle_attaches_trace_tail() {
+    let kind = EngineKind::VUsion;
+    let cfg = MachineConfig::test_small().with_seed(0x7777);
+    let mut sys = kind.build_system(cfg);
+    sys.machine.enable_tracing();
+    let pid = sys.machine.spawn("p0").expect("spawn");
+    sys.machine
+        .mmap(pid, Vma::anon(VirtAddr(BASE), 8, Protection::rw()));
+    sys.machine.madvise_mergeable(pid, VirtAddr(BASE), 8);
+    sys.machine.enable_journal();
+    sys.machine.clear_journal();
+    let base = sys.snapshot();
+    for pg in 0..8u64 {
+        sys.write_page(
+            pid,
+            VirtAddr(BASE + pg * PAGE_SIZE),
+            &[1u8; PAGE_SIZE as usize],
+        );
+    }
+    sys.force_scans(6);
+    let bundle = Bundle::capture(kind, &cfg, base, &sys, false, "test", "assert");
+    assert!(
+        bundle.trace_tail.starts_with("{\"displayTimeUnit\"")
+            && bundle.trace_tail.contains("\"traceEvents\":["),
+        "bundle must embed Chrome trace JSON, got: {:.60}…",
+        bundle.trace_tail
+    );
+    let roundtrip = Bundle::from_bytes(&bundle.to_bytes()).expect("roundtrip");
+    assert_eq!(roundtrip.trace_tail, bundle.trace_tail);
+    assert_eq!(roundtrip.digest, bundle.digest);
+    // An untraced run attaches nothing.
+    let mut quiet = kind.build_system(cfg);
+    quiet.machine.enable_journal();
+    quiet.machine.clear_journal();
+    let qbase = quiet.snapshot();
+    let qb = Bundle::capture(kind, &cfg, qbase, &quiet, false, "t", "a");
+    assert!(qb.trace_tail.is_empty());
+}
