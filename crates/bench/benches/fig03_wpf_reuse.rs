@@ -64,7 +64,7 @@ fn main() {
         })
         .map(|pa| pa.frame().0)
         .collect();
-    let set1: std::collections::HashSet<u64> = pass1.iter().copied().collect();
+    let set1: std::collections::BTreeSet<u64> = pass1.iter().copied().collect();
     let reused = pass2.iter().filter(|f| set1.contains(f)).count();
     let total_frames = sys.machine.config().frames;
     rep.text(format!(

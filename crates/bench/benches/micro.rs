@@ -14,7 +14,7 @@
 //! file always shows the current numbers next to the pre-optimization
 //! ones and a reviewer can compute the speedup from one artifact.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::time::Instant;
 use vusion_cache::{Llc, LlcConfig};
@@ -105,7 +105,7 @@ fn bench_trees(out: &mut Vec<BenchResult>) {
     // nothing.
     bench(out, "rbtree_scanpath_insert_find_1k", || {
         let mut t = ContentRbTree::new();
-        let mut index: HashMap<u64, u32> = HashMap::new();
+        let mut index: BTreeMap<u64, u32> = BTreeMap::new();
         for f in 0..1024u64 {
             let h = mem.hash_page(FrameId(f));
             let hit = index.contains_key(&h)
@@ -125,7 +125,7 @@ fn bench_trees(out: &mut Vec<BenchResult>) {
     });
     bench(out, "avl_scanpath_insert_find_1k", || {
         let mut t = ContentAvlTree::new();
-        let mut index: HashMap<u64, u32> = HashMap::new();
+        let mut index: BTreeMap<u64, u32> = BTreeMap::new();
         for f in 0..1024u64 {
             let h = mem.hash_page(FrameId(f));
             let hit = index.contains_key(&h)

@@ -131,6 +131,7 @@ impl EngineKind {
             Ok(p) => p,
             // adapt_machine reserved the linear region above, so engine
             // construction cannot fail on a freshly built machine.
+            // vlint: allow(E001, construction on a fresh machine cannot fail — a panic here is a programming error worth stopping on)
             Err(e) => unreachable!("engine construction failed: {e}"),
         };
         let sys = System::new(m, policy);
@@ -221,7 +222,7 @@ mod tests {
             EngineKind::VUsion,
             EngineKind::VUsionThp,
         ];
-        let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
+        let labels: std::collections::BTreeSet<_> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
     }
 

@@ -16,7 +16,7 @@
 //! `unmerge_on_read` (the copy-on-access modification of Figure 4) and
 //! `zero_only` (zero-page-only fusion, also Figure 4).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport, SpanKind};
 use vusion_mem::{CrashSite, FrameId, VirtAddr, PAGE_SIZE};
@@ -81,7 +81,7 @@ pub struct Ksm {
     /// Stable tree: fused, write-protected pages. Value = mapping count.
     stable: ContentRbTree<u32>,
     /// Reverse map: stable frame → tree node.
-    stable_index: HashMap<FrameId, NodeId>,
+    stable_index: BTreeMap<FrameId, NodeId>,
     /// Content-hash pre-filter over the stable tree's pages.
     stable_hashes: HashIndex,
     /// Unstable tree: unprotected candidates, rebuilt each round.
@@ -91,7 +91,7 @@ pub struct Ksm {
     /// Per-page content checksum from the previous encounter. Entries are
     /// evicted when their page leaves the candidate list (unmapped VMA,
     /// exited process), so the map is bounded by the candidate set.
-    checksums: HashMap<(usize, u64), u64>,
+    checksums: BTreeMap<(usize, u64), u64>,
     /// Cached candidate list, rebuilt only when the VMA layout changes.
     candidates: CandidateCache,
     /// Global page cursor over the concatenated mergeable VMAs.
@@ -109,11 +109,11 @@ impl Ksm {
         Self {
             cfg,
             stable: ContentRbTree::new(),
-            stable_index: HashMap::new(),
+            stable_index: BTreeMap::new(),
             stable_hashes: HashIndex::default(),
             unstable: ContentRbTree::new(),
             unstable_hashes: HashIndex::default(),
-            checksums: HashMap::new(),
+            checksums: BTreeMap::new(),
             candidates: CandidateCache::default(),
             cursor: 0,
             merged_live: 0,
@@ -188,7 +188,7 @@ impl Ksm {
     }
 
     /// The PTE flags of a merged (stable) mapping.
-    fn merged_flags(&self) -> u64 {
+    fn merged_flags(&self) -> PteFlags {
         let mut f = PteFlags::PRESENT | PteFlags::USER;
         if self.cfg.unmerge_on_read {
             // Copy-on-access variant: trap reads as well.
@@ -533,7 +533,7 @@ impl vusion_snapshot::Snapshot for Ksm {
         })?;
         self.unstable_hashes = HashIndex::load(r)?;
         let sums = r.usize()?;
-        self.checksums = HashMap::with_capacity(sums);
+        self.checksums = BTreeMap::new();
         for _ in 0..sums {
             let key = (r.usize()?, r.u64()?);
             self.checksums.insert(key, r.u64()?);
@@ -572,7 +572,7 @@ impl FusionPolicy for Ksm {
             // The candidate set changed (mmap / madvise / new process):
             // drop checksums of pages no longer scanned, so the map stays
             // bounded by the candidate list.
-            let live: HashSet<(usize, u64)> =
+            let live: BTreeSet<(usize, u64)> =
                 pages.iter().map(|&(pid, va)| (pid.0, va.page())).collect();
             self.checksums.retain(|key, _| live.contains(key));
         }

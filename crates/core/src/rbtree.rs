@@ -566,6 +566,10 @@ impl<V> ContentRbTree<V> {
         self.check(self.root)
     }
 
+    /// # Panics
+    ///
+    /// Panics if the subtree violates a red-black invariant (coloring,
+    /// parent pointers, or black height).
     fn check(&self, idx: usize) -> usize {
         if idx == NIL {
             return 1;

@@ -9,7 +9,7 @@
 //! layout mutation bumps the machine's epoch. Neither changes a single
 //! simulated-cycle charge or merge decision.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vusion_kernel::{Machine, Pid};
 use vusion_mem::{FrameId, PhysMemory, VirtAddr};
@@ -25,16 +25,16 @@ use vusion_mem::{FrameId, PhysMemory, VirtAddr};
 /// the top of each scan.
 #[derive(Default)]
 pub(crate) struct HashIndex {
-    by_frame: HashMap<FrameId, (u64, u64)>, // frame -> (hash, write_gen)
-    counts: HashMap<u64, u32>,              // hash -> tree pages bearing it
+    by_frame: BTreeMap<FrameId, (u64, u64)>, // frame -> (hash, write_gen)
+    counts: BTreeMap<u64, u32>,              // hash -> tree pages bearing it
 }
 
 impl HashIndex {
-    fn bump(counts: &mut HashMap<u64, u32>, hash: u64) {
+    fn bump(counts: &mut BTreeMap<u64, u32>, hash: u64) {
         *counts.entry(hash).or_insert(0) += 1;
     }
 
-    fn unbump(counts: &mut HashMap<u64, u32>, hash: u64) {
+    fn unbump(counts: &mut BTreeMap<u64, u32>, hash: u64) {
         if let Some(c) = counts.get_mut(&hash) {
             *c -= 1;
             if *c == 0 {
@@ -116,8 +116,8 @@ impl HashIndex {
         r: &mut vusion_snapshot::Reader<'_>,
     ) -> Result<Self, vusion_snapshot::SnapshotError> {
         let count = r.usize()?;
-        let mut by_frame = HashMap::with_capacity(count);
-        let mut counts = HashMap::new();
+        let mut by_frame = BTreeMap::new();
+        let mut counts = BTreeMap::new();
         for _ in 0..count {
             let frame = FrameId(r.u64()?);
             let hash = r.u64()?;

@@ -27,7 +27,7 @@
 //! [`FusionPolicy::prepare_collapse`] lets the (secured) `khugepaged`
 //! fake-unmerge sub-pages before re-collapsing hot ranges.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport, SpanKind};
 use vusion_mem::{
@@ -131,13 +131,13 @@ pub struct VUsion {
     /// Value: the mappings sharing the node's frame.
     tree: ContentRbTree<Vec<(Pid, VirtAddr)>>,
     /// Reverse map: tree frame → node.
-    tree_index: HashMap<FrameId, NodeId>,
+    tree_index: BTreeMap<FrameId, NodeId>,
     /// Content-hash filter over the tree pages (wall-clock only).
     tree_hashes: HashIndex,
     /// Cached mergeable-page list, invalidated by the layout epoch.
     candidates: CandidateCache,
     /// Reverse map: trapped page → node.
-    page_state: HashMap<(usize, u64), NodeId>,
+    page_state: BTreeMap<(usize, u64), NodeId>,
     pool: RandomPool,
     deferred: DeferredFreeQueue,
     cursor: u64,
@@ -157,10 +157,10 @@ impl VUsion {
         Self {
             cfg,
             tree: ContentRbTree::new(),
-            tree_index: HashMap::new(),
+            tree_index: BTreeMap::new(),
             tree_hashes: HashIndex::default(),
             candidates: CandidateCache::default(),
-            page_state: HashMap::new(),
+            page_state: BTreeMap::new(),
             pool,
             deferred: DeferredFreeQueue::new(),
             cursor: 0,
@@ -242,7 +242,7 @@ impl VUsion {
 
     /// The uniform trapped-PTE flags of (fake-)merged pages: present but
     /// reserved-trapped and uncacheable. No permission bits matter.
-    fn trapped_flags(&self) -> u64 {
+    fn trapped_flags(&self) -> PteFlags {
         let mut f = PteFlags::PRESENT | PteFlags::USER | PteFlags::RESERVED;
         if !self.cfg.ablate_pcd {
             f |= PteFlags::NO_CACHE;
@@ -759,7 +759,7 @@ impl vusion_snapshot::Snapshot for VUsion {
         self.tree_hashes = HashIndex::load(r)?;
         self.candidates = CandidateCache::load(r)?;
         let pages = r.usize()?;
-        self.page_state = HashMap::with_capacity(pages);
+        self.page_state = BTreeMap::new();
         for _ in 0..pages {
             let key = (r.usize()?, r.u64()?);
             self.page_state.insert(key, NodeId(r.usize()?));

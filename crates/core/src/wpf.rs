@@ -17,7 +17,7 @@
 //!   allocator, which re-reserves from the end of memory on the next pass —
 //!   near-perfect reuse (Figure 3), hence reuse-based Flip Feng Shui.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport, SpanKind};
 use vusion_mem::{
@@ -64,7 +64,7 @@ pub struct Wpf {
     /// The stable AVL tree: fused content → mapping count.
     avl: ContentAvlTree<u32>,
     /// Frames owned by the AVL tree.
-    avl_index: HashMap<FrameId, ()>,
+    avl_index: BTreeMap<FrameId, ()>,
     /// Content-hash pre-filter over the AVL tree's pages.
     avl_hashes: HashIndex,
     /// Cached page enumeration (every VMA page of every process), rebuilt
@@ -93,7 +93,7 @@ impl Wpf {
         Ok(Self {
             cfg,
             avl: ContentAvlTree::new(),
-            avl_index: HashMap::new(),
+            avl_index: BTreeMap::new(),
             avl_hashes: HashIndex::default(),
             candidates: CandidateCache::default(),
             linear: LinearAllocator::new(base, frames),

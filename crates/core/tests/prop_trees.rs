@@ -46,7 +46,7 @@ fn rbtree_matches_model() {
     for seed in 0..SEEDS {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9b7e);
         let mut tree = ContentRbTree::new();
-        let mut ids = std::collections::HashMap::new();
+        let mut ids = std::collections::BTreeMap::new();
         let mut model = std::collections::BTreeSet::new();
         for op in ops(&mut rng) {
             match op {

@@ -1,6 +1,6 @@
 //! The simulated machine: memory hierarchy, processes, fault generation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vusion_cache::{CacheOutcome, Llc, LlcConfig};
 use vusion_dram::{DramConfig, FlipEvent, RowBufferOutcome, RowBuffers, RowhammerModel};
 use vusion_mem::{
@@ -229,6 +229,10 @@ pub struct Machine {
 impl Machine {
     /// Builds the machine: physical memory, buddy allocator over all of it,
     /// cold caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured reserved region leaves no general memory.
     pub fn new(cfg: MachineConfig) -> Self {
         assert!(
             cfg.reserved_top_frames < cfg.frames,
@@ -1227,7 +1231,7 @@ impl Machine {
     ///
     /// Chaos tests call this after every fault-injected churn round.
     pub fn audit_frames(&self) -> Vec<String> {
-        let mut mapped: HashMap<FrameId, u32> = HashMap::new();
+        let mut mapped: BTreeMap<FrameId, u32> = BTreeMap::new();
         let mut violations = Vec::new();
         for (i, p) in self.processes.iter().enumerate() {
             for vma in p.space.vmas() {
@@ -1387,7 +1391,7 @@ impl Machine {
             let space = AddressSpace::load(r)?;
             let mut tlb = Tlb::skylake();
             tlb.load(r)?;
-            let mut page_cache = HashMap::new();
+            let mut page_cache = BTreeMap::new();
             let entries = r.usize()?;
             for _ in 0..entries {
                 let file = r.u64()?;

@@ -8,7 +8,7 @@
 //! VMs therefore carry identical bytes, which is where cross-VM fusion
 //! opportunities come from.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vusion_mem::{FrameId, MmError, PhysAddr, PhysMemory, VirtAddr, PAGE_SIZE};
 use vusion_mmu::{AddressSpace, Tlb};
@@ -22,7 +22,7 @@ pub struct Process {
     /// Per-core TLB (the simulation pins one process per core).
     pub tlb: Tlb,
     /// Guest page cache: (file id, page offset) → frame.
-    pub page_cache: HashMap<(u64, u64), FrameId>,
+    pub page_cache: BTreeMap<(u64, u64), FrameId>,
 }
 
 impl Process {
@@ -32,7 +32,7 @@ impl Process {
             name: name.to_string(),
             space,
             tlb: Tlb::skylake(),
-            page_cache: HashMap::new(),
+            page_cache: BTreeMap::new(),
         }
     }
 

@@ -40,7 +40,7 @@ fn machine_is_a_byte_store() {
         let mut m = Machine::new(MachineConfig::test_small());
         let pid = m.spawn("p").expect("spawn");
         m.mmap(pid, Vma::anon(VirtAddr(0x10000), 16, Protection::rw()));
-        let mut model = std::collections::HashMap::new();
+        let mut model = std::collections::BTreeMap::new();
         let n = rng.random_range(1..120usize);
         for _ in 0..n {
             let pg = rng.random_range(0..16u64);
@@ -66,7 +66,7 @@ fn process_isolation() {
         for &pid in &pids {
             m.mmap(pid, Vma::anon(VirtAddr(0x10000), 8, Protection::rw()));
         }
-        let mut model = std::collections::HashMap::new();
+        let mut model = std::collections::BTreeMap::new();
         let n = rng.random_range(1..60usize);
         for _ in 0..n {
             let p = rng.random_range(0..2usize);

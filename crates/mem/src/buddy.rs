@@ -17,7 +17,7 @@
 //! chaos suite drives this allocator straight into OOM (optionally via an
 //! attached [`FaultInjector`]) and the engines must degrade gracefully.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::addr::FrameId;
 use crate::error::MmError;
@@ -50,7 +50,7 @@ pub struct BuddyAllocator {
     /// Per-order set of genuinely free block starts.
     free_sets: Vec<BTreeSet<u64>>,
     /// Order of each outstanding allocation, for free-time validation.
-    allocated: HashMap<u64, u8>,
+    allocated: BTreeMap<u64, u8>,
     free_frames: u64,
     stats: BuddyStats,
     /// Optional deterministic failure source (chaos runs).
@@ -74,7 +74,7 @@ impl BuddyAllocator {
             frames,
             free_stacks: vec![Vec::new(); usize::from(MAX_ORDER) + 1],
             free_sets: vec![BTreeSet::new(); usize::from(MAX_ORDER) + 1],
-            allocated: HashMap::new(),
+            allocated: BTreeMap::new(),
             free_frames: frames,
             stats: BuddyStats::default(),
             injector: None,
@@ -378,7 +378,7 @@ mod tests {
     #[test]
     fn allocates_distinct_frames() {
         let mut b = BuddyAllocator::new(FrameId(0), 64);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..64 {
             let f = b.alloc().expect("in range");
             assert!(seen.insert(f));

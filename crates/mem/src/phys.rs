@@ -169,6 +169,11 @@ impl PhysMemory {
         self.info.len()
     }
 
+    /// Index of `frame`, validated against the frame count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is out of range — the simulator's bus fault.
     fn idx(&self, frame: FrameId) -> usize {
         let i = frame.0 as usize;
         assert!(i < self.info.len(), "frame {i} out of range");
@@ -486,6 +491,7 @@ impl vusion_snapshot::Snapshot for PhysMemory {
         }
     }
 
+    // vlint: allow(W001, load replaces every frame's contents and resets all memoized caches wholesale below — per-frame generation bumps would be redundant)
     fn load(
         &mut self,
         r: &mut vusion_snapshot::Reader<'_>,

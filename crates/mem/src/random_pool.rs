@@ -217,7 +217,7 @@ mod tests {
     #[test]
     fn alloc_returns_distinct_frames() {
         let (mut p, mut b) = setup(64, 1024);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..500 {
             let f = p.alloc_random(&mut b).expect("frame");
             assert!(seen.insert(f), "pool handed out a frame twice");
@@ -251,7 +251,7 @@ mod tests {
         let mut b = BuddyAllocator::new(FrameId(0), 16);
         let mut p = RandomPool::new(16, &mut b, 7);
         assert_eq!(b.free_frames(), 0);
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for _ in 0..2000 {
             let f = p.alloc_random(&mut b).expect("frame");
             *counts.entry(f).or_insert(0u32) += 1;

@@ -88,7 +88,7 @@ fn linear_batches_disjoint() {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x11ea);
         let batches = rng.random_range(1..10usize);
         let mut a = LinearAllocator::new(FrameId(0), 128);
-        let mut all = std::collections::HashSet::new();
+        let mut all = std::collections::BTreeSet::new();
         for _ in 0..batches {
             let n = rng.random_range(1..30usize);
             for f in a.reserve_batch(n, |_| false) {
@@ -192,7 +192,7 @@ fn phys_memory_bytes_roundtrip() {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xb17e);
         let writes = rng.random_range(1..100usize);
         let mut m = PhysMemory::new(8);
-        let mut model = std::collections::HashMap::new();
+        let mut model = std::collections::BTreeMap::new();
         for _ in 0..writes {
             let frame = rng.random_range(0..8u64);
             let off = rng.random_range(0..4096u64);

@@ -43,7 +43,9 @@ pub struct PageTables {
 }
 
 /// Flags given to intermediate (non-leaf) table entries.
-const TABLE_FLAGS: u64 = PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::USER;
+const TABLE_FLAGS: PteFlags = PteFlags::from_bits(
+    PteFlags::PRESENT.bits() | PteFlags::WRITABLE.bits() | PteFlags::USER.bits(),
+);
 
 impl PageTables {
     /// Allocates an empty PML4, or reports [`MmError::OutOfFrames`].
@@ -171,7 +173,7 @@ impl PageTables {
         alloc: &mut dyn FrameAllocator,
         va: VirtAddr,
         frame: FrameId,
-        flags: u64,
+        flags: PteFlags,
     ) -> Result<(), MmError> {
         let pt = self.ensure_pt(mem, alloc, va)?;
         let idx = va.pt_indices()[3];
@@ -197,7 +199,7 @@ impl PageTables {
         alloc: &mut dyn FrameAllocator,
         va: VirtAddr,
         frame: FrameId,
-        flags: u64,
+        flags: PteFlags,
     ) -> Result<(), MmError> {
         if !va.is_huge_aligned() || !frame.is_huge_aligned() {
             return Err(MmError::BadPageTable(va));
@@ -298,7 +300,7 @@ impl PageTables {
         alloc: &mut dyn FrameAllocator,
         va: VirtAddr,
         frame: FrameId,
-        flags: u64,
+        flags: PteFlags,
     ) -> Result<(), MmError> {
         if !va.is_huge_aligned() || !frame.is_huge_aligned() {
             return Err(MmError::BadPageTable(va));

@@ -5,7 +5,7 @@
 //! (a TLB hit skips the page-table walk, so the AnC attack needs the walk
 //! entries evicted; the paper's §5.3 also mentions TLB-based side channels).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vusion_mem::{FrameId, VirtAddr, HUGE_PAGE_SIZE, PAGE_SIZE};
 
@@ -25,9 +25,9 @@ pub struct TlbEntry {
 pub struct Tlb {
     cap_4k: usize,
     cap_2m: usize,
-    map_4k: HashMap<u64, TlbEntry>,
+    map_4k: BTreeMap<u64, TlbEntry>,
     fifo_4k: Vec<u64>,
-    map_2m: HashMap<u64, TlbEntry>,
+    map_2m: BTreeMap<u64, TlbEntry>,
     fifo_2m: Vec<u64>,
     hits: u64,
     misses: u64,
@@ -46,9 +46,9 @@ impl Tlb {
         Self {
             cap_4k,
             cap_2m,
-            map_4k: HashMap::new(),
+            map_4k: BTreeMap::new(),
             fifo_4k: Vec::new(),
-            map_2m: HashMap::new(),
+            map_2m: BTreeMap::new(),
             fifo_2m: Vec::new(),
             hits: 0,
             misses: 0,

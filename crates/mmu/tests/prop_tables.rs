@@ -31,12 +31,12 @@ fn map_walk_roundtrip() {
     for seed in 0..SEEDS {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7ab1e);
         let n = rng.random_range(1..64usize);
-        let mut pages = std::collections::HashSet::new();
+        let mut pages = std::collections::BTreeSet::new();
         for _ in 0..n {
             pages.insert(rng.random_range(0..2048u64));
         }
         let (mut mem, mut alloc, mut pt) = setup();
-        let mut expected = std::collections::HashMap::new();
+        let mut expected = std::collections::BTreeMap::new();
         for &pg in &pages {
             let f = alloc.alloc().expect("frame");
             mem.info_mut(f).on_alloc(PageType::Anon);

@@ -220,6 +220,10 @@ impl Tracer {
 
     /// Enables recording with a ring of `capacity` events (allocated here,
     /// once — the hot path never allocates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
     pub fn enable(&mut self, capacity: usize) {
         assert!(capacity > 0, "trace ring capacity must be positive");
         self.enabled = true;

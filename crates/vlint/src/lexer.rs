@@ -1,0 +1,355 @@
+//! A minimal Rust lexer: just enough to walk a source file as a token
+//! stream with line numbers.
+//!
+//! The rules in this crate only ever match identifier/punctuation
+//! sequences, so the lexer's job is mostly *negative*: make sure that
+//! comments, string literals (including raw strings), char literals, and
+//! lifetimes can never masquerade as code. Numeric literals keep their
+//! text so magic-constant rules can look at them; string/char literals
+//! are reduced to opaque placeholder tokens.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `self`, `HashMap`, ...).
+    Ident,
+    /// Integer (or degenerate float) literal; text is the raw spelling.
+    Int,
+    /// String literal of any flavor (content dropped).
+    Str,
+    /// Char or byte literal (content dropped).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// Whether this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into a token stream. Unterminated literals and comments
+/// simply end at EOF — for a linter, resilience beats strictness.
+pub fn lex(source: &str) -> Vec<Token> {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump_lines!(c);
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            match bytes[i + 1] {
+                '/' => {
+                    while i < bytes.len() && bytes[i] != '\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                '*' => {
+                    let mut depth = 1u32;
+                    i += 2;
+                    while i < bytes.len() && depth > 0 {
+                        if bytes[i] == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+                            depth += 1;
+                            i += 2;
+                        } else if bytes[i] == '*' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            bump_lines!(bytes[i]);
+                            i += 1;
+                        }
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Raw strings: r"..." / r#"..."# / br#"..."#.
+        if (c == 'r' || c == 'b') && i + 1 < bytes.len() {
+            let start = if c == 'b' && bytes[i + 1] == 'r' {
+                i + 2
+            } else if c == 'r' {
+                i + 1
+            } else {
+                usize::MAX
+            };
+            if start != usize::MAX && start < bytes.len() {
+                let mut hashes = 0usize;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == '"' {
+                    let tok_line = line;
+                    j += 1;
+                    'scan: while j < bytes.len() {
+                        if bytes[j] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && j + 1 + k < bytes.len() && bytes[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        bump_lines!(bytes[j]);
+                        j += 1;
+                    }
+                    out.push(Token {
+                        kind: Kind::Str,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+        }
+        // Byte strings / byte chars: b"..." and b'x'.
+        if c == 'b' && i + 1 < bytes.len() && (bytes[i + 1] == '"' || bytes[i + 1] == '\'') {
+            i += 1;
+            // Fall through to the string/char cases below on the quote.
+            let q = bytes[i];
+            let (kind, tok_line) = (if q == '"' { Kind::Str } else { Kind::Char }, line);
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == q {
+                    i += 1;
+                    break;
+                }
+                bump_lines!(bytes[i]);
+                i += 1;
+            }
+            out.push(Token {
+                kind,
+                text: String::new(),
+                line: tok_line,
+            });
+            continue;
+        }
+        // Plain strings.
+        if c == '"' {
+            let tok_line = line;
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                bump_lines!(bytes[i]);
+                i += 1;
+            }
+            out.push(Token {
+                kind: Kind::Str,
+                text: String::new(),
+                line: tok_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let tok_line = line;
+            if i + 1 < bytes.len() && bytes[i + 1] == '\\' {
+                // Escaped char literal: '\n', '\u{...}', ...
+                i += 2;
+                while i < bytes.len() && bytes[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                out.push(Token {
+                    kind: Kind::Char,
+                    text: String::new(),
+                    line: tok_line,
+                });
+                continue;
+            }
+            if i + 1 < bytes.len() && is_ident_start(bytes[i + 1]) {
+                // Consume the identifier; a trailing quote makes it a char.
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_continue(bytes[j]) {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == '\'' {
+                    out.push(Token {
+                        kind: Kind::Char,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                    i = j + 1;
+                } else {
+                    let name: String = bytes[i + 1..j].iter().collect();
+                    out.push(Token {
+                        kind: Kind::Lifetime,
+                        text: name,
+                        line: tok_line,
+                    });
+                    i = j;
+                }
+                continue;
+            }
+            // Something like '(' — a non-ident char literal.
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] != '\'' && bytes[j] != '\n' {
+                j += 1;
+            }
+            out.push(Token {
+                kind: Kind::Char,
+                text: String::new(),
+                line: tok_line,
+            });
+            i = (j + 1).min(bytes.len());
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let tok_line = line;
+            let mut j = i;
+            while j < bytes.len() && is_ident_continue(bytes[j]) {
+                j += 1;
+            }
+            out.push(Token {
+                kind: Kind::Ident,
+                text: bytes[i..j].iter().collect(),
+                line: tok_line,
+            });
+            i = j;
+            continue;
+        }
+        // Numeric literals (hex/typed suffixes included; `1.5` splits at
+        // the dot, which is fine for the rules here).
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            let mut j = i;
+            while j < bytes.len() && is_ident_continue(bytes[j]) {
+                j += 1;
+            }
+            out.push(Token {
+                kind: Kind::Int,
+                text: bytes[i..j].iter().collect(),
+                line: tok_line,
+            });
+            i = j;
+            continue;
+        }
+        // Everything else: single punctuation char.
+        out.push(Token {
+            kind: Kind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant in /* a nested */ block */
+            let s = "SystemTime in a string";
+            let r = r#"HashSet in a raw string"#;
+            let c = 'H';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.iter().any(|s| s.contains("Hash") || s.contains("Time")));
+        assert!(!ids.iter().any(|s| s == "Instant"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Char).count(), 1);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "a\n/*\n\n*/\nb \"x\ny\" c";
+        let toks = lex(src);
+        let a = toks.iter().find(|t| t.is_ident("a")).map(|t| t.line);
+        let b = toks.iter().find(|t| t.is_ident("b")).map(|t| t.line);
+        let c = toks.iter().find(|t| t.is_ident("c")).map(|t| t.line);
+        assert_eq!(a, Some(1));
+        assert_eq!(b, Some(5));
+        assert_eq!(c, Some(6));
+    }
+
+    #[test]
+    fn hex_and_shift_literals_keep_text() {
+        let toks = lex("let m = 0x0007_FFFF; let r = 1u64 << 51;");
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Int)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ints, vec!["0x0007_FFFF", "1u64", "51"]);
+    }
+}

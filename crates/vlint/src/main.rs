@@ -1,0 +1,151 @@
+//! CLI driver: `cargo run -p vlint -- check`.
+//!
+//! Scans the workspace, prints a human report, optionally writes the
+//! findings as deterministic JSON (`--json PATH`, the CI artifact), and
+//! exits non-zero when any finding is not covered by the committed
+//! baseline (`vlint.baseline.json` at the workspace root).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use vlint::{baseline_keys, scan_root, to_json, Finding};
+
+const USAGE: &str = "\
+usage: vlint <command> [options]
+
+commands:
+  check           scan the workspace and report contract violations
+  rules           print the rule catalog
+
+options (check):
+  --root DIR      workspace root (default: nearest ancestor with [workspace])
+  --json PATH     also write the findings as deterministic JSON
+";
+
+const RULE_CATALOG: &str = "\
+D001  no host wall-clock (std::time, Instant, SystemTime) in simulation crates
+D002  no randomized-order collections (HashMap/HashSet); use BTreeMap/BTreeSet
+D003  no environment reads (env::var) in simulation crates
+D004  no platform-conditional compilation (cfg(target_os/unix/windows/...))
+W001  &mut self code reaching frame contents must bump a write generation
+P001  no raw u64 PTE bit arithmetic outside vusion-mmu; use Pte/PteFlags
+P002  bits/from_bits/to_bits escape hatches stay inside vusion-mmu
+E001  no undocumented panic/assert in simulation code (doc `# Panics` or demote)
+E002  no truncating `as` casts on frame/generation/cycle arithmetic
+V001  vlint allow annotations need a reason: // vlint: allow(RULE, why)
+
+suppression: append `// vlint: allow(RULE, reason)` on (or just above) the line
+baseline:    vlint.baseline.json at the workspace root, same JSON schema
+";
+
+/// Nearest ancestor of the current directory whose `Cargo.toml` declares
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run_check(root: &Path, json_out: Option<&Path>) -> ExitCode {
+    let findings = match scan_root(root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("vlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = root.join("vlint.baseline.json");
+    let baseline: Vec<String> = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => baseline_keys(&text),
+        Err(_) => Vec::new(),
+    };
+
+    let (old, new): (Vec<&Finding>, Vec<&Finding>) = findings
+        .iter()
+        .partition(|f| baseline.binary_search(&f.key()).is_ok());
+
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(path, to_json(&findings)) {
+            eprintln!("vlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for f in &new {
+        println!("{}:{}: {}: {}", f.file, f.line, f.rule, f.message);
+    }
+    if new.is_empty() {
+        if old.is_empty() {
+            println!("vlint: clean ({} findings)", findings.len());
+        } else {
+            println!(
+                "vlint: clean ({} baselined finding{} tolerated)",
+                old.len(),
+                if old.len() == 1 { "" } else { "s" }
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "vlint: {} new finding{} ({} baselined); see `vlint rules` for the catalog",
+            new.len(),
+            if new.len() == 1 { "" } else { "s" },
+            old.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "rules" => {
+            print!("{RULE_CATALOG}");
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let mut root: Option<PathBuf> = None;
+            let mut json_out: Option<PathBuf> = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--root" if i + 1 < args.len() => {
+                        root = Some(PathBuf::from(&args[i + 1]));
+                        i += 2;
+                    }
+                    "--json" if i + 1 < args.len() => {
+                        json_out = Some(PathBuf::from(&args[i + 1]));
+                        i += 2;
+                    }
+                    other => {
+                        eprintln!("vlint: unknown option `{other}`\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let Some(root) = root.or_else(find_workspace_root) else {
+                eprintln!("vlint: no workspace root found (run inside the repo or pass --root)");
+                return ExitCode::from(2);
+            };
+            run_check(&root, json_out.as_deref())
+        }
+        other => {
+            eprintln!("vlint: unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,582 @@
+//! The rule catalog. Each family is one pass over a file's token stream
+//! (plus, for W-rules, a local call-graph fixpoint).
+//!
+//! Rules are deliberately token-level, not type-level: they trade a
+//! little precision for zero dependencies and total determinism, and the
+//! `// vlint: allow(RULE, reason)` escape hatch absorbs the (rare,
+//! documented) false positives.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Kind, Token};
+use crate::{FileCtx, Finding};
+
+fn push(ctx: &FileCtx<'_>, out: &mut Vec<Finding>, line: u32, rule: &'static str, msg: String) {
+    out.push(Finding {
+        file: ctx.rel.to_string(),
+        line,
+        rule,
+        message: msg,
+    });
+}
+
+/// Whether `tokens[i..]` starts the path segment `a :: b` for any `b` in
+/// `tails`. Returns the matched tail.
+fn path_seg<'t>(tokens: &'t [Token], i: usize, head: &str, tails: &[&str]) -> Option<&'t Token> {
+    if tokens.get(i)?.is_ident(head)
+        && tokens.get(i + 1)?.is_punct(':')
+        && tokens.get(i + 2)?.is_punct(':')
+    {
+        let t = tokens.get(i + 3)?;
+        if tails.iter().any(|s| t.is_ident(s)) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// D — determinism
+// ---------------------------------------------------------------------
+
+/// D001 wall-clock time, D002 randomized-order collections, D003
+/// environment reads, D004 platform-conditional compilation.
+pub(crate) fn determinism(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        // D001 — wall-clock time. `Instant`/`SystemTime` count only in
+        // clock-like positions — imported from a `time` path or used as
+        // `Instant::now()` etc. The tracer's own `Phase::Instant` variant
+        // and `InstantKind` are simulator vocabulary and stay legal.
+        if t.is_ident("Instant") || t.is_ident("SystemTime") {
+            let from_time_path = i >= 3
+                && toks[i - 3].is_ident("time")
+                && toks[i - 2].is_punct(':')
+                && toks[i - 1].is_punct(':');
+            let clock_call = toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|n| {
+                    n.is_ident("now")
+                        || n.is_ident("elapsed")
+                        || n.is_ident("duration_since")
+                        || n.is_ident("UNIX_EPOCH")
+                });
+            if from_time_path || clock_call {
+                push(
+                    ctx,
+                    out,
+                    t.line,
+                    "D001",
+                    format!(
+                        "`{}` reads the host clock; simulation time comes from the machine's \
+                         cycle counter",
+                        t.text
+                    ),
+                );
+            }
+        }
+        if path_seg(toks, i, "std", &["time"]).is_some() {
+            push(
+                ctx,
+                out,
+                t.line,
+                "D001",
+                "`std::time` is host wall-clock; simulation time comes from the machine's \
+                 cycle counter"
+                    .to_string(),
+            );
+        }
+        // D002 — hash collections iterate in randomized order.
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            push(
+                ctx,
+                out,
+                t.line,
+                "D002",
+                format!(
+                    "`{}` iterates in randomized order; use BTreeMap/BTreeSet (or a Vec) so \
+                     every run of a seed is identical",
+                    t.text
+                ),
+            );
+        }
+        // D003 — environment reads make behavior depend on the host.
+        if let Some(m) = path_seg(toks, i, "env", &["var", "var_os", "vars", "vars_os"]) {
+            push(
+                ctx,
+                out,
+                t.line,
+                "D003",
+                format!(
+                    "`env::{}` makes simulation behavior depend on the host environment; \
+                     thread configuration through explicit config structs",
+                    m.text
+                ),
+            );
+        }
+        // D004 — platform-conditional simulation behavior (attributes and
+        // the `cfg!(...)` macro alike).
+        let cfg_open = if t.is_ident("cfg") {
+            if toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                i + 2
+            } else {
+                i + 1
+            }
+        } else {
+            usize::MAX
+        };
+        if cfg_open != usize::MAX && toks.get(cfg_open).is_some_and(|n| n.is_punct('(')) {
+            let mut j = cfg_open + 1;
+            let mut depth = 1usize;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('(') {
+                    depth += 1;
+                } else if toks[j].is_punct(')') {
+                    depth -= 1;
+                } else if depth > 0 {
+                    const PLATFORM: &[&str] = &[
+                        "target_os",
+                        "target_arch",
+                        "target_family",
+                        "target_endian",
+                        "target_pointer_width",
+                        "unix",
+                        "windows",
+                    ];
+                    if PLATFORM.iter().any(|p| toks[j].is_ident(p)) {
+                        push(
+                            ctx,
+                            out,
+                            toks[j].line,
+                            "D004",
+                            format!(
+                                "platform-conditional `cfg({})` in a simulation crate: results \
+                                 must not depend on the host platform",
+                                toks[j].text
+                            ),
+                        );
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// W — write-gen coherence
+// ---------------------------------------------------------------------
+
+/// W001: a `&mut self` function that reaches the frame-content store
+/// (`self.data`) must bump a write generation — either directly (a
+/// `.write_gen = ...` assignment in its body) or by calling, possibly
+/// transitively, a local function that does. The rule only engages in
+/// files that participate in the write-gen protocol at all (mention the
+/// `write_gen` identifier), so unrelated `data` fields elsewhere in the
+/// crate do not trip it.
+pub(crate) fn write_gen(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.tokens;
+    if !toks.iter().any(|t| t.is_ident("write_gen")) {
+        return;
+    }
+
+    let body = |f: &crate::FnInfo| &toks[f.body.0..f.body.1];
+    let mentions_self_data = |ts: &[Token]| {
+        ts.windows(3)
+            .any(|w| w[0].is_ident("self") && w[1].is_punct('.') && w[2].is_ident("data"))
+    };
+    let writes_gen = |ts: &[Token]| {
+        ts.windows(3)
+            .any(|w| w[0].is_punct('.') && w[1].is_ident("write_gen") && w[2].is_punct('='))
+    };
+    let calls = |ts: &[Token]| -> BTreeSet<String> {
+        ts.windows(2)
+            .filter(|w| w[0].kind == Kind::Ident && w[1].is_punct('('))
+            .map(|w| w[0].text.clone())
+            .collect()
+    };
+
+    // Fixpoint: a function "bumps" if it writes `.write_gen = ...` itself
+    // or calls a local bumper.
+    let mut bumpers: BTreeSet<&str> = ctx
+        .fns
+        .iter()
+        .filter(|f| writes_gen(body(f)))
+        .map(|f| f.name.as_str())
+        .collect();
+    let call_map: BTreeMap<&str, BTreeSet<String>> = ctx
+        .fns
+        .iter()
+        .map(|f| (f.name.as_str(), calls(body(f))))
+        .collect();
+    loop {
+        let before = bumpers.len();
+        for f in &ctx.fns {
+            if !bumpers.contains(f.name.as_str())
+                && call_map[f.name.as_str()]
+                    .iter()
+                    .any(|c| bumpers.contains(c.as_str()))
+            {
+                bumpers.insert(f.name.as_str());
+            }
+        }
+        if bumpers.len() == before {
+            break;
+        }
+    }
+
+    for f in &ctx.fns {
+        if ctx.in_test_code(f.line) {
+            continue;
+        }
+        if f.takes_mut_self && mentions_self_data(body(f)) && !bumpers.contains(f.name.as_str()) {
+            push(
+                ctx,
+                out,
+                f.line,
+                "W001",
+                format!(
+                    "`{}` takes `&mut self` and reaches frame contents (`self.data`) but never \
+                     bumps a write generation; stale memoized hashes would survive the mutation",
+                    f.name
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// P — PTE typing
+// ---------------------------------------------------------------------
+
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+fn ident_has(t: &Token, needle: &str) -> bool {
+    t.kind == Kind::Ident && t.text.to_ascii_lowercase().contains(needle)
+}
+
+/// P001 raw `u64` PTE manipulation outside `vusion-mmu`; P002 use of the
+/// `bits`/`from_bits`/`to_bits` escape hatches outside `vusion-mmu`.
+pub(crate) fn pte_typing(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // P001a — a binding/param/field named like a PTE typed as a raw
+        // word: `pte: u64` (but not the path `pte::...`).
+        if ident_has(t, "pte")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("u64"))
+        {
+            push(
+                ctx,
+                out,
+                t.line,
+                "P001",
+                format!(
+                    "`{}` is a raw `u64` page-table word; outside vusion-mmu use the typed \
+                     `Pte`/`PteFlags` API",
+                    t.text
+                ),
+            );
+        }
+        // P001b — the reserved-bit magic constant: `... << 51`.
+        if t.is_punct('<')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('<'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.kind == Kind::Int && n.text == "51")
+        {
+            push(
+                ctx,
+                out,
+                t.line,
+                "P001",
+                "shifting into bit 51 re-derives the reserved-bit trap by hand; use \
+                 `PteFlags::RESERVED`"
+                    .to_string(),
+            );
+        }
+        // P001c — bit-operating a PTE-named value against an integer
+        // literal: `pte & 0xfff`, `pte.0 | 4`, `raw_pte ^ 1`.
+        if ident_has(t, "pte") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|n| n.is_punct('.'))
+                && toks.get(j + 1).is_some_and(|n| n.kind == Kind::Int)
+            {
+                j += 2; // tuple-field access like `pte.0`
+            }
+            let op = toks
+                .get(j)
+                .filter(|n| n.is_punct('|') || n.is_punct('&') || n.is_punct('^'));
+            let shift = toks
+                .get(j)
+                .filter(|n| n.is_punct('<') || n.is_punct('>'))
+                .and_then(|n| toks.get(j + 1).filter(|m| m.text == n.text));
+            let rhs = if op.is_some() {
+                toks.get(j + 1)
+            } else if shift.is_some() {
+                toks.get(j + 2)
+            } else {
+                None
+            };
+            if rhs.is_some_and(|r| r.kind == Kind::Int) {
+                push(
+                    ctx,
+                    out,
+                    t.line,
+                    "P001",
+                    format!(
+                        "raw bit arithmetic on `{}`; outside vusion-mmu PTE bits are only \
+                         touched through `PteFlags` masks",
+                        t.text
+                    ),
+                );
+            }
+        }
+        // P002a — the escape-hatch constructors by path.
+        if (t.is_ident("Pte") || t.is_ident("PteFlags"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|n| {
+                n.is_ident("from_bits") || n.is_ident("to_bits") || n.is_ident("bits")
+            })
+        {
+            push(
+                ctx,
+                out,
+                t.line,
+                "P002",
+                format!(
+                    "`{}::{}` is the raw-bits escape hatch; it is reserved for vusion-mmu's \
+                     own encoding and snapshot wire formats",
+                    t.text,
+                    toks[i + 3].text
+                ),
+            );
+        }
+        // P002b — method-call form on something PTE-ish nearby:
+        // `leaf.pte.to_bits()`, `flags.bits()`.
+        if t.is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.is_ident("to_bits") || n.is_ident("bits"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            let lookback = toks[i.saturating_sub(8)..i].iter();
+            if lookback
+                .filter(|b| b.kind == Kind::Ident)
+                .any(|b| ident_has(b, "pte") || ident_has(b, "flag"))
+            {
+                push(
+                    ctx,
+                    out,
+                    t.line,
+                    "P002",
+                    format!(
+                        "`.{}()` on a PTE value leaks the raw word outside vusion-mmu; use \
+                         the typed accessors",
+                        toks[i + 1].text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// E — error policy
+// ---------------------------------------------------------------------
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// E001 undocumented panics in simulation code; E002 silently-truncating
+/// casts on frame/generation/cycle arithmetic.
+pub(crate) fn error_policy(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // E001 — panic-family macro invocation. Test code is exempt
+        // (including `#[cfg(test)]` mods and `#[cfg(debug_assertions)]`
+        // blocks); `debug_assert*` never matches; a function whose doc
+        // comment carries a `# Panics` section has declared the contract.
+        if t.kind == Kind::Ident
+            && PANIC_MACROS.iter().any(|m| t.is_ident(m))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && !ctx.in_test_code(t.line)
+        {
+            let documented = ctx.enclosing_fn(i).is_some_and(|f| f.has_panics_doc);
+            if !documented {
+                push(
+                    ctx,
+                    out,
+                    t.line,
+                    "E001",
+                    format!(
+                        "`{}!` in simulation code: either document the contract with a \
+                         `# Panics` doc section, demote to `debug_assert!`, or return an error",
+                        t.text
+                    ),
+                );
+            }
+        }
+        // E002 — `frame as u32`-style truncation. Frame numbers,
+        // generations, and cycle counts are u64 end to end; a narrowing
+        // `as` silently wraps. (usize is excluded: index casts are fine.)
+        if t.kind == Kind::Ident {
+            let lower = t.text.to_ascii_lowercase();
+            let suspicious =
+                lower.contains("frame") || lower.contains("cycle") || lower.ends_with("gen");
+            if suspicious && !ctx.in_test_code(t.line) {
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|n| n.is_punct('.'))
+                    && toks.get(j + 1).is_some_and(|n| n.kind == Kind::Int)
+                {
+                    j += 2; // `frame.0 as u32`
+                }
+                if toks.get(j).is_some_and(|n| n.is_ident("as"))
+                    && toks
+                        .get(j + 1)
+                        .is_some_and(|n| NARROW_INTS.iter().any(|ty| n.is_ident(ty)))
+                {
+                    push(
+                        ctx,
+                        out,
+                        t.line,
+                        "E002",
+                        format!(
+                            "`{} as {}` silently truncates frame/generation/cycle arithmetic; \
+                             use `u64` or a checked conversion",
+                            t.text,
+                            toks[j + 1].text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{analyze_source, Families};
+
+    fn rules(src: &str) -> Vec<(&'static str, u32)> {
+        analyze_source("crates/mem/src/x.rs", src, Families::ALL)
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn d_rules_fire_on_the_catalog() {
+        assert_eq!(
+            rules("use std::time::Instant;"),
+            vec![("D001", 1), ("D001", 1)]
+        );
+        assert_eq!(rules("let t = Instant::now();"), vec![("D001", 1)]);
+        assert_eq!(rules("let m: HashMap<u32, u32>;"), vec![("D002", 1)]);
+        assert_eq!(rules("let v = env::var(\"SEED\");"), vec![("D003", 1)]);
+        assert_eq!(
+            rules("#[cfg(target_os = \"linux\")]\nfn f() {}"),
+            vec![("D004", 1)]
+        );
+    }
+
+    #[test]
+    fn d_rules_ignore_lookalikes() {
+        assert!(rules("let k = InstantKind::Virtual;").is_empty());
+        assert!(rules("let p = Phase::Instant(kind);").is_empty());
+        assert!(rules("// HashMap\nlet s = \"SystemTime\";").is_empty());
+        assert!(rules("#[cfg(feature = \"slow-tests\")]\nfn f() {}").is_empty());
+        assert!(rules("#[cfg(not(test))]\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn w_rule_needs_a_transitive_bump() {
+        let bad = "
+struct M { data: Vec<u8>, write_gen: u64 }
+impl M {
+    fn poke(&mut self) { self.data[0] = 1; }
+}";
+        assert_eq!(rules(bad), vec![("W001", 4)]);
+        let good_direct = "
+struct M { data: Vec<u8>, write_gen: u64 }
+impl M {
+    fn poke(&mut self) { self.data[0] = 1; self.write_gen = self.write_gen + 1; }
+}";
+        assert!(rules(good_direct).is_empty());
+        let good_transitive = "
+struct M { data: Vec<u8>, write_gen: u64 }
+impl M {
+    fn mark(&mut self) { self.info.write_gen = 1; }
+    fn relay(&mut self) { self.mark(); }
+    fn poke(&mut self) { self.data[0] = 1; self.relay(); }
+}";
+        assert!(rules(good_transitive).is_empty());
+    }
+
+    #[test]
+    fn w_rule_stays_quiet_without_write_gen_protocol() {
+        // A file with an unrelated `data` field is not in the protocol.
+        let src = "
+struct Pool { data: Vec<u8> }
+impl Pool {
+    fn poke(&mut self) { self.data[0] = 1; }
+}";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn p_rules_fire_outside_mmu() {
+        assert_eq!(rules("fn f(pte: u64) {}"), vec![("P001", 1)]);
+        assert_eq!(rules("let r = 1u64 << 51;"), vec![("P001", 1)]);
+        assert_eq!(rules("let x = pte & 0xfff;"), vec![("P001", 1)]);
+        assert_eq!(rules("let f = PteFlags::from_bits(7);"), vec![("P002", 1)]);
+        assert_eq!(rules("let w = leaf.pte.to_bits();"), vec![("P002", 1)]);
+    }
+
+    #[test]
+    fn p_rules_accept_typed_api_and_f64_bits() {
+        assert!(rules("let f = pte.flags() & !PteFlags::HUGE;").is_empty());
+        assert!(rules("let b = value.to_bits(); let v = f64::from_bits(b);").is_empty());
+    }
+
+    #[test]
+    fn e001_respects_docs_and_tests() {
+        assert_eq!(rules("fn f() { panic!(\"boom\"); }"), vec![("E001", 1)]);
+        let documented = "
+/// Does a thing.
+///
+/// # Panics
+///
+/// Panics when the thing is off.
+fn f() { assert!(on, \"off\"); }";
+        assert!(rules(documented).is_empty());
+        let tested = "#[cfg(test)]\nmod tests {\n  fn f() { panic!(\"fine\"); }\n}";
+        assert!(rules(tested).is_empty());
+        assert!(rules("fn f() { debug_assert!(x > 0); }").is_empty());
+    }
+
+    #[test]
+    fn e002_catches_narrowing_casts() {
+        assert_eq!(rules("let x = frame as u32;"), vec![("E002", 1)]);
+        assert_eq!(rules("let x = frame.0 as u16;"), vec![("E002", 1)]);
+        assert_eq!(rules("let g = write_gen as u8;"), vec![("E002", 1)]);
+        assert!(rules("let x = frame.0 as usize;").is_empty());
+        assert!(rules("let x = frame as u64;").is_empty());
+        assert!(rules("let x = engine as u32;").is_empty());
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: V001 true positive — an allow annotation without a reason.
+
+use std::collections::HashMap; // vlint: allow(D002)
+
+pub struct Index {
+    map: HashMap<u64, u64>,
+}

@@ -1,0 +1,10 @@
+//! Fixture: V001 true negative — a reasoned allow suppresses its rule on
+//! the annotated line and the line below.
+
+// vlint: allow(D002, interned keys are pre-sorted before any iteration)
+use std::collections::HashMap;
+
+pub struct Index {
+    // vlint: allow(D002, never iterated — lookup only)
+    map: HashMap<u64, u64>,
+}

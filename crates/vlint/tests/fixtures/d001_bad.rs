@@ -1,0 +1,8 @@
+//! Fixture: D001 true positive — host wall-clock in simulation code.
+
+use std::time::Instant;
+
+pub fn elapsed_ns() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,10 @@
+//! Fixture: D001 true negative — `Instant` as simulator vocabulary.
+
+pub enum Phase {
+    Begin(SpanKind),
+    Instant(InstantKind),
+}
+
+pub fn classify(kind: InstantKind) -> Phase {
+    Phase::Instant(kind)
+}

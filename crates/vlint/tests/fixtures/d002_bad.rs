@@ -1,0 +1,7 @@
+//! Fixture: D002 true positive — randomized-iteration collections.
+
+use std::collections::HashMap;
+
+pub struct Index {
+    by_frame: HashMap<u64, u64>,
+}

@@ -1,0 +1,8 @@
+//! Fixture: D002 true negative — ordered collections.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Index {
+    by_frame: BTreeMap<u64, u64>,
+    live: BTreeSet<u64>,
+}

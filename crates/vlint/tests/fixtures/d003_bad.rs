@@ -1,0 +1,8 @@
+//! Fixture: D003 true positive — environment read in simulation code.
+
+pub fn seed() -> u64 {
+    match std::env::var("VUSION_SEED") {
+        Ok(s) => s.parse().unwrap_or(0),
+        Err(_) => 0,
+    }
+}

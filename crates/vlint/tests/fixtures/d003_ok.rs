@@ -1,0 +1,9 @@
+//! Fixture: D003 true negative — configuration arrives explicitly.
+
+pub struct Config {
+    pub seed: u64,
+}
+
+pub fn seed(cfg: &Config) -> u64 {
+    cfg.seed
+}

@@ -1,0 +1,10 @@
+//! Fixture: D004 true positive — platform-conditional simulation code.
+
+#[cfg(target_os = "linux")]
+pub fn page_size() -> u64 {
+    4096
+}
+
+pub fn is_fast() -> bool {
+    cfg!(windows)
+}

@@ -1,0 +1,7 @@
+//! Fixture: D004 true negative — feature gates and test gates are fine.
+
+#[cfg(feature = "slow-tests")]
+pub fn exhaustive() {}
+
+#[cfg(not(test))]
+pub fn live_only() {}

@@ -1,0 +1,15 @@
+//! Fixture: E001 true positive — undocumented panic in simulation code.
+
+pub fn translate(addr: u64) -> u64 {
+    if addr > 0x0007_ffff_ffff_ffff {
+        panic!("address out of range");
+    }
+    addr >> 12
+}
+
+pub fn select(kind: u8) -> u8 {
+    match kind {
+        0 | 1 => kind,
+        _ => unreachable!(),
+    }
+}

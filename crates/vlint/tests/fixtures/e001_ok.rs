@@ -1,0 +1,26 @@
+//! Fixture: E001 true negative — documented contracts, debug-only
+//! invariants, and test code.
+
+/// Translates a virtual address.
+///
+/// # Panics
+///
+/// Panics if `addr` exceeds the canonical range — the simulator's
+/// equivalent of a bus fault.
+pub fn translate(addr: u64) -> u64 {
+    assert!(addr <= 0x0007_ffff_ffff_ffff, "address out of range");
+    addr >> 12
+}
+
+pub fn reconcile(fast: usize, slow: usize) -> usize {
+    debug_assert_eq!(fast, slow, "counter out of sync");
+    fast
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn translate_works() {
+        assert_eq!(super::translate(4096), 1);
+    }
+}

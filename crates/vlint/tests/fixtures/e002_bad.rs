@@ -1,0 +1,9 @@
+//! Fixture: E002 true positive — truncating casts on frame/cycle values.
+
+pub fn pack(frame: u64, cycles: u64) -> (u32, u32) {
+    (frame as u32, cycles as u32)
+}
+
+pub fn short_gen(write_gen: u64) -> u16 {
+    write_gen as u16
+}

@@ -1,0 +1,9 @@
+//! Fixture: E002 true negative — widening casts and index conversions.
+
+pub fn index(frame: FrameId) -> usize {
+    frame.0 as usize
+}
+
+pub fn widen(frame: u32) -> u64 {
+    frame as u64
+}

@@ -1,0 +1,9 @@
+//! Fixture: P001 true negative — the typed PteFlags API.
+
+pub fn trap(pte: Pte) -> Pte {
+    pte.set(PteFlags::RESERVED | PteFlags::NO_CACHE)
+}
+
+pub fn without_huge(pte: Pte) -> PteFlags {
+    pte.flags() & !PteFlags::HUGE
+}

@@ -1,0 +1,10 @@
+//! Fixture: P002 true positive — the raw-bits escape hatches outside
+//! vusion-mmu.
+
+pub fn decode(raw: u64) -> PteFlags {
+    PteFlags::from_bits(raw)
+}
+
+pub fn encode(leaf: &Leaf) -> u64 {
+    leaf.pte.to_bits()
+}

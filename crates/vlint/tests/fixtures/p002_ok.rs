@@ -1,0 +1,14 @@
+//! Fixture: P002 true negative — f64 bit-casts (snapshot wire format)
+//! and typed PTE accessors.
+
+pub fn save_f64(w: &mut Writer, v: f64) {
+    w.u64(v.to_bits());
+}
+
+pub fn load_f64(r: &mut Reader) -> f64 {
+    f64::from_bits(r.u64())
+}
+
+pub fn is_trapped(pte: Pte) -> bool {
+    pte.has(PteFlags::RESERVED)
+}

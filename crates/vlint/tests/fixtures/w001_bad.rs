@@ -1,0 +1,13 @@
+//! Fixture: W001 true positive — mutating frame contents without a
+//! write-generation bump leaves stale memoized hashes behind.
+
+pub struct PhysMemory {
+    data: Vec<[u8; 4096]>,
+    write_gen: Vec<u64>,
+}
+
+impl PhysMemory {
+    pub fn write_byte(&mut self, frame: usize, off: usize, v: u8) {
+        self.data[frame][off] = v;
+    }
+}

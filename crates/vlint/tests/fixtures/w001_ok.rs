@@ -1,0 +1,31 @@
+//! Fixture: W001 true negative — every path to frame contents bumps the
+//! generation, directly or through a local helper (checked transitively).
+
+pub struct PhysMemory {
+    data: Vec<[u8; 4096]>,
+    info: Vec<Info>,
+}
+
+pub struct Info {
+    pub write_gen: u64,
+}
+
+impl PhysMemory {
+    fn touch(&mut self, frame: usize) {
+        self.info[frame].write_gen = self.info[frame].write_gen.wrapping_add(1);
+    }
+
+    fn mark(&mut self, frame: usize) {
+        self.touch(frame);
+    }
+
+    pub fn write_byte(&mut self, frame: usize, off: usize, v: u8) {
+        self.data[frame][off] = v;
+        self.touch(frame);
+    }
+
+    pub fn zero_page(&mut self, frame: usize) {
+        self.data[frame] = [0; 4096];
+        self.mark(frame);
+    }
+}

@@ -1,0 +1,39 @@
+//! Whole-workspace properties: the JSON report is byte-stable across
+//! runs, and the committed tree stays clean against the baseline.
+
+use std::path::PathBuf;
+
+use vlint::{baseline_keys, scan_root, to_json};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn json_report_is_byte_stable() {
+    let root = workspace_root();
+    let first = scan_root(&root).expect("workspace scan succeeds");
+    let second = scan_root(&root).expect("workspace scan succeeds");
+    assert_eq!(
+        to_json(&first).into_bytes(),
+        to_json(&second).into_bytes(),
+        "two scans of the same tree must serialize identically"
+    );
+}
+
+#[test]
+fn workspace_is_clean_against_baseline() {
+    let root = workspace_root();
+    let findings = scan_root(&root).expect("workspace scan succeeds");
+    let baseline = std::fs::read_to_string(root.join("vlint.baseline.json"))
+        .map(|text| baseline_keys(&text))
+        .unwrap_or_default();
+    let fresh: Vec<_> = findings
+        .iter()
+        .filter(|f| baseline.binary_search(&f.key()).is_err())
+        .collect();
+    assert!(
+        fresh.is_empty(),
+        "unbaselined vlint findings in the tree:\n{fresh:#?}"
+    );
+}

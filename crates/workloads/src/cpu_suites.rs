@@ -151,7 +151,7 @@ mod tests {
     fn suites_have_twelve_benchmarks_each() {
         assert_eq!(spec_cpu2006().len(), 12);
         assert_eq!(parsec().len(), 12);
-        let names: std::collections::HashSet<_> = spec_cpu2006().iter().map(|p| p.name).collect();
+        let names: std::collections::BTreeSet<_> = spec_cpu2006().iter().map(|p| p.name).collect();
         assert_eq!(names.len(), 12);
     }
 

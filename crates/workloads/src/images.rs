@@ -333,7 +333,7 @@ mod tests {
         assert_eq!(c.len(), 44);
         let picked = c.pick(16, 1);
         assert_eq!(picked.len(), 16);
-        let families: std::collections::HashSet<u64> = picked.iter().map(|s| s.family).collect();
+        let families: std::collections::BTreeSet<u64> = picked.iter().map(|s| s.family).collect();
         assert!(families.len() > 2, "selection spans families");
     }
 

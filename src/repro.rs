@@ -181,6 +181,24 @@ pub fn machine_digest(m: &Machine) -> u64 {
     fnv1a64(&w.into_bytes())
 }
 
+/// Asserts that [`Machine::audit_frames`] comes back empty.
+///
+/// The chaos harness calls this from its `Drop` impl so *every* chaos
+/// test ends with a frame-accounting audit — refcounts vs. mappings,
+/// allocator vs. frame states — whether or not the test body remembered
+/// to check explicitly.
+///
+/// # Panics
+///
+/// Panics, listing the violations, if the audit finds any.
+pub fn assert_frames_sound(m: &Machine, label: &str) {
+    let violations = m.audit_frames();
+    assert!(
+        violations.is_empty(),
+        "frame audit failed at end of `{label}`: {violations:?}"
+    );
+}
+
 impl Bundle {
     /// Builds a bundle from a failing system. `cfg` is the *pre-adapt*
     /// config the run was built from (the same value handed to

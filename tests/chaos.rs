@@ -20,10 +20,10 @@
 //! Every plan is driven by the machine's master seed, so any failure here
 //! reproduces exactly from the printed plan name and seed.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vusion::mem::PageType;
 use vusion::prelude::*;
-use vusion::repro::{machine_digest, Bundle, KEEP_BUNDLES};
+use vusion::repro::{assert_frames_sound, machine_digest, Bundle, KEEP_BUNDLES};
 use vusion_rng::rngs::StdRng;
 use vusion_rng::{RngExt, SeedableRng};
 
@@ -85,7 +85,7 @@ fn plans() -> [(&'static str, FaultPlan); 9] {
 }
 
 /// Byte-exact oracle of what each (process, page) should contain.
-type Oracle = HashMap<(usize, u64), [u8; PAGE_SIZE as usize]>;
+type Oracle = BTreeMap<(usize, u64), [u8; PAGE_SIZE as usize]>;
 
 struct ChaosRun {
     sys: System<Box<dyn FusionPolicy>>,
@@ -256,6 +256,18 @@ impl ChaosRun {
                     ));
                 }
             }
+        }
+    }
+}
+
+impl Drop for ChaosRun {
+    /// Every chaos test ends with a frame-accounting audit, whether or
+    /// not its body called [`ChaosRun::check`] on the final state.
+    /// Skipped while unwinding so a failing assertion's own message (and
+    /// repro bundle) is not masked by a double panic.
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            assert_frames_sound(&self.sys.machine, &self.label);
         }
     }
 }
@@ -663,7 +675,7 @@ fn snapshot_restore_resumes_identically() {
 ///   serialized state.
 #[test]
 fn crash_recovery_restores_byte_identical_state() {
-    let mut fired_by_engine: HashMap<&'static str, u64> = HashMap::new();
+    let mut fired_by_engine: BTreeMap<&'static str, u64> = BTreeMap::new();
     for (ki, kind) in ENGINES.into_iter().enumerate() {
         for (si, site) in CrashSite::ALL.into_iter().enumerate() {
             for (ai, after) in [0u64, 3].into_iter().enumerate() {

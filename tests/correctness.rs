@@ -2,7 +2,7 @@
 //! observes in its memory, under any engine and any interleaving of
 //! accesses and scan passes.
 //!
-//! The oracle is a plain `HashMap<(pid, va), byte>` model of what was
+//! The oracle is a plain `BTreeMap<(pid, va), byte>` model of what was
 //! written; after arbitrary interleavings of writes, reads, scans,
 //! khugepaged passes and idle time, every byte must read back as the model
 //! predicts. Driven by the in-repo seeded PRNG: each test sweeps many
@@ -76,7 +76,7 @@ fn fusion_preserves_memory_semantics() {
         let ops: Vec<Op> = (0..n).map(|_| random_op(&mut rng)).collect();
         for kind in ENGINES {
             let (mut sys, pids) = build(kind);
-            let mut model = std::collections::HashMap::new();
+            let mut model = std::collections::BTreeMap::new();
             for op in &ops {
                 match *op {
                     Op::Write(p, pg, off, v) => {

@@ -94,7 +94,7 @@ fn sb_ptes_are_flagwise_identical() {
         sys.write_page(a, VirtAddr(BASE + i * PAGE_SIZE), &page(i as u8 + 100));
     }
     sys.force_scans(16);
-    let flags: Vec<u64> = (0..16u64)
+    let flags: Vec<PteFlags> = (0..16u64)
         .map(|i| {
             sys.machine
                 .leaf(a, VirtAddr(BASE + i * PAGE_SIZE))
