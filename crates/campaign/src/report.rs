@@ -1,0 +1,128 @@
+//! Campaign results: merged coverage, the failure ledger, and a
+//! canonical JSON rendering that is byte-identical for identical
+//! campaigns regardless of thread count.
+
+use std::path::{Path, PathBuf};
+
+use vusion::repro::{Bundle, BundleError};
+use vusion_obs::json::quote;
+use vusion_obs::Coverage;
+
+/// One reproducible failure, after shrinking.
+pub struct FailureReport {
+    /// Enumeration index of the run that failed.
+    pub index: usize,
+    /// The failing run's label (`engine/plan/crash/seed`).
+    pub label: String,
+    /// Name of the violated invariant.
+    pub invariant: String,
+    /// Stable failure signature (FNV of the invariant name); the shrunk
+    /// journal reproduces this exact signature.
+    pub signature: u64,
+    /// The violation message from the original run.
+    pub detail: String,
+    /// Journal length captured at failure time.
+    pub original_events: usize,
+    /// Journal length after delta-debugging.
+    pub shrunk_events: usize,
+    /// Restore+replay probes the shrinker spent.
+    pub replays: u64,
+    /// Whether the failure reproduced under replay at all. When false the
+    /// failure was flaky-by-construction (not journal-derived) and
+    /// `bundle` is the unshrunk original.
+    pub reproducible: bool,
+    /// The repro artifact (shrunk when `reproducible`).
+    pub bundle: Bundle,
+}
+
+impl FailureReport {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"index\":{},\"label\":{},\"invariant\":{},\"signature\":\"{:#018x}\",\
+             \"detail\":{},\"original_events\":{},\"shrunk_events\":{},\"replays\":{},\
+             \"reproducible\":{}}}",
+            self.index,
+            quote(&self.label),
+            quote(&self.invariant),
+            self.signature,
+            quote(&self.detail),
+            self.original_events,
+            self.shrunk_events,
+            self.replays,
+            self.reproducible
+        )
+    }
+}
+
+/// Everything a finished campaign produced.
+pub struct CampaignReport {
+    /// Work items executed.
+    pub runs: usize,
+    /// Merged coverage across every run (reduced in enumeration order).
+    pub coverage: Coverage,
+    /// Expected coverage keys that no run hit — the campaign's blind
+    /// spots (e.g. an armed crash site that never fired).
+    pub uncovered: Vec<String>,
+    /// Reproducible failures, in enumeration order, shrunk.
+    pub failures: Vec<FailureReport>,
+}
+
+impl CampaignReport {
+    /// True when any run violated an invariant.
+    pub fn has_failures(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// True when any failure both reproduced under replay and still
+    /// carries a journal the shrinker could not discard entirely.
+    pub fn has_reproducible_failures(&self) -> bool {
+        self.failures.iter().any(|f| f.reproducible)
+    }
+
+    /// Canonical JSON: sorted coverage keys, failures in enumeration
+    /// order, no timing or thread-count fields. Two campaigns over the
+    /// same axes produce byte-identical output — `diff` is the
+    /// regression test.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"runs\":{},", self.runs));
+        out.push_str("\"coverage\":");
+        out.push_str(&self.coverage.to_json());
+        out.push_str(",\"uncovered\":[");
+        for (i, key) in self.uncovered.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&quote(key));
+        }
+        out.push_str("],\"failures\":[");
+        for (i, f) in self.failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&f.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes the report (`coverage.json`) plus every failure's repro
+    /// bundle (`*.vbun`, rotated) into `dir`. Returns the paths written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn dump(&self, dir: &Path) -> Result<Vec<PathBuf>, BundleError> {
+        std::fs::create_dir_all(dir).map_err(BundleError::Io)?;
+        let mut written = Vec::new();
+        let report_path = dir.join("coverage.json");
+        let mut body = self.to_json();
+        body.push('\n');
+        std::fs::write(&report_path, body).map_err(BundleError::Io)?;
+        written.push(report_path);
+        for f in &self.failures {
+            written.push(f.bundle.dump_to(dir)?);
+        }
+        Ok(written)
+    }
+}

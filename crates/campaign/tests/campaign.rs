@@ -1,0 +1,201 @@
+//! Campaign orchestrator integration tests: thread-count invariance,
+//! failure capture + shrinking, coverage accounting, artifact dumping.
+
+use vusion::prelude::*;
+use vusion_campaign::{poison_invariant, Campaign, CampaignConfig, ScenarioShape};
+
+/// A small-but-real grid: 2 engines × 2 plans × 3 crash plans × 3 seeds.
+fn small_config() -> CampaignConfig {
+    CampaignConfig {
+        seed_base: 0x1000,
+        seeds: 3,
+        engines: vec![EngineKind::Ksm, EngineKind::VUsion],
+        plans: vec![
+            ("none".to_string(), FaultPlan::NONE),
+            ("every_3rd_alloc".to_string(), FaultPlan::every_nth_alloc(3)),
+        ],
+        crashes: vec![
+            ("none".to_string(), CrashPlan::NONE),
+            ("mid_scan".to_string(), CrashPlan::at(CrashSite::MidScan, 2)),
+            (
+                "mid_merge".to_string(),
+                CrashPlan::at(CrashSite::MidMerge, 1),
+            ),
+        ],
+        rounds: 2,
+        writes_per_round: 32,
+        shape: ScenarioShape::small(),
+        threads: 1,
+        shrink_budget: 256,
+    }
+}
+
+#[test]
+fn report_is_byte_identical_across_thread_counts() {
+    let mut cfg = small_config();
+    cfg.threads = 1;
+    let serial = Campaign::new(cfg.clone())
+        .expect("valid config")
+        .run()
+        .expect("campaign")
+        .to_json();
+
+    for threads in [2, 4, 7] {
+        cfg.threads = threads;
+        let parallel = Campaign::new(cfg.clone())
+            .expect("valid config")
+            .run()
+            .expect("campaign")
+            .to_json();
+        assert_eq!(
+            serial, parallel,
+            "report diverged between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn clean_campaign_reports_no_failures_and_counts_runs() {
+    let cfg = small_config();
+    let total = cfg.total_runs();
+    let report = Campaign::new(cfg)
+        .expect("valid config")
+        .run()
+        .expect("campaign");
+    assert_eq!(report.runs, total);
+    assert!(
+        !report.has_failures(),
+        "default invariants violated: {}",
+        report.to_json()
+    );
+    // Every engine and plan on the axis ran (36 total = 18 per engine,
+    // 18 per plan, 12 per crash cell).
+    assert_eq!(report.coverage.get("engine.ksm.runs"), 18);
+    assert_eq!(report.coverage.get("engine.vusion.runs"), 18);
+    assert_eq!(report.coverage.get("plan.none.runs"), 18);
+    assert_eq!(report.coverage.get("plan.every_3rd_alloc.runs"), 18);
+    // Invariants were actually checked, and the scanner actually scanned.
+    assert!(report.coverage.get("invariant.frame-audit.checks") >= 36);
+    assert!(report.coverage.get("span.scan_pass") > 0);
+    assert!(report.coverage.get("span.merge") > 0);
+    // Armed crash sites are declared even if some never fire.
+    assert!(report.coverage.covered("site.mid_scan.armed"));
+    assert_eq!(report.coverage.get("site.mid_scan.armed"), 12);
+    // The alloc-fault ladder injected something somewhere.
+    assert!(report.coverage.get("fault.alloc.injected") > 0);
+    // Journal event kinds were accounted.
+    assert!(report.coverage.get("journal.write") > 0);
+    assert!(report.coverage.get("journal.force_scans") > 0);
+}
+
+#[test]
+fn poison_invariant_failure_is_caught_shrunk_and_signature_stable() {
+    let mut cfg = small_config();
+    // One cell, one seed, heavy write pressure: the poison byte (value 7,
+    // drawn with probability 1/8 per write) lands in round one, so the
+    // captured journal is ≥ 33 events while the minimal repro is a single
+    // write.
+    cfg.engines = vec![EngineKind::VUsion];
+    cfg.plans = vec![("none".to_string(), FaultPlan::NONE)];
+    cfg.crashes = vec![("none".to_string(), CrashPlan::NONE)];
+    cfg.seeds = 1;
+    cfg.writes_per_round = 64;
+    let report = Campaign::new(cfg)
+        .expect("valid config")
+        .with_invariant(poison_invariant())
+        .run()
+        .expect("campaign");
+
+    assert!(report.has_failures(), "poison invariant never fired");
+    assert!(report.has_reproducible_failures());
+    let f = &report.failures[0];
+    assert_eq!(f.invariant, "poison-byte");
+    assert!(
+        f.reproducible,
+        "poison failure must replay from the journal"
+    );
+    assert!(
+        f.original_events >= 60,
+        "expected a full round of journaled churn, got {}",
+        f.original_events
+    );
+    assert!(
+        f.shrunk_events * 10 <= f.original_events,
+        "shrink left {} of {} events (> 10%)",
+        f.shrunk_events,
+        f.original_events
+    );
+    // The shrunk bundle replays green through the ordinary replay path...
+    let outcome = f.bundle.replay().expect("shrunk bundle replays");
+    assert!(outcome.reproduced(), "shrunk digest drifted");
+    // ...and the violation it reproduces is the *same* failure.
+    let sys = f.bundle.replay_with(&f.bundle.journal).expect("replay");
+    let inv = poison_invariant();
+    let shape = ScenarioShape::small();
+    assert!(
+        (inv.check)(&sys, &shape).is_some(),
+        "shrunk journal no longer violates the poison invariant"
+    );
+    assert_eq!(f.signature, inv.signature());
+    // Coverage recorded the failure too.
+    assert!(report.coverage.covered("failure.poison-byte"));
+}
+
+#[test]
+fn crash_sites_fire_and_uncovered_lists_real_gaps() {
+    let mut cfg = small_config();
+    cfg.seeds = 4;
+    let report = Campaign::new(cfg)
+        .expect("valid config")
+        .run()
+        .expect("campaign");
+    // With merge-heavy churn, an armed mid-scan crash at depth 2 fires.
+    assert!(
+        report.coverage.get("site.mid_scan.fired") > 0,
+        "armed mid-scan crashes never fired: {}",
+        report.to_json()
+    );
+    // Whatever is genuinely uncovered must be a key the config promised;
+    // covered promises must not be listed.
+    for key in &report.uncovered {
+        assert_eq!(report.coverage.get(key), 0, "{key} listed but covered");
+    }
+    assert!(!report.uncovered.iter().any(|k| k == "span.scan_pass"));
+}
+
+#[test]
+fn dump_writes_report_and_bundles() {
+    let dir = std::env::temp_dir().join(format!("vusion-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut cfg = small_config();
+    cfg.engines = vec![EngineKind::Ksm];
+    cfg.plans = vec![("none".to_string(), FaultPlan::NONE)];
+    cfg.crashes = vec![("none".to_string(), CrashPlan::NONE)];
+    cfg.seeds = 1;
+    cfg.writes_per_round = 64;
+    let report = Campaign::new(cfg)
+        .expect("valid config")
+        .with_invariant(poison_invariant())
+        .run()
+        .expect("campaign");
+    assert!(report.has_failures());
+
+    let written = report.dump(&dir).expect("dump");
+    assert!(written[0].ends_with("coverage.json"));
+    let body = std::fs::read_to_string(&written[0]).expect("read report");
+    assert_eq!(body.trim_end(), report.to_json());
+    assert!(written
+        .iter()
+        .skip(1)
+        .all(|p| p.extension().is_some_and(|e| e == "vbun")));
+    // The dumped bundle round-trips and replays.
+    let latest = vusion::repro::latest_bundle(&dir)
+        .expect("scan dir")
+        .expect("a bundle was dumped");
+    let bytes = std::fs::read(latest).expect("read bundle");
+    let bundle = vusion::repro::Bundle::from_bytes(&bytes).expect("decode");
+    assert!(bundle.replay().expect("replay").reproduced());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -55,6 +55,20 @@ impl EngineKind {
         }
     }
 
+    /// Stable machine-readable identifier (snake_case, no spaces) for
+    /// file names, coverage keys, and canonical JSON.
+    pub fn slug(self) -> &'static str {
+        match self {
+            EngineKind::NoFusion => "no_fusion",
+            EngineKind::Ksm => "ksm",
+            EngineKind::KsmCoa => "ksm_coa",
+            EngineKind::KsmZeroOnly => "ksm_zero_only",
+            EngineKind::Wpf => "wpf",
+            EngineKind::VUsion => "vusion",
+            EngineKind::VUsionThp => "vusion_thp",
+        }
+    }
+
     /// Adjusts a machine config for this engine (WPF needs the reserved
     /// linear region; the THP configurations enable huge demand paging).
     pub fn adapt_machine(self, mut cfg: MachineConfig) -> MachineConfig {
@@ -224,6 +238,14 @@ mod tests {
         ];
         let labels: std::collections::BTreeSet<_> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
+        let slugs: std::collections::BTreeSet<_> = kinds.iter().map(|k| k.slug()).collect();
+        assert_eq!(slugs.len(), kinds.len());
+        for slug in slugs {
+            assert!(
+                slug.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "slug {slug:?} is not snake_case"
+            );
+        }
     }
 
     #[test]

@@ -105,7 +105,92 @@ pub enum JournalEvent {
     ArmFaults,
 }
 
+/// The discriminant of a [`JournalEvent`], for introspection: shrinkers
+/// and coverage reports classify events without matching on payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum JournalEventKind {
+    /// `Spawn`.
+    Spawn,
+    /// `Mmap`.
+    Mmap,
+    /// `Madvise`.
+    Madvise,
+    /// `Read`.
+    Read,
+    /// `Write`.
+    Write,
+    /// `ReadPage`.
+    ReadPage,
+    /// `WritePage`.
+    WritePage,
+    /// `Prefetch`.
+    Prefetch,
+    /// `ForceScans`.
+    ForceScans,
+    /// `Idle`.
+    Idle,
+    /// `Hammer`.
+    Hammer,
+    /// `ArmFaults`.
+    ArmFaults,
+}
+
+impl JournalEventKind {
+    /// Every kind, in tag order (matches the wire tags in
+    /// [`JournalEvent::save`]).
+    pub const ALL: [JournalEventKind; 12] = [
+        JournalEventKind::Spawn,
+        JournalEventKind::Mmap,
+        JournalEventKind::Madvise,
+        JournalEventKind::Read,
+        JournalEventKind::Write,
+        JournalEventKind::ReadPage,
+        JournalEventKind::WritePage,
+        JournalEventKind::Prefetch,
+        JournalEventKind::ForceScans,
+        JournalEventKind::Idle,
+        JournalEventKind::Hammer,
+        JournalEventKind::ArmFaults,
+    ];
+
+    /// Stable lowercase label (coverage keys, report rows).
+    pub fn label(self) -> &'static str {
+        match self {
+            JournalEventKind::Spawn => "spawn",
+            JournalEventKind::Mmap => "mmap",
+            JournalEventKind::Madvise => "madvise",
+            JournalEventKind::Read => "read",
+            JournalEventKind::Write => "write",
+            JournalEventKind::ReadPage => "read_page",
+            JournalEventKind::WritePage => "write_page",
+            JournalEventKind::Prefetch => "prefetch",
+            JournalEventKind::ForceScans => "force_scans",
+            JournalEventKind::Idle => "idle",
+            JournalEventKind::Hammer => "hammer",
+            JournalEventKind::ArmFaults => "arm_faults",
+        }
+    }
+}
+
 impl JournalEvent {
+    /// This event's discriminant.
+    pub fn kind(&self) -> JournalEventKind {
+        match self {
+            Self::Spawn { .. } => JournalEventKind::Spawn,
+            Self::Mmap { .. } => JournalEventKind::Mmap,
+            Self::Madvise { .. } => JournalEventKind::Madvise,
+            Self::Read { .. } => JournalEventKind::Read,
+            Self::Write { .. } => JournalEventKind::Write,
+            Self::ReadPage { .. } => JournalEventKind::ReadPage,
+            Self::WritePage { .. } => JournalEventKind::WritePage,
+            Self::Prefetch { .. } => JournalEventKind::Prefetch,
+            Self::ForceScans { .. } => JournalEventKind::ForceScans,
+            Self::Idle { .. } => JournalEventKind::Idle,
+            Self::Hammer { .. } => JournalEventKind::Hammer,
+            Self::ArmFaults => JournalEventKind::ArmFaults,
+        }
+    }
+
     /// Serializes one event.
     pub fn save(&self, w: &mut Writer) {
         match self {
@@ -305,6 +390,18 @@ mod tests {
         let back = JournalEvent::load_all(&mut r).expect("load");
         assert_eq!(back, events);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn kind_labels_are_distinct_and_exhaustive() {
+        let mut labels: Vec<&str> = JournalEventKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), JournalEventKind::ALL.len());
+        // Every event maps to a kind listed in ALL.
+        let ev = JournalEvent::ForceScans { n: 1 };
+        assert!(JournalEventKind::ALL.contains(&ev.kind()));
+        assert_eq!(ev.kind().label(), "force_scans");
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod process;
 pub mod system;
 
 pub use clock::{CostModel, SimClock};
-pub use journal::JournalEvent;
+pub use journal::{JournalEvent, JournalEventKind};
 pub use khugepaged::{Khugepaged, KhugepagedStats};
 pub use machine::{AccessKind, FaultReason, Machine, MachineConfig, MachineStats, PageFault, Pid};
 pub use policy::{FusionPolicy, NoFusion, ScanReport};

@@ -5,8 +5,8 @@ use vusion_cache::{CacheOutcome, Llc, LlcConfig};
 use vusion_dram::{DramConfig, FlipEvent, RowBufferOutcome, RowBuffers, RowhammerModel};
 use vusion_mem::{
     BuddyAllocator, CrashInjector, CrashPlan, CrashSite, FaultInjector, FaultPlan, FrameAllocator,
-    FrameId, FrameState, MmError, PageType, PhysAddr, PhysMemory, VirtAddr, HUGE_PAGE_FRAMES,
-    HUGE_PAGE_SIZE, PAGE_SIZE,
+    FrameId, FrameState, InjectionStats, MmError, PageType, PhysAddr, PhysMemory, VirtAddr,
+    HUGE_PAGE_FRAMES, HUGE_PAGE_SIZE, PAGE_SIZE,
 };
 use vusion_mmu::{AddressSpace, LeafInfo, Pte, PteFlags, Tlb, TlbEntry, Vma, VmaBacking};
 use vusion_obs::{InstantKind, Obs, SpanKind};
@@ -474,6 +474,19 @@ impl Machine {
         s.injected_faults =
             self.buddy.injection_stats().total() + self.scan_injector.stats().total();
         s
+    }
+
+    /// Per-kind injection counters, combined across both injectors (the
+    /// allocator's and the scanner's). Campaign coverage reports use this
+    /// to show *which* fault kinds actually fired, not just how many.
+    pub fn injection_breakdown(&self) -> InjectionStats {
+        let a = self.buddy.injection_stats();
+        let b = self.scan_injector.stats();
+        InjectionStats {
+            injected_allocs: a.injected_allocs + b.injected_allocs,
+            injected_checksums: a.injected_checksums + b.injected_checksums,
+            injected_bitflips: a.injected_bitflips + b.injected_bitflips,
+        }
     }
 
     /// Physical memory (read-only).

@@ -12,9 +12,41 @@
 //! Behavior principle demands that callers take the same degradation path
 //! either way, and the tests verify exactly that.
 
+use std::fmt;
+
 use vusion_rng::rngs::StdRng;
 use vusion_rng::{RngExt, SeedableRng};
 use vusion_snapshot::{Reader, Snapshot, SnapshotError, Writer};
+
+/// A [`FaultPlan`] field was given a value that cannot describe a real
+/// injection plan (a probability outside `[0, 1]`, or NaN).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlanError {
+    /// A probability field is not a finite value in `[0, 1]`.
+    InvalidProbability {
+        /// Which field was rejected.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidProbability { field, value } => {
+                write!(f, "fault plan: {field} = {value} is not in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// Whether `p` is a usable probability: finite and in `[0, 1]`.
+fn valid_prob(p: f64) -> bool {
+    p.is_finite() && (0.0..=1.0).contains(&p)
+}
 
 /// Which faults to inject, and how often. The default plan injects
 /// nothing.
@@ -55,12 +87,36 @@ impl FaultPlan {
         }
     }
 
-    /// Fail each allocation with probability `p`.
-    pub fn alloc_prob(p: f64) -> Self {
-        FaultPlan {
+    /// Fail each allocation with probability `p`. Rejects `p` outside
+    /// `[0, 1]` (and NaN) with a typed error rather than silently
+    /// producing a degenerate plan that clamps at injection time.
+    pub fn alloc_prob(p: f64) -> Result<Self, FaultPlanError> {
+        if !valid_prob(p) {
+            return Err(FaultPlanError::InvalidProbability {
+                field: "alloc_fail_prob",
+                value: p,
+            });
+        }
+        Ok(FaultPlan {
             alloc_fail_prob: p,
             ..Self::NONE
+        })
+    }
+
+    /// Checks every probability field: finite and in `[0, 1]`. Plans
+    /// built by struct literal should be validated before arming; the
+    /// constructors ([`Self::alloc_prob`]) already are.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        for (field, value) in [
+            ("alloc_fail_prob", self.alloc_fail_prob),
+            ("checksum_corrupt_prob", self.checksum_corrupt_prob),
+            ("scan_bitflip_prob", self.scan_bitflip_prob),
+        ] {
+            if !valid_prob(value) {
+                return Err(FaultPlanError::InvalidProbability { field, value });
+            }
         }
+        Ok(())
     }
 
     /// Whether this plan injects anything at all.
@@ -69,6 +125,59 @@ impl FaultPlan {
             || self.alloc_fail_prob > 0.0
             || self.checksum_corrupt_prob > 0.0
             || self.scan_bitflip_prob > 0.0
+    }
+
+    /// The canonical campaign plan ladder: each injector alone and in
+    /// combination, light and heavy — the enumeration DST campaigns sweep
+    /// against every engine, crash site and seed. Every plan validates.
+    pub fn campaign_ladder() -> Vec<(&'static str, FaultPlan)> {
+        vec![
+            ("none", FaultPlan::NONE),
+            ("every_5th_alloc", FaultPlan::every_nth_alloc(5)),
+            (
+                "alloc_p15",
+                FaultPlan {
+                    alloc_fail_prob: 0.15,
+                    ..FaultPlan::NONE
+                },
+            ),
+            (
+                "scan_side_p20",
+                FaultPlan {
+                    checksum_corrupt_prob: 0.20,
+                    scan_bitflip_prob: 0.20,
+                    ..FaultPlan::NONE
+                },
+            ),
+            (
+                "mixed_heavy",
+                FaultPlan {
+                    alloc_every_nth: 7,
+                    alloc_fail_prob: 0.10,
+                    checksum_corrupt_prob: 0.10,
+                    scan_bitflip_prob: 0.10,
+                },
+            ),
+        ]
+    }
+
+    /// Deterministic plan mutation: perturbs one field, drawn from `rng`,
+    /// into a new *valid* plan. Campaigns use this to grow the plan space
+    /// beyond the hand-written ladder while staying exactly reproducible
+    /// from the seed that drove the mutation.
+    pub fn mutated(self, rng: &mut StdRng) -> FaultPlan {
+        let mut plan = self;
+        // Probabilities are drawn on a coarse lattice (multiples of 0.05)
+        // so mutated plans have short, printable descriptions and two
+        // mutations can collide back to a previously seen plan.
+        let lattice = |rng: &mut StdRng| f64::from(rng.random_range(0..=10u32)) * 0.05;
+        match rng.random_range(0..4u32) {
+            0 => plan.alloc_every_nth = rng.random_range(0..12u64),
+            1 => plan.alloc_fail_prob = lattice(rng),
+            2 => plan.checksum_corrupt_prob = lattice(rng),
+            _ => plan.scan_bitflip_prob = lattice(rng),
+        }
+        plan
     }
 
     /// Serializes the plan into a snapshot payload.
@@ -116,7 +225,20 @@ impl CrashSite {
         CrashSite::MidRerandomization,
     ];
 
-    fn tag(self) -> u8 {
+    /// Stable lowercase label (coverage keys, report rows).
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashSite::MidScan => "mid_scan",
+            CrashSite::MidMerge => "mid_merge",
+            CrashSite::MidUnmerge => "mid_unmerge",
+            CrashSite::MidRerandomization => "mid_rerandomization",
+        }
+    }
+
+    /// Snapshot wire tag. Public so the exhaustiveness test (and any
+    /// external tooling) can assert that every variant round-trips: a new
+    /// crash site cannot ship without wire support.
+    pub fn tag(self) -> u8 {
         match self {
             CrashSite::MidScan => 0,
             CrashSite::MidMerge => 1,
@@ -125,7 +247,8 @@ impl CrashSite {
         }
     }
 
-    fn from_tag(t: u8) -> Result<Self, SnapshotError> {
+    /// Inverse of [`Self::tag`]; rejects unknown tags.
+    pub fn from_tag(t: u8) -> Result<Self, SnapshotError> {
         Ok(match t {
             0 => CrashSite::MidScan,
             1 => CrashSite::MidMerge,
@@ -403,8 +526,140 @@ mod tests {
     }
 
     #[test]
+    fn alloc_prob_rejects_degenerate_probabilities() {
+        // Regression: out-of-range probabilities used to be accepted and
+        // only clamped (or not) deep inside the RNG at injection time.
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = FaultPlan::alloc_prob(bad).expect_err("must reject");
+            assert!(
+                matches!(
+                    err,
+                    FaultPlanError::InvalidProbability {
+                        field: "alloc_fail_prob",
+                        ..
+                    }
+                ),
+                "{bad}: {err}"
+            );
+            assert!(err.to_string().contains("alloc_fail_prob"), "{err}");
+        }
+        for ok in [0.0, 0.5, 1.0] {
+            let plan = FaultPlan::alloc_prob(ok).expect("in-range probability");
+            assert_eq!(plan.alloc_fail_prob, ok);
+            plan.validate().expect("constructed plans validate");
+        }
+    }
+
+    #[test]
+    fn validate_checks_every_probability_field() {
+        FaultPlan::NONE.validate().expect("NONE is valid");
+        for (field, plan) in [
+            (
+                "checksum_corrupt_prob",
+                FaultPlan {
+                    checksum_corrupt_prob: 2.0,
+                    ..FaultPlan::NONE
+                },
+            ),
+            (
+                "scan_bitflip_prob",
+                FaultPlan {
+                    scan_bitflip_prob: -1.0,
+                    ..FaultPlan::NONE
+                },
+            ),
+        ] {
+            let err = plan.validate().expect_err("must reject");
+            assert_eq!(
+                err,
+                match err {
+                    FaultPlanError::InvalidProbability { value, .. } =>
+                        FaultPlanError::InvalidProbability { field, value },
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn crash_site_tags_round_trip_exhaustively() {
+        // Compile-time exhaustiveness: adding a CrashSite variant breaks
+        // this match, forcing ALL (and the wire tags) to be extended.
+        fn counted(site: CrashSite) -> usize {
+            match site {
+                CrashSite::MidScan
+                | CrashSite::MidMerge
+                | CrashSite::MidUnmerge
+                | CrashSite::MidRerandomization => 1,
+            }
+        }
+        assert_eq!(
+            CrashSite::ALL.iter().map(|&s| counted(s)).sum::<usize>(),
+            CrashSite::ALL.len()
+        );
+        // Every variant survives tag()/from_tag(), tags are dense and
+        // unique, and labels are distinct (coverage keys rely on this).
+        let mut tags = Vec::new();
+        let mut labels = Vec::new();
+        for site in CrashSite::ALL {
+            assert_eq!(CrashSite::from_tag(site.tag()).expect("round trip"), site);
+            tags.push(site.tag());
+            labels.push(site.label());
+        }
+        let mut sorted = tags.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), CrashSite::ALL.len(), "duplicate wire tags");
+        assert_eq!(*sorted.last().expect("nonempty") as usize + 1, sorted.len());
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), CrashSite::ALL.len(), "duplicate labels");
+        // Tags beyond the dense range are rejected, never mapped.
+        assert!(CrashSite::from_tag(CrashSite::ALL.len() as u8).is_err());
+        assert!(CrashSite::from_tag(0xfe).is_err());
+    }
+
+    #[test]
+    fn campaign_ladder_plans_all_validate() {
+        let ladder = FaultPlan::campaign_ladder();
+        assert!(ladder.len() >= 4, "campaigns need at least 4 plans");
+        let mut names: Vec<&str> = ladder.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ladder.len(), "duplicate plan names");
+        for (name, plan) in &ladder {
+            plan.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        // The ladder is not all-inert: at least one plan per injector.
+        assert!(ladder.iter().any(|(_, p)| p.alloc_every_nth > 0));
+        assert!(ladder.iter().any(|(_, p)| p.alloc_fail_prob > 0.0));
+        assert!(ladder.iter().any(|(_, p)| p.checksum_corrupt_prob > 0.0));
+        assert!(ladder.iter().any(|(_, p)| p.scan_bitflip_prob > 0.0));
+    }
+
+    #[test]
+    fn mutation_is_deterministic_and_stays_valid() {
+        let mut a = StdRng::seed_from_u64(0x917a);
+        let mut b = StdRng::seed_from_u64(0x917a);
+        let mut pa = FaultPlan::NONE;
+        let mut pb = FaultPlan::NONE;
+        let mut changed = 0;
+        for _ in 0..64 {
+            let next_a = pa.mutated(&mut a);
+            let next_b = pb.mutated(&mut b);
+            assert_eq!(next_a, next_b, "same seed must mutate identically");
+            next_a.validate().expect("mutations stay valid");
+            if next_a != pa {
+                changed += 1;
+            }
+            pa = next_a;
+            pb = next_b;
+        }
+        assert!(changed > 16, "mutation almost never changes the plan");
+    }
+
+    #[test]
     fn probability_injection_is_deterministic_per_seed() {
-        let plan = FaultPlan::alloc_prob(0.3);
+        let plan = FaultPlan::alloc_prob(0.3).expect("valid probability");
         let mut a = FaultInjector::new(plan, 9);
         let mut b = FaultInjector::new(plan, 9);
         let fa: Vec<bool> = (0..200).map(|_| a.should_fail_alloc()).collect();
@@ -455,7 +710,7 @@ mod tests {
 
     #[test]
     fn injector_state_round_trips() {
-        let mut inj = FaultInjector::new(FaultPlan::alloc_prob(0.4), 11);
+        let mut inj = FaultInjector::new(FaultPlan::alloc_prob(0.4).expect("valid"), 11);
         for _ in 0..37 {
             let _ = inj.should_fail_alloc();
         }

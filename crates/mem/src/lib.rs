@@ -35,7 +35,9 @@ pub use addr::{FrameId, PhysAddr, VirtAddr, HUGE_PAGE_FRAMES, HUGE_PAGE_SIZE, PA
 pub use buddy::{BuddyAllocator, BuddyStats};
 pub use deferred::{DeferredFreeQueue, DeferredOp};
 pub use error::MmError;
-pub use fault::{CrashInjector, CrashPlan, CrashSite, FaultInjector, FaultPlan, InjectionStats};
+pub use fault::{
+    CrashInjector, CrashPlan, CrashSite, FaultInjector, FaultPlan, FaultPlanError, InjectionStats,
+};
 pub use frame::{FrameInfo, FrameState, PageType};
 pub use linear::LinearAllocator;
 pub use phys::{content_hash, FrameInfoMut, PhysMemory};

@@ -139,9 +139,9 @@ fn random_pool_exclusion_under_injected_backing_failures() {
         FaultPlan::every_nth_alloc(2),
         FaultPlan::every_nth_alloc(3),
         FaultPlan::every_nth_alloc(7),
-        FaultPlan::alloc_prob(0.5),
-        FaultPlan::alloc_prob(0.9),
-        FaultPlan::alloc_prob(1.0),
+        FaultPlan::alloc_prob(0.5).expect("valid"),
+        FaultPlan::alloc_prob(0.9).expect("valid"),
+        FaultPlan::alloc_prob(1.0).expect("valid"),
     ];
     for (pi, plan) in plans.into_iter().enumerate() {
         for seed in 0..SEEDS {

@@ -1,0 +1,192 @@
+//! Coverage counters: what a test campaign actually exercised.
+//!
+//! A [`Coverage`] is a sorted multiset of dotted keys (`site.mid_merge.fired`,
+//! `span.scan_pass`, `fault.alloc.injected`, ...) counting how often each
+//! coverage point was hit. Campaign workers each build one per run;
+//! the orchestrator merges them in a deterministic order and renders one
+//! canonical JSON document, so two campaigns over the same work list are
+//! byte-identical regardless of thread count — the same diffability
+//! contract as [`crate::MetricsSnapshot`].
+//!
+//! The inverse query matters as much as the counts: [`Coverage::missing`]
+//! names the expected coverage points that never fired, which is how a
+//! campaign report says what it did *not* test.
+
+use std::collections::BTreeMap;
+
+use crate::json::quote;
+
+/// A sorted map of coverage-point keys to hit counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Coverage {
+    counters: BTreeMap<String, u64>,
+}
+
+impl Coverage {
+    /// An empty coverage map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one hit of `key`.
+    pub fn mark(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Records `n` hits of `key`. `n == 0` still registers the key (with
+    /// count zero), which lets a run declare a point as *known but unhit*
+    /// so it shows up in the report rather than silently not existing.
+    pub fn add(&mut self, key: &str, n: u64) {
+        match self.counters.get_mut(key) {
+            Some(v) => *v += n,
+            None => {
+                self.counters.insert(key.to_string(), n);
+            }
+        }
+    }
+
+    /// The hit count for `key` (0 when never recorded).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Whether `key` was hit at least once.
+    pub fn covered(&self, key: &str) -> bool {
+        self.get(key) > 0
+    }
+
+    /// Folds `other` into `self` (key-wise addition). Merging is
+    /// commutative and associative, but campaign orchestrators still merge
+    /// in work-item order so intermediate logs are stable too.
+    pub fn merge(&mut self, other: &Coverage) {
+        for (k, &v) in &other.counters {
+            self.add(k, v);
+        }
+    }
+
+    /// Number of distinct keys recorded.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Iterates `(key, count)` in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// The subset of `expected` keys that never fired (count zero or
+    /// absent), sorted and deduplicated — the campaign's blind spots.
+    pub fn missing<I, S>(&self, expected: I) -> Vec<String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out: Vec<String> = expected
+            .into_iter()
+            .filter(|k| !self.covered(k.as_ref()))
+            .map(|k| k.as_ref().to_string())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Renders the map as canonical JSON: one object, keys sorted,
+    /// byte-identical for equal logical content.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&quote(k));
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_add_get() {
+        let mut c = Coverage::new();
+        c.mark("a");
+        c.mark("a");
+        c.add("b", 5);
+        c.add("z", 0);
+        assert_eq!(c.get("a"), 2);
+        assert_eq!(c.get("b"), 5);
+        assert_eq!(c.get("z"), 0);
+        assert_eq!(c.get("absent"), 0);
+        assert!(c.covered("a"));
+        assert!(!c.covered("z"), "zero-count keys are declared, not covered");
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn merge_adds_keywise() {
+        let mut a = Coverage::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        let mut b = Coverage::new();
+        b.add("y", 3);
+        b.add("z", 4);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 1);
+        assert_eq!(a.get("y"), 5);
+        assert_eq!(a.get("z"), 4);
+    }
+
+    #[test]
+    fn merge_order_does_not_change_json() {
+        let mut parts = Vec::new();
+        for i in 0..4u64 {
+            let mut c = Coverage::new();
+            c.add("shared", i);
+            c.add(&format!("only.{i}"), 1);
+            parts.push(c);
+        }
+        let mut fwd = Coverage::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Coverage::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd.to_json(), rev.to_json());
+    }
+
+    #[test]
+    fn missing_lists_unhit_expected_keys() {
+        let mut c = Coverage::new();
+        c.mark("site.mid_scan.fired");
+        c.add("site.mid_merge.fired", 0);
+        let miss = c.missing([
+            "site.mid_scan.fired",
+            "site.mid_merge.fired",
+            "site.mid_unmerge.fired",
+        ]);
+        assert_eq!(miss, vec!["site.mid_merge.fired", "site.mid_unmerge.fired"]);
+    }
+
+    #[test]
+    fn json_is_sorted_and_escaped() {
+        let mut c = Coverage::new();
+        c.add("b", 2);
+        c.add("a", 1);
+        assert_eq!(c.to_json(), "{\"a\":1,\"b\":2}");
+    }
+}

@@ -15,6 +15,9 @@
 //!   snapshot-able to JSON and diffable between two points in a run.
 //! * [`Profile`] — spans rolled up into a per-engine, per-phase
 //!   cycle-attribution report (the Table 5 breakdown).
+//! * [`Coverage`] — sorted hit counters for test-campaign coverage
+//!   points (crash sites fired, span kinds exercised, fault kinds
+//!   injected), merged deterministically and rendered as canonical JSON.
 //!
 //! ## Zero cost when disabled
 //!
@@ -32,11 +35,13 @@
 //! metrics JSON) iterates sorted containers — two runs with the same seed
 //! and workload produce byte-identical artifacts, which tests assert.
 
+pub mod coverage;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod trace;
 
+pub use coverage::Coverage;
 pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use profile::{PhaseStat, Profile};
 pub use trace::{InstantKind, Phase, SpanKind, TraceEvent, Tracer, DEFAULT_CAPACITY};

@@ -88,6 +88,7 @@ const DETERMINISM_SCOPE: &[&str] = &[
     "crates/core/src/",
     "crates/obs/src/",
     "crates/snapshot/src/",
+    "crates/campaign/src/",
 ];
 
 /// Simulation crates under the error-policy rules.
@@ -100,6 +101,7 @@ const ERROR_POLICY_SCOPE: &[&str] = &[
     "crates/dram/src/",
     "crates/obs/src/",
     "crates/snapshot/src/",
+    "crates/campaign/src/",
 ];
 
 /// Maps a workspace-relative path to the rule families that police it.

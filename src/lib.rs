@@ -69,10 +69,10 @@ pub mod prelude {
         FusionPolicy, Khugepaged, Machine, MachineConfig, NoFusion, Pid, System, SystemReport,
     };
     pub use vusion_mem::{
-        CrashPlan, CrashSite, FaultPlan, FrameId, MmError, PhysAddr, VirtAddr, HUGE_PAGE_SIZE,
-        PAGE_SIZE,
+        CrashPlan, CrashSite, FaultPlan, FaultPlanError, FrameId, MmError, PhysAddr, VirtAddr,
+        HUGE_PAGE_SIZE, PAGE_SIZE,
     };
     pub use vusion_mmu::{GuestTag, Protection, Pte, PteFlags, Vma};
-    pub use vusion_obs::{InstantKind, MetricsSnapshot, Profile, SpanKind, Tracer};
+    pub use vusion_obs::{Coverage, InstantKind, MetricsSnapshot, Profile, SpanKind, Tracer};
     pub use vusion_workloads::images::{ImageCatalog, ImageSpec};
 }

@@ -88,6 +88,28 @@ impl ReplayOutcome {
     }
 }
 
+/// What [`Bundle::shrink`] produced: the minimal bundle plus the search's
+/// bookkeeping.
+#[derive(Clone)]
+pub struct ShrinkOutcome {
+    /// Events in the journal before shrinking.
+    pub original_len: usize,
+    /// Restore+replay probes the search spent.
+    pub replays: u64,
+    /// The failure signature the shrunk journal still reproduces.
+    pub signature: u64,
+    /// The bundle carrying the minimal journal (digest recomputed so it
+    /// replays green through [`Bundle::replay`]).
+    pub shrunk: Bundle,
+}
+
+impl ShrinkOutcome {
+    /// Events remaining after shrinking.
+    pub fn shrunk_len(&self) -> usize {
+        self.shrunk.journal.len()
+    }
+}
+
 /// Loading or dumping a bundle failed.
 #[derive(Debug)]
 pub enum BundleError {
@@ -261,18 +283,119 @@ impl Bundle {
     /// crash plan if the original run had armed it, replay the journal,
     /// digest the result.
     pub fn replay(&self) -> Result<ReplayOutcome, SnapshotError> {
-        let mut sys = self.build_system();
-        sys.restore(&self.snapshot)?;
-        if self.crashes_armed {
-            sys.machine.arm_crashes();
-        }
-        sys.replay(&self.journal);
+        let sys = self.replay_with(&self.journal)?;
         Ok(ReplayOutcome {
             digest_expected: self.digest,
             digest_replayed: machine_digest(&sys.machine),
             audit_violations: sys.machine.audit_frames(),
             crashes_fired: sys.machine.crashes_fired(),
         })
+    }
+
+    /// Like [`Self::replay`], but re-executes an arbitrary journal —
+    /// typically a subset of `self.journal` proposed by the shrinker —
+    /// and hands back the whole replayed system so the caller can run any
+    /// invariant over it, not just the digest comparison.
+    pub fn replay_with(
+        &self,
+        journal: &[JournalEvent],
+    ) -> Result<System<Box<dyn FusionPolicy>>, SnapshotError> {
+        let mut sys = self.build_system();
+        sys.restore(&self.snapshot)?;
+        if self.crashes_armed {
+            sys.machine.arm_crashes();
+        }
+        sys.replay(journal);
+        Ok(sys)
+    }
+
+    /// Delta-debugs the journal down to a minimal failing core.
+    ///
+    /// `fails` inspects a replayed system and returns `Some(signature)`
+    /// when it exhibits the failure (the signature identifies *which*
+    /// failure — e.g. a hash of the violated invariant's name), `None`
+    /// when it is healthy. The loop is the classic ddmin chunk
+    /// elimination: partition the journal into `n` chunks, try dropping
+    /// each chunk, keep any drop that still reproduces the *same*
+    /// signature, double the granularity when nothing can be dropped.
+    ///
+    /// Returns `Ok(None)` when the full journal does not reproduce the
+    /// failure (nothing to shrink — the failure is not journal-derived).
+    /// Otherwise returns a [`ShrinkOutcome`] whose bundle carries the
+    /// minimal journal and a recomputed digest, so `shrunk.replay()`
+    /// reports `reproduced()` like any hand-captured bundle.
+    ///
+    /// `max_replays` bounds the search (each probe is a full
+    /// restore+replay); the loop stops early and keeps its best-so-far
+    /// journal when the budget runs out.
+    pub fn shrink<F>(
+        &self,
+        mut fails: F,
+        max_replays: u64,
+    ) -> Result<Option<ShrinkOutcome>, SnapshotError>
+    where
+        F: FnMut(&System<Box<dyn FusionPolicy>>) -> Option<u64>,
+    {
+        let mut replays: u64 = 0;
+        let mut probe =
+            |journal: &[JournalEvent], replays: &mut u64| -> Result<Option<u64>, SnapshotError> {
+                *replays += 1;
+                let sys = self.replay_with(journal)?;
+                Ok(fails(&sys))
+            };
+        let Some(target) = probe(&self.journal, &mut replays)? else {
+            return Ok(None);
+        };
+        let mut current = self.journal.clone();
+        let mut n: usize = 2;
+        'outer: while current.len() >= 2 && replays < max_replays {
+            let chunk = current.len().div_ceil(n);
+            let mut start = 0;
+            while start < current.len() {
+                let end = (start + chunk).min(current.len());
+                let candidate: Vec<JournalEvent> = current[..start]
+                    .iter()
+                    .chain(current[end..].iter())
+                    .cloned()
+                    .collect();
+                if candidate.len() < current.len()
+                    && probe(&candidate, &mut replays)? == Some(target)
+                {
+                    // The dropped chunk was irrelevant: keep the smaller
+                    // journal and re-partition it coarsely again.
+                    current = candidate;
+                    n = 2;
+                    continue 'outer;
+                }
+                if replays >= max_replays {
+                    break 'outer;
+                }
+                start = end;
+            }
+            if n >= current.len() {
+                break;
+            }
+            n = (n * 2).min(current.len());
+        }
+        // Rebuild a digest-stable bundle around the minimal journal so it
+        // replays green through the ordinary `Bundle::replay` contract.
+        let sys = self.replay_with(&current)?;
+        let mut shrunk = self.clone();
+        shrunk.digest = machine_digest(&sys.machine);
+        shrunk.note = format!(
+            "{} (shrunk from {} to {} events)",
+            self.note,
+            self.journal.len(),
+            current.len()
+        );
+        shrunk.journal = current;
+        shrunk.trace_tail = String::new();
+        Ok(Some(ShrinkOutcome {
+            original_len: self.journal.len(),
+            replays,
+            signature: target,
+            shrunk,
+        }))
     }
 
     /// Serializes the bundle into a sealed, checksummed byte vector.
@@ -390,7 +513,7 @@ fn bundles_oldest_first(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
-        if path.extension().is_some_and(|e| e == "vbun") {
+        if entry.file_type()?.is_file() && path.extension().is_some_and(|e| e == "vbun") {
             let modified = entry
                 .metadata()?
                 .modified()

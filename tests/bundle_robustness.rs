@@ -1,0 +1,107 @@
+//! Repro bundles are loaded from disk — often from a CI artifact that
+//! survived an upload, a download, and a workstation copy. Decoding must
+//! therefore be total: truncated, bit-flipped, or plain wrong input
+//! yields a typed error, never a panic or a silently-wrong bundle.
+
+use vusion::prelude::*;
+use vusion::repro::{latest_bundle, Bundle};
+
+/// A real captured bundle to mutate.
+fn sample_bundle() -> Bundle {
+    let cfg = MachineConfig::test_small().with_seed(0xb0b);
+    let mut sys = EngineKind::VUsion.build_system(cfg);
+    let pid = sys.machine.spawn("p0").expect("spawn");
+    sys.machine
+        .mmap(pid, Vma::anon(VirtAddr(0x10000), 4, Protection::rw()));
+    sys.machine.madvise_mergeable(pid, VirtAddr(0x10000), 4);
+    sys.write_page(pid, VirtAddr(0x10000), &[3u8; PAGE_SIZE as usize]);
+    sys.machine.enable_journal();
+    sys.machine.clear_journal();
+    let snap = sys.snapshot();
+    sys.write_page(pid, VirtAddr(0x11000), &[5u8; PAGE_SIZE as usize]);
+    sys.force_scans(2);
+    Bundle::capture(EngineKind::VUsion, &cfg, snap, &sys, false, "test", "none")
+}
+
+#[test]
+fn round_trip_is_lossless() {
+    let bundle = sample_bundle();
+    let bytes = bundle.to_bytes();
+    let back = Bundle::from_bytes(&bytes).expect("round trip");
+    assert_eq!(back.seed, bundle.seed);
+    assert_eq!(back.digest, bundle.digest);
+    assert_eq!(back.journal.len(), bundle.journal.len());
+    assert_eq!(back.snapshot, bundle.snapshot);
+    assert!(back.replay().expect("replay").reproduced());
+}
+
+#[test]
+fn truncated_input_errors_at_every_length() {
+    let bytes = sample_bundle().to_bytes();
+    // Every strict prefix must fail cleanly — exhaustive over the header
+    // region, sampled across the (large) snapshot body.
+    for len in (0..bytes.len().min(256)).chain((256..bytes.len()).step_by(97)) {
+        assert!(
+            Bundle::from_bytes(&bytes[..len]).is_err(),
+            "truncation to {len} bytes decoded successfully"
+        );
+    }
+}
+
+#[test]
+fn bit_flips_never_panic_and_never_decode() {
+    let bytes = sample_bundle().to_bytes();
+    // Flip one bit at a spread of positions covering the sealed header,
+    // the config fields, the snapshot, and the journal; the seal's
+    // checksum must reject every one of them.
+    for pos in (0..bytes.len()).step_by(61) {
+        for bit in [0, 3, 7] {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 1 << bit;
+            assert!(
+                Bundle::from_bytes(&corrupt).is_err(),
+                "bit {bit} of byte {pos} flipped but the bundle still decoded"
+            );
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_and_garbage_error_cleanly() {
+    assert!(Bundle::from_bytes(&[]).is_err());
+    assert!(Bundle::from_bytes(b"VSNP").is_err());
+    assert!(Bundle::from_bytes(b"not a bundle at all").is_err());
+    let mut bytes = sample_bundle().to_bytes();
+    bytes[0..4].copy_from_slice(b"XXXX");
+    assert!(Bundle::from_bytes(&bytes).is_err());
+    // A valid seal around garbage payload must also fail (in the decoder,
+    // not the unsealer).
+    let sealed_garbage = vusion_snapshot::seal(&[0xff; 64]);
+    assert!(Bundle::from_bytes(&sealed_garbage).is_err());
+}
+
+#[test]
+fn latest_bundle_ignores_non_bundle_files() {
+    let dir = std::env::temp_dir().join(format!("vusion-bundle-robust-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    // Non-bundle clutter: wrong extensions, a directory, a .vbun decoy
+    // that is not even close to a bundle.
+    std::fs::write(dir.join("coverage.json"), b"{}").expect("write");
+    std::fs::write(dir.join("notes.txt"), b"hello").expect("write");
+    std::fs::create_dir_all(dir.join("sub.vbun")).expect("mkdir decoy");
+    assert_eq!(
+        latest_bundle(&dir).expect("scan"),
+        None,
+        "clutter-only directory must yield no bundle"
+    );
+
+    let path = sample_bundle().dump_to(&dir).expect("dump");
+    let found = latest_bundle(&dir).expect("scan").expect("bundle found");
+    assert_eq!(found, path);
+    let bytes = std::fs::read(found).expect("read");
+    assert!(Bundle::from_bytes(&bytes).expect("decode").replay().is_ok());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

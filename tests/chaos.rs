@@ -47,8 +47,8 @@ fn plans() -> [(&'static str, FaultPlan); 9] {
         ("none", FaultPlan::NONE),
         ("every_3rd_alloc", FaultPlan::every_nth_alloc(3)),
         ("every_7th_alloc", FaultPlan::every_nth_alloc(7)),
-        ("alloc_p10", FaultPlan::alloc_prob(0.10)),
-        ("alloc_p35", FaultPlan::alloc_prob(0.35)),
+        ("alloc_p10", FaultPlan::alloc_prob(0.10).expect("valid")),
+        ("alloc_p35", FaultPlan::alloc_prob(0.35).expect("valid")),
         (
             "checksum_p25",
             FaultPlan {
