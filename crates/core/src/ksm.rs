@@ -23,7 +23,8 @@ use vusion_mem::{CrashSite, FrameId, VirtAddr, PAGE_SIZE};
 use vusion_mmu::{GuestTag, Pte, PteFlags, VmaBacking};
 
 use crate::rbtree::{ContentRbTree, NodeId};
-use crate::scan_cache::{CandidateCache, HashIndex};
+use crate::scan_cache::{CandidateCache, DirtyTracker, HashIndex};
+use crate::shard::{self, ShardRunner};
 use crate::TagCounts;
 
 /// KSM tuning knobs.
@@ -38,6 +39,10 @@ pub struct KsmConfig {
     pub unmerge_on_read: bool,
     /// Figure 4 variant: merge only zero pages.
     pub zero_only: bool,
+    /// Worker threads for the shard-local (read-only) scan phase. A host
+    /// knob: never serialized, and every observable byte is identical at
+    /// any value.
+    pub scan_threads: usize,
 }
 
 impl Default for KsmConfig {
@@ -47,6 +52,7 @@ impl Default for KsmConfig {
             scan_period_ns: 20_000_000,
             unmerge_on_read: false,
             zero_only: false,
+            scan_threads: 1,
         }
     }
 }
@@ -84,10 +90,21 @@ pub struct Ksm {
     stable_index: BTreeMap<FrameId, NodeId>,
     /// Content-hash pre-filter over the stable tree's pages.
     stable_hashes: HashIndex,
-    /// Unstable tree: unprotected candidates, rebuilt each round.
+    /// Unstable tree: unprotected candidates. Unlike §2.1's
+    /// drop-every-round tree, it persists across rounds so clean pages can
+    /// be skipped without losing late-arriving duplicates; entries whose
+    /// content changed are evicted surgically at the top of each wakeup,
+    /// and the whole tree is dropped when the candidate list is rebuilt.
     unstable: ContentRbTree<UnstableEntry>,
+    /// Reverse map: unstable frame → tree node (for surgical eviction).
+    unstable_index: BTreeMap<FrameId, NodeId>,
     /// Content-hash pre-filter over the unstable tree's pages.
     unstable_hashes: HashIndex,
+    /// Dirty-driven pass list: pages whose mapping and content are
+    /// unchanged since their last terminal decision are skipped.
+    dirty: DirtyTracker,
+    /// Shard runner for the parallel pre-hash phase.
+    runner: ShardRunner,
     /// Per-page content checksum from the previous encounter. Entries are
     /// evicted when their page leaves the candidate list (unmapped VMA,
     /// exited process), so the map is bounded by the candidate set.
@@ -112,7 +129,10 @@ impl Ksm {
             stable_index: BTreeMap::new(),
             stable_hashes: HashIndex::default(),
             unstable: ContentRbTree::new(),
+            unstable_index: BTreeMap::new(),
             unstable_hashes: HashIndex::default(),
+            dirty: DirtyTracker::default(),
+            runner: ShardRunner::new(cfg.scan_threads),
             checksums: BTreeMap::new(),
             candidates: CandidateCache::default(),
             cursor: 0,
@@ -286,20 +306,30 @@ impl Ksm {
         if !leaf.pte.is_present() {
             return;
         }
+        // For THPs, consider the 4 KiB sub-frame's content but defer the
+        // split until a merge actually happens.
+        let frame = Self::leaf_4k_frame(&leaf, va);
+        // Dirty-driven pass list: same backing frame, same write
+        // generation since the last terminal decision — re-running the
+        // per-page algorithm is guaranteed to reproduce that decision.
+        if self.dirty.is_clean(m.mem(), pid, va, frame) {
+            report.pages_skipped_clean += 1;
+            return;
+        }
         if m.observed_scan_flip() {
             // Injected bit flip: the page comparison is unreliable this
             // round, so skip and retry later.
             m.note_scan_retry();
             return;
         }
-        // For THPs, consider the 4 KiB sub-frame's content but defer the
-        // split until a merge actually happens.
-        let frame = Self::leaf_4k_frame(&leaf, va);
         if self.stable_index.contains_key(&frame) {
-            return; // Already merged.
+            // Already merged: terminal until the mapping or frame moves.
+            self.dirty.mark_seen(m.mem(), pid, va, frame);
+            return;
         }
         // Only merge frames we can account for: sole mapping, possibly plus
-        // the page-cache reference.
+        // the page-cache reference. Not a terminal state — the refcount can
+        // drop without the frame's write generation moving.
         let refs = m.mem().info(frame).refcount;
         let (_, cache_key) = Self::vma_info(m, pid, va);
         let max_refs = if cache_key.is_some() { 2 } else { 1 };
@@ -307,6 +337,9 @@ impl Ksm {
             return;
         }
         if self.cfg.zero_only && !m.mem().is_zero(frame) {
+            // Terminal: zero-ness is a pure function of the content the
+            // write generation guards.
+            self.dirty.mark_seen(m.mem(), pid, va, frame);
             return;
         }
         // 1. Stable tree first: merging against an already write-protected
@@ -354,7 +387,24 @@ impl Ksm {
                 && entry.frame != frame
                 && !self.stable_index.contains_key(&entry.frame);
             self.unstable.remove(node);
+            self.unstable_index.remove(&entry.frame);
             self.unstable_hashes.remove(entry.frame);
+            self.dirty.forget(entry.pid, entry.va);
+            // Scan-order priority: real KSM rebuilds the unstable tree
+            // every round, so the earlier-scanned duplicate always
+            // inserts first and its frame wins the promotion. Our tree
+            // persists across rounds (to support dirty skipping), so an
+            // entry filed late in round R would otherwise beat an
+            // earlier-order page arriving in round R+1 — reversing the
+            // in-place-merge direction the §4.2 attack depends on.
+            // Resolving the winner by candidate order reproduces the
+            // rebuild semantics exactly.
+            let (wpid, wva, wframe, lpid, lva, lframe) =
+                if (pid.0, va.0) < (entry.pid.0, entry.va.0) {
+                    (pid, va, frame, entry.pid, entry.va, entry.frame)
+                } else {
+                    (entry.pid, entry.va, entry.frame, pid, va, frame)
+                };
             // A merge is about to happen: split any THPs involved. Either
             // split failing (an injected or genuine PT allocation failure)
             // downgrades the candidate to stale — both pages stay intact
@@ -362,45 +412,49 @@ impl Ksm {
             let valid = valid
                 && self.break_if_huge(m, pid, va, report)
                 && self.break_if_huge(m, entry.pid, entry.va, report)
-                && m.set_leaf(
-                    entry.pid,
-                    entry.va,
-                    Pte::new(entry.frame, self.merged_flags()),
-                )
-                .is_ok();
+                && m.set_leaf(wpid, wva, Pte::new(wframe, self.merged_flags()))
+                    .is_ok();
             if valid {
-                // Promote the matched candidate: its frame becomes the
-                // stable page (merge *in place* — the FFS weakness).
-                Self::drop_cache_ref(m, entry.pid, entry.va, entry.frame);
+                // Promote the winner: its frame becomes the stable page
+                // (merge *in place* — the FFS weakness).
+                Self::drop_cache_ref(m, wpid, wva, wframe);
                 let mem = m.mem();
                 let (snode, inserted) = self
                     .stable
-                    .insert(entry.frame, 1, |a, b| mem.compare_pages(a, b));
+                    .insert(wframe, 1, |a, b| mem.compare_pages(a, b));
                 debug_assert!(inserted, "stable tree had no match a moment ago");
-                self.stable_index.insert(entry.frame, snode);
-                self.stable_hashes.insert(m.mem(), entry.frame);
+                self.stable_index.insert(wframe, snode);
+                self.stable_hashes.insert(m.mem(), wframe);
                 self.merged_live += 1; // The promoted party's own mapping.
                 self.stats.promotions += 1;
                 report.pages_merged += 1; // The promoted candidate's mapping.
-                self.merge_into_stable(m, pid, va, frame, snode, report);
+                self.merge_into_stable(m, lpid, lva, lframe, snode, report);
             } else {
                 // Stale candidate: replace it with the scanned page.
-                let mem = m.mem();
-                self.unstable
-                    .insert(frame, UnstableEntry { pid, va, frame }, |a, b| {
-                        mem.compare_pages(a, b)
-                    });
-                self.unstable_hashes.insert(mem, frame);
+                self.insert_unstable(m, pid, va, frame);
             }
             return;
         }
         // 3. Neither tree: file as a candidate.
+        self.insert_unstable(m, pid, va, frame);
+    }
+
+    /// Files `(pid, va)` as an unstable candidate and marks it seen: an
+    /// in-tree candidate is a terminal state — it merges when a *later*
+    /// scan of a duplicate finds it, so revisiting it while unchanged
+    /// does nothing.
+    fn insert_unstable(&mut self, m: &Machine, pid: Pid, va: VirtAddr, frame: FrameId) {
         let mem = m.mem();
-        self.unstable
-            .insert(frame, UnstableEntry { pid, va, frame }, |a, b| {
-                mem.compare_pages(a, b)
-            });
-        self.unstable_hashes.insert(mem, frame);
+        let (node, inserted) =
+            self.unstable
+                .insert(frame, UnstableEntry { pid, va, frame }, |a, b| {
+                    mem.compare_pages(a, b)
+                });
+        if inserted {
+            self.unstable_index.insert(frame, node);
+            self.unstable_hashes.insert(mem, frame);
+        }
+        self.dirty.mark_seen(mem, pid, va, frame);
     }
 
     /// Copy-on-write (or copy-on-access) unmerge.
@@ -494,6 +548,7 @@ impl vusion_snapshot::Snapshot for Ksm {
             w.u64(page);
             w.u64(sum);
         }
+        self.dirty.save(w);
         self.candidates.save(w);
         w.u64(self.cursor);
         w.u64(self.merged_live);
@@ -531,6 +586,12 @@ impl vusion_snapshot::Snapshot for Ksm {
                 frame: FrameId(r.u64()?),
             })
         })?;
+        self.unstable_index = self
+            .unstable
+            .ids()
+            .into_iter()
+            .map(|id| (self.unstable.frame(id), id))
+            .collect();
         self.unstable_hashes = HashIndex::load(r)?;
         let sums = r.usize()?;
         self.checksums = BTreeMap::new();
@@ -538,6 +599,7 @@ impl vusion_snapshot::Snapshot for Ksm {
             let key = (r.usize()?, r.u64()?);
             self.checksums.insert(key, r.u64()?);
         }
+        self.dirty = DirtyTracker::load(r)?;
         self.candidates = CandidateCache::load(r)?;
         self.cursor = r.u64()?;
         self.merged_live = r.u64()?;
@@ -571,20 +633,54 @@ impl FusionPolicy for Ksm {
         if rebuilt {
             // The candidate set changed (mmap / madvise / new process):
             // drop checksums of pages no longer scanned, so the map stays
-            // bounded by the candidate list.
+            // bounded by the candidate list — and drop the unstable tree
+            // and the dirty list, whose (pid, va) keys may now be stale.
             let live: BTreeSet<(usize, u64)> =
                 pages.iter().map(|&(pid, va)| (pid.0, va.page())).collect();
             self.checksums.retain(|key, _| live.contains(key));
+            self.unstable.clear();
+            self.unstable_index.clear();
+            self.unstable_hashes.clear();
+            self.dirty.clear();
         }
         if pages.is_empty() {
             self.candidates.put_back(pages);
             return report;
         }
-        // Tree pages may have changed in place since the last wakeup
-        // (guest writes to unstable pages, Rowhammer anywhere): re-sync
-        // the hash pre-filters before trusting them.
+        // Evict unstable candidates whose content changed since they were
+        // filed: their position in the content-ordered tree is no longer
+        // valid. (§2.1 drops the whole tree every round for this reason;
+        // with the dirty-driven pass list the tree persists and changed
+        // entries are evicted surgically, so clean candidates can still
+        // be matched by late-arriving duplicates.)
+        for frame in self.unstable_hashes.stale_frames(m.mem()) {
+            if let Some(node) = self.unstable_index.remove(&frame) {
+                let entry = *self.unstable.value(node);
+                self.unstable.remove(node);
+                self.unstable_hashes.remove(frame);
+                self.dirty.forget(entry.pid, entry.va);
+            }
+        }
+        // Stable pages may have changed in place (Rowhammer — guests
+        // cannot write them): re-sync that pre-filter before trusting it.
         self.stable_hashes.refresh(m.mem());
-        self.unstable_hashes.refresh(m.mem());
+        // Shard phase: pre-hash this wakeup's visit window in parallel
+        // off a read-only view, so the serial decide phase below hits the
+        // hash memo-cache exactly as a warmed single-threaded pass would.
+        let window = self.cfg.pages_per_scan.min(pages.len());
+        let mut visit_frames = Vec::with_capacity(window);
+        for i in 0..window {
+            let idx = ((self.cursor + i as u64) % pages.len() as u64) as usize;
+            let (pid, va) = pages[idx];
+            if let Some(leaf) = m.leaf(pid, va) {
+                if leaf.pte.is_present() {
+                    visit_frames.push(Self::leaf_4k_frame(&leaf, va));
+                }
+            }
+        }
+        shard::prehash_frames(m, &self.runner, &visit_frames);
+        // Serial decide/commit phase: every mutation, RNG draw, crash
+        // poll, and trace event happens here in canonical order.
         for _ in 0..self.cfg.pages_per_scan {
             if m.crash_now(CrashSite::MidScan) {
                 // The daemon dies between pages: work already done this
@@ -596,10 +692,6 @@ impl FusionPolicy for Ksm {
             self.scan_one(m, pid, va, &mut report);
             self.cursor += 1;
             if self.cursor.is_multiple_of(pages.len() as u64) {
-                // Full round: the unstable tree's keys may have changed
-                // under it; drop and rebuild (§2.1).
-                self.unstable.clear();
-                self.unstable_hashes.clear();
                 self.stats.full_rounds += 1;
             }
         }
@@ -636,6 +728,11 @@ impl FusionPolicy for Ksm {
 
     fn scan_period_ns(&self) -> u64 {
         self.cfg.scan_period_ns
+    }
+
+    fn set_scan_threads(&mut self, threads: usize) {
+        self.cfg.scan_threads = threads.max(1);
+        self.runner.set_threads(threads);
     }
 
     fn save_state(&self, w: &mut vusion_snapshot::Writer) {

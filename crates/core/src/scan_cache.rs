@@ -73,17 +73,22 @@ impl HashIndex {
         self.counts.clear();
     }
 
+    /// Frames whose recorded write generation no longer matches — their
+    /// content changed (or their frame was freed and rewritten) since
+    /// they were indexed.
+    pub(crate) fn stale_frames(&self, mem: &PhysMemory) -> Vec<FrameId> {
+        self.by_frame
+            .iter()
+            .filter(|(f, (_, gen))| mem.info(**f).write_gen != *gen)
+            .map(|(f, _)| *f)
+            .collect()
+    }
+
     /// Re-syncs entries whose frame content changed since they were
     /// recorded (detected via the frame's write generation). Cheap: the
     /// re-hash itself is served by the frame cache.
     pub(crate) fn refresh(&mut self, mem: &PhysMemory) {
-        let stale: Vec<FrameId> = self
-            .by_frame
-            .iter()
-            .filter(|(f, (_, gen))| mem.info(**f).write_gen != *gen)
-            .map(|(f, _)| *f)
-            .collect();
-        for f in stale {
+        for f in self.stale_frames(mem) {
             self.insert(mem, f);
         }
     }
@@ -199,6 +204,90 @@ impl CandidateCache {
     }
 }
 
+/// Dirty-driven pass list: remembers, per scanned `(pid, va)`, the frame
+/// that backed the page and the frame's write generation at the moment
+/// the engine finished deciding about it. On the next pass the engine
+/// walks the leaf (mapping changes — CoW, remap, merge — surface as a
+/// different frame) and asks [`DirtyTracker::is_clean`]; a hit means
+/// neither the mapping nor the content moved, so re-running the decision
+/// is guaranteed to reproduce last pass's outcome and the page can be
+/// skipped, counted in `scan.pages_skipped_clean`.
+///
+/// Engines only call [`DirtyTracker::mark_seen`] from *terminal* decision
+/// states — a state the pass would re-reach verbatim if nothing changed.
+/// Probabilistic or progress-making states (KSM's checksum-mismatch
+/// volatility filter, structural guards) are never marked, so those pages
+/// keep being revisited.
+#[derive(Default)]
+pub(crate) struct DirtyTracker {
+    seen: BTreeMap<(Pid, VirtAddr), (FrameId, u64)>,
+}
+
+impl DirtyTracker {
+    /// Whether the page at `(pid, va)` — currently backed by `frame` — is
+    /// unchanged since [`DirtyTracker::mark_seen`]: same backing frame
+    /// *and* same frame write generation.
+    pub(crate) fn is_clean(
+        &self,
+        mem: &PhysMemory,
+        pid: Pid,
+        va: VirtAddr,
+        frame: FrameId,
+    ) -> bool {
+        self.seen.get(&(pid, va)) == Some(&(frame, mem.info(frame).write_gen))
+    }
+
+    /// Records the page's decision point: skip it while `frame` still
+    /// backs it and its write generation holds.
+    pub(crate) fn mark_seen(&mut self, mem: &PhysMemory, pid: Pid, va: VirtAddr, frame: FrameId) {
+        self.seen
+            .insert((pid, va), (frame, mem.info(frame).write_gen));
+    }
+
+    /// Forgets one page (it will be re-examined next pass).
+    pub(crate) fn forget(&mut self, pid: Pid, va: VirtAddr) {
+        self.seen.remove(&(pid, va));
+    }
+
+    /// Forgets everything (candidate list rebuilt).
+    pub(crate) fn clear(&mut self) {
+        self.seen.clear();
+    }
+
+    /// Number of tracked pages.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Serializes the tracked pages (BTreeMap order, deterministic).
+    pub(crate) fn save(&self, w: &mut vusion_snapshot::Writer) {
+        w.usize(self.seen.len());
+        for (&(pid, va), &(frame, gen)) in &self.seen {
+            w.usize(pid.0);
+            w.u64(va.0);
+            w.u64(frame.0);
+            w.u64(gen);
+        }
+    }
+
+    /// Rebuilds a tracker written by [`Self::save`].
+    pub(crate) fn load(
+        r: &mut vusion_snapshot::Reader<'_>,
+    ) -> Result<Self, vusion_snapshot::SnapshotError> {
+        let count = r.usize()?;
+        let mut seen = BTreeMap::new();
+        for _ in 0..count {
+            let pid = Pid(r.usize()?);
+            let va = VirtAddr(r.u64()?);
+            let frame = FrameId(r.u64()?);
+            let gen = r.u64()?;
+            seen.insert((pid, va), (frame, gen));
+        }
+        Ok(Self { seen })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +347,43 @@ mod tests {
         );
         ix.remove(FrameId(1));
         assert!(!ix.may_contain(&mem, FrameId(2)));
+    }
+
+    #[test]
+    fn dirty_tracker_detects_writes_and_remaps() {
+        let mut mem = PhysMemory::new(3);
+        mem.write_byte(PhysAddr(0), 1);
+        let (pid, va) = (Pid(0), VirtAddr(0x4000));
+        let mut dt = DirtyTracker::default();
+        assert!(!dt.is_clean(&mem, pid, va, FrameId(0)), "unseen is dirty");
+        dt.mark_seen(&mem, pid, va, FrameId(0));
+        assert!(dt.is_clean(&mem, pid, va, FrameId(0)));
+        // A write to the frame bumps its generation: dirty again.
+        mem.write_byte(PhysAddr(7), 9);
+        assert!(!dt.is_clean(&mem, pid, va, FrameId(0)));
+        dt.mark_seen(&mem, pid, va, FrameId(0));
+        // A remap (CoW, merge) surfaces as a different backing frame.
+        assert!(!dt.is_clean(&mem, pid, va, FrameId(1)));
+        dt.forget(pid, va);
+        assert!(!dt.is_clean(&mem, pid, va, FrameId(0)));
+    }
+
+    #[test]
+    fn dirty_tracker_round_trips_through_snapshot() {
+        let mut mem = PhysMemory::new(2);
+        mem.write_byte(PhysAddr(0), 3);
+        mem.write_byte(PhysAddr(4096), 4);
+        let mut dt = DirtyTracker::default();
+        dt.mark_seen(&mem, Pid(1), VirtAddr(0x1000), FrameId(0));
+        dt.mark_seen(&mem, Pid(2), VirtAddr(0x2000), FrameId(1));
+        let mut w = vusion_snapshot::Writer::new();
+        dt.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = vusion_snapshot::Reader::new(&bytes);
+        let loaded = DirtyTracker::load(&mut r).expect("load");
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded.is_clean(&mem, Pid(1), VirtAddr(0x1000), FrameId(0)));
+        assert!(loaded.is_clean(&mem, Pid(2), VirtAddr(0x2000), FrameId(1)));
+        assert!(!loaded.is_clean(&mem, Pid(1), VirtAddr(0x1000), FrameId(1)));
     }
 }

@@ -1,0 +1,245 @@
+//! Deterministic sharded execution of the read-only scan phase.
+//!
+//! The engines split every scan pass into two phases:
+//!
+//! 1. **Shard phase (parallel, read-only).** Work items are partitioned
+//!    by `index % threads` — the same pre-partitioned idiom
+//!    `crates/campaign` uses for whole-run fan-out — and each shard runs
+//!    on a scoped worker thread against a [`FrameReadView`], which
+//!    exposes only pure functions of frame content. Workers never touch
+//!    an RNG, an injector, a trace buffer, or the memo cells.
+//! 2. **Serial merge/commit phase.** Shard results are folded back in
+//!    enumeration order (item 0, 1, 2, …, regardless of which shard
+//!    computed them), and every observable action — tree mutation,
+//!    injector draw, crash poll, trace event, counter bump — happens
+//!    here, in exactly the order a single-threaded pass would take.
+//!
+//! The consequence, asserted by `tests/trace_determinism.rs`, is that
+//! traces, metrics snapshots, and snapshots are byte-identical at any
+//! thread count: parallelism changes wall-clock time and nothing else.
+
+use std::collections::BTreeSet;
+
+use vusion_kernel::Machine;
+use vusion_mem::FrameId;
+
+/// Runs pre-partitioned work on scoped worker threads and returns the
+/// results in enumeration order.
+#[derive(Debug, Clone)]
+pub struct ShardRunner {
+    threads: usize,
+}
+
+impl Default for ShardRunner {
+    fn default() -> Self {
+        Self { threads: 1 }
+    }
+}
+
+impl ShardRunner {
+    /// A runner with `threads` workers (0 is clamped to 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Reconfigures the worker count (0 is clamped to 1). A host
+    /// knob: results never depend on it.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Maps `work` over `items` and returns the results in enumeration
+    /// order. Shard `t` owns the items whose index ≡ `t (mod threads)` —
+    /// the partition is fixed before any thread starts, there is no work
+    /// stealing or shared queue, and the reduction slots each result back
+    /// by its index, so the output is independent of scheduling.
+    ///
+    /// `work` must be a pure function of `(index, item)` — it receives no
+    /// way to reach the machine's RNGs, injectors, or tracer, and the
+    /// borrow checker keeps it from mutating shared state.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker-thread panic (a panicking `work` is a
+    /// programming error; the shard runner does not absorb it).
+    pub fn run<I, T, F>(&self, items: &[I], work: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let threads = self.threads.min(items.len());
+        if threads <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| work(i, item))
+                .collect();
+        }
+        // vlint: allow(T001, this is the approved shard runner — the one place engine-side worker threads may be spawned)
+        let shards: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let work = &work;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        items
+                            .iter()
+                            .enumerate()
+                            .skip(t)
+                            .step_by(threads)
+                            .map(|(i, item)| (i, work(i, item)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(shard) => shard,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        // Deterministic enumeration-order reduction: the indices across
+        // all shards are exactly 0..items.len(), so sorting by index
+        // restores enumeration order regardless of which worker computed
+        // each result.
+        let mut flat: Vec<(usize, T)> = shards.into_iter().flatten().collect();
+        flat.sort_by_key(|&(i, _)| i);
+        flat.into_iter().map(|(_, value)| value).collect()
+    }
+}
+
+/// Modeled cost of hashing one 4 KiB page: 64 cache lines at LLC-hit
+/// latency. Observability-only — it reaches the tracer via
+/// [`Machine::scan_cost_shards`] and never advances the workload clock.
+fn hash_page_cost(m: &Machine) -> u64 {
+    64 * m.costs().llc_hit
+}
+
+/// Pre-hashes `frames` for an imminent scan pass: the frames whose
+/// memoized hash is stale are partitioned across the runner's shards,
+/// hashed in parallel off a read-only view, and the results are seeded
+/// into the memo cache in enumeration order. The subsequent (serial) scan
+/// logic then hits the cache on every `hash_page`/`observed_hash`,
+/// exactly as a warmed single-threaded pass would — hash values are pure
+/// functions of content, so behavior is bit-identical at any thread
+/// count.
+///
+/// The modeled cost of the hashing work is attributed per shard and
+/// folded deterministically. Returns the number of frames hashed.
+pub(crate) fn prehash_frames(m: &mut Machine, runner: &ShardRunner, frames: &[FrameId]) -> usize {
+    let need: Vec<FrameId> = {
+        let mem = m.mem();
+        let mut seen = BTreeSet::new();
+        frames
+            .iter()
+            .copied()
+            .filter(|&f| !mem.has_cached_hash(f) && seen.insert(f))
+            .collect()
+    };
+    if need.is_empty() {
+        return 0;
+    }
+    {
+        let mem = m.mem();
+        let view = mem.read_view();
+        let hashes = runner.run(&need, |_, &f| view.hash_page(f));
+        for (&f, &h) in need.iter().zip(hashes.iter()) {
+            mem.seed_hash(f, h);
+        }
+    }
+    // Shard t owns ceil((n - t) / threads) items of the partition; the
+    // per-shard modeled costs fold to the same total at any thread count.
+    let threads = runner.threads().min(need.len()).max(1);
+    let per_page = hash_page_cost(m);
+    let per_shard: Vec<u64> = (0..threads)
+        .map(|t| ((need.len() + threads - 1 - t) / threads) as u64 * per_page)
+        .collect();
+    m.scan_cost_shards(&per_shard);
+    need.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vusion_kernel::MachineConfig;
+    use vusion_mem::{PhysAddr, VirtAddr, PAGE_SIZE};
+    use vusion_mmu::{Protection, Vma};
+
+    #[test]
+    fn run_preserves_enumeration_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 4, 7, 16, 200] {
+            let runner = ShardRunner::new(threads);
+            let got = runner.run(&items, |i, &x| {
+                assert_eq!(items[i], x, "index/item pairing must hold");
+                x * 3 + 1
+            });
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_handles_empty_and_singleton_inputs() {
+        let runner = ShardRunner::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(runner.run(&empty, |_, &x| x).is_empty());
+        assert_eq!(runner.run(&[9u32], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let mut r = ShardRunner::new(0);
+        assert_eq!(r.threads(), 1);
+        r.set_threads(0);
+        assert_eq!(r.threads(), 1);
+        r.set_threads(4);
+        assert_eq!(r.threads(), 4);
+    }
+
+    #[test]
+    fn prehash_seeds_exactly_the_stale_frames() {
+        let mut m = vusion_kernel::Machine::new(MachineConfig::test_small());
+        let pid = m.spawn("p").expect("spawn");
+        m.mmap(pid, Vma::anon(VirtAddr(0x10000), 8, Protection::rw()));
+        let mut frames = Vec::new();
+        for pg in 0..8u64 {
+            let va = VirtAddr(0x10000 + pg * PAGE_SIZE);
+            while let Err(fault) = m.write(pid, va, (pg as u8) + 1) {
+                assert!(m.default_fault(&fault), "demand-paging must resolve");
+            }
+            frames.push(m.leaf(pid, va).expect("leaf").pte.frame());
+        }
+        // Warm two frames through the normal memoized path.
+        let _ = m.mem().hash_page(frames[0]);
+        let _ = m.mem().hash_page(frames[1]);
+        for threads in [1, 4] {
+            let runner = ShardRunner::new(threads);
+            // Duplicates in the input must not double-count.
+            let mut input = frames.clone();
+            input.push(frames[2]);
+            let hashed = prehash_frames(&mut m, &runner, &input);
+            // First pass: all but the two warmed frames. Second pass: only
+            // the frame invalidated at the bottom of the previous iteration.
+            assert_eq!(hashed, if threads == 1 { 6 } else { 1 });
+            for &f in &frames {
+                assert!(m.mem().has_cached_hash(f));
+                assert_eq!(m.mem().hash_page(f), m.mem().read_view().hash_page(f));
+            }
+            // Invalidate one frame; the next prehash rehashes only it.
+            m.mem_mut()
+                .write_byte(PhysAddr(frames[2].0 * PAGE_SIZE + 7), 0x55);
+        }
+        let runner = ShardRunner::new(7);
+        assert_eq!(prehash_frames(&mut m, &runner, &frames), 1);
+    }
+}

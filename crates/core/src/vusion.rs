@@ -38,6 +38,7 @@ use vusion_mmu::{GuestTag, Pte, PteFlags, VmaBacking};
 
 use crate::rbtree::{ContentRbTree, NodeId};
 use crate::scan_cache::{CandidateCache, HashIndex};
+use crate::shard::{self, ShardRunner};
 use crate::TagCounts;
 
 /// VUsion tuning knobs.
@@ -69,6 +70,10 @@ pub struct VUsionConfig {
     /// across scan rounds. Re-opens the cross-scan page-coloring channel of
     /// §7.1 decision (iii).
     pub ablate_rerandomize: bool,
+    /// Worker threads for the shard-local (read-only) pre-hash phase. A
+    /// host knob: never serialized, and every observable byte is identical
+    /// at any value.
+    pub scan_threads: usize,
 }
 
 impl Default for VUsionConfig {
@@ -83,6 +88,7 @@ impl Default for VUsionConfig {
             ablate_pcd: false,
             ablate_deferred_free: false,
             ablate_rerandomize: false,
+            scan_threads: 1,
         }
     }
 }
@@ -146,6 +152,10 @@ pub struct VUsion {
     ra_trace: Vec<u64>,
     tags: TagCounts,
     stats: VUsionStats,
+    /// Shard runner for the parallel pre-hash phase. VUsion has no
+    /// dirty-driven skip list: `scan_one`'s accessed-bit test-and-clear is
+    /// the working-set estimator and must run on every visit.
+    runner: ShardRunner,
 }
 
 impl VUsion {
@@ -168,6 +178,7 @@ impl VUsion {
             ra_trace: Vec::new(),
             tags: TagCounts::default(),
             stats: VUsionStats::default(),
+            runner: ShardRunner::new(cfg.scan_threads),
         }
     }
 
@@ -819,6 +830,36 @@ impl FusionPolicy for VUsion {
             self.candidates.put_back(pages);
             return report;
         }
+        // Shard phase: pre-hash this wakeup's visit window in parallel off
+        // a read-only view, so the serial decide phase below hits the hash
+        // memo-cache exactly as a warmed single-threaded pass would. Huge
+        // and trapped mappings are left out — they are broken or skipped
+        // before any hash is taken.
+        // Steady-state fast-out: when every candidate is already under
+        // management (fake- or real-merged, trapped), the window below
+        // would collect nothing — skip its per-page lookups. The test
+        // depends only on serial engine state, so the decision (and the
+        // trace) is identical at any thread count.
+        let all_managed = self.page_state.len() >= pages.len();
+        let window = if all_managed {
+            0
+        } else {
+            self.cfg.pages_per_scan.min(pages.len())
+        };
+        let mut visit_frames = Vec::with_capacity(window);
+        for i in 0..window {
+            let idx = ((self.cursor + i as u64) % pages.len() as u64) as usize;
+            let (pid, va) = pages[idx];
+            if self.page_state.contains_key(&(pid.0, va.page())) {
+                continue; // Already under management.
+            }
+            if let Some(leaf) = m.leaf(pid, va) {
+                if !leaf.huge && leaf.pte.is_present() && !leaf.pte.is_trapped() {
+                    visit_frames.push(leaf.pte.frame());
+                }
+            }
+        }
+        shard::prehash_frames(m, &self.runner, &visit_frames);
         for _ in 0..self.cfg.pages_per_scan {
             if m.crash_now(CrashSite::MidScan) {
                 // The daemon dies between pages: work already done this
@@ -880,6 +921,11 @@ impl FusionPolicy for VUsion {
 
     fn scan_period_ns(&self) -> u64 {
         self.cfg.scan_period_ns
+    }
+
+    fn set_scan_threads(&mut self, threads: usize) {
+        self.cfg.scan_threads = threads.max(1);
+        self.runner.set_threads(threads);
     }
 
     fn save_state(&self, w: &mut vusion_snapshot::Writer) {

@@ -26,7 +26,8 @@ use vusion_mem::{
 use vusion_mmu::{GuestTag, Pte, PteFlags, VmaBacking};
 
 use crate::avl::ContentAvlTree;
-use crate::scan_cache::{CandidateCache, HashIndex};
+use crate::scan_cache::{CandidateCache, DirtyTracker, HashIndex};
+use crate::shard::{self, ShardRunner};
 use crate::TagCounts;
 
 /// WPF tuning knobs.
@@ -35,12 +36,17 @@ pub struct WpfConfig {
     /// Full-pass period in ns. Windows uses 15 minutes; scaled experiments
     /// configure seconds.
     pub pass_period_ns: u64,
+    /// Worker threads for the shard-local (read-only) hashing stage. A
+    /// host knob: never serialized, and every observable byte is identical
+    /// at any value.
+    pub scan_threads: usize,
 }
 
 impl Default for WpfConfig {
     fn default() -> Self {
         Self {
             pass_period_ns: 900_000_000_000,
+            scan_threads: 1,
         }
     }
 }
@@ -80,6 +86,12 @@ pub struct Wpf {
     /// Backing frames assigned last pass, in assignment order (for the
     /// Figure 3 reuse experiment).
     last_pass_frames: Vec<FrameId>,
+    /// Dirty-driven pass list: candidates recorded at the end of a
+    /// *completed* pass. When every current candidate is clean and no
+    /// tree page changed, the whole pass is a provable no-op.
+    dirty: DirtyTracker,
+    /// Shard runner for the parallel hashing stage.
+    runner: ShardRunner,
 }
 
 impl Wpf {
@@ -101,6 +113,8 @@ impl Wpf {
             tags: TagCounts::default(),
             stats: WpfStats::default(),
             last_pass_frames: Vec::new(),
+            dirty: DirtyTracker::default(),
+            runner: ShardRunner::new(cfg.scan_threads),
         })
     }
 
@@ -200,14 +214,22 @@ impl Wpf {
         let mut report = ScanReport::default();
         self.last_pass_frames.clear();
         // Tree pages can change in place between passes (Rowhammer on a
-        // fused page — the §5.2 attack): re-sync the hash pre-filter.
+        // fused page — the §5.2 attack). Note whether any did *before*
+        // re-syncing the hash pre-filter: a changed tree page can turn a
+        // previously singleton candidate into a merge, so it disqualifies
+        // the all-clean fast path below.
+        let tree_dirty = !self.avl_hashes.stale_frames(m.mem()).is_empty();
         self.avl_hashes.refresh(m.mem());
-        // 1. Hash every candidate page of every process (no opt-in). The
-        // page enumeration is cached against the layout epoch; the
-        // per-page leaf checks and hashes still run every pass (hashes
-        // are served by the frame cache unless the page was written).
-        let (pages, _) = self.candidates.take(m, Self::all_pages);
-        let mut candidates: Vec<(u64, usize, u64, FrameId)> = Vec::new(); // (hash, pid, va, frame)
+        // 1. Enumerate candidate pages of every process (no opt-in),
+        // read-only. The page enumeration is cached against the layout
+        // epoch; the per-page leaf checks still run every pass.
+        let (pages, rebuilt) = self.candidates.take(m, Self::all_pages);
+        if rebuilt {
+            // (pid, va) keys may be stale after a layout change.
+            self.dirty.clear();
+        }
+        let mut cands: Vec<(Pid, VirtAddr, FrameId)> = Vec::new();
+        let mut all_clean = true;
         for &(pid, va) in &pages {
             let Some(leaf) = m.leaf(pid, va) else {
                 continue;
@@ -224,13 +246,34 @@ impl Wpf {
             if m.mem().info(frame).refcount > max_refs {
                 continue;
             }
+            all_clean = all_clean && self.dirty.is_clean(m.mem(), pid, va, frame);
+            cands.push((pid, va, frame));
+        }
+        self.candidates.put_back(pages);
+        if all_clean && !tree_dirty && !cands.is_empty() {
+            // Dirty-driven fast path: every candidate is byte-for-byte the
+            // page the previous completed pass declined to merge, and no
+            // tree page changed — re-running the sort/group/merge stages
+            // would provably reproduce "no merges".
+            report.pages_skipped_clean = cands.len() as u64;
+            let _ = m.crash_now(CrashSite::MidScan);
+            self.stats.passes += 1;
+            return report;
+        }
+        // Shard phase: hash the candidates in parallel off a read-only
+        // view; the serial stages below then hit the memo cache exactly as
+        // a warmed single-threaded pass would.
+        let frames: Vec<FrameId> = cands.iter().map(|&(_, _, f)| f).collect();
+        shard::prehash_frames(m, &self.runner, &frames);
+        let mut candidates: Vec<(u64, usize, u64, FrameId)> = Vec::new(); // (hash, pid, va, frame)
+        for &(pid, va, frame) in &cands {
             report.pages_scanned += 1;
             candidates.push((m.mem().hash_page(frame), pid.0, va.0, frame));
         }
-        self.candidates.put_back(pages);
         if m.crash_now(CrashSite::MidScan) {
             // The pass dies after the read-only hashing stage: nothing has
-            // been mutated yet.
+            // been mutated yet — and nothing is marked seen, so the next
+            // pass redoes the whole decision.
             return report;
         }
         // 2. Sort by hash (the order that drives backing-frame adjacency).
@@ -287,12 +330,16 @@ impl Wpf {
             })
         };
         let mut batch_iter = batch.into_iter();
-        // 5. Merge, assigning new frames in hash order.
+        // 5. Merge, assigning new frames in hash order. A pass that could
+        // not finish its merge plan (crash, linear-region exhaustion) must
+        // not mark anything seen: the skipped work has to be retried.
+        let mut complete = true;
         for group in groups {
             if m.crash_now(CrashSite::MidMerge) {
                 // Died between groups: merges committed so far stand;
                 // frames reserved for the remaining groups are returned
                 // below.
+                complete = false;
                 break;
             }
             m.trace_begin("wpf", SpanKind::Merge);
@@ -302,6 +349,7 @@ impl Wpf {
                 None => {
                     let Some(f) = batch_iter.next() else {
                         m.trace_end(SpanKind::Merge);
+                        complete = false;
                         continue; // Linear region exhausted.
                     };
                     let src = group.members[0].2;
@@ -390,6 +438,22 @@ impl Wpf {
         // never mapped: hand them straight back to the linear allocator.
         for f in batch_iter {
             let _ = self.linear.free(f);
+        }
+        if complete {
+            // Record the pass's terminal decisions: every candidate whose
+            // mapping survived unmerged was declined (singleton or failed
+            // validation with a vanished mapping — the `still` check below
+            // excludes the latter). It stays skippable until its frame or
+            // mapping moves, or a dirty page / changed tree page appears.
+            for &(pid, va, frame) in &cands {
+                let still = m
+                    .leaf(pid, va)
+                    .map(|l| !l.huge && l.pte.is_present() && l.pte.frame() == frame)
+                    .unwrap_or(false);
+                if still && !self.avl_index.contains_key(&frame) {
+                    self.dirty.mark_seen(m.mem(), pid, va, frame);
+                }
+            }
         }
         self.stats.passes += 1;
         report
@@ -490,6 +554,7 @@ impl vusion_snapshot::Snapshot for Wpf {
         w.u64s(&owned);
         self.avl_hashes.save(w);
         self.candidates.save(w);
+        self.dirty.save(w);
         self.linear.save(w);
         w.u64(self.merged_live);
         self.tags.save(w);
@@ -510,6 +575,7 @@ impl vusion_snapshot::Snapshot for Wpf {
         self.avl_index = r.u64s()?.into_iter().map(|f| (FrameId(f), ())).collect();
         self.avl_hashes = HashIndex::load(r)?;
         self.candidates = CandidateCache::load(r)?;
+        self.dirty = DirtyTracker::load(r)?;
         self.linear.load(r)?;
         self.merged_live = r.u64()?;
         self.tags = TagCounts::load(r)?;
@@ -566,6 +632,11 @@ impl FusionPolicy for Wpf {
 
     fn scan_period_ns(&self) -> u64 {
         self.cfg.pass_period_ns
+    }
+
+    fn set_scan_threads(&mut self, threads: usize) {
+        self.cfg.scan_threads = threads.max(1);
+        self.runner.set_threads(threads);
     }
 
     fn save_state(&self, w: &mut vusion_snapshot::Writer) {

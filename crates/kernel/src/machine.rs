@@ -404,6 +404,17 @@ impl Machine {
         }
     }
 
+    /// Attributes the scan cost of a sharded (parallel) phase: one entry
+    /// per shard, in shard-enumeration order, folded into a single total
+    /// before it reaches the tracer. The fold is a sum — permutation
+    /// invariant — and the per-shard work sets are fixed by the serial
+    /// partition (`index % threads`), so the attributed value is identical
+    /// at any thread count and the trace stays byte-stable.
+    pub fn scan_cost_shards(&mut self, per_shard: &[u64]) {
+        let total: u64 = per_shard.iter().sum();
+        self.scan_cost(total);
+    }
+
     /// A page hash as the *scanner* observes it: the machine's fault plan
     /// may corrupt the value (a guest racing the checksum read). Memory
     /// itself is never altered — only the scanner's view.

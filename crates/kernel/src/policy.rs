@@ -23,6 +23,9 @@ pub struct ScanReport {
     pub pages_unmerged: u64,
     /// Pages skipped because they were in the working set.
     pub pages_skipped_active: u64,
+    /// Pages skipped because their frame's write generation (and mapping)
+    /// was unchanged since the last visit — the dirty-driven pass list.
+    pub pages_skipped_clean: u64,
     /// Huge pages broken up to consider their contents for fusion.
     pub huge_pages_broken: u64,
 }
@@ -35,6 +38,7 @@ impl ScanReport {
         self.pages_fake_merged += other.pages_fake_merged;
         self.pages_unmerged += other.pages_unmerged;
         self.pages_skipped_active += other.pages_skipped_active;
+        self.pages_skipped_clean += other.pages_skipped_clean;
         self.huge_pages_broken += other.huge_pages_broken;
     }
 }
@@ -70,6 +74,15 @@ pub trait FusionPolicy {
     /// Scanner wakeup period. Default matches KSM's `T = 20 ms`.
     fn scan_period_ns(&self) -> u64 {
         20_000_000
+    }
+
+    /// Sets the number of worker threads the engine may use for the
+    /// shard-local (read-only) phase of a scan pass. A host-execution
+    /// knob, not simulated state: it is never serialized, and traces,
+    /// metrics, and snapshots are byte-identical at any value. Stateless
+    /// policies ignore it.
+    fn set_scan_threads(&mut self, threads: usize) {
+        let _ = threads;
     }
 
     /// Serializes the engine's complete scan/merge state into a snapshot.
@@ -131,6 +144,10 @@ impl<P: FusionPolicy + ?Sized> FusionPolicy for Box<P> {
 
     fn scan_period_ns(&self) -> u64 {
         (**self).scan_period_ns()
+    }
+
+    fn set_scan_threads(&mut self, threads: usize) {
+        (**self).set_scan_threads(threads)
     }
 
     // Explicitly forwarded: falling back to the trait defaults here would

@@ -106,6 +106,13 @@ impl<P: FusionPolicy> System<P> {
         self
     }
 
+    /// Sets the engine's scan-shard thread count (see
+    /// [`FusionPolicy::set_scan_threads`]): a host-execution knob that
+    /// never changes traces, metrics, or snapshots.
+    pub fn set_scan_threads(&mut self, threads: usize) {
+        self.policy.set_scan_threads(threads);
+    }
+
     /// Driver counters.
     pub fn stats(&self) -> SystemStats {
         self.stats
@@ -353,6 +360,7 @@ impl<P: FusionPolicy> System<P> {
             ("scan.pages_fake_merged", t.pages_fake_merged),
             ("scan.pages_unmerged", t.pages_unmerged),
             ("scan.pages_skipped_active", t.pages_skipped_active),
+            ("scan.pages_skipped_clean", t.pages_skipped_clean),
             ("scan.huge_pages_broken", t.huge_pages_broken),
         ] {
             snap.set_counter(name, v);
@@ -427,6 +435,7 @@ impl<P: FusionPolicy> System<P> {
             t.pages_fake_merged,
             t.pages_unmerged,
             t.pages_skipped_active,
+            t.pages_skipped_clean,
             t.huge_pages_broken,
         ] {
             w.u64(v);
@@ -469,6 +478,7 @@ impl<P: FusionPolicy> System<P> {
             pages_fake_merged: r.u64()?,
             pages_unmerged: r.u64()?,
             pages_skipped_active: r.u64()?,
+            pages_skipped_clean: r.u64()?,
             huge_pages_broken: r.u64()?,
         };
         if r.bool()? {

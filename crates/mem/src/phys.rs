@@ -31,23 +31,42 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// The byte-at-a-time FNV-1a semantics are preserved exactly — WPF's
 /// hash-sort order decides frame adjacency, so changing a single hash
 /// value would silently move the §5.2 attack's timing curves. The loop is
-/// merely restructured to load memory in `u64` words and fold the eight
-/// bytes from the register.
+/// merely restructured to load memory 32 bytes at a time as four `u64`
+/// lanes and fold the bytes from registers.
 pub fn content_hash(bytes: &[u8]) -> u64 {
-    let mut h = FNV_INIT;
-    let mut chunks = bytes.chunks_exact(8);
-    for chunk in &mut chunks {
-        let mut w = [0u8; 8];
-        w.copy_from_slice(chunk);
-        let word = u64::from_le_bytes(w);
+    #[inline(always)]
+    fn fold_word(mut h: u64, word: u64) -> u64 {
         let mut shift = 0u32;
         while shift < 64 {
             h ^= (word >> shift) & 0xff;
             h = h.wrapping_mul(FNV_PRIME);
             shift += 8;
         }
+        h
     }
-    for &b in chunks.remainder() {
+    let mut h = FNV_INIT;
+    let mut wide = bytes.chunks_exact(32);
+    for chunk in &mut wide {
+        let mut lanes = [0u64; 4];
+        for (lane, w) in lanes.iter_mut().zip(chunk.chunks_exact(8)) {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(w);
+            *lane = u64::from_le_bytes(buf);
+        }
+        // The FNV chain is strictly sequential; the win is in the four
+        // unrolled wide loads per iteration, not in reordering the folds.
+        for lane in lanes {
+            h = fold_word(h, lane);
+        }
+    }
+    let tail = wide.remainder();
+    let mut words = tail.chunks_exact(8);
+    for chunk in &mut words {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(chunk);
+        h = fold_word(h, u64::from_le_bytes(buf));
+    }
+    for &b in words.remainder() {
         h ^= u64::from(b);
         h = h.wrapping_mul(FNV_PRIME);
     }
@@ -71,12 +90,18 @@ const ZERO_PAGE_HASH: u64 = zero_page_hash();
 
 const ZERO_PAGE: [u8; PAGE_SIZE as usize] = [0; PAGE_SIZE as usize];
 
-/// Word-wise all-zero check of a materialized page.
+/// Wide all-zero check of a materialized page: 32 bytes per iteration,
+/// OR-folding four `u64` lanes (4096 is a multiple of 32, so there is no
+/// remainder to handle).
 fn page_is_zero(page: &[u8; PAGE_SIZE as usize]) -> bool {
-    page.chunks_exact(8).all(|c| {
-        let mut w = [0u8; 8];
-        w.copy_from_slice(c);
-        u64::from_ne_bytes(w) == 0
+    page.chunks_exact(32).all(|c| {
+        let mut acc = 0u64;
+        for w in c.chunks_exact(8) {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(w);
+            acc |= u64::from_ne_bytes(buf);
+        }
+        acc == 0
     })
 }
 
@@ -375,18 +400,24 @@ impl PhysMemory {
         }
         let pa = self.page(a);
         let pb = self.page(b);
-        let mut off = 0usize;
-        while off < PAGE_SIZE as usize {
-            let mut wa = [0u8; 8];
-            let mut wb = [0u8; 8];
-            wa.copy_from_slice(&pa[off..off + 8]);
-            wb.copy_from_slice(&pb[off..off + 8]);
-            let va = u64::from_be_bytes(wa);
-            let vb = u64::from_be_bytes(wb);
-            if va != vb {
-                return va.cmp(&vb);
+        // 32 bytes per iteration: a cheap wide equality check first, then
+        // (only on the differing chunk) the four big-endian word compares
+        // that decide the order.
+        for (ca, cb) in pa.chunks_exact(32).zip(pb.chunks_exact(32)) {
+            if ca == cb {
+                continue;
             }
-            off += 8;
+            for (wa, wb) in ca.chunks_exact(8).zip(cb.chunks_exact(8)) {
+                let mut ba = [0u8; 8];
+                let mut bb = [0u8; 8];
+                ba.copy_from_slice(wa);
+                bb.copy_from_slice(wb);
+                let va = u64::from_be_bytes(ba);
+                let vb = u64::from_be_bytes(bb);
+                if va != vb {
+                    return va.cmp(&vb);
+                }
+            }
         }
         Ordering::Equal
     }
@@ -410,6 +441,56 @@ impl PhysMemory {
                 self.cache[i].set(c);
                 h
             }
+        }
+    }
+
+    /// Whether the frame's memoized content hash is valid at its current
+    /// write generation (i.e. [`hash_page`] would be a cache hit). Shard
+    /// planners use this to collect only the frames that actually need
+    /// rehashing.
+    ///
+    /// [`hash_page`]: PhysMemory::hash_page
+    pub fn has_cached_hash(&self, frame: FrameId) -> bool {
+        let i = self.idx(frame);
+        self.data[i].is_none() || self.cached_hash(i).is_some()
+    }
+
+    /// Seeds the memoized content hash of `frame` at its current write
+    /// generation. The caller asserts `hash == content_hash(self.page(frame))`
+    /// — shard workers compute hashes off a [`FrameReadView`] (which cannot
+    /// touch the single-threaded memo cells) and the serial merge phase
+    /// deposits them here, in enumeration order, so the subsequent scan
+    /// logic hits the cache exactly as a single-threaded pass would.
+    pub fn seed_hash(&self, frame: FrameId, hash: u64) {
+        let i = self.idx(frame);
+        debug_assert_eq!(
+            hash,
+            match &self.data[i] {
+                None => ZERO_PAGE_HASH,
+                Some(b) => content_hash(b.as_slice()),
+            },
+            "seeded hash does not match frame content"
+        );
+        if self.data[i].is_none() {
+            return; // lazy-zero frames bypass the cache entirely
+        }
+        let mut c = self.cache[i].get();
+        c.hash = hash;
+        c.hash_gen = self.info[i].write_gen;
+        c.hash_valid = true;
+        self.cache[i].set(c);
+    }
+
+    /// A read-only, thread-shareable view of frame contents and metadata.
+    ///
+    /// [`PhysMemory`] itself is `!Sync` (the memo cells), so parallel scan
+    /// shards borrow this view instead: it exposes exactly the pure
+    /// functions of frame content (bytes, hash, zero-ness, write
+    /// generation) and nothing that could observe or mutate memo state.
+    pub fn read_view(&self) -> FrameReadView<'_> {
+        FrameReadView {
+            data: &self.data,
+            info: &self.info,
         }
     }
 
@@ -471,6 +552,69 @@ impl PhysMemory {
                 (c > 0).then_some((t, c))
             })
             .collect()
+    }
+}
+
+/// Read-only shard view over frame contents and metadata.
+///
+/// Holds only shared slices, so it is `Send + Sync` and can be borrowed by
+/// scoped worker threads. Every method is a pure function of the frames'
+/// current bytes — no memoization, no counters, no RNG — which is what
+/// makes the sharded scan phase trivially deterministic: workers may run
+/// in any interleaving and still compute the same values a serial pass
+/// would.
+#[derive(Clone, Copy)]
+pub struct FrameReadView<'a> {
+    data: &'a [Option<Box<[u8; PAGE_SIZE as usize]>>],
+    info: &'a [FrameInfo],
+}
+
+impl FrameReadView<'_> {
+    /// Total number of frames in the view.
+    pub fn frame_count(&self) -> usize {
+        self.info.len()
+    }
+
+    /// Index of `frame`, validated against the frame count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is out of range — the simulator's bus fault.
+    fn idx(&self, frame: FrameId) -> usize {
+        let i = frame.0 as usize;
+        assert!(i < self.info.len(), "frame {i} out of range");
+        i
+    }
+
+    /// The 4096 content bytes of a frame.
+    pub fn page(&self, frame: FrameId) -> &[u8; PAGE_SIZE as usize] {
+        match &self.data[self.idx(frame)] {
+            Some(b) => b,
+            None => &ZERO_PAGE,
+        }
+    }
+
+    /// The frame's current write generation.
+    pub fn write_gen(&self, frame: FrameId) -> u64 {
+        self.info[self.idx(frame)].write_gen
+    }
+
+    /// FNV-1a hash of the frame's content, computed fresh (no memo cells
+    /// are reachable from a view). Always equals
+    /// `content_hash(self.page(frame))`.
+    pub fn hash_page(&self, frame: FrameId) -> u64 {
+        match &self.data[self.idx(frame)] {
+            None => ZERO_PAGE_HASH,
+            Some(b) => content_hash(b.as_slice()),
+        }
+    }
+
+    /// Whether the frame is all zeroes.
+    pub fn is_zero(&self, frame: FrameId) -> bool {
+        match &self.data[self.idx(frame)] {
+            None => true,
+            Some(b) => page_is_zero(b),
+        }
     }
 }
 
@@ -732,6 +876,96 @@ mod tests {
         m.info_mut(FrameId(0)).page_type = PageType::PageCache;
         assert_eq!(m.allocated_by_type(), vec![(PageType::PageCache, 1)]);
         assert_eq!(m.allocated_frames(), 1);
+    }
+
+    /// The pre-wide-op implementation (8-byte chunks), kept verbatim as a
+    /// regression reference: the 32-byte-lane rewrite must reproduce its
+    /// values bit-for-bit on every seeded page.
+    fn content_hash_old(bytes: &[u8]) -> u64 {
+        let mut h = FNV_INIT;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(chunk);
+            let word = u64::from_le_bytes(w);
+            let mut shift = 0u32;
+            while shift < 64 {
+                h ^= (word >> shift) & 0xff;
+                h = h.wrapping_mul(FNV_PRIME);
+                shift += 8;
+            }
+        }
+        for &b in chunks.remainder() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
+    #[test]
+    fn wide_ops_match_old_implementation_on_seeded_pages() {
+        // Deterministic xorshift fill — no external RNG in unit tests.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for seed_page in 0..8 {
+            let mut page = [0u8; PAGE_SIZE as usize];
+            for chunk in page.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&next().to_le_bytes());
+            }
+            if seed_page % 3 == 0 {
+                // Long zero prefixes exercise the early-equal chunks.
+                page[..1024].fill(0);
+            }
+            assert_eq!(content_hash(&page), content_hash_old(&page));
+            for len in [0usize, 1, 7, 8, 31, 32, 33, 63, 100, 4095] {
+                assert_eq!(content_hash(&page[..len]), content_hash_old(&page[..len]));
+            }
+            assert!(!page_is_zero(&page) || page.iter().all(|&b| b == 0));
+        }
+        assert_eq!(content_hash(&ZERO_PAGE), content_hash_old(&ZERO_PAGE));
+        assert!(page_is_zero(&ZERO_PAGE));
+    }
+
+    #[test]
+    fn read_view_is_sync_and_matches_memoized_values() {
+        fn assert_sync<T: Sync + Send>(_: &T) {}
+        let mut m = PhysMemory::new(4);
+        m.write_byte(PhysAddr(5), 9);
+        m.write_byte(PhysAddr(PAGE_SIZE + 1), 3);
+        let view = m.read_view();
+        assert_sync(&view);
+        for f in 0..4u64 {
+            let f = FrameId(f);
+            assert_eq!(view.hash_page(f), m.hash_page(f));
+            assert_eq!(view.is_zero(f), m.is_zero(f));
+            assert_eq!(view.write_gen(f), m.info(f).write_gen);
+            assert_eq!(view.page(f), m.page(f));
+        }
+        assert_eq!(view.frame_count(), m.frame_count());
+    }
+
+    #[test]
+    fn seed_hash_populates_the_memo_cache() {
+        let mut m = PhysMemory::new(2);
+        m.write_byte(PhysAddr(7), 0x42);
+        assert!(!m.has_cached_hash(FrameId(0)));
+        let h = m.read_view().hash_page(FrameId(0));
+        m.seed_hash(FrameId(0), h);
+        assert!(m.has_cached_hash(FrameId(0)));
+        assert_eq!(m.hash_page(FrameId(0)), h);
+        // A later write invalidates the seeded value like any other.
+        m.write_byte(PhysAddr(8), 1);
+        assert!(!m.has_cached_hash(FrameId(0)));
+        assert_eq!(m.hash_page(FrameId(0)), content_hash(m.page(FrameId(0))));
+        // Lazy-zero frames are always "cached" (the hash is a constant).
+        assert!(m.has_cached_hash(FrameId(1)));
+        m.seed_hash(FrameId(1), ZERO_PAGE_HASH);
+        assert_eq!(m.hash_page(FrameId(1)), ZERO_PAGE_HASH);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * **D-rules** — determinism: no wall-clock time, no randomized-order
 //!   hash collections, no environment reads, no platform-conditional
 //!   compilation inside the simulation crates.
+//! * **T-rules** — threading: host threads stay behind the approved
+//!   shard runner (`crates/core/src/shard.rs`) and the campaign driver;
+//!   ad-hoc `std::thread` use would make artifacts depend on scheduling.
 //! * **W-rules** — write-gen coherence: code in `vusion-mem` that can
 //!   reach mutable frame contents must bump the frame's write generation
 //!   (checked transitively across local calls).
@@ -61,6 +64,8 @@ impl Finding {
 pub struct Families {
     /// Determinism rules.
     pub d: bool,
+    /// Threading rules.
+    pub t: bool,
     /// Write-gen coherence rules.
     pub w: bool,
     /// PTE-typing rules.
@@ -73,6 +78,7 @@ impl Families {
     /// Every family on — used by fixtures.
     pub const ALL: Families = Families {
         d: true,
+        t: true,
         w: true,
         p: true,
         e: true,
@@ -109,6 +115,9 @@ pub fn families_for(rel: &str) -> Families {
     let in_scope = |scope: &[&str]| scope.iter().any(|p| rel.starts_with(p));
     Families {
         d: in_scope(DETERMINISM_SCOPE),
+        // Host threads ride the same scope as determinism: the crates
+        // whose artifacts must not depend on scheduling.
+        t: in_scope(DETERMINISM_SCOPE),
         w: rel.starts_with("crates/mem/src/"),
         // PTE words may only be touched inside the MMU crate; everyone
         // else — engines, kernel, tests, benches — goes through the API.
@@ -380,6 +389,9 @@ pub fn analyze_source(rel: &str, source: &str, fam: Families) -> Vec<Finding> {
     }
     if fam.d {
         rules::determinism(&ctx, &mut findings);
+    }
+    if fam.t {
+        rules::threading(&ctx, &mut findings);
     }
     if fam.w {
         rules::write_gen(&ctx, &mut findings);

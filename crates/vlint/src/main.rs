@@ -27,6 +27,7 @@ D001  no host wall-clock (std::time, Instant, SystemTime) in simulation crates
 D002  no randomized-order collections (HashMap/HashSet); use BTreeMap/BTreeSet
 D003  no environment reads (env::var) in simulation crates
 D004  no platform-conditional compilation (cfg(target_os/unix/windows/...))
+T001  host threads only via the approved shard runner (crates/core/src/shard.rs)
 W001  &mut self code reaching frame contents must bump a write generation
 P001  no raw u64 PTE bit arithmetic outside vusion-mmu; use Pte/PteFlags
 P002  bits/from_bits/to_bits escape hatches stay inside vusion-mmu

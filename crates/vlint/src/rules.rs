@@ -168,6 +168,62 @@ pub(crate) fn determinism(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------
+// T — threading
+// ---------------------------------------------------------------------
+
+/// T001: host threads in a determinism crate. Engine-side parallelism
+/// goes through the approved shard runner (`crates/core/src/shard.rs`,
+/// which carries the one allow annotation), whose pre-partitioned work
+/// and enumeration-order reduction keep every artifact byte-identical at
+/// any worker count; ad-hoc `std::thread` use reintroduces scheduling
+/// order as a hidden input. The campaign driver's whole-run fan-out
+/// (each worker owns entire deterministic runs) is baselined.
+pub(crate) fn threading(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        // `std::thread` by full path (imports and inline paths alike).
+        if path_seg(toks, i, "std", &["thread"]).is_some() {
+            push(
+                ctx,
+                out,
+                t.line,
+                "T001",
+                "`std::thread` spawns host threads in a determinism crate; scan \
+                 parallelism goes through the shard runner (crates/core/src/shard.rs) \
+                 so artifacts stay byte-identical at any worker count"
+                    .to_string(),
+            );
+            continue;
+        }
+        // `thread::spawn` / `thread::scope` / `thread::Builder` after a
+        // `use std::thread`. Skip when preceded by `::` — that is the
+        // tail of a `std::thread::...` path already reported above.
+        let path_tail = i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':');
+        if !path_tail {
+            if let Some(m) = path_seg(toks, i, "thread", &["spawn", "scope", "Builder"]) {
+                push(
+                    ctx,
+                    out,
+                    t.line,
+                    "T001",
+                    format!(
+                        "`thread::{}` spawns host threads in a determinism crate; scan \
+                         parallelism goes through the shard runner \
+                         (crates/core/src/shard.rs) so artifacts stay byte-identical \
+                         at any worker count",
+                        m.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // W — write-gen coherence
 // ---------------------------------------------------------------------
 
@@ -502,6 +558,15 @@ mod tests {
         assert!(rules("// HashMap\nlet s = \"SystemTime\";").is_empty());
         assert!(rules("#[cfg(feature = \"slow-tests\")]\nfn f() {}").is_empty());
         assert!(rules("#[cfg(not(test))]\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn t_rule_fires_on_host_threads() {
+        assert_eq!(rules("use std::thread;"), vec![("T001", 1)]);
+        assert_eq!(rules("let h = thread::spawn(f);"), vec![("T001", 1)]);
+        assert_eq!(rules("std::thread::scope(|s| {});"), vec![("T001", 1)]);
+        assert!(rules("runner.set_threads(4);").is_empty());
+        assert!(rules("let threads = cfg.threads.max(1);").is_empty());
     }
 
     #[test]

@@ -42,6 +42,12 @@ fn d004_platform_cfg() {
 }
 
 #[test]
+fn t001_host_threads() {
+    check("t001_bad.rs", &[("T001", 3), ("T001", 6), ("T001", 8)]);
+    check("t001_ok.rs", &[]);
+}
+
+#[test]
 fn w001_write_gen_bump() {
     check("w001_bad.rs", &[("W001", 10)]);
     check("w001_ok.rs", &[]);

@@ -1,0 +1,10 @@
+//! T001 true positives: ad-hoc host threading in a determinism crate.
+
+use std::thread;
+
+fn fan_out() -> u64 {
+    let handle = thread::spawn(|| 1 + 1);
+    let partial = handle.join().unwrap();
+    std::thread::scope(|_s| {});
+    partial
+}

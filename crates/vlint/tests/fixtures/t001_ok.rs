@@ -1,0 +1,15 @@
+//! T001 true negatives: thread-flavored vocabulary without host threads.
+
+struct ShardRunner {
+    threads: usize,
+}
+
+impl ShardRunner {
+    fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+}
+
+fn panic_label() -> &'static str {
+    "shard worker thread panicked"
+}

@@ -13,9 +13,11 @@ const PAGES: u64 = 32;
 
 /// Builds a traced system and drives the standard mixed workload:
 /// duplicate writes, scans, then reads and partial writes (CoW + CoA
-/// unmerges), then more scans.
-fn traced_run(kind: EngineKind, seed: u64) -> (Vec<u8>, String, String) {
+/// unmerges), then more scans. `threads` sets the scan-shard worker
+/// count — a host-execution knob that must never reach any artifact.
+fn traced_run(kind: EngineKind, seed: u64, threads: usize) -> (Vec<u8>, String, String, Vec<u8>) {
     let mut sys = kind.build_system(MachineConfig::test_small().with_seed(seed));
+    sys.set_scan_threads(threads);
     sys.machine.enable_tracing();
     let pids: Vec<Pid> = (0..2)
         .map(|i| sys.machine.spawn(&format!("p{i}")).expect("spawn"))
@@ -47,7 +49,8 @@ fn traced_run(kind: EngineKind, seed: u64) -> (Vec<u8>, String, String) {
     let trace = sys.machine.obs().tracer().export_bytes();
     let chrome = sys.machine.obs().tracer().chrome_trace_json();
     let metrics = sys.metrics_snapshot().to_json();
-    (trace, chrome, metrics)
+    let snapshot = sys.snapshot();
+    (trace, chrome, metrics, snapshot)
 }
 
 /// Same seed + workload ⇒ byte-identical trace buffer, Chrome JSON and
@@ -61,12 +64,42 @@ fn identical_runs_produce_identical_artifacts() {
         EngineKind::VUsion,
         EngineKind::VUsionThp,
     ] {
-        let a = traced_run(kind, 0xfeed);
-        let b = traced_run(kind, 0xfeed);
+        let a = traced_run(kind, 0xfeed, 1);
+        let b = traced_run(kind, 0xfeed, 1);
         assert!(!a.0.is_empty(), "{kind:?}: trace must record events");
         assert_eq!(a.0, b.0, "{kind:?}: trace buffers diverged");
         assert_eq!(a.1, b.1, "{kind:?}: Chrome trace JSON diverged");
         assert_eq!(a.2, b.2, "{kind:?}: metrics snapshots diverged");
+        assert_eq!(a.3, b.3, "{kind:?}: snapshots diverged");
+    }
+}
+
+/// The scan-shard worker count is pure host parallelism (DESIGN.md §13):
+/// trace bytes, Chrome JSON, metrics, and the serialized system state
+/// must be byte-identical at every thread count, for every engine — the
+/// parallel phase computes only pure functions of page contents, and all
+/// RNG draws, crash polls, and mutations stay in the serial phase.
+#[test]
+fn artifacts_identical_across_thread_counts() {
+    for kind in [
+        EngineKind::NoFusion,
+        EngineKind::Ksm,
+        EngineKind::Wpf,
+        EngineKind::VUsion,
+        EngineKind::VUsionThp,
+    ] {
+        let one = traced_run(kind, 0xfeed, 1);
+        assert!(!one.0.is_empty(), "{kind:?}: trace must record events");
+        for threads in [2, 4, 7] {
+            let t = traced_run(kind, 0xfeed, threads);
+            assert_eq!(one.0, t.0, "{kind:?} @{threads} threads: trace diverged");
+            assert_eq!(
+                one.1, t.1,
+                "{kind:?} @{threads} threads: Chrome JSON diverged"
+            );
+            assert_eq!(one.2, t.2, "{kind:?} @{threads} threads: metrics diverged");
+            assert_eq!(one.3, t.3, "{kind:?} @{threads} threads: snapshot diverged");
+        }
     }
 }
 
@@ -74,8 +107,8 @@ fn identical_runs_produce_identical_artifacts() {
 /// artifacts being trivially constant).
 #[test]
 fn different_seed_changes_the_trace() {
-    let a = traced_run(EngineKind::VUsion, 1);
-    let b = traced_run(EngineKind::VUsion, 2);
+    let a = traced_run(EngineKind::VUsion, 1, 1);
+    let b = traced_run(EngineKind::VUsion, 2, 1);
     assert_ne!(
         a.0, b.0,
         "VUsion trace must depend on the seed (rerandomization)"
@@ -105,13 +138,17 @@ fn phase2<P: FusionPolicy>(sys: &mut System<P>, pids: &[Pid]) {
 
 /// The trace of the live post-snapshot phase must equal the trace of the
 /// same phase re-executed via restore + journal replay: observability is
-/// part of the replay contract, not a bystander.
+/// part of the replay contract, not a bystander. The live run scans with
+/// 4 shard workers and the replay with 7 — the knob is not part of the
+/// snapshot, so replay on a machine with a different thread count must
+/// still converge byte for byte.
 #[test]
 fn trace_survives_snapshot_restore_replay() {
     for kind in [EngineKind::Ksm, EngineKind::VUsion] {
         // Live run: set up, snapshot, then a traced phase 2.
         let cfg = MachineConfig::test_small().with_seed(0xabcd);
         let mut sys = kind.build_system(cfg);
+        sys.set_scan_threads(4);
         let pids: Vec<Pid> = (0..2)
             .map(|i| sys.machine.spawn(&format!("p{i}")).expect("spawn"))
             .collect();
@@ -141,8 +178,10 @@ fn trace_survives_snapshot_restore_replay() {
         let journal = sys.machine.journal().to_vec();
         assert!(!live_trace.is_empty(), "{kind:?}: phase 2 must trace");
 
-        // Replayed run: fresh system, restore, trace, replay the journal.
+        // Replayed run: fresh system, restore, trace, replay the journal —
+        // under a different worker count than the live run.
         let mut replayed = kind.build_system(cfg);
+        replayed.set_scan_threads(7);
         replayed.restore(&snapshot).expect("restore");
         replayed.machine.enable_tracing();
         replayed.replay(&journal);
