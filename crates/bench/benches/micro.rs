@@ -400,6 +400,85 @@ fn bench_scan_scaling(out: &mut Vec<BenchResult>) {
     }
 }
 
+/// Per-wake cost of a governor-throttled scan: the same 512-page
+/// workloads as the full-scan benches, but the engine runs under a hard
+/// per-wake page budget ([`vusion_kernel::FusionPolicy::set_scan_budget`])
+/// — each wake visits or hashes only 64 pages and, for WPF, parks a
+/// resumable pass cursor for the next wake. Medians land next to the
+/// unthrottled `scan_*` rows in the artifact, so a reviewer can read the
+/// budget's per-wake saving straight off one file.
+fn bench_scan_throttled(out: &mut Vec<BenchResult>) {
+    use vusion_core::{Ksm, KsmConfig, VUsion, VUsionConfig, Wpf, WpfConfig};
+    use vusion_kernel::{FusionPolicy, System};
+    {
+        let mut m = Machine::new(MachineConfig::test_small());
+        let pid = m.spawn("t").expect("spawn");
+        m.mmap(pid, Vma::anon(VirtAddr(0x10000), 512, Protection::rw()));
+        m.madvise_mergeable(pid, VirtAddr(0x10000), 512);
+        let ksm = Ksm::new(KsmConfig {
+            pages_per_scan: 512,
+            ..Default::default()
+        });
+        let mut sys = System::new(m, ksm);
+        for i in 0..512u64 {
+            let byte_off = i / 251;
+            let value = (i % 251) as u8 + 1;
+            sys.write(pid, VirtAddr(0x10000 + i * 4096 + byte_off), value);
+        }
+        sys.policy.set_scan_budget(Some(64));
+        bench(out, "scan_pass_throttled_ksm_b64", || {
+            black_box(sys.policy.scan(&mut sys.machine));
+        });
+    }
+    {
+        // Cold pass under budget: every iteration dirties all 512 pages
+        // (hash memos go cold), the budgeted wake hashes 64 of them and
+        // suspends; a full pass completes every 8 wakes.
+        let cfg = MachineConfig::test_small().with_reserved_top(256);
+        let mut m = Machine::new(cfg);
+        let pid = m.spawn("t").expect("spawn");
+        m.mmap(pid, Vma::anon(VirtAddr(0x10000), 512, Protection::rw()));
+        let wpf = Wpf::new(&m, WpfConfig::default()).expect("reserved region");
+        let mut sys = System::new(m, wpf);
+        for i in 0..512u64 {
+            let byte_off = i / 251;
+            let value = (i % 251) as u8 + 1;
+            sys.write(pid, VirtAddr(0x10000 + i * 4096 + byte_off), value);
+        }
+        sys.policy.set_scan_budget(Some(64));
+        bench(out, "scan_pass_throttled_wpf_b64", || {
+            black_box(sys.policy.scan(&mut sys.machine));
+        });
+    }
+    {
+        let mut m = Machine::new(MachineConfig::test_small());
+        let pid = m.spawn("t").expect("spawn");
+        m.mmap(pid, Vma::anon(VirtAddr(0x10000), 512, Protection::rw()));
+        m.madvise_mergeable(pid, VirtAddr(0x10000), 512);
+        let vusion = VUsion::new(
+            &mut m,
+            VUsionConfig {
+                pool_frames: 1024,
+                ablate_rerandomize: true,
+                ..Default::default()
+            },
+        );
+        let mut sys = System::new(m, vusion);
+        for i in 0..512u64 {
+            let byte_off = i / 251;
+            let value = (i % 251) as u8 + 1;
+            sys.write(pid, VirtAddr(0x10000 + i * 4096 + byte_off), value);
+        }
+        for _ in 0..8 {
+            sys.policy.scan(&mut sys.machine);
+        }
+        sys.policy.set_scan_budget(Some(64));
+        bench(out, "scan_pass_throttled_vusion_b64", || {
+            black_box(sys.policy.scan(&mut sys.machine));
+        });
+    }
+}
+
 /// `git rev-parse --short HEAD`, or `"unknown"` outside a git checkout.
 fn git_rev(repo_root: &str) -> String {
     let out = std::process::Command::new("git")
@@ -491,6 +570,17 @@ fn main() {
     bench_fault_path(&mut results);
     let metrics = bench_engine_scans(&mut results);
     bench_scan_scaling(&mut results);
+    bench_scan_throttled(&mut results);
+
+    // Zero-cost-when-off: every scan bench above runs without a governor,
+    // so the instrumented metrics snapshots must carry no pressure.*
+    // keys — a disabled governor leaves no trace in any artifact.
+    for (engine, snap) in &metrics {
+        assert!(
+            !snap.contains("pressure."),
+            "{engine}: ungoverned bench metrics contain pressure.* keys"
+        );
+    }
 
     let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = format!("{repo_root}/BENCH_micro.json");

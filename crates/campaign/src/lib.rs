@@ -73,6 +73,8 @@ pub struct CampaignConfig {
     pub threads: usize,
     /// Replay budget per failure for the shrinker.
     pub shrink_budget: u64,
+    /// Pressure governor armed on every run (`None` sweeps ungoverned).
+    pub governor: Option<PressureConfig>,
 }
 
 impl CampaignConfig {
@@ -99,6 +101,46 @@ impl CampaignConfig {
             shape: ScenarioShape::small(),
             threads: 1,
             shrink_budget: 512,
+            governor: None,
+        }
+    }
+
+    /// The pressure-churn sweep: every engine over the OOM-burst
+    /// [`FaultPlan::pressure_ladder`] with the governor armed on a tight
+    /// budget band, uncrashed. This is the cell grid that proves graceful
+    /// degradation at campaign scale: the `pressure.*` coverage keys must
+    /// move, and the default invariants (frame audit, CoW soundness) must
+    /// hold at every ladder rung.
+    pub fn pressure_churn(seeds: u64) -> Self {
+        let plans = FaultPlan::pressure_ladder()
+            .into_iter()
+            .map(|(n, p)| (n.to_string(), p))
+            .collect();
+        let governor = PressureConfig {
+            budget_min: 4,
+            budget_max: 32,
+            budget_add: 8,
+            ..PressureConfig::standard()
+        };
+        Self {
+            seed_base: 0x9e55_0000,
+            seeds,
+            engines: vec![EngineKind::Ksm, EngineKind::Wpf, EngineKind::VUsion],
+            plans,
+            crashes: vec![("none".to_string(), CrashPlan::NONE)],
+            // A larger working set than `standard()`: merge/unmerge churn
+            // must allocate often enough that clustered injected failures
+            // actually reach the governor's OOM-delta signal.
+            rounds: 4,
+            writes_per_round: 96,
+            shape: ScenarioShape {
+                procs: 3,
+                pages: 24,
+                base: VirtAddr(0x10000),
+            },
+            threads: 1,
+            shrink_budget: 512,
+            governor: Some(governor),
         }
     }
 
@@ -210,6 +252,7 @@ impl Campaign {
                             rounds: cfg.rounds,
                             writes_per_round: cfg.writes_per_round,
                             shape: cfg.shape,
+                            governor: cfg.governor,
                         });
                     }
                 }
@@ -251,6 +294,14 @@ impl Campaign {
         // stay out so KSM-only sweeps do not report false gaps.
         expected.push("span.scan_pass".to_string());
         expected.push("span.merge".to_string());
+        if self.cfg.governor.is_some() {
+            // An armed governor samples on every wakeup; with any
+            // OOM-injecting plan on the axis it must also escalate.
+            expected.push("pressure.samples".to_string());
+            if any(|p| p.alloc_every_nth > 0 || p.alloc_fail_prob > 0.0) {
+                expected.push("pressure.escalations".to_string());
+            }
+        }
         expected.sort();
         expected.dedup();
         expected

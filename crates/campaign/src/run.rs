@@ -179,6 +179,9 @@ pub struct RunSpec {
     pub writes_per_round: u32,
     /// Memory layout of the run.
     pub shape: ScenarioShape,
+    /// Pressure governor installed before the base snapshot (`None` runs
+    /// ungoverned, the pre-governor campaign exactly).
+    pub governor: Option<PressureConfig>,
 }
 
 impl RunSpec {
@@ -260,6 +263,14 @@ pub fn execute(spec: &RunSpec, invariants: &[Invariant]) -> RunOutput {
         }
     }
 
+    // Install the governor (if armed) while still in setup: it travels
+    // in the base snapshot, so every shrink/replay of a failure runs
+    // under the same control law.
+    if let Some(gcfg) = spec.governor {
+        sys.set_pressure_governor(gcfg)
+            .expect("valid governor config");
+    }
+
     // Arm everything, then snapshot: any later failure bundles as "this
     // state, then these journaled calls".
     sys.machine.arm_faults();
@@ -319,6 +330,16 @@ pub fn execute(spec: &RunSpec, invariants: &[Invariant]) -> RunOutput {
             &format!("site.{}.fired", site.label()),
             sys.machine.crashes_fired(),
         );
+    }
+    if spec.governor.is_some() {
+        let g = sys.pressure_governor().stats();
+        coverage.add("pressure.samples", g.samples);
+        coverage.add("pressure.escalations", g.escalations);
+        coverage.add("pressure.de_escalations", g.de_escalations);
+        coverage.add("pressure.drain_rungs", g.drain_rungs);
+        coverage.add("pressure.shrink_rungs", g.shrink_rungs);
+        coverage.add("pressure.defer_rungs", g.defer_rungs);
+        coverage.add("pressure.budget_used", g.budget_used);
     }
     let inj = sys.machine.injection_breakdown();
     coverage.add("fault.alloc.injected", inj.injected_allocs);

@@ -27,7 +27,49 @@ fn small_config() -> CampaignConfig {
         shape: ScenarioShape::small(),
         threads: 1,
         shrink_budget: 256,
+        governor: None,
     }
+}
+
+#[test]
+fn pressure_churn_campaign_degrades_gracefully() {
+    let cfg = CampaignConfig::pressure_churn(2);
+    let total = cfg.total_runs();
+    let serial = Campaign::new(cfg.clone())
+        .expect("valid config")
+        .run()
+        .expect("campaign");
+    assert_eq!(serial.runs, total);
+    // Graceful degradation: no invariant (frame audit, CoW soundness)
+    // breaks at any ladder rung, while the governor demonstrably worked —
+    // it sampled every wakeup, the OOM-burst plans pushed it up the
+    // bands, and the throttled budgets were actually consumed.
+    assert!(
+        !serial.has_failures(),
+        "invariants violated under pressure: {}",
+        serial.to_json()
+    );
+    assert!(serial.coverage.get("pressure.samples") > 0);
+    assert!(
+        serial.coverage.get("pressure.escalations") > 0,
+        "OOM-burst plans never escalated: {}",
+        serial.to_json()
+    );
+    assert!(serial.coverage.get("pressure.budget_used") > 0);
+    assert!(serial.coverage.get("fault.alloc.injected") > 0);
+    assert!(
+        !serial.uncovered.iter().any(|k| k.starts_with("pressure.")),
+        "promised pressure coverage missing: {:?}",
+        serial.uncovered
+    );
+    // And the governed sweep stays byte-identical across worker counts.
+    let mut cfg7 = CampaignConfig::pressure_churn(2);
+    cfg7.threads = 7;
+    let parallel = Campaign::new(cfg7)
+        .expect("valid config")
+        .run()
+        .expect("campaign");
+    assert_eq!(serial.to_json(), parallel.to_json());
 }
 
 #[test]

@@ -113,6 +113,12 @@ pub struct Ksm {
     candidates: CandidateCache,
     /// Global page cursor over the concatenated mergeable VMAs.
     cursor: u64,
+    /// Per-wake page budget granted by the pressure governor. Never
+    /// serialized: the governor re-grants before every wakeup.
+    budget: Option<u64>,
+    /// Reclaim-ladder rung 3: while set, THP breaks (which consume
+    /// page-table frames) are deferred until pressure clears.
+    defer_zero: bool,
     /// Mappings currently pointing at stable frames. Frames saved =
     /// `merged_live - stable pages` (the stable frame is one party's own).
     merged_live: u64,
@@ -136,6 +142,8 @@ impl Ksm {
             checksums: BTreeMap::new(),
             candidates: CandidateCache::default(),
             cursor: 0,
+            budget: None,
+            defer_zero: false,
             merged_live: 0,
             tags: TagCounts::default(),
             stats: KsmStats::default(),
@@ -278,6 +286,12 @@ impl Ksm {
         report: &mut ScanReport,
     ) -> bool {
         if m.leaf(pid, va).map(|l| l.huge).unwrap_or(false) {
+            if self.defer_zero {
+                // Rung 3 active: splitting a THP consumes page-table
+                // frames under critical pressure. Retry once it clears.
+                m.note_scan_retry();
+                return false;
+            }
             m.trace_begin("ksm", SpanKind::ThpBreak);
             let broke = m.break_thp(pid, va).is_ok();
             if broke {
@@ -559,6 +573,7 @@ impl vusion_snapshot::Snapshot for Ksm {
         w.u64(self.stats.full_rounds);
         w.u64(self.stats.huge_broken);
         w.u64(self.stats.checksum_skips);
+        w.bool(self.defer_zero);
     }
 
     fn load(
@@ -612,6 +627,7 @@ impl vusion_snapshot::Snapshot for Ksm {
             huge_broken: r.u64()?,
             checksum_skips: r.u64()?,
         };
+        self.defer_zero = r.bool()?;
         Ok(())
     }
 }
@@ -667,7 +683,11 @@ impl FusionPolicy for Ksm {
         // Shard phase: pre-hash this wakeup's visit window in parallel
         // off a read-only view, so the serial decide phase below hits the
         // hash memo-cache exactly as a warmed single-threaded pass would.
-        let window = self.cfg.pages_per_scan.min(pages.len());
+        let limit = match self.budget {
+            Some(b) => b as usize,
+            None => self.cfg.pages_per_scan,
+        };
+        let window = limit.min(pages.len());
         let mut visit_frames = Vec::with_capacity(window);
         for i in 0..window {
             let idx = ((self.cursor + i as u64) % pages.len() as u64) as usize;
@@ -681,12 +701,13 @@ impl FusionPolicy for Ksm {
         shard::prehash_frames(m, &self.runner, &visit_frames);
         // Serial decide/commit phase: every mutation, RNG draw, crash
         // poll, and trace event happens here in canonical order.
-        for _ in 0..self.cfg.pages_per_scan {
+        for _ in 0..limit {
             if m.crash_now(CrashSite::MidScan) {
                 // The daemon dies between pages: work already done this
                 // wakeup stays committed, nothing is left in flight.
                 break;
             }
+            report.budget_used += 1;
             let idx = (self.cursor % pages.len() as u64) as usize;
             let (pid, va) = pages[idx];
             self.scan_one(m, pid, va, &mut report);
@@ -733,6 +754,28 @@ impl FusionPolicy for Ksm {
     fn set_scan_threads(&mut self, threads: usize) {
         self.cfg.scan_threads = threads.max(1);
         self.runner.set_threads(threads);
+    }
+
+    fn set_scan_budget(&mut self, budget: Option<u64>) {
+        self.budget = budget;
+    }
+
+    fn pressure_shrink(&mut self, _m: &mut Machine) -> u64 {
+        // Drop every transient structure the scan can rebuild: the
+        // unstable tree (KSM proper drops it each round anyway), its
+        // hash filter and reverse index, the checksum memo, the
+        // dirty-driven pass list, and the candidate cache.
+        let unstable = self.unstable.len() as u64;
+        self.unstable.clear();
+        self.unstable_index.clear();
+        self.unstable_hashes.clear();
+        let sums = self.checksums.len() as u64;
+        self.checksums = BTreeMap::new();
+        unstable + sums + self.dirty.shed() + self.candidates.shed()
+    }
+
+    fn set_zero_unmerge_deferral(&mut self, on: bool) {
+        self.defer_zero = on;
     }
 
     fn save_state(&self, w: &mut vusion_snapshot::Writer) {

@@ -169,6 +169,16 @@ impl CandidateCache {
         self.pages = pages;
     }
 
+    /// Drops the cached list and its epoch stamp (reclaim-ladder shrink):
+    /// the next take rebuilds from machine state, so nothing is lost but
+    /// the memory. Returns the number of entries shed.
+    pub(crate) fn shed(&mut self) -> u64 {
+        let n = self.pages.len() as u64;
+        self.pages = Vec::new();
+        self.epoch = None;
+        n
+    }
+
     /// Serializes the cached list and its epoch stamp.
     pub(crate) fn save(&self, w: &mut vusion_snapshot::Writer) {
         match self.epoch {
@@ -252,6 +262,14 @@ impl DirtyTracker {
     /// Forgets everything (candidate list rebuilt).
     pub(crate) fn clear(&mut self) {
         self.seen.clear();
+    }
+
+    /// Drops all tracked pages and reports how many were shed
+    /// (reclaim-ladder shrink): every page is simply re-examined.
+    pub(crate) fn shed(&mut self) -> u64 {
+        let n = self.seen.len() as u64;
+        self.seen = BTreeMap::new();
+        n
     }
 
     /// Number of tracked pages.

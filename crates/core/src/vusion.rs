@@ -148,6 +148,12 @@ pub struct VUsion {
     deferred: DeferredFreeQueue,
     cursor: u64,
     saved: u64,
+    /// Per-wake page budget granted by the pressure governor. Never
+    /// serialized: the governor re-grants before every wakeup.
+    budget: Option<u64>,
+    /// Reclaim-ladder rung 3: while set, frame-allocating scan work (fake
+    /// merges, rerandomization rounds) is deferred until pressure clears.
+    defer_zero: bool,
     /// Frames handed out by RA, for the §9.1 uniformity test.
     ra_trace: Vec<u64>,
     tags: TagCounts,
@@ -175,6 +181,8 @@ impl VUsion {
             deferred: DeferredFreeQueue::new(),
             cursor: 0,
             saved: 0,
+            budget: None,
+            defer_zero: false,
             ra_trace: Vec::new(),
             tags: TagCounts::default(),
             stats: VUsionStats::default(),
@@ -421,6 +429,12 @@ impl VUsion {
                 report.pages_merged += 1;
             }
             None => {
+                if self.defer_zero {
+                    // Rung 3 active: a fake merge would draw a pool frame
+                    // under critical pressure. Leave the page unmanaged —
+                    // it is revisited once the band drops.
+                    return;
+                }
                 m.trace_begin("vusion", SpanKind::FakeMerge);
                 // Fake merge: fresh random backing frame, same trap.
                 let Ok(new) = self.ra_alloc(m, PageType::Fused) else {
@@ -736,6 +750,7 @@ impl vusion_snapshot::Snapshot for VUsion {
         w.u64(self.stats.rerandomized);
         w.u64(self.stats.collapse_unmerges);
         w.u64(self.stats.full_rounds);
+        w.bool(self.defer_zero);
     }
 
     fn load(
@@ -792,6 +807,7 @@ impl vusion_snapshot::Snapshot for VUsion {
             collapse_unmerges: r.u64()?,
             full_rounds: r.u64()?,
         };
+        self.defer_zero = r.bool()?;
         Ok(())
     }
 }
@@ -840,11 +856,15 @@ impl FusionPolicy for VUsion {
         // would collect nothing — skip its per-page lookups. The test
         // depends only on serial engine state, so the decision (and the
         // trace) is identical at any thread count.
+        let limit = match self.budget {
+            Some(b) => b as usize,
+            None => self.cfg.pages_per_scan,
+        };
         let all_managed = self.page_state.len() >= pages.len();
         let window = if all_managed {
             0
         } else {
-            self.cfg.pages_per_scan.min(pages.len())
+            limit.min(pages.len())
         };
         let mut visit_frames = Vec::with_capacity(window);
         for i in 0..window {
@@ -860,18 +880,21 @@ impl FusionPolicy for VUsion {
             }
         }
         shard::prehash_frames(m, &self.runner, &visit_frames);
-        for _ in 0..self.cfg.pages_per_scan {
+        for _ in 0..limit {
             if m.crash_now(CrashSite::MidScan) {
                 // The daemon dies between pages: work already done this
                 // wakeup stays committed, nothing is left in flight.
                 break;
             }
+            report.budget_used += 1;
             let idx = (self.cursor % pages.len() as u64) as usize;
             let (pid, va) = pages[idx];
             self.scan_one(m, pid, va, &mut report);
             self.cursor += 1;
             if self.cursor.is_multiple_of(pages.len() as u64) {
-                if !self.cfg.ablate_rerandomize {
+                // Rung 3 defers the round's rerandomization too: it draws
+                // one pool frame per tree page.
+                if !self.cfg.ablate_rerandomize && !self.defer_zero {
                     self.rerandomize_round(m);
                 }
                 self.stats.full_rounds += 1;
@@ -926,6 +949,30 @@ impl FusionPolicy for VUsion {
     fn set_scan_threads(&mut self, threads: usize) {
         self.cfg.scan_threads = threads.max(1);
         self.runner.set_threads(threads);
+    }
+
+    fn set_scan_budget(&mut self, budget: Option<u64>) {
+        self.budget = budget;
+    }
+
+    fn pressure_drain(&mut self, m: &mut Machine) -> u64 {
+        let mut dead = Vec::new();
+        let n = self.deferred.drain(usize::MAX, |f| dead.push(f));
+        for f in dead {
+            self.ra_release(m, f);
+        }
+        if n > 0 {
+            m.note_deferred_drain();
+        }
+        n as u64
+    }
+
+    fn pressure_shrink(&mut self, _m: &mut Machine) -> u64 {
+        self.candidates.shed()
+    }
+
+    fn set_zero_unmerge_deferral(&mut self, on: bool) {
+        self.defer_zero = on;
     }
 
     fn save_state(&self, w: &mut vusion_snapshot::Writer) {

@@ -64,6 +64,22 @@ pub struct WpfStats {
     pub passes: u64,
 }
 
+/// A suspended fusion pass. WPF's pass is staged (hash everything, then
+/// sort/group/merge); when a governor budget runs out mid-hashing the
+/// cursor and the rows hashed so far park here and the next wakeup
+/// resumes where it stopped. The merge stages run only once every
+/// candidate has been hashed, so a suspended pass mutates nothing.
+struct PassState {
+    /// Index of the next candidate to hash.
+    cursor: u64,
+    /// Candidate count the pass started with. A mismatch on resume means
+    /// the candidate set moved under the suspended pass; the pass
+    /// restarts from scratch rather than mixing stale and fresh rows.
+    total: u64,
+    /// `(hash, pid, va, frame)` rows accumulated so far, in visit order.
+    hashed: Vec<(u64, u64, u64, u64)>,
+}
+
 /// The WPF engine.
 pub struct Wpf {
     cfg: WpfConfig,
@@ -92,6 +108,15 @@ pub struct Wpf {
     dirty: DirtyTracker,
     /// Shard runner for the parallel hashing stage.
     runner: ShardRunner,
+    /// Suspended pass, if the previous wakeup's budget ran out mid-stage.
+    pass: Option<PassState>,
+    /// Per-wake page budget granted by the pressure governor. Never
+    /// serialized: the governor re-grants before every wakeup.
+    budget: Option<u64>,
+    /// Reclaim-ladder rung 3: while set, no new tree pages are reserved
+    /// from the linear allocator; merges onto existing tree pages (which
+    /// free memory) still proceed.
+    defer_zero: bool,
 }
 
 impl Wpf {
@@ -115,6 +140,9 @@ impl Wpf {
             last_pass_frames: Vec::new(),
             dirty: DirtyTracker::default(),
             runner: ShardRunner::new(cfg.scan_threads),
+            pass: None,
+            budget: None,
+            defer_zero: false,
         })
     }
 
@@ -250,33 +278,63 @@ impl Wpf {
             cands.push((pid, va, frame));
         }
         self.candidates.put_back(pages);
-        if all_clean && !tree_dirty && !cands.is_empty() {
+        if all_clean && !tree_dirty && !cands.is_empty() && self.pass.is_none() {
             // Dirty-driven fast path: every candidate is byte-for-byte the
             // page the previous completed pass declined to merge, and no
             // tree page changed — re-running the sort/group/merge stages
-            // would provably reproduce "no merges".
+            // would provably reproduce "no merges". A suspended pass
+            // disqualifies it: those rows were hashed under older contents.
             report.pages_skipped_clean = cands.len() as u64;
             let _ = m.crash_now(CrashSite::MidScan);
             self.stats.passes += 1;
             return report;
         }
-        // Shard phase: hash the candidates in parallel off a read-only
-        // view; the serial stages below then hit the memo cache exactly as
-        // a warmed single-threaded pass would.
-        let frames: Vec<FrameId> = cands.iter().map(|&(_, _, f)| f).collect();
+        // Resume the suspended pass, or start a fresh one. A layout-epoch
+        // rebuild or a candidate-count drift invalidates the parked rows.
+        let mut pass = match self.pass.take() {
+            Some(p) if !rebuilt && p.total == cands.len() as u64 => p,
+            _ => PassState {
+                cursor: 0,
+                total: cands.len() as u64,
+                hashed: Vec::new(),
+            },
+        };
+        let start = pass.cursor as usize;
+        let limit = match self.budget {
+            Some(b) => b as usize,
+            None => usize::MAX,
+        };
+        let end = start.saturating_add(limit).min(cands.len());
+        // Shard phase: hash this wakeup's window in parallel off a
+        // read-only view; the serial stage below then hits the memo cache
+        // exactly as a warmed single-threaded pass would.
+        let frames: Vec<FrameId> = cands[start..end].iter().map(|&(_, _, f)| f).collect();
         shard::prehash_frames(m, &self.runner, &frames);
-        let mut candidates: Vec<(u64, usize, u64, FrameId)> = Vec::new(); // (hash, pid, va, frame)
-        for &(pid, va, frame) in &cands {
+        for &(pid, va, frame) in &cands[start..end] {
             report.pages_scanned += 1;
-            candidates.push((m.mem().hash_page(frame), pid.0, va.0, frame));
+            report.budget_used += 1;
+            pass.hashed
+                .push((m.mem().hash_page(frame), pid.0 as u64, va.0, frame.0));
+            pass.cursor += 1;
         }
         if m.crash_now(CrashSite::MidScan) {
             // The pass dies after the read-only hashing stage: nothing has
-            // been mutated yet — and nothing is marked seen, so the next
-            // pass redoes the whole decision.
+            // been mutated yet, nothing is marked seen, and the suspended
+            // state is dropped — the next pass redoes the whole decision.
             return report;
         }
-        // 2. Sort by hash (the order that drives backing-frame adjacency).
+        if (pass.cursor as usize) < cands.len() {
+            // Budget exhausted mid-stage: park the cursor and yield. The
+            // sort/group/merge stages run only on a fully hashed set.
+            self.pass = Some(pass);
+            return report;
+        }
+        let mut candidates: Vec<(u64, usize, u64, FrameId)> = pass
+            .hashed
+            .iter()
+            .map(|&(h, p, v, f)| (h, p as usize, v, FrameId(f)))
+            .collect(); // (hash, pid, va, frame)
+                        // 2. Sort by hash (the order that drives backing-frame adjacency).
         candidates.sort();
         // 3. Walk hash groups, verify content equality, plan merges.
         struct Group {
@@ -321,8 +379,15 @@ impl Wpf {
             i = j;
         }
         // 4. Batch-reserve new backing frames (the MiAllocatePagesForMdl
-        // call with the exact count WPF knows it needs).
-        let new_groups = groups.iter().filter(|g| g.existing.is_none()).count();
+        // call with the exact count WPF knows it needs). Under reclaim
+        // rung 3 the reservation is deferred entirely: new tree pages
+        // would consume frames mid-crisis, so only merges onto existing
+        // tree pages (which free memory) proceed this pass.
+        let new_groups = if self.defer_zero {
+            0
+        } else {
+            groups.iter().filter(|g| g.existing.is_none()).count()
+        };
         let batch = {
             let mem = m.mem();
             self.linear.reserve_batch(new_groups, |f| {
@@ -564,6 +629,20 @@ impl vusion_snapshot::Snapshot for Wpf {
         w.u64(self.stats.passes);
         let last: Vec<u64> = self.last_pass_frames.iter().map(|f| f.0).collect();
         w.u64s(&last);
+        w.bool(self.defer_zero);
+        match &self.pass {
+            Some(p) => {
+                w.bool(true);
+                w.u64(p.cursor);
+                w.u64(p.total);
+                let mut flat = Vec::with_capacity(p.hashed.len() * 4);
+                for &(h, pid, va, f) in &p.hashed {
+                    flat.extend_from_slice(&[h, pid, va, f]);
+                }
+                w.u64s(&flat);
+            }
+            None => w.bool(false),
+        }
     }
 
     fn load(
@@ -586,6 +665,28 @@ impl vusion_snapshot::Snapshot for Wpf {
             passes: r.u64()?,
         };
         self.last_pass_frames = r.u64s()?.into_iter().map(FrameId).collect();
+        self.defer_zero = r.bool()?;
+        self.pass = if r.bool()? {
+            let cursor = r.u64()?;
+            let total = r.u64()?;
+            let flat = r.u64s()?;
+            if flat.len() % 4 != 0 {
+                return Err(vusion_snapshot::SnapshotError::Corrupt(
+                    "wpf pass rows not a multiple of 4",
+                ));
+            }
+            let hashed = flat
+                .chunks_exact(4)
+                .map(|c| (c[0], c[1], c[2], c[3]))
+                .collect();
+            Some(PassState {
+                cursor,
+                total,
+                hashed,
+            })
+        } else {
+            None
+        };
         Ok(())
     }
 }
@@ -637,6 +738,22 @@ impl FusionPolicy for Wpf {
     fn set_scan_threads(&mut self, threads: usize) {
         self.cfg.scan_threads = threads.max(1);
         self.runner.set_threads(threads);
+    }
+
+    fn set_scan_budget(&mut self, budget: Option<u64>) {
+        self.budget = budget;
+    }
+
+    fn pressure_shrink(&mut self, _m: &mut Machine) -> u64 {
+        // Drop rebuildable transients: the candidate enumeration, the
+        // dirty-driven pass list, and any suspended pass's hashed rows
+        // (the next wakeup simply restarts the pass).
+        let parked = self.pass.take().map(|p| p.hashed.len() as u64).unwrap_or(0);
+        self.candidates.shed() + self.dirty.shed() + parked
+    }
+
+    fn set_zero_unmerge_deferral(&mut self, on: bool) {
+        self.defer_zero = on;
     }
 
     fn save_state(&self, w: &mut vusion_snapshot::Writer) {

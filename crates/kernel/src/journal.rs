@@ -15,6 +15,7 @@ use vusion_mmu::Vma;
 use vusion_snapshot::{Reader, SnapshotError, Writer};
 
 use crate::machine::Pid;
+use crate::pressure::PressureConfig;
 
 /// One externally driven machine mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,6 +104,12 @@ pub enum JournalEvent {
     /// `Machine::arm_faults` (the fault plan, unlike the crash plan, is
     /// part of the behavior a replay must reproduce).
     ArmFaults,
+    /// `System::set_pressure_governor` (the governor changes scan
+    /// behavior, so a replay must re-install the same control law).
+    SetPressureGovernor {
+        /// The governor configuration installed.
+        cfg: PressureConfig,
+    },
 }
 
 /// The discriminant of a [`JournalEvent`], for introspection: shrinkers
@@ -133,12 +140,14 @@ pub enum JournalEventKind {
     Hammer,
     /// `ArmFaults`.
     ArmFaults,
+    /// `SetPressureGovernor`.
+    SetPressureGovernor,
 }
 
 impl JournalEventKind {
     /// Every kind, in tag order (matches the wire tags in
     /// [`JournalEvent::save`]).
-    pub const ALL: [JournalEventKind; 12] = [
+    pub const ALL: [JournalEventKind; 13] = [
         JournalEventKind::Spawn,
         JournalEventKind::Mmap,
         JournalEventKind::Madvise,
@@ -151,6 +160,7 @@ impl JournalEventKind {
         JournalEventKind::Idle,
         JournalEventKind::Hammer,
         JournalEventKind::ArmFaults,
+        JournalEventKind::SetPressureGovernor,
     ];
 
     /// Stable lowercase label (coverage keys, report rows).
@@ -168,6 +178,7 @@ impl JournalEventKind {
             JournalEventKind::Idle => "idle",
             JournalEventKind::Hammer => "hammer",
             JournalEventKind::ArmFaults => "arm_faults",
+            JournalEventKind::SetPressureGovernor => "set_pressure_governor",
         }
     }
 }
@@ -188,6 +199,7 @@ impl JournalEvent {
             Self::Idle { .. } => JournalEventKind::Idle,
             Self::Hammer { .. } => JournalEventKind::Hammer,
             Self::ArmFaults => JournalEventKind::ArmFaults,
+            Self::SetPressureGovernor { .. } => JournalEventKind::SetPressureGovernor,
         }
     }
 
@@ -257,6 +269,10 @@ impl JournalEvent {
                 w.u64(*iterations);
             }
             Self::ArmFaults => w.u8(11),
+            Self::SetPressureGovernor { cfg } => {
+                w.u8(12);
+                cfg.save(w);
+            }
         }
     }
 
@@ -306,6 +322,9 @@ impl JournalEvent {
                 iterations: r.u64()?,
             },
             11 => Self::ArmFaults,
+            12 => Self::SetPressureGovernor {
+                cfg: PressureConfig::load(r)?,
+            },
             _ => return Err(SnapshotError::Corrupt("unknown journal event tag")),
         })
     }
@@ -382,6 +401,9 @@ mod tests {
                 iterations: 1_000_000,
             },
             JournalEvent::ArmFaults,
+            JournalEvent::SetPressureGovernor {
+                cfg: PressureConfig::standard(),
+            },
         ];
         let mut w = Writer::new();
         JournalEvent::save_all(&events, &mut w);

@@ -27,6 +27,7 @@ pub mod journal;
 pub mod khugepaged;
 pub mod machine;
 pub mod policy;
+pub mod pressure;
 pub mod process;
 pub mod system;
 
@@ -35,6 +36,9 @@ pub use journal::{JournalEvent, JournalEventKind};
 pub use khugepaged::{Khugepaged, KhugepagedStats};
 pub use machine::{AccessKind, FaultReason, Machine, MachineConfig, MachineStats, PageFault, Pid};
 pub use policy::{FusionPolicy, NoFusion, ScanReport};
+pub use pressure::{
+    PressureBand, PressureConfig, PressureDecision, PressureGovernor, PressureStats,
+};
 pub use process::Process;
 pub use system::{System, SystemReport, SystemStats};
 

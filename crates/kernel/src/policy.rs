@@ -28,6 +28,10 @@ pub struct ScanReport {
     pub pages_skipped_clean: u64,
     /// Huge pages broken up to consider their contents for fusion.
     pub huge_pages_broken: u64,
+    /// Scan-budget units this wakeup consumed (one per page visit). When
+    /// the pressure governor grants a budget, `granted - budget_used` is
+    /// the share a suspended cursor carries to the next wakeup.
+    pub budget_used: u64,
 }
 
 impl ScanReport {
@@ -40,6 +44,7 @@ impl ScanReport {
         self.pages_skipped_active += other.pages_skipped_active;
         self.pages_skipped_clean += other.pages_skipped_clean;
         self.huge_pages_broken += other.huge_pages_broken;
+        self.budget_used += other.budget_used;
     }
 }
 
@@ -74,6 +79,41 @@ pub trait FusionPolicy {
     /// Scanner wakeup period. Default matches KSM's `T = 20 ms`.
     fn scan_period_ns(&self) -> u64 {
         20_000_000
+    }
+
+    /// Caps the page-visit budget of subsequent [`Self::scan`] wakeups
+    /// (`None` lifts the cap). Granted by the pressure governor
+    /// immediately before every wakeup, so it is never serialized: a
+    /// restored system re-derives the grant from the restored governor.
+    /// Engines honoring a budget must report consumption via
+    /// [`ScanReport::budget_used`] and park their cursor mid-pass when
+    /// the budget runs out. Stateless policies ignore it.
+    fn set_scan_budget(&mut self, budget: Option<u64>) {
+        let _ = budget;
+    }
+
+    /// Reclaim-ladder rung 1: release everything parked in deferred-free
+    /// queues back to the allocator now. Returns the number of frames (or
+    /// queue entries) released.
+    fn pressure_drain(&mut self, m: &mut Machine) -> u64 {
+        let _ = m;
+        0
+    }
+
+    /// Reclaim-ladder rung 2: drop transient caches (candidate lists,
+    /// checksum memos, unstable trees, suspended pass state). Correctness
+    /// must not depend on anything shed here. Returns entries dropped.
+    fn pressure_shrink(&mut self, m: &mut Machine) -> u64 {
+        let _ = m;
+        0
+    }
+
+    /// Reclaim-ladder rung 3: while `on`, the engine defers optional
+    /// frame-allocating scan work (fake merges, rerandomization rounds,
+    /// new fused tree frames) until pressure clears. Fault handling is
+    /// never deferred. Engines persist the flag in their snapshot state.
+    fn set_zero_unmerge_deferral(&mut self, on: bool) {
+        let _ = on;
     }
 
     /// Sets the number of worker threads the engine may use for the
@@ -148,6 +188,22 @@ impl<P: FusionPolicy + ?Sized> FusionPolicy for Box<P> {
 
     fn set_scan_threads(&mut self, threads: usize) {
         (**self).set_scan_threads(threads)
+    }
+
+    fn set_scan_budget(&mut self, budget: Option<u64>) {
+        (**self).set_scan_budget(budget)
+    }
+
+    fn pressure_drain(&mut self, m: &mut Machine) -> u64 {
+        (**self).pressure_drain(m)
+    }
+
+    fn pressure_shrink(&mut self, m: &mut Machine) -> u64 {
+        (**self).pressure_shrink(m)
+    }
+
+    fn set_zero_unmerge_deferral(&mut self, on: bool) {
+        (**self).set_zero_unmerge_deferral(on)
     }
 
     // Explicitly forwarded: falling back to the trait defaults here would

@@ -6,13 +6,14 @@
 //! how `ksmd` wakes every `T` ms on a spare core.
 
 use vusion_mem::{MmError, VirtAddr, PAGE_SIZE};
-use vusion_obs::{MetricsSnapshot, Profile, SpanKind};
+use vusion_obs::{InstantKind, MetricsSnapshot, Profile, SpanKind};
 use vusion_snapshot::{Reader, SnapshotError, Writer};
 
 use crate::journal::JournalEvent;
 use crate::khugepaged::Khugepaged;
 use crate::machine::{Machine, PageFault, Pid};
 use crate::policy::{FusionPolicy, ScanReport};
+use crate::pressure::{PressureBand, PressureConfig, PressureGovernor};
 
 /// Driver counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -82,6 +83,7 @@ pub struct System<P: FusionPolicy> {
     next_khuge_ns: u64,
     stats: SystemStats,
     scan_totals: ScanReport,
+    governor: PressureGovernor,
 }
 
 impl<P: FusionPolicy> System<P> {
@@ -96,6 +98,7 @@ impl<P: FusionPolicy> System<P> {
             next_khuge_ns: 0,
             stats: SystemStats::default(),
             scan_totals: ScanReport::default(),
+            governor: PressureGovernor::new(PressureConfig::OFF),
         }
     }
 
@@ -123,16 +126,106 @@ impl<P: FusionPolicy> System<P> {
         self.scan_totals
     }
 
+    /// Installs (or replaces) the pressure governor. Journaled: the
+    /// governor changes scan behavior, so a replay must re-install the
+    /// same control law at the same point in the call sequence. Returns
+    /// the config's validation error without installing if it is
+    /// malformed (a disabled config always installs).
+    pub fn set_pressure_governor(&mut self, cfg: PressureConfig) -> Result<(), &'static str> {
+        if cfg.enabled {
+            cfg.validate()?;
+        }
+        self.machine
+            .record(|| JournalEvent::SetPressureGovernor { cfg });
+        self.governor = PressureGovernor::new(cfg);
+        // Reset any engine-side ladder residue from a previous governor:
+        // a fresh governor starts at Nominal with no rungs active.
+        self.policy.set_zero_unmerge_deferral(false);
+        self.policy.set_scan_budget(None);
+        Ok(())
+    }
+
+    /// The pressure governor (band, budget, and ladder counters).
+    pub fn pressure_governor(&self) -> &PressureGovernor {
+        &self.governor
+    }
+
+    /// One scanner wakeup: the governor samples the pressure signal and
+    /// walks the escalation ladder, the policy scans under the granted
+    /// budget inside a `ScanPass` span, then the budget flow is accounted.
+    /// With the governor disabled this is exactly the pre-governor wakeup:
+    /// no sample, no grant, no `pressure.*` side effects.
+    fn scan_once(&mut self) {
+        let grant = if self.governor.enabled() {
+            let d = self.governor.sample(&self.machine);
+            if let Some(prev) = d.escalated_from {
+                self.machine.trace_instant(
+                    "governor",
+                    InstantKind::PressureEscalation,
+                    d.band.code() as u64,
+                );
+                self.escalate_rungs(prev, d.band);
+            }
+            if let Some(prev) = d.de_escalated_from {
+                self.machine.trace_instant(
+                    "governor",
+                    InstantKind::PressureDeEscalation,
+                    d.band.code() as u64,
+                );
+                if prev == PressureBand::Critical {
+                    // Unwind rung 3: allocation-averse scanning ends as
+                    // soon as the band drops out of Critical.
+                    self.policy.set_zero_unmerge_deferral(false);
+                    self.governor.note_defer_exit();
+                }
+            }
+            self.policy.set_scan_budget(Some(d.budget));
+            Some(d.budget)
+        } else {
+            None
+        };
+        self.machine
+            .trace_begin(self.policy.name(), SpanKind::ScanPass);
+        let report = self.policy.scan(&mut self.machine);
+        self.machine.trace_end(SpanKind::ScanPass);
+        if let Some(granted) = grant {
+            self.governor.account_budget(granted, report.budget_used);
+        }
+        self.scan_totals.absorb(&report);
+        self.stats.scan_wakeups += 1;
+    }
+
+    /// Fires the ladder rungs crossed by an escalation from `prev` to
+    /// `band`, in order: drain (rung 1) on entering Elevated, shrink
+    /// (rung 2) and zero-unmerge deferral (rung 3) on entering Critical.
+    /// A nominal → critical jump fires all three.
+    fn escalate_rungs(&mut self, prev: PressureBand, band: PressureBand) {
+        if prev < PressureBand::Elevated && band >= PressureBand::Elevated {
+            self.machine
+                .trace_begin("governor", SpanKind::PressureRelief);
+            let ops = self.policy.pressure_drain(&mut self.machine);
+            self.machine.trace_end(SpanKind::PressureRelief);
+            self.governor.note_drain(ops);
+        }
+        if prev < PressureBand::Critical && band >= PressureBand::Critical {
+            self.machine
+                .trace_begin("governor", SpanKind::PressureRelief);
+            let entries = self.policy.pressure_shrink(&mut self.machine);
+            self.machine.trace_end(SpanKind::PressureRelief);
+            self.governor.note_shrink(entries);
+            self.machine
+                .trace_begin("governor", SpanKind::PressureRelief);
+            self.policy.set_zero_unmerge_deferral(true);
+            self.machine.trace_end(SpanKind::PressureRelief);
+            self.governor.note_defer_entry();
+        }
+    }
+
     /// Runs any background work whose deadline has passed.
     fn background(&mut self) {
         let now = self.machine.now_ns();
         while self.next_scan_ns <= now {
-            self.machine
-                .trace_begin(self.policy.name(), SpanKind::ScanPass);
-            let report = self.policy.scan(&mut self.machine);
-            self.machine.trace_end(SpanKind::ScanPass);
-            self.scan_totals.absorb(&report);
-            self.stats.scan_wakeups += 1;
+            self.scan_once();
             self.next_scan_ns += self.policy.scan_period_ns();
         }
         if let Some(k) = self.khugepaged.as_mut() {
@@ -297,12 +390,7 @@ impl<P: FusionPolicy> System<P> {
     pub fn force_scans(&mut self, n: usize) {
         self.machine.record(|| JournalEvent::ForceScans { n });
         for _ in 0..n {
-            self.machine
-                .trace_begin(self.policy.name(), SpanKind::ScanPass);
-            let report = self.policy.scan(&mut self.machine);
-            self.machine.trace_end(SpanKind::ScanPass);
-            self.scan_totals.absorb(&report);
-            self.stats.scan_wakeups += 1;
+            self.scan_once();
         }
         // Treat the forced scans as having satisfied any pending deadlines,
         // so subsequent timed operations are not interrupted by catch-up
@@ -362,8 +450,32 @@ impl<P: FusionPolicy> System<P> {
             ("scan.pages_skipped_active", t.pages_skipped_active),
             ("scan.pages_skipped_clean", t.pages_skipped_clean),
             ("scan.huge_pages_broken", t.huge_pages_broken),
+            ("scan.budget_used", t.budget_used),
         ] {
             snap.set_counter(name, v);
+        }
+        // Zero-cost-when-off: a disabled governor contributes nothing.
+        if self.governor.enabled() {
+            let p = self.governor.stats();
+            for (name, v) in [
+                ("pressure.samples", p.samples),
+                ("pressure.escalations", p.escalations),
+                ("pressure.de_escalations", p.de_escalations),
+                ("pressure.drain_rungs", p.drain_rungs),
+                ("pressure.drain_rungs_effective", p.drain_rungs_effective),
+                ("pressure.shrink_rungs", p.shrink_rungs),
+                ("pressure.defer_rungs", p.defer_rungs),
+                ("pressure.defer_exits", p.defer_exits),
+                ("pressure.drained_ops", p.drained_ops),
+                ("pressure.shrunk_entries", p.shrunk_entries),
+                ("pressure.budget_granted", p.budget_granted),
+                ("pressure.budget_used", p.budget_used),
+                ("pressure.budget_carried", p.budget_carried),
+            ] {
+                snap.set_counter(name, v);
+            }
+            snap.set_gauge("pressure.band", self.governor.band().code() as i64);
+            snap.set_gauge("pressure.budget", self.governor.budget() as i64);
         }
         let (hits, misses, invalidations, flushes) = self.machine.tlb_totals();
         snap.set_counter("tlb.hits", hits);
@@ -437,9 +549,11 @@ impl<P: FusionPolicy> System<P> {
             t.pages_skipped_active,
             t.pages_skipped_clean,
             t.huge_pages_broken,
+            t.budget_used,
         ] {
             w.u64(v);
         }
+        self.governor.save(&mut w);
         match &self.khugepaged {
             Some(k) => {
                 w.bool(true);
@@ -480,7 +594,9 @@ impl<P: FusionPolicy> System<P> {
             pages_skipped_active: r.u64()?,
             pages_skipped_clean: r.u64()?,
             huge_pages_broken: r.u64()?,
+            budget_used: r.u64()?,
         };
+        self.governor = PressureGovernor::load(&mut r)?;
         if r.bool()? {
             self.khugepaged = Some(Khugepaged::load(&mut r)?);
         } else {
@@ -531,6 +647,9 @@ impl<P: FusionPolicy> System<P> {
                 let _ = self.machine.hammer(*pid, *va1, *va2, *iterations);
             }
             JournalEvent::ArmFaults => self.machine.arm_faults(),
+            JournalEvent::SetPressureGovernor { cfg } => {
+                let _ = self.set_pressure_governor(*cfg);
+            }
         }
         self.machine.resume_journal();
     }

@@ -161,6 +161,34 @@ impl FaultPlan {
         ]
     }
 
+    /// OOM-burst plans for pressure-governor sweeps: escalating allocation
+    /// failure intensity, from an occasional miss to a sustained storm.
+    /// Paired with real allocation pressure (a workload that eats frames),
+    /// these drive the governor through its whole escalation ladder while
+    /// the chaos suite checks that every rung degrades gracefully.
+    pub fn pressure_ladder() -> Vec<(&'static str, FaultPlan)> {
+        vec![
+            ("calm", FaultPlan::NONE),
+            ("oom_trickle", FaultPlan::every_nth_alloc(16)),
+            (
+                "oom_burst",
+                FaultPlan {
+                    alloc_every_nth: 3,
+                    alloc_fail_prob: 0.25,
+                    ..FaultPlan::NONE
+                },
+            ),
+            (
+                "oom_storm",
+                FaultPlan {
+                    alloc_every_nth: 2,
+                    alloc_fail_prob: 0.50,
+                    ..FaultPlan::NONE
+                },
+            ),
+        ]
+    }
+
     /// Deterministic plan mutation: perturbs one field, drawn from `rng`,
     /// into a new *valid* plan. Campaigns use this to grow the plan space
     /// beyond the hand-written ladder while staying exactly reproducible
@@ -634,6 +662,25 @@ mod tests {
         assert!(ladder.iter().any(|(_, p)| p.alloc_fail_prob > 0.0));
         assert!(ladder.iter().any(|(_, p)| p.checksum_corrupt_prob > 0.0));
         assert!(ladder.iter().any(|(_, p)| p.scan_bitflip_prob > 0.0));
+    }
+
+    #[test]
+    fn pressure_ladder_plans_validate_and_escalate() {
+        let ladder = FaultPlan::pressure_ladder();
+        assert!(ladder.len() >= 3, "need calm plus escalating burst plans");
+        let mut names: Vec<&str> = ladder.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ladder.len(), "duplicate plan names");
+        for (name, plan) in &ladder {
+            plan.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            // Pressure plans exercise the allocator only: scan-side
+            // injectors would conflate merge misbehavior with OOM.
+            assert_eq!(plan.checksum_corrupt_prob, 0.0, "{name}");
+            assert_eq!(plan.scan_bitflip_prob, 0.0, "{name}");
+        }
+        assert_eq!(ladder[0].1, FaultPlan::NONE, "ladder starts calm");
+        assert!(ladder.last().expect("nonempty").1.alloc_fail_prob >= 0.5);
     }
 
     #[test]

@@ -46,11 +46,14 @@ pub enum SpanKind {
     ThpCollapse,
     /// Draining the deferred-free queue under memory pressure.
     DeferredDrain,
+    /// One reclaim-ladder rung executed by the pressure governor
+    /// (deferred-queue drain, cache shrink, or zero-unmerge deferral).
+    PressureRelief,
 }
 
 impl SpanKind {
     /// Every kind, in report order.
-    pub const ALL: [SpanKind; 12] = [
+    pub const ALL: [SpanKind; 13] = [
         SpanKind::FaultHandling,
         SpanKind::ScanPass,
         SpanKind::Merge,
@@ -63,6 +66,7 @@ impl SpanKind {
         SpanKind::ThpBreak,
         SpanKind::ThpCollapse,
         SpanKind::DeferredDrain,
+        SpanKind::PressureRelief,
     ];
 
     /// Stable display name (also the Chrome trace event name).
@@ -80,6 +84,7 @@ impl SpanKind {
             SpanKind::ThpBreak => "thp_break",
             SpanKind::ThpCollapse => "thp_collapse",
             SpanKind::DeferredDrain => "deferred_drain",
+            SpanKind::PressureRelief => "pressure_relief",
         }
     }
 
@@ -97,6 +102,7 @@ impl SpanKind {
             SpanKind::ThpBreak => 9,
             SpanKind::ThpCollapse => 10,
             SpanKind::DeferredDrain => 11,
+            SpanKind::PressureRelief => 12,
         }
     }
 }
@@ -118,6 +124,10 @@ pub enum InstantKind {
     BitFlip,
     /// A crash-injection point fired.
     CrashPoint,
+    /// The pressure governor escalated a band (`arg` = new band code).
+    PressureEscalation,
+    /// The pressure governor de-escalated a band (`arg` = new band code).
+    PressureDeEscalation,
 }
 
 impl InstantKind {
@@ -131,6 +141,8 @@ impl InstantKind {
             InstantKind::Oom => "oom",
             InstantKind::BitFlip => "bit_flip",
             InstantKind::CrashPoint => "crash_point",
+            InstantKind::PressureEscalation => "pressure_escalation",
+            InstantKind::PressureDeEscalation => "pressure_de_escalation",
         }
     }
 
@@ -143,6 +155,8 @@ impl InstantKind {
             InstantKind::Oom => 4,
             InstantKind::BitFlip => 5,
             InstantKind::CrashPoint => 6,
+            InstantKind::PressureEscalation => 7,
+            InstantKind::PressureDeEscalation => 8,
         }
     }
 }

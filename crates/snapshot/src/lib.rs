@@ -34,7 +34,9 @@ use std::fmt;
 
 /// Current snapshot wire-format version. Bump on any incompatible layout
 /// change; [`unseal`] rejects mismatches with [`SnapshotError::BadVersion`].
-pub const FORMAT_VERSION: u32 = 1;
+/// v2: pressure-governor state in the system frame, `budget_used` in scan
+/// totals, and resumable-pass cursors in the engine blobs.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Magic bytes opening every sealed snapshot or failure bundle.
 pub const MAGIC: &[u8; 4] = b"VSNP";
@@ -401,7 +403,7 @@ mod tests {
         assert_eq!(SnapshotError::Truncated.to_string(), "snapshot truncated");
         assert_eq!(
             SnapshotError::BadVersion { found: 9 }.to_string(),
-            "snapshot version 9 (expected 1)"
+            format!("snapshot version 9 (expected {FORMAT_VERSION})")
         );
         assert!(SnapshotError::Corrupt("x").to_string().contains("x"));
     }

@@ -24,6 +24,10 @@
 //!   code outside tests unless the function documents the contract with a
 //!   `# Panics` doc section, and no silently-truncating casts on frame or
 //!   generation arithmetic.
+//! * **G-rules** — governor: the free-frame pressure signal is read only
+//!   by the pressure governor (`crates/kernel/src/pressure.rs`); engines
+//!   and the rest of the kernel consume its banded decisions so
+//!   throttling stays centralized, hysteresis-damped, and snapshot-exact.
 //!
 //! Findings are deterministic: files are visited in sorted order and
 //! findings sort by `(file, line, rule, message)`, so two runs over the
@@ -72,6 +76,8 @@ pub struct Families {
     pub p: bool,
     /// Error-policy rules.
     pub e: bool,
+    /// Governor pressure-signal rules.
+    pub g: bool,
 }
 
 impl Families {
@@ -82,6 +88,7 @@ impl Families {
         w: true,
         p: true,
         e: true,
+        g: true,
     };
 }
 
@@ -123,6 +130,12 @@ pub fn families_for(rel: &str) -> Families {
         // else — engines, kernel, tests, benches — goes through the API.
         p: !rel.starts_with("crates/mmu/src/"),
         e: in_scope(ERROR_POLICY_SCOPE),
+        // The free-frame pressure signal is read in exactly one place —
+        // the governor. Engines and the scan loop see only its banded
+        // decisions; the allocator crates that implement `free_frames`
+        // are naturally out of scope.
+        g: (rel.starts_with("crates/core/src/") || rel.starts_with("crates/kernel/src/"))
+            && rel != "crates/kernel/src/pressure.rs",
     }
 }
 
@@ -401,6 +414,9 @@ pub fn analyze_source(rel: &str, source: &str, fam: Families) -> Vec<Finding> {
     }
     if fam.e {
         rules::error_policy(&ctx, &mut findings);
+    }
+    if fam.g {
+        rules::governor(&ctx, &mut findings);
     }
 
     findings.retain(|f| {

@@ -525,6 +525,35 @@ pub(crate) fn error_policy(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// G — governor pressure signal
+// ---------------------------------------------------------------------
+
+/// G001: the free-frame count is the pressure governor's input signal,
+/// and it is read in exactly one place — `crates/kernel/src/pressure.rs`
+/// (exempted by the scope map). Engine or kernel code that polls
+/// `free_frames` directly re-derives pressure without the governor's
+/// hysteresis bands, so two call sites can disagree about the band mid-
+/// wake and the decision stops being a snapshot-exact pure function of
+/// the sampled sequence. Test code is exempt: assertions about free-frame
+/// accounting are observations, not throttling decisions.
+pub(crate) fn governor(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for t in &ctx.tokens {
+        if t.kind == Kind::Ident && t.is_ident("free_frames") && !ctx.in_test_code(t.line) {
+            push(
+                ctx,
+                out,
+                t.line,
+                "G001",
+                "`free_frames` is the governor's pressure signal; read band decisions \
+                 from PressureGovernor (crates/kernel/src/pressure.rs) so throttling \
+                 stays hysteresis-damped and snapshot-exact"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::{analyze_source, Families};

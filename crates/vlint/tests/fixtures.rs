@@ -81,6 +81,12 @@ fn e002_truncating_casts() {
 }
 
 #[test]
+fn g001_pressure_signal_reads() {
+    check("g001_bad.rs", &[("G001", 4), ("G001", 9)]);
+    check("g001_ok.rs", &[]);
+}
+
+#[test]
 fn v001_allow_annotations() {
     // A reasonless allow is itself a finding — and suppresses nothing.
     check("allow_bad.rs", &[("D002", 3), ("V001", 3), ("D002", 6)]);

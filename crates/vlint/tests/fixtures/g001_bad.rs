@@ -1,0 +1,10 @@
+//! G001 true positives: raw pressure-signal reads outside the governor.
+
+fn should_throttle(m: &Machine) -> bool {
+    let free = m.buddy().free_frames();
+    free < 64
+}
+
+fn headroom(alloc: &BuddyAllocator) -> usize {
+    alloc.free_frames()
+}

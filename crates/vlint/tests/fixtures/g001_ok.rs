@@ -1,0 +1,18 @@
+//! G001 true negatives: pressure consumed through the governor's bands.
+
+fn should_throttle(gov: &PressureGovernor) -> bool {
+    gov.band() != PressureBand::Nominal
+}
+
+fn wake_budget(decision: &PressureDecision) -> u64 {
+    decision.budget
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn accounting_observation_is_exempt() {
+        let b = BuddyAllocator::new(16);
+        assert_eq!(b.free_frames(), 16);
+    }
+}

@@ -1,0 +1,264 @@
+//! Pressure-governor escalation timeline for all three fusion engines.
+//!
+//! ```text
+//! cargo run --example pressure
+//! ```
+//!
+//! Runs each engine under the deterministic pressure governor
+//! ([`System::set_pressure_governor`]) and records one timeline row per
+//! scanner wakeup: the band, the AIMD scan budget, the free-memory
+//! per-mille signal and the cumulative OOM count. KSM and WPF are pushed
+//! up the bands by an OOM-storm fault plan (clustered injected allocation
+//! failures) and cool back down on a calm tail; VUsion — whose
+//! random-allocation pool absorbs scan-side OOMs by design — is pushed by
+//! a memory hog that drops the free-frame signal below the elevated
+//! threshold.
+//!
+//! The run also executes a **zero-cost-when-off control**: the identical
+//! workload with the governor disabled must record no `pressure.*`
+//! metrics and no pressure trace events (the example exits non-zero
+//! otherwise).
+//!
+//! Output: the escalation timeline JSON on stdout, and the same document
+//! at `bench_logs/pressure_timeline.json` (the CI artifact). Everything
+//! is driven by the simulated clock, so the output is byte-identical run
+//! to run.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use vusion::mem::FrameAllocator;
+use vusion::prelude::*;
+
+const BASE: u64 = 0x10000;
+const PAGES: u64 = 48;
+const PROCS: usize = 2;
+const HOG_BASE: u64 = 0x4000_0000;
+
+/// Free-memory signal in per-mille of governable frames, as the governor
+/// computes it.
+fn free_pm<P: FusionPolicy>(sys: &System<P>) -> u64 {
+    let cfg = sys.machine.config();
+    let total = (cfg.frames - cfg.reserved_top_frames).max(1);
+    sys.machine.buddy().free_frames() as u64 * 1000 / total
+}
+
+/// Spawns a hog process and dirties anonymous pages until the free-frame
+/// signal sinks below `target_pm`.
+fn hog_memory<P: FusionPolicy>(sys: &mut System<P>, target_pm: u64) {
+    let hog = sys.machine.spawn("hog").expect("spawn hog");
+    sys.machine
+        .mmap(hog, Vma::anon(VirtAddr(HOG_BASE), 3500, Protection::rw()));
+    let mut pg = 0u64;
+    while free_pm(sys) >= target_pm && pg < 3500 {
+        sys.write_page(
+            hog,
+            VirtAddr(HOG_BASE + pg * PAGE_SIZE),
+            &[0xaa; PAGE_SIZE as usize],
+        );
+        pg += 1;
+    }
+}
+
+/// The duplicate-heavy mergeable working set every engine runs.
+fn populate<P: FusionPolicy>(sys: &mut System<P>) -> Vec<Pid> {
+    let pids: Vec<Pid> = (0..PROCS)
+        .map(|i| sys.machine.spawn(&format!("vm{i}")).expect("spawn"))
+        .collect();
+    for &pid in &pids {
+        sys.machine
+            .mmap(pid, Vma::anon(VirtAddr(BASE), PAGES, Protection::rw()));
+        sys.machine.madvise_mergeable(pid, VirtAddr(BASE), PAGES);
+        for pg in 0..PAGES {
+            sys.write_page(
+                pid,
+                VirtAddr(BASE + pg * PAGE_SIZE),
+                &[(pg % 5) as u8 + 1; PAGE_SIZE as usize],
+            );
+        }
+    }
+    pids
+}
+
+/// One deterministic churn round: every process rewrites a rotating half
+/// of the working set (same value everywhere, so the pages re-merge and
+/// the next round unmerges them again — each unmerge is a CoW
+/// allocation the fault plan can fail).
+fn churn<P: FusionPolicy>(sys: &mut System<P>, pids: &[Pid], round: u64) {
+    for &pid in pids {
+        for pg in 0..PAGES / 2 {
+            let page = (pg * 2 + round) % PAGES;
+            let _ = sys.try_write(pid, VirtAddr(BASE + page * PAGE_SIZE), 0x40 + round as u8);
+        }
+    }
+}
+
+struct Row {
+    wake: u64,
+    phase: &'static str,
+    band: &'static str,
+    budget: u64,
+    free_pm: u64,
+    oom_events: u64,
+}
+
+/// Runs the governed workload for one engine and returns the timeline.
+fn timeline(kind: EngineKind, hog: bool) -> (Vec<Row>, PressureStats) {
+    let plan = FaultPlan {
+        alloc_every_nth: 2,
+        alloc_fail_prob: 0.5,
+        ..FaultPlan::NONE
+    };
+    let mut sys = kind.build_system(
+        MachineConfig::test_small()
+            .with_seed(0x9e55)
+            .with_fault_plan(plan),
+    );
+    sys.set_pressure_governor(PressureConfig::standard())
+        .expect("standard governor config validates");
+    let pids = populate(&mut sys);
+    if hog {
+        hog_memory(&mut sys, 240);
+    }
+
+    let mut rows = Vec::new();
+    let mut wake = 0u64;
+    let mut record = |sys: &mut System<_>, phase: &'static str, n: usize| {
+        for _ in 0..n {
+            sys.force_scans(1);
+            wake += 1;
+            let g = sys.pressure_governor();
+            rows.push(Row {
+                wake,
+                phase,
+                band: g.band().label(),
+                budget: g.budget(),
+                free_pm: free_pm(sys),
+                oom_events: sys.machine.stats().oom_events,
+            });
+        }
+    };
+
+    // Calm lead-in: faults not yet armed, the band must hold (KSM/WPF)
+    // or reflect the hog (VUsion).
+    record(&mut sys, "calm", 4);
+    // Pressure: clustered injected allocation failures while the working
+    // set merges and unmerges.
+    sys.machine.arm_faults();
+    for round in 0..6u64 {
+        churn(&mut sys, &pids, round);
+        record(&mut sys, "pressure", 2);
+    }
+    // Relief: no more writes, so no more CoW allocations for the armed
+    // plan to fail — the band cools down after the dwell and the AIMD
+    // budget climbs back.
+    record(&mut sys, "relief", 12);
+
+    (rows, sys.pressure_governor().stats())
+}
+
+/// The zero-cost-when-off control: identical workload, governor
+/// disabled, no `pressure.*` artifacts allowed.
+fn zero_cost_control(kind: EngineKind) -> Result<(), String> {
+    let mut sys = kind.build_system(MachineConfig::test_small().with_seed(0x9e55));
+    sys.machine.enable_tracing();
+    let pids = populate(&mut sys);
+    for round in 0..4u64 {
+        churn(&mut sys, &pids, round);
+        sys.force_scans(2);
+    }
+    let metrics = sys.metrics_snapshot().to_json();
+    if metrics.contains("pressure.") {
+        return Err(format!(
+            "{}: disabled governor leaked pressure metrics",
+            kind.slug()
+        ));
+    }
+    let chrome = sys.machine.obs().tracer().chrome_trace_json();
+    if chrome.contains("pressure") {
+        return Err(format!(
+            "{}: disabled governor leaked pressure trace events",
+            kind.slug()
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut doc = String::from("{\n  \"engines\": [\n");
+    for (i, kind) in [EngineKind::Ksm, EngineKind::Wpf, EngineKind::VUsion]
+        .into_iter()
+        .enumerate()
+    {
+        // VUsion's RA pool absorbs injected scan-side OOMs (that is the
+        // point of the pool), so its pressure comes from the free-memory
+        // signal instead.
+        let hog = kind == EngineKind::VUsion;
+        let (rows, stats) = timeline(kind, hog);
+        if stats.escalations == 0 {
+            eprintln!("{}: governor never escalated", kind.slug());
+            return ExitCode::FAILURE;
+        }
+        if !hog && stats.de_escalations == 0 {
+            eprintln!(
+                "{}: governor never cooled down on the relief tail",
+                kind.slug()
+            );
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = zero_cost_control(kind) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        if i > 0 {
+            doc.push_str(",\n");
+        }
+        let _ = write!(
+            doc,
+            "    {{\n      \"engine\": \"{}\",\n      \"pressure_source\": \"{}\",\n      \"timeline\": [\n",
+            kind.slug(),
+            if hog { "free_memory_hog" } else { "oom_storm" },
+        );
+        for (j, r) in rows.iter().enumerate() {
+            let _ = writeln!(
+                doc,
+                "        {{\"wake\": {}, \"phase\": \"{}\", \"band\": \"{}\", \"budget\": {}, \"free_pm\": {}, \"oom_events\": {}}}{}",
+                r.wake, r.phase, r.band, r.budget, r.free_pm, r.oom_events,
+                if j + 1 < rows.len() { "," } else { "" },
+            );
+        }
+        let _ = write!(
+            doc,
+            "      ],\n      \"stats\": {{\"samples\": {}, \"escalations\": {}, \"de_escalations\": {}, \
+             \"drain_rungs\": {}, \"shrink_rungs\": {}, \"defer_rungs\": {}, \
+             \"budget_granted\": {}, \"budget_used\": {}, \"budget_carried\": {}}},\n      \
+             \"zero_cost_when_off\": true\n    }}",
+            stats.samples,
+            stats.escalations,
+            stats.de_escalations,
+            stats.drain_rungs,
+            stats.shrink_rungs,
+            stats.defer_rungs,
+            stats.budget_granted,
+            stats.budget_used,
+            stats.budget_carried,
+        );
+    }
+    doc.push_str("\n  ]\n}\n");
+    print!("{doc}");
+
+    let out_dir = Path::new("bench_logs");
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = out_dir.join("pressure_timeline.json");
+    if let Err(e) = fs::write(&path, &doc) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}

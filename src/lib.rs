@@ -66,7 +66,8 @@ pub use vusion_workloads as workloads;
 pub mod prelude {
     pub use vusion_core::{EngineKind, Ksm, KsmConfig, VUsion, VUsionConfig, Wpf, WpfConfig};
     pub use vusion_kernel::{
-        FusionPolicy, Khugepaged, Machine, MachineConfig, NoFusion, Pid, System, SystemReport,
+        FusionPolicy, Khugepaged, Machine, MachineConfig, NoFusion, Pid, PressureBand,
+        PressureConfig, PressureGovernor, PressureStats, System, SystemReport,
     };
     pub use vusion_mem::{
         CrashPlan, CrashSite, FaultPlan, FaultPlanError, FrameId, MmError, PhysAddr, VirtAddr,

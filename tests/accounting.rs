@@ -259,6 +259,84 @@ fn scan_report_matches_engine_stats() {
     }
 }
 
+/// Governor budget flow: every page the governor grants is either
+/// consumed by an engine pass (and then shows up, page for page, in the
+/// aggregated scan reports) or carried to the next wakeup by a parked
+/// cursor — and drain-rung executions that released work are visible in
+/// the machine's own deferred-drain counter.
+#[test]
+fn governor_budget_flow_identities() {
+    let plan = FaultPlan {
+        alloc_every_nth: 3,
+        alloc_fail_prob: 0.25,
+        ..FaultPlan::NONE
+    };
+    for kind in [EngineKind::Ksm, EngineKind::Wpf, EngineKind::VUsion] {
+        let cfg = MachineConfig::test_small()
+            .with_seed(0xacc7)
+            .with_fault_plan(plan);
+        let mut sys = kind.build_system(cfg);
+        // A tight ceiling so passes genuinely run out of budget: WPF's
+        // 96-candidate hashing stage must suspend and resume.
+        let throttled = PressureConfig {
+            budget_min: 4,
+            budget_max: 24,
+            budget_add: 4,
+            ..PressureConfig::standard()
+        };
+        sys.set_pressure_governor(throttled)
+            .expect("throttled governor config validates");
+        let pids: Vec<Pid> = (0..2)
+            .map(|i| sys.machine.spawn(&format!("p{i}")).expect("spawn"))
+            .collect();
+        for &pid in &pids {
+            sys.machine
+                .mmap(pid, Vma::anon(VirtAddr(BASE), 48, Protection::rw()));
+            sys.machine.madvise_mergeable(pid, VirtAddr(BASE), 48);
+        }
+        for &pid in &pids {
+            for pg in 0..48u64 {
+                sys.write_page(
+                    pid,
+                    VirtAddr(BASE + pg * PAGE_SIZE),
+                    &[(pg % 5) as u8 + 1; PAGE_SIZE as usize],
+                );
+            }
+        }
+        sys.machine.arm_faults();
+        for round in 0..4u8 {
+            for &pid in &pids {
+                for pg in 0..24u64 {
+                    sys.write(pid, VirtAddr(BASE + pg * PAGE_SIZE), round ^ 0x11);
+                }
+            }
+            sys.force_scans(8);
+        }
+        let g = sys.pressure_governor().stats();
+        let t = sys.scan_totals();
+        assert!(g.budget_granted > 0, "{kind:?}: governor granted nothing");
+        assert_eq!(
+            g.budget_granted,
+            g.budget_used + g.budget_carried,
+            "{kind:?}: granted != used + carried: {g:?}"
+        );
+        assert_eq!(
+            g.budget_used, t.budget_used,
+            "{kind:?}: governor-accounted usage diverges from scan reports"
+        );
+        if matches!(kind, EngineKind::Wpf) {
+            assert!(
+                g.budget_carried > 0,
+                "WPF's staged pass never suspended under a 24-page ceiling"
+            );
+        }
+        assert!(
+            sys.machine.stats().deferred_drains >= g.drain_rungs_effective,
+            "{kind:?}: effective drain rungs exceed machine deferred_drains"
+        );
+    }
+}
+
 #[test]
 fn memory_returns_after_total_unmerge() {
     for kind in [EngineKind::Ksm, EngineKind::VUsion] {

@@ -403,6 +403,99 @@ fn degradation_counters_move_under_alloc_pressure() {
     );
 }
 
+/// Satellite: the pressure governor under the OOM-burst ladder. Every
+/// engine runs every [`FaultPlan::pressure_ladder`] plan with the
+/// governor armed; after every round the full chaos invariant set
+/// (`audit_frames`, content oracle, merge security) must still hold —
+/// rung executions may drop caches and defer work, never soundness.
+/// Across the sweep the governor must actually move: escalations and
+/// de-escalations fire, budgets shrink under pressure and recover on a
+/// calm tail, rungs fire in ladder order, and the budget-flow identity
+/// holds on every single run.
+#[test]
+fn governor_degrades_gracefully_under_pressure_ladder() {
+    let ladder = FaultPlan::pressure_ladder();
+    let mut escalations_by_plan: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut total_de_escalations = 0;
+    let mut total_shrinks = 0;
+    let mut budget_shrank = false;
+    let mut budget_recovered = false;
+    for (pi, &(plan_name, plan)) in ladder.iter().enumerate() {
+        for (ki, kind) in ENGINES.into_iter().enumerate() {
+            let seed = 0x90e0_0000 + (pi * 16 + ki) as u64;
+            let mut run = ChaosRun::start(kind, plan_name, plan, seed);
+            run.sys
+                .set_pressure_governor(PressureConfig::standard())
+                .expect("standard governor config validates");
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x60);
+            let mut min_budget = u64::MAX;
+            for _ in 0..ROUNDS {
+                run.churn(&mut rng);
+                run.check();
+                min_budget = min_budget.min(run.sys.pressure_governor().budget());
+            }
+            if min_budget < PressureConfig::standard().budget_max {
+                budget_shrank = true;
+            }
+            // Calm tail: no writes, so no CoW allocations and (almost) no
+            // injected failures — the band must cool down and the AIMD
+            // budget must climb back from wherever pressure pushed it.
+            run.sys.force_scans(24);
+            run.check();
+            let gov = run.sys.pressure_governor();
+            let stats = gov.stats();
+            if gov.budget() > min_budget {
+                budget_recovered = true;
+            }
+            // Budget-flow identity, per run: every granted page was either
+            // consumed by an engine pass or carried by a parked cursor.
+            assert_eq!(
+                stats.budget_granted,
+                stats.budget_used + stats.budget_carried,
+                "{}: budget flow identity broken",
+                run.label
+            );
+            // Ladder order: rung 2 (shrink) and rung 3 (defer) always fire
+            // together on a Critical entry, and deferral can only be
+            // lifted as often as it was imposed.
+            assert_eq!(
+                stats.shrink_rungs, stats.defer_rungs,
+                "{}: shrink and defer rungs must enter together",
+                run.label
+            );
+            assert!(
+                stats.defer_exits <= stats.defer_rungs,
+                "{}: more defer exits than entries",
+                run.label
+            );
+            // Drains count consistently: a drain rung that released work
+            // is visible in the machine's deferred-drain counter too.
+            assert!(
+                run.sys.machine.stats().deferred_drains >= stats.drain_rungs_effective,
+                "{}: effective drain rungs exceed machine deferred_drains",
+                run.label
+            );
+            *escalations_by_plan.entry(plan_name).or_insert(0) += stats.escalations;
+            total_de_escalations += stats.de_escalations;
+            total_shrinks += stats.shrink_rungs;
+        }
+    }
+    // The calm plan never escalates; every burst plan escalates somewhere.
+    assert_eq!(escalations_by_plan["calm"], 0, "calm plan escalated");
+    for &(plan_name, plan) in &ladder {
+        if plan.is_active() {
+            assert!(
+                escalations_by_plan[plan_name] > 0,
+                "plan {plan_name} never escalated the governor"
+            );
+        }
+    }
+    assert!(total_de_escalations > 0, "the band never cooled back down");
+    assert!(total_shrinks > 0, "no run ever reached the shrink rung");
+    assert!(budget_shrank, "budgets never shrank under pressure");
+    assert!(budget_recovered, "budgets never recovered on the calm tail");
+}
+
 /// Hash-cache coherence, raw memory level: after any seeded interleaving
 /// of content mutators — `write_byte`, `write_u64`, `write_page`,
 /// `copy_page`, `zero_page`, and Rowhammer's `flip_bit` — the memoized

@@ -5,6 +5,7 @@
 //! simulated clock and ordering from the tracer's sequence counter, so
 //! any wall-clock or iteration-order leak shows up here as a byte diff.
 
+use vusion::mem::FrameAllocator;
 use vusion::prelude::*;
 use vusion::repro::Bundle;
 
@@ -194,6 +195,235 @@ fn trace_survives_snapshot_restore_replay() {
         assert_eq!(
             live_metrics, replay_metrics,
             "{kind:?}: registry metrics diverged across snapshot/restore + replay"
+        );
+    }
+}
+
+/// A tight governor for determinism runs: small budgets so passes
+/// genuinely suspend, standard thresholds otherwise.
+fn tight_governor() -> PressureConfig {
+    PressureConfig {
+        budget_min: 4,
+        budget_max: 16,
+        budget_add: 4,
+        ..PressureConfig::standard()
+    }
+}
+
+/// Eats frames with a dedicated hog process until free memory sits just
+/// under the governor's Elevated threshold, so the free-memory signal
+/// (not only injected OOMs) drives escalation. Deterministic: the loop
+/// is a pure function of machine state.
+fn hog_memory<P: FusionPolicy>(sys: &mut System<P>) {
+    let hog = sys.machine.spawn("hog").expect("spawn hog");
+    sys.machine
+        .mmap(hog, Vma::anon(VirtAddr(BASE), 3500, Protection::rw()));
+    let total = sys.machine.config().frames - sys.machine.config().reserved_top_frames;
+    let mut pg = 0u64;
+    while sys.machine.buddy().free_frames() as u64 * 1000 / total >= 220 {
+        sys.write_page(
+            hog,
+            VirtAddr(BASE + pg * PAGE_SIZE),
+            &[0xaa; PAGE_SIZE as usize],
+        );
+        pg += 1;
+    }
+}
+
+/// Like [`traced_run`], with the pressure governor armed over an
+/// OOM-burst fault plan: escalations, rung executions, throttled budgets
+/// and suspended cursors are all part of the run.
+fn governed_run(kind: EngineKind, seed: u64, threads: usize) -> (Vec<u8>, String, String, Vec<u8>) {
+    let plan = FaultPlan {
+        alloc_every_nth: 3,
+        alloc_fail_prob: 0.25,
+        ..FaultPlan::NONE
+    };
+    let mut sys = kind.build_system(
+        MachineConfig::test_small()
+            .with_seed(seed)
+            .with_fault_plan(plan),
+    );
+    sys.set_scan_threads(threads);
+    sys.set_pressure_governor(tight_governor())
+        .expect("tight governor config validates");
+    sys.machine.enable_tracing();
+    let pids: Vec<Pid> = (0..2)
+        .map(|i| sys.machine.spawn(&format!("p{i}")).expect("spawn"))
+        .collect();
+    for &pid in &pids {
+        sys.machine
+            .mmap(pid, Vma::anon(VirtAddr(BASE), PAGES, Protection::rw()));
+        sys.machine.madvise_mergeable(pid, VirtAddr(BASE), PAGES);
+    }
+    for &pid in &pids {
+        for pg in 0..PAGES {
+            sys.write_page(
+                pid,
+                VirtAddr(BASE + pg * PAGE_SIZE),
+                &[(pg % 5) as u8 + 1; PAGE_SIZE as usize],
+            );
+        }
+    }
+    hog_memory(&mut sys);
+    sys.machine.arm_faults();
+    sys.force_scans(9);
+    for &pid in &pids {
+        for pg in 0..PAGES {
+            sys.read(pid, VirtAddr(BASE + pg * PAGE_SIZE));
+        }
+        for pg in 0..PAGES / 2 {
+            sys.write(pid, VirtAddr(BASE + pg * PAGE_SIZE), 0x5a);
+        }
+    }
+    sys.force_scans(9);
+    let trace = sys.machine.obs().tracer().export_bytes();
+    let chrome = sys.machine.obs().tracer().chrome_trace_json();
+    let metrics = sys.metrics_snapshot().to_json();
+    let snapshot = sys.snapshot();
+    (trace, chrome, metrics, snapshot)
+}
+
+/// Governor-active determinism: escalations, rung spans, throttled scan
+/// budgets and parked cursors must all be byte-identical across repeat
+/// runs and across every scan-shard thread count.
+#[test]
+fn governed_artifacts_identical_across_thread_counts() {
+    for kind in [EngineKind::Ksm, EngineKind::Wpf, EngineKind::VUsion] {
+        let one = governed_run(kind, 0x6e55, 1);
+        assert!(!one.0.is_empty(), "{kind:?}: governed run must trace");
+        assert!(
+            one.1.contains("pressure_escalation"),
+            "{kind:?}: governed run never escalated — the sweep is vacuous"
+        );
+        assert!(
+            one.2.contains("\"pressure.samples\""),
+            "{kind:?}: enabled governor must fold pressure.* metrics"
+        );
+        let again = governed_run(kind, 0x6e55, 1);
+        assert_eq!(one, again, "{kind:?}: repeat governed runs diverged");
+        for threads in [2, 4, 7] {
+            let t = governed_run(kind, 0x6e55, threads);
+            assert_eq!(one.0, t.0, "{kind:?} @{threads} threads: trace diverged");
+            assert_eq!(
+                one.1, t.1,
+                "{kind:?} @{threads} threads: Chrome JSON diverged"
+            );
+            assert_eq!(one.2, t.2, "{kind:?} @{threads} threads: metrics diverged");
+            assert_eq!(one.3, t.3, "{kind:?} @{threads} threads: snapshot diverged");
+        }
+    }
+}
+
+/// A disabled governor is invisible: no `pressure.*` metric keys, no
+/// pressure trace events, and byte-identical artifacts to a build that
+/// never heard of the governor (zero-cost-when-off).
+#[test]
+fn disabled_governor_records_no_pressure_artifacts() {
+    for kind in [EngineKind::Ksm, EngineKind::Wpf, EngineKind::VUsion] {
+        let (trace, chrome, metrics, _) = traced_run(kind, 0x0ff0, 1);
+        assert!(!trace.is_empty(), "{kind:?}: run must trace");
+        assert!(
+            !chrome.contains("pressure"),
+            "{kind:?}: disabled governor leaked trace events"
+        );
+        assert!(
+            !metrics.contains("pressure."),
+            "{kind:?}: disabled governor leaked pressure.* metrics"
+        );
+    }
+}
+
+/// Restore + replay across a snapshot taken mid-escalation, with a scan
+/// pass suspended on a parked cursor: the governor band, the AIMD budget,
+/// and the engine's in-flight pass state all travel through the snapshot,
+/// so the replayed delta must trace and meter byte-identically — on a
+/// different worker count than the live run.
+#[test]
+fn governed_trace_survives_restore_replay_mid_escalation() {
+    let plan = FaultPlan {
+        alloc_every_nth: 3,
+        alloc_fail_prob: 0.25,
+        ..FaultPlan::NONE
+    };
+    for kind in [EngineKind::Ksm, EngineKind::Wpf, EngineKind::VUsion] {
+        let cfg = MachineConfig::test_small()
+            .with_seed(0x6e5d)
+            .with_fault_plan(plan);
+        let mut sys = kind.build_system(cfg);
+        sys.set_scan_threads(4);
+        sys.set_pressure_governor(tight_governor())
+            .expect("tight governor config validates");
+        let pids: Vec<Pid> = (0..2)
+            .map(|i| sys.machine.spawn(&format!("p{i}")).expect("spawn"))
+            .collect();
+        for &pid in &pids {
+            sys.machine
+                .mmap(pid, Vma::anon(VirtAddr(BASE), PAGES, Protection::rw()));
+            sys.machine.madvise_mergeable(pid, VirtAddr(BASE), PAGES);
+        }
+        for &pid in &pids {
+            for pg in 0..PAGES {
+                sys.write_page(
+                    pid,
+                    VirtAddr(BASE + pg * PAGE_SIZE),
+                    &[3u8; PAGE_SIZE as usize],
+                );
+            }
+        }
+        hog_memory(&mut sys);
+        sys.machine.arm_faults();
+        // Push the band up and suspend a pass: budgets of at most 16
+        // against the full candidate set cannot finish a staged pass in
+        // one wake.
+        for &pid in &pids {
+            for pg in 0..PAGES {
+                sys.write(pid, VirtAddr(BASE + pg * PAGE_SIZE), 0x11);
+            }
+        }
+        sys.force_scans(3);
+        assert_ne!(
+            sys.pressure_governor().band(),
+            PressureBand::Nominal,
+            "{kind:?}: snapshot must be taken mid-escalation"
+        );
+        if matches!(kind, EngineKind::Wpf) {
+            // The staged pass is provably mid-flight: pages were hashed
+            // under budget, but the merge stage (which only runs once the
+            // whole candidate set is hashed) has not executed — the
+            // snapshot below therefore carries a parked cursor, and the
+            // byte-identical replay proves it traveled.
+            let t = sys.scan_totals();
+            assert!(t.pages_scanned > 0, "WPF hashed nothing before snapshot");
+            assert_eq!(
+                t.pages_merged, 0,
+                "WPF completed a pass early; snapshot is not mid-pass"
+            );
+        }
+        sys.machine.enable_journal();
+        sys.machine.clear_journal();
+        let snapshot = sys.snapshot();
+        sys.machine.enable_tracing();
+        phase2(&mut sys, &pids);
+        let live_trace = sys.machine.obs().tracer().export_bytes();
+        let live_metrics = sys.machine.obs().metrics().snapshot().to_json();
+        let journal = sys.machine.journal().to_vec();
+        assert!(!live_trace.is_empty(), "{kind:?}: phase 2 must trace");
+
+        let mut replayed = kind.build_system(cfg);
+        replayed.set_scan_threads(7);
+        replayed.restore(&snapshot).expect("restore");
+        replayed.machine.enable_tracing();
+        replayed.replay(&journal);
+        let replay_trace = replayed.machine.obs().tracer().export_bytes();
+        let replay_metrics = replayed.machine.obs().metrics().snapshot().to_json();
+        assert_eq!(
+            live_trace, replay_trace,
+            "{kind:?}: governed trace diverged across restore + replay"
+        );
+        assert_eq!(
+            live_metrics, replay_metrics,
+            "{kind:?}: governed metrics diverged across restore + replay"
         );
     }
 }
