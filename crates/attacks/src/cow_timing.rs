@@ -7,12 +7,28 @@
 //! VUsion every considered page takes the same copy-on-access path, merged
 //! or not, and the two distributions are statistically indistinguishable
 //! (the paper's KS test, p = 0.36).
+//!
+//! Probe times are read off the [`SideChannelSurface`] rather than
+//! re-measured inline: each probe takes the delta of the recorder's exact
+//! fault-nanosecond total around the access ([`SideChannelSurface::fault_ns_total`]
+//! — full resolution, so the Figure 5/6 fine structure survives; bucket
+//! floors would quantize every copy-on-access probe to one value). A probe
+//! that takes no fault at all (a plain load or store) costs the flat
+//! [`FAST_PROBE_NS`]. This is exactly the information a real attacker
+//! extracts — which probes faulted, and how expensively — and it keeps the
+//! one latency-sampling site in the tree inside the recorder.
 
 use vusion_core::EngineKind;
-use vusion_kernel::{FusionPolicy, Pid, System};
+use vusion_kernel::{FusionPolicy, Pid, SideChannelSurface, System};
 use vusion_stats::{ks_two_sample, KsResult};
 
-use crate::common::{labeled_page, settle, time_read, time_write, AttackVerdict, TwinSetup};
+use crate::common::{labeled_page, settle, AttackVerdict, TwinSetup};
+
+/// Cost assigned to a probe that raised no page fault: the fault-latency
+/// surface saw nothing, so the attacker observed only a fast in-TLB
+/// access. Nonzero so fault-free distributions have a well-defined
+/// median ratio against faulting ones.
+pub const FAST_PROBE_NS: u64 = 100;
 
 /// Attack parameters.
 #[derive(Debug, Clone, Copy)]
@@ -39,9 +55,10 @@ impl Default for CowTimingParams {
 /// What the attack measured.
 #[derive(Debug, Clone)]
 pub struct CowTimingOutcome {
-    /// Probe times (ns) on pages that had a duplicate in the victim.
+    /// Probe costs (ns, from the recorded fault-latency surface) on pages
+    /// that had a duplicate in the victim.
     pub dup_times: Vec<f64>,
-    /// Probe times (ns) on pages unique to the attacker.
+    /// Probe costs (ns) on pages unique to the attacker.
     pub unique_times: Vec<f64>,
     /// Two-sample KS test between the two.
     pub ks: KsResult,
@@ -67,6 +84,8 @@ pub fn run_on(
 ) -> CowTimingOutcome {
     let attacker = setup.attacker;
     let victim = setup.victim;
+    // Probe costs come from the surface recorder's fault histogram.
+    sys.machine.enable_surface();
     // The victim populates its secrets; the attacker writes dup_probes
     // correct guesses and unique_probes wrong ones.
     for i in 0..params.dup_probes {
@@ -79,13 +98,16 @@ pub fn run_on(
     }
     // A fusion interval passes.
     settle(sys, (params.dup_probes * 2 + params.unique_probes) * 2);
-    // Probe.
-    let probe = |sys: &mut System<Box<dyn FusionPolicy>>, pid: Pid, va| -> u64 {
+    // Probe: the cost of one access is the exact fault-nanosecond delta it
+    // leaves on the recorded surface.
+    let probe = |sys: &mut System<Box<dyn FusionPolicy>>, pid: Pid, va| -> f64 {
+        let before = sys.machine.obs().surface().fault_ns_total();
         if params.probe_with_writes {
-            time_write(sys, pid, va, 0x41)
+            sys.write(pid, va, 0x41);
         } else {
-            time_read(sys, pid, va)
+            sys.read(pid, va);
         }
+        surface_delta_ns(sys.machine.obs().surface(), before) as f64
     };
     // Interleave the two probe classes so machine-state drift (cache
     // warmth, queue depths) cannot masquerade as a signal.
@@ -94,10 +116,14 @@ pub fn run_on(
     let n = params.dup_probes.max(params.unique_probes);
     for i in 0..n {
         if i < params.dup_probes {
-            dup_times.push(probe(sys, attacker, setup.merge_page(i)) as f64);
+            dup_times.push(probe(sys, attacker, setup.merge_page(i)));
         }
         if i < params.unique_probes {
-            unique_times.push(probe(sys, attacker, setup.merge_page(params.dup_probes + i)) as f64);
+            unique_times.push(probe(
+                sys,
+                attacker,
+                setup.merge_page(params.dup_probes + i),
+            ));
         }
     }
     let ks = ks_two_sample(&dup_times, &unique_times);
@@ -108,6 +134,17 @@ pub fn run_on(
         dup_times,
         unique_times,
         ks,
+    }
+}
+
+/// The exact fault-latency delta the probe left on the surface; a
+/// fault-free delta costs the flat [`FAST_PROBE_NS`].
+fn surface_delta_ns(surface: &SideChannelSurface, before: u64) -> u64 {
+    let ns = surface.fault_ns_total() - before;
+    if ns == 0 {
+        FAST_PROBE_NS
+    } else {
+        ns
     }
 }
 

@@ -572,13 +572,18 @@ fn main() {
     bench_scan_scaling(&mut results);
     bench_scan_throttled(&mut results);
 
-    // Zero-cost-when-off: every scan bench above runs without a governor,
-    // so the instrumented metrics snapshots must carry no pressure.*
-    // keys — a disabled governor leaves no trace in any artifact.
+    // Zero-cost-when-off: every scan bench above runs without a governor
+    // and without the side-channel surface recorder, so the instrumented
+    // metrics snapshots must carry no pressure.* or surface.* keys — a
+    // disabled subsystem leaves no trace in any artifact.
     for (engine, snap) in &metrics {
         assert!(
             !snap.contains("pressure."),
             "{engine}: ungoverned bench metrics contain pressure.* keys"
+        );
+        assert!(
+            !snap.contains("surface."),
+            "{engine}: unsurfaced bench metrics contain surface.* keys"
         );
     }
 

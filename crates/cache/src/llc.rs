@@ -133,6 +133,15 @@ impl Llc {
 
     /// Accesses `addr`, updating LRU state; returns hit or miss.
     pub fn access(&mut self, addr: PhysAddr) -> CacheOutcome {
+        self.access_evicting(addr).0
+    }
+
+    /// Like [`Self::access`], additionally reporting the global line index
+    /// a capacity miss evicted (if any). State transitions are identical
+    /// to `access` — this exists so the side-channel surface recorder can
+    /// attribute evictions to the frames whose lines were displaced.
+    /// The victim frame is `line * line_size / PAGE_SIZE`.
+    pub fn access_evicting(&mut self, addr: PhysAddr) -> (CacheOutcome, Option<u64>) {
         let line = addr.0 / self.cfg.line_size;
         let set_idx = self.set_index(addr);
         let ways = self.cfg.ways;
@@ -141,16 +150,24 @@ impl Llc {
             let l = set.lines.remove(pos);
             set.lines.insert(0, l);
             self.stats.hits += 1;
-            CacheOutcome::Hit
+            (CacheOutcome::Hit, None)
         } else {
             set.lines.insert(0, line);
-            if set.lines.len() > ways {
-                set.lines.pop();
+            let evicted = if set.lines.len() > ways {
                 self.stats.evictions += 1;
-            }
+                set.lines.pop()
+            } else {
+                None
+            };
             self.stats.misses += 1;
-            CacheOutcome::Miss
+            (CacheOutcome::Miss, evicted)
         }
+    }
+
+    /// The line indices currently resident in `set` (MRU first). Used by
+    /// snapshot-time occupancy walks; read-only.
+    pub fn set_lines(&self, set: usize) -> &[u64] {
+        &self.sets[set].lines
     }
 
     /// Checks presence without touching LRU state (attack helper mirroring a

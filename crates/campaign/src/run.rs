@@ -275,6 +275,7 @@ pub fn execute(spec: &RunSpec, invariants: &[Invariant]) -> RunOutput {
     // state, then these journaled calls".
     sys.machine.arm_faults();
     sys.machine.enable_tracing();
+    sys.machine.enable_surface();
     sys.machine.enable_journal();
     sys.machine.clear_journal();
     let base_snapshot = sys.snapshot();
@@ -345,6 +346,14 @@ pub fn execute(spec: &RunSpec, invariants: &[Invariant]) -> RunOutput {
     coverage.add("fault.alloc.injected", inj.injected_allocs);
     coverage.add("fault.checksum.injected", inj.injected_checksums);
     coverage.add("fault.bitflip.injected", inj.injected_bitflips);
+    // Which side channels each engine actually exercised: declared even
+    // at zero so the report shows an unobserved channel as a miss.
+    let [faults, llc, dram, tlb] = sys.machine.obs().surface().channel_event_totals();
+    let slug = spec.engine.slug();
+    coverage.add(&format!("surface.{slug}.fault_events"), faults);
+    coverage.add(&format!("surface.{slug}.llc_events"), llc);
+    coverage.add(&format!("surface.{slug}.dram_events"), dram);
+    coverage.add(&format!("surface.{slug}.tlb_events"), tlb);
     for (_cat, kind, stat) in sys.machine.obs().tracer().profile().iter() {
         coverage.add(&format!("span.{}", kind.name()), stat.count);
     }

@@ -18,7 +18,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport, SpanKind};
+use vusion_kernel::{
+    FusionPolicy, Machine, PageFault, Pid, ScanReport, SpanKind, SurfaceTransition,
+};
 use vusion_mem::{CrashSite, FrameId, VirtAddr, PAGE_SIZE};
 use vusion_mmu::{GuestTag, Pte, PteFlags, VmaBacking};
 
@@ -260,6 +262,7 @@ impl Ksm {
         let costs = m.costs();
         m.scan_cost(costs.pte_update + costs.buddy_interaction);
         m.trace_end(SpanKind::Merge);
+        m.surface_transition(SurfaceTransition::Merge);
         self.tags.record(tag);
         self.merged_live += 1;
         self.stats.merged += 1;
@@ -440,6 +443,7 @@ impl Ksm {
                 self.stable_index.insert(wframe, snode);
                 self.stable_hashes.insert(m.mem(), wframe);
                 self.merged_live += 1; // The promoted party's own mapping.
+                m.surface_transition(SurfaceTransition::Merge);
                 self.stats.promotions += 1;
                 report.pages_merged += 1; // The promoted candidate's mapping.
                 self.merge_into_stable(m, lpid, lva, lframe, snode, report);
@@ -534,6 +538,7 @@ impl Ksm {
             self.stable_hashes.remove(stable_frame);
         }
         self.merged_live -= 1;
+        m.surface_transition(SurfaceTransition::Unmerge);
         self.stats.unmerged += 1;
         true
     }

@@ -156,12 +156,15 @@ pub(crate) fn prehash_frames(m: &mut Machine, runner: &ShardRunner, frames: &[Fr
             mem.seed_hash(f, h);
         }
     }
-    // Shard t owns ceil((n - t) / threads) items of the partition; the
-    // per-shard modeled costs fold to the same total at any thread count.
-    let threads = runner.threads().min(need.len()).max(1);
+    // Cost is attributed over *logical* shards (`index %
+    // LOGICAL_SCAN_SHARDS` of the deterministic `need` enumeration), not
+    // over worker threads: logical shard l owns ceil((n - l) / L) items,
+    // so the per-shard breakdown — and its fold into the trace total — is
+    // byte-identical at any `--threads` value.
+    let shards = vusion_kernel::LOGICAL_SCAN_SHARDS;
     let per_page = hash_page_cost(m);
-    let per_shard: Vec<u64> = (0..threads)
-        .map(|t| ((need.len() + threads - 1 - t) / threads) as u64 * per_page)
+    let per_shard: Vec<u64> = (0..shards)
+        .map(|l| ((need.len() + shards - 1 - l) / shards) as u64 * per_page)
         .collect();
     m.scan_cost_shards(&per_shard);
     need.len()

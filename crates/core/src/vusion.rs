@@ -29,7 +29,9 @@
 
 use std::collections::BTreeMap;
 
-use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport, SpanKind};
+use vusion_kernel::{
+    FusionPolicy, Machine, PageFault, Pid, ScanReport, SpanKind, SurfaceTransition,
+};
 use vusion_mem::{
     CrashSite, DeferredFreeQueue, FrameId, MmError, PageType, RandomPool, VirtAddr,
     HUGE_PAGE_FRAMES, PAGE_SIZE,
@@ -423,6 +425,7 @@ impl VUsion {
                 let costs = m.costs();
                 m.scan_cost(costs.pte_update + costs.buddy_interaction);
                 m.trace_end(SpanKind::Merge);
+                m.surface_transition(SurfaceTransition::Merge);
                 self.tags.record(tag);
                 self.saved += 1;
                 self.stats.merged += 1;
@@ -468,6 +471,7 @@ impl VUsion {
                 let costs = m.costs();
                 m.scan_cost(costs.copy_page + costs.pte_update + costs.buddy_interaction);
                 m.trace_end(SpanKind::FakeMerge);
+                m.surface_transition(SurfaceTransition::FakeMerge);
                 self.stats.fake_merged += 1;
                 report.pages_fake_merged += 1;
             }
@@ -581,6 +585,7 @@ impl VUsion {
             // Identical charge on both the merged and fake-merged paths.
             m.charge(costs.copy_page + costs.pte_update + costs.deferred_queue_push);
         }
+        m.surface_transition(SurfaceTransition::Unmerge);
         self.stats.coa_unmerges += 1;
         true
     }
@@ -613,6 +618,7 @@ impl VUsion {
         }
         self.page_state.remove(&(pid.0, va.page()));
         let _ = self.detach_mapping(m, pid, va, node);
+        m.surface_transition(SurfaceTransition::Unmerge);
         self.stats.collapse_unmerges += 1;
         true
     }

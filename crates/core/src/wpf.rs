@@ -19,7 +19,9 @@
 
 use std::collections::BTreeMap;
 
-use vusion_kernel::{FusionPolicy, Machine, PageFault, Pid, ScanReport, SpanKind};
+use vusion_kernel::{
+    FusionPolicy, Machine, PageFault, Pid, ScanReport, SpanKind, SurfaceTransition,
+};
 use vusion_mem::{
     CrashSite, FrameAllocator, FrameId, LinearAllocator, MmError, PageType, VirtAddr, PAGE_SIZE,
 };
@@ -217,6 +219,7 @@ impl Wpf {
         let _ = m.put_frame(old);
         let costs = m.costs();
         m.scan_cost(costs.pte_update + costs.buddy_interaction);
+        m.surface_transition(SurfaceTransition::Merge);
         self.tags.record(tag);
         self.merged_live += 1;
         self.stats.merged += 1;
@@ -463,6 +466,7 @@ impl Wpf {
                     let _ = m.put_frame(old);
                     let costs = m.costs();
                     m.scan_cost(costs.pte_update + costs.buddy_interaction);
+                    m.surface_transition(SurfaceTransition::Merge);
                     self.tags.record(tag);
                     self.merged_live += 1;
                     self.stats.merged += 1;
@@ -605,6 +609,7 @@ impl Wpf {
             let _ = self.linear.free(tree_frame);
         }
         self.merged_live -= 1;
+        m.surface_transition(SurfaceTransition::Unmerge);
         self.stats.unmerged += 1;
         true
     }

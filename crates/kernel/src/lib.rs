@@ -34,7 +34,10 @@ pub mod system;
 pub use clock::{CostModel, SimClock};
 pub use journal::{JournalEvent, JournalEventKind};
 pub use khugepaged::{Khugepaged, KhugepagedStats};
-pub use machine::{AccessKind, FaultReason, Machine, MachineConfig, MachineStats, PageFault, Pid};
+pub use machine::{
+    AccessKind, FaultReason, Machine, MachineConfig, MachineStats, PageFault, Pid,
+    LOGICAL_SCAN_SHARDS,
+};
 pub use policy::{FusionPolicy, NoFusion, ScanReport};
 pub use pressure::{
     PressureBand, PressureConfig, PressureDecision, PressureGovernor, PressureStats,
@@ -44,4 +47,8 @@ pub use system::{System, SystemReport, SystemStats};
 
 // Observability vocabulary, re-exported so engines and tests can name
 // span/instant kinds without a direct `vusion-obs` dependency.
-pub use vusion_obs::{InstantKind, MetricsSnapshot, Obs, Profile, SpanKind, Tracer};
+pub use vusion_obs::{
+    bucket_floor_ns, latency_bucket, DramOutcome, FaultKind, InstantKind, MetricsSnapshot, Obs,
+    PageClass, Profile, SideChannelSurface, SpanKind, SurfaceExtras, SurfaceTransition, Tracer,
+    LATENCY_BUCKETS,
+};

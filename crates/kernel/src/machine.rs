@@ -9,7 +9,9 @@ use vusion_mem::{
     HUGE_PAGE_FRAMES, HUGE_PAGE_SIZE, PAGE_SIZE,
 };
 use vusion_mmu::{AddressSpace, LeafInfo, Pte, PteFlags, Tlb, TlbEntry, Vma, VmaBacking};
-use vusion_obs::{InstantKind, Obs, SpanKind};
+use vusion_obs::{
+    DramOutcome, FaultKind, InstantKind, Obs, PageClass, SpanKind, SurfaceExtras, SurfaceTransition,
+};
 use vusion_rng::rngs::StdRng;
 use vusion_rng::SeedableRng;
 use vusion_snapshot::{Reader, Snapshot, SnapshotError, Writer};
@@ -21,6 +23,13 @@ use crate::process::Process;
 /// Process identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pid(pub usize);
+
+/// Number of *logical* shards scan cost is attributed across. Fixed (not
+/// the worker-thread count) so the per-shard breakdown in the metrics
+/// snapshot is byte-identical at any `--threads` value: work items are
+/// partitioned by `index % LOGICAL_SCAN_SHARDS` over the deterministic
+/// serial enumeration, independent of which OS thread hashed them.
+pub const LOGICAL_SCAN_SHARDS: usize = 8;
 
 /// Kind of memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,6 +233,11 @@ pub struct Machine {
     /// (every hook is a single branch) and excluded from snapshots — it
     /// describes a run, not machine state.
     obs: Obs,
+    /// Cumulative scan cost per *logical* shard (see
+    /// [`LOGICAL_SCAN_SHARDS`]). Accumulated unconditionally — it is plain
+    /// integer addition, costs nothing observable, and snapshots carry it
+    /// so restore+replay reproduces the same attribution.
+    scan_shard_cost: [u64; LOGICAL_SCAN_SHARDS],
 }
 
 impl Machine {
@@ -258,6 +272,7 @@ impl Machine {
             journal_on: false,
             journal_suspend: 0,
             obs: Obs::new(),
+            scan_shard_cost: [0; LOGICAL_SCAN_SHARDS],
         }
     }
 
@@ -364,6 +379,121 @@ impl Machine {
         self.obs.enable(vusion_obs::DEFAULT_CAPACITY);
     }
 
+    // ------------------------------------------------------------------
+    // Side-channel surface recorder
+    // ------------------------------------------------------------------
+
+    /// Turns on the side-channel surface recorder (independent of
+    /// tracing — see [`Obs`]), starting from a clean slate.
+    pub fn enable_surface(&mut self) {
+        self.obs.enable_surface();
+    }
+
+    /// Whether the surface recorder is on.
+    #[inline(always)]
+    pub fn surface_enabled(&self) -> bool {
+        self.obs.surface_enabled()
+    }
+
+    /// Whether `frame` is currently shared (refcount > 1) — the ground
+    /// truth the surface recorder classifies observables against.
+    #[inline]
+    fn frame_fused(&self, frame: FrameId) -> bool {
+        frame.0 < self.cfg.frames && self.mem.info(frame).refcount > 1
+    }
+
+    /// Classifies the page a leaf PTE maps. Shared frames are `Fused`
+    /// regardless of the trap bit (VUsion's merged pages are both);
+    /// trapped-but-exclusive is the fake-merge disguise (`Trapped`);
+    /// all-zero exclusive pages are `Zero`; everything else `Unshared`.
+    pub fn classify_leaf(&self, leaf: &LeafInfo) -> PageClass {
+        let frame = leaf.pte.frame();
+        if self.frame_fused(frame) {
+            PageClass::Fused
+        } else if leaf.pte.is_trapped() {
+            PageClass::Trapped
+        } else if frame.0 < self.cfg.frames && self.mem.is_zero(frame) {
+            PageClass::Zero
+        } else {
+            PageClass::Unshared
+        }
+    }
+
+    /// Records one handled fault on the surface (no-op when disabled).
+    #[inline]
+    pub fn surface_record_fault(&mut self, class: PageClass, kind: FaultKind, latency_ns: u64) {
+        if self.obs.surface_enabled() {
+            self.obs.surface_mut().record_fault(class, kind, latency_ns);
+        }
+    }
+
+    /// Records a page-class transition (merge / fake-merge / unmerge) on
+    /// the surface (no-op when disabled). Engines call this next to their
+    /// own stats counters.
+    #[inline]
+    pub fn surface_transition(&mut self, t: SurfaceTransition) {
+        if self.obs.surface_enabled() {
+            self.obs.surface_mut().record_transition(t);
+        }
+    }
+
+    /// Snapshot-time observables the streaming counters cannot carry:
+    /// page-class populations (one count per installed leaf; a 2 MiB leaf
+    /// counts once), LLC lines per set currently backed by fused frames,
+    /// and TLB entries split fused/other. Quiet: reads page tables and the
+    /// zero-page memo only — no clock, no cache or hash side effects.
+    pub fn surface_extras(&self) -> SurfaceExtras {
+        let mut extras = SurfaceExtras::default();
+        for p in &self.processes {
+            for vma in p.space.vmas() {
+                let mut pg = 0;
+                while pg < vma.pages {
+                    let va = VirtAddr(vma.start.0 + pg * PAGE_SIZE);
+                    let Some(leaf) = p.space.tables().leaf(&self.mem, va) else {
+                        pg += 1;
+                        continue;
+                    };
+                    if !leaf.pte.is_present() && !leaf.pte.is_trapped() {
+                        pg += 1;
+                        continue;
+                    }
+                    let step = if leaf.huge {
+                        HUGE_PAGE_SIZE / PAGE_SIZE
+                    } else {
+                        1
+                    };
+                    let class = self.classify_leaf(&leaf);
+                    extras.populations[class.index()] += 1;
+                    pg += step;
+                }
+            }
+            for e in p.tlb.entries() {
+                let fused = self.frame_fused(e.pte.frame());
+                extras.tlb_occupancy[fused as usize] += 1;
+            }
+        }
+        let cfg = self.llc.config();
+        for set in 0..cfg.sets {
+            let mut fused_lines = 0u64;
+            for &line in self.llc.set_lines(set) {
+                let frame = FrameId(line * cfg.line_size / PAGE_SIZE);
+                if self.frame_fused(frame) {
+                    fused_lines += 1;
+                }
+            }
+            if fused_lines > 0 {
+                extras.llc_fused_occupancy.push((set as u64, fused_lines));
+            }
+        }
+        extras
+    }
+
+    /// The surface rendered as canonical JSON (streaming counters plus
+    /// the snapshot-time extras).
+    pub fn surface_json(&self) -> String {
+        self.obs.surface().to_json(&self.surface_extras())
+    }
+
     /// Opens a trace span, timestamped by the simulated clock. `cat` names
     /// the emitting engine or subsystem ("ksm", "kernel", "mmu", ...).
     #[inline]
@@ -411,8 +541,19 @@ impl Machine {
     /// partition (`index % threads`), so the attributed value is identical
     /// at any thread count and the trace stays byte-stable.
     pub fn scan_cost_shards(&mut self, per_shard: &[u64]) {
+        for (i, &ns) in per_shard.iter().enumerate() {
+            self.scan_shard_cost[i % LOGICAL_SCAN_SHARDS] += ns;
+        }
         let total: u64 = per_shard.iter().sum();
         self.scan_cost(total);
+    }
+
+    /// Cumulative scan cost attributed to each logical shard since
+    /// construction (or the last snapshot restore — like the tracer,
+    /// cost attribution is observability state and restarts at zero on
+    /// restore rather than traveling in the snapshot).
+    pub fn scan_shard_costs(&self) -> [u64; LOGICAL_SCAN_SHARDS] {
+        self.scan_shard_cost
     }
 
     /// A page hash as the *scanner* observes it: the machine's fault plan
@@ -755,12 +896,44 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn dram_access(&mut self, pa: PhysAddr) {
-        let cost = match self.rows.access(pa) {
+        let outcome = self.rows.access(pa);
+        if self.obs.surface_enabled() {
+            let bank = self.rows.config().locate(pa).bank;
+            let fused = self.frame_fused(pa.frame());
+            let o = match outcome {
+                RowBufferOutcome::Hit => DramOutcome::Hit,
+                RowBufferOutcome::Empty => DramOutcome::Empty,
+                RowBufferOutcome::Conflict => DramOutcome::Conflict,
+            };
+            self.obs.surface_mut().record_dram(fused, bank, o);
+        }
+        let cost = match outcome {
             RowBufferOutcome::Hit => self.cfg.costs.dram_row_hit,
             RowBufferOutcome::Empty => self.cfg.costs.dram_row_empty,
             RowBufferOutcome::Conflict => self.cfg.costs.dram_row_conflict,
         };
         self.charge(cost);
+    }
+
+    /// Touches the LLC for `pa` and, when the surface recorder is on,
+    /// attributes the access and any capacity eviction to fused/other.
+    fn llc_access_surfaced(&mut self, pa: PhysAddr) -> CacheOutcome {
+        let (outcome, evicted) = self.llc.access_evicting(pa);
+        if self.obs.surface_enabled() {
+            let set = self.llc.set_index(pa) as u64;
+            let fused = self.frame_fused(pa.frame());
+            self.obs
+                .surface_mut()
+                .record_llc_access(fused, outcome == CacheOutcome::Hit, set);
+            if let Some(line) = evicted {
+                let victim = FrameId(line * self.llc.config().line_size / PAGE_SIZE);
+                let victim_fused = self.frame_fused(victim);
+                self.obs
+                    .surface_mut()
+                    .record_llc_eviction(victim_fused, set);
+            }
+        }
+        outcome
     }
 
     /// A timed data access: through the LLC unless `uncached`.
@@ -769,7 +942,7 @@ impl Machine {
             self.dram_access(pa);
             return;
         }
-        match self.llc.access(pa) {
+        match self.llc_access_surfaced(pa) {
             CacheOutcome::Hit => self.charge(self.cfg.costs.llc_hit),
             CacheOutcome::Miss => self.dram_access(pa),
         }
@@ -869,13 +1042,21 @@ impl Machine {
             let p = &mut self.processes[pid.0];
             // The walk above just resolved this leaf; the entry exists.
             let _ = p.space.tables_mut().set_leaf(&mut self.mem, base, pte);
-            p.tlb.fill(
+            let evicted = p.tlb.fill(
                 va,
                 TlbEntry {
                     pte,
                     huge: leaf.huge,
                 },
             );
+            if self.obs.surface_enabled() {
+                let fused = self.frame_fused(pte.frame());
+                self.obs.surface_mut().record_tlb_fill(fused);
+                if let Some(e) = evicted {
+                    let victim_fused = self.frame_fused(e.pte.frame());
+                    self.obs.surface_mut().record_tlb_eviction(victim_fused);
+                }
+            }
         } else if kind == AccessKind::Write {
             // Set the dirty bit through a quiet walk (first write after a
             // read fill).
@@ -935,7 +1116,7 @@ impl Machine {
                 // PCD does. An S⊕F implementation without PCD stays
                 // vulnerable, which test suites verify.
                 let pa = Self::resolve_pa(&leaf, va);
-                self.llc.access(pa);
+                self.llc_access_surfaced(pa);
             }
         }
     }
@@ -1384,6 +1565,10 @@ impl Machine {
         ] {
             w.u64(v);
         }
+        // `scan_shard_cost` is deliberately NOT serialized: cost
+        // attribution depends on hash-memo warmth (a pure-function cache
+        // that does not travel through snapshots), so like the tracer it
+        // is observability-local state, reset on restore.
     }
 
     /// Restores state saved by [`Self::save_state`] into a machine built
@@ -1447,6 +1632,7 @@ impl Machine {
             scan_retries: r.u64()?,
             deferred_drains: r.u64()?,
         };
+        self.scan_shard_cost = [0; LOGICAL_SCAN_SHARDS];
         Ok(())
     }
 

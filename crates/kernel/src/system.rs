@@ -6,12 +6,12 @@
 //! how `ksmd` wakes every `T` ms on a spare core.
 
 use vusion_mem::{MmError, VirtAddr, PAGE_SIZE};
-use vusion_obs::{InstantKind, MetricsSnapshot, Profile, SpanKind};
+use vusion_obs::{FaultKind, InstantKind, MetricsSnapshot, PageClass, Profile, SpanKind};
 use vusion_snapshot::{Reader, SnapshotError, Writer};
 
 use crate::journal::JournalEvent;
 use crate::khugepaged::Khugepaged;
-use crate::machine::{Machine, PageFault, Pid};
+use crate::machine::{FaultReason, Machine, PageFault, Pid};
 use crate::policy::{FusionPolicy, ScanReport};
 use crate::pressure::{PressureBand, PressureConfig, PressureGovernor};
 
@@ -244,7 +244,25 @@ impl<P: FusionPolicy> System<P> {
     /// the simulated equivalent of delivering SIGSEGV.
     fn resolve(&mut self, fault: PageFault) -> Result<(), MmError> {
         let tracing = self.machine.obs().enabled();
-        let t0 = if tracing { self.machine.now_ns() } else { 0 };
+        let surfacing = self.machine.surface_enabled();
+        let timing = tracing || surfacing;
+        let t0 = if timing { self.machine.now_ns() } else { 0 };
+        // The surface classifies the fault by the page as the *attacker*
+        // found it: the leaf before handling (handling may replace it).
+        // No leaf means a demand fault; whether it was a zero fill is
+        // known only afterwards, via the demand_zero counter delta.
+        let pre_class = if surfacing {
+            self.machine
+                .leaf(fault.pid, fault.va)
+                .map(|l| self.machine.classify_leaf(&l))
+        } else {
+            None
+        };
+        let zero_before = if surfacing {
+            self.machine.stats().demand_zero
+        } else {
+            0
+        };
         if tracing {
             self.machine
                 .trace_begin(self.policy.name(), SpanKind::FaultHandling);
@@ -263,11 +281,25 @@ impl<P: FusionPolicy> System<P> {
         };
         if tracing {
             self.machine.trace_end(SpanKind::FaultHandling);
+        }
+        if timing {
             let dt = self.machine.now_ns().saturating_sub(t0);
-            self.machine
-                .obs_mut()
-                .metrics_mut()
-                .observe("fault.latency_ns", dt as f64);
+            if tracing {
+                self.machine.obs_mut().observe_fault_latency(dt as f64);
+            }
+            if surfacing {
+                let kind = match fault.reason {
+                    FaultReason::NotMapped => FaultKind::Minor,
+                    FaultReason::Trapped => FaultKind::Trap,
+                    FaultReason::WriteProtected => FaultKind::CowBreak,
+                };
+                let class = match pre_class {
+                    Some(c) => c,
+                    None if self.machine.stats().demand_zero > zero_before => PageClass::Zero,
+                    None => PageClass::Unshared,
+                };
+                self.machine.surface_record_fault(class, kind, dt);
+            }
         }
         outcome
     }
@@ -477,6 +509,47 @@ impl<P: FusionPolicy> System<P> {
             snap.set_gauge("pressure.band", self.governor.band().code() as i64);
             snap.set_gauge("pressure.budget", self.governor.budget() as i64);
         }
+        let shards = self.machine.scan_shard_costs();
+        for (i, &ns) in shards.iter().enumerate() {
+            snap.set_counter(&format!("scan.shard_cost_ns.{i}"), ns);
+        }
+        // Like pressure.*: a disabled surface contributes no keys at all.
+        if self.machine.surface_enabled() {
+            let surf = self.machine.obs().surface();
+            for &class in &PageClass::ALL {
+                for &kind in &FaultKind::ALL {
+                    snap.set_counter(
+                        &format!("surface.fault.{}.{}", class.name(), kind.name()),
+                        surf.fault_count(class, kind),
+                    );
+                }
+            }
+            let (h, m, e) = surf.llc_counts();
+            for (name, v) in [
+                ("surface.llc.hits_fused", h[1]),
+                ("surface.llc.hits_other", h[0]),
+                ("surface.llc.misses_fused", m[1]),
+                ("surface.llc.misses_other", m[0]),
+                ("surface.llc.evictions_fused", e[1]),
+                ("surface.llc.evictions_other", e[0]),
+            ] {
+                snap.set_counter(name, v);
+            }
+            let d = surf.dram_totals();
+            snap.set_counter("surface.dram.hits_fused", d[1][0]);
+            snap.set_counter("surface.dram.hits_other", d[0][0]);
+            snap.set_counter("surface.dram.conflicts_fused", d[1][2]);
+            snap.set_counter("surface.dram.conflicts_other", d[0][2]);
+            let (tf, te) = surf.tlb_counts();
+            snap.set_counter("surface.tlb.fills_fused", tf[1]);
+            snap.set_counter("surface.tlb.fills_other", tf[0]);
+            snap.set_counter("surface.tlb.evictions_fused", te[1]);
+            snap.set_counter("surface.tlb.evictions_other", te[0]);
+            let tr = surf.transition_counts();
+            snap.set_counter("surface.transitions.merge", tr[0]);
+            snap.set_counter("surface.transitions.fake_merge", tr[1]);
+            snap.set_counter("surface.transitions.unmerge", tr[2]);
+        }
         let (hits, misses, invalidations, flushes) = self.machine.tlb_totals();
         snap.set_counter("tlb.hits", hits);
         snap.set_counter("tlb.misses", misses);
@@ -504,6 +577,12 @@ impl<P: FusionPolicy> System<P> {
         );
         snap.set_gauge("engine.pages_saved", self.policy.pages_saved() as i64);
         snap
+    }
+
+    /// The side-channel surface as canonical JSON (see
+    /// [`Machine::surface_json`]).
+    pub fn surface_json(&self) -> String {
+        self.machine.surface_json()
     }
 
     /// The per-run report: engine name, metrics snapshot, and the

@@ -77,14 +77,14 @@ impl Tlb {
     }
 
     /// Inserts a translation after a successful walk.
-    pub fn fill(&mut self, va: VirtAddr, entry: TlbEntry) {
+    pub fn fill(&mut self, va: VirtAddr, entry: TlbEntry) -> Option<TlbEntry> {
         if entry.huge {
             let key = va.0 / HUGE_PAGE_SIZE;
             if self.map_2m.insert(key, entry).is_none() {
                 self.fifo_2m.push(key);
                 if self.fifo_2m.len() > self.cap_2m {
                     let evict = self.fifo_2m.remove(0);
-                    self.map_2m.remove(&evict);
+                    return self.map_2m.remove(&evict);
                 }
             }
         } else {
@@ -93,10 +93,17 @@ impl Tlb {
                 self.fifo_4k.push(key);
                 if self.fifo_4k.len() > self.cap_4k {
                     let evict = self.fifo_4k.remove(0);
-                    self.map_4k.remove(&evict);
+                    return self.map_4k.remove(&evict);
                 }
             }
         }
+        None
+    }
+
+    /// Iterates every resident entry (4 KiB then 2 MiB, each in key
+    /// order). Read-only — snapshot-time occupancy walks use this.
+    pub fn entries(&self) -> impl Iterator<Item = &TlbEntry> {
+        self.map_4k.values().chain(self.map_2m.values())
     }
 
     /// Invalidates any translation covering `va` (`invlpg`).

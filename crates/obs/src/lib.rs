@@ -39,19 +39,28 @@ pub mod coverage;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod surface;
 pub mod trace;
 
 pub use coverage::Coverage;
 pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use profile::{PhaseStat, Profile};
+pub use surface::{
+    bucket_floor_ns, latency_bucket, DramOutcome, FaultKind, PageClass, SideChannelSurface,
+    SurfaceExtras, SurfaceTransition, LATENCY_BUCKETS,
+};
 pub use trace::{InstantKind, Phase, SpanKind, TraceEvent, Tracer, DEFAULT_CAPACITY};
 
-/// The observability hub a machine owns: one tracer plus one metrics
-/// registry, behind a single enable flag.
+/// The observability hub a machine owns: one tracer, one metrics
+/// registry, and one side-channel surface recorder. The tracer and
+/// metrics share one enable flag; the surface has its own (a traced run
+/// is not automatically a surfaced run — artifacts stay unchanged unless
+/// explicitly asked for).
 #[derive(Debug, Default)]
 pub struct Obs {
     tracer: Tracer,
     metrics: MetricsRegistry,
+    surface: SideChannelSurface,
 }
 
 impl Obs {
@@ -80,13 +89,41 @@ impl Obs {
         self.tracer.disable();
     }
 
-    /// Drops all recorded events, profile stats, metrics and resets the
-    /// sequence counter — the trace restarts from a clean slate (used
-    /// right after taking a snapshot, so the trace describes exactly the
-    /// delta since it).
+    /// Drops all recorded events, profile stats, metrics and surface
+    /// counters and resets the sequence counter — the trace restarts from
+    /// a clean slate (used right after taking a snapshot, so the
+    /// artifacts describe exactly the delta since it).
     pub fn clear(&mut self) {
         self.tracer.clear();
         self.metrics.clear();
+        self.surface.clear();
+    }
+
+    /// Whether the side-channel surface recorder is on. Inlined: the
+    /// disabled path is one load + branch.
+    #[inline(always)]
+    pub fn surface_enabled(&self) -> bool {
+        self.surface.enabled()
+    }
+
+    /// Turns the side-channel surface recorder on, from a clean slate.
+    pub fn enable_surface(&mut self) {
+        self.surface.enable();
+    }
+
+    /// Turns the side-channel surface recorder off.
+    pub fn disable_surface(&mut self) {
+        self.surface.disable();
+    }
+
+    /// The surface recorder (read-only).
+    pub fn surface(&self) -> &SideChannelSurface {
+        &self.surface
+    }
+
+    /// The surface recorder, mutably.
+    pub fn surface_mut(&mut self) -> &mut SideChannelSurface {
+        &mut self.surface
     }
 
     /// The tracer (read-only).

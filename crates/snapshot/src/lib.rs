@@ -36,7 +36,9 @@ use std::fmt;
 /// change; [`unseal`] rejects mismatches with [`SnapshotError::BadVersion`].
 /// v2: pressure-governor state in the system frame, `budget_used` in scan
 /// totals, and resumable-pass cursors in the engine blobs.
-pub const FORMAT_VERSION: u32 = 2;
+/// v3: failure bundles gained a side-channel surface sidecar slot
+/// (`surface_tail`) in their sealed wire format.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Magic bytes opening every sealed snapshot or failure bundle.
 pub const MAGIC: &[u8; 4] = b"VSNP";

@@ -28,6 +28,11 @@
 //!   by the pressure governor (`crates/kernel/src/pressure.rs`); engines
 //!   and the rest of the kernel consume its banded decisions so
 //!   throttling stays centralized, hysteresis-damped, and snapshot-exact.
+//! * **S-rules** — surface: latency histograms are sampled only inside
+//!   the side-channel surface recorder (`crates/obs/src/surface.rs`);
+//!   everyone else goes through typed wrappers like
+//!   `Obs::observe_fault_latency`, so every latency observation feeds one
+//!   canonical, diffable artifact instead of scattered ad-hoc metrics.
 //!
 //! Findings are deterministic: files are visited in sorted order and
 //! findings sort by `(file, line, rule, message)`, so two runs over the
@@ -78,6 +83,8 @@ pub struct Families {
     pub e: bool,
     /// Governor pressure-signal rules.
     pub g: bool,
+    /// Surface latency-sampling rules.
+    pub s: bool,
 }
 
 impl Families {
@@ -89,6 +96,7 @@ impl Families {
         p: true,
         e: true,
         g: true,
+        s: true,
     };
 }
 
@@ -136,6 +144,10 @@ pub fn families_for(rel: &str) -> Families {
         // are naturally out of scope.
         g: (rel.starts_with("crates/core/src/") || rel.starts_with("crates/kernel/src/"))
             && rel != "crates/kernel/src/pressure.rs",
+        // Latency histograms are sampled in exactly one module — the
+        // surface recorder. The obs crate itself (recorder + registry)
+        // is naturally out of scope.
+        s: !rel.starts_with("crates/obs/src/"),
     }
 }
 
@@ -417,6 +429,9 @@ pub fn analyze_source(rel: &str, source: &str, fam: Families) -> Vec<Finding> {
     }
     if fam.g {
         rules::governor(&ctx, &mut findings);
+    }
+    if fam.s {
+        rules::surface(&ctx, &mut findings);
     }
 
     findings.retain(|f| {

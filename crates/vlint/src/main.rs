@@ -34,6 +34,7 @@ P002  bits/from_bits/to_bits escape hatches stay inside vusion-mmu
 E001  no undocumented panic/assert in simulation code (doc `# Panics` or demote)
 E002  no truncating `as` casts on frame/generation/cycle arithmetic
 G001  free_frames pressure reads stay in the governor (crates/kernel/src/pressure.rs)
+S001  latency sampling stays in the surface recorder (crates/obs/src/surface.rs)
 V001  vlint allow annotations need a reason: // vlint: allow(RULE, why)
 
 suppression: append `// vlint: allow(RULE, reason)` on (or just above) the line

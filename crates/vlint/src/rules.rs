@@ -554,6 +554,42 @@ pub(crate) fn governor(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// S — surface latency sampling
+// ---------------------------------------------------------------------
+
+/// S001: latency histograms are fed in exactly one module — the
+/// side-channel surface recorder (`crates/obs/src/surface.rs`, exempted
+/// by the scope map). A raw `registry.observe(...)` call anywhere else
+/// re-invents a latency channel the surface cannot see, so the diffable
+/// artifact silently under-reports and two sampling sites can disagree
+/// about bucketing. Simulation and harness code goes through typed
+/// wrappers like `Obs::observe_fault_latency`. Test code is exempt:
+/// asserting on a histogram is an observation, not a new channel.
+pub(crate) fn surface(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind == Kind::Ident
+            && t.is_ident("observe")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !ctx.in_test_code(t.line)
+        {
+            push(
+                ctx,
+                out,
+                t.line,
+                "S001",
+                "raw `observe(...)` samples a latency histogram outside the surface \
+                 recorder (crates/obs/src/surface.rs); use a typed wrapper like \
+                 `Obs::observe_fault_latency` so every sample feeds the canonical \
+                 diffable surface"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::{analyze_source, Families};
@@ -662,6 +698,19 @@ fn f() { assert!(on, \"off\"); }";
         let tested = "#[cfg(test)]\nmod tests {\n  fn f() { panic!(\"fine\"); }\n}";
         assert!(rules(tested).is_empty());
         assert!(rules("fn f() { debug_assert!(x > 0); }").is_empty());
+    }
+
+    #[test]
+    fn s001_confines_latency_sampling() {
+        assert_eq!(
+            rules("self.metrics.observe(\"fault.latency_ns\", dt);"),
+            vec![("S001", 1)]
+        );
+        assert_eq!(rules("r.observe(name, v);"), vec![("S001", 1)]);
+        assert!(rules("obs.observe_fault_latency(dt as f64);").is_empty());
+        assert!(rules("let h = machine.observed_hash(frame);").is_empty());
+        let tested = "#[cfg(test)]\nmod tests {\n  fn f() { r.observe(\"h\", 1.0); }\n}";
+        assert!(rules(tested).is_empty());
     }
 
     #[test]

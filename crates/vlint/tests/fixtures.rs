@@ -87,6 +87,12 @@ fn g001_pressure_signal_reads() {
 }
 
 #[test]
+fn s001_latency_sampling() {
+    check("s001_bad.rs", &[("S001", 4), ("S001", 8)]);
+    check("s001_ok.rs", &[]);
+}
+
+#[test]
 fn v001_allow_annotations() {
     // A reasonless allow is itself a finding — and suppresses nothing.
     check("allow_bad.rs", &[("D002", 3), ("V001", 3), ("D002", 6)]);

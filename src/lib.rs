@@ -49,6 +49,7 @@
 //! | [`stats`] | KS tests, histograms, percentiles |
 //! | [`workloads`] | VM images and benchmark drivers |
 
+pub mod diffsurface;
 pub mod repro;
 
 pub use vusion_attacks as attacks;

@@ -59,6 +59,9 @@ pub struct Bundle {
     /// Chrome `trace_event` JSON of the tracer ring buffer at failure
     /// time — empty when the failing run had tracing disabled.
     pub trace_tail: String,
+    /// Canonical side-channel surface JSON at failure time — empty when
+    /// the failing run had the surface recorder disabled.
+    pub surface_tail: String,
     /// [`machine_digest`] of the machine at failure time.
     pub digest: u64,
     /// Sealed [`System::snapshot`] taken when journaling began.
@@ -252,6 +255,11 @@ impl Bundle {
             } else {
                 String::new()
             },
+            surface_tail: if sys.machine.surface_enabled() {
+                sys.surface_json()
+            } else {
+                String::new()
+            },
             digest: machine_digest(&sys.machine),
             snapshot: base_snapshot,
             journal: sys.machine.journal().to_vec(),
@@ -390,6 +398,7 @@ impl Bundle {
         );
         shrunk.journal = current;
         shrunk.trace_tail = String::new();
+        shrunk.surface_tail = String::new();
         Ok(Some(ShrinkOutcome {
             original_len: self.journal.len(),
             replays,
@@ -413,6 +422,7 @@ impl Bundle {
         w.str(&self.note);
         w.str(&self.failing_step);
         w.str(&self.trace_tail);
+        w.str(&self.surface_tail);
         w.u64(self.digest);
         w.blob(&self.snapshot);
         let mut jw = Writer::new();
@@ -437,6 +447,7 @@ impl Bundle {
         let note = r.str()?;
         let failing_step = r.str()?;
         let trace_tail = r.str()?;
+        let surface_tail = r.str()?;
         let digest = r.u64()?;
         let snapshot = r.blob()?.to_vec();
         let jblob = r.blob()?;
@@ -455,6 +466,7 @@ impl Bundle {
             note,
             failing_step,
             trace_tail,
+            surface_tail,
             digest,
             snapshot,
             journal,
@@ -495,6 +507,10 @@ impl Bundle {
             // Openable directly in a Chrome-trace viewer, no unbundling.
             fs::write(path.with_extension("trace.json"), &self.trace_tail)?;
         }
+        if !self.surface_tail.is_empty() {
+            // Diffable directly against another run's surface artifact.
+            fs::write(path.with_extension("surface.json"), &self.surface_tail)?;
+        }
         rotate(dir, KEEP_BUNDLES)?;
         Ok(path)
     }
@@ -531,9 +547,11 @@ fn rotate(dir: &Path, keep: usize) -> std::io::Result<()> {
     if paths.len() > keep {
         for path in &paths[..paths.len() - keep] {
             fs::remove_file(path)?;
-            let sidecar = path.with_extension("trace.json");
-            if sidecar.exists() {
-                fs::remove_file(sidecar)?;
+            for ext in ["trace.json", "surface.json"] {
+                let sidecar = path.with_extension(ext);
+                if sidecar.exists() {
+                    fs::remove_file(sidecar)?;
+                }
             }
         }
     }

@@ -96,9 +96,14 @@ fn saved_pages_never_exceed_total_duplicates() {
 }
 
 /// Drives a mixed workload (demand faults, merges, unmerges, scans) and
-/// returns the system for counter inspection.
-fn churn_system(kind: EngineKind) -> System<Box<dyn FusionPolicy>> {
+/// returns the system for counter inspection. With `surface` the
+/// side-channel recorder is armed from construction, so it observes every
+/// fault the machine counts.
+fn churn_system(kind: EngineKind, surface: bool) -> System<Box<dyn FusionPolicy>> {
     let mut sys = kind.build_system(MachineConfig::test_small());
+    if surface {
+        sys.machine.enable_surface();
+    }
     let pids: Vec<Pid> = (0..2)
         .map(|i| sys.machine.spawn(&format!("p{i}")).expect("spawn"))
         .collect();
@@ -147,7 +152,7 @@ fn fault_counter_identities() {
         EngineKind::VUsion,
         EngineKind::VUsionThp,
     ] {
-        let sys = churn_system(kind);
+        let sys = churn_system(kind, false);
         let m = sys.machine.stats();
         let s = sys.stats();
         let hw_faults = m.faults_not_mapped + m.faults_trapped + m.faults_write_protected;
@@ -164,6 +169,54 @@ fn fault_counter_identities() {
             s.kernel_faults, kernel_work
         );
         assert_eq!(s.unresolved_faults, 0, "{kind:?}: workload must resolve");
+    }
+}
+
+/// The side-channel surface recorder is an accounting mirror of the
+/// machine's own fault counters: with the recorder armed from
+/// construction, each fault kind's event total equals the corresponding
+/// `MachineStats` counter, and the grand total equals what the fault
+/// handlers resolved. A hook that misses a path (or records one twice)
+/// breaks these identities.
+#[test]
+fn surface_fault_counts_match_machine_stats() {
+    use vusion::kernel::FaultKind;
+    for kind in [
+        EngineKind::NoFusion,
+        EngineKind::Ksm,
+        EngineKind::KsmCoa,
+        EngineKind::Wpf,
+        EngineKind::VUsion,
+        EngineKind::VUsionThp,
+    ] {
+        let sys = churn_system(kind, true);
+        let m = sys.machine.stats();
+        let s = sys.stats();
+        let surf = sys.machine.obs().surface();
+        assert_eq!(
+            surf.fault_kind_total(FaultKind::Minor),
+            m.faults_not_mapped,
+            "{kind:?}: minor-fault surface events vs machine counter"
+        );
+        assert_eq!(
+            surf.fault_kind_total(FaultKind::Trap),
+            m.faults_trapped,
+            "{kind:?}: trap-fault surface events vs machine counter"
+        );
+        assert_eq!(
+            surf.fault_kind_total(FaultKind::CowBreak),
+            m.faults_write_protected,
+            "{kind:?}: CoW-break surface events vs machine counter"
+        );
+        assert_eq!(
+            surf.fault_event_total(),
+            s.policy_faults + s.kernel_faults + s.unresolved_faults,
+            "{kind:?}: total surface fault events vs resolved faults"
+        );
+        assert!(
+            surf.fault_event_total() > 0,
+            "{kind:?}: surfaced workload must fault"
+        );
     }
 }
 

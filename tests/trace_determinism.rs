@@ -428,6 +428,148 @@ fn governed_trace_survives_restore_replay_mid_escalation() {
     }
 }
 
+/// Like [`traced_run`], with the side-channel surface recorder armed:
+/// returns the canonical surface JSON artifact and the metrics snapshot.
+fn surfaced_run(kind: EngineKind, seed: u64, threads: usize) -> (String, String) {
+    let mut sys = kind.build_system(MachineConfig::test_small().with_seed(seed));
+    sys.set_scan_threads(threads);
+    sys.machine.enable_tracing();
+    sys.machine.enable_surface();
+    let pids: Vec<Pid> = (0..2)
+        .map(|i| sys.machine.spawn(&format!("p{i}")).expect("spawn"))
+        .collect();
+    for &pid in &pids {
+        sys.machine
+            .mmap(pid, Vma::anon(VirtAddr(BASE), PAGES, Protection::rw()));
+        sys.machine.madvise_mergeable(pid, VirtAddr(BASE), PAGES);
+    }
+    for &pid in &pids {
+        for pg in 0..PAGES {
+            sys.write_page(
+                pid,
+                VirtAddr(BASE + pg * PAGE_SIZE),
+                &[(pg % 5) as u8 + 1; PAGE_SIZE as usize],
+            );
+        }
+    }
+    sys.force_scans(12);
+    for &pid in &pids {
+        for pg in 0..PAGES {
+            sys.read(pid, VirtAddr(BASE + pg * PAGE_SIZE));
+        }
+        for pg in 0..PAGES / 2 {
+            sys.write(pid, VirtAddr(BASE + pg * PAGE_SIZE), 0x5a);
+        }
+    }
+    sys.force_scans(12);
+    (sys.surface_json(), sys.metrics_snapshot().to_json())
+}
+
+/// The surface artifact is a canonical byte string: identical across
+/// repeat runs and across every scan-shard worker count, for every
+/// engine, and it actually records fault/transition activity.
+#[test]
+fn surface_artifact_identical_across_runs_and_thread_counts() {
+    for kind in [
+        EngineKind::NoFusion,
+        EngineKind::Ksm,
+        EngineKind::Wpf,
+        EngineKind::VUsion,
+        EngineKind::VUsionThp,
+    ] {
+        let (surface, metrics) = surfaced_run(kind, 0xfeed, 1);
+        assert!(
+            surface.starts_with("{\"schema\":\"vusion-surface/v1\""),
+            "{kind:?}: surface JSON missing schema header"
+        );
+        assert!(
+            metrics.contains("surface.fault."),
+            "{kind:?}: surfaced run must fold surface.* metrics"
+        );
+        let again = surfaced_run(kind, 0xfeed, 1);
+        assert_eq!(surface, again.0, "{kind:?}: repeat surface runs diverged");
+        assert_eq!(
+            metrics, again.1,
+            "{kind:?}: repeat surface metrics diverged"
+        );
+        for threads in [2, 4, 7] {
+            let t = surfaced_run(kind, 0xfeed, threads);
+            assert_eq!(
+                surface, t.0,
+                "{kind:?} @{threads} threads: surface diverged"
+            );
+            assert_eq!(
+                metrics, t.1,
+                "{kind:?} @{threads} threads: metrics diverged"
+            );
+        }
+    }
+}
+
+/// A run that never enables the surface recorder must leave no trace of
+/// it in any artifact: no `surface.*` metrics keys even with tracing on.
+#[test]
+fn disabled_surface_records_no_artifacts() {
+    for kind in [EngineKind::Ksm, EngineKind::Wpf, EngineKind::VUsion] {
+        let (trace, _, metrics, _) = traced_run(kind, 0x0ff0, 1);
+        assert!(!trace.is_empty(), "{kind:?}: run must trace");
+        assert!(
+            !metrics.contains("surface."),
+            "{kind:?}: disabled surface recorder leaked surface.* metrics"
+        );
+    }
+}
+
+/// The surface of the live post-snapshot phase must equal the surface of
+/// the same phase re-executed via restore + journal replay, on a
+/// different scan-worker count — the recorder observes only replayed
+/// machine events, so it is part of the replay contract too.
+#[test]
+fn surface_survives_snapshot_restore_replay() {
+    for kind in [EngineKind::Ksm, EngineKind::VUsion] {
+        let cfg = MachineConfig::test_small().with_seed(0xabcd);
+        let mut sys = kind.build_system(cfg);
+        sys.set_scan_threads(4);
+        let pids: Vec<Pid> = (0..2)
+            .map(|i| sys.machine.spawn(&format!("p{i}")).expect("spawn"))
+            .collect();
+        for &pid in &pids {
+            sys.machine
+                .mmap(pid, Vma::anon(VirtAddr(BASE), PAGES, Protection::rw()));
+            sys.machine.madvise_mergeable(pid, VirtAddr(BASE), PAGES);
+        }
+        for &pid in &pids {
+            for pg in 0..PAGES {
+                sys.write_page(
+                    pid,
+                    VirtAddr(BASE + pg * PAGE_SIZE),
+                    &[3u8; PAGE_SIZE as usize],
+                );
+            }
+        }
+        sys.force_scans(8);
+        sys.machine.enable_journal();
+        sys.machine.clear_journal();
+        let snapshot = sys.snapshot();
+        // Record exactly the delta after the snapshot.
+        sys.machine.enable_surface();
+        phase2(&mut sys, &pids);
+        let live_surface = sys.surface_json();
+        let journal = sys.machine.journal().to_vec();
+
+        let mut replayed = kind.build_system(cfg);
+        replayed.set_scan_threads(7);
+        replayed.restore(&snapshot).expect("restore");
+        replayed.machine.enable_surface();
+        replayed.replay(&journal);
+        let replay_surface = replayed.surface_json();
+        assert_eq!(
+            live_surface, replay_surface,
+            "{kind:?}: surface diverged across snapshot/restore + replay"
+        );
+    }
+}
+
 /// A failure bundle captured from a traced run carries the Chrome trace
 /// tail, and it survives the sealed byte roundtrip.
 #[test]
