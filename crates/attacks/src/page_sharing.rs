@@ -35,8 +35,9 @@ fn flush_reload_round(
     attacker_va: VirtAddr,
     victim_va: VirtAddr,
 ) -> u64 {
-    // FLUSH the attacker's view of the line.
-    sys.machine.clflush(setup.attacker, attacker_va);
+    // FLUSH the attacker's view of the line (through the journaled
+    // wrapper, so a replayed run re-evicts the same line).
+    sys.clflush(setup.attacker, attacker_va);
     // The victim does its thing (reads its own copy of the secret).
     sys.read(setup.victim, victim_va);
     // RELOAD.

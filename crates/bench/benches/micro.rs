@@ -479,6 +479,22 @@ fn bench_scan_throttled(out: &mut Vec<BenchResult>) {
     }
 }
 
+/// Full-workspace static-contract pass (DESIGN.md §11): lex, parse, and
+/// cross-link every workspace source file, then run all rule families —
+/// including the workspace-wide snapshot/journal/shard fixpoints over
+/// the cross-file call graph. The row keeps the analyzer honest as the
+/// tree grows: bench_gate holds `vlint_*` benches to a generous absolute
+/// wall-time ceiling instead of the scan_* ratio gate (the linter's cost
+/// scales with tree size, so ratio-vs-baseline would flag every PR that
+/// adds code).
+fn bench_vlint(out: &mut Vec<BenchResult>) {
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    bench(out, "vlint_check_workspace", || {
+        let findings = vlint::scan_root(root).expect("workspace sources readable");
+        black_box(findings.len());
+    });
+}
+
 /// `git rev-parse --short HEAD`, or `"unknown"` outside a git checkout.
 fn git_rev(repo_root: &str) -> String {
     let out = std::process::Command::new("git")
@@ -571,6 +587,7 @@ fn main() {
     let metrics = bench_engine_scans(&mut results);
     bench_scan_scaling(&mut results);
     bench_scan_throttled(&mut results);
+    bench_vlint(&mut results);
 
     // Zero-cost-when-off: every scan bench above runs without a governor
     // and without the side-channel surface recorder, so the instrumented

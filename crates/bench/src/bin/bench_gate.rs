@@ -10,7 +10,9 @@
 //! routinely swing 2–3×, while a real scan-path regression (the thing the
 //! gate exists to catch) costs hundreds of microseconds per pass. A
 //! per-bench diff is written to `BENCH_gate_diff.json` either way, so CI
-//! can upload it as an artifact.
+//! can upload it as an artifact. `vlint_*` benches are held to an
+//! absolute wall-time ceiling instead of the ratio gate (the linter's
+//! cost tracks tree size, which every PR is allowed to grow).
 //!
 //! The parser is hand-rolled (the workspace carries no JSON dependency)
 //! and matches the shape the harness emits: one result object per line,
@@ -27,6 +29,14 @@ const MAX_RATIO: f64 = 1.25;
 /// Noise floor: growth under 50 µs absolute never fails the gate, however
 /// large the ratio. Microsecond-scale benches are timer-noise-dominated.
 const MIN_DELTA_NS: u64 = 50_000;
+
+/// Absolute wall-time ceiling for `vlint_*` benches: 10 s per pass. The
+/// linter's cost grows with tree size by design, so a ratio-vs-baseline
+/// gate would flag every PR that adds code; the ceiling instead catches
+/// the accidental-quadratic case (a fixpoint that stops converging, a
+/// call-graph blowup) while leaving room for years of normal growth —
+/// the full-workspace pass currently completes in well under a second.
+const VLINT_MAX_NS: u64 = 10_000_000_000;
 
 /// Extracts the balanced `[...]` starting at the first `"results":` at or
 /// after `from`. Bench names never contain brackets, so bracket counting
@@ -95,8 +105,19 @@ struct Row {
 impl Row {
     /// `ratio > MAX_RATIO` *and* growth past the noise floor, on a gated
     /// (scan_*) bench present on both sides. A zero baseline cannot
-    /// regress (nothing to divide by).
+    /// regress (nothing to divide by). `vlint_*` benches are instead held
+    /// to the absolute [`VLINT_MAX_NS`] ceiling — baseline or not.
     fn verdict(&self) -> (&'static str, Option<f64>) {
+        if self.name.starts_with("vlint_") {
+            let ratio = match (self.baseline, self.current) {
+                (Some(b), Some(c)) if b > 0 => Some(c as f64 / b as f64),
+                _ => None,
+            };
+            return match self.current {
+                Some(c) if c > VLINT_MAX_NS => ("over_ceiling", ratio),
+                _ => ("ok", ratio),
+            };
+        }
         match (self.baseline, self.current) {
             (Some(b), Some(c)) => {
                 if b == 0 {
@@ -123,6 +144,7 @@ fn render_diff(rows: &[Row], failures: usize) -> String {
     s.push_str("  \"schema\": \"vusion-bench-gate/v1\",\n");
     s.push_str(&format!("  \"max_ratio\": {MAX_RATIO},\n"));
     s.push_str(&format!("  \"min_delta_ns\": {MIN_DELTA_NS},\n"));
+    s.push_str(&format!("  \"vlint_max_ns\": {VLINT_MAX_NS},\n"));
     s.push_str(&format!("  \"regressions\": {failures},\n"));
     s.push_str("  \"benches\": [\n");
     for (i, row) in rows.iter().enumerate() {
@@ -201,6 +223,14 @@ fn main() -> ExitCode {
                 row.baseline.unwrap_or(0),
                 row.current.unwrap_or(0),
             );
+        } else if status == "over_ceiling" {
+            failures += 1;
+            eprintln!(
+                "bench_gate: {} over the absolute ceiling ({} ns > {} ns max)",
+                row.name,
+                row.current.unwrap_or(0),
+                VLINT_MAX_NS,
+            );
         }
     }
     let diff = render_diff(&rows, failures);
@@ -208,7 +238,9 @@ fn main() -> ExitCode {
         eprintln!("bench_gate: cannot write {output}: {e}");
         return ExitCode::FAILURE;
     }
-    if baseline.is_empty() {
+    // The absolute `vlint_*` ceiling applies even without a baseline;
+    // only the ratio gate needs one.
+    if baseline.is_empty() && failures == 0 {
         println!("bench_gate: no baseline to compare against (first run) — pass");
         return ExitCode::SUCCESS;
     }

@@ -89,6 +89,7 @@ pub struct Ksm {
     /// Stable tree: fused, write-protected pages. Value = mapping count.
     stable: ContentRbTree<u32>,
     /// Reverse map: stable frame → tree node.
+    // vlint: allow(S001, derived reverse map — rebuilt from the stable tree in load)
     stable_index: BTreeMap<FrameId, NodeId>,
     /// Content-hash pre-filter over the stable tree's pages.
     stable_hashes: HashIndex,
@@ -99,6 +100,7 @@ pub struct Ksm {
     /// and the whole tree is dropped when the candidate list is rebuilt.
     unstable: ContentRbTree<UnstableEntry>,
     /// Reverse map: unstable frame → tree node (for surgical eviction).
+    // vlint: allow(S001, derived reverse map — rebuilt from the unstable tree in load)
     unstable_index: BTreeMap<FrameId, NodeId>,
     /// Content-hash pre-filter over the unstable tree's pages.
     unstable_hashes: HashIndex,
@@ -106,6 +108,7 @@ pub struct Ksm {
     /// unchanged since their last terminal decision are skipped.
     dirty: DirtyTracker,
     /// Shard runner for the parallel pre-hash phase.
+    // vlint: allow(S001, host-only thread pool — worker count changes wall-clock time only)
     runner: ShardRunner,
     /// Per-page content checksum from the previous encounter. Entries are
     /// evicted when their page leaves the candidate list (unmapped VMA,
@@ -117,6 +120,7 @@ pub struct Ksm {
     cursor: u64,
     /// Per-wake page budget granted by the pressure governor. Never
     /// serialized: the governor re-grants before every wakeup.
+    // vlint: allow(S001, host-only wake-scoped grant — the governor re-issues it before every wakeup)
     budget: Option<u64>,
     /// Reclaim-ladder rung 3: while set, THP breaks (which consume
     /// page-table frames) are deferred until pressure clears.

@@ -139,6 +139,7 @@ pub struct VUsion {
     /// Value: the mappings sharing the node's frame.
     tree: ContentRbTree<Vec<(Pid, VirtAddr)>>,
     /// Reverse map: tree frame → node.
+    // vlint: allow(S001, derived reverse map — rebuilt from the content tree in load)
     tree_index: BTreeMap<FrameId, NodeId>,
     /// Content-hash filter over the tree pages (wall-clock only).
     tree_hashes: HashIndex,
@@ -152,6 +153,7 @@ pub struct VUsion {
     saved: u64,
     /// Per-wake page budget granted by the pressure governor. Never
     /// serialized: the governor re-grants before every wakeup.
+    // vlint: allow(S001, host-only wake-scoped grant — the governor re-issues it before every wakeup)
     budget: Option<u64>,
     /// Reclaim-ladder rung 3: while set, frame-allocating scan work (fake
     /// merges, rerandomization rounds) is deferred until pressure clears.
@@ -163,6 +165,7 @@ pub struct VUsion {
     /// Shard runner for the parallel pre-hash phase. VUsion has no
     /// dirty-driven skip list: `scan_one`'s accessed-bit test-and-clear is
     /// the working-set estimator and must run on every visit.
+    // vlint: allow(S001, host-only thread pool — worker count changes wall-clock time only)
     runner: ShardRunner,
 }
 

@@ -109,11 +109,13 @@ pub struct Wpf {
     /// tree page changed, the whole pass is a provable no-op.
     dirty: DirtyTracker,
     /// Shard runner for the parallel hashing stage.
+    // vlint: allow(S001, host-only thread pool — worker count changes wall-clock time only)
     runner: ShardRunner,
     /// Suspended pass, if the previous wakeup's budget ran out mid-stage.
     pass: Option<PassState>,
     /// Per-wake page budget granted by the pressure governor. Never
     /// serialized: the governor re-grants before every wakeup.
+    // vlint: allow(S001, host-only wake-scoped grant — the governor re-issues it before every wakeup)
     budget: Option<u64>,
     /// Reclaim-ladder rung 3: while set, no new tree pages are reserved
     /// from the linear allocator; merges onto existing tree pages (which

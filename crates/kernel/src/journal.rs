@@ -110,6 +110,14 @@ pub enum JournalEvent {
         /// The governor configuration installed.
         cfg: PressureConfig,
     },
+    /// `System::clflush` (the flush changes LLC state, which the timing
+    /// side channel observes, so a replay must re-evict the same line).
+    Clflush {
+        /// Flushing process.
+        pid: Pid,
+        /// Address whose cache line is flushed.
+        va: VirtAddr,
+    },
 }
 
 /// The discriminant of a [`JournalEvent`], for introspection: shrinkers
@@ -142,12 +150,14 @@ pub enum JournalEventKind {
     ArmFaults,
     /// `SetPressureGovernor`.
     SetPressureGovernor,
+    /// `Clflush`.
+    Clflush,
 }
 
 impl JournalEventKind {
     /// Every kind, in tag order (matches the wire tags in
     /// [`JournalEvent::save`]).
-    pub const ALL: [JournalEventKind; 13] = [
+    pub const ALL: [JournalEventKind; 14] = [
         JournalEventKind::Spawn,
         JournalEventKind::Mmap,
         JournalEventKind::Madvise,
@@ -161,6 +171,7 @@ impl JournalEventKind {
         JournalEventKind::Hammer,
         JournalEventKind::ArmFaults,
         JournalEventKind::SetPressureGovernor,
+        JournalEventKind::Clflush,
     ];
 
     /// Stable lowercase label (coverage keys, report rows).
@@ -179,6 +190,7 @@ impl JournalEventKind {
             JournalEventKind::Hammer => "hammer",
             JournalEventKind::ArmFaults => "arm_faults",
             JournalEventKind::SetPressureGovernor => "set_pressure_governor",
+            JournalEventKind::Clflush => "clflush",
         }
     }
 }
@@ -200,6 +212,7 @@ impl JournalEvent {
             Self::Hammer { .. } => JournalEventKind::Hammer,
             Self::ArmFaults => JournalEventKind::ArmFaults,
             Self::SetPressureGovernor { .. } => JournalEventKind::SetPressureGovernor,
+            Self::Clflush { .. } => JournalEventKind::Clflush,
         }
     }
 
@@ -273,6 +286,11 @@ impl JournalEvent {
                 w.u8(12);
                 cfg.save(w);
             }
+            Self::Clflush { pid, va } => {
+                w.u8(13);
+                w.usize(pid.0);
+                w.u64(va.0);
+            }
         }
     }
 
@@ -324,6 +342,10 @@ impl JournalEvent {
             11 => Self::ArmFaults,
             12 => Self::SetPressureGovernor {
                 cfg: PressureConfig::load(r)?,
+            },
+            13 => Self::Clflush {
+                pid: Pid(r.usize()?),
+                va: VirtAddr(r.u64()?),
             },
             _ => return Err(SnapshotError::Corrupt("unknown journal event tag")),
         })
@@ -403,6 +425,10 @@ mod tests {
             JournalEvent::ArmFaults,
             JournalEvent::SetPressureGovernor {
                 cfg: PressureConfig::standard(),
+            },
+            JournalEvent::Clflush {
+                pid: Pid(0),
+                va: VirtAddr(0x10040),
             },
         ];
         let mut w = Writer::new();

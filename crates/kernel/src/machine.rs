@@ -829,14 +829,6 @@ impl Machine {
         self.buddy.free_order(head, 9)
     }
 
-    /// Converts a huge block's buddy record into 512 individual frame
-    /// allocations so its frames can be freed one by one — the allocator
-    /// half of breaking a THP (§8.1). Page tables are updated separately
-    /// via [`vusion_mmu::PageTables::break_huge`].
-    pub fn split_huge_allocation(&mut self, head: FrameId) -> Result<(), MmError> {
-        self.buddy.split_allocated(head, 9)
-    }
-
     /// Drops a reference to `frame`; frees it to the buddy allocator when
     /// the count reaches zero. Returns whether the frame was freed, or the
     /// buddy's misuse error (double free, foreign frame) with the

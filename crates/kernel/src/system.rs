@@ -112,6 +112,7 @@ impl<P: FusionPolicy> System<P> {
     /// Sets the engine's scan-shard thread count (see
     /// [`FusionPolicy::set_scan_threads`]): a host-execution knob that
     /// never changes traces, metrics, or snapshots.
+    // vlint: allow(J001, host-only — worker count changes wall-clock time, never simulation state)
     pub fn set_scan_threads(&mut self, threads: usize) {
         self.policy.set_scan_threads(threads);
     }
@@ -357,6 +358,16 @@ impl<P: FusionPolicy> System<P> {
         self.machine.record(|| JournalEvent::Prefetch { pid, va });
         self.background();
         self.machine.prefetch(pid, va);
+    }
+
+    /// `clflush` of the line containing `va` (never faults). Journaled:
+    /// the flush evicts an LLC line, and the timing side channel observes
+    /// LLC state, so a replay must re-evict the same line at the same
+    /// point in the call sequence.
+    pub fn clflush(&mut self, pid: Pid, va: VirtAddr) {
+        self.machine.record(|| JournalEvent::Clflush { pid, va });
+        self.background();
+        self.machine.clflush(pid, va);
     }
 
     /// Reads a whole page with realistic timing: a faulting first access,
@@ -715,6 +726,7 @@ impl<P: FusionPolicy> System<P> {
                 self.write_page(*pid, *va, content);
             }
             JournalEvent::Prefetch { pid, va } => self.prefetch(*pid, *va),
+            JournalEvent::Clflush { pid, va } => self.clflush(*pid, *va),
             JournalEvent::ForceScans { n } => self.force_scans(*n),
             JournalEvent::Idle { ns } => self.idle(*ns),
             JournalEvent::Hammer {

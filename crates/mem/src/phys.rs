@@ -172,7 +172,9 @@ impl Drop for FrameInfoMut<'_> {
 pub struct PhysMemory {
     data: Vec<Option<Box<[u8; PAGE_SIZE as usize]>>>,
     info: Vec<FrameInfo>,
+    // vlint: allow(S001, derived memo — load resets every entry to FrameCache::default)
     cache: Vec<Cell<FrameCache>>,
+    // vlint: allow(S001, derived tallies — recounted from the frame table in load)
     counts: FrameCounts,
 }
 
@@ -635,7 +637,6 @@ impl vusion_snapshot::Snapshot for PhysMemory {
         }
     }
 
-    // vlint: allow(W001, load replaces every frame's contents and resets all memoized caches wholesale below — per-frame generation bumps would be redundant)
     fn load(
         &mut self,
         r: &mut vusion_snapshot::Reader<'_>,

@@ -192,15 +192,15 @@ impl vusion_snapshot::Snapshot for Tlb {
         for _ in 0..n {
             let k = r.u64()?;
             let pte = Pte(r.u64()?);
-            self.map_4k.insert(k, TlbEntry { pte, huge: false });
             self.fifo_4k.push(k);
+            self.map_4k.insert(k, TlbEntry { pte, huge: false });
         }
         let n = r.usize()?;
         for _ in 0..n {
             let k = r.u64()?;
             let pte = Pte(r.u64()?);
-            self.map_2m.insert(k, TlbEntry { pte, huge: true });
             self.fifo_2m.push(k);
+            self.map_2m.insert(k, TlbEntry { pte, huge: true });
         }
         self.hits = r.u64()?;
         self.misses = r.u64()?;

@@ -38,7 +38,9 @@ use std::fmt;
 /// totals, and resumable-pass cursors in the engine blobs.
 /// v3: failure bundles gained a side-channel surface sidecar slot
 /// (`surface_tail`) in their sealed wire format.
-pub const FORMAT_VERSION: u32 = 3;
+/// v4: the journal event vocabulary gained `Clflush` (wire tag 13), so a
+/// v3 reader would reject journals recorded by v4 code.
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Magic bytes opening every sealed snapshot or failure bundle.
 pub const MAGIC: &[u8; 4] = b"VSNP";

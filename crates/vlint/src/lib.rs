@@ -28,19 +28,39 @@
 //!   by the pressure governor (`crates/kernel/src/pressure.rs`); engines
 //!   and the rest of the kernel consume its banded decisions so
 //!   throttling stays centralized, hysteresis-damped, and snapshot-exact.
-//! * **S-rules** — surface: latency histograms are sampled only inside
-//!   the side-channel surface recorder (`crates/obs/src/surface.rs`);
-//!   everyone else goes through typed wrappers like
-//!   `Obs::observe_fault_latency`, so every latency observation feeds one
-//!   canonical, diffable artifact instead of scattered ad-hoc metrics.
+//! * **O-rules** — observability: latency histograms are sampled only
+//!   inside the side-channel surface recorder
+//!   (`crates/obs/src/surface.rs`); everyone else goes through typed
+//!   wrappers like `Obs::observe_fault_latency`, so every latency
+//!   observation feeds one canonical, diffable artifact.
+//! * **S-rules** — snapshot coverage: every field of every
+//!   `impl Snapshot` type round-trips through `save`/`load` (S001), in
+//!   the same order on both sides (S002); derived or host-only fields
+//!   carry a reasoned allow on their declaration line.
+//! * **J-rules** — journal coverage: every public `&mut self` method on
+//!   `System`/`Machine` that reaches simulation state appends a journal
+//!   event (or is reachable from one that does), so replay reconstructs
+//!   every mutation from the event stream.
+//! * **R-rules** — RNG/shard discipline: no RNG draw, crash poll, or
+//!   frame mutation is reachable from the parallel read phase's
+//!   `FrameReadView` closures; effects belong in the serial commit phase.
+//!
+//! The first seven families are per-file token passes. The S/J/R
+//! families (and W's transitive check) run on a workspace level: a
+//! lightweight item parser ([`parser`]) recovers structs, impl blocks,
+//! and methods, and a cross-file symbol table and name-based call graph
+//! (`workspace`) answers reachability questions over the whole tree.
 //!
 //! Findings are deterministic: files are visited in sorted order and
 //! findings sort by `(file, line, rule, message)`, so two runs over the
 //! same tree emit byte-identical JSON. Individual lines opt out with
 //! `// vlint: allow(RULE, reason)`; a reason is mandatory (rule `V001`).
 
+pub mod catalog;
 pub mod lexer;
+pub mod parser;
 mod rules;
+mod workspace;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -83,8 +103,14 @@ pub struct Families {
     pub e: bool,
     /// Governor pressure-signal rules.
     pub g: bool,
-    /// Surface latency-sampling rules.
+    /// Observability (surface latency-sampling) rules.
+    pub o: bool,
+    /// Snapshot-coverage rules.
     pub s: bool,
+    /// Journal-coverage rules.
+    pub j: bool,
+    /// RNG/shard-discipline rules.
+    pub r: bool,
 }
 
 impl Families {
@@ -96,8 +122,29 @@ impl Families {
         p: true,
         e: true,
         g: true,
+        o: true,
         s: true,
+        j: true,
+        r: true,
     };
+}
+
+/// Whether `rule` belongs to a family enabled in `fam` (keyed by the
+/// rule's leading letter; `V001` is always on).
+fn family_enabled(fam: Families, rule: &str) -> bool {
+    match rule.as_bytes().first() {
+        Some(b'D') => fam.d,
+        Some(b'T') => fam.t,
+        Some(b'W') => fam.w,
+        Some(b'P') => fam.p,
+        Some(b'E') => fam.e,
+        Some(b'G') => fam.g,
+        Some(b'O') => fam.o,
+        Some(b'S') => fam.s,
+        Some(b'J') => fam.j,
+        Some(b'R') => fam.r,
+        _ => true,
+    }
 }
 
 /// Crates whose behavior must be a pure function of the seed: the D-rules
@@ -147,7 +194,16 @@ pub fn families_for(rel: &str) -> Families {
         // Latency histograms are sampled in exactly one module — the
         // surface recorder. The obs crate itself (recorder + registry)
         // is naturally out of scope.
-        s: !rel.starts_with("crates/obs/src/"),
+        o: !rel.starts_with("crates/obs/src/"),
+        // Snapshot round-trip coverage applies to every crate's library
+        // sources: any `impl Snapshot` in the tree is replay-critical.
+        s: rel.starts_with("crates/") && rel.contains("/src/"),
+        // Journal coverage polices the kernel's public mutator surface
+        // (`System`/`Machine` live there).
+        j: rel.starts_with("crates/kernel/src/"),
+        // Shard-phase discipline rides the determinism scope: the crates
+        // whose artifacts must be byte-identical at any thread count.
+        r: in_scope(DETERMINISM_SCOPE),
     }
 }
 
@@ -173,6 +229,11 @@ pub(crate) struct FileCtx<'a> {
     /// `#[cfg(debug_assertions)]` item.
     pub test_lines: Vec<bool>,
     pub fns: Vec<FnInfo>,
+    /// Item-level view: structs, impl blocks, methods.
+    pub items: parser::Items,
+    /// The rule families policing this file (workspace rules consult it
+    /// to decide which files' items to analyze).
+    pub fam: Families,
 }
 
 impl FileCtx<'_> {
@@ -389,63 +450,94 @@ fn parse_allows(lines: &[&str]) -> (AllowMap, Vec<(u32, String)>) {
     (allows, malformed)
 }
 
-/// Lints one file's source. `rel` is the workspace-relative path used in
-/// findings; `fam` selects the rule families (callers normally derive it
-/// with [`families_for`], fixtures force [`Families::ALL`]).
-pub fn analyze_source(rel: &str, source: &str, fam: Families) -> Vec<Finding> {
-    let lines: Vec<&str> = source.lines().collect();
-    let tokens = lex(source);
-    let ctx = FileCtx {
-        rel,
-        test_lines: mark_test_regions(&tokens, lines.len()),
-        fns: collect_fns(&tokens, &lines),
-        tokens,
-    };
-    let (allows, malformed) = parse_allows(&lines);
+/// Builds the per-file contexts for a batch of sources.
+pub(crate) fn build_file_ctxs(files: &[(String, String, Families)]) -> Vec<FileCtx<'_>> {
+    files
+        .iter()
+        .map(|(rel, source, fam)| {
+            let lines: Vec<&str> = source.lines().collect();
+            let tokens = lex(source);
+            FileCtx {
+                rel,
+                test_lines: mark_test_regions(&tokens, lines.len()),
+                fns: collect_fns(&tokens, &lines),
+                items: parser::parse_items(&tokens),
+                fam: *fam,
+                tokens,
+            }
+        })
+        .collect()
+}
 
+/// Lints a batch of files as one workspace: per-file token rules first,
+/// then the cross-file rules (W/S/J/R) over the shared symbol table and
+/// call graph. Each finding is kept only if its rule's family is enabled
+/// for the file it is anchored in, and per-line allows apply as usual.
+pub fn analyze_files(files: &[(String, String, Families)]) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for (line, msg) in malformed {
-        findings.push(Finding {
-            file: rel.to_string(),
-            line,
-            rule: "V001",
-            message: msg,
-        });
-    }
-    if fam.d {
-        rules::determinism(&ctx, &mut findings);
-    }
-    if fam.t {
-        rules::threading(&ctx, &mut findings);
-    }
-    if fam.w {
-        rules::write_gen(&ctx, &mut findings);
-    }
-    if fam.p {
-        rules::pte_typing(&ctx, &mut findings);
-    }
-    if fam.e {
-        rules::error_policy(&ctx, &mut findings);
-    }
-    if fam.g {
-        rules::governor(&ctx, &mut findings);
-    }
-    if fam.s {
-        rules::surface(&ctx, &mut findings);
+    let mut allows: BTreeMap<&str, AllowMap> = BTreeMap::new();
+    for (rel, source, _) in files {
+        let lines: Vec<&str> = source.lines().collect();
+        let (map, malformed) = parse_allows(&lines);
+        for (line, msg) in malformed {
+            findings.push(Finding {
+                file: rel.clone(),
+                line,
+                rule: "V001",
+                message: msg,
+            });
+        }
+        allows.insert(rel.as_str(), map);
     }
 
+    let ctxs = build_file_ctxs(files);
+    for ctx in &ctxs {
+        rules::determinism(ctx, &mut findings);
+        rules::threading(ctx, &mut findings);
+        rules::pte_typing(ctx, &mut findings);
+        rules::error_policy(ctx, &mut findings);
+        rules::governor(ctx, &mut findings);
+        rules::surface(ctx, &mut findings);
+    }
+    let ws = workspace::WorkspaceCtx::build(&ctxs);
+    rules::write_gen(&ws, &mut findings);
+    rules::snapshot_coverage(&ws, &mut findings);
+    rules::journal_coverage(&ws, &mut findings);
+    rules::shard_discipline(&ws, &mut findings);
+
+    let fam_of: BTreeMap<&str, Families> = files
+        .iter()
+        .map(|(rel, _, fam)| (rel.as_str(), *fam))
+        .collect();
     findings.retain(|f| {
+        // V001 (malformed annotation) is always live and cannot be
+        // self-suppressed.
+        if f.rule == "V001" {
+            return true;
+        }
+        let fam = fam_of.get(f.file.as_str()).copied().unwrap_or_default();
+        if !family_enabled(fam, f.rule) {
+            return false;
+        }
         let allowed = |l: u32| {
-            allows
-                .get(&l)
-                .is_some_and(|rules| rules.iter().any(|r| r == f.rule))
+            allows.get(f.file.as_str()).is_some_and(|m| {
+                m.get(&l)
+                    .is_some_and(|rules| rules.iter().any(|r| r == f.rule))
+            })
         };
-        // V001 (malformed annotation) cannot be self-suppressed.
-        f.rule == "V001" || (!allowed(f.line) && !allowed(f.line.saturating_sub(1)))
+        !allowed(f.line) && !allowed(f.line.saturating_sub(1))
     });
     findings.sort();
     findings.dedup();
     findings
+}
+
+/// Lints one file's source as a single-file workspace. `rel` is the
+/// workspace-relative path used in findings; `fam` selects the rule
+/// families (callers normally derive it with [`families_for`], fixtures
+/// force [`Families::ALL`]).
+pub fn analyze_source(rel: &str, source: &str, fam: Families) -> Vec<Finding> {
+    analyze_files(&[(rel.to_string(), source.to_string(), fam)])
 }
 
 /// Recursively collects the workspace's `.rs` files, sorted, as paths
@@ -487,13 +579,13 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<String>> {
 /// per-line suppressions already applied (baseline filtering is the
 /// caller's job).
 pub fn scan_root(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    let mut files = Vec::new();
     for rel in workspace_files(root)? {
         let source = std::fs::read_to_string(root.join(&rel))?;
-        findings.extend(analyze_source(&rel, &source, families_for(&rel)));
+        let fam = families_for(&rel);
+        files.push((rel, source, fam));
     }
-    findings.sort();
-    Ok(findings)
+    Ok(analyze_files(&files))
 }
 
 /// Serializes findings as deterministic JSON: fixed field order, sorted

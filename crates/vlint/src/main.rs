@@ -3,12 +3,14 @@
 //! Scans the workspace, prints a human report, optionally writes the
 //! findings as deterministic JSON (`--json PATH`, the CI artifact), and
 //! exits non-zero when any finding is not covered by the committed
-//! baseline (`vlint.baseline.json` at the workspace root).
+//! baseline (`vlint.baseline.json` at the workspace root). `rules` and
+//! `explain RULE` render the catalog (`catalog::RULES`), the single
+//! source of truth the doc-sync test holds DESIGN.md §11 against.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use vlint::{baseline_keys, scan_root, to_json, Finding};
+use vlint::{baseline_keys, catalog, scan_root, to_json, Finding};
 
 const USAGE: &str = "\
 usage: vlint <command> [options]
@@ -16,30 +18,47 @@ usage: vlint <command> [options]
 commands:
   check           scan the workspace and report contract violations
   rules           print the rule catalog
+  explain RULE    print a rule's rationale with a minimal bad/ok pair
 
 options (check):
   --root DIR      workspace root (default: nearest ancestor with [workspace])
   --json PATH     also write the findings as deterministic JSON
 ";
 
-const RULE_CATALOG: &str = "\
-D001  no host wall-clock (std::time, Instant, SystemTime) in simulation crates
-D002  no randomized-order collections (HashMap/HashSet); use BTreeMap/BTreeSet
-D003  no environment reads (env::var) in simulation crates
-D004  no platform-conditional compilation (cfg(target_os/unix/windows/...))
-T001  host threads only via the approved shard runner (crates/core/src/shard.rs)
-W001  &mut self code reaching frame contents must bump a write generation
-P001  no raw u64 PTE bit arithmetic outside vusion-mmu; use Pte/PteFlags
-P002  bits/from_bits/to_bits escape hatches stay inside vusion-mmu
-E001  no undocumented panic/assert in simulation code (doc `# Panics` or demote)
-E002  no truncating `as` casts on frame/generation/cycle arithmetic
-G001  free_frames pressure reads stay in the governor (crates/kernel/src/pressure.rs)
-S001  latency sampling stays in the surface recorder (crates/obs/src/surface.rs)
-V001  vlint allow annotations need a reason: // vlint: allow(RULE, why)
+/// Renders the `rules` listing from the catalog.
+fn rule_listing() -> String {
+    let mut out = String::new();
+    for r in catalog::RULES {
+        out.push_str(r.id);
+        out.push_str("  ");
+        out.push_str(r.summary);
+        out.push('\n');
+    }
+    out.push_str(
+        "\nsuppression: append `// vlint: allow(RULE, reason)` on (or just above) the line\n\
+         baseline:    vlint.baseline.json at the workspace root, same JSON schema\n\
+         explain:     `vlint explain RULE` for a rule's rationale and a minimal bad/ok pair\n",
+    );
+    out
+}
 
-suppression: append `// vlint: allow(RULE, reason)` on (or just above) the line
-baseline:    vlint.baseline.json at the workspace root, same JSON schema
-";
+fn run_explain(id: &str) -> ExitCode {
+    let Some(r) = catalog::find(id) else {
+        eprintln!("vlint: unknown rule `{id}`; see `vlint rules` for the catalog");
+        return ExitCode::from(2);
+    };
+    println!("{}  {}\n", r.id, r.summary);
+    println!("{}\n", r.rationale);
+    println!("bad:");
+    for line in r.bad.lines() {
+        println!("    {line}");
+    }
+    println!("\nok:");
+    for line in r.ok.lines() {
+        println!("    {line}");
+    }
+    ExitCode::SUCCESS
+}
 
 /// Nearest ancestor of the current directory whose `Cargo.toml` declares
 /// `[workspace]`.
@@ -117,8 +136,15 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "rules" => {
-            print!("{RULE_CATALOG}");
+            print!("{}", rule_listing());
             ExitCode::SUCCESS
+        }
+        "explain" | "--explain" => {
+            let Some(id) = args.get(1) else {
+                eprintln!("vlint: `explain` needs a rule id\n{USAGE}");
+                return ExitCode::from(2);
+            };
+            run_explain(id)
         }
         "check" => {
             let mut root: Option<PathBuf> = None;

@@ -1,5 +1,7 @@
-//! The rule catalog. Each family is one pass over a file's token stream
-//! (plus, for W-rules, a local call-graph fixpoint).
+//! The rule implementations. The D/T/P/E/G/O families are per-file
+//! passes over a token stream; the W/S/J/R families run on the
+//! workspace level, over the item parser's structs/impls and the
+//! cross-file name-based call graph.
 //!
 //! Rules are deliberately token-level, not type-level: they trade a
 //! little precision for zero dependencies and total determinism, and the
@@ -9,7 +11,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::lexer::{Kind, Token};
-use crate::{FileCtx, Finding};
+use crate::workspace::{self, WorkspaceCtx};
+use crate::{matching_brace, FileCtx, Finding};
 
 fn push(ctx: &FileCtx<'_>, out: &mut Vec<Finding>, line: u32, rule: &'static str, msg: String) {
     out.push(Finding {
@@ -230,54 +233,28 @@ pub(crate) fn threading(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 /// W001: a `&mut self` function that reaches the frame-content store
 /// (`self.data`) must bump a write generation — either directly (a
 /// `.write_gen = ...` assignment in its body) or by calling, possibly
-/// transitively, a local function that does. The rule only engages in
-/// files that participate in the write-gen protocol at all (mention the
-/// `write_gen` identifier), so unrelated `data` fields elsewhere in the
-/// crate do not trip it.
-pub(crate) fn write_gen(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    let toks = &ctx.tokens;
-    if !toks.iter().any(|t| t.is_ident("write_gen")) {
-        return;
-    }
-
-    let body = |f: &crate::FnInfo| &toks[f.body.0..f.body.1];
-    let mentions_self_data = |ts: &[Token]| {
-        ts.windows(3)
-            .any(|w| w[0].is_ident("self") && w[1].is_punct('.') && w[2].is_ident("data"))
-    };
-    let writes_gen = |ts: &[Token]| {
-        ts.windows(3)
-            .any(|w| w[0].is_punct('.') && w[1].is_ident("write_gen") && w[2].is_punct('='))
-    };
-    let calls = |ts: &[Token]| -> BTreeSet<String> {
-        ts.windows(2)
-            .filter(|w| w[0].kind == Kind::Ident && w[1].is_punct('('))
-            .map(|w| w[0].text.clone())
-            .collect()
-    };
-
+/// transitively, a function that does. The fixpoint runs over the
+/// *workspace* call graph, so a bump delegated to another file (e.g.
+/// `FrameInfo::bump` called from `PhysMemory`) satisfies the rule. The
+/// rule only reports in files that participate in the write-gen protocol
+/// at all (mention the `write_gen` identifier), so unrelated `data`
+/// fields elsewhere do not trip it.
+pub(crate) fn write_gen(ws: &WorkspaceCtx<'_, '_>, out: &mut Vec<Finding>) {
     // Fixpoint: a function "bumps" if it writes `.write_gen = ...` itself
-    // or calls a local bumper.
-    let mut bumpers: BTreeSet<&str> = ctx
-        .fns
+    // or calls (by name, anywhere in the workspace) a bumper.
+    let mut bumpers: BTreeSet<&str> = ws
+        .nodes
         .iter()
-        .filter(|f| writes_gen(body(f)))
-        .map(|f| f.name.as_str())
-        .collect();
-    let call_map: BTreeMap<&str, BTreeSet<String>> = ctx
-        .fns
-        .iter()
-        .map(|f| (f.name.as_str(), calls(body(f))))
+        .filter(|n| n.writes_gen)
+        .map(|n| n.name.as_str())
         .collect();
     loop {
         let before = bumpers.len();
-        for f in &ctx.fns {
-            if !bumpers.contains(f.name.as_str())
-                && call_map[f.name.as_str()]
-                    .iter()
-                    .any(|c| bumpers.contains(c.as_str()))
+        for n in &ws.nodes {
+            if !bumpers.contains(n.name.as_str())
+                && n.calls.iter().any(|c| bumpers.contains(c.as_str()))
             {
-                bumpers.insert(f.name.as_str());
+                bumpers.insert(n.name.as_str());
             }
         }
         if bumpers.len() == before {
@@ -285,22 +262,26 @@ pub(crate) fn write_gen(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
         }
     }
 
-    for f in &ctx.fns {
-        if ctx.in_test_code(f.line) {
+    let in_protocol: Vec<bool> = ws
+        .files
+        .iter()
+        .map(|f| f.tokens.iter().any(|t| t.is_ident("write_gen")))
+        .collect();
+    for n in &ws.nodes {
+        if n.in_test || !in_protocol[n.file] {
             continue;
         }
-        if f.takes_mut_self && mentions_self_data(body(f)) && !bumpers.contains(f.name.as_str()) {
-            push(
-                ctx,
-                out,
-                f.line,
-                "W001",
-                format!(
+        if n.takes_mut_self && n.touches_data && !bumpers.contains(n.name.as_str()) {
+            out.push(Finding {
+                file: ws.files[n.file].rel.to_string(),
+                line: n.line,
+                rule: "W001",
+                message: format!(
                     "`{}` takes `&mut self` and reaches frame contents (`self.data`) but never \
                      bumps a write generation; stale memoized hashes would survive the mutation",
-                    f.name
+                    n.name
                 ),
-            );
+            });
         }
     }
 }
@@ -555,10 +536,10 @@ pub(crate) fn governor(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------
-// S — surface latency sampling
+// O — observability (surface latency sampling)
 // ---------------------------------------------------------------------
 
-/// S001: latency histograms are fed in exactly one module — the
+/// O001: latency histograms are fed in exactly one module — the
 /// side-channel surface recorder (`crates/obs/src/surface.rs`, exempted
 /// by the scope map). A raw `registry.observe(...)` call anywhere else
 /// re-invents a latency channel the surface cannot see, so the diffable
@@ -579,13 +560,411 @@ pub(crate) fn surface(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                 ctx,
                 out,
                 t.line,
-                "S001",
+                "O001",
                 "raw `observe(...)` samples a latency histogram outside the surface \
                  recorder (crates/obs/src/surface.rs); use a typed wrapper like \
                  `Obs::observe_fault_latency` so every sample feeds the canonical \
                  diffable surface"
                     .to_string(),
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// S — snapshot coverage
+// ---------------------------------------------------------------------
+
+/// The field names a method body references as `self.<field>`, in order
+/// of first occurrence, restricted to `declared`.
+fn field_refs(ts: &[Token], declared: &BTreeSet<&str>) -> Vec<String> {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut out = Vec::new();
+    for w in ts.windows(3) {
+        if w[0].is_ident("self") && w[1].is_punct('.') && w[2].kind == Kind::Ident {
+            if let Some(&name) = declared.get(w[2].text.as_str()) {
+                if seen.insert(name) {
+                    out.push(name.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// S001: every field of an `impl Snapshot` type must be written by
+/// `save` AND restored by `load` — a field missing from either side is a
+/// replay-divergence heisenbug (the state machine silently forks at the
+/// first restore). S002: `save` and `load` must visit the fields they
+/// share in the same order — the wire format is positional, so an order
+/// divergence deserializes one field's bytes into another.
+///
+/// The struct declaration is resolved same-file first, then as a unique
+/// name match across the workspace; ambiguous names are skipped (a
+/// name-based resolver must not guess). S001 anchors at the field's
+/// declaration line so each derived/host-only exception carries its
+/// `// vlint: allow(S001, why)` on the field itself.
+pub(crate) fn snapshot_coverage(ws: &WorkspaceCtx<'_, '_>, out: &mut Vec<Finding>) {
+    for f in ws.files.iter() {
+        if !f.fam.s {
+            continue;
+        }
+        for im in &f.items.impls {
+            if im.trait_name.as_deref() != Some("Snapshot") || f.in_test_code(im.line) {
+                continue;
+            }
+            let local = f
+                .items
+                .structs
+                .iter()
+                .find(|s| s.name == im.type_name)
+                .map(|s| (f, s));
+            let resolved = local.or_else(|| {
+                let mut hits = ws.files.iter().filter(|o| o.fam.s).flat_map(|o| {
+                    o.items
+                        .structs
+                        .iter()
+                        .filter(|s| s.name == im.type_name)
+                        .map(move |s| (o, s))
+                });
+                let first = hits.next();
+                if hits.next().is_some() {
+                    None
+                } else {
+                    first
+                }
+            });
+            let Some((sf, strukt)) = resolved else {
+                continue;
+            };
+            let declared: BTreeSet<&str> = strukt.fields.iter().map(|d| d.name.as_str()).collect();
+            let save = im.methods.iter().find(|m| m.name == "save");
+            let load = im.methods.iter().find(|m| m.name == "load");
+            let (Some(save), Some(load)) = (save, load) else {
+                continue;
+            };
+            let save_refs = field_refs(&f.tokens[save.body.0..save.body.1], &declared);
+            let load_refs = field_refs(&f.tokens[load.body.0..load.body.1], &declared);
+
+            for field in &strukt.fields {
+                let in_save = save_refs.contains(&field.name);
+                let in_load = load_refs.contains(&field.name);
+                if in_save && in_load {
+                    continue;
+                }
+                let verdict = match (in_save, in_load) {
+                    (false, false) => {
+                        "is neither written by `Snapshot::save` nor restored by \
+                                       `Snapshot::load`"
+                    }
+                    (false, true) => "is not written by `Snapshot::save`",
+                    (true, false) => "is not restored by `Snapshot::load`",
+                    _ => unreachable!(),
+                };
+                out.push(Finding {
+                    file: sf.rel.to_string(),
+                    line: field.line,
+                    rule: "S001",
+                    message: format!(
+                        "field `{}.{}` {}; replay would diverge at the first restore \
+                         (derived/host-only fields carry `// vlint: allow(S001, why)` on their \
+                         declaration)",
+                        strukt.name, field.name, verdict
+                    ),
+                });
+            }
+
+            // S002 — order divergence over the fields both sides visit.
+            let common: BTreeSet<&str> = save_refs
+                .iter()
+                .filter(|r| load_refs.contains(r))
+                .map(|r| r.as_str())
+                .collect();
+            let a: Vec<&str> = save_refs
+                .iter()
+                .filter(|r| common.contains(r.as_str()))
+                .map(|r| r.as_str())
+                .collect();
+            let b: Vec<&str> = load_refs
+                .iter()
+                .filter(|r| common.contains(r.as_str()))
+                .map(|r| r.as_str())
+                .collect();
+            if let Some(k) = (0..a.len().min(b.len())).find(|&k| a[k] != b[k]) {
+                out.push(Finding {
+                    file: f.rel.to_string(),
+                    line: load.line,
+                    rule: "S002",
+                    message: format!(
+                        "`Snapshot` for `{}` diverges from save order: save writes `{}` at \
+                         position {} but load restores `{}` there; the wire format is positional",
+                        strukt.name,
+                        a[k],
+                        k + 1,
+                        b[k]
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// J — journal coverage
+// ---------------------------------------------------------------------
+
+/// J001: every public `&mut self` method on `System`/`Machine` that
+/// reaches simulation state must append a journal event — replay
+/// reconstructs a run purely from the journal, so an unjournaled public
+/// mutator is invisible to replay and the replayed machine forks at that
+/// call. "Covered" = the method records itself (calls `record`), is named
+/// like the replay dispatcher, or is name-reachable from a covering
+/// function (internal steps of a journaled operation are replayed by
+/// re-executing the operation). "Reaches simulation state" = the
+/// name-closure of its body hits a `&mut self` function in a simulation
+/// state crate, or a write-gen/frame-content mutation. Host-only knobs
+/// carry `// vlint: allow(J001, host-only — why)`.
+pub(crate) fn journal_coverage(ws: &WorkspaceCtx<'_, '_>, out: &mut Vec<Finding>) {
+    const STATE_CRATES: &[&str] = &[
+        "crates/mem/src/",
+        "crates/mmu/src/",
+        "crates/cache/src/",
+        "crates/dram/src/",
+        "crates/core/src/",
+    ];
+
+    // Covering functions and everything they reach.
+    let mut covered: BTreeSet<String> = BTreeSet::new();
+    let mut seeds: BTreeSet<String> = BTreeSet::new();
+    for n in &ws.nodes {
+        if n.in_test || !ws.files[n.file].fam.j {
+            continue;
+        }
+        if n.calls.contains("record") || n.name.contains("replay") {
+            covered.insert(n.name.clone());
+            seeds.extend(n.calls.iter().cloned());
+        }
+    }
+    let (reach_from_covered, _) = ws.closure(&seeds);
+    covered.extend(reach_from_covered);
+
+    // Simulation-state sinks. The path clause catches the real tree's
+    // state crates; the writes_gen/touches_data clause is scope-agnostic
+    // so single-file fixtures exercise the rule too.
+    let sinks: BTreeMap<&str, &str> = ws
+        .nodes
+        .iter()
+        .filter(|n| {
+            !n.in_test
+                && n.takes_mut_self
+                && !workspace::is_opaque(&n.name)
+                && (STATE_CRATES
+                    .iter()
+                    .any(|p| ws.files[n.file].rel.starts_with(p))
+                    || n.writes_gen
+                    || n.touches_data)
+        })
+        .map(|n| (n.name.as_str(), ws.files[n.file].rel))
+        .collect();
+
+    for f in ws.files.iter() {
+        if !f.fam.j {
+            continue;
+        }
+        for im in &f.items.impls {
+            if im.trait_name.is_some() || !(im.type_name == "System" || im.type_name == "Machine") {
+                continue;
+            }
+            for m in &im.methods {
+                if !m.is_pub || !m.takes_mut_self || f.in_test_code(m.line) {
+                    continue;
+                }
+                // The journaling machinery itself is exempt by name.
+                if m.name == "record"
+                    || m.name.contains("journal")
+                    || m.name.contains("replay")
+                    || m.name.contains("restore")
+                {
+                    continue;
+                }
+                if covered.contains(&m.name) {
+                    continue;
+                }
+                let body = &f.tokens[m.body.0..m.body.1];
+                let mseeds = workspace::call_names(body);
+                let (reached, parent) = ws.closure(&mseeds);
+                let direct_mutation =
+                    workspace::writes_gen(body) || workspace::touches_self_data(body);
+                let hit = reached.iter().find(|r| sinks.contains_key(r.as_str()));
+                if let Some(sink) = hit {
+                    out.push(Finding {
+                        file: f.rel.to_string(),
+                        line: m.line,
+                        rule: "J001",
+                        message: format!(
+                            "public mutator `{}::{}` reaches simulation state (`{}` in {}) but \
+                             appends no journal event; replay cannot reconstruct this call — \
+                             journal it with `self.record(...)` or mark it \
+                             `// vlint: allow(J001, host-only — why)`",
+                            im.type_name,
+                            m.name,
+                            ws.chain(&parent, sink),
+                            sinks[sink.as_str()]
+                        ),
+                    });
+                } else if direct_mutation {
+                    out.push(Finding {
+                        file: f.rel.to_string(),
+                        line: m.line,
+                        rule: "J001",
+                        message: format!(
+                            "public mutator `{}::{}` mutates simulation state directly but \
+                             appends no journal event; replay cannot reconstruct this call — \
+                             journal it with `self.record(...)` or mark it \
+                             `// vlint: allow(J001, host-only — why)`",
+                            im.type_name, m.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R — RNG/shard discipline
+// ---------------------------------------------------------------------
+
+/// Token index one past the `)` matching the `(` at `open`.
+fn matching_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct('(') {
+            depth += 1;
+        } else if tokens[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// The RNG draw surface: any of these reachable from a shard read-phase
+/// closure makes artifacts depend on thread count. (`sample` is absent on
+/// purpose — it collides with `PressureGovernor::sample`.)
+const RNG_NAMES: &[&str] = &[
+    "next_u64",
+    "next_u32",
+    "seed_from_u64",
+    "splitmix64",
+    "random_range",
+    "random_bool",
+    "fill_bytes",
+    "gen_range",
+];
+
+/// R001: no RNG draw, crash poll, or frame mutation reachable from the
+/// parallel read phase — the closures handed to the shard runner
+/// (`<runner>.run(...)`) execute in scheduling order, so any observable
+/// effect inside them would differ by thread count. Effects belong in the
+/// serial commit phase, in enumeration order. This is the cross-file
+/// generalization of T001: proven by fixpoint reachability over the
+/// workspace call graph, not by spotting a literal RNG token in the
+/// closure.
+pub(crate) fn shard_discipline(ws: &WorkspaceCtx<'_, '_>, out: &mut Vec<Finding>) {
+    // name -> what makes it an effect.
+    let mut effects: BTreeMap<String, &'static str> = BTreeMap::new();
+    for &n in RNG_NAMES {
+        effects.insert(n.to_string(), "draws from the RNG");
+    }
+    for n in &ws.nodes {
+        if n.in_test || workspace::is_opaque(&n.name) {
+            continue;
+        }
+        if n.takes_mut_self && (n.writes_gen || n.touches_data) {
+            effects
+                .entry(n.name.clone())
+                .or_insert("mutates frame state");
+        }
+        if n.name.contains("crash") {
+            effects
+                .entry(n.name.clone())
+                .or_insert("polls the crash injector");
+        }
+    }
+
+    for f in ws.files.iter() {
+        if !f.fam.r {
+            continue;
+        }
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != Kind::Ident
+                || !t.text.contains("runner")
+                || f.in_test_code(t.line)
+                || !(toks.get(i + 1).is_some_and(|n| n.is_punct('.'))
+                    && toks.get(i + 2).is_some_and(|n| n.is_ident("run"))
+                    && toks.get(i + 3).is_some_and(|n| n.is_punct('(')))
+            {
+                continue;
+            }
+            let args_end = matching_paren(toks, i + 3);
+            let mut j = i + 4;
+            while j < args_end {
+                if !toks[j].is_punct('|') {
+                    j += 1;
+                    continue;
+                }
+                let pipe_line = toks[j].line;
+                // Closure params run to the closing `|`.
+                let mut k = j + 1;
+                while k < args_end && !toks[k].is_punct('|') {
+                    k += 1;
+                }
+                k += 1; // one past the closing `|`
+                        // Body: a braced block, or an expression up to the
+                        // argument list's next depth-0 comma (or its `)`).
+                let body_end = if toks.get(k).is_some_and(|n| n.is_punct('{')) {
+                    matching_brace(toks, k)
+                } else {
+                    let mut depth = 0i32;
+                    let mut e = k;
+                    while e < args_end - 1 {
+                        let t = &toks[e];
+                        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                            depth += 1;
+                        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                            depth -= 1;
+                        } else if t.is_punct(',') && depth == 0 {
+                            break;
+                        }
+                        e += 1;
+                    }
+                    e
+                };
+                let seeds = workspace::call_names(&toks[k..body_end]);
+                let (reached, parent) = ws.closure(&seeds);
+                if let Some(effect) = reached.iter().find(|r| effects.contains_key(r.as_str())) {
+                    out.push(Finding {
+                        file: f.rel.to_string(),
+                        line: pipe_line,
+                        rule: "R001",
+                        message: format!(
+                            "shard read-phase closure reaches `{}`, which {}; effects execute \
+                             in scheduling order here — move them to the serial commit phase \
+                             (after the runner joins)",
+                            ws.chain(&parent, effect),
+                            effects[effect.as_str()]
+                        ),
+                    });
+                }
+                j = body_end.max(j + 1);
+            }
         }
     }
 }
@@ -701,16 +1080,116 @@ fn f() { assert!(on, \"off\"); }";
     }
 
     #[test]
-    fn s001_confines_latency_sampling() {
+    fn o001_confines_latency_sampling() {
         assert_eq!(
             rules("self.metrics.observe(\"fault.latency_ns\", dt);"),
-            vec![("S001", 1)]
+            vec![("O001", 1)]
         );
-        assert_eq!(rules("r.observe(name, v);"), vec![("S001", 1)]);
+        assert_eq!(rules("r.observe(name, v);"), vec![("O001", 1)]);
         assert!(rules("obs.observe_fault_latency(dt as f64);").is_empty());
         assert!(rules("let h = machine.observed_hash(frame);").is_empty());
         let tested = "#[cfg(test)]\nmod tests {\n  fn f() { r.observe(\"h\", 1.0); }\n}";
         assert!(rules(tested).is_empty());
+    }
+
+    #[test]
+    fn s001_catches_missing_round_trip() {
+        let bad = "
+struct W { a: u64, cursor: u64 }
+impl Snapshot for W {
+    fn save(&self, w: &mut Writer) { w.u64(self.a); }
+    fn load(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        self.a = r.u64()?;
+        Ok(())
+    }
+}";
+        assert_eq!(rules(bad), vec![("S001", 2)]);
+        let good = "
+struct W { a: u64, cursor: u64 }
+impl Snapshot for W {
+    fn save(&self, w: &mut Writer) { w.u64(self.a); w.u64(self.cursor); }
+    fn load(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        self.a = r.u64()?;
+        self.cursor = r.u64()?;
+        Ok(())
+    }
+}";
+        assert!(rules(good).is_empty());
+    }
+
+    #[test]
+    fn s001_allow_sits_on_the_field_declaration() {
+        let allowed = "
+struct W {
+    a: u64,
+    // vlint: allow(S001, derived cache — rebuilt on load)
+    memo: u64,
+}
+impl Snapshot for W {
+    fn save(&self, w: &mut Writer) { w.u64(self.a); }
+    fn load(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        self.a = r.u64()?;
+        Ok(())
+    }
+}";
+        assert!(rules(allowed).is_empty());
+    }
+
+    #[test]
+    fn s002_catches_order_divergence() {
+        let bad = "
+struct P { a: u64, b: u64 }
+impl Snapshot for P {
+    fn save(&self, w: &mut Writer) { w.u64(self.a); w.u64(self.b); }
+    fn load(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        self.b = r.u64()?;
+        self.a = r.u64()?;
+        Ok(())
+    }
+}";
+        assert_eq!(rules(bad), vec![("S002", 5)]);
+    }
+
+    #[test]
+    fn j001_needs_a_journal_event_on_public_mutators() {
+        let bad = "
+struct Machine { data: Vec<u8> }
+impl Machine {
+    pub fn hammer(&mut self, b: u8) { self.poke(b) }
+    fn poke(&mut self, b: u8) { self.data[0] = b; }
+}";
+        assert_eq!(rules(bad), vec![("J001", 4)]);
+        let good = "
+struct Machine { data: Vec<u8> }
+impl Machine {
+    pub fn hammer(&mut self, b: u8) {
+        self.record(b);
+        self.poke(b)
+    }
+    pub fn record(&mut self, b: u8) { self.log.push(b) }
+    fn poke(&mut self, b: u8) { self.data[0] = b; self.info.write_gen = 1; }
+}";
+        assert!(rules(good).is_empty());
+    }
+
+    #[test]
+    fn r001_proves_reachability_into_shard_closures() {
+        let bad = "
+impl Scanner {
+    fn draw(&mut self) -> u64 { self.rng.next_u64() }
+    fn scan(&mut self, frames: &[u64]) {
+        let out = self.runner.run(frames, |_, &f| self.draw() ^ f);
+    }
+}";
+        assert_eq!(rules(bad), vec![("R001", 5)]);
+        let good = "
+impl Scanner {
+    fn scan(&mut self, frames: &[u64]) {
+        let hashes = self.runner.run(frames, |_, &f| view.hash_page(f));
+        let salt = self.rng.next_u64();
+    }
+}";
+        assert!(rules(good).is_empty());
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Doc-sync check: the rule catalog and DESIGN.md §11 must enumerate the
+//! same rule set, in both directions.
+//!
+//! `vlint rules` and `vlint explain` render directly from
+//! `vlint::catalog::RULES`, so catalog <-> §11 equality is exactly
+//! "the CLI listing enumerates every documented rule and vice versa".
+//! A rule added to the analyzer without a §11 entry — or documented in
+//! §11 without a catalog entry — fails CI here.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Extracts the body of DESIGN.md §11 (from its `## 11.` header up to the
+/// next top-level `## ` header).
+fn section_11() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../DESIGN.md");
+    let text = std::fs::read_to_string(&path).expect("DESIGN.md readable from crates/vlint");
+    let start = text
+        .find("\n## 11.")
+        .expect("DESIGN.md has a `## 11.` section");
+    let rest = &text[start + 1..];
+    let end = rest["## 11.".len()..]
+        .find("\n## ")
+        .map(|i| i + "## 11.".len() + 1)
+        .unwrap_or(rest.len());
+    rest[..end].to_string()
+}
+
+/// Every `LDDD` rule-id-shaped token in `text` (uppercase letter followed
+/// by exactly three digits, not embedded in a longer ident).
+fn rule_ids(text: &str) -> BTreeSet<String> {
+    let b = text.as_bytes();
+    let mut out = BTreeSet::new();
+    for i in 0..b.len().saturating_sub(3) {
+        if !b[i].is_ascii_uppercase() || !b[i + 1..i + 4].iter().all(u8::is_ascii_digit) {
+            continue;
+        }
+        let before_ok = i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+        let after_ok = i + 4 >= b.len() || !(b[i + 4].is_ascii_alphanumeric() || b[i + 4] == b'_');
+        if before_ok && after_ok {
+            out.insert(String::from_utf8_lossy(&b[i..i + 4]).into_owned());
+        }
+    }
+    out
+}
+
+#[test]
+fn design_section_11_and_catalog_agree() {
+    let catalog: BTreeSet<String> = vlint::catalog::RULES
+        .iter()
+        .map(|r| r.id.to_string())
+        .collect();
+    let documented = rule_ids(&section_11());
+
+    let undocumented: Vec<&String> = catalog.difference(&documented).collect();
+    assert!(
+        undocumented.is_empty(),
+        "rules in the catalog but missing from DESIGN.md §11: {undocumented:?} \
+         (add them to the §11 family list)"
+    );
+    let phantom: Vec<&String> = documented.difference(&catalog).collect();
+    assert!(
+        phantom.is_empty(),
+        "rule ids mentioned in DESIGN.md §11 but absent from the catalog: {phantom:?} \
+         (either implement + register them or fix the doc)"
+    );
+}
+
+#[test]
+fn rule_id_extraction_is_precise() {
+    let ids = rule_ids("D001 and S002, but not SOSP17, X12, ABC1234, or write_D001.");
+    let expect: BTreeSet<String> = ["D001", "S002"].iter().map(|s| s.to_string()).collect();
+    assert_eq!(ids, expect);
+}

@@ -87,9 +87,33 @@ fn g001_pressure_signal_reads() {
 }
 
 #[test]
-fn s001_latency_sampling() {
-    check("s001_bad.rs", &[("S001", 4), ("S001", 8)]);
+fn o001_latency_sampling() {
+    check("o001_bad.rs", &[("O001", 4), ("O001", 8)]);
+    check("o001_ok.rs", &[]);
+}
+
+#[test]
+fn s001_snapshot_field_coverage() {
+    check("s001_bad.rs", &[("S001", 5)]);
     check("s001_ok.rs", &[]);
+}
+
+#[test]
+fn s002_snapshot_field_order() {
+    check("s002_bad.rs", &[("S002", 15)]);
+    check("s002_ok.rs", &[]);
+}
+
+#[test]
+fn j001_journal_coverage() {
+    check("j001_bad.rs", &[("J001", 10)]);
+    check("j001_ok.rs", &[]);
+}
+
+#[test]
+fn r001_shard_read_phase_discipline() {
+    check("r001_bad.rs", &[("R001", 26), ("R001", 30)]);
+    check("r001_ok.rs", &[]);
 }
 
 #[test]

@@ -1,0 +1,17 @@
+//! J001 true positive: a public mutator that reaches simulation state
+//! (transitively, through a private helper) without appending a journal
+//! event — replay could never reconstruct this call.
+
+pub struct Machine {
+    data: Vec<u8>,
+}
+
+impl Machine {
+    pub fn hammer(&mut self, b: u8) {
+        self.poke(b)
+    }
+
+    fn poke(&mut self, b: u8) {
+        self.data[0] = b;
+    }
+}

@@ -1,0 +1,26 @@
+//! J001 true negatives: a journaled mutator, the journaling machinery
+//! itself (exempt by name), and the allow idiom for a host-only knob.
+
+pub struct Machine {
+    data: Vec<u8>,
+}
+
+impl Machine {
+    pub fn write(&mut self, b: u8) {
+        self.record(b);
+        self.poke(b)
+    }
+
+    pub fn record(&mut self, b: u8) {
+        self.log.push(b)
+    }
+
+    // vlint: allow(J001, host-only — debug tap, never part of a replayed run)
+    pub fn set_debug_tap(&mut self, b: u8) {
+        self.poke(b)
+    }
+
+    fn poke(&mut self, b: u8) {
+        self.data[0] = b;
+    }
+}

@@ -1,0 +1,9 @@
+//! O001 true positives: ad-hoc latency sampling outside the recorder.
+
+fn resolve(m: &mut Machine, dt: u64) {
+    m.obs_mut().metrics_mut().observe("fault.latency_ns", dt as f64);
+}
+
+fn time_scan(reg: &mut MetricsRegistry, ns: u64) {
+    reg.observe("scan.latency_ns", ns as f64);
+}

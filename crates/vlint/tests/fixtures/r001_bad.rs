@@ -1,0 +1,32 @@
+//! R001 true positives: an RNG draw reachable from a shard read-phase
+//! closure — once transitively (through `draw`), once directly.
+
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.state
+    }
+}
+
+pub struct Scanner {
+    runner: ShardRunner,
+    rng: Lcg,
+}
+
+impl Scanner {
+    fn draw(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn scan(&mut self, frames: &[u64]) -> Vec<u64> {
+        self.runner.run(frames, |_, &f| f ^ self.draw())
+    }
+
+    fn salt(&mut self, frames: &[u64]) -> Vec<u64> {
+        self.runner.run(frames, |_, &f| self.rng.next_u64() ^ f)
+    }
+}

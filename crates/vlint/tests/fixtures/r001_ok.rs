@@ -1,0 +1,16 @@
+//! R001 true negative: the read phase stays pure (hashing through the
+//! FrameReadView); the RNG draw happens in the serial commit phase,
+//! after the runner joins.
+
+pub struct Scanner {
+    runner: ShardRunner,
+    rng: Lcg,
+}
+
+impl Scanner {
+    fn scan(&mut self, frames: &[u64], view: &FrameReadView<'_>) -> u64 {
+        let hashes = self.runner.run(frames, |_, &f| view.hash_page(f));
+        let salt = self.rng.next_u64();
+        hashes.iter().fold(salt, |acc, h| acc ^ h)
+    }
+}

@@ -1,9 +1,17 @@
-//! S001 true positives: ad-hoc latency sampling outside the recorder.
+//! S001 true positive: a snapshotted field missing from the round trip.
 
-fn resolve(m: &mut Machine, dt: u64) {
-    m.obs_mut().metrics_mut().observe("fault.latency_ns", dt as f64);
+pub struct Widget {
+    pub counter: u64,
+    pub cursor: u64,
 }
 
-fn time_scan(reg: &mut MetricsRegistry, ns: u64) {
-    reg.observe("scan.latency_ns", ns as f64);
+impl Snapshot for Widget {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.counter);
+    }
+
+    fn load(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        self.counter = r.u64()?;
+        Ok(())
+    }
 }

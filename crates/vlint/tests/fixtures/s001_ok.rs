@@ -1,18 +1,23 @@
-//! S001 true negatives: latency flows through the typed wrapper.
+//! S001 true negatives: a full round trip, plus the allow idiom for a
+//! derived field (the annotation sits on the field's declaration).
 
-fn resolve(m: &mut Machine, dt: u64) {
-    m.obs_mut().observe_fault_latency(dt as f64);
+pub struct Widget {
+    pub counter: u64,
+    pub cursor: u64,
+    // vlint: allow(S001, derived hash memo — rebuilt lazily after load)
+    pub memo: u64,
 }
 
-fn classify(m: &mut Machine, f: FrameId) -> u64 {
-    m.observed_hash(f)
-}
+impl Snapshot for Widget {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.counter);
+        w.u64(self.cursor);
+    }
 
-#[cfg(test)]
-mod tests {
-    #[test]
-    fn histogram_assertions_are_exempt() {
-        let mut r = MetricsRegistry::new();
-        r.observe("h", 1.0);
+    fn load(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        self.counter = r.u64()?;
+        self.cursor = r.u64()?;
+        self.memo = 0;
+        Ok(())
     }
 }

@@ -1,0 +1,20 @@
+//! S002 true positive: load restores fields out of save order — the
+//! positional wire format would deserialize `a`'s bytes into `b`.
+
+pub struct Pair {
+    pub a: u64,
+    pub b: u64,
+}
+
+impl Snapshot for Pair {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.a);
+        w.u64(self.b);
+    }
+
+    fn load(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        self.b = r.u64()?;
+        self.a = r.u64()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,19 @@
+//! S002 true negative: load mirrors save's field order exactly.
+
+pub struct Pair {
+    pub a: u64,
+    pub b: u64,
+}
+
+impl Snapshot for Pair {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.a);
+        w.u64(self.b);
+    }
+
+    fn load(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        self.a = r.u64()?;
+        self.b = r.u64()?;
+        Ok(())
+    }
+}

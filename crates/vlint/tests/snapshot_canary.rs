@@ -1,0 +1,105 @@
+//! Mutation canary for the snapshot-coverage analysis (S001).
+//!
+//! The fixture suite proves S001 on hand-written bad/ok files; this test
+//! proves the *sensitivity* of the rule the way a mutation-testing run
+//! would: start from a fully covered `impl Snapshot`, then delete one
+//! field's round-trip line at a time and assert the analyzer catches
+//! every single mutant at the mutated field's declaration line. If a
+//! refactor of the S-family ever makes it blind to a dropped field, this
+//! test fails before the real tree can grow an unserialized field.
+
+use vlint::{analyze_source, Families};
+
+/// A covered snapshot impl, with `{save}` / `{load}` holes so each
+/// mutant can drop one statement.
+fn scanner_source(save: &str, load: &str) -> String {
+    format!(
+        "pub struct Scanner {{\n\
+         \x20   pub cursor: u64,\n\
+         \x20   pub passes: u64,\n\
+         \x20   pub budget: u64,\n\
+         }}\n\
+         impl Snapshot for Scanner {{\n\
+         \x20   fn save(&self, w: &mut Writer) {{\n\
+         {save}\
+         \x20   }}\n\
+         \x20   fn load(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {{\n\
+         {load}\
+         \x20       Ok(())\n\
+         \x20   }}\n\
+         }}\n"
+    )
+}
+
+const FIELDS: [&str; 3] = ["cursor", "passes", "budget"];
+
+fn save_lines(skip: Option<&str>) -> String {
+    FIELDS
+        .iter()
+        .filter(|f| Some(**f) != skip)
+        .map(|f| format!("        w.u64(self.{f});\n"))
+        .collect()
+}
+
+fn load_lines(skip: Option<&str>) -> String {
+    FIELDS
+        .iter()
+        .filter(|f| Some(**f) != skip)
+        .map(|f| format!("        self.{f} = r.u64()?;\n"))
+        .collect()
+}
+
+/// Declaration line of a field in `scanner_source` (struct opens line 1).
+fn decl_line(field: &str) -> u32 {
+    2 + FIELDS
+        .iter()
+        .position(|f| *f == field)
+        .expect("known field") as u32
+}
+
+#[test]
+fn unmutated_impl_is_clean() {
+    let src = scanner_source(&save_lines(None), &load_lines(None));
+    let findings = analyze_source("canary/scanner.rs", &src, Families::ALL);
+    assert!(
+        findings.is_empty(),
+        "covered impl must be a true negative, got {findings:#?}"
+    );
+}
+
+#[test]
+fn every_dropped_field_mutant_is_caught() {
+    for field in FIELDS {
+        // Mutant A: the field vanishes from both save and load.
+        let both = scanner_source(&save_lines(Some(field)), &load_lines(Some(field)));
+        // Mutant B: saved but never restored.
+        let load_only = scanner_source(&save_lines(None), &load_lines(Some(field)));
+        // Mutant C: restored but never saved.
+        let save_only = scanner_source(&save_lines(Some(field)), &load_lines(None));
+        for (label, src) in [("both", both), ("load", load_only), ("save", save_only)] {
+            let findings = analyze_source("canary/scanner.rs", &src, Families::ALL);
+            let s001: Vec<(u32, &str)> = findings
+                .iter()
+                .filter(|f| f.rule == "S001")
+                .map(|f| (f.line, f.message.as_str()))
+                .collect();
+            assert_eq!(
+                s001.len(),
+                1,
+                "mutant dropping `{field}` from {label} must yield exactly one S001, \
+                 got {findings:#?}"
+            );
+            let (line, message) = s001[0];
+            assert_eq!(
+                line,
+                decl_line(field),
+                "S001 must anchor at `{field}`'s declaration so the allow idiom \
+                 (annotating the field) works"
+            );
+            assert!(
+                message.contains(field),
+                "S001 message must name the dropped field: {message}"
+            );
+        }
+    }
+}
